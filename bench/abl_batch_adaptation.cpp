@@ -1,0 +1,99 @@
+// Ablation A1 — the reliable one-hop protocol's dynamic batch sizing
+// (paper Sec. IV-B: "The number of packets in each batch is dynamically
+// adjusted based on link quality") vs. fixed batch sizes, under a sweep
+// of injected loss rates. Metrics: transfer completion time and radio
+// packets spent for a multi-fragment command transfer.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace liteview;
+
+struct Outcome {
+  double ms = 0;
+  double packets = 0;
+  bool ok = false;
+};
+
+Outcome transfer(std::uint64_t seed, int loss_percent, bool adaptive,
+                 std::size_t fixed_batch) {
+  testbed::TestbedConfig cfg = testbed::Testbed::paper_config(seed);
+  cfg.controller.reliable.adaptive_batch = adaptive;
+  if (!adaptive) cfg.controller.reliable.initial_batch = fixed_batch;
+  auto tb = testbed::Testbed::line(2, testbed::Testbed::paper_spacing_m(),
+                                   cfg);
+  tb->warm_up();
+  for (std::size_t i = 0; i < tb->size(); ++i) {
+    tb->node(i).set_beacon_period(sim::SimTime::sec(120));
+  }
+
+  util::RngStream loss_rng(seed ^ 0xbeef, "bench.loss");
+  tb->medium().set_drop_filter([&, loss_percent](phy::RadioId, phy::RadioId) {
+    return loss_rng.chance(loss_percent / 100.0);
+  });
+
+  auto& a = tb->suite(0).controller().endpoint();
+  std::vector<std::uint8_t> msg(480);  // 10 fragments
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<std::uint8_t>(i);
+  }
+  tb->accounting().reset();
+  Outcome out;
+  const auto t0 = tb->sim().now();
+  bool done = false;
+  a.send_message(2, msg, [&](bool ok) {
+    out.ok = ok;
+    out.ms = (tb->sim().now() - t0).milliseconds();
+    done = true;
+  });
+  tb->sim().run_for(sim::SimTime::sec(30));
+  if (!done) out.ok = false;
+  out.packets =
+      static_cast<double>(tb->accounting().for_port(net::kPortMgmt).packets);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Ablation A1 — adaptive vs. fixed batch size in the reliable "
+      "protocol (480-byte command transfer)");
+
+  constexpr int kReps = 6;
+  std::printf("\n%-8s %-22s %-22s %-22s %-22s\n", "loss%", "adaptive",
+              "fixed=1", "fixed=4", "fixed=8");
+  std::printf("%-8s %-22s %-22s %-22s %-22s\n", "", "ms / pkts / ok", "ms / pkts / ok",
+              "ms / pkts / ok", "ms / pkts / ok");
+  for (int loss : {0, 10, 20, 30}) {
+    auto row = [&](bool adaptive, std::size_t batch) {
+      util::RunningStats ms, pk;
+      int ok = 0;
+      const auto rs = bench::replicate<Outcome>(
+          kReps, 301 + static_cast<std::uint64_t>(loss),
+          [&](std::uint64_t seed) {
+            return transfer(seed, loss, adaptive, batch);
+          });
+      for (const auto& o : rs) {
+        ms.add(o.ms);
+        pk.add(o.packets);
+        if (o.ok) ++ok;
+      }
+      return util::format("%6.0f / %4.0f / %d-%d", ms.mean(), pk.mean(), ok,
+                          kReps);
+    };
+    std::printf("%-8d %-22s %-22s %-22s %-22s\n", loss,
+                row(true, 0).c_str(), row(false, 1).c_str(),
+                row(false, 4).c_str(), row(false, 8).c_str());
+  }
+
+  bench::section("reading");
+  std::printf(
+      "Adaptive batching tracks fixed=8 on clean links (fast) and moves\n"
+      "toward fixed=1's robustness as loss grows — the paper's rationale\n"
+      "for sizing batches from observed link quality.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Ablation A5 — randomized response backoff for group commands: "if the
+// management workstation is operating on a group of nodes, these nodes
+// wait for random backoff delays before sending responses, so that their
+// packets will not collide" (paper Sec. IV-B). We broadcast a radio-get
+// to every node in range and count responses that survive, with the
+// backoff window swept from zero (everyone answers at once) to the
+// paper's setting.
+#include <cstdio>
+#include <set>
+
+#include "bench/common.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace liteview;
+
+struct Outcome {
+  double responders = 0;
+  double corrupted = 0;   // frames lost to collisions on the air
+  double mgmt_packets = 0;  // total protocol cost incl. retransmissions
+};
+
+Outcome responses_with_backoff(std::uint64_t seed, int backoff_ms) {
+  testbed::TestbedConfig cfg = testbed::Testbed::paper_config(seed);
+  cfg.controller.response_backoff_min = sim::SimTime::ms(1);
+  cfg.controller.response_backoff_max =
+      sim::SimTime::ms(std::max(2, backoff_ms));
+  // A tight cluster: every node hears the broadcast and every response
+  // collides at the workstation unless staggered.
+  auto tb = testbed::Testbed::grid(2, 3, 2.0, cfg);
+  tb->warm_up();
+  for (std::size_t i = 0; i < tb->size(); ++i) {
+    tb->node(i).set_beacon_period(sim::SimTime::sec(120));
+  }
+  tb->sim().run_for(sim::SimTime::sec(1));
+
+  // Count distinct responders arriving at the workstation, and what the
+  // exchange cost on the air.
+  std::set<net::Addr> responders;
+  auto& ws = tb->workstation();
+  ws.endpoint().set_handler(
+      [&](net::Addr from, const std::vector<std::uint8_t>& m, bool) {
+        const auto msg = lv::decode_mgmt(m);
+        if (msg && msg->type == lv::MsgType::kRadioConfig) {
+          responders.insert(from);
+        }
+      });
+  tb->accounting().reset();
+  const auto corrupted_before = tb->medium().frames_corrupted();
+  ws.endpoint().broadcast(lv::encode_mgmt(lv::MsgType::kRadioGetConfig, {}));
+  tb->sim().run_for(sim::SimTime::ms(1'500));
+  Outcome out;
+  out.responders = static_cast<double>(responders.size());
+  out.corrupted =
+      static_cast<double>(tb->medium().frames_corrupted() - corrupted_before);
+  out.mgmt_packets =
+      static_cast<double>(tb->accounting().for_port(net::kPortMgmt).packets);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Ablation A5 — group-command response backoff (6 nodes in range, "
+      "broadcast radio-get)");
+
+  constexpr int kReps = 6;
+  std::printf("\n%-18s %-16s %-18s %-14s\n", "backoff window",
+              "responses / 6", "collided frames", "mgmt packets");
+  for (int window : {0, 20, 100, 300}) {
+    util::RunningStats resp, corr, pkts;
+    const auto rs = bench::replicate<Outcome>(
+        kReps, 81 + static_cast<std::uint64_t>(window),
+        [&](std::uint64_t seed) {
+          return responses_with_backoff(seed, window);
+        });
+    for (const auto& o : rs) {
+      resp.add(o.responders);
+      corr.add(o.corrupted);
+      pkts.add(o.mgmt_packets);
+    }
+    std::printf("%-18s %5.1f %+.1f       %8.1f %16.1f\n",
+                util::format("[1, %d] ms", std::max(2, window)).c_str(),
+                resp.mean(), resp.stddev(), corr.mean(), pkts.mean());
+  }
+
+  bench::section("reading");
+  std::printf(
+      "All windows eventually deliver (the reliable protocol retries),\n"
+      "but a tight window makes simultaneous responders collide: the\n"
+      "collided-frame and retransmission cost drops as the random window\n"
+      "widens — the slack the paper's fixed 500 ms budget pays for.\n");
+  return 0;
+}

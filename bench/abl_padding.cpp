@@ -1,0 +1,105 @@
+// Ablation A2 — link-quality padding vs. per-hop reports: the paper's
+// scalability argument (Sec. IV-C3). A padded multi-hop ping carries at
+// most (64 - probe) / 2 hops of measurements (24 hops for a 16-byte
+// probe) but costs only 2H packets; traceroute has no such cap and
+// carries per-hop RTT, but costs 2H + H(H-1)/2 packets.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace liteview;
+
+struct HopsResult {
+  double ping_packets = 0;
+  double tr_packets = 0;
+  int ping_hops_measured = 0;
+  bool ping_ok = false;
+};
+
+HopsResult run_at(std::uint64_t seed, int hops) {
+  auto tb = testbed::Testbed::paper_line(hops + 1, seed);
+  tb->warm_up();
+  for (std::size_t i = 0; i < tb->size(); ++i) {
+    tb->node(i).set_beacon_period(sim::SimTime::sec(120));
+  }
+  tb->sim().run_for(sim::SimTime::sec(1));
+  HopsResult out;
+
+  // Multi-hop ping with padding.
+  tb->accounting().reset();
+  lv::PingParams p;
+  p.dst = static_cast<net::Addr>(hops + 1);
+  p.rounds = 1;
+  p.length = 16;
+  p.routing_port = net::kPortGeographic;
+  p.round_timeout = sim::SimTime::ms(250) * (hops + 2);
+  bool done = false;
+  tb->suite(0).ping().run(p, [&](const lv::PingResultMsg& r) {
+    done = true;
+    out.ping_ok = r.rounds_data[0].received;
+    out.ping_hops_measured =
+        static_cast<int>(r.rounds_data[0].hops_fwd.size());
+  });
+  tb->sim().run_for(p.round_timeout + sim::SimTime::sec(1));
+  (void)done;
+  out.ping_packets =
+      static_cast<double>(tb->accounting().for_port(net::kPortPing).packets);
+
+  // Traceroute over the same path.
+  tb->accounting().reset();
+  (void)tb->workstation().traceroute(
+      1, util::format("192.168.0.%d round=1 length=16 port=10", hops + 1));
+  out.tr_packets = static_cast<double>(
+      tb->accounting().for_port(net::kPortTraceroute).packets);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Ablation A2 — padded multi-hop ping vs. traceroute: packets and "
+      "measurement coverage");
+
+  std::printf("\n%-6s %-14s %-16s %-14s %-14s\n", "hops", "ping pkts",
+              "hops measured", "tr pkts", "pkt model 2H/2H+H(H-1)/2");
+  for (int hops : {1, 2, 4, 6, 8}) {
+    util::RunningStats pp, tp, hm;
+    int ok = 0;
+    constexpr int kReps = 4;
+    const auto rs = bench::replicate<HopsResult>(
+        kReps, 41, [&](std::uint64_t seed) { return run_at(seed, hops); });
+    for (const auto& r : rs) {
+      pp.add(r.ping_packets);
+      tp.add(r.tr_packets);
+      hm.add(r.ping_hops_measured);
+      if (r.ping_ok) ++ok;
+    }
+    std::printf("%-6d %-14.1f %-16.1f %-14.1f %d / %d\n", hops, pp.mean(),
+                hm.mean(), tp.mean(), 2 * hops,
+                2 * hops + hops * (hops - 1) / 2);
+  }
+
+  bench::section("padding budget (paper Sec. IV-C3)");
+  std::printf("probe length → max padded hops ((64 - len) / 2):\n");
+  for (int len : {16, 32, 48, 60}) {
+    net::NetPacket pkt;
+    pkt.payload.assign(static_cast<std::size_t>(len), 0);
+    pkt.enable_padding();
+    int n = 0;
+    while (pkt.add_padding(net::PadEntry{100, -10})) ++n;
+    std::printf("  %2d bytes → %2d hops%s\n", len, n,
+                len == 16 ? "   (paper: 24 hops)" : "");
+  }
+
+  bench::section("reading");
+  std::printf(
+      "Ping stays at 2 packets/hop but its measurement coverage is capped\n"
+      "by the padding budget; traceroute pays a superlinear packet cost\n"
+      "for unbounded path length — \"fundamentally more scalable\" in the\n"
+      "paper's phrasing because no per-hop state accumulates in flight.\n");
+  return 0;
+}

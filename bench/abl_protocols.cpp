@@ -1,0 +1,107 @@
+// Ablation A3 — protocol independence in action: the *same* ping process
+// runs over geographic forwarding, flooding, and tree routing purely by
+// switching the runtime port parameter (paper Sec. IV-A1). Compares
+// delivery, RTT and packet cost per protocol; also shows that traceroute
+// degrades gracefully on flooding (no unicast next-hop notion).
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace liteview;
+
+struct ProtoResult {
+  bool delivered = false;
+  double rtt_ms = 0;
+  double packets = 0;
+};
+
+ProtoResult ping_over(std::uint64_t seed, net::Port port) {
+  // A 3x3 grid: geographic forwarding and the tree pick one path while
+  // flooding pays for every node's rebroadcast.
+  testbed::TestbedConfig cfg = testbed::Testbed::paper_config(seed);
+  cfg.with_flooding = true;
+  cfg.with_tree = true;
+  cfg.tree_root = 1;
+  auto tb = testbed::Testbed::surveyed_grid(3, 3, cfg);
+  tb->warm_up();
+  tb->sim().run_for(sim::SimTime::sec(4));  // tree convergence margin
+  for (std::size_t i = 0; i < tb->size(); ++i) {
+    tb->node(i).set_beacon_period(sim::SimTime::sec(120));
+  }
+  tb->sim().run_for(sim::SimTime::sec(1));
+
+  // Node 9 (far corner) pings node 1 (the tree root) so all three
+  // protocols have a route: GF greedy, flooding broadcast, tree upward.
+  lv::PingParams p;
+  p.dst = 1;
+  p.rounds = 1;
+  p.length = 16;
+  p.routing_port = port;
+  p.round_timeout = sim::SimTime::ms(1'500);
+  tb->accounting().reset();
+  ProtoResult out;
+  tb->suite(8).ping().run(p, [&](const lv::PingResultMsg& r) {
+    out.delivered = r.rounds_data[0].received;
+    out.rtt_ms = r.rounds_data[0].rtt_us / 1000.0;
+  });
+  tb->sim().run_for(sim::SimTime::sec(3));
+  out.packets =
+      static_cast<double>(tb->accounting().for_port(net::kPortPing).packets);
+  return out;
+}
+
+void row(const char* name, net::Port port) {
+  constexpr int kReps = 5;
+  util::RunningStats rtt, pkts;
+  int delivered = 0;
+  const auto rs = bench::replicate<ProtoResult>(
+      kReps, 61, [&](std::uint64_t seed) { return ping_over(seed, port); });
+  for (const auto& r : rs) {
+    if (r.delivered) {
+      ++delivered;
+      rtt.add(r.rtt_ms);
+    }
+    pkts.add(r.packets);
+  }
+  std::printf("%-24s %2d/%-6d %8.1f %10.1f\n", name, delivered, kReps,
+              rtt.mean(), pkts.mean());
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Ablation A3 — one ping binary, three routing protocols (3x3 grid, "
+      "corner to corner, port switched at runtime)");
+
+  std::printf("\n%-24s %-9s %8s %10s\n", "protocol (port)", "delivered",
+              "RTT ms", "packets");
+  row("geographic fwd (10)", net::kPortGeographic);
+  row("flooding (11)", net::kPortFlooding);
+  row("tree routing (12)", net::kPortTree);
+
+  bench::section("traceroute over flooding (no unicast next hop)");
+  {
+    testbed::TestbedConfig cfg = testbed::Testbed::paper_config(61);
+    cfg.with_flooding = true;
+    auto tb = testbed::Testbed::line(3, testbed::Testbed::paper_spacing_m(),
+                                     cfg);
+    tb->warm_up();
+    auto& sh = tb->shell();
+    sh.cd("192.168.0.1");
+    const auto out =
+        sh.execute("traceroute 192.168.0.3 round=1 length=16 port=11");
+    std::printf("%s", out.c_str());
+  }
+
+  bench::section("reading");
+  std::printf(
+      "Flooding delivers without routes but burns a packet per node per\n"
+      "direction; the tree matches geographic forwarding along the line.\n"
+      "No command was recompiled — the port number is the only change,\n"
+      "which is the paper's protocol-independence requirement.\n");
+  return 0;
+}

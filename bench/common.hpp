@@ -1,0 +1,55 @@
+// Shared bench harness: table printing and thread-parallel Monte-Carlo
+// replication over independent Testbed instances (shared-nothing).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace liteview::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n==================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==================================================\n");
+}
+
+inline void section(const std::string& s) {
+  std::printf("\n--- %s ---\n", s.c_str());
+}
+
+/// Run `fn(seed)` for `replications` seeds across hardware threads, each
+/// replication building its own simulator (no shared state). Results are
+/// returned in seed order regardless of completion order.
+template <typename Result>
+std::vector<Result> replicate(int replications, std::uint64_t base_seed,
+                              const std::function<Result(std::uint64_t)>& fn) {
+  std::vector<Result> results(static_cast<std::size_t>(replications));
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::jthread> workers;
+  std::atomic<int> next{0};
+  for (unsigned t = 0; t < hw; ++t) {
+    workers.emplace_back([&] {
+      for (int i = next.fetch_add(1); i < replications;
+           i = next.fetch_add(1)) {
+        results[static_cast<std::size_t>(i)] =
+            fn(base_seed + static_cast<std::uint64_t>(i) * 101);
+      }
+    });
+  }
+  workers.clear();  // join
+  return results;
+}
+
+/// "paper X | measured Y" summary row used by EXPERIMENTS.md.
+inline void compare_row(const char* metric, const char* paper,
+                        const std::string& measured) {
+  std::printf("  %-46s paper: %-18s measured: %s\n", metric, paper,
+              measured.c_str());
+}
+
+}  // namespace liteview::bench

@@ -1,0 +1,123 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the
+// simulation substrate: event queue, frame/packet codecs, CRC, PER
+// evaluation, padding operations, and a full testbed warm-up.
+#include <benchmark/benchmark.h>
+
+#include "mac/frame.hpp"
+#include "net/packet.hpp"
+#include "phy/ber.hpp"
+#include "sim/simulator.hpp"
+#include "testbed/testbed.hpp"
+#include "util/crc16.hpp"
+
+namespace {
+
+using namespace liteview;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = state.range(0);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (std::int64_t i = 0; i < n; ++i) {
+      sim.schedule_at(sim::SimTime::us(i % 977), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1'000)->Arg(10'000);
+
+void BM_Crc16(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::crc16_ccitt(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc16)->Arg(32)->Arg(127);
+
+void BM_MacFrameCodec(benchmark::State& state) {
+  mac::MacFrame f;
+  f.src = 1;
+  f.dst = 2;
+  f.payload.assign(64, 0xa5);
+  for (auto _ : state) {
+    const auto bytes = mac::encode_frame(f);
+    auto back = mac::decode_frame(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_MacFrameCodec);
+
+void BM_NetPacketCodec(benchmark::State& state) {
+  net::NetPacket p;
+  p.src = 1;
+  p.dst = 9;
+  p.port = 10;
+  p.payload.assign(16, 0x11);
+  p.enable_padding();
+  for (int i = 0; i < 24; ++i) p.padding.push_back({100, -12});
+  for (auto _ : state) {
+    const auto bytes = net::encode_packet(p);
+    auto back = net::decode_packet(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_NetPacketCodec);
+
+void BM_PerEvaluation(benchmark::State& state) {
+  double snr = -2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phy::per_oqpsk(snr, 1016));
+    snr += 0.001;
+    if (snr > 10.0) snr = -2.0;
+  }
+}
+BENCHMARK(BM_PerEvaluation);
+
+void BM_PaddingAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    net::NetPacket p;
+    p.payload.assign(16, 0);
+    p.enable_padding();
+    while (p.add_padding(net::PadEntry{100, -10})) {
+    }
+    benchmark::DoNotOptimize(p.padding.size());
+  }
+}
+BENCHMARK(BM_PaddingAppend);
+
+void BM_TestbedWarmup(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto tb = testbed::Testbed::paper_line(n, seed++);
+    tb->warm_up();
+    benchmark::DoNotOptimize(tb->node(0).neighbors().size());
+  }
+}
+BENCHMARK(BM_TestbedWarmup)->Arg(3)->Arg(9)->Unit(benchmark::kMillisecond);
+
+void BM_SingleHopPing(benchmark::State& state) {
+  // Full-stack cost of simulating one ping command.
+  auto tb = testbed::Testbed::paper_line(2, 7);
+  tb->warm_up();
+  for (auto _ : state) {
+    lv::PingParams p;
+    p.dst = 2;
+    p.rounds = 1;
+    bool done = false;
+    tb->suite(0).ping().run(p, [&](const lv::PingResultMsg&) { done = true; });
+    tb->sim().run_for(sim::SimTime::ms(600));
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_SingleHopPing)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

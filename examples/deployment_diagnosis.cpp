@@ -1,0 +1,87 @@
+// Deployment diagnosis walkthrough — the paper's motivating scenario.
+//
+// An operator brings up a 7-node line deployment. Somewhere along the
+// path a link has degraded (we inject 70% loss on one link, standing in
+// for a knocked-over antenna). The operator:
+//   1. notices end-to-end probes failing,
+//   2. walks the path with traceroute to localize the bad hop,
+//   3. inspects the suspect node's neighborhood,
+//   4. fixes the deployment by raising TX power on the affected pair,
+//   5. re-verifies with traceroute and multi-hop ping.
+#include <cstdio>
+#include <string>
+
+#include "testbed/testbed.hpp"
+
+using namespace liteview;
+
+namespace {
+
+void shell_cmd(lv::CommandInterpreter& shell, const std::string& line) {
+  std::printf("$%s\n%s\n", line.c_str(), shell.execute(line).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("LiteView deployment diagnosis — localizing a degraded link\n");
+  std::printf("==========================================================\n\n");
+
+  auto tb = testbed::Testbed::paper_line(7, 77);
+  tb->warm_up();
+
+  // The defect: the 4 <-> 5 link drops 95% of frames in both directions
+  // (a knocked-over antenna, in paper terms).
+  util::RngStream defect_rng(7, "example.defect");
+  const auto r4 = tb->node(3).mac().radio_id();
+  const auto r5 = tb->node(4).mac().radio_id();
+  tb->medium().set_drop_filter(
+      [&](phy::RadioId from, phy::RadioId to) {
+        const bool on_link = (from == r4 && to == r5) ||
+                             (from == r5 && to == r4);
+        return on_link && defect_rng.chance(0.95);
+      });
+
+  auto& shell = tb->shell();
+  shell.cd("192.168.0.1");
+
+  std::printf("step 1 — end-to-end probe from the head of the line:\n\n");
+  shell_cmd(shell, "ping 192.168.0.7 round=3 length=16 port=10");
+
+  std::printf(
+      "Losses end to end, but no location. step 2 — walk the path:\n\n");
+  shell_cmd(shell, "traceroute 192.168.0.7 round=1 length=32 port=10");
+
+  std::printf(
+      "The trace dies at the 192.168.0.4 -> 192.168.0.5 hop: reports\n"
+      "arrive for the first hops, then nothing from beyond node 4.\n"
+      "step 3 — inspect the suspect's neighborhood from up close:\n\n");
+  shell.cd("192.168.0.4");
+  shell_cmd(shell, "neighborsetup");
+  shell_cmd(shell, "list");
+  shell_cmd(shell, "exit");
+
+  std::printf(
+      "step 4 — remediate: raise TX power on the degraded pair\n"
+      "(the paper's deployment-tuning loop: adjust, observe, repeat):\n\n");
+  shell_cmd(shell, "power 31");
+  shell.cd("192.168.0.5");
+  shell_cmd(shell, "power 31");
+
+  // Physical stand-in for the fix helping: the extra ~10 dB of TX power
+  // lifts the damaged link back over the decoding threshold.
+  tb->medium().set_drop_filter(
+      [&](phy::RadioId from, phy::RadioId to) {
+        const bool on_link = (from == r4 && to == r5) ||
+                             (from == r5 && to == r4);
+        return on_link && defect_rng.chance(0.05);
+      });
+
+  std::printf("step 5 — re-verify from the head of the line:\n\n");
+  shell.cd("192.168.0.1");
+  shell_cmd(shell, "traceroute 192.168.0.7 round=1 length=32 port=10");
+  shell_cmd(shell, "ping 192.168.0.7 round=3 length=16 port=10");
+
+  std::printf("diagnosis complete.\n");
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Hotspot hunt — the paper's future-work teaser ("our preliminary user
+// experiences show that we can quickly identify traffic hotspots") made
+// runnable.
+//
+// A 3x4 grid runs a data-collection application: every node periodically
+// ships readings to node 1 over geographic forwarding, so traffic
+// funnels through the nodes near the sink. The operator uses LiteView's
+// ping queue readings ("Queue = x/y") and per-hop traceroute RTTs to
+// find where packets pile up — without touching the application.
+#include <cstdio>
+#include <vector>
+
+#include "testbed/passive_monitor.hpp"
+#include "testbed/testbed.hpp"
+
+using namespace liteview;
+
+namespace {
+
+constexpr net::Port kAppPort = 50;
+
+/// The deployed application: periodic sensor reports to the sink.
+class SensorApp {
+ public:
+  SensorApp(testbed::Testbed& tb, std::size_t node_idx, sim::SimTime period)
+      : tb_(tb), idx_(node_idx) {
+    tb_.node(idx_).stack().subscribe(
+        kAppPort, [](const net::NetPacket&, const net::LinkContext&) {
+          // sink consumes readings
+        });
+    auto& sim = tb_.sim();
+    util::RngStream phase(tb.config().seed, "app.phase");
+    sim.schedule_in(
+        sim::SimTime::ms(phase.uniform_int(0, period.nanoseconds() / 1000000)),
+        [this, period, &sim] {
+          tick();
+          timer_ = sim.schedule_every(period, [this] { tick(); });
+        });
+  }
+
+ private:
+  void tick() {
+    if (tb_.addr(idx_) == 1) return;  // the sink doesn't report
+    auto* geo = tb_.geographic(idx_);
+    if (geo == nullptr) return;
+    std::vector<std::uint8_t> reading(24, 0xda);
+    geo->send(1, kAppPort, std::move(reading));
+  }
+
+  testbed::Testbed& tb_;
+  std::size_t idx_;
+  sim::EventHandle timer_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("LiteView hotspot hunt — queue buildup near a collection sink\n");
+  std::printf("=============================================================\n\n");
+
+  auto tb = testbed::Testbed::paper_grid(3, 4, 555);
+  // A LiveNet-style passive monitor listens alongside the operator.
+  testbed::PassiveMonitor monitor(tb->medium());
+  tb->warm_up();
+
+  // Deploy the application: aggressive reporting funnels into node 1.
+  std::vector<std::unique_ptr<SensorApp>> apps;
+  for (std::size_t i = 0; i < tb->size(); ++i) {
+    apps.push_back(
+        std::make_unique<SensorApp>(*tb, i, sim::SimTime::ms(18)));
+  }
+  tb->sim().run_for(sim::SimTime::sec(3));  // let the funnel congest
+
+  // The operator walks the deployment pinging each node and reads the
+  // remote queue depth from the reply ("Queue = local/remote"). Probe
+  // losses and inflated RTTs are themselves congestion signals, so the
+  // hotspot score combines all three.
+  std::printf("%-16s %-12s %-10s %-10s\n", "node", "queue depth",
+              "ping RTT", "replied");
+  auto& ws = tb->workstation();
+  struct Score {
+    net::Addr addr;
+    double score;
+    std::string why;
+  };
+  std::vector<Score> scores;
+  for (std::size_t i = 1; i < tb->size(); ++i) {
+    // Walk next to the target's nearest deployed neighbor and probe the
+    // one-hop link from there.
+    const auto target = tb->addr(i);
+    std::size_t from = 0;
+    double best = 1e18;
+    for (std::size_t j = 0; j < tb->size(); ++j) {
+      if (j == i) continue;
+      const double d =
+          tb->node(j).position().distance_to(tb->node(i).position());
+      if (d < best) {
+        best = d;
+        from = j;
+      }
+    }
+    ws.move_near(tb->node(from).position());
+    const auto run = ws.ping(
+        tb->addr(from),
+        util::format("%s round=3 length=16",
+                     tb->book().name_of(target)->c_str()),
+        3);
+    int max_queue = -1;
+    double rtt_ms = 0;
+    int received = 0;
+    if (run.result) {
+      for (const auto& rd : run.result->rounds_data) {
+        if (!rd.received) continue;
+        ++received;
+        max_queue = std::max(max_queue, static_cast<int>(rd.queue_remote));
+        rtt_ms += rd.rtt_us / 1000.0;
+      }
+    }
+    if (received > 0) {
+      const double mean_rtt = rtt_ms / received;
+      std::printf("%-16s %-12d %-10s %d/3\n",
+                  tb->book().name_of(target)->c_str(), max_queue,
+                  util::format("%.1f ms", mean_rtt).c_str(), received);
+      scores.push_back(
+          Score{target, (3 - received) * 20.0 + max_queue * 10.0 + mean_rtt,
+                util::format("queue %d, RTT %.1f ms, %d/3 replies",
+                             max_queue, mean_rtt, received)});
+    } else {
+      std::printf("%-16s %-12s %-10s 0/3\n",
+                  tb->book().name_of(target)->c_str(), "-", "-");
+      scores.push_back(Score{target, 100.0, "all probes lost"});
+    }
+  }
+
+  // Rank the hotspots by combined congestion score.
+  std::sort(scores.begin(), scores.end(),
+            [](const Score& a, const Score& b) { return a.score > b.score; });
+  std::printf("\nhotspot ranking (congestion score = losses + queues + RTT):\n");
+  for (std::size_t i = 0; i < scores.size() && i < 4; ++i) {
+    std::printf("  %zu. %s (%s)\n", i + 1,
+                tb->book().name_of(scores[i].addr)->c_str(),
+                scores[i].why.c_str());
+  }
+  std::printf(
+      "\nThe funnel around the sink shows up as probe loss, queue depth\n"
+      "and RTT inflation — surfaced purely through LiteView's\n"
+      "application-independent probes, with the sensing app untouched.\n");
+
+  // Cross-check with the passive view: who actually relayed the most
+  // application frames during the same window?
+  std::printf("\npassive monitor's relay ranking (frames forwarded):\n");
+  const auto relays = monitor.relay_ranking();
+  for (std::size_t i = 0; i < relays.size() && i < 4; ++i) {
+    std::printf("  %zu. %s (%llu frames relayed)\n", i + 1,
+                tb->book().name_of(relays[i].first)->c_str(),
+                static_cast<unsigned long long>(relays[i].second));
+  }
+  std::printf(
+      "\nActive probing (LiteView) and passive listening (LiveNet-style)\n"
+      "point at the same funnel — two complementary lenses on one\n"
+      "deployment, as the paper's related-work section frames them.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Network health sweep — the "nightly check" a deployment operator runs
+// before leaving the site, built from LiteView's management commands
+// only (no application cooperation): per-node energy, stack statistics,
+// recent kernel events, and a spectrum survey to pick a quieter channel.
+#include <cstdio>
+#include <vector>
+
+#include "testbed/testbed.hpp"
+
+using namespace liteview;
+
+int main() {
+  std::printf("LiteView network health sweep — 6-node deployment\n");
+  std::printf("==================================================\n\n");
+
+  auto tb = testbed::Testbed::paper_line(6, 2222);
+  tb->warm_up();
+  // Let the deployment live a little so the counters mean something.
+  (void)tb->workstation().traceroute(1,
+                                     "192.168.0.6 round=1 length=32 port=10");
+  tb->sim().run_for(sim::SimTime::sec(20));
+
+  auto& ws = tb->workstation();
+
+  std::printf("%-14s %-9s %-11s %-13s %-12s %-10s\n", "node", "nbrs",
+              "TX (mJ)", "listen (mJ)", "mac-drops", "log events");
+  for (std::size_t i = 0; i < tb->size(); ++i) {
+    const auto addr = tb->addr(i);
+    ws.move_near(tb->node(i).position());
+
+    const auto nbrs = ws.nbr_list(addr, false);
+    const auto energy = ws.energy(addr);
+    const auto stats = ws.netstat(addr);
+    const auto log = ws.fetch_log(addr);
+    if (!nbrs || !energy || !stats || !log) {
+      std::printf("%-14s unreachable\n",
+                  tb->book().name_of(addr)->c_str());
+      continue;
+    }
+    std::printf("%-14s %-9zu %-11.2f %-13.0f %-12u %-10u\n",
+                tb->book().name_of(addr)->c_str(), nbrs->entries.size(),
+                energy->tx_uj / 1000.0, energy->listen_uj / 1000.0,
+                stats->mac_dropped_queue_full +
+                    stats->mac_dropped_channel_busy,
+                log->total);
+  }
+
+  // Spectrum survey from the head of the line: is our channel clean?
+  ws.move_near(tb->node(0).position());
+  std::printf("\nspectrum survey at 192.168.0.1 (20 ms dwell/channel):\n");
+  if (const auto scan = ws.scan(1, 20)) {
+    int best_ch = 0, best_rssi = 127;
+    for (const auto& e : scan->entries) {
+      std::printf("  ch %-3u %4d%s\n", e.channel, e.rssi,
+                  e.channel == 17 ? "   <- home channel" : "");
+      if (e.rssi < best_rssi) {
+        best_rssi = e.rssi;
+        best_ch = e.channel;
+      }
+    }
+    std::printf("\nquietest channel: %d — a candidate for `channel %d` on\n"
+                "every node if the home channel ever degrades.\n",
+                best_ch, best_ch);
+  } else {
+    std::printf("  scan failed\n");
+  }
+
+  std::printf(
+      "\nAll of the above was collected through the management plane —\n"
+      "the deployed application never changed and never cooperated.\n");
+  return 0;
+}

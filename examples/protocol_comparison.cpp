@@ -1,0 +1,84 @@
+// Protocol comparison — the paper's protocol-independence design goal in
+// action (Sec. IV-A1): "users may install each protocol sequentially,
+// and measure the protocol performance" with the *same* management
+// commands, switching only the port number at runtime.
+//
+// Three protocols co-exist on every node of a 3x3 grid: geographic
+// forwarding (port 10), flooding (port 11) and a collection tree rooted
+// at node 1 (port 12). The same multi-hop ping probes node 1 from the
+// far corner over each of them; the example prints delivery, RTT and the
+// radio packets each protocol spent.
+#include <cstdio>
+
+#include "testbed/testbed.hpp"
+
+using namespace liteview;
+
+int main() {
+  std::printf("LiteView protocol comparison — one ping, three protocols\n");
+  std::printf("========================================================\n\n");
+
+  testbed::TestbedConfig cfg = testbed::Testbed::paper_config(4242);
+  cfg.with_flooding = true;
+  cfg.with_tree = true;
+  cfg.tree_root = 1;
+  auto tb = testbed::Testbed::surveyed_grid(3, 3, cfg);
+  tb->warm_up();
+  tb->sim().run_for(sim::SimTime::sec(4));  // let the tree converge
+
+  // Hush beacons so the packet counts below are pure command cost.
+  for (std::size_t i = 0; i < tb->size(); ++i) {
+    tb->node(i).set_beacon_period(sim::SimTime::sec(120));
+  }
+  tb->sim().run_for(sim::SimTime::sec(1));
+
+  struct Entry {
+    const char* name;
+    net::Port port;
+  };
+  const Entry protocols[] = {
+      {"geographic forwarding", net::kPortGeographic},
+      {"flooding", net::kPortFlooding},
+      {"tree routing", net::kPortTree},
+  };
+
+  std::printf("%-24s %-10s %-10s %-10s %-8s\n", "protocol", "port",
+              "delivered", "RTT (ms)", "packets");
+  for (const auto& proto : protocols) {
+    lv::PingParams p;
+    p.dst = 1;  // tree root, so all three protocols have a route
+    p.rounds = 3;
+    p.length = 16;
+    p.routing_port = proto.port;
+    p.round_timeout = sim::SimTime::ms(1'500);
+
+    tb->accounting().reset();
+    int received = 0;
+    double rtt_total = 0;
+    bool done = false;
+    tb->suite(8).ping().run(p, [&](const lv::PingResultMsg& r) {
+      for (const auto& rd : r.rounds_data) {
+        if (rd.received) {
+          ++received;
+          rtt_total += rd.rtt_us / 1000.0;
+        }
+      }
+      done = true;
+    });
+    tb->sim().run_for(sim::SimTime::sec(8));
+
+    const auto pkts = tb->accounting().for_port(net::kPortPing).packets;
+    std::printf("%-24s %-10u %d/%-8d %-10.1f %-8llu%s\n", proto.name,
+                proto.port, received, 3,
+                received ? rtt_total / received : 0.0,
+                static_cast<unsigned long long>(pkts),
+                done ? "" : "  (timed out)");
+  }
+
+  std::printf(
+      "\nNo command was rebuilt between rows — the routing protocol is an\n"
+      "ordinary process addressed by its port, exactly the paper's design.\n"
+      "Flooding needs no routes but pays a rebroadcast per node; the tree\n"
+      "and geographic forwarding spend only per-hop packets.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "kernel/event_log.hpp"
+
+namespace liteview::kernel {
+
+std::string_view to_string(EventCode code) noexcept {
+  switch (code) {
+    case EventCode::kBoot: return "boot";
+    case EventCode::kPowerChanged: return "power-changed";
+    case EventCode::kChannelChanged: return "channel-changed";
+    case EventCode::kNeighborAdded: return "neighbor-added";
+    case EventCode::kNeighborExpired: return "neighbor-expired";
+    case EventCode::kBlacklistAdded: return "blacklist-added";
+    case EventCode::kBlacklistRemoved: return "blacklist-removed";
+    case EventCode::kBeaconPeriodChanged: return "beacon-period-changed";
+    case EventCode::kRouteDropNoRoute: return "route-drop-no-route";
+    case EventCode::kRouteDropTtl: return "route-drop-ttl";
+    case EventCode::kCommandExecuted: return "command-executed";
+    case EventCode::kQueueOverflow: return "queue-overflow";
+  }
+  return "unknown";
+}
+
+}  // namespace liteview::kernel

@@ -1,0 +1,80 @@
+// Kernel event log.
+//
+// The paper integrates LiteView with LiteOS's "support for understanding
+// system dynamics based on on-demand logging of internal events"
+// (Sec. I). This is that substrate: a mote-sized ring buffer of coded
+// events that kernel services and protocols append to, and that the
+// runtime controller ships to the workstation on demand (the `log`
+// shell command).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace liteview::kernel {
+
+enum class EventCode : std::uint16_t {
+  kBoot = 1,
+  kPowerChanged = 2,       ///< arg: new PA level
+  kChannelChanged = 3,     ///< arg: new channel
+  kNeighborAdded = 4,      ///< arg: neighbor address
+  kNeighborExpired = 5,    ///< arg: neighbor address
+  kBlacklistAdded = 6,     ///< arg: neighbor address
+  kBlacklistRemoved = 7,   ///< arg: neighbor address
+  kBeaconPeriodChanged = 8,  ///< arg: new period, ms
+  kRouteDropNoRoute = 9,   ///< arg: destination address
+  kRouteDropTtl = 10,      ///< arg: destination address
+  kCommandExecuted = 11,   ///< arg: management message type
+  kQueueOverflow = 12,     ///< arg: dropped packet's destination
+};
+
+[[nodiscard]] std::string_view to_string(EventCode code) noexcept;
+
+struct Event {
+  sim::SimTime time;
+  EventCode code{};
+  std::uint32_t arg = 0;
+};
+
+/// Fixed-capacity ring of recent events; old entries are overwritten,
+/// like a real mote's RAM log. A monotonically growing sequence number
+/// tells readers how much history was lost.
+class EventLog {
+ public:
+  static constexpr std::size_t kCapacity = 64;
+
+  void append(EventCode code, std::uint32_t arg, sim::SimTime now) {
+    ring_[next_ % kCapacity] = Event{now, code, arg};
+    ++next_;
+  }
+
+  /// Events still in the ring, oldest first.
+  [[nodiscard]] std::vector<Event> snapshot() const {
+    std::vector<Event> out;
+    const std::uint64_t start = next_ > kCapacity ? next_ - kCapacity : 0;
+    out.reserve(static_cast<std::size_t>(next_ - start));
+    for (std::uint64_t i = start; i < next_; ++i) {
+      out.push_back(ring_[i % kCapacity]);
+    }
+    return out;
+  }
+
+  /// Total events ever appended (snapshot().size() once > capacity
+  /// events have been dropped).
+  [[nodiscard]] std::uint64_t total() const noexcept { return next_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return next_ > kCapacity ? next_ - kCapacity : 0;
+  }
+
+  void clear() noexcept { next_ = 0; }
+
+ private:
+  std::array<Event, kCapacity> ring_{};
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace liteview::kernel

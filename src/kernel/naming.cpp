@@ -1,0 +1,46 @@
+#include "kernel/naming.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace liteview::kernel {
+
+std::string ip_style_name(std::uint16_t host) {
+  return util::format("192.168.%u.%u", host / 256, host % 256);
+}
+
+bool AddressBook::add(std::string_view name, net::Addr addr) {
+  const std::string key(name);
+  if (by_name_.contains(key) || by_addr_.contains(addr)) return false;
+  by_name_.emplace(key, addr);
+  by_addr_.emplace(addr, key);
+  return true;
+}
+
+std::optional<net::Addr> AddressBook::resolve(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> AddressBook::name_of(net::Addr addr) const {
+  const auto it = by_addr_.find(addr);
+  if (it == by_addr_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string AddressBook::path_of(net::Addr addr) const {
+  const auto name = name_of(addr);
+  return "/" + network_ + "/" + (name ? *name : util::format("node%u", addr));
+}
+
+std::vector<net::Addr> AddressBook::all_addresses() const {
+  std::vector<net::Addr> out;
+  out.reserve(by_addr_.size());
+  for (const auto& [addr, _] : by_addr_) out.push_back(addr);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace liteview::kernel

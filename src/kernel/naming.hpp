@@ -1,0 +1,50 @@
+// Node naming, LiteOS-style.
+//
+// LiteOS mounts each node under a hierarchical path, e.g. the paper's
+// shell shows `pwd` → `/sn01/192.168.0.1`: network "sn01", node named
+// with IP conventions. The AddressBook maps human names to short radio
+// addresses and back; it is deployment configuration (flashed at install
+// time), not a network service.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace liteview::kernel {
+
+/// Format "192.168.0.<n>" names the way the paper's testbed does.
+[[nodiscard]] std::string ip_style_name(std::uint16_t host);
+
+class AddressBook {
+ public:
+  explicit AddressBook(std::string network = "sn01")
+      : network_(std::move(network)) {}
+
+  /// Register a (name, address) pair; returns false on duplicates.
+  bool add(std::string_view name, net::Addr addr);
+
+  [[nodiscard]] std::optional<net::Addr> resolve(std::string_view name) const;
+  [[nodiscard]] std::optional<std::string> name_of(net::Addr addr) const;
+
+  /// "/sn01/192.168.0.1"
+  [[nodiscard]] std::string path_of(net::Addr addr) const;
+
+  [[nodiscard]] const std::string& network() const noexcept {
+    return network_;
+  }
+  [[nodiscard]] std::vector<net::Addr> all_addresses() const;
+  [[nodiscard]] std::size_t size() const noexcept { return by_name_.size(); }
+
+ private:
+  std::string network_;
+  std::unordered_map<std::string, net::Addr> by_name_;
+  std::unordered_map<net::Addr, std::string> by_addr_;
+};
+
+}  // namespace liteview::kernel

@@ -1,0 +1,103 @@
+#include "kernel/neighbor_table.hpp"
+
+#include <algorithm>
+
+namespace liteview::kernel {
+
+NeighborEntry* NeighborTable::find_mut(net::Addr addr) {
+  for (auto& e : entries_) {
+    if (e.addr == addr) return &e;
+  }
+  return nullptr;
+}
+
+const NeighborEntry* NeighborTable::find(net::Addr addr) const {
+  for (const auto& e : entries_) {
+    if (e.addr == addr) return &e;
+  }
+  return nullptr;
+}
+
+void NeighborTable::observe(net::Addr addr, std::string_view name,
+                            phy::Position pos, const phy::RxInfo& rx,
+                            sim::SimTime now) {
+  if (NeighborEntry* e = find_mut(addr)) {
+    const double a = cfg_.ewma_alpha;
+    e->lqi_ewma = (1.0 - a) * e->lqi_ewma + a * static_cast<double>(rx.lqi);
+    e->rssi_ewma =
+        (1.0 - a) * e->rssi_ewma + a * static_cast<double>(rx.rssi_reg);
+    e->last_seen = now;
+    e->pos = pos;
+    if (!name.empty()) e->name = name;
+    ++e->beacons;
+    return;
+  }
+  if (rx.lqi < cfg_.min_lqi) return;  // admission gate for new links
+  if (entries_.size() >= cfg_.capacity) {
+    // Evict the stalest entry — but never a blacklisted one, because the
+    // blacklist is an explicit operator decision that must persist.
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->blacklisted) continue;
+      if (victim == entries_.end() || it->last_seen < victim->last_seen)
+        victim = it;
+    }
+    if (victim == entries_.end()) return;  // table pinned by blacklists
+    entries_.erase(victim);
+  }
+  NeighborEntry e;
+  e.addr = addr;
+  e.name = std::string(name);
+  e.pos = pos;
+  e.lqi_ewma = static_cast<double>(rx.lqi);
+  e.rssi_ewma = static_cast<double>(rx.rssi_reg);
+  e.last_seen = now;
+  e.beacons = 1;
+  entries_.push_back(std::move(e));
+}
+
+void NeighborTable::record_outgoing(net::Addr addr, std::uint8_t lqi,
+                                    sim::SimTime now) {
+  if (NeighborEntry* e = find_mut(addr)) {
+    if (e->lqi_out < 0) {
+      e->lqi_out = static_cast<double>(lqi);
+    } else {
+      e->lqi_out = (1.0 - cfg_.ewma_alpha) * e->lqi_out +
+                   cfg_.ewma_alpha * static_cast<double>(lqi);
+    }
+    e->last_seen = now;
+  }
+}
+
+void NeighborTable::expire(sim::SimTime now) {
+  std::erase_if(entries_, [&](const NeighborEntry& e) {
+    return !e.blacklisted && now - e.last_seen > cfg_.max_age;
+  });
+}
+
+bool NeighborTable::set_blacklisted(net::Addr addr, bool value) {
+  if (NeighborEntry* e = find_mut(addr)) {
+    e->blacklisted = value;
+    return true;
+  }
+  return false;
+}
+
+bool NeighborTable::usable(net::Addr addr) const {
+  const NeighborEntry* e = find(addr);
+  return e != nullptr && !e->blacklisted;
+}
+
+std::vector<NeighborEntry> NeighborTable::usable_entries() const {
+  std::vector<NeighborEntry> out;
+  for (const auto& e : entries_) {
+    if (!e.blacklisted) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NeighborEntry& a, const NeighborEntry& b) {
+              return a.addr < b.addr;
+            });
+  return out;
+}
+
+}  // namespace liteview::kernel

@@ -1,0 +1,99 @@
+// Kernel-maintained neighbor table (paper Sec. III-B2, IV-C2).
+//
+// The paper moves neighbor management *into the kernel* so that multiple
+// protocols share one table instead of each keeping its own. Entries are
+// built from periodic broadcast beacons and carry EWMA link quality. Each
+// entry has an "enabled" field; LiteView's blacklist command flips it, and
+// routing protocols consult `usable()` when constructing routes — which
+// is exactly how the paper says the blacklist "temporarily modifies the
+// behavior of communication protocols".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "phy/medium.hpp"
+#include "sim/time.hpp"
+
+namespace liteview::kernel {
+
+struct NeighborEntry {
+  net::Addr addr = 0;
+  std::string name;
+  phy::Position pos;          ///< advertised in beacons (for geo routing)
+  double lqi_ewma = 0.0;      ///< incoming link quality (what we hear)
+  double rssi_ewma = -127.0;  ///< RSSI register units
+  /// Outgoing link quality: the LQI at which this neighbor reports
+  /// hearing *us*, learned from the neighbor-list digest piggybacked on
+  /// its beacons. Negative until the first report — links are treated as
+  /// unidirectional (unsafe to relay through) until confirmed, which is
+  /// what defuses the asymmetric-link trap the paper's Fig. 6 motivates.
+  double lqi_out = -1.0;
+  sim::SimTime last_seen;
+  std::uint32_t beacons = 0;
+  bool blacklisted = false;
+
+  [[nodiscard]] bool bidirectional() const noexcept { return lqi_out >= 0; }
+};
+
+struct NeighborTableConfig {
+  /// Mote RAM is tiny (4 KB on MicaZ); cap the table like the real kernel.
+  std::size_t capacity = 16;
+  /// Entries not refreshed within this window are evicted.
+  sim::SimTime max_age = sim::SimTime::sec(30);
+  /// EWMA smoothing factor for LQI/RSSI (weight of the new sample).
+  double ewma_alpha = 0.3;
+  /// Admission gate: beacons with LQI below this never create an entry
+  /// (existing entries still update, so quality dips don't evict). Keeps
+  /// barely-alive fringe links out of routing, MintRoute-style. 0 = off.
+  std::uint8_t min_lqi = 0;
+};
+
+class NeighborTable {
+ public:
+  explicit NeighborTable(const NeighborTableConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Record a beacon (or any overheard packet used for link estimation).
+  /// Evicts the stalest entry when at capacity and the sender is new.
+  void observe(net::Addr addr, std::string_view name, phy::Position pos,
+               const phy::RxInfo& rx, sim::SimTime now);
+
+  /// Record that `addr` reports hearing us at `lqi` (from its beacon's
+  /// neighbor digest); updates the entry's outgoing-quality estimate.
+  void record_outgoing(net::Addr addr, std::uint8_t lqi, sim::SimTime now);
+
+  /// Drop entries older than max_age relative to `now`.
+  void expire(sim::SimTime now);
+
+  [[nodiscard]] const NeighborEntry* find(net::Addr addr) const;
+
+  /// Set/clear the blacklist flag; false when the neighbor is unknown.
+  bool set_blacklisted(net::Addr addr, bool value);
+
+  /// Known, fresh enough, and not blacklisted — eligible as a next hop.
+  [[nodiscard]] bool usable(net::Addr addr) const;
+
+  [[nodiscard]] const std::vector<NeighborEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const NeighborTableConfig& config() const noexcept {
+    return cfg_;
+  }
+
+  /// Entries currently usable (not blacklisted), sorted by address.
+  [[nodiscard]] std::vector<NeighborEntry> usable_entries() const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  NeighborEntry* find_mut(net::Addr addr);
+
+  NeighborTableConfig cfg_;
+  std::vector<NeighborEntry> entries_;
+};
+
+}  // namespace liteview::kernel

@@ -1,0 +1,176 @@
+#include "kernel/node.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/bytes.hpp"
+
+namespace liteview::kernel {
+namespace {
+
+/// Beacon payload: name (str8) + centimeter fixed-point position + a
+/// digest of the sender's neighbor table: (addr, incoming LQI) pairs.
+/// Receivers that find themselves in the digest learn the quality of
+/// their *outgoing* link — the bidirectional exchange that keeps
+/// asymmetric links out of routing (MintRoute-style).
+constexpr std::size_t kMaxDigestEntries = 12;
+
+std::vector<std::uint8_t> encode_beacon(const std::string& name,
+                                        phy::Position pos,
+                                        const NeighborTable& table) {
+  util::ByteWriter w;
+  w.str8(name);
+  w.u32(static_cast<std::uint32_t>(std::lround(pos.x * 100.0)));
+  w.u32(static_cast<std::uint32_t>(std::lround(pos.y * 100.0)));
+  const auto& entries = table.entries();
+  const auto n = std::min(entries.size(), kMaxDigestEntries);
+  w.u8(static_cast<std::uint8_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    w.u16(entries[i].addr);
+    w.u8(static_cast<std::uint8_t>(entries[i].lqi_ewma + 0.5));
+  }
+  return std::move(w).take();
+}
+
+struct Beacon {
+  std::string name;
+  phy::Position pos;
+  struct DigestEntry {
+    net::Addr addr;
+    std::uint8_t lqi;
+  };
+  std::vector<DigestEntry> digest;
+};
+
+std::optional<Beacon> decode_beacon(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  Beacon b;
+  b.name = r.str8();
+  b.pos.x = static_cast<double>(r.u32()) / 100.0;
+  b.pos.y = static_cast<double>(r.u32()) / 100.0;
+  const std::uint8_t n = r.u8();
+  for (std::uint8_t i = 0; i < n; ++i) {
+    Beacon::DigestEntry e;
+    e.addr = r.u16();
+    e.lqi = r.u8();
+    b.digest.push_back(e);
+  }
+  if (!r.ok()) return std::nullopt;
+  return b;
+}
+
+}  // namespace
+
+Node::Node(sim::Simulator& sim, phy::Medium& medium, const NodeConfig& cfg)
+    : sim_(sim),
+      cfg_(cfg),
+      mac_(std::make_unique<mac::CsmaMac>(sim, medium, cfg.address,
+                                          cfg.position, cfg.mac)),
+      stack_(std::make_unique<net::CommStack>(sim, *mac_)),
+      table_(cfg.neighbors),
+      beacon_rng_(sim.rng_root().stream("kernel.beacon", cfg.address)) {
+  stack_->subscribe(net::kPortBeacon,
+                    [this](const net::NetPacket& pkt,
+                           const net::LinkContext& ctx) { on_beacon(pkt, ctx); });
+  log_event(EventCode::kBoot, cfg_.address);
+  if (cfg_.beaconing) schedule_beacons();
+}
+
+Node::~Node() = default;
+
+void Node::set_channel(phy::Channel ch) {
+  assert(ch >= phy::kMinChannel && ch <= phy::kMaxChannel);
+  mac_->set_channel(ch);
+  log_event(EventCode::kChannelChanged, ch);
+}
+
+void Node::send_beacon() {
+  net::NetPacket pkt;
+  pkt.src = cfg_.address;
+  pkt.dst = net::kBroadcast;
+  pkt.port = net::kPortBeacon;
+  pkt.ttl = 1;
+  pkt.payload = encode_beacon(cfg_.name, cfg_.position, table_);
+  stack_->send_link(net::kBroadcast, pkt);
+}
+
+void Node::schedule_beacons() {
+  beacon_timer_.cancel();
+  // Random initial phase, and ±10% fresh jitter on every round: two
+  // hidden nodes whose beacons collide at a common neighbor must not
+  // keep colliding forever (fixed-phase beacons do exactly that).
+  const auto phase = sim::SimTime::ns(static_cast<std::int64_t>(
+      beacon_rng_.uniform() *
+      static_cast<double>(cfg_.beacon_period.nanoseconds())));
+  beacon_timer_ = sim_.schedule_in(phase, [this] { beacon_round(); });
+}
+
+void Node::beacon_round() {
+  send_beacon();
+  const std::size_t before = table_.size();
+  table_.expire(sim_.now());
+  if (table_.size() < before) {
+    log_event(EventCode::kNeighborExpired,
+              static_cast<std::uint32_t>(before - table_.size()));
+  }
+  const double jitter = beacon_rng_.uniform(0.9, 1.1);
+  const auto next = sim::SimTime::ns(static_cast<std::int64_t>(
+      jitter * static_cast<double>(cfg_.beacon_period.nanoseconds())));
+  beacon_timer_ = sim_.schedule_in(next, [this] { beacon_round(); });
+}
+
+void Node::set_beacon_period(sim::SimTime period) {
+  assert(period > sim::SimTime::zero());
+  cfg_.beacon_period = period;
+  log_event(EventCode::kBeaconPeriodChanged,
+            static_cast<std::uint32_t>(period.milliseconds()));
+  if (cfg_.beaconing) schedule_beacons();
+}
+
+void Node::on_beacon(const net::NetPacket& pkt, const net::LinkContext& ctx) {
+  if (ctx.local || pkt.src == cfg_.address) return;
+  const auto beacon = decode_beacon(pkt.payload);
+  if (!beacon) return;
+  const bool was_known = table_.find(pkt.src) != nullptr;
+  table_.observe(pkt.src, beacon->name, beacon->pos, ctx.rx, sim_.now());
+  if (!was_known && table_.find(pkt.src) != nullptr) {
+    log_event(EventCode::kNeighborAdded, pkt.src);
+  }
+  // If the sender hears us, its digest tells us our outgoing quality.
+  for (const auto& d : beacon->digest) {
+    if (d.addr == cfg_.address) {
+      table_.record_outgoing(pkt.src, d.lqi, sim_.now());
+      break;
+    }
+  }
+}
+
+void Node::register_process(Process* p) {
+  assert(p != nullptr);
+  processes_.push_back(p);
+}
+
+void Node::unregister_process(Process* p) {
+  std::erase(processes_, p);
+}
+
+Process* Node::find_process(std::string_view name) const {
+  for (Process* p : processes_) {
+    if (p->name() == name) return p;
+  }
+  return nullptr;
+}
+
+void Node::set_location_hint(net::Addr addr, phy::Position pos) {
+  location_hints_[addr] = pos;
+}
+
+std::optional<phy::Position> Node::locate(net::Addr addr) const {
+  if (addr == cfg_.address) return cfg_.position;
+  if (const NeighborEntry* e = table_.find(addr)) return e->pos;
+  const auto it = location_hints_.find(addr);
+  if (it != location_hints_.end()) return it->second;
+  return std::nullopt;
+}
+
+}  // namespace liteview::kernel

@@ -1,0 +1,157 @@
+// A sensor node: kernel services over the MAC + port stack.
+//
+// Owns the radio (CSMA MAC), the subscription-based communication stack,
+// the kernel neighbor table with its beacon service, the process registry
+// and the parameter-passing buffer. LiteView's runtime controller and the
+// routing protocols are processes running against this surface; they
+// never reach below it, matching the paper's layering.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/event_log.hpp"
+#include "kernel/naming.hpp"
+#include "kernel/neighbor_table.hpp"
+#include "kernel/process.hpp"
+#include "mac/csma.hpp"
+#include "net/stack.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace liteview::kernel {
+
+struct NodeConfig {
+  net::Addr address = 0;
+  std::string name;                 ///< e.g. "192.168.0.1"
+  phy::Position position;
+  mac::MacConfig mac;
+  NeighborTableConfig neighbors;
+  /// Beacon exchange period; the `update` command changes it at runtime.
+  sim::SimTime beacon_period = sim::SimTime::sec(2);
+  bool beaconing = true;
+};
+
+class Node {
+ public:
+  Node(sim::Simulator& sim, phy::Medium& medium, const NodeConfig& cfg);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // ---- identity -------------------------------------------------------
+  [[nodiscard]] net::Addr address() const noexcept { return cfg_.address; }
+  [[nodiscard]] const std::string& name() const noexcept { return cfg_.name; }
+  [[nodiscard]] phy::Position position() const noexcept {
+    return cfg_.position;
+  }
+  /// Relocate the node (deployment adjustment / mobile workstation).
+  void set_position(phy::Position pos) {
+    cfg_.position = pos;
+    mac_->set_position(pos);
+  }
+
+  // ---- layers ---------------------------------------------------------
+  [[nodiscard]] mac::CsmaMac& mac() noexcept { return *mac_; }
+  [[nodiscard]] net::CommStack& stack() noexcept { return *stack_; }
+  [[nodiscard]] NeighborTable& neighbors() noexcept { return table_; }
+  [[nodiscard]] const NeighborTable& neighbors() const noexcept {
+    return table_;
+  }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+  // ---- syscalls -------------------------------------------------------
+  /// High-resolution timestamp (the ping command's cycle-accurate timer).
+  [[nodiscard]] std::int64_t timestamp_ns() const {
+    return sim_.now().nanoseconds();
+  }
+
+  /// Kernel parameter buffer (Sec. IV-C4). An empty string models the
+  /// "\0"-initial buffer of a parameterless process start.
+  void set_param_buffer(std::string params) {
+    param_buffer_ = std::move(params);
+  }
+  [[nodiscard]] const std::string& param_buffer() const noexcept {
+    return param_buffer_;
+  }
+
+  /// Kernel event log (LiteOS's on-demand event logging service).
+  [[nodiscard]] EventLog& event_log() noexcept { return event_log_; }
+  [[nodiscard]] const EventLog& event_log() const noexcept {
+    return event_log_;
+  }
+  void log_event(EventCode code, std::uint32_t arg = 0) {
+    event_log_.append(code, arg, sim_.now());
+  }
+
+  /// Radio energy accounting (TX airtime + always-on listening).
+  [[nodiscard]] double energy_tx_mj() const {
+    return mac_->energy().tx_mj();
+  }
+  [[nodiscard]] double energy_listen_mj() const {
+    return mac_->energy().listen_mj(mac_->energy_since(), sim_.now());
+  }
+  [[nodiscard]] double energy_total_mj() const {
+    return energy_tx_mj() + energy_listen_mj();
+  }
+
+  /// Radio configuration syscalls (paper Sec. III-B1).
+  void set_pa_level(phy::PaLevel level) {
+    mac_->set_pa_level(level);
+    log_event(EventCode::kPowerChanged, level);
+  }
+  [[nodiscard]] phy::PaLevel pa_level() const { return mac_->pa_level(); }
+  void set_channel(phy::Channel ch);
+  [[nodiscard]] phy::Channel channel() const { return mac_->channel(); }
+
+  // ---- beacon service -------------------------------------------------
+  /// Change the beacon period at runtime (the `update` command).
+  void set_beacon_period(sim::SimTime period);
+  [[nodiscard]] sim::SimTime beacon_period() const noexcept {
+    return cfg_.beacon_period;
+  }
+  /// Broadcast one beacon immediately (used at boot for fast discovery).
+  void send_beacon();
+
+  // ---- process registry -----------------------------------------------
+  void register_process(Process* p);
+  void unregister_process(Process* p);
+  [[nodiscard]] Process* find_process(std::string_view name) const;
+  [[nodiscard]] const std::vector<Process*>& processes() const noexcept {
+    return processes_;
+  }
+
+  /// Shared deployment address book (set by the testbed); may be null.
+  void set_address_book(const AddressBook* book) noexcept { book_ = book; }
+  [[nodiscard]] const AddressBook* address_book() const noexcept {
+    return book_;
+  }
+
+  /// Position lookup for geographic routing: consults the local beacon
+  /// table first, then the deployment survey (address book side table).
+  void set_location_hint(net::Addr addr, phy::Position pos);
+  [[nodiscard]] std::optional<phy::Position> locate(net::Addr addr) const;
+
+ private:
+  void on_beacon(const net::NetPacket& pkt, const net::LinkContext& ctx);
+  void schedule_beacons();
+  void beacon_round();
+
+  sim::Simulator& sim_;
+  NodeConfig cfg_;
+  std::unique_ptr<mac::CsmaMac> mac_;
+  std::unique_ptr<net::CommStack> stack_;
+  NeighborTable table_;
+  std::string param_buffer_;
+  std::vector<Process*> processes_;
+  const AddressBook* book_ = nullptr;
+  std::unordered_map<net::Addr, phy::Position> location_hints_;
+  EventLog event_log_;
+  util::RngStream beacon_rng_;
+  sim::EventHandle beacon_timer_;
+};
+
+}  // namespace liteview::kernel

@@ -1,0 +1,16 @@
+#include "kernel/process.hpp"
+
+#include "kernel/node.hpp"
+
+namespace liteview::kernel {
+
+Process::Process(Node& node, std::string name, Footprint footprint)
+    : node_(node), name_(std::move(name)), footprint_(footprint) {
+  node_.register_process(this);
+}
+
+Process::~Process() { node_.unregister_process(this); }
+
+void Process::stop() { set_running(false); }
+
+}  // namespace liteview::kernel

@@ -1,0 +1,575 @@
+#include "liteview/interpreter.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace liteview::lv {
+namespace {
+
+kernel::NodeConfig workstation_node_config(const WorkstationConfig& cfg) {
+  kernel::NodeConfig nc;
+  nc.address = cfg.address;
+  nc.name = cfg.name;
+  nc.position = cfg.position;
+  nc.mac = cfg.mac;
+  // The base station doesn't advertise itself into neighbor tables.
+  nc.beaconing = false;
+  return nc;
+}
+
+}  // namespace
+
+Workstation::Workstation(sim::Simulator& sim, phy::Medium& medium,
+                         const kernel::AddressBook& book,
+                         const WorkstationConfig& cfg)
+    : sim_(sim),
+      book_(book),
+      cfg_(cfg),
+      node_(sim, medium, workstation_node_config(cfg)),
+      endpoint_(node_, cfg.reliable) {
+  node_.set_address_book(&book_);
+  endpoint_.set_handler([this](net::Addr, const std::vector<std::uint8_t>& m,
+                               bool) {
+    const auto msg = decode_mgmt(m);
+    if (!msg) return;
+    inbox_.push_back(Collected{msg->type, msg->body, sim_.now()});
+  });
+}
+
+void Workstation::move_near(phy::Position node_pos) {
+  // Stand ~1 m from the mote: a solid one-hop link at any power level.
+  node_.set_position(phy::Position{node_pos.x + 1.0, node_pos.y + 0.5});
+}
+
+std::optional<std::vector<std::uint8_t>> Workstation::request(
+    net::Addr node, MsgType req, std::vector<std::uint8_t> body,
+    MsgType expected, sim::SimTime budget) {
+  inbox_.clear();
+  endpoint_.send_message(node, encode_mgmt(req, body));
+  // The fixed response window (paper Sec. V-A): wait it out in full.
+  sim_.run_for(budget);
+  for (const auto& c : inbox_) {
+    if (c.type == expected) return c.body;
+    if (c.type == MsgType::kStatus && expected != MsgType::kStatus) {
+      // A node that rejected the command answers with an error status.
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<RadioConfig> Workstation::radio_get(net::Addr node) {
+  const auto body = request(node, MsgType::kRadioGetConfig, {},
+                            MsgType::kRadioConfig, cfg_.response_budget);
+  if (!body) return std::nullopt;
+  return decode_radio_config(*body);
+}
+
+std::optional<Status> Workstation::radio_set_power(net::Addr node,
+                                                   std::uint8_t level) {
+  const auto body =
+      request(node, MsgType::kRadioSetPower, encode_body(RadioSetPower{level}),
+              MsgType::kStatus, cfg_.response_budget);
+  if (!body) return std::nullopt;
+  return decode_status(*body);
+}
+
+std::optional<Status> Workstation::radio_set_channel(net::Addr node,
+                                                     std::uint8_t channel) {
+  const auto body = request(node, MsgType::kRadioSetChannel,
+                            encode_body(RadioSetChannel{channel}),
+                            MsgType::kStatus, cfg_.response_budget);
+  if (!body) return std::nullopt;
+  return decode_status(*body);
+}
+
+std::optional<NbrTableMsg> Workstation::nbr_list(net::Addr node,
+                                                 bool with_link_info) {
+  const auto body =
+      request(node, MsgType::kNbrList, encode_body(NbrList{with_link_info}),
+              MsgType::kNbrTable, cfg_.response_budget);
+  if (!body) return std::nullopt;
+  return decode_nbr_table(*body);
+}
+
+std::optional<Status> Workstation::blacklist(net::Addr node, net::Addr target,
+                                             bool add) {
+  const auto body = request(
+      node,
+      add ? MsgType::kNbrBlacklistAdd : MsgType::kNbrBlacklistRemove,
+      encode_body(NbrBlacklist{target}), MsgType::kStatus,
+      cfg_.response_budget);
+  if (!body) return std::nullopt;
+  return decode_status(*body);
+}
+
+std::optional<Status> Workstation::nbr_update(net::Addr node,
+                                              std::uint32_t period_ms) {
+  const auto body =
+      request(node, MsgType::kNbrUpdate, encode_body(NbrUpdate{period_ms}),
+              MsgType::kStatus, cfg_.response_budget);
+  if (!body) return std::nullopt;
+  return decode_status(*body);
+}
+
+std::optional<ProcessListMsg> Workstation::ps(net::Addr node) {
+  const auto body = request(node, MsgType::kListProcesses, {},
+                            MsgType::kProcessList, cfg_.response_budget);
+  if (!body) return std::nullopt;
+  return decode_process_list(*body);
+}
+
+std::optional<LogDataMsg> Workstation::fetch_log(net::Addr node) {
+  const auto body = request(node, MsgType::kLogFetch, {}, MsgType::kLogData,
+                            cfg_.response_budget);
+  if (!body) return std::nullopt;
+  return decode_log_data(*body);
+}
+
+std::optional<EnergyMsg> Workstation::energy(net::Addr node) {
+  const auto body = request(node, MsgType::kEnergyGet, {}, MsgType::kEnergy,
+                            cfg_.response_budget);
+  if (!body) return std::nullopt;
+  return decode_energy(*body);
+}
+
+std::optional<NetstatMsg> Workstation::netstat(net::Addr node) {
+  const auto body = request(node, MsgType::kNetstat, {},
+                            MsgType::kNetstatData, cfg_.response_budget);
+  if (!body) return std::nullopt;
+  return decode_netstat(*body);
+}
+
+std::optional<ScanDataMsg> Workstation::scan(net::Addr node,
+                                             std::uint16_t dwell_ms) {
+  // The node is off-channel for 16 dwells before it can answer.
+  const auto budget =
+      sim::SimTime::ms(16ll * dwell_ms) + cfg_.response_budget;
+  const auto body = request(node, MsgType::kScan,
+                            encode_body(ScanRequest{dwell_ms}),
+                            MsgType::kScanData, budget);
+  if (!body) return std::nullopt;
+  return decode_scan_data(*body);
+}
+
+PingRun Workstation::ping(net::Addr node, const std::string& params,
+                          int rounds_hint) {
+  PingRun run;
+  const sim::SimTime start = sim_.now();
+  inbox_.clear();
+  endpoint_.send_message(
+      node, encode_mgmt(MsgType::kExecPing, encode_body(ExecCommand{params})));
+
+  const sim::SimTime deadline =
+      start + cfg_.response_budget +
+      cfg_.ping_round_budget * std::max(1, rounds_hint);
+  while (sim_.now() < deadline) {
+    sim_.run_for(sim::SimTime::ms(10));
+    for (const auto& c : inbox_) {
+      if (c.type == MsgType::kPingResult) {
+        run.result = decode_ping_result(c.body);
+        run.elapsed = sim_.now() - start;
+        return run;
+      }
+      if (c.type == MsgType::kStatus) {
+        run.elapsed = sim_.now() - start;
+        return run;  // node rejected the command
+      }
+    }
+  }
+  run.elapsed = sim_.now() - start;
+  return run;
+}
+
+TraceRun Workstation::traceroute(net::Addr node, const std::string& params,
+                                 int rounds_hint) {
+  TraceRun run;
+  const sim::SimTime start = sim_.now();
+  inbox_.clear();
+  endpoint_.send_message(
+      node,
+      encode_mgmt(MsgType::kExecTraceroute, encode_body(ExecCommand{params})));
+
+  const sim::SimTime deadline =
+      start + cfg_.traceroute_budget * std::max(1, rounds_hint);
+  std::size_t consumed = 0;
+  while (sim_.now() < deadline && !run.done) {
+    sim_.run_for(sim::SimTime::ms(5));
+    for (; consumed < inbox_.size(); ++consumed) {
+      const auto& c = inbox_[consumed];
+      if (c.type == MsgType::kTracerouteReport) {
+        if (const auto r = decode_traceroute_report(c.body)) {
+          run.reports.push_back(TimedReport{c.arrival - start, *r});
+        }
+      } else if (c.type == MsgType::kTracerouteDone) {
+        run.done = decode_traceroute_done(c.body);
+      } else if (c.type == MsgType::kStatus) {
+        run.elapsed = sim_.now() - start;
+        return run;
+      }
+    }
+  }
+  std::sort(run.reports.begin(), run.reports.end(),
+            [](const TimedReport& a, const TimedReport& b) {
+              return a.arrival < b.arrival;
+            });
+  run.elapsed = sim_.now() - start;
+  return run;
+}
+
+// ---- CommandInterpreter ---------------------------------------------------
+
+CommandInterpreter::CommandInterpreter(Workstation& ws, Locator locator)
+    : ws_(ws), locator_(std::move(locator)) {}
+
+std::string CommandInterpreter::pwd() const {
+  if (!current_) return "/" + ws_.book().network();
+  return ws_.book().path_of(*current_);
+}
+
+std::string CommandInterpreter::name_of(net::Addr a) const {
+  const auto n = ws_.book().name_of(a);
+  return n ? *n : util::format("node%u", a);
+}
+
+bool CommandInterpreter::cd(const std::string& target) {
+  std::string name = target;
+  // Accept "/sn01/192.168.0.1", "192.168.0.1" and "..".
+  if (name == "..") {
+    current_.reset();
+    return true;
+  }
+  const auto slash = name.rfind('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const auto addr = ws_.book().resolve(name);
+  if (!addr) return false;
+  current_ = *addr;
+  if (locator_) {
+    if (const auto pos = locator_(*addr)) {
+      // Walk over to the node with the laptop.
+      ws_.move_near(*pos);
+    }
+  }
+  return true;
+}
+
+std::string CommandInterpreter::cmd_ls() const {
+  std::string out;
+  for (const auto a : ws_.book().all_addresses()) {
+    out += name_of(a) + "\n";
+  }
+  return out;
+}
+
+std::string CommandInterpreter::execute(const std::string& line) {
+  const auto cl = util::parse_command_line(line);
+  if (cl.command.empty()) return "";
+
+  if (cl.command == "pwd") return pwd() + "\n";
+  if (cl.command == "cd") {
+    if (cl.positional.empty() || !cd(cl.positional[0]))
+      return "cd: no such node\n";
+    return "";
+  }
+  if (cl.command == "ls") return cmd_ls();
+  if (cl.command == "exit" && neighbor_mode_) {
+    neighbor_mode_ = false;
+    return "";
+  }
+
+  if (!current_) return "not logged into a node (use cd)\n";
+
+  if (cl.command == "ping") return cmd_ping(cl);
+  if (cl.command == "traceroute") return cmd_traceroute(cl);
+  if (cl.command == "neighborsetup") return cmd_neighborsetup();
+  if (cl.command == "list" && neighbor_mode_) return cmd_nbr_list(cl);
+  if (cl.command == "blacklist" && neighbor_mode_) return cmd_blacklist(cl);
+  if (cl.command == "update" && neighbor_mode_) return cmd_update(cl);
+  if (cl.command == "power") return cmd_power(cl);
+  if (cl.command == "channel") return cmd_channel(cl);
+  if (cl.command == "ps") return cmd_ps();
+  if (cl.command == "log") return cmd_log();
+  if (cl.command == "energy") return cmd_energy();
+  if (cl.command == "netstat") return cmd_netstat();
+  if (cl.command == "scan") return cmd_scan(cl);
+  if (cl.command == "help") {
+    return "commands:\n"
+           "  pwd | cd <node> | ls | ps | help\n"
+           "  ping <node> [round= length= port=]\n"
+           "  traceroute <node> [round= length= port=]\n"
+           "  neighborsetup -> list | blacklist add|remove <node> | "
+           "update period=<ms> | exit\n"
+           "  power [0..31] | channel [11..26]\n"
+           "  log | energy | netstat | scan [dwell=<ms>]\n";
+  }
+  return util::format("%s: command not found\n", cl.command.c_str());
+}
+
+std::string CommandInterpreter::cmd_neighborsetup() {
+  neighbor_mode_ = true;
+  return "entering neighborhood management (list | blacklist | update | "
+         "exit)\n";
+}
+
+std::string CommandInterpreter::cmd_ping(const util::CommandLine& cl) {
+  if (cl.positional.empty()) return "usage: ping <node> [round= length= port=]\n";
+  // Forward the raw parameter string; the node parses it from its kernel
+  // parameter buffer.
+  std::vector<std::string> parts = cl.positional;
+  std::string params = parts[0];
+  for (const auto& [k, v] : cl.options) params += " " + k + "=" + v;
+
+  const auto rounds = cl.option_int_or("round", 1).value_or(1);
+  const auto run = ws_.ping(*current_, params, static_cast<int>(rounds));
+  if (!run.result) return "ping: no response from node\n";
+
+  const auto& r = *run.result;
+  std::string out = util::format(
+      "Pinging %s with %u packets with %u bytes:\n",
+      name_of(r.target).c_str(), r.rounds, r.payload_len);
+  int received = 0;
+  for (const auto& rd : r.rounds_data) {
+    if (!rd.received) {
+      out += "Request timed out.\n";
+      continue;
+    }
+    ++received;
+    out += util::format(
+        "RTT = %.1f ms, LQI = %u/%u,\nRSSI = %d/%d, Queue = %u/%u\n",
+        static_cast<double>(rd.rtt_us) / 1000.0, rd.lqi_fwd, rd.lqi_bwd,
+        rd.rssi_fwd, rd.rssi_bwd, rd.queue_local, rd.queue_remote);
+    if (rd.hops_fwd.size() > 1) {
+      out += util::format("Path of %zu hops (forward/backward):\n",
+                          rd.hops_fwd.size());
+      for (std::size_t h = 0; h < rd.hops_fwd.size(); ++h) {
+        const auto& f = rd.hops_fwd[h];
+        out += util::format("  hop %zu: LQI = %u", h + 1, f.lqi);
+        if (h < rd.hops_bwd.size()) {
+          const auto& b = rd.hops_bwd[rd.hops_bwd.size() - 1 - h];
+          out += util::format("/%u, RSSI = %d/%d\n", b.lqi, f.rssi, b.rssi);
+        } else {
+          out += util::format(", RSSI = %d\n", f.rssi);
+        }
+      }
+    }
+  }
+  out += util::format("Power = %u, Channel = %u\n", r.power, r.channel);
+  out += util::format(
+      "\nPing statistics:\nPackets = %u\nReceived = %d\nLost = %d\n",
+      r.rounds, received, r.rounds - received);
+  return out;
+}
+
+std::string CommandInterpreter::cmd_traceroute(const util::CommandLine& cl) {
+  if (cl.positional.empty())
+    return "usage: traceroute <node> [round= length= port=]\n";
+  std::string params = cl.positional[0];
+  for (const auto& [k, v] : cl.options) params += " " + k + "=" + v;
+
+  const auto rounds = cl.option_int_or("round", 1).value_or(1);
+  const auto length = cl.option_int_or("length", 32).value_or(32);
+  const auto run =
+      ws_.traceroute(*current_, params, static_cast<int>(rounds));
+
+  const auto dst = ws_.book().resolve(cl.positional[0]);
+  std::string out = util::format(
+      "Reaching %s with %lld packets with %lld bytes:\n",
+      cl.positional[0].c_str(), static_cast<long long>(rounds),
+      static_cast<long long>(length));
+  if (run.done && !run.done->protocol_name.empty()) {
+    out += "Name of protocol: " + run.done->protocol_name + "\n";
+  }
+  int received = 0;
+  int lost = 0;
+  for (const auto& tr : run.reports) {
+    if (!tr.report.reached) {
+      ++lost;
+      out += util::format("No reply for hop %u (from %s)\n",
+                          tr.report.hop_index + 1,
+                          name_of(tr.report.prober).c_str());
+      continue;
+    }
+    ++received;
+    out += util::format(
+        "Reply from %s\nRTT = %.1f ms, LQI = %u/%u,\nRSSI = %d/%d, "
+        "Queue = %u/%u\n",
+        name_of(tr.report.next).c_str(),
+        static_cast<double>(tr.report.rtt_us) / 1000.0, tr.report.lqi_fwd,
+        tr.report.lqi_bwd, tr.report.rssi_fwd, tr.report.rssi_bwd,
+        tr.report.queue_near, tr.report.queue_far);
+  }
+  // One "packet" per round; a round counts as received when its final
+  // hop reported success.
+  int complete_rounds = 0;
+  for (const auto& t : run.reports) {
+    if (t.report.is_final && t.report.reached) ++complete_rounds;
+  }
+  complete_rounds =
+      std::min<int>(complete_rounds, static_cast<int>(rounds));
+  out += util::format(
+      "\nTraceroute statistics:\nPackets = %lld\nReceived = %d\nLost = %d\n",
+      static_cast<long long>(rounds), complete_rounds,
+      static_cast<int>(rounds) - complete_rounds);
+  (void)received;
+  (void)lost;
+  (void)dst;
+  return out;
+}
+
+std::string CommandInterpreter::cmd_nbr_list(const util::CommandLine& cl) {
+  const bool with_links = cl.options.find("brief") == cl.options.end();
+  const auto table = ws_.nbr_list(*current_, with_links);
+  if (!table) return "list: no response\n";
+  std::string out =
+      util::format("%zu neighbors:\n", table->entries.size());
+  for (const auto& e : table->entries) {
+    out += util::format("  %-14s", e.name.empty()
+                                       ? util::format("node%u", e.addr).c_str()
+                                       : e.name.c_str());
+    if (with_links) {
+      out += util::format(" LQI = %u, RSSI = %d, age = %u ms", e.lqi, e.rssi,
+                          e.age_ms);
+    }
+    if (e.blacklisted) out += " [blacklisted]";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string CommandInterpreter::cmd_blacklist(const util::CommandLine& cl) {
+  if (cl.positional.size() < 2 ||
+      (cl.positional[0] != "add" && cl.positional[0] != "remove")) {
+    return "usage: blacklist add|remove <node>\n";
+  }
+  const auto target = ws_.book().resolve(cl.positional[1]);
+  if (!target) return "blacklist: unknown node\n";
+  const auto st =
+      ws_.blacklist(*current_, *target, cl.positional[0] == "add");
+  if (!st) return "blacklist: no response\n";
+  return st->detail + "\n";
+}
+
+std::string CommandInterpreter::cmd_update(const util::CommandLine& cl) {
+  const auto period = cl.option_int("period");
+  if (!period || *period < 100) return "usage: update period=<ms>\n";
+  const auto st =
+      ws_.nbr_update(*current_, static_cast<std::uint32_t>(*period));
+  if (!st) return "update: no response\n";
+  return st->detail + "\n";
+}
+
+std::string CommandInterpreter::cmd_power(const util::CommandLine& cl) {
+  if (cl.positional.empty()) {
+    const auto rc = ws_.radio_get(*current_);
+    if (!rc) return "power: no response\n";
+    return util::format("Power = %u (%.1f dBm)\n", rc->power,
+                        phy::pa_level_to_dbm(rc->power));
+  }
+  const auto level = util::parse_int(cl.positional[0]);
+  if (!level || *level < 0 || *level > phy::kMaxPaLevel)
+    return "usage: power [0..31]\n";
+  const auto st =
+      ws_.radio_set_power(*current_, static_cast<std::uint8_t>(*level));
+  if (!st) return "power: no response\n";
+  return st->detail + "\n";
+}
+
+std::string CommandInterpreter::cmd_channel(const util::CommandLine& cl) {
+  if (cl.positional.empty()) {
+    const auto rc = ws_.radio_get(*current_);
+    if (!rc) return "channel: no response\n";
+    return util::format("Channel = %u\n", rc->channel);
+  }
+  const auto ch = util::parse_int(cl.positional[0]);
+  if (!ch || *ch < phy::kMinChannel || *ch > phy::kMaxChannel)
+    return util::format("usage: channel [%u..%u]\n", phy::kMinChannel,
+                        phy::kMaxChannel);
+  const auto st =
+      ws_.radio_set_channel(*current_, static_cast<std::uint8_t>(*ch));
+  if (!st) return "channel: no response\n";
+  return st->detail + "\n";
+}
+
+std::string CommandInterpreter::cmd_log() {
+  const auto log = ws_.fetch_log(*current_);
+  if (!log) return "log: no response\n";
+  std::string out = util::format("%u events (%u overwritten):\n", log->total,
+                                 log->dropped);
+  for (const auto& e : log->events) {
+    out += util::format(
+        "  %8.1f s  %-22s arg=%u\n", e.time_ms / 1000.0,
+        std::string(kernel::to_string(static_cast<kernel::EventCode>(e.code)))
+            .c_str(),
+        e.arg);
+  }
+  return out;
+}
+
+std::string CommandInterpreter::cmd_energy() {
+  const auto e = ws_.energy(*current_);
+  if (!e) return "energy: no response\n";
+  const double total_mj =
+      static_cast<double>(e->tx_uj + e->listen_uj) / 1000.0;
+  return util::format(
+      "uptime = %.1f s\nTX      = %.3f mJ\nlisten  = %.3f mJ\ntotal   = "
+      "%.3f mJ (%.1f%% spent listening)\n",
+      e->uptime_ms / 1000.0, e->tx_uj / 1000.0, e->listen_uj / 1000.0,
+      total_mj,
+      total_mj > 0.0 ? 100.0 * (e->listen_uj / 1000.0) / total_mj : 0.0);
+}
+
+std::string CommandInterpreter::cmd_netstat() {
+  const auto m = ws_.netstat(*current_);
+  if (!m) return "netstat: no response\n";
+  std::string out;
+  out += util::format(
+      "MAC : sent %u  enq %u  drop(queue) %u  drop(busy) %u  cca-busy %u\n",
+      m->mac_sent, m->mac_enqueued, m->mac_dropped_queue_full,
+      m->mac_dropped_channel_busy, m->mac_cca_busy);
+  out += util::format("      rx %u  crc-fail %u\n", m->mac_rx_delivered,
+                      m->mac_rx_crc_failures);
+  out += util::format(
+      "NET : delivered %u  local %u  no-subscriber %u  malformed %u\n",
+      m->net_delivered, m->net_local, m->net_no_subscriber,
+      m->net_malformed);
+  for (const auto& p : m->protocols) {
+    out += util::format(
+        "  port %-3u %-22s orig %u fwd %u dlvr %u drop(no-route) %u "
+        "drop(ttl) %u ctrl %u\n",
+        p.port, p.name.c_str(), p.originated, p.forwarded, p.delivered,
+        p.dropped_no_route, p.dropped_ttl, p.control_sent);
+  }
+  return out;
+}
+
+std::string CommandInterpreter::cmd_scan(const util::CommandLine& cl) {
+  const auto dwell = cl.option_int_or("dwell", 50);
+  if (!dwell || *dwell < 5 || *dwell > 1000)
+    return "usage: scan [dwell=<ms, 5..1000>]\n";
+  const auto data =
+      ws_.scan(*current_, static_cast<std::uint16_t>(*dwell));
+  if (!data) return "scan: no response\n";
+  std::string out = "channel survey (max in-band energy per channel):\n";
+  for (const auto& e : data->entries) {
+    const int bars =
+        std::max(0, (static_cast<int>(e.rssi) + 110) / 5);
+    out += util::format("  ch %-3u %4d  %s\n", e.channel, e.rssi,
+                        std::string(static_cast<std::size_t>(bars), '#')
+                            .c_str());
+  }
+  return out;
+}
+
+std::string CommandInterpreter::cmd_ps() {
+  const auto list = ws_.ps(*current_);
+  if (!list) return "ps: no response\n";
+  std::string out = "NAME         STATE    FLASH  RAM\n";
+  for (const auto& p : list->processes) {
+    out += util::format("%-12s %-8s %5u  %3u\n", p.name.c_str(),
+                        p.running ? "running" : "stopped", p.flash_bytes,
+                        p.ram_bytes);
+  }
+  return out;
+}
+
+}  // namespace liteview::lv

@@ -1,0 +1,171 @@
+// The LiteView command interpreter — the workstation side of the toolkit.
+//
+// "The command interpreter translates each user command into a sequence
+// of radio messages, keeps track of the context of user management
+// operations, such as the current directory that users are located at,
+// and communicates with the runtime controller following a reliable
+// one-hop communication protocol." (paper Sec. IV-B)
+//
+// The Workstation owns a base-station node (radio attached to the
+// laptop). `cd` both changes the shell context and *walks the operator
+// over to that node* (management is on-site; the paper's user plugs in
+// next to the mote), so the reliable protocol always runs over one hop.
+//
+// All commands are synchronous: they drive the shared simulator until the
+// response window closes. The fixed 500 ms response budget of the paper's
+// Sec. V-A is implemented here verbatim: single-response commands always
+// wait the full window, absorbing the nodes' random response backoff.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/node.hpp"
+#include "liteview/messages.hpp"
+#include "liteview/reliable.hpp"
+#include "util/strings.hpp"
+
+namespace liteview::lv {
+
+struct WorkstationConfig {
+  net::Addr address = 0xfe01;
+  std::string name = "ws0";
+  phy::Position position{0.0, 0.0};
+  mac::MacConfig mac;
+  ReliableConfig reliable;
+  /// The paper's fixed command response budget.
+  sim::SimTime response_budget = sim::SimTime::ms(500);
+  /// Extra deadline slack for ping (per round) and traceroute (total).
+  sim::SimTime ping_round_budget = sim::SimTime::ms(700);
+  sim::SimTime traceroute_budget = sim::SimTime::sec(6);
+};
+
+/// One timed traceroute hop report as received at the workstation.
+struct TimedReport {
+  sim::SimTime arrival;  ///< relative to command issue time
+  TracerouteReportMsg report;
+};
+
+struct TraceRun {
+  std::vector<TimedReport> reports;
+  std::optional<TracerouteDoneMsg> done;
+  sim::SimTime elapsed;
+};
+
+struct PingRun {
+  std::optional<PingResultMsg> result;
+  sim::SimTime elapsed;
+};
+
+class Workstation {
+ public:
+  Workstation(sim::Simulator& sim, phy::Medium& medium,
+              const kernel::AddressBook& book,
+              const WorkstationConfig& cfg = {});
+
+  [[nodiscard]] kernel::Node& node() noexcept { return node_; }
+  [[nodiscard]] ReliableEndpoint& endpoint() noexcept { return endpoint_; }
+  [[nodiscard]] const kernel::AddressBook& book() const noexcept {
+    return book_;
+  }
+
+  /// Walk over to a node: relocate the base-station radio next to it.
+  void move_near(phy::Position node_pos);
+
+  // ---- synchronous management operations -----------------------------
+  [[nodiscard]] std::optional<RadioConfig> radio_get(net::Addr node);
+  [[nodiscard]] std::optional<Status> radio_set_power(net::Addr node,
+                                                      std::uint8_t level);
+  [[nodiscard]] std::optional<Status> radio_set_channel(net::Addr node,
+                                                        std::uint8_t channel);
+  [[nodiscard]] std::optional<NbrTableMsg> nbr_list(net::Addr node,
+                                                    bool with_link_info);
+  [[nodiscard]] std::optional<Status> blacklist(net::Addr node,
+                                                net::Addr target, bool add);
+  [[nodiscard]] std::optional<Status> nbr_update(net::Addr node,
+                                                 std::uint32_t period_ms);
+  [[nodiscard]] std::optional<ProcessListMsg> ps(net::Addr node);
+  [[nodiscard]] std::optional<LogDataMsg> fetch_log(net::Addr node);
+  [[nodiscard]] std::optional<EnergyMsg> energy(net::Addr node);
+  [[nodiscard]] std::optional<NetstatMsg> netstat(net::Addr node);
+  /// Channel survey; blocks for ~16 × dwell + the response budget.
+  [[nodiscard]] std::optional<ScanDataMsg> scan(net::Addr node,
+                                                std::uint16_t dwell_ms);
+
+  /// Execute `ping <params>` on `node`; params is the raw parameter
+  /// string placed into the node's kernel parameter buffer.
+  [[nodiscard]] PingRun ping(net::Addr node, const std::string& params,
+                             int rounds_hint = 1);
+
+  [[nodiscard]] TraceRun traceroute(net::Addr node, const std::string& params,
+                                    int rounds_hint = 1);
+
+  [[nodiscard]] const WorkstationConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  /// Send a request and wait exactly the response budget; returns the
+  /// first matching response body.
+  std::optional<std::vector<std::uint8_t>> request(
+      net::Addr node, MsgType req, std::vector<std::uint8_t> body,
+      MsgType expected, sim::SimTime budget);
+
+  sim::Simulator& sim_;
+  const kernel::AddressBook& book_;
+  WorkstationConfig cfg_;
+  kernel::Node node_;
+  ReliableEndpoint endpoint_;
+
+  // response collection for the current synchronous command
+  struct Collected {
+    MsgType type;
+    std::vector<std::uint8_t> body;
+    sim::SimTime arrival;
+  };
+  std::vector<Collected> inbox_;
+};
+
+/// Shell-style front end producing the paper's transcript format.
+class CommandInterpreter {
+ public:
+  /// `locator` maps an address to its deployment position, used by `cd`
+  /// to walk the workstation next to the target node.
+  using Locator =
+      std::function<std::optional<phy::Position>(net::Addr)>;
+
+  CommandInterpreter(Workstation& ws, Locator locator);
+
+  /// Execute one command line; returns the printed transcript.
+  std::string execute(const std::string& line);
+
+  [[nodiscard]] std::string pwd() const;
+  [[nodiscard]] std::optional<net::Addr> current() const { return current_; }
+  bool cd(const std::string& target);
+
+ private:
+  std::string cmd_ls() const;
+  std::string cmd_ping(const util::CommandLine& cl);
+  std::string cmd_traceroute(const util::CommandLine& cl);
+  std::string cmd_neighborsetup();
+  std::string cmd_nbr_list(const util::CommandLine& cl);
+  std::string cmd_blacklist(const util::CommandLine& cl);
+  std::string cmd_update(const util::CommandLine& cl);
+  std::string cmd_power(const util::CommandLine& cl);
+  std::string cmd_channel(const util::CommandLine& cl);
+  std::string cmd_ps();
+  std::string cmd_log();
+  std::string cmd_energy();
+  std::string cmd_netstat();
+  std::string cmd_scan(const util::CommandLine& cl);
+  [[nodiscard]] std::string name_of(net::Addr a) const;
+
+  Workstation& ws_;
+  Locator locator_;
+  std::optional<net::Addr> current_;
+  bool neighbor_mode_ = false;
+};
+
+}  // namespace liteview::lv

@@ -1,0 +1,469 @@
+#include "liteview/messages.hpp"
+
+#include "util/bytes.hpp"
+
+namespace liteview::lv {
+
+std::vector<std::uint8_t> encode_mgmt(MsgType type,
+                                      std::span<const std::uint8_t> body) {
+  util::ByteWriter w(1 + body.size());
+  w.u8(static_cast<std::uint8_t>(type));
+  w.bytes(body);
+  return std::move(w).take();
+}
+
+std::optional<MgmtMessage> decode_mgmt(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return std::nullopt;
+  MgmtMessage m;
+  m.type = static_cast<MsgType>(bytes[0]);
+  m.body.assign(bytes.begin() + 1, bytes.end());
+  return m;
+}
+
+// ---- simple bodies ----------------------------------------------------
+
+std::vector<std::uint8_t> encode_body(const RadioSetPower& b) {
+  return {b.level};
+}
+std::optional<RadioSetPower> decode_radio_set_power(
+    std::span<const std::uint8_t> s) {
+  if (s.size() != 1) return std::nullopt;
+  return RadioSetPower{s[0]};
+}
+
+std::vector<std::uint8_t> encode_body(const RadioSetChannel& b) {
+  return {b.channel};
+}
+std::optional<RadioSetChannel> decode_radio_set_channel(
+    std::span<const std::uint8_t> s) {
+  if (s.size() != 1) return std::nullopt;
+  return RadioSetChannel{s[0]};
+}
+
+std::vector<std::uint8_t> encode_body(const NbrList& b) {
+  return {static_cast<std::uint8_t>(b.with_link_info ? 1 : 0)};
+}
+std::optional<NbrList> decode_nbr_list(std::span<const std::uint8_t> s) {
+  if (s.size() != 1) return std::nullopt;
+  return NbrList{s[0] != 0};
+}
+
+std::vector<std::uint8_t> encode_body(const NbrBlacklist& b) {
+  util::ByteWriter w;
+  w.u16(b.addr);
+  return std::move(w).take();
+}
+std::optional<NbrBlacklist> decode_nbr_blacklist(
+    std::span<const std::uint8_t> s) {
+  if (s.size() != 2) return std::nullopt;
+  util::ByteReader r(s);
+  return NbrBlacklist{r.u16()};
+}
+
+std::vector<std::uint8_t> encode_body(const NbrUpdate& b) {
+  util::ByteWriter w;
+  w.u32(b.beacon_period_ms);
+  return std::move(w).take();
+}
+std::optional<NbrUpdate> decode_nbr_update(std::span<const std::uint8_t> s) {
+  if (s.size() != 4) return std::nullopt;
+  util::ByteReader r(s);
+  return NbrUpdate{r.u32()};
+}
+
+std::vector<std::uint8_t> encode_body(const ExecCommand& b) {
+  util::ByteWriter w;
+  w.str8(b.params);
+  return std::move(w).take();
+}
+std::optional<ExecCommand> decode_exec(std::span<const std::uint8_t> s) {
+  util::ByteReader r(s);
+  ExecCommand c;
+  c.params = r.str8();
+  if (!r.ok()) return std::nullopt;
+  return c;
+}
+
+std::vector<std::uint8_t> encode_body(const Status& b) {
+  util::ByteWriter w;
+  w.u8(b.ok ? 1 : 0);
+  w.str8(b.detail);
+  return std::move(w).take();
+}
+std::optional<Status> decode_status(std::span<const std::uint8_t> s) {
+  util::ByteReader r(s);
+  Status st;
+  st.ok = r.u8() != 0;
+  st.detail = r.str8();
+  if (!r.ok()) return std::nullopt;
+  return st;
+}
+
+std::vector<std::uint8_t> encode_body(const RadioConfig& b) {
+  return {b.power, b.channel};
+}
+std::optional<RadioConfig> decode_radio_config(
+    std::span<const std::uint8_t> s) {
+  if (s.size() != 2) return std::nullopt;
+  return RadioConfig{s[0], s[1]};
+}
+
+// ---- neighbor table ----------------------------------------------------
+
+std::vector<std::uint8_t> encode_body(const NbrTableMsg& b) {
+  util::ByteWriter w;
+  w.u8(b.with_link_info ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(b.entries.size()));
+  for (const auto& e : b.entries) {
+    w.u16(e.addr);
+    w.str8(e.name);
+    w.u8(e.lqi);
+    w.i8(e.rssi);
+    w.u8(e.blacklisted ? 1 : 0);
+    w.u32(e.age_ms);
+  }
+  return std::move(w).take();
+}
+
+std::optional<NbrTableMsg> decode_nbr_table(std::span<const std::uint8_t> s) {
+  util::ByteReader r(s);
+  NbrTableMsg m;
+  m.with_link_info = r.u8() != 0;
+  const std::uint8_t n = r.u8();
+  for (std::uint8_t i = 0; i < n; ++i) {
+    NbrTableEntryMsg e;
+    e.addr = r.u16();
+    e.name = r.str8();
+    e.lqi = r.u8();
+    e.rssi = r.i8();
+    e.blacklisted = r.u8() != 0;
+    e.age_ms = r.u32();
+    m.entries.push_back(std::move(e));
+  }
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+// ---- ping result ---------------------------------------------------------
+
+std::vector<std::uint8_t> encode_body(const PingResultMsg& b) {
+  util::ByteWriter w;
+  w.u16(b.target);
+  w.u8(b.rounds);
+  w.u8(b.payload_len);
+  w.u8(b.power);
+  w.u8(b.channel);
+  w.u8(static_cast<std::uint8_t>(b.rounds_data.size()));
+  for (const auto& rd : b.rounds_data) {
+    w.u8(rd.round);
+    w.u8(rd.received ? 1 : 0);
+    w.u32(rd.rtt_us);
+    w.u8(rd.lqi_fwd);
+    w.u8(rd.lqi_bwd);
+    w.i8(rd.rssi_fwd);
+    w.i8(rd.rssi_bwd);
+    w.u8(rd.queue_local);
+    w.u8(rd.queue_remote);
+    w.u8(static_cast<std::uint8_t>(rd.hops_fwd.size()));
+    for (const auto& h : rd.hops_fwd) {
+      w.u8(h.lqi);
+      w.i8(h.rssi);
+    }
+    w.u8(static_cast<std::uint8_t>(rd.hops_bwd.size()));
+    for (const auto& h : rd.hops_bwd) {
+      w.u8(h.lqi);
+      w.i8(h.rssi);
+    }
+  }
+  return std::move(w).take();
+}
+
+std::optional<PingResultMsg> decode_ping_result(
+    std::span<const std::uint8_t> s) {
+  util::ByteReader r(s);
+  PingResultMsg m;
+  m.target = r.u16();
+  m.rounds = r.u8();
+  m.payload_len = r.u8();
+  m.power = r.u8();
+  m.channel = r.u8();
+  const std::uint8_t n = r.u8();
+  for (std::uint8_t i = 0; i < n; ++i) {
+    PingRoundMsg rd;
+    rd.round = r.u8();
+    rd.received = r.u8() != 0;
+    rd.rtt_us = r.u32();
+    rd.lqi_fwd = r.u8();
+    rd.lqi_bwd = r.u8();
+    rd.rssi_fwd = r.i8();
+    rd.rssi_bwd = r.i8();
+    rd.queue_local = r.u8();
+    rd.queue_remote = r.u8();
+    const std::uint8_t nf = r.u8();
+    for (std::uint8_t k = 0; k < nf; ++k) {
+      net::PadEntry e;
+      e.lqi = r.u8();
+      e.rssi = r.i8();
+      rd.hops_fwd.push_back(e);
+    }
+    const std::uint8_t nb = r.u8();
+    for (std::uint8_t k = 0; k < nb; ++k) {
+      net::PadEntry e;
+      e.lqi = r.u8();
+      e.rssi = r.i8();
+      rd.hops_bwd.push_back(e);
+    }
+    m.rounds_data.push_back(std::move(rd));
+  }
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+// ---- traceroute ---------------------------------------------------------
+
+std::vector<std::uint8_t> encode_body(const TracerouteReportMsg& b) {
+  util::ByteWriter w;
+  w.u16(b.task_id);
+  w.u8(b.hop_index);
+  w.u16(b.prober);
+  w.u16(b.next);
+  w.u8(b.reached ? 1 : 0);
+  w.u32(b.rtt_us);
+  w.u8(b.lqi_fwd);
+  w.u8(b.lqi_bwd);
+  w.i8(b.rssi_fwd);
+  w.i8(b.rssi_bwd);
+  w.u8(b.queue_near);
+  w.u8(b.queue_far);
+  w.u8(b.is_final ? 1 : 0);
+  return std::move(w).take();
+}
+
+std::optional<TracerouteReportMsg> decode_traceroute_report(
+    std::span<const std::uint8_t> s) {
+  util::ByteReader r(s);
+  TracerouteReportMsg m;
+  m.task_id = r.u16();
+  m.hop_index = r.u8();
+  m.prober = r.u16();
+  m.next = r.u16();
+  m.reached = r.u8() != 0;
+  m.rtt_us = r.u32();
+  m.lqi_fwd = r.u8();
+  m.lqi_bwd = r.u8();
+  m.rssi_fwd = r.i8();
+  m.rssi_bwd = r.i8();
+  m.queue_near = r.u8();
+  m.queue_far = r.u8();
+  m.is_final = r.u8() != 0;
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encode_body(const TracerouteDoneMsg& b) {
+  util::ByteWriter w;
+  w.u16(b.task_id);
+  w.u8(b.hops);
+  w.u8(b.received);
+  w.str8(b.protocol_name);
+  return std::move(w).take();
+}
+
+std::optional<TracerouteDoneMsg> decode_traceroute_done(
+    std::span<const std::uint8_t> s) {
+  util::ByteReader r(s);
+  TracerouteDoneMsg m;
+  m.task_id = r.u16();
+  m.hops = r.u8();
+  m.received = r.u8();
+  m.protocol_name = r.str8();
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+// ---- process list --------------------------------------------------------
+
+std::vector<std::uint8_t> encode_body(const ProcessListMsg& b) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(b.processes.size()));
+  for (const auto& p : b.processes) {
+    w.str8(p.name);
+    w.u8(p.running ? 1 : 0);
+    w.u32(p.flash_bytes);
+    w.u32(p.ram_bytes);
+  }
+  return std::move(w).take();
+}
+
+std::optional<ProcessListMsg> decode_process_list(
+    std::span<const std::uint8_t> s) {
+  util::ByteReader r(s);
+  ProcessListMsg m;
+  const std::uint8_t n = r.u8();
+  for (std::uint8_t i = 0; i < n; ++i) {
+    ProcessInfoMsg p;
+    p.name = r.str8();
+    p.running = r.u8() != 0;
+    p.flash_bytes = r.u32();
+    p.ram_bytes = r.u32();
+    m.processes.push_back(std::move(p));
+  }
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+// ---- event log -------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_body(const LogDataMsg& b) {
+  util::ByteWriter w;
+  w.u32(b.total);
+  w.u32(b.dropped);
+  w.u8(static_cast<std::uint8_t>(b.events.size()));
+  for (const auto& e : b.events) {
+    w.u32(e.time_ms);
+    w.u16(e.code);
+    w.u32(e.arg);
+  }
+  return std::move(w).take();
+}
+
+std::optional<LogDataMsg> decode_log_data(std::span<const std::uint8_t> s) {
+  util::ByteReader r(s);
+  LogDataMsg m;
+  m.total = r.u32();
+  m.dropped = r.u32();
+  const std::uint8_t n = r.u8();
+  for (std::uint8_t i = 0; i < n; ++i) {
+    LogEventMsg e;
+    e.time_ms = r.u32();
+    e.code = r.u16();
+    e.arg = r.u32();
+    m.events.push_back(e);
+  }
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+// ---- energy ---------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_body(const EnergyMsg& b) {
+  util::ByteWriter w;
+  w.u32(b.uptime_ms);
+  w.u64(b.tx_uj);
+  w.u64(b.listen_uj);
+  return std::move(w).take();
+}
+
+std::optional<EnergyMsg> decode_energy(std::span<const std::uint8_t> s) {
+  util::ByteReader r(s);
+  EnergyMsg m;
+  m.uptime_ms = r.u32();
+  m.tx_uj = r.u64();
+  m.listen_uj = r.u64();
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return m;
+}
+
+// ---- channel scan -----------------------------------------------------------
+
+std::vector<std::uint8_t> encode_body(const ScanRequest& b) {
+  util::ByteWriter w;
+  w.u16(b.dwell_ms);
+  return std::move(w).take();
+}
+
+std::optional<ScanRequest> decode_scan_request(
+    std::span<const std::uint8_t> s) {
+  util::ByteReader r(s);
+  ScanRequest m;
+  m.dwell_ms = r.u16();
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encode_body(const ScanDataMsg& b) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(b.entries.size()));
+  for (const auto& e : b.entries) {
+    w.u8(e.channel);
+    w.i8(e.rssi);
+  }
+  return std::move(w).take();
+}
+
+std::optional<ScanDataMsg> decode_scan_data(
+    std::span<const std::uint8_t> s) {
+  util::ByteReader r(s);
+  ScanDataMsg m;
+  const std::uint8_t n = r.u8();
+  for (std::uint8_t i = 0; i < n; ++i) {
+    ScanEntryMsg e;
+    e.channel = r.u8();
+    e.rssi = r.i8();
+    m.entries.push_back(e);
+  }
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+// ---- netstat ----------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_body(const NetstatMsg& b) {
+  util::ByteWriter w;
+  w.u32(b.mac_enqueued);
+  w.u32(b.mac_sent);
+  w.u32(b.mac_dropped_queue_full);
+  w.u32(b.mac_dropped_channel_busy);
+  w.u32(b.mac_rx_delivered);
+  w.u32(b.mac_rx_crc_failures);
+  w.u32(b.mac_cca_busy);
+  w.u32(b.net_delivered);
+  w.u32(b.net_local);
+  w.u32(b.net_no_subscriber);
+  w.u32(b.net_malformed);
+  w.u8(static_cast<std::uint8_t>(b.protocols.size()));
+  for (const auto& p : b.protocols) {
+    w.u8(p.port);
+    w.str8(p.name);
+    w.u32(p.originated);
+    w.u32(p.forwarded);
+    w.u32(p.delivered);
+    w.u32(p.dropped_no_route);
+    w.u32(p.dropped_ttl);
+    w.u32(p.control_sent);
+  }
+  return std::move(w).take();
+}
+
+std::optional<NetstatMsg> decode_netstat(std::span<const std::uint8_t> s) {
+  util::ByteReader r(s);
+  NetstatMsg m;
+  m.mac_enqueued = r.u32();
+  m.mac_sent = r.u32();
+  m.mac_dropped_queue_full = r.u32();
+  m.mac_dropped_channel_busy = r.u32();
+  m.mac_rx_delivered = r.u32();
+  m.mac_rx_crc_failures = r.u32();
+  m.mac_cca_busy = r.u32();
+  m.net_delivered = r.u32();
+  m.net_local = r.u32();
+  m.net_no_subscriber = r.u32();
+  m.net_malformed = r.u32();
+  const std::uint8_t n = r.u8();
+  for (std::uint8_t i = 0; i < n; ++i) {
+    RoutingStatMsg p;
+    p.port = r.u8();
+    p.name = r.str8();
+    p.originated = r.u32();
+    p.forwarded = r.u32();
+    p.delivered = r.u32();
+    p.dropped_no_route = r.u32();
+    p.dropped_ttl = r.u32();
+    p.control_sent = r.u32();
+    m.protocols.push_back(std::move(p));
+  }
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+}  // namespace liteview::lv

@@ -1,0 +1,280 @@
+// Management messages exchanged between the LiteView command interpreter
+// (workstation) and the runtime controller (node).
+//
+// "The command interpreter translates each user command into a sequence
+// of radio messages. Each message header corresponds to one unique type,
+// while the command parameters are embedded into message bodies."
+// (paper Sec. IV-B). These are the *contents* carried by the reliable
+// one-hop protocol in reliable.hpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kernel/neighbor_table.hpp"
+#include "net/packet.hpp"
+
+namespace liteview::lv {
+
+enum class MsgType : std::uint8_t {
+  // requests (workstation → node)
+  kRadioGetConfig = 0x01,
+  kRadioSetPower = 0x02,
+  kRadioSetChannel = 0x03,
+  kNbrList = 0x10,
+  kNbrBlacklistAdd = 0x11,
+  kNbrBlacklistRemove = 0x12,
+  kNbrUpdate = 0x13,  ///< set beacon exchange period
+  kExecPing = 0x20,   ///< start ping process with parameter string
+  kExecTraceroute = 0x21,
+  kListProcesses = 0x30,
+  kLogFetch = 0x31,   ///< fetch the kernel event log
+  kEnergyGet = 0x32,  ///< radio energy accounting
+  kNetstat = 0x33,    ///< MAC/stack/routing statistics
+  kScan = 0x34,       ///< channel survey (body: dwell ms per channel)
+  // responses (node → workstation)
+  kStatus = 0x80,       ///< generic ok/error
+  kRadioConfig = 0x81,  ///< power + channel
+  kNbrTable = 0x82,
+  kPingResult = 0x83,
+  kTracerouteReport = 0x84,  ///< one per hop, streamed
+  kTracerouteDone = 0x85,
+  kProcessList = 0x86,
+  kLogData = 0x87,
+  kEnergy = 0x88,
+  kNetstatData = 0x89,
+  kScanData = 0x8a,
+};
+
+// ---- request bodies --------------------------------------------------
+
+struct RadioSetPower {
+  std::uint8_t level = 0;
+};
+struct RadioSetChannel {
+  std::uint8_t channel = 0;
+};
+struct NbrList {
+  bool with_link_info = true;
+};
+struct NbrBlacklist {
+  net::Addr addr = 0;
+};
+struct NbrUpdate {
+  std::uint32_t beacon_period_ms = 0;
+};
+/// Ping/traceroute parameters travel as the raw string that will be
+/// placed in the kernel parameter buffer — the paper's parameter-passing
+/// syscall (Sec. IV-C4).
+struct ExecCommand {
+  std::string params;
+};
+
+// ---- response bodies ---------------------------------------------------
+
+struct Status {
+  bool ok = true;
+  std::string detail;
+};
+
+struct RadioConfig {
+  std::uint8_t power = 0;
+  std::uint8_t channel = 0;
+};
+
+struct NbrTableEntryMsg {
+  net::Addr addr = 0;
+  std::string name;
+  std::uint8_t lqi = 0;
+  std::int8_t rssi = 0;
+  bool blacklisted = false;
+  std::uint32_t age_ms = 0;
+};
+struct NbrTableMsg {
+  bool with_link_info = true;
+  std::vector<NbrTableEntryMsg> entries;
+};
+
+/// One ping round's measurements, as the node-side ping process recorded
+/// them (all timing sender-local; no time synchronization required).
+struct PingRoundMsg {
+  std::uint8_t round = 0;
+  bool received = false;
+  std::uint32_t rtt_us = 0;
+  std::uint8_t lqi_fwd = 0, lqi_bwd = 0;
+  std::int8_t rssi_fwd = 0, rssi_bwd = 0;
+  std::uint8_t queue_local = 0, queue_remote = 0;
+  /// Per-hop forward/backward link quality from padding (multi-hop ping).
+  std::vector<net::PadEntry> hops_fwd;
+  std::vector<net::PadEntry> hops_bwd;
+};
+struct PingResultMsg {
+  net::Addr target = 0;
+  std::uint8_t rounds = 0;
+  std::uint8_t payload_len = 0;
+  std::uint8_t power = 0;
+  std::uint8_t channel = 0;
+  std::vector<PingRoundMsg> rounds_data;
+};
+
+/// One traceroute hop report (paper Fig. 4 step 7: RTT + link quality of
+/// one hop, delivered to the source).
+struct TracerouteReportMsg {
+  std::uint16_t task_id = 0;
+  std::uint8_t hop_index = 0;     ///< 0-based index of the probed link
+  net::Addr prober = 0;           ///< near end of the link
+  net::Addr next = 0;             ///< far end ("Reply from <next>")
+  bool reached = true;            ///< probe reply received?
+  std::uint32_t rtt_us = 0;
+  std::uint8_t lqi_fwd = 0, lqi_bwd = 0;
+  std::int8_t rssi_fwd = 0, rssi_bwd = 0;
+  std::uint8_t queue_near = 0, queue_far = 0;
+  bool is_final = false;          ///< next == traceroute destination
+};
+
+struct TracerouteDoneMsg {
+  std::uint16_t task_id = 0;
+  std::uint8_t hops = 0;
+  std::uint8_t received = 0;
+  std::string protocol_name;
+};
+
+struct ProcessInfoMsg {
+  std::string name;
+  bool running = false;
+  std::uint32_t flash_bytes = 0;
+  std::uint32_t ram_bytes = 0;
+};
+struct ProcessListMsg {
+  std::vector<ProcessInfoMsg> processes;
+};
+
+struct LogEventMsg {
+  std::uint32_t time_ms = 0;
+  std::uint16_t code = 0;
+  std::uint32_t arg = 0;
+};
+struct LogDataMsg {
+  std::uint32_t total = 0;    ///< events ever logged
+  std::uint32_t dropped = 0;  ///< overwritten by the ring
+  std::vector<LogEventMsg> events;
+};
+
+struct EnergyMsg {
+  std::uint32_t uptime_ms = 0;
+  std::uint64_t tx_uj = 0;      ///< microjoules spent transmitting
+  std::uint64_t listen_uj = 0;  ///< microjoules spent listening
+};
+
+struct ScanRequest {
+  std::uint16_t dwell_ms = 50;  ///< sampling time per channel
+};
+struct ScanEntryMsg {
+  std::uint8_t channel = 0;
+  std::int8_t rssi = -128;  ///< max in-band energy observed (register)
+};
+struct ScanDataMsg {
+  std::vector<ScanEntryMsg> entries;
+};
+
+struct RoutingStatMsg {
+  std::uint8_t port = 0;
+  std::string name;
+  std::uint32_t originated = 0;
+  std::uint32_t forwarded = 0;
+  std::uint32_t delivered = 0;
+  std::uint32_t dropped_no_route = 0;
+  std::uint32_t dropped_ttl = 0;
+  std::uint32_t control_sent = 0;
+};
+struct NetstatMsg {
+  // MAC
+  std::uint32_t mac_enqueued = 0;
+  std::uint32_t mac_sent = 0;
+  std::uint32_t mac_dropped_queue_full = 0;
+  std::uint32_t mac_dropped_channel_busy = 0;
+  std::uint32_t mac_rx_delivered = 0;
+  std::uint32_t mac_rx_crc_failures = 0;
+  std::uint32_t mac_cca_busy = 0;
+  // stack
+  std::uint32_t net_delivered = 0;
+  std::uint32_t net_local = 0;
+  std::uint32_t net_no_subscriber = 0;
+  std::uint32_t net_malformed = 0;
+  std::vector<RoutingStatMsg> protocols;
+};
+
+// ---- envelope codec ----------------------------------------------------
+
+/// A fully decoded management message.
+struct MgmtMessage {
+  MsgType type{};
+  std::vector<std::uint8_t> body;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_mgmt(MsgType type,
+                                                    std::span<const std::uint8_t> body);
+[[nodiscard]] std::optional<MgmtMessage> decode_mgmt(
+    std::span<const std::uint8_t> bytes);
+
+// Body codecs. Each encode_* returns the body only; pair with encode_mgmt.
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const RadioSetPower&);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const RadioSetChannel&);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const NbrList&);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const NbrBlacklist&);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const NbrUpdate&);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const ExecCommand&);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const Status&);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const RadioConfig&);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const NbrTableMsg&);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const PingResultMsg&);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const TracerouteReportMsg&);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const TracerouteDoneMsg&);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const ProcessListMsg&);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const LogDataMsg&);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const EnergyMsg&);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const ScanRequest&);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const ScanDataMsg&);
+[[nodiscard]] std::vector<std::uint8_t> encode_body(const NetstatMsg&);
+
+[[nodiscard]] std::optional<RadioSetPower> decode_radio_set_power(
+    std::span<const std::uint8_t>);
+[[nodiscard]] std::optional<RadioSetChannel> decode_radio_set_channel(
+    std::span<const std::uint8_t>);
+[[nodiscard]] std::optional<NbrList> decode_nbr_list(
+    std::span<const std::uint8_t>);
+[[nodiscard]] std::optional<NbrBlacklist> decode_nbr_blacklist(
+    std::span<const std::uint8_t>);
+[[nodiscard]] std::optional<NbrUpdate> decode_nbr_update(
+    std::span<const std::uint8_t>);
+[[nodiscard]] std::optional<ExecCommand> decode_exec(
+    std::span<const std::uint8_t>);
+[[nodiscard]] std::optional<Status> decode_status(
+    std::span<const std::uint8_t>);
+[[nodiscard]] std::optional<RadioConfig> decode_radio_config(
+    std::span<const std::uint8_t>);
+[[nodiscard]] std::optional<NbrTableMsg> decode_nbr_table(
+    std::span<const std::uint8_t>);
+[[nodiscard]] std::optional<PingResultMsg> decode_ping_result(
+    std::span<const std::uint8_t>);
+[[nodiscard]] std::optional<TracerouteReportMsg> decode_traceroute_report(
+    std::span<const std::uint8_t>);
+[[nodiscard]] std::optional<TracerouteDoneMsg> decode_traceroute_done(
+    std::span<const std::uint8_t>);
+[[nodiscard]] std::optional<ProcessListMsg> decode_process_list(
+    std::span<const std::uint8_t>);
+[[nodiscard]] std::optional<LogDataMsg> decode_log_data(
+    std::span<const std::uint8_t>);
+[[nodiscard]] std::optional<EnergyMsg> decode_energy(
+    std::span<const std::uint8_t>);
+[[nodiscard]] std::optional<ScanRequest> decode_scan_request(
+    std::span<const std::uint8_t>);
+[[nodiscard]] std::optional<ScanDataMsg> decode_scan_data(
+    std::span<const std::uint8_t>);
+[[nodiscard]] std::optional<NetstatMsg> decode_netstat(
+    std::span<const std::uint8_t>);
+
+}  // namespace liteview::lv

@@ -1,0 +1,357 @@
+#include "liteview/ping.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bytes.hpp"
+#include "util/strings.hpp"
+
+namespace liteview::lv {
+namespace {
+
+constexpr std::uint8_t kTypeProbe = 0;
+constexpr std::uint8_t kTypeReply = 1;
+constexpr std::size_t kProbeHeader = 6;  // type, round, id(2), port, len
+
+struct ProbeMsg {
+  std::uint8_t round;
+  std::uint16_t probe_id;
+  net::Port routing_port;  // 0 = direct
+  std::uint8_t length;
+};
+
+std::vector<std::uint8_t> encode_probe(const ProbeMsg& p) {
+  util::ByteWriter w(p.length);
+  w.u8(kTypeProbe);
+  w.u8(p.round);
+  w.u16(p.probe_id);
+  w.u8(p.routing_port);
+  w.u8(p.length);
+  // Zero-fill to the requested probe payload length.
+  while (w.size() < p.length) w.u8(0);
+  return std::move(w).take();
+}
+
+std::optional<ProbeMsg> decode_probe(std::span<const std::uint8_t> s) {
+  if (s.size() < kProbeHeader || s[0] != kTypeProbe) return std::nullopt;
+  util::ByteReader r(s.subspan(1));
+  ProbeMsg p;
+  p.round = r.u8();
+  p.probe_id = r.u16();
+  p.routing_port = r.u8();
+  p.length = r.u8();
+  if (!r.ok()) return std::nullopt;
+  return p;
+}
+
+struct ReplyMsg {
+  std::uint8_t round;
+  std::uint16_t probe_id;
+  std::uint8_t lqi_fwd;
+  std::int8_t rssi_fwd;
+  std::uint8_t queue_remote;
+  std::vector<net::PadEntry> hops_fwd;  // echo of the probe's padding
+};
+
+std::vector<std::uint8_t> encode_reply(const ReplyMsg& m) {
+  util::ByteWriter w;
+  w.u8(kTypeReply);
+  w.u8(m.round);
+  w.u16(m.probe_id);
+  w.u8(m.lqi_fwd);
+  w.i8(m.rssi_fwd);
+  w.u8(m.queue_remote);
+  w.u8(static_cast<std::uint8_t>(m.hops_fwd.size()));
+  for (const auto& h : m.hops_fwd) {
+    w.u8(h.lqi);
+    w.i8(h.rssi);
+  }
+  return std::move(w).take();
+}
+
+std::optional<ReplyMsg> decode_reply(std::span<const std::uint8_t> s) {
+  if (s.empty() || s[0] != kTypeReply) return std::nullopt;
+  util::ByteReader r(s.subspan(1));
+  ReplyMsg m;
+  m.round = r.u8();
+  m.probe_id = r.u16();
+  m.lqi_fwd = r.u8();
+  m.rssi_fwd = r.i8();
+  m.queue_remote = r.u8();
+  const std::uint8_t n = r.u8();
+  for (std::uint8_t i = 0; i < n; ++i) {
+    net::PadEntry e;
+    e.lqi = r.u8();
+    e.rssi = r.i8();
+    m.hops_fwd.push_back(e);
+  }
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+}  // namespace
+
+routing::RoutingProtocol* find_routing(kernel::Node& node, net::Port port) {
+  for (kernel::Process* p : node.processes()) {
+    auto* r = dynamic_cast<routing::RoutingProtocol*>(p);
+    if (r != nullptr && r->port() == port && r->running()) return r;
+  }
+  return nullptr;
+}
+
+std::optional<PingParams> parse_ping_params(const std::string& buffer,
+                                            const kernel::AddressBook* book) {
+  const auto cl = util::parse_command_line("ping " + buffer);
+  if (cl.positional.empty()) return std::nullopt;
+  PingParams p;
+  // Destination: deployment name first, numeric address as fallback.
+  if (book != nullptr) {
+    if (const auto a = book->resolve(cl.positional[0])) {
+      p.dst = *a;
+    } else if (const auto v = util::parse_int(cl.positional[0])) {
+      p.dst = static_cast<net::Addr>(*v);
+    } else {
+      return std::nullopt;
+    }
+  } else if (const auto v = util::parse_int(cl.positional[0])) {
+    p.dst = static_cast<net::Addr>(*v);
+  } else {
+    return std::nullopt;
+  }
+  const auto rounds = cl.option_int_or("round", 1);
+  const auto length = cl.option_int_or("length", 32);
+  if (!rounds || !length || *rounds < 1 || *rounds > 100 || *length < 0 ||
+      *length > static_cast<std::int64_t>(net::kPayloadBudget)) {
+    return std::nullopt;
+  }
+  p.rounds = static_cast<int>(*rounds);
+  p.length = std::max<int>(static_cast<int>(*length),
+                           static_cast<int>(kProbeHeader));
+  if (const auto port = cl.option_int("port")) {
+    if (*port < 1 || *port > 255) return std::nullopt;
+    p.routing_port = static_cast<net::Port>(*port);
+  }
+  return p;
+}
+
+PingProcess::PingProcess(kernel::Node& node)
+    : kernel::Process(node, "ping", kernel::Footprint{2148, 278}),
+      jitter_rng_(node.simulator().rng_root().stream("lv.ping.jitter",
+                                                     node.address())) {}
+
+PingProcess::~PingProcess() {
+  if (subscribed_) PingProcess::stop();
+}
+
+void PingProcess::start() {
+  if (!subscribed_) {
+    const bool ok = node().stack().subscribe(
+        net::kPortPing,
+        [this](const net::NetPacket& pkt, const net::LinkContext& ctx) {
+          on_packet(pkt, ctx);
+        });
+    assert(ok && "ping port already taken");
+    (void)ok;
+    subscribed_ = true;
+  }
+  set_running(true);
+
+  // Client role when the kernel parameter buffer holds parameters
+  // (the paper's parameter-passing syscall).
+  const std::string& params = node().param_buffer();
+  if (!params.empty() && !active_) {
+    if (const auto parsed =
+            parse_ping_params(params, node().address_book())) {
+      run(*parsed, done_);
+    }
+  }
+}
+
+void PingProcess::stop() {
+  round_timer_.cancel();
+  active_ = false;
+  if (subscribed_) {
+    node().stack().unsubscribe(net::kPortPing);
+    subscribed_ = false;
+  }
+  set_running(false);
+}
+
+void PingProcess::run(const PingParams& params, DoneCallback done) {
+  assert(!active_ && "ping client already running");
+  params_ = params;
+  done_ = std::move(done);
+  active_ = true;
+  current_round_ = 0;
+  result_ = PingResultMsg{};
+  result_.target = params.dst;
+  result_.rounds = static_cast<std::uint8_t>(params.rounds);
+  result_.payload_len = static_cast<std::uint8_t>(params.length);
+  result_.power = node().pa_level();
+  result_.channel = node().channel();
+  if (!subscribed_) start();
+  start_round();
+}
+
+void PingProcess::start_round() {
+  // Small random dispatch jitter de-synchronizes concurrent ping clients
+  // (and their timeout-aligned retries) probing the same responder.
+  const std::uint8_t round_at_schedule = current_round_;
+  node().simulator().schedule_in(
+      sim::SimTime::us(jitter_rng_.uniform_int(100, 15'000)),
+      [this, round_at_schedule] {
+        if (active_ && current_round_ == round_at_schedule) send_probe();
+      });
+}
+
+void PingProcess::send_probe() {
+  ProbeMsg probe;
+  probe.round = current_round_;
+  probe.probe_id = next_probe_id_++;
+  probe.routing_port = params_.routing_port.value_or(0);
+  probe.length = static_cast<std::uint8_t>(params_.length);
+  awaiting_probe_id_ = probe.probe_id;
+
+  queue_local_at_send_ =
+      static_cast<std::uint8_t>(node().mac().queue_depth());
+  // T1 from the high-resolution sender-local timer (Fig. 3 step 1).
+  t1_ns_ = node().timestamp_ns();
+
+  bool sent = false;
+  if (params_.routing_port) {
+    if (auto* proto = find_routing(node(), *params_.routing_port)) {
+      sent = proto->send(params_.dst, net::kPortPing, encode_probe(probe),
+                         /*padding=*/true);
+    }
+  } else {
+    net::NetPacket pkt;
+    pkt.src = node().address();
+    pkt.dst = params_.dst;
+    pkt.port = net::kPortPing;
+    pkt.ttl = 1;
+    pkt.payload = encode_probe(probe);
+    sent = node().stack().send_link(params_.dst, pkt);
+  }
+
+  const std::uint16_t expect = probe.probe_id;
+  round_timer_.cancel();
+  round_timer_ =
+      node().simulator().schedule_in(params_.round_timeout, [this, expect] {
+        if (!active_ || awaiting_probe_id_ != expect) return;
+        PingRoundMsg lost;
+        lost.round = current_round_;
+        lost.received = false;
+        finish_round(std::move(lost));
+      });
+  if (!sent) {
+    // No route / queue full: the timeout path will record the loss.
+  }
+}
+
+void PingProcess::on_packet(const net::NetPacket& pkt,
+                            const net::LinkContext& ctx) {
+  if (pkt.payload.empty()) return;
+  if (pkt.payload[0] == kTypeProbe) {
+    handle_probe(pkt, ctx);
+  } else if (pkt.payload[0] == kTypeReply) {
+    handle_reply(pkt, ctx);
+  }
+}
+
+void PingProcess::handle_probe(const net::NetPacket& pkt,
+                               const net::LinkContext& ctx) {
+  const auto probe = decode_probe(pkt.payload);
+  // Ignore loopback echoes of our own probes, but *do* answer probes that
+  // arrived through a routing protocol (those are delivered locally by
+  // the routing layer after the final hop).
+  if (!probe || pkt.src == node().address()) return;
+
+  ReplyMsg reply;
+  reply.round = probe->round;
+  reply.probe_id = probe->probe_id;
+  // Link quality of the incoming probe "is only available after the
+  // packet is received" — measured here, at the receiver (Fig. 3 step 3).
+  // For routed probes the final hop's measurement is the last padding
+  // entry (stamped by the routing layer on reception).
+  if (ctx.local && !pkt.padding.empty()) {
+    reply.lqi_fwd = pkt.padding.back().lqi;
+    reply.rssi_fwd = pkt.padding.back().rssi;
+  } else {
+    reply.lqi_fwd = ctx.rx.lqi;
+    reply.rssi_fwd = ctx.rx.rssi_reg;
+  }
+  reply.queue_remote = static_cast<std::uint8_t>(node().mac().queue_depth());
+  // Multi-hop: the probe accumulated per-hop padding on its way here;
+  // echo it in the reply payload so the sender can print the full path.
+  reply.hops_fwd = pkt.padding;
+
+  if (probe->routing_port != 0) {
+    if (auto* proto = find_routing(node(), probe->routing_port)) {
+      proto->send(pkt.src, net::kPortPing, encode_reply(reply),
+                  /*padding=*/true);
+    }
+    return;
+  }
+  net::NetPacket out;
+  out.src = node().address();
+  out.dst = pkt.src;
+  out.port = net::kPortPing;
+  out.ttl = 1;
+  out.payload = encode_reply(reply);
+  node().stack().send_link(pkt.src, out);
+}
+
+void PingProcess::handle_reply(const net::NetPacket& pkt,
+                               const net::LinkContext& ctx) {
+  if (!active_) return;
+  const auto reply = decode_reply(pkt.payload);
+  if (!reply || reply->probe_id != awaiting_probe_id_) return;
+
+  // T2 - T1 on the same clock (Fig. 3 steps 4-5).
+  const std::int64_t rtt_ns = node().timestamp_ns() - t1_ns_;
+
+  PingRoundMsg round;
+  round.round = reply->round;
+  round.received = true;
+  round.rtt_us = static_cast<std::uint32_t>(rtt_ns / 1'000);
+  round.lqi_fwd = reply->lqi_fwd;
+  round.rssi_fwd = reply->rssi_fwd;
+  round.queue_remote = reply->queue_remote;
+  round.queue_local = queue_local_at_send_;
+  // Backward-link measurements come from the reply's own reception.
+  if (pkt.padding.empty()) {
+    round.lqi_bwd = ctx.rx.lqi;
+    round.rssi_bwd = ctx.rx.rssi_reg;
+  } else {
+    // Multi-hop: last padding entry is the final (closest) hop.
+    round.lqi_bwd = pkt.padding.back().lqi;
+    round.rssi_bwd = pkt.padding.back().rssi;
+  }
+  round.hops_fwd = reply->hops_fwd;
+  round.hops_bwd = pkt.padding;
+  if (round.hops_fwd.size() == 1 && round.hops_bwd.size() <= 1) {
+    // Single-hop over a routing protocol: report as plain one-hop.
+    round.lqi_fwd = round.hops_fwd[0].lqi;
+    round.rssi_fwd = round.hops_fwd[0].rssi;
+  }
+  finish_round(std::move(round));
+}
+
+void PingProcess::finish_round(PingRoundMsg round) {
+  round_timer_.cancel();
+  awaiting_probe_id_ = 0;
+  result_.rounds_data.push_back(std::move(round));
+  ++current_round_;
+  if (current_round_ < static_cast<std::uint8_t>(params_.rounds)) {
+    start_round();
+    return;
+  }
+  finish_all();
+}
+
+void PingProcess::finish_all() {
+  active_ = false;
+  if (done_) done_(result_);
+}
+
+}  // namespace liteview::lv

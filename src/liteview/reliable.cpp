@@ -1,0 +1,313 @@
+#include "liteview/reliable.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace liteview::lv {
+namespace {
+
+constexpr std::uint8_t kKindData = 0;
+constexpr std::uint8_t kKindAck = 1;
+constexpr std::uint8_t kFlagAckRequest = 0x01;
+constexpr std::uint8_t kFlagNoAck = 0x02;
+
+}  // namespace
+
+ReliableEndpoint::ReliableEndpoint(kernel::Node& node,
+                                   const ReliableConfig& cfg)
+    : node_(node),
+      cfg_(cfg),
+      rng_(node.simulator().rng_root().stream("lv.reliable",
+                                              node.address())) {
+  const bool ok = node_.stack().subscribe(
+      net::kPortMgmt,
+      [this](const net::NetPacket& pkt, const net::LinkContext& ctx) {
+        on_packet(pkt, ctx);
+      });
+  assert(ok && "management port already taken");
+  (void)ok;
+}
+
+ReliableEndpoint::~ReliableEndpoint() {
+  timeout_.cancel();
+  node_.stack().unsubscribe(net::kPortMgmt);
+}
+
+std::size_t ReliableEndpoint::batch_size(net::Addr peer) const {
+  const auto it = peer_batch_.find(peer);
+  return it == peer_batch_.end() ? cfg_.initial_batch : it->second;
+}
+
+void ReliableEndpoint::send_message(net::Addr dst,
+                                    std::vector<std::uint8_t> message,
+                                    SendCallback cb) {
+  Outgoing out;
+  out.dst = dst;
+  out.msg_id = next_msg_id_++;
+  for (std::size_t off = 0; off < message.size();
+       off += cfg_.frag_payload) {
+    const std::size_t len =
+        std::min(cfg_.frag_payload, message.size() - off);
+    out.frags.emplace_back(message.begin() + static_cast<long>(off),
+                           message.begin() + static_cast<long>(off + len));
+  }
+  if (out.frags.empty()) out.frags.emplace_back();  // empty message
+  assert(out.frags.size() <= 255);
+  out.acked.assign(out.frags.size(), false);
+  out.sent.assign(out.frags.size(), false);
+  out.cb = std::move(cb);
+  ++stats_.messages_sent;
+  queue_.push_back(std::move(out));
+  start_next();
+}
+
+bool ReliableEndpoint::broadcast(std::vector<std::uint8_t> message) {
+  if (message.size() > cfg_.frag_payload) return false;
+  util::ByteWriter w;
+  w.u8(kKindData);
+  w.u16(next_msg_id_++);
+  w.u8(0);  // frag index
+  w.u8(1);  // frag count
+  w.u8(kFlagNoAck);
+  w.bytes(message);
+
+  net::NetPacket pkt;
+  pkt.src = node_.address();
+  pkt.dst = net::kBroadcast;
+  pkt.port = net::kPortMgmt;
+  pkt.ttl = 1;
+  pkt.payload = std::move(w).take();
+  ++stats_.data_frags_sent;
+  return node_.stack().send_link(net::kBroadcast, pkt);
+}
+
+void ReliableEndpoint::start_next() {
+  if (in_flight_ || queue_.empty()) return;
+  in_flight_ = true;
+  queue_.front().retries = 0;
+  send_round();
+}
+
+std::vector<std::size_t> ReliableEndpoint::unacked(const Outgoing& m) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < m.acked.size(); ++i) {
+    if (!m.acked[i]) out.push_back(i);
+  }
+  return out;
+}
+
+void ReliableEndpoint::send_frag(const Outgoing& msg, std::size_t index,
+                                 bool ack_request, sim::SimTime delay) {
+  util::ByteWriter w;
+  w.u8(kKindData);
+  w.u16(msg.msg_id);
+  w.u8(static_cast<std::uint8_t>(index));
+  w.u8(static_cast<std::uint8_t>(msg.frags.size()));
+  w.u8(ack_request ? kFlagAckRequest : 0);
+  w.bytes(msg.frags[index]);
+
+  net::NetPacket pkt;
+  pkt.src = node_.address();
+  pkt.dst = msg.dst;
+  pkt.port = net::kPortMgmt;
+  pkt.ttl = 1;
+  pkt.payload = std::move(w).take();
+
+  auto shared = std::make_shared<net::NetPacket>(std::move(pkt));
+  const net::Addr dst = msg.dst;
+  node_.simulator().schedule_in(delay, [this, shared, dst] {
+    node_.stack().send_link(dst, *shared);
+    ++stats_.data_frags_sent;
+  });
+}
+
+void ReliableEndpoint::send_round() {
+  assert(!queue_.empty());
+  Outgoing& msg = queue_.front();
+  const auto missing = unacked(msg);
+  if (missing.empty()) {
+    finish_current(true);
+    return;
+  }
+  const std::size_t batch = std::min(batch_size(msg.dst), missing.size());
+  for (std::size_t k = 0; k < batch; ++k) {
+    const bool last = (k == batch - 1);
+    msg.sent[missing[k]] = true;
+    send_frag(msg, missing[k], /*ack_request=*/last,
+              cfg_.frag_spacing * static_cast<std::int64_t>(k));
+  }
+  // The ack timer covers the whole batch's airtime plus turnaround.
+  const auto window =
+      cfg_.frag_spacing * static_cast<std::int64_t>(batch) + cfg_.ack_timeout;
+  const std::uint16_t id = msg.msg_id;
+  timeout_.cancel();
+  timeout_ =
+      node_.simulator().schedule_in(window, [this, id] { on_ack_timeout(id); });
+}
+
+void ReliableEndpoint::on_ack_timeout(std::uint16_t msg_id) {
+  if (queue_.empty() || !in_flight_ || queue_.front().msg_id != msg_id)
+    return;
+  Outgoing& msg = queue_.front();
+  ++stats_.timeouts;
+  // Total silence is the strongest loss signal: shrink hard.
+  if (cfg_.adaptive_batch) {
+    peer_batch_[msg.dst] =
+        std::max(cfg_.min_batch, batch_size(msg.dst) / 2);
+  }
+  if (++msg.retries > cfg_.max_retries) {
+    finish_current(false);
+    return;
+  }
+  ++stats_.retransmissions;
+  send_round();
+}
+
+void ReliableEndpoint::finish_current(bool ok) {
+  assert(!queue_.empty());
+  timeout_.cancel();
+  Outgoing done = std::move(queue_.front());
+  queue_.pop_front();
+  in_flight_ = false;
+  if (ok) {
+    ++stats_.messages_delivered;
+  } else {
+    ++stats_.messages_failed;
+  }
+  if (done.cb) done.cb(ok);
+  start_next();
+}
+
+void ReliableEndpoint::on_packet(const net::NetPacket& pkt,
+                                 const net::LinkContext& ctx) {
+  util::ByteReader r(pkt.payload);
+  const std::uint8_t kind = r.u8();
+  if (kind == kKindData) {
+    handle_data(pkt.src, r, pkt.dst == net::kBroadcast);
+  } else if (kind == kKindAck) {
+    handle_ack(pkt.src, r);
+  }
+  (void)ctx;
+}
+
+void ReliableEndpoint::handle_data(net::Addr from, util::ByteReader& r,
+                                   bool was_broadcast) {
+  const std::uint16_t msg_id = r.u16();
+  const std::uint8_t index = r.u8();
+  const std::uint8_t count = r.u8();
+  const std::uint8_t flags = r.u8();
+  if (!r.ok() || count == 0 || index >= count) return;
+  auto chunk_span = r.rest();
+  std::vector<std::uint8_t> chunk(chunk_span.begin(), chunk_span.end());
+
+  if (flags & kFlagNoAck) {
+    // Unacknowledged broadcast: deliver immediately (single fragment).
+    if (handler_) handler_(from, chunk, true);
+    return;
+  }
+
+  // Duplicate of an already-completed message: just re-ack completion.
+  const auto done_it = last_completed_.find(from);
+  if (done_it != last_completed_.end() && done_it->second == msg_id) {
+    if (flags & kFlagAckRequest) send_ack(from, msg_id, {});
+    return;
+  }
+
+  auto& inc = incoming_[{from, msg_id}];
+  if (inc.frags.empty()) inc.frags.resize(count);
+  if (index < inc.frags.size() && !inc.frags[index]) {
+    inc.frags[index] = std::move(chunk);
+    ++inc.received;
+  }
+
+  const bool complete = inc.received == inc.frags.size();
+  if (complete) {
+    std::vector<std::uint8_t> message;
+    for (auto& f : inc.frags) {
+      message.insert(message.end(), f->begin(), f->end());
+    }
+    incoming_.erase({from, msg_id});
+    last_completed_[from] = msg_id;
+    send_ack(from, msg_id, {});
+    if (handler_) handler_(from, message, was_broadcast);
+    return;
+  }
+
+  if (flags & kFlagAckRequest) {
+    // "Lost packets are detected at the node side by detecting missing
+    // sequence numbers": report every hole we currently see.
+    std::vector<std::uint8_t> missing;
+    for (std::size_t i = 0; i < inc.frags.size(); ++i) {
+      if (!inc.frags[i]) missing.push_back(static_cast<std::uint8_t>(i));
+      // Cap the report so the ACK always fits the payload budget; the
+      // sender fills these holes first and later ACKs report the rest.
+      if (missing.size() >= 40) break;
+    }
+    send_ack(from, msg_id, missing);
+  }
+}
+
+void ReliableEndpoint::send_ack(net::Addr to, std::uint16_t msg_id,
+                                const std::vector<std::uint8_t>& missing) {
+  util::ByteWriter w;
+  w.u8(kKindAck);
+  w.u16(msg_id);
+  w.u8(static_cast<std::uint8_t>(missing.size()));
+  for (std::uint8_t m : missing) w.u8(m);
+
+  net::NetPacket pkt;
+  pkt.src = node_.address();
+  pkt.dst = to;
+  pkt.port = net::kPortMgmt;
+  pkt.ttl = 1;
+  pkt.payload = std::move(w).take();
+  node_.stack().send_link(to, pkt);
+  ++stats_.acks_sent;
+}
+
+void ReliableEndpoint::handle_ack(net::Addr from, util::ByteReader& r) {
+  const std::uint16_t msg_id = r.u16();
+  const std::uint8_t n_missing = r.u8();
+  if (!r.ok()) return;
+  if (queue_.empty() || !in_flight_) return;
+  Outgoing& msg = queue_.front();
+  if (msg.msg_id != msg_id || msg.dst != from) return;
+
+  ++stats_.acks_received;
+  std::vector<bool> missing_set(msg.frags.size(), false);
+  bool any_lost = false;
+  for (std::uint8_t i = 0; i < n_missing; ++i) {
+    const std::uint8_t idx = r.u8();
+    if (idx < missing_set.size()) {
+      missing_set[idx] = true;
+      // A hole the receiver reports is a *loss* only if we already sent
+      // that fragment; unsent fragments are expected holes.
+      if (msg.sent[idx]) any_lost = true;
+    }
+  }
+  if (!r.ok()) return;
+
+  // Everything we have transmitted and the receiver did not report
+  // missing is in. (Never-sent fragments can't be acked, even if the
+  // receiver's capped missing list omitted them.)
+  for (std::size_t i = 0; i < msg.acked.size(); ++i) {
+    if (!missing_set[i] && msg.sent[i]) msg.acked[i] = true;
+  }
+
+  // Dynamic batch adjustment from observed link quality.
+  if (cfg_.adaptive_batch) {
+    auto& batch = peer_batch_[msg.dst];
+    if (batch == 0) batch = cfg_.initial_batch;
+    if (any_lost) {
+      batch = std::max(cfg_.min_batch, batch / 2);
+    } else {
+      batch = std::min(cfg_.max_batch, batch + 1);
+    }
+  }
+
+  msg.retries = 0;
+  timeout_.cancel();
+  send_round();
+}
+
+}  // namespace liteview::lv

@@ -1,0 +1,140 @@
+// The reliable one-hop message exchange protocol between the command
+// interpreter (workstation) and runtime controllers (nodes).
+//
+// From the paper (Sec. IV-B): "For commands interpreted into one single
+// packet, one acknowledgement packet, combined with a timeout mechanism,
+// is sufficient. For commands translated into a sequence of packets, the
+// protocol operates in batches, with one acknowledgement packet for each
+// batch. The number of packets in each batch is dynamically adjusted
+// based on link quality: a smaller batch size is preferred when packets
+// are more likely to get lost. The lost packets are detected at the node
+// side by detecting missing sequence numbers. Finally, if the management
+// workstation is operating on a group of nodes, these nodes wait for
+// random backoff delays before sending responses."
+//
+// Fragment layout on net::kPortMgmt:
+//   DATA: [0]=0 [1..2]=msg_id [3]=frag_index [4]=frag_count [5]=flags
+//         [6..]=chunk                       (flags bit0: ack requested,
+//                                            bit1: unacknowledged bcast)
+//   ACK:  [0]=1 [1..2]=msg_id [3]=n_missing [4..]=missing indices
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "kernel/node.hpp"
+#include "net/packet.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace liteview::lv {
+
+struct ReliableConfig {
+  /// Message bytes per fragment (fits the 64-byte payload budget with
+  /// the 7-byte fragment header).
+  std::size_t frag_payload = 48;
+  std::size_t initial_batch = 4;
+  std::size_t min_batch = 1;
+  std::size_t max_batch = 8;
+  /// When false, the batch size stays at initial_batch (ablation A1).
+  bool adaptive_batch = true;
+  sim::SimTime ack_timeout = sim::SimTime::ms(120);
+  int max_retries = 8;
+  /// Spacing between fragments within one batch (MAC queue pacing).
+  sim::SimTime frag_spacing = sim::SimTime::ms(4);
+};
+
+struct ReliableStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_failed = 0;
+  std::uint64_t data_frags_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t timeouts = 0;
+};
+
+/// One endpoint of the reliable protocol. Both the workstation's base
+/// station and every node's runtime controller own one.
+class ReliableEndpoint {
+ public:
+  /// (source address, message bytes, arrived_via_broadcast)
+  using MessageHandler = std::function<void(
+      net::Addr, const std::vector<std::uint8_t>&, bool)>;
+  using SendCallback = std::function<void(bool)>;
+
+  ReliableEndpoint(kernel::Node& node, const ReliableConfig& cfg = {});
+  ~ReliableEndpoint();
+
+  ReliableEndpoint(const ReliableEndpoint&) = delete;
+  ReliableEndpoint& operator=(const ReliableEndpoint&) = delete;
+
+  /// Queue a message for reliable one-hop delivery. Messages to the same
+  /// endpoint are serviced in order, one in flight at a time.
+  void send_message(net::Addr dst, std::vector<std::uint8_t> message,
+                    SendCallback cb = {});
+
+  /// Best-effort single-fragment broadcast (group commands). Message must
+  /// fit one fragment; receivers apply response backoff at the app layer.
+  bool broadcast(std::vector<std::uint8_t> message);
+
+  void set_handler(MessageHandler handler) { handler_ = std::move(handler); }
+
+  [[nodiscard]] const ReliableStats& stats() const noexcept { return stats_; }
+  /// Current adaptive batch size toward a peer (initial when unknown).
+  [[nodiscard]] std::size_t batch_size(net::Addr peer) const;
+  [[nodiscard]] kernel::Node& node() noexcept { return node_; }
+  [[nodiscard]] const ReliableConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Outgoing {
+    net::Addr dst = 0;
+    std::uint16_t msg_id = 0;
+    std::vector<std::vector<std::uint8_t>> frags;
+    std::vector<bool> acked;
+    std::vector<bool> sent;  ///< transmitted at least once
+    int retries = 0;
+    SendCallback cb;
+  };
+
+  struct Incoming {
+    std::vector<std::optional<std::vector<std::uint8_t>>> frags;
+    std::size_t received = 0;
+  };
+
+  void on_packet(const net::NetPacket& pkt, const net::LinkContext& ctx);
+  void handle_data(net::Addr from, util::ByteReader& r, bool was_broadcast);
+  void handle_ack(net::Addr from, util::ByteReader& r);
+  void start_next();
+  void send_round();
+  void on_ack_timeout(std::uint16_t msg_id);
+  void finish_current(bool ok);
+  void send_frag(const Outgoing& msg, std::size_t index, bool ack_request,
+                 sim::SimTime delay);
+  void send_ack(net::Addr to, std::uint16_t msg_id,
+                const std::vector<std::uint8_t>& missing);
+  [[nodiscard]] std::vector<std::size_t> unacked(const Outgoing& m) const;
+
+  kernel::Node& node_;
+  ReliableConfig cfg_;
+  MessageHandler handler_;
+  util::RngStream rng_;
+
+  std::deque<Outgoing> queue_;  ///< front = in flight
+  bool in_flight_ = false;
+  std::uint16_t next_msg_id_ = 1;
+  sim::EventHandle timeout_;
+
+  std::map<net::Addr, std::size_t> peer_batch_;
+  std::map<std::pair<net::Addr, std::uint16_t>, Incoming> incoming_;
+  std::map<net::Addr, std::uint16_t> last_completed_;
+
+  ReliableStats stats_;
+};
+
+}  // namespace liteview::lv

@@ -1,0 +1,373 @@
+#include "liteview/runtime_controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace liteview::lv {
+
+RuntimeController::RuntimeController(kernel::Node& node, PingProcess& ping,
+                                     TracerouteProcess& traceroute,
+                                     const ControllerConfig& cfg)
+    : kernel::Process(node, "runtimectl", kernel::Footprint{4102, 412}),
+      cfg_(cfg),
+      endpoint_(node, cfg.reliable),
+      ping_(ping),
+      traceroute_(traceroute),
+      backoff_rng_(node.simulator().rng_root().stream("lv.ctl.backoff",
+                                                      node.address())) {}
+
+RuntimeController::~RuntimeController() = default;
+
+void RuntimeController::start() {
+  endpoint_.set_handler(
+      [this](net::Addr from, const std::vector<std::uint8_t>& bytes,
+             bool was_broadcast) { on_message(from, bytes, was_broadcast); });
+  set_running(true);
+}
+
+void RuntimeController::stop() {
+  endpoint_.set_handler(nullptr);
+  set_running(false);
+}
+
+void RuntimeController::respond(net::Addr to, MsgType type,
+                                std::vector<std::uint8_t> body,
+                                bool with_backoff) {
+  auto message = encode_mgmt(type, body);
+  if (!with_backoff) {
+    endpoint_.send_message(to, std::move(message));
+    return;
+  }
+  // Random response backoff so replies from a group of nodes don't
+  // collide (paper Sec. IV-B).
+  const auto window =
+      cfg_.response_backoff_max - cfg_.response_backoff_min;
+  const auto delay =
+      cfg_.response_backoff_min +
+      sim::SimTime::ns(static_cast<std::int64_t>(
+          backoff_rng_.uniform() *
+          static_cast<double>(window.nanoseconds())));
+  auto shared = std::make_shared<std::vector<std::uint8_t>>(std::move(message));
+  node().simulator().schedule_in(delay, [this, to, shared] {
+    endpoint_.send_message(to, std::move(*shared));
+  });
+}
+
+void RuntimeController::on_message(net::Addr from,
+                                   const std::vector<std::uint8_t>& bytes,
+                                   bool was_broadcast) {
+  const auto msg = decode_mgmt(bytes);
+  if (!msg) return;
+  switch (msg->type) {
+    case MsgType::kRadioGetConfig: {
+      RadioConfig rc;
+      rc.power = node().pa_level();
+      rc.channel = node().channel();
+      respond(from, MsgType::kRadioConfig, encode_body(rc), was_broadcast);
+      break;
+    }
+    case MsgType::kRadioSetPower: {
+      const auto body = decode_radio_set_power(msg->body);
+      Status st;
+      if (body && body->level <= phy::kMaxPaLevel) {
+        node().set_pa_level(body->level);
+        st.detail = util::format("power set to %u", body->level);
+      } else {
+        st.ok = false;
+        st.detail = "invalid power level";
+      }
+      respond(from, MsgType::kStatus, encode_body(st), was_broadcast);
+      break;
+    }
+    case MsgType::kRadioSetChannel: {
+      const auto body = decode_radio_set_channel(msg->body);
+      Status st;
+      if (body && body->channel >= phy::kMinChannel &&
+          body->channel <= phy::kMaxChannel) {
+        // Acknowledge on the *old* channel before retuning, or the reply
+        // would be transmitted where the workstation can't hear it.
+        st.detail = util::format("channel set to %u", body->channel);
+        respond(from, MsgType::kStatus, encode_body(st), was_broadcast);
+        const auto ch = body->channel;
+        node().simulator().schedule_in(sim::SimTime::ms(450), [this, ch] {
+          node().set_channel(ch);
+        });
+      } else {
+        st.ok = false;
+        st.detail = "invalid channel";
+        respond(from, MsgType::kStatus, encode_body(st), was_broadcast);
+      }
+      break;
+    }
+    case MsgType::kNbrList: {
+      const auto body = decode_nbr_list(msg->body);
+      NbrTableMsg table;
+      table.with_link_info = body ? body->with_link_info : true;
+      // Direct read of the kernel-held neighbor table (Sec. IV-B: "by
+      // invoking the APIs provided by the underlying OS, or by directly
+      // reading memory addresses").
+      for (const auto& e : node().neighbors().entries()) {
+        NbrTableEntryMsg m;
+        m.addr = e.addr;
+        m.name = e.name;
+        m.lqi = static_cast<std::uint8_t>(e.lqi_ewma + 0.5);
+        m.rssi = static_cast<std::int8_t>(e.rssi_ewma);
+        m.blacklisted = e.blacklisted;
+        m.age_ms = static_cast<std::uint32_t>(
+            (node().simulator().now() - e.last_seen).milliseconds());
+        table.entries.push_back(std::move(m));
+      }
+      respond(from, MsgType::kNbrTable, encode_body(table), was_broadcast);
+      break;
+    }
+    case MsgType::kNbrBlacklistAdd:
+    case MsgType::kNbrBlacklistRemove: {
+      const auto body = decode_nbr_blacklist(msg->body);
+      Status st;
+      const bool add = msg->type == MsgType::kNbrBlacklistAdd;
+      if (body && node().neighbors().set_blacklisted(body->addr, add)) {
+        st.detail = util::format("%u %s blacklist", body->addr,
+                                 add ? "added to" : "removed from");
+        node().log_event(add ? kernel::EventCode::kBlacklistAdded
+                             : kernel::EventCode::kBlacklistRemoved,
+                         body->addr);
+      } else {
+        st.ok = false;
+        st.detail = "unknown neighbor";
+      }
+      respond(from, MsgType::kStatus, encode_body(st), was_broadcast);
+      break;
+    }
+    case MsgType::kNbrUpdate: {
+      const auto body = decode_nbr_update(msg->body);
+      Status st;
+      if (body && body->beacon_period_ms >= 100) {
+        node().set_beacon_period(
+            sim::SimTime::ms(body->beacon_period_ms));
+        st.detail =
+            util::format("beacon period %u ms", body->beacon_period_ms);
+      } else {
+        st.ok = false;
+        st.detail = "invalid beacon period";
+      }
+      respond(from, MsgType::kStatus, encode_body(st), was_broadcast);
+      break;
+    }
+    case MsgType::kExecPing: {
+      const auto body = decode_exec(msg->body);
+      if (body) exec_ping(from, *body);
+      break;
+    }
+    case MsgType::kExecTraceroute: {
+      const auto body = decode_exec(msg->body);
+      if (body) exec_traceroute(from, *body);
+      break;
+    }
+    case MsgType::kListProcesses: {
+      ProcessListMsg list;
+      for (const kernel::Process* p : node().processes()) {
+        ProcessInfoMsg info;
+        info.name = p->name();
+        info.running = p->running();
+        info.flash_bytes = p->footprint().flash_bytes;
+        info.ram_bytes = p->footprint().ram_bytes;
+        list.processes.push_back(std::move(info));
+      }
+      respond(from, MsgType::kProcessList, encode_body(list), was_broadcast);
+      break;
+    }
+    case MsgType::kLogFetch: {
+      LogDataMsg log;
+      const auto& el = node().event_log();
+      log.total = static_cast<std::uint32_t>(el.total());
+      log.dropped = static_cast<std::uint32_t>(el.dropped());
+      for (const auto& e : el.snapshot()) {
+        LogEventMsg m;
+        m.time_ms = static_cast<std::uint32_t>(e.time.milliseconds());
+        m.code = static_cast<std::uint16_t>(e.code);
+        m.arg = e.arg;
+        log.events.push_back(m);
+      }
+      respond(from, MsgType::kLogData, encode_body(log), was_broadcast);
+      break;
+    }
+    case MsgType::kEnergyGet: {
+      EnergyMsg e;
+      e.uptime_ms = static_cast<std::uint32_t>(
+          node().simulator().now().milliseconds());
+      e.tx_uj = static_cast<std::uint64_t>(node().energy_tx_mj() * 1000.0);
+      e.listen_uj =
+          static_cast<std::uint64_t>(node().energy_listen_mj() * 1000.0);
+      respond(from, MsgType::kEnergy, encode_body(e), was_broadcast);
+      break;
+    }
+    case MsgType::kNetstat: {
+      respond(from, MsgType::kNetstatData, encode_body(collect_netstat()),
+              was_broadcast);
+      break;
+    }
+    case MsgType::kScan: {
+      const auto req = decode_scan_request(msg->body);
+      if (req) exec_scan(from, *req);
+      break;
+    }
+    default:
+      break;  // responses are not handled on the node side
+  }
+}
+
+NetstatMsg RuntimeController::collect_netstat() const {
+  NetstatMsg m;
+  // const_cast-free access: Process::node() is non-const, so go through
+  // the member reference captured at construction.
+  auto& n = const_cast<RuntimeController*>(this)->node();
+  const auto& mac = n.mac().stats();
+  m.mac_enqueued = static_cast<std::uint32_t>(mac.enqueued);
+  m.mac_sent = static_cast<std::uint32_t>(mac.sent);
+  m.mac_dropped_queue_full =
+      static_cast<std::uint32_t>(mac.dropped_queue_full);
+  m.mac_dropped_channel_busy =
+      static_cast<std::uint32_t>(mac.dropped_channel_busy);
+  m.mac_rx_delivered = static_cast<std::uint32_t>(mac.rx_delivered);
+  m.mac_rx_crc_failures = static_cast<std::uint32_t>(mac.rx_crc_failures);
+  m.mac_cca_busy = static_cast<std::uint32_t>(mac.cca_busy);
+  const auto& net = n.stack().stats();
+  m.net_delivered = static_cast<std::uint32_t>(net.delivered);
+  m.net_local = static_cast<std::uint32_t>(net.local_delivered);
+  m.net_no_subscriber = static_cast<std::uint32_t>(net.no_subscriber);
+  m.net_malformed = static_cast<std::uint32_t>(net.malformed);
+  for (kernel::Process* p : n.processes()) {
+    auto* proto = dynamic_cast<routing::RoutingProtocol*>(p);
+    if (proto == nullptr) continue;
+    RoutingStatMsg rs;
+    rs.port = proto->port();
+    rs.name = proto->protocol_name();
+    rs.originated = static_cast<std::uint32_t>(proto->stats().originated);
+    rs.forwarded = static_cast<std::uint32_t>(proto->stats().forwarded);
+    rs.delivered = static_cast<std::uint32_t>(proto->stats().delivered);
+    rs.dropped_no_route =
+        static_cast<std::uint32_t>(proto->stats().dropped_no_route);
+    rs.dropped_ttl = static_cast<std::uint32_t>(proto->stats().dropped_ttl);
+    rs.control_sent =
+        static_cast<std::uint32_t>(proto->stats().control_sent);
+    m.protocols.push_back(std::move(rs));
+  }
+  return m;
+}
+
+void RuntimeController::exec_scan(net::Addr from, const ScanRequest& req) {
+  // Channel survey: hop across all 16 channels, sampling the in-band
+  // energy several times per dwell, then restore the home channel and
+  // report the per-channel maxima. The node is deaf to its home channel
+  // while scanning — exactly like a real spectrum sweep.
+  const auto dwell =
+      sim::SimTime::ms(std::clamp<int>(req.dwell_ms, 5, 1'000));
+  constexpr int kSamples = 4;
+  const auto sample_gap = sim::SimTime::ns(dwell.nanoseconds() / kSamples);
+  const phy::Channel home = node().channel();
+
+  struct ScanState {
+    ScanDataMsg results;
+    phy::Channel channel = phy::kMinChannel;
+    int sample = 0;
+    double peak_dbm = -300.0;
+  };
+  node().log_event(kernel::EventCode::kCommandExecuted,
+                   static_cast<std::uint32_t>(MsgType::kScan));
+  auto st = std::make_shared<ScanState>();
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, sample_gap, home, st, step, from] {
+    // Retune through the raw MAC: a 17-hop sweep shouldn't flood the
+    // event log with channel-changed entries.
+    if (st->sample == 0) node().mac().set_channel(st->channel);
+    st->peak_dbm =
+        std::max(st->peak_dbm, node().mac().sample_channel_power_dbm());
+    if (++st->sample >= kSamples) {
+      st->results.entries.push_back(
+          ScanEntryMsg{st->channel, phy::rssi_register(st->peak_dbm)});
+      st->sample = 0;
+      st->peak_dbm = -300.0;
+      if (st->channel >= phy::kMaxChannel) {
+        node().mac().set_channel(home);
+        respond(from, MsgType::kScanData, encode_body(st->results), false);
+        return;
+      }
+      ++st->channel;
+    }
+    node().simulator().schedule_in(sample_gap, [step] { (*step)(); });
+  };
+  (*step)();
+}
+
+void RuntimeController::exec_ping(net::Addr from, const ExecCommand& cmd) {
+  const auto params =
+      parse_ping_params(cmd.params, node().address_book());
+  if (!params) {
+    Status st;
+    st.ok = false;
+    st.detail = "bad ping parameters";
+    respond(from, MsgType::kStatus, encode_body(st), false);
+    return;
+  }
+  if (ping_.client_active()) {
+    Status st;
+    st.ok = false;
+    st.detail = "ping already running";
+    respond(from, MsgType::kStatus, encode_body(st), false);
+    return;
+  }
+  // Parameters reach the process through the kernel buffer (Sec. IV-C4),
+  // then the process is started like any LiteOS executable.
+  node().set_param_buffer(cmd.params);
+  ping_.run(*params, [this, from](const PingResultMsg& result) {
+    node().set_param_buffer({});
+    respond(from, MsgType::kPingResult, encode_body(result), false);
+  });
+}
+
+void RuntimeController::exec_traceroute(net::Addr from,
+                                        const ExecCommand& cmd) {
+  const auto params =
+      parse_traceroute_params(cmd.params, node().address_book());
+  if (!params) {
+    Status st;
+    st.ok = false;
+    st.detail = "bad traceroute parameters";
+    respond(from, MsgType::kStatus, encode_body(st), false);
+    return;
+  }
+  if (traceroute_.client_active()) {
+    Status st;
+    st.ok = false;
+    st.detail = "traceroute already running";
+    respond(from, MsgType::kStatus, encode_body(st), false);
+    return;
+  }
+  node().set_param_buffer(cmd.params);
+  traceroute_.run(
+      *params,
+      [this, from](const TracerouteReportMsg& report) {
+        // Stream every hop report to the workstation as it arrives;
+        // Fig. 5 measures exactly these arrival instants.
+        respond(from, MsgType::kTracerouteReport, encode_body(report), false);
+      },
+      [this, from](const TracerouteDoneMsg& done) {
+        node().set_param_buffer({});
+        respond(from, MsgType::kTracerouteDone, encode_body(done), false);
+      });
+}
+
+NodeSuite::NodeSuite(kernel::Node& node, const ControllerConfig& cfg)
+    : node_(node),
+      ping_(std::make_unique<PingProcess>(node)),
+      traceroute_(std::make_unique<TracerouteProcess>(node)),
+      controller_(std::make_unique<RuntimeController>(node, *ping_,
+                                                      *traceroute_, cfg)) {
+  ping_->start();
+  traceroute_->start();
+  controller_->start();
+}
+
+}  // namespace liteview::lv

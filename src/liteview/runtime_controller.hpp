@@ -1,0 +1,86 @@
+// The LiteView runtime controller — the node-side half of the toolkit.
+//
+// "On the node side, LiteView implements a runtime controller that
+// interacts with the command interpreter. [It] provides comprehensive
+// visibility on neighborhood management by allowing users to view state
+// of neighbors kept by the kernel [and] executes user commands, where it
+// interacts with communication protocols to send or receive messages.
+// Unlike other built-in commands supported by LiteOS, the commands
+// supported by LiteView are executed as individual processes."
+// (paper Sec. IV-B)
+#pragma once
+
+#include <memory>
+
+#include "kernel/node.hpp"
+#include "kernel/process.hpp"
+#include "liteview/messages.hpp"
+#include "liteview/ping.hpp"
+#include "liteview/reliable.hpp"
+#include "liteview/traceroute.hpp"
+
+namespace liteview::lv {
+
+struct ControllerConfig {
+  ReliableConfig reliable;
+  /// Random response backoff window: nodes "wait for random backoff
+  /// delays before sending responses, so that their packets will not
+  /// collide". The fixed 500 ms command response budget on the
+  /// workstation side is sized to absorb this.
+  sim::SimTime response_backoff_min = sim::SimTime::ms(20);
+  sim::SimTime response_backoff_max = sim::SimTime::ms(300);
+};
+
+class RuntimeController final : public kernel::Process {
+ public:
+  RuntimeController(kernel::Node& node, PingProcess& ping,
+                    TracerouteProcess& traceroute,
+                    const ControllerConfig& cfg = {});
+  ~RuntimeController() override;
+
+  void start() override;
+  void stop() override;
+
+  [[nodiscard]] ReliableEndpoint& endpoint() noexcept { return endpoint_; }
+
+ private:
+  void on_message(net::Addr from, const std::vector<std::uint8_t>& bytes,
+                  bool was_broadcast);
+  void respond(net::Addr to, MsgType type, std::vector<std::uint8_t> body,
+               bool with_backoff);
+  void exec_ping(net::Addr from, const ExecCommand& cmd);
+  void exec_traceroute(net::Addr from, const ExecCommand& cmd);
+  void exec_scan(net::Addr from, const ScanRequest& req);
+  [[nodiscard]] NetstatMsg collect_netstat() const;
+
+  ControllerConfig cfg_;
+  ReliableEndpoint endpoint_;
+  PingProcess& ping_;
+  TracerouteProcess& traceroute_;
+  util::RngStream backoff_rng_;
+};
+
+/// Everything LiteView installs on a node: the runtime controller daemon
+/// plus the ping and traceroute processes (started at boot so any node
+/// can answer probes and continue traces).
+class NodeSuite {
+ public:
+  explicit NodeSuite(kernel::Node& node, const ControllerConfig& cfg = {});
+
+  [[nodiscard]] kernel::Node& node() noexcept { return node_; }
+  [[nodiscard]] RuntimeController& controller() noexcept {
+    return *controller_;
+  }
+  [[nodiscard]] PingProcess& ping() noexcept { return *ping_; }
+  [[nodiscard]] TracerouteProcess& traceroute() noexcept {
+    return *traceroute_;
+  }
+
+ private:
+  kernel::Node& node_;
+  std::unique_ptr<PingProcess> ping_;
+  std::unique_ptr<TracerouteProcess> traceroute_;
+  std::unique_ptr<RuntimeController> controller_;
+};
+
+}  // namespace liteview::lv

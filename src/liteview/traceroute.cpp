@@ -1,0 +1,475 @@
+#include "liteview/traceroute.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "liteview/ping.hpp"  // find_routing
+#include "util/bytes.hpp"
+#include "util/strings.hpp"
+
+namespace liteview::lv {
+namespace {
+
+constexpr std::uint8_t kTypeProbe = 0;
+constexpr std::uint8_t kTypeReply = 1;
+constexpr std::uint8_t kTypeReport = 2;
+constexpr std::size_t kProbeHeader = 11;
+
+struct ProbeMsg {
+  std::uint16_t task_id;
+  net::Addr origin;
+  net::Addr final_dst;
+  std::uint8_t hop_index;
+  net::Port routing_port;
+  std::uint8_t length;
+};
+
+std::vector<std::uint8_t> encode_probe(const ProbeMsg& p) {
+  util::ByteWriter w(p.length);
+  w.u8(kTypeProbe);
+  w.u16(p.task_id);
+  w.u16(p.origin);
+  w.u16(p.final_dst);
+  w.u8(p.hop_index);
+  w.u8(p.routing_port);
+  w.u8(p.length);
+  while (w.size() < p.length) w.u8(0);
+  return std::move(w).take();
+}
+
+std::optional<ProbeMsg> decode_probe(std::span<const std::uint8_t> s) {
+  if (s.size() < kProbeHeader || s[0] != kTypeProbe) return std::nullopt;
+  util::ByteReader r(s.subspan(1));
+  ProbeMsg p;
+  p.task_id = r.u16();
+  p.origin = r.u16();
+  p.final_dst = r.u16();
+  p.hop_index = r.u8();
+  p.routing_port = r.u8();
+  p.length = r.u8();
+  if (!r.ok()) return std::nullopt;
+  return p;
+}
+
+struct ReplyMsg {
+  std::uint16_t task_id;
+  std::uint8_t hop_index;
+  std::uint8_t lqi_fwd;
+  std::int8_t rssi_fwd;
+  std::uint8_t queue_far;
+};
+
+std::vector<std::uint8_t> encode_reply(const ReplyMsg& m) {
+  util::ByteWriter w;
+  w.u8(kTypeReply);
+  w.u16(m.task_id);
+  w.u8(m.hop_index);
+  w.u8(m.lqi_fwd);
+  w.i8(m.rssi_fwd);
+  w.u8(m.queue_far);
+  return std::move(w).take();
+}
+
+std::optional<ReplyMsg> decode_reply(std::span<const std::uint8_t> s) {
+  if (s.size() < 7 || s[0] != kTypeReply) return std::nullopt;
+  util::ByteReader r(s.subspan(1));
+  ReplyMsg m;
+  m.task_id = r.u16();
+  m.hop_index = r.u8();
+  m.lqi_fwd = r.u8();
+  m.rssi_fwd = r.i8();
+  m.queue_far = r.u8();
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encode_report(const TracerouteReportMsg& m) {
+  std::vector<std::uint8_t> out;
+  out.push_back(kTypeReport);
+  const auto body = encode_body(m);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<TracerouteReportMsg> decode_report(
+    std::span<const std::uint8_t> s) {
+  if (s.empty() || s[0] != kTypeReport) return std::nullopt;
+  return decode_traceroute_report(s.subspan(1));
+}
+
+}  // namespace
+
+std::optional<TracerouteParams> parse_traceroute_params(
+    const std::string& buffer, const kernel::AddressBook* book) {
+  const auto cl = util::parse_command_line("traceroute " + buffer);
+  if (cl.positional.empty()) return std::nullopt;
+  TracerouteParams p;
+  if (book != nullptr) {
+    if (const auto a = book->resolve(cl.positional[0])) {
+      p.dst = *a;
+    } else if (const auto v = util::parse_int(cl.positional[0])) {
+      p.dst = static_cast<net::Addr>(*v);
+    } else {
+      return std::nullopt;
+    }
+  } else if (const auto v = util::parse_int(cl.positional[0])) {
+    p.dst = static_cast<net::Addr>(*v);
+  } else {
+    return std::nullopt;
+  }
+  const auto rounds = cl.option_int_or("round", 1);
+  const auto length = cl.option_int_or("length", 32);
+  const auto port =
+      cl.option_int_or("port", static_cast<std::int64_t>(net::kPortGeographic));
+  if (!rounds || !length || !port || *rounds < 1 || *length < 0 ||
+      *length > static_cast<std::int64_t>(net::kPayloadBudget) || *port < 1 ||
+      *port > 255) {
+    return std::nullopt;
+  }
+  p.rounds = static_cast<int>(*rounds);
+  p.length = std::max<int>(static_cast<int>(*length),
+                           static_cast<int>(kProbeHeader));
+  p.routing_port = static_cast<net::Port>(*port);
+  return p;
+}
+
+TracerouteProcess::TracerouteProcess(kernel::Node& node)
+    : kernel::Process(node, "traceroute", kernel::Footprint{2820, 272}),
+      retry_rng_(node.simulator().rng_root().stream("lv.tr.retry",
+                                                    node.address())) {
+  seen_tasks_.fill(0xffffffff);
+}
+
+TracerouteProcess::~TracerouteProcess() {
+  if (subscribed_) TracerouteProcess::stop();
+}
+
+void TracerouteProcess::start() {
+  if (!subscribed_) {
+    const bool ok = node().stack().subscribe(
+        net::kPortTraceroute,
+        [this](const net::NetPacket& pkt, const net::LinkContext& ctx) {
+          on_packet(pkt, ctx);
+        });
+    assert(ok && "traceroute port already taken");
+    (void)ok;
+    subscribed_ = true;
+  }
+  set_running(true);
+
+  const std::string& params = node().param_buffer();
+  if (!params.empty() && !active_) {
+    if (const auto parsed =
+            parse_traceroute_params(params, node().address_book())) {
+      run(*parsed, on_report_, on_done_);
+    }
+  }
+}
+
+void TracerouteProcess::stop() {
+  hop_timer_.cancel();
+  total_timer_.cancel();
+  active_ = false;
+  task_active_ = false;
+  if (subscribed_) {
+    node().stack().unsubscribe(net::kPortTraceroute);
+    subscribed_ = false;
+  }
+  set_running(false);
+}
+
+void TracerouteProcess::run(const TracerouteParams& params,
+                            ReportCallback on_report, DoneCallback on_done) {
+  assert(!active_ && "traceroute client already running");
+  params_ = params;
+  on_report_ = std::move(on_report);
+  on_done_ = std::move(on_done);
+  active_ = true;
+  current_round_ = 0;
+  reports_received_ = 0;
+  max_hop_seen_ = 0;
+  if (!subscribed_) start();
+  start_round();
+}
+
+void TracerouteProcess::start_round() {
+  client_task_id_ = next_task_id_++;
+  total_timer_.cancel();
+  total_timer_ = node().simulator().schedule_in(params_.total_timeout,
+                                                [this] { round_done(); });
+
+  // The source runs the first task itself (Fig. 4: "initiate a traceroute
+  // task" at the Source).
+  TaskContext task;
+  task.task_id = client_task_id_;
+  task.origin = node().address();
+  task.final_dst = params_.dst;
+  task.hop_index = 0;
+  task.routing_port = params_.routing_port;
+  task.length = static_cast<std::uint8_t>(params_.length);
+  initiate_task(task);
+}
+
+void TracerouteProcess::round_done() {
+  total_timer_.cancel();
+  if (++current_round_ < params_.rounds && active_) {
+    // Next probing round after a short pause (like Unix traceroute's
+    // sequential probes).
+    node().simulator().schedule_in(sim::SimTime::ms(100), [this] {
+      if (active_) start_round();
+    });
+    return;
+  }
+  client_done();
+}
+
+bool TracerouteProcess::task_seen(std::uint16_t task_id, std::uint8_t hop) {
+  const std::uint32_t key =
+      (static_cast<std::uint32_t>(task_id) << 8) | hop;
+  for (std::uint32_t k : seen_tasks_) {
+    if (k == key) return true;
+  }
+  seen_tasks_[seen_next_] = key;
+  seen_next_ = (seen_next_ + 1) % seen_tasks_.size();
+  return false;
+}
+
+void TracerouteProcess::initiate_task(const TaskContext& task) {
+  if (task_seen(task.task_id, task.hop_index)) return;
+  if (task_active_) {
+    // One probe in flight per node; park the task (concurrent traces
+    // crossing this node) up to a mote-sized bound.
+    if (pending_tasks_.size() < 4) pending_tasks_.push_back(task);
+    return;
+  }
+  begin_task(task);
+}
+
+void TracerouteProcess::finish_task() {
+  task_active_ = false;
+  if (pending_tasks_.empty()) return;
+  const TaskContext next = pending_tasks_.front();
+  pending_tasks_.erase(pending_tasks_.begin());
+  // Defer one event-loop turn to avoid re-entering from a handler.
+  node().simulator().schedule_in(sim::SimTime::us(200),
+                                 [this, next] { begin_task(next); });
+}
+
+void TracerouteProcess::begin_task(const TaskContext& task) {
+  auto* proto = find_routing(node(), task.routing_port);
+  TracerouteReportMsg fail;
+  fail.task_id = task.task_id;
+  fail.hop_index = task.hop_index;
+  fail.prober = node().address();
+  fail.reached = false;
+
+  if (proto == nullptr) {
+    deliver_report_to_source(fail, task.origin, task.routing_port);
+    finish_task();  // release any parked task
+    return;
+  }
+  const auto next = proto->next_hop(task.final_dst);
+  if (!next || !node().neighbors().usable(*next)) {
+    // Local minimum / no route: report the dead end to the source.
+    deliver_report_to_source(fail, task.origin, task.routing_port);
+    finish_task();
+    return;
+  }
+
+  task_active_ = true;
+  task_ = task;
+  task_next_ = *next;
+  task_attempts_ = 0;
+  send_task_probe();
+}
+
+void TracerouteProcess::send_task_probe() {
+  ++task_attempts_;
+  task_queue_local_ = static_cast<std::uint8_t>(node().mac().queue_depth());
+  // Fig. 4 step 2: T1 from the local high-resolution timer. Each retry
+  // restarts the clock so the RTT covers one probe/reply exchange.
+  task_t1_ns_ = node().timestamp_ns();
+
+  ProbeMsg probe;
+  probe.task_id = task_.task_id;
+  probe.origin = task_.origin;
+  probe.final_dst = task_.final_dst;
+  probe.hop_index = task_.hop_index;
+  probe.routing_port = task_.routing_port;
+  probe.length = task_.length;
+
+  net::NetPacket pkt;
+  pkt.src = node().address();
+  pkt.dst = task_next_;
+  pkt.port = net::kPortTraceroute;
+  pkt.ttl = 1;
+  pkt.payload = encode_probe(probe);
+  node().stack().send_link(task_next_, pkt);
+
+  hop_timer_.cancel();
+  hop_timer_ = node().simulator().schedule_in(params_.hop_timeout,
+                                              [this] { task_timeout(); });
+}
+
+void TracerouteProcess::task_timeout() {
+  if (!task_active_) return;
+  if (task_attempts_ <= params_.probe_retries) {
+    // Retransmit the probe after a random backoff (hidden-terminal
+    // collisions are the usual cause of a silent hop).
+    node().simulator().schedule_in(
+        sim::SimTime::us(retry_rng_.uniform_int(5'000, 40'000)), [this] {
+          if (task_active_) send_task_probe();
+        });
+    return;
+  }
+  finish_task();
+  TracerouteReportMsg report;
+  report.task_id = task_.task_id;
+  report.hop_index = task_.hop_index;
+  report.prober = node().address();
+  report.next = task_next_;
+  report.reached = false;
+  report.queue_near = task_queue_local_;
+  report.is_final = (task_next_ == task_.final_dst);
+  deliver_report_to_source(report, task_.origin, task_.routing_port);
+}
+
+void TracerouteProcess::on_packet(const net::NetPacket& pkt,
+                                  const net::LinkContext& ctx) {
+  if (pkt.payload.empty()) return;
+  switch (pkt.payload[0]) {
+    case kTypeProbe:
+      handle_probe(pkt, ctx);
+      break;
+    case kTypeReply:
+      handle_reply(pkt, ctx);
+      break;
+    case kTypeReport:
+      handle_report(pkt, ctx);
+      break;
+    default:
+      break;
+  }
+}
+
+void TracerouteProcess::handle_probe(const net::NetPacket& pkt,
+                                     const net::LinkContext& ctx) {
+  const auto probe = decode_probe(pkt.payload);
+  if (!probe || ctx.local) return;
+
+  // Fig. 4 step 4: reply with the forward link's quality, measured here.
+  ReplyMsg reply;
+  reply.task_id = probe->task_id;
+  reply.hop_index = probe->hop_index;
+  reply.lqi_fwd = ctx.rx.lqi;
+  reply.rssi_fwd = ctx.rx.rssi_reg;
+  reply.queue_far = static_cast<std::uint8_t>(node().mac().queue_depth());
+
+  net::NetPacket out;
+  out.src = node().address();
+  out.dst = pkt.src;
+  out.port = net::kPortTraceroute;
+  out.ttl = 1;
+  out.payload = encode_reply(reply);
+  node().stack().send_link(pkt.src, out);
+
+  // Fig. 4 step 5: if not the destination, continue the trace from here.
+  // A short random delay lets our reply and the upstream hop's report
+  // drain before the next probe contends for the channel (hidden
+  // terminals two hops apart cannot CSMA-coordinate).
+  if (node().address() != probe->final_dst) {
+    TaskContext task;
+    task.task_id = probe->task_id;
+    task.origin = probe->origin;
+    task.final_dst = probe->final_dst;
+    task.hop_index = static_cast<std::uint8_t>(probe->hop_index + 1);
+    task.routing_port = probe->routing_port;
+    task.length = probe->length;
+    node().simulator().schedule_in(
+        sim::SimTime::us(retry_rng_.uniform_int(15'000, 45'000)),
+        [this, task] { initiate_task(task); });
+  }
+}
+
+void TracerouteProcess::handle_reply(const net::NetPacket& pkt,
+                                     const net::LinkContext& ctx) {
+  if (!task_active_) return;
+  const auto reply = decode_reply(pkt.payload);
+  if (!reply || reply->task_id != task_.task_id ||
+      reply->hop_index != task_.hop_index || pkt.src != task_next_) {
+    return;
+  }
+  hop_timer_.cancel();
+  finish_task();
+
+  // Fig. 4 steps 6-7: RTT on the local clock, both directions' quality.
+  const std::int64_t rtt_ns = node().timestamp_ns() - task_t1_ns_;
+  TracerouteReportMsg report;
+  report.task_id = task_.task_id;
+  report.hop_index = task_.hop_index;
+  report.prober = node().address();
+  report.next = task_next_;
+  report.reached = true;
+  report.rtt_us = static_cast<std::uint32_t>(rtt_ns / 1'000);
+  report.lqi_fwd = reply->lqi_fwd;
+  report.rssi_fwd = reply->rssi_fwd;
+  report.lqi_bwd = ctx.rx.lqi;
+  report.rssi_bwd = ctx.rx.rssi_reg;
+  report.queue_near = task_queue_local_;
+  report.queue_far = reply->queue_far;
+  report.is_final = (task_next_ == task_.final_dst);
+  deliver_report_to_source(report, task_.origin, task_.routing_port);
+}
+
+void TracerouteProcess::deliver_report_to_source(
+    const TracerouteReportMsg& report, net::Addr origin,
+    net::Port routing_port) {
+  if (origin == node().address()) {
+    // Source-local report: no radio needed (the source's own first task).
+    emit_report(report);
+    return;
+  }
+  // Fig. 4 step 8: route the report back to the source.
+  auto* proto = find_routing(node(), routing_port);
+  if (proto == nullptr) return;
+  proto->send(origin, net::kPortTraceroute, encode_report(report));
+}
+
+void TracerouteProcess::handle_report(const net::NetPacket& pkt,
+                                      const net::LinkContext&) {
+  const auto report = decode_report(pkt.payload);
+  if (!report) return;
+  (void)pkt;
+  emit_report(*report);
+}
+
+void TracerouteProcess::emit_report(const TracerouteReportMsg& report) {
+  if (!active_ || report.task_id != client_task_id_) return;
+  ++reports_received_;
+  max_hop_seen_ = std::max(max_hop_seen_,
+                           static_cast<std::uint8_t>(report.hop_index + 1));
+  if (on_report_) on_report_(report);
+  if (report.is_final || !report.reached) {
+    // Final link reported (or the trace dead-ended): wrap the round up
+    // shortly, in case a straggler report is still in flight behind it.
+    total_timer_.cancel();
+    total_timer_ = node().simulator().schedule_in(sim::SimTime::ms(200),
+                                                  [this] { round_done(); });
+  }
+}
+
+void TracerouteProcess::client_done() {
+  if (!active_) return;
+  active_ = false;
+  total_timer_.cancel();
+  TracerouteDoneMsg done;
+  done.task_id = client_task_id_;
+  done.hops = max_hop_seen_;
+  done.received = reports_received_;
+  if (auto* proto = find_routing(node(), params_.routing_port)) {
+    done.protocol_name = proto->protocol_name();
+  }
+  if (on_done_) on_done_(done);
+}
+
+}  // namespace liteview::lv

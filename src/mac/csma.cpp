@@ -1,0 +1,123 @@
+#include "mac/csma.hpp"
+
+#include <cassert>
+
+namespace liteview::mac {
+
+CsmaMac::CsmaMac(sim::Simulator& sim, phy::Medium& medium, ShortAddr address,
+                 phy::Position pos, const MacConfig& cfg)
+    : sim_(sim),
+      medium_(medium),
+      address_(address),
+      cfg_(cfg),
+      radio_(medium.attach(this, pos)),
+      backoff_rng_(sim.rng_root().stream("mac.backoff", address)),
+      created_(sim.now()) {}
+
+CsmaMac::~CsmaMac() { medium_.detach(radio_); }
+
+void CsmaMac::set_channel(phy::Channel ch) { medium_.set_channel(radio_, ch); }
+
+phy::Channel CsmaMac::channel() const { return medium_.channel(radio_); }
+
+void CsmaMac::set_position(phy::Position pos) {
+  medium_.set_position(radio_, pos);
+}
+
+bool CsmaMac::send(ShortAddr dst, std::vector<std::uint8_t> payload,
+                   SendCallback cb) {
+  assert(payload.size() <= kMaxMacPayload);
+  if (queue_.size() >= cfg_.queue_capacity) {
+    ++stats_.dropped_queue_full;
+    if (cb) cb(false);
+    return false;
+  }
+  MacFrame f;
+  f.src = address_;
+  f.dst = dst;
+  f.seq = next_seq_++;
+  f.payload = std::move(payload);
+  queue_.push_back(Pending{std::move(f), std::move(cb)});
+  ++stats_.enqueued;
+  maybe_start();
+  return true;
+}
+
+void CsmaMac::maybe_start() {
+  if (busy_ || queue_.empty()) return;
+  busy_ = true;
+  sim_.schedule_in(cfg_.tx_proc_delay,
+                   [this] { csma_attempt(0, cfg_.min_be); });
+}
+
+void CsmaMac::csma_attempt(std::uint8_t nb, std::uint8_t be) {
+  // Random backoff of [0, 2^BE - 1] unit periods, then an 8-symbol CCA.
+  const auto slots = backoff_rng_.uniform_int(0, (1 << be) - 1);
+  const auto backoff =
+      sim::SimTime::us_f(static_cast<double>(slots) * phy::kBackoffUnitUs);
+  sim_.schedule_in(backoff + sim::SimTime::us_f(phy::kCcaUs), [this, nb, be] {
+    if (medium_.cca_clear(radio_, cfg_.cca_threshold_dbm)) {
+      // RX→TX turnaround after a clear CCA: the radio is committed and
+      // blind during these 12 symbols — the collision vulnerability
+      // window two nodes with coincident backoffs fall into.
+      sim_.schedule_in(sim::SimTime::us_f(phy::kTurnaroundUs),
+                       [this] { transmit_head(); });
+      return;
+    }
+    ++stats_.cca_busy;
+    const std::uint8_t next_nb = static_cast<std::uint8_t>(nb + 1);
+    if (next_nb > cfg_.max_csma_backoffs) {
+      ++stats_.dropped_channel_busy;
+      finish_head(false);
+      return;
+    }
+    const std::uint8_t next_be =
+        static_cast<std::uint8_t>(be < cfg_.max_be ? be + 1 : cfg_.max_be);
+    csma_attempt(next_nb, next_be);
+  });
+}
+
+void CsmaMac::transmit_head() {
+  assert(!queue_.empty());
+  const auto mpdu = encode_frame(queue_.front().frame);
+  const auto air = phy::frame_airtime(static_cast<int>(mpdu.size()));
+  medium_.transmit(radio_, phy::pa_level_to_dbm(pa_level_), mpdu);
+  energy_.add_tx(air, pa_level_);
+  ++stats_.sent;
+  // Busy until end of frame plus RX/TX turnaround before the next head.
+  sim_.schedule_in(air + sim::SimTime::us_f(phy::kTurnaroundUs),
+                   [this] { finish_head(true); });
+}
+
+void CsmaMac::finish_head(bool ok) {
+  assert(!queue_.empty());
+  Pending done = std::move(queue_.front());
+  queue_.pop_front();
+  busy_ = false;
+  if (done.cb) done.cb(ok);
+  maybe_start();
+}
+
+void CsmaMac::on_frame(const std::vector<std::uint8_t>& psdu,
+                       const phy::RxInfo& info) {
+  auto decoded = decode_frame(psdu);
+  if (!decoded) {
+    ++stats_.rx_crc_failures;
+    return;
+  }
+  if (promiscuous_) promiscuous_(*decoded, info);
+  if (decoded->dst != address_ && !decoded->broadcast()) {
+    ++stats_.rx_filtered;
+    return;
+  }
+  ++stats_.rx_delivered;
+  if (!rx_handler_) return;
+  // Copy into the handler's context after the software processing delay.
+  auto frame = std::make_shared<MacFrame>(std::move(*decoded));
+  const phy::RxInfo rx = info;
+  sim_.schedule_in(cfg_.rx_proc_delay, [this, frame, rx] {
+    if (rx_handler_) rx_handler_(*frame, rx);
+  });
+}
+
+}  // namespace liteview::mac

@@ -1,0 +1,139 @@
+// Unslotted CSMA-CA MAC with a bounded transmit queue.
+//
+// This is the "MAC Component" of the paper's Fig. 2: channel polling
+// (CCA), random exponential backoff, packet sender, and the CRC-checked
+// receive path that hands decoded frames upward. Its queueing-plus-jitter
+// behavior under a busy channel is what produces the paper's Fig. 5
+// back-to-back report arrivals.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "mac/frame.hpp"
+#include "phy/energy.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace liteview::mac {
+
+struct MacConfig {
+  std::uint8_t min_be = 2;            ///< initial backoff exponent
+  std::uint8_t max_be = 5;            ///< backoff exponent cap
+  std::uint8_t max_csma_backoffs = 4; ///< CCA failures before dropping
+  std::size_t queue_capacity = 8;     ///< TX queue slots
+  /// Software processing delay between frame arrival and upper-layer
+  /// dispatch (interrupt + copy into the subscriber's buffer).
+  sim::SimTime rx_proc_delay = sim::SimTime::us(100);
+  /// Delay between dequeue and first backoff draw (driver overhead).
+  sim::SimTime tx_proc_delay = sim::SimTime::us(50);
+  /// CCA busy threshold. Sensor stacks use noise-floor-tracking CCA
+  /// (B-MAC), far more sensitive than the CC2420 register default; this
+  /// is what lets CSMA coordinate the low-power links sensor nets use.
+  double cca_threshold_dbm = -90.0;
+};
+
+/// Per-MAC statistics, readable by tests and benches.
+struct MacStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t dropped_queue_full = 0;
+  std::uint64_t dropped_channel_busy = 0;
+  std::uint64_t rx_crc_failures = 0;
+  std::uint64_t rx_delivered = 0;
+  std::uint64_t rx_filtered = 0;  ///< frames addressed elsewhere
+  std::uint64_t cca_busy = 0;
+};
+
+class CsmaMac final : public phy::MediumClient {
+ public:
+  /// Completion callback: true = transmitted, false = dropped.
+  using SendCallback = std::function<void(bool)>;
+  using RxHandler =
+      std::function<void(const MacFrame&, const phy::RxInfo&)>;
+
+  CsmaMac(sim::Simulator& sim, phy::Medium& medium, ShortAddr address,
+          phy::Position pos, const MacConfig& cfg = {});
+  ~CsmaMac() override;
+
+  CsmaMac(const CsmaMac&) = delete;
+  CsmaMac& operator=(const CsmaMac&) = delete;
+
+  /// Enqueue a frame. Returns false (and drops) when the queue is full.
+  bool send(ShortAddr dst, std::vector<std::uint8_t> payload,
+            SendCallback cb = {});
+
+  void set_rx_handler(RxHandler handler) { rx_handler_ = std::move(handler); }
+
+  /// Promiscuous tap: sees every CRC-valid frame regardless of address.
+  void set_promiscuous_handler(RxHandler handler) {
+    promiscuous_ = std::move(handler);
+  }
+
+  // ---- radio control (the paper's "Radio Configurations" group) -------
+  void set_pa_level(phy::PaLevel level) noexcept { pa_level_ = level; }
+  [[nodiscard]] phy::PaLevel pa_level() const noexcept { return pa_level_; }
+  void set_channel(phy::Channel ch);
+  [[nodiscard]] phy::Channel channel() const;
+  /// Relocate the radio (deployment adjustments, mobile workstation).
+  void set_position(phy::Position pos);
+  /// Instantaneous in-band energy on the current channel (dBm) — the
+  /// RSSI-sampling primitive behind the channel-survey command.
+  [[nodiscard]] double sample_channel_power_dbm() const {
+    return medium_.channel_power_dbm(radio_);
+  }
+
+  [[nodiscard]] ShortAddr address() const noexcept { return address_; }
+  [[nodiscard]] phy::RadioId radio_id() const noexcept { return radio_; }
+
+  /// Radio energy accounting (TX split out; listening otherwise).
+  [[nodiscard]] const phy::EnergyMeter& energy() const noexcept {
+    return energy_;
+  }
+  [[nodiscard]] sim::SimTime energy_since() const noexcept {
+    return created_;
+  }
+  /// Occupied TX queue slots (the in-flight head stays queued until its
+  /// transmission completes) — what ping's "Queue = x/y" field reports.
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return queue_.size();
+  }
+  [[nodiscard]] const MacStats& stats() const noexcept { return stats_; }
+
+  // MediumClient:
+  void on_frame(const std::vector<std::uint8_t>& psdu,
+                const phy::RxInfo& info) override;
+
+ private:
+  struct Pending {
+    MacFrame frame;
+    SendCallback cb;
+  };
+
+  void maybe_start();
+  void csma_attempt(std::uint8_t nb, std::uint8_t be);
+  void transmit_head();
+  void finish_head(bool ok);
+
+  sim::Simulator& sim_;
+  phy::Medium& medium_;
+  ShortAddr address_;
+  MacConfig cfg_;
+  phy::RadioId radio_;
+  phy::PaLevel pa_level_ = phy::kDefaultPaLevel;
+
+  util::RngStream backoff_rng_;
+  phy::EnergyMeter energy_;
+  sim::SimTime created_;
+  std::deque<Pending> queue_;
+  bool busy_ = false;          ///< head-of-line frame in CSMA or on air
+  std::uint8_t next_seq_ = 0;
+  RxHandler rx_handler_;
+  RxHandler promiscuous_;
+  MacStats stats_;
+};
+
+}  // namespace liteview::mac

@@ -1,0 +1,39 @@
+#include "mac/frame.hpp"
+
+#include "util/bytes.hpp"
+#include "util/crc16.hpp"
+
+namespace liteview::mac {
+
+std::vector<std::uint8_t> encode_frame(const MacFrame& f) {
+  util::ByteWriter w(kMacOverheadBytes + f.payload.size());
+  w.u16(kDataFcf);
+  w.u8(f.seq);
+  w.u16(f.dst);
+  w.u16(f.src);
+  w.bytes(f.payload);
+  const std::uint16_t fcs = util::crc16_ccitt(w.data());
+  w.u16(fcs);
+  return std::move(w).take();
+}
+
+std::optional<MacFrame> decode_frame(std::span<const std::uint8_t> mpdu) {
+  if (mpdu.size() < kMacOverheadBytes) return std::nullopt;
+  const auto body = mpdu.first(mpdu.size() - kFcsBytes);
+  util::ByteReader fcs_reader(mpdu.subspan(mpdu.size() - kFcsBytes));
+  const std::uint16_t fcs = fcs_reader.u16();
+  if (util::crc16_ccitt(body) != fcs) return std::nullopt;
+
+  util::ByteReader r(body);
+  MacFrame f;
+  const std::uint16_t fcf = r.u16();
+  if (fcf != kDataFcf) return std::nullopt;
+  f.seq = r.u8();
+  f.dst = r.u16();
+  f.src = r.u16();
+  const auto rest = r.rest();
+  f.payload.assign(rest.begin(), rest.end());
+  return f;
+}
+
+}  // namespace liteview::mac

@@ -1,0 +1,49 @@
+// 802.15.4-style MAC frame and its on-air codec.
+//
+// Layout (little-endian, paper Fig. 2 "Header Builder" / "Header
+// Analyzer" / "CRC Checker"):
+//   [0..1]  frame control (kDataFcf for all LiteView traffic)
+//   [2]     sequence number
+//   [3..4]  destination short address (0xFFFF = broadcast)
+//   [5..6]  source short address
+//   [7..]   payload (network-layer bytes)
+//   [n-2..] FCS: CRC-16/CCITT over bytes [0, n-2)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace liteview::mac {
+
+using ShortAddr = std::uint16_t;
+inline constexpr ShortAddr kBroadcastAddr = 0xffff;
+
+inline constexpr std::uint16_t kDataFcf = 0x8841;
+inline constexpr std::size_t kMacHeaderBytes = 7;
+inline constexpr std::size_t kFcsBytes = 2;
+inline constexpr std::size_t kMacOverheadBytes = kMacHeaderBytes + kFcsBytes;
+/// Maximum network-layer payload per frame.
+inline constexpr std::size_t kMaxMacPayload = 127 - kMacOverheadBytes;
+
+struct MacFrame {
+  ShortAddr src = 0;
+  ShortAddr dst = kBroadcastAddr;
+  std::uint8_t seq = 0;
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] bool broadcast() const noexcept {
+    return dst == kBroadcastAddr;
+  }
+};
+
+/// Serialize a frame to MPDU bytes (including FCS).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const MacFrame& f);
+
+/// Parse an MPDU. Returns nullopt on malformed length or FCS mismatch —
+/// this is the "CRC Checker" stage of the paper's stack.
+[[nodiscard]] std::optional<MacFrame> decode_frame(
+    std::span<const std::uint8_t> mpdu);
+
+}  // namespace liteview::mac

@@ -1,0 +1,57 @@
+#include "net/packet.hpp"
+
+#include <cassert>
+
+#include "util/bytes.hpp"
+
+namespace liteview::net {
+
+std::vector<std::uint8_t> encode_packet(const NetPacket& p) {
+  assert(p.payload.size() <= 255);
+  assert(p.payload.size() + p.padding.size() * kPadEntryBytes <=
+             kPayloadBudget &&
+         "payload + padding exceeds the routing-layer budget");
+  util::ByteWriter w(p.wire_size());
+  w.u16(p.src);
+  w.u16(p.dst);
+  w.u8(p.port);
+  w.u8(p.ttl);
+  w.u8(p.flags);
+  w.u16(p.id);
+  w.u8(static_cast<std::uint8_t>(p.padding.size()));
+  w.u8(static_cast<std::uint8_t>(p.payload.size()));
+  w.bytes(p.payload);
+  for (const auto& e : p.padding) {
+    w.u8(e.lqi);
+    w.i8(e.rssi);
+  }
+  return std::move(w).take();
+}
+
+std::optional<NetPacket> decode_packet(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kNetHeaderBytes) return std::nullopt;
+  util::ByteReader r(bytes);
+  NetPacket p;
+  p.src = r.u16();
+  p.dst = r.u16();
+  p.port = r.u8();
+  p.ttl = r.u8();
+  p.flags = r.u8();
+  p.id = r.u16();
+  const std::uint8_t pad_count = r.u8();
+  const std::uint8_t payload_len = r.u8();
+  p.payload = r.bytes(payload_len);
+  p.padding.reserve(pad_count);
+  for (std::uint8_t i = 0; i < pad_count; ++i) {
+    PadEntry e;
+    e.lqi = r.u8();
+    e.rssi = r.i8();
+    p.padding.push_back(e);
+  }
+  if (!r.ok()) return std::nullopt;
+  if (p.payload.size() + p.padding.size() * kPadEntryBytes > kPayloadBudget)
+    return std::nullopt;
+  return p;
+}
+
+}  // namespace liteview::net

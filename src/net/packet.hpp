@@ -1,0 +1,104 @@
+// Network-layer packet and codec, including the paper's link-quality
+// padding region (Sec. IV-C3).
+//
+// Wire layout inside a MAC payload:
+//   [0..1] source address        (origin of the packet)
+//   [2..3] destination address   (final destination)
+//   [4]    port                  (subscription demux key, paper Fig. 2)
+//   [5]    ttl
+//   [6]    flags                 (bit0: link-quality padding enabled)
+//   [7..8] id                    (origin-assigned, for dedup/matching)
+//   [9]    pad_count             (number of 2-byte padding entries)
+//   [10]   payload_len
+//   [11..] payload bytes         (payload_len bytes)
+//   [...]  padding entries       (pad_count × {lqi u8, rssi i8})
+//
+// The padding discipline follows the paper: the routing layer keeps a
+// 64-byte payload *budget*; when the actual payload is shorter, the slack
+// that would "normally not be transmitted over the air" may carry one
+// {LQI, RSSI} pair appended per hop. A 16-byte probe can therefore pad
+// (64-16)/2 = 24 hops before the space runs out.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mac/frame.hpp"
+
+namespace liteview::net {
+
+using Addr = mac::ShortAddr;
+using Port = std::uint8_t;
+
+inline constexpr Addr kBroadcast = mac::kBroadcastAddr;
+
+/// The routing-layer payload budget from the paper (bytes).
+inline constexpr std::size_t kPayloadBudget = 64;
+/// Bytes consumed by one padding entry (LQI + RSSI).
+inline constexpr std::size_t kPadEntryBytes = 2;
+inline constexpr std::size_t kNetHeaderBytes = 11;
+inline constexpr std::uint8_t kDefaultTtl = 32;
+
+inline constexpr std::uint8_t kFlagPadding = 0x01;
+
+// ---- well-known ports -----------------------------------------------------
+inline constexpr Port kPortBeacon = 1;      ///< kernel neighbor beacons
+inline constexpr Port kPortMgmt = 2;        ///< LiteView reliable cmd channel
+inline constexpr Port kPortPing = 3;        ///< ping probe/reply
+inline constexpr Port kPortTraceroute = 4;  ///< traceroute probes + reports
+inline constexpr Port kPortGeographic = 10; ///< paper's example routing port
+inline constexpr Port kPortFlooding = 11;
+inline constexpr Port kPortTree = 12;
+
+/// One per-hop link-quality padding entry.
+struct PadEntry {
+  std::uint8_t lqi = 0;
+  std::int8_t rssi = 0;
+
+  bool operator==(const PadEntry&) const = default;
+};
+
+struct NetPacket {
+  Addr src = 0;
+  Addr dst = kBroadcast;
+  Port port = 0;
+  std::uint8_t ttl = kDefaultTtl;
+  std::uint8_t flags = 0;
+  std::uint16_t id = 0;  ///< origin-assigned; stable across hops
+  std::vector<std::uint8_t> payload;
+  std::vector<PadEntry> padding;
+
+  [[nodiscard]] bool padding_enabled() const noexcept {
+    return flags & kFlagPadding;
+  }
+  void enable_padding() noexcept { flags |= kFlagPadding; }
+
+  /// Bytes this packet occupies on the wire (inside the MAC payload).
+  [[nodiscard]] std::size_t wire_size() const noexcept {
+    return kNetHeaderBytes + payload.size() +
+           padding.size() * kPadEntryBytes;
+  }
+
+  /// True when one more padding entry still fits in the payload budget.
+  [[nodiscard]] bool can_pad() const noexcept {
+    return padding_enabled() &&
+           payload.size() + (padding.size() + 1) * kPadEntryBytes <=
+               kPayloadBudget;
+  }
+
+  /// Append a per-hop entry; returns false when the budget is exhausted
+  /// (the paper's 24-hop limit for a 16-byte probe).
+  bool add_padding(PadEntry e) {
+    if (!can_pad()) return false;
+    padding.push_back(e);
+    return true;
+  }
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_packet(const NetPacket& p);
+[[nodiscard]] std::optional<NetPacket> decode_packet(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace liteview::net

@@ -1,0 +1,66 @@
+#include "net/stack.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace liteview::net {
+
+CommStack::CommStack(sim::Simulator& sim, mac::CsmaMac& mac)
+    : sim_(sim), mac_(mac) {
+  mac_.set_rx_handler([this](const mac::MacFrame& f, const phy::RxInfo& rx) {
+    on_mac_frame(f, rx);
+  });
+}
+
+bool CommStack::subscribe(Port port, Handler handler) {
+  assert(handler != nullptr);
+  const auto [it, inserted] = handlers_.emplace(port, std::move(handler));
+  (void)it;
+  return inserted;
+}
+
+void CommStack::unsubscribe(Port port) { handlers_.erase(port); }
+
+bool CommStack::send_link(mac::ShortAddr next_hop, const NetPacket& packet,
+                          SendCallback cb) {
+  return mac_.send(next_hop, encode_packet(packet), std::move(cb));
+}
+
+void CommStack::send_local(NetPacket packet) {
+  auto p = std::make_shared<NetPacket>(std::move(packet));
+  // One event-loop hop keeps the handler re-entrancy-free, mirroring the
+  // thread wakeup a real localhost delivery performs.
+  sim_.schedule_in(sim::SimTime::us(10), [this, p] {
+    const auto it = handlers_.find(p->port);
+    if (it == handlers_.end()) {
+      ++stats_.no_subscriber;
+      return;
+    }
+    ++stats_.local_delivered;
+    LinkContext ctx;
+    ctx.link_src = address();
+    ctx.local = true;
+    it->second(*p, ctx);
+  });
+}
+
+void CommStack::on_mac_frame(const mac::MacFrame& frame,
+                             const phy::RxInfo& info) {
+  auto packet = decode_packet(frame.payload);
+  if (!packet) {
+    ++stats_.malformed;
+    return;
+  }
+  const auto it = handlers_.find(packet->port);
+  if (it == handlers_.end()) {
+    ++stats_.no_subscriber;
+    return;
+  }
+  ++stats_.delivered;
+  LinkContext ctx;
+  ctx.link_src = frame.src;
+  ctx.rx = info;
+  it->second(*packet, ctx);
+}
+
+}  // namespace liteview::net

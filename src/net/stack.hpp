@@ -1,0 +1,80 @@
+// The subscription-based communication stack of paper Fig. 2.
+//
+// Threads (protocols, LiteView commands, applications) subscribe to ports.
+// Incoming frames pass the CRC checker (in the MAC), the header analyzer
+// (packet decode), and port matching; the matching subscriber's handler
+// runs with the packet plus the receiver-side link measurements. The
+// design gives "complete isolation between the protocol implementation
+// and the applications: the only shared data between layers are packets
+// themselves."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mac/csma.hpp"
+#include "net/packet.hpp"
+
+namespace liteview::net {
+
+/// Link-layer context delivered with each packet: who relayed it to us
+/// (the MAC source — distinct from the packet's origin) and the PHY
+/// measurements of that last hop.
+struct LinkContext {
+  mac::ShortAddr link_src = 0;
+  phy::RxInfo rx;
+  bool local = false;  ///< true for loopback deliveries (no radio, no rx)
+};
+
+struct StackStats {
+  std::uint64_t delivered = 0;
+  std::uint64_t local_delivered = 0;
+  std::uint64_t no_subscriber = 0;
+  std::uint64_t malformed = 0;
+};
+
+class CommStack {
+ public:
+  using Handler = std::function<void(const NetPacket&, const LinkContext&)>;
+  using SendCallback = mac::CsmaMac::SendCallback;
+
+  explicit CommStack(sim::Simulator& sim, mac::CsmaMac& mac);
+
+  CommStack(const CommStack&) = delete;
+  CommStack& operator=(const CommStack&) = delete;
+
+  /// Subscribe a handler to a port. Returns false when the port is taken
+  /// (one listening thread per port, as in LiteOS).
+  bool subscribe(Port port, Handler handler);
+  void unsubscribe(Port port);
+  [[nodiscard]] bool subscribed(Port port) const {
+    return handlers_.contains(port);
+  }
+
+  /// Send one link-layer hop to `next_hop` (kBroadcast for local
+  /// broadcast). The packet's src/dst/port are preserved end-to-end.
+  bool send_link(mac::ShortAddr next_hop, const NetPacket& packet,
+                 SendCallback cb = {});
+
+  /// Loopback ("Localhost packet" in Fig. 2): deliver to this node's own
+  /// subscriber without touching the radio, after one event-loop hop.
+  void send_local(NetPacket packet);
+
+  [[nodiscard]] mac::CsmaMac& mac() noexcept { return mac_; }
+  [[nodiscard]] const StackStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] mac::ShortAddr address() const noexcept {
+    return mac_.address();
+  }
+
+ private:
+  void on_mac_frame(const mac::MacFrame& frame, const phy::RxInfo& info);
+
+  sim::Simulator& sim_;
+  mac::CsmaMac& mac_;
+  std::unordered_map<Port, Handler> handlers_;
+  StackStats stats_;
+};
+
+}  // namespace liteview::net

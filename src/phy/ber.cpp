@@ -1,0 +1,33 @@
+#include "phy/ber.hpp"
+
+#include <cmath>
+
+namespace liteview::phy {
+
+double ber_oqpsk(double sinr_db) noexcept {
+  const double sinr = std::pow(10.0, sinr_db / 10.0);
+  // Binomial coefficients C(16, k) for k = 2..16.
+  static constexpr double kBinom[15] = {
+      120,  560,  1820, 4368, 8008, 11440, 12870, 11440,
+      8008, 4368, 1820, 560,  120,  16,    1};
+  double acc = 0.0;
+  for (int k = 2; k <= 16; ++k) {
+    const double sign = (k % 2 == 0) ? 1.0 : -1.0;
+    acc += sign * kBinom[k - 2] * std::exp(20.0 * sinr * (1.0 / k - 1.0));
+  }
+  const double ber = (8.0 / 15.0) * (1.0 / 16.0) * acc;
+  if (ber < 0.0) return 0.0;
+  if (ber > 0.5) return 0.5;
+  return ber;
+}
+
+double per_oqpsk(double sinr_db, int bits) noexcept {
+  if (bits <= 0) return 0.0;
+  const double ber = ber_oqpsk(sinr_db);
+  if (ber <= 0.0) return 0.0;
+  // log1p for numerical stability at tiny BER.
+  const double log_success = static_cast<double>(bits) * std::log1p(-ber);
+  return 1.0 - std::exp(log_success);
+}
+
+}  // namespace liteview::phy

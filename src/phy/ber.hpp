@@ -1,0 +1,17 @@
+// Bit/packet error model for the IEEE 802.15.4 2.4 GHz O-QPSK DSSS PHY.
+#pragma once
+
+namespace liteview::phy {
+
+/// Bit error rate at a given post-despreading SINR (dB), using the
+/// standard 16-ary orthogonal-modulation approximation from the 802.15.4
+/// literature:
+///   BER = (8/15) * (1/16) * sum_{k=2}^{16} (-1)^k C(16,k) exp(20*SINR*(1/k - 1))
+/// with SINR in linear scale.
+[[nodiscard]] double ber_oqpsk(double sinr_db) noexcept;
+
+/// Packet error rate for a frame of `bits` payload bits at the given SINR,
+/// assuming independent bit errors: PER = 1 - (1 - BER)^bits.
+[[nodiscard]] double per_oqpsk(double sinr_db, int bits) noexcept;
+
+}  // namespace liteview::phy

@@ -1,0 +1,68 @@
+#include "phy/cc2420.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/dbm.hpp"
+
+namespace liteview::phy {
+namespace {
+
+// CC2420 datasheet output-power calibration points (PA_LEVEL, dBm).
+struct PaPoint {
+  PaLevel level;
+  double dbm;
+};
+constexpr std::array<PaPoint, 8> kPaTable{{
+    {3, -25.0},
+    {7, -15.0},
+    {11, -10.0},
+    {15, -7.0},
+    {19, -5.0},
+    {23, -3.0},
+    {27, -1.0},
+    {31, 0.0},
+}};
+
+}  // namespace
+
+double pa_level_to_dbm(PaLevel level) noexcept {
+  const PaLevel l = std::min(level, kMaxPaLevel);
+  if (l <= kPaTable.front().level) return kPaTable.front().dbm;
+  for (std::size_t i = 1; i < kPaTable.size(); ++i) {
+    if (l <= kPaTable[i].level) {
+      const auto& a = kPaTable[i - 1];
+      const auto& b = kPaTable[i];
+      const double t = static_cast<double>(l - a.level) /
+                       static_cast<double>(b.level - a.level);
+      return util::lerp(a.dbm, b.dbm, t);
+    }
+  }
+  return kPaTable.back().dbm;
+}
+
+std::int8_t rssi_register(double rx_power_dbm) noexcept {
+  const double reg = rx_power_dbm + 45.0;
+  const double clamped = util::clampd(std::round(reg), -128.0, 127.0);
+  return static_cast<std::int8_t>(clamped);
+}
+
+std::uint8_t lqi_from_snr(double snr_db) noexcept {
+  // Correlation saturates near 110 once the link is comfortably above the
+  // demodulation threshold (~0 dB SNR after despreading margin) and
+  // bottoms out at 50 at the sensitivity edge. A 15 dB span covers the
+  // CC2420's useful correlation range.
+  constexpr double kLoSnr = -3.0;   // LQI 50
+  constexpr double kHiSnr = 12.0;   // LQI 110
+  const double t = util::clampd((snr_db - kLoSnr) / (kHiSnr - kLoSnr), 0.0, 1.0);
+  return static_cast<std::uint8_t>(std::lround(50.0 + t * 60.0));
+}
+
+sim::SimTime frame_airtime(int psdu_bytes) noexcept {
+  const int total =
+      kSyncHeaderBytes + kPhyHeaderBytes + std::min(psdu_bytes, kMaxPsduBytes);
+  return sim::SimTime::us_f(static_cast<double>(total) * kUsPerByte);
+}
+
+}  // namespace liteview::phy

@@ -1,0 +1,82 @@
+// CC2420 radio model constants and conversions.
+//
+// The paper's target platform is the MicaZ mote, whose CC2420 transceiver
+// provides: programmable output power (PA_LEVEL 0..31, -25..0 dBm), 16
+// channels (IEEE 802.15.4 channels 11..26 at 2.4 GHz), an RSSI register
+// with P[dBm] = RSSI_VAL - 45, and an LQI value in ~[50, 110] derived from
+// chip correlation over the first 8 symbols after the SFD.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace liteview::phy {
+
+/// CC2420 PA_LEVEL register value, 0..31. The paper's experiments use
+/// levels 10, 25, and 31.
+using PaLevel = std::uint8_t;
+
+/// IEEE 802.15.4 channel number, 11..26 (16 channels). The paper's sample
+/// output shows "Channel = 17".
+using Channel = std::uint8_t;
+
+inline constexpr Channel kMinChannel = 11;
+inline constexpr Channel kMaxChannel = 26;
+inline constexpr PaLevel kMaxPaLevel = 31;
+inline constexpr PaLevel kDefaultPaLevel = 31;
+inline constexpr Channel kDefaultChannel = 17;
+
+/// Output power in dBm for a PA level, interpolated between the eight
+/// datasheet calibration points (31→0 dBm ... 3→-25 dBm).
+[[nodiscard]] double pa_level_to_dbm(PaLevel level) noexcept;
+
+/// RSSI register value for a received power. Datasheet: P = RSSI_VAL - 45,
+/// so RSSI_VAL = P + 45, saturated to the int8 register range. The paper's
+/// example — "a RSSI reading of -20 indicates a RF power level of
+/// approximately -65 dBm" — is this exact mapping.
+[[nodiscard]] std::int8_t rssi_register(double rx_power_dbm) noexcept;
+
+/// Inverse of rssi_register (register → dBm).
+[[nodiscard]] inline double rssi_register_to_dbm(std::int8_t reg) noexcept {
+  return static_cast<double>(reg) - 45.0;
+}
+
+/// LQI from post-despreading SNR. 110 ≈ highest quality, 50 ≈ lowest
+/// (paper Sec. III-B3). Maps SNR linearly over the receiver's useful range
+/// and saturates at the ends, matching the correlation-based measure.
+[[nodiscard]] std::uint8_t lqi_from_snr(double snr_db) noexcept;
+
+// ---- 802.15.4 2.4 GHz PHY timing -----------------------------------------
+
+/// 250 kbps → 32 us per byte (2 symbols of 16 us per byte).
+inline constexpr double kUsPerByte = 32.0;
+/// Synchronization header: 4-byte preamble + 1-byte SFD.
+inline constexpr int kSyncHeaderBytes = 5;
+/// PHY header: 1 length byte.
+inline constexpr int kPhyHeaderBytes = 1;
+/// Maximum PSDU (MPDU) size.
+inline constexpr int kMaxPsduBytes = 127;
+/// RX/TX turnaround: 12 symbols.
+inline constexpr double kTurnaroundUs = 192.0;
+/// CCA detection time: 8 symbols.
+inline constexpr double kCcaUs = 128.0;
+/// MAC backoff unit: 20 symbols.
+inline constexpr double kBackoffUnitUs = 320.0;
+
+/// Receiver noise floor (thermal + NF) used by the SNR computation.
+inline constexpr double kNoiseFloorDbm = -98.0;
+/// Receive sensitivity: below this power a frame cannot be synchronized.
+inline constexpr double kSensitivityDbm = -95.0;
+/// CCA busy threshold (datasheet default ~ -77 dBm).
+inline constexpr double kCcaThresholdDbm = -77.0;
+/// Co-channel capture threshold: a frame whose signal-to-interference
+/// ratio (same-technology interferers, no despreading gain) falls below
+/// this is lost outright. The BER model's 20x processing gain only
+/// applies to noise-like interference, not to colliding 802.15.4 frames.
+inline constexpr double kCaptureThresholdDb = 3.0;
+
+/// On-air duration of a frame with `psdu_bytes` of MPDU.
+[[nodiscard]] sim::SimTime frame_airtime(int psdu_bytes) noexcept;
+
+}  // namespace liteview::phy

@@ -1,0 +1,57 @@
+#include "phy/energy.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/dbm.hpp"
+
+namespace liteview::phy {
+namespace {
+
+struct TxPoint {
+  PaLevel level;
+  double ma;
+};
+// CC2420 datasheet TX current by output power setting.
+constexpr std::array<TxPoint, 8> kTxCurrent{{
+    {3, 8.5},
+    {7, 9.9},
+    {11, 11.2},
+    {15, 12.5},
+    {19, 13.9},
+    {23, 15.2},
+    {27, 16.5},
+    {31, 17.4},
+}};
+
+}  // namespace
+
+double tx_current_ma(PaLevel level) noexcept {
+  const PaLevel l = std::min(level, kMaxPaLevel);
+  if (l <= kTxCurrent.front().level) return kTxCurrent.front().ma;
+  for (std::size_t i = 1; i < kTxCurrent.size(); ++i) {
+    if (l <= kTxCurrent[i].level) {
+      const auto& a = kTxCurrent[i - 1];
+      const auto& b = kTxCurrent[i];
+      const double t = static_cast<double>(l - a.level) /
+                       static_cast<double>(b.level - a.level);
+      return util::lerp(a.ma, b.ma, t);
+    }
+  }
+  return kTxCurrent.back().ma;
+}
+
+void EnergyMeter::add_tx(sim::SimTime duration, PaLevel level) noexcept {
+  tx_time_ += duration;
+  // mJ = mA * V * s
+  tx_mj_ += tx_current_ma(level) * kSupplyVolts * duration.seconds();
+}
+
+double EnergyMeter::listen_mj(sim::SimTime since,
+                              sim::SimTime now) const noexcept {
+  const auto listening = (now - since) - tx_time_;
+  const double s = std::max(0.0, listening.seconds());
+  return kRxCurrentMa * kSupplyVolts * s;
+}
+
+}  // namespace liteview::phy

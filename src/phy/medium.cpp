@@ -1,0 +1,229 @@
+#include "phy/medium.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "phy/ber.hpp"
+#include "util/dbm.hpp"
+
+namespace liteview::phy {
+
+Medium::Medium(sim::Simulator& sim, const PropagationConfig& prop_cfg)
+    : sim_(sim),
+      prop_(prop_cfg, sim.rng_root().root_seed()),
+      fading_rng_(sim.rng_root().stream("phy.fading")),
+      loss_rng_(sim.rng_root().stream("phy.loss")),
+      corrupt_rng_(sim.rng_root().stream("phy.corrupt")) {}
+
+RadioId Medium::attach(MediumClient* client, Position pos, Channel channel) {
+  assert(client != nullptr);
+  Radio r;
+  r.client = client;
+  r.pos = pos;
+  r.channel = channel;
+  r.attached = true;
+  radios_.push_back(r);
+  return static_cast<RadioId>(radios_.size() - 1);
+}
+
+void Medium::detach(RadioId id) {
+  assert(id < radios_.size());
+  radios_[id].attached = false;
+  radios_[id].client = nullptr;
+}
+
+void Medium::set_position(RadioId id, Position pos) {
+  assert(id < radios_.size());
+  radios_[id].pos = pos;
+}
+
+Position Medium::position(RadioId id) const {
+  assert(id < radios_.size());
+  return radios_[id].pos;
+}
+
+void Medium::set_channel(RadioId id, Channel channel) {
+  assert(id < radios_.size());
+  radios_[id].channel = channel;
+}
+
+Channel Medium::channel(RadioId id) const {
+  assert(id < radios_.size());
+  return radios_[id].channel;
+}
+
+bool Medium::transmitting(RadioId id) const {
+  assert(id < radios_.size());
+  return radios_[id].tx_until > sim_.now();
+}
+
+double Medium::rx_power_dbm_at(const ActiveTx& tx, RadioId at) const {
+  const double pl = prop_.static_path_loss_db(tx.from, at,
+                                              radios_[tx.from].pos,
+                                              radios_[at].pos);
+  return tx.tx_power_dbm - pl;
+}
+
+double Medium::mean_rx_power_dbm(RadioId from, RadioId to,
+                                 double tx_power_dbm) const {
+  const double pl = prop_.static_path_loss_db(from, to, radios_[from].pos,
+                                              radios_[to].pos);
+  return tx_power_dbm - pl;
+}
+
+double Medium::channel_power_dbm(RadioId at) const {
+  assert(at < radios_.size());
+  const Channel ch = radios_[at].channel;
+  double total_mw = 0.0;
+  const sim::SimTime now = sim_.now();
+  for (const auto& tx : active_) {
+    if (tx.channel != ch || tx.from == at) continue;
+    if (tx.end <= now) continue;
+    total_mw += util::dbm_to_mw(rx_power_dbm_at(tx, at));
+  }
+  return total_mw > 0.0 ? util::mw_to_dbm(total_mw) : -300.0;
+}
+
+void Medium::transmit(RadioId from, double tx_power_dbm,
+                      std::vector<std::uint8_t> psdu) {
+  assert(from < radios_.size());
+  assert(!psdu.empty() && psdu.size() <= kMaxPsduBytes);
+
+  const sim::SimTime start = sim_.now();
+  const sim::SimTime air = frame_airtime(static_cast<int>(psdu.size()));
+  const sim::SimTime end = start + air;
+  const Channel ch = radios_[from].channel;
+  const std::uint64_t seq = next_tx_seq_++;
+
+  ++frames_sent_;
+  radios_[from].tx_until = end;
+
+  if (sniffer_) {
+    sniffer_(SniffedFrame{from, ch, psdu.size(), start, air,
+                          std::span<const std::uint8_t>(psdu)});
+  }
+
+  // Half-duplex: the transmitter cannot keep receiving; abort any frame
+  // it was in the middle of receiving.
+  for (auto& rx : receptions_) {
+    if (rx.to == from && !rx.aborted) {
+      rx.aborted = true;
+      ++frames_missed_busy_rx_;
+    }
+  }
+
+  // The new transmission raises the interference floor of every reception
+  // already in flight on this channel.
+  ActiveTx tx{from, ch, tx_power_dbm, start, end, seq};
+  for (auto& rx : receptions_) {
+    if (rx.channel != ch || rx.aborted || rx.to == from) continue;
+    // Conservative accumulation: once an interferer overlaps a reception,
+    // its energy counts for the whole frame (no per-segment integration).
+    rx.interference_mw += util::dbm_to_mw(rx_power_dbm_at(tx, rx.to));
+  }
+
+  // Start a reception record at every other attached same-channel radio
+  // whose received power exceeds sensitivity and that is not itself
+  // transmitting.
+  for (RadioId to = 0; to < radios_.size(); ++to) {
+    if (to == from || !radios_[to].attached) continue;
+    if (radios_[to].channel != ch) continue;
+
+    const double fading = prop_.sample_fading_db(fading_rng_);
+    const double prx = rx_power_dbm_at(tx, to) - fading;
+    if (prx < kSensitivityDbm) {
+      ++frames_below_sensitivity_;
+      continue;
+    }
+    if (radios_[to].tx_until > start) {
+      // Receiver is mid-transmission: deaf.
+      ++frames_missed_busy_rx_;
+      continue;
+    }
+
+    // Initial interference: every other already-active transmission on
+    // this channel as heard at `to`.
+    double interference_mw = 0.0;
+    for (const auto& other : active_) {
+      if (other.channel != ch || other.from == to || other.end <= start)
+        continue;
+      interference_mw += util::dbm_to_mw(rx_power_dbm_at(other, to));
+    }
+
+    receptions_.push_back(
+        Reception{from, to, ch, prx, interference_mw, start, end,
+                  /*aborted=*/false, seq});
+  }
+
+  active_.push_back(tx);
+
+  auto shared_psdu =
+      std::make_shared<std::vector<std::uint8_t>>(std::move(psdu));
+  sim_.schedule_at(end, [this, seq, shared_psdu] { deliver(seq, shared_psdu); });
+}
+
+void Medium::deliver(std::uint64_t tx_seq,
+                     std::shared_ptr<std::vector<std::uint8_t>> psdu) {
+  // Retire the transmission from the active set.
+  std::erase_if(active_, [&](const ActiveTx& t) { return t.seq == tx_seq; });
+
+  // Complete every reception belonging to this transmission.
+  for (auto it = receptions_.begin(); it != receptions_.end();) {
+    if (it->tx_seq != tx_seq) {
+      ++it;
+      continue;
+    }
+    Reception rx = *it;
+    it = receptions_.erase(it);
+
+    if (rx.aborted || !radios_[rx.to].attached ||
+        radios_[rx.to].client == nullptr) {
+      continue;
+    }
+    // A radio that retuned mid-frame loses the frame.
+    if (radios_[rx.to].channel != rx.channel) continue;
+    // Test-only failure injection.
+    if (drop_filter_ && drop_filter_(rx.from, rx.to)) continue;
+
+    const double noise_mw = util::dbm_to_mw(kNoiseFloorDbm);
+    const double sinr_db =
+        rx.prx_dbm - util::mw_to_dbm(noise_mw + rx.interference_mw);
+    const int bits = static_cast<int>(psdu->size()) * 8;
+    // Two corruption mechanisms: thermal-noise bit errors (BER model) and
+    // co-channel collision (capture rule, no despreading gain applies).
+    const double per = per_oqpsk(sinr_db, bits);
+    bool corrupted = loss_rng_.chance(per);
+    if (rx.interference_mw > 0.0) {
+      const double sir_db =
+          rx.prx_dbm - util::mw_to_dbm(rx.interference_mw);
+      if (sir_db < kCaptureThresholdDb) corrupted = true;
+    }
+
+    RxInfo info;
+    info.rx_power_dbm = rx.prx_dbm;
+    info.sinr_db = sinr_db;
+    // The RSSI register measures total in-band energy; include the
+    // interference floor the receiver saw.
+    info.rssi_reg = rssi_register(
+        util::mw_to_dbm(util::dbm_to_mw(rx.prx_dbm) + rx.interference_mw));
+    info.lqi = lqi_from_snr(sinr_db);
+    info.crc_ok = !corrupted;
+    info.from = rx.from;
+
+    if (corrupted) {
+      ++frames_corrupted_;
+      // Flip a byte so upper layers exercise their CRC path on real data.
+      auto damaged = *psdu;
+      const auto idx = static_cast<std::size_t>(
+          corrupt_rng_.uniform_int(0, static_cast<std::int64_t>(damaged.size()) - 1));
+      damaged[idx] ^= 0xa5;
+      radios_[rx.to].client->on_frame(damaged, info);
+    } else {
+      ++frames_delivered_;
+      radios_[rx.to].client->on_frame(*psdu, info);
+    }
+  }
+}
+
+}  // namespace liteview::phy

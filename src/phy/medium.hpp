@@ -1,0 +1,194 @@
+// The shared wireless medium.
+//
+// Tracks every attached radio's position/channel, models concurrent
+// transmissions with interference accumulation, half-duplex deafness, a
+// capture-style SINR computation, and PER-driven frame corruption. All
+// randomness flows from the owning Simulator's RNG root, so runs are
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "phy/cc2420.hpp"
+#include "phy/propagation.hpp"
+#include "sim/simulator.hpp"
+
+namespace liteview::phy {
+
+/// Radio identifier within a Medium (dense, assigned at attach()).
+using RadioId = std::uint32_t;
+inline constexpr RadioId kInvalidRadio =
+    std::numeric_limits<RadioId>::max();
+
+/// Receiver-side measurements delivered with every frame — exactly what
+/// the CC2420 exposes and what LiteView's commands report.
+struct RxInfo {
+  double rx_power_dbm = -127.0;
+  double sinr_db = 0.0;
+  std::int8_t rssi_reg = -128;  ///< RSSI register value (P + 45)
+  std::uint8_t lqi = 0;         ///< 50..110
+  bool crc_ok = false;          ///< false when PER draw corrupted the frame
+  RadioId from = kInvalidRadio; ///< transmitting radio (for tests/traces)
+};
+
+/// Implemented by the MAC layer's radio front-end.
+class MediumClient {
+ public:
+  virtual ~MediumClient() = default;
+  /// A frame finished arriving at this radio. `psdu` is the MPDU bytes;
+  /// when !info.crc_ok the payload has been bit-flipped.
+  virtual void on_frame(const std::vector<std::uint8_t>& psdu,
+                        const RxInfo& info) = 0;
+};
+
+/// Global sniffer hook: observes every transmission (used by the testbed's
+/// overhead accounting for Fig. 7, and by debugging traces).
+struct SniffedFrame {
+  RadioId from;
+  Channel channel;
+  std::size_t psdu_bytes;
+  sim::SimTime start;
+  sim::SimTime airtime;
+  /// Frame contents, valid only for the duration of the sniffer call.
+  std::span<const std::uint8_t> psdu;
+};
+
+class Medium {
+ public:
+  Medium(sim::Simulator& sim, const PropagationConfig& prop_cfg);
+
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  /// Attach a radio. The client pointer must outlive the Medium (or be
+  /// detached); position/channel may change later.
+  RadioId attach(MediumClient* client, Position pos,
+                 Channel channel = kDefaultChannel);
+  void detach(RadioId id);
+
+  void set_position(RadioId id, Position pos);
+  [[nodiscard]] Position position(RadioId id) const;
+  void set_channel(RadioId id, Channel channel);
+  [[nodiscard]] Channel channel(RadioId id) const;
+
+  /// Begin a transmission. The MAC is responsible for CSMA before calling
+  /// this; the medium delivers to every same-channel radio in range after
+  /// the frame's airtime.
+  void transmit(RadioId from, double tx_power_dbm,
+                std::vector<std::uint8_t> psdu);
+
+  /// Clear-channel assessment: total received energy (active same-channel
+  /// transmissions) at this radio, in dBm. The threshold is supplied by
+  /// the MAC — sensitive stacks (B-MAC and kin) set it near the noise
+  /// floor, far below the CC2420's -77 dBm register default.
+  [[nodiscard]] double channel_power_dbm(RadioId at) const;
+  [[nodiscard]] bool cca_clear(RadioId at,
+                               double threshold_dbm = kCcaThresholdDbm) const {
+    return channel_power_dbm(at) < threshold_dbm;
+  }
+
+  /// True while `id` itself is transmitting.
+  [[nodiscard]] bool transmitting(RadioId id) const;
+
+  void set_sniffer(std::function<void(const SniffedFrame&)> sniffer) {
+    sniffer_ = std::move(sniffer);
+  }
+
+  /// Failure injection for tests: when set, receptions for which the
+  /// filter returns true are silently dropped (as if faded out). Applied
+  /// at delivery time, after all interference bookkeeping.
+  void set_drop_filter(std::function<bool(RadioId from, RadioId to)> f) {
+    drop_filter_ = std::move(f);
+  }
+
+  [[nodiscard]] const PropagationModel& propagation() const noexcept {
+    return prop_;
+  }
+
+  // ---- counters (per run) --------------------------------------------
+  [[nodiscard]] std::uint64_t frames_sent() const noexcept {
+    return frames_sent_;
+  }
+  [[nodiscard]] std::uint64_t frames_delivered() const noexcept {
+    return frames_delivered_;
+  }
+  [[nodiscard]] std::uint64_t frames_corrupted() const noexcept {
+    return frames_corrupted_;
+  }
+  [[nodiscard]] std::uint64_t frames_below_sensitivity() const noexcept {
+    return frames_below_sensitivity_;
+  }
+  [[nodiscard]] std::uint64_t frames_missed_busy_rx() const noexcept {
+    return frames_missed_busy_rx_;
+  }
+
+  /// Deterministic received power (no fading) for a directed pair — used
+  /// by topology builders to check connectivity before running.
+  [[nodiscard]] double mean_rx_power_dbm(RadioId from, RadioId to,
+                                         double tx_power_dbm) const;
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+ private:
+  struct Radio {
+    MediumClient* client = nullptr;
+    Position pos;
+    Channel channel = kDefaultChannel;
+    bool attached = false;
+    sim::SimTime tx_until;  ///< busy transmitting until this time
+  };
+
+  /// One (transmission, receiver) pair currently in the air.
+  struct Reception {
+    RadioId from;
+    RadioId to;
+    Channel channel;
+    double prx_dbm;
+    double interference_mw;  ///< max concurrent interference seen
+    sim::SimTime start;
+    sim::SimTime end;
+    bool aborted = false;  ///< receiver turned to TX mid-frame
+    std::uint64_t tx_seq;  ///< which transmission this belongs to
+  };
+
+  /// An active transmission on the air (for CCA and interference).
+  struct ActiveTx {
+    RadioId from;
+    Channel channel;
+    double tx_power_dbm;
+    sim::SimTime start;
+    sim::SimTime end;
+    std::uint64_t seq;
+  };
+
+  void deliver(std::uint64_t tx_seq, std::shared_ptr<std::vector<std::uint8_t>> psdu);
+  [[nodiscard]] double rx_power_dbm_at(const ActiveTx& tx,
+                                       RadioId at) const;
+
+  sim::Simulator& sim_;
+  PropagationModel prop_;
+  util::RngStream fading_rng_;
+  util::RngStream loss_rng_;
+  util::RngStream corrupt_rng_;
+
+  std::vector<Radio> radios_;
+  std::vector<ActiveTx> active_;
+  std::vector<Reception> receptions_;
+  std::uint64_t next_tx_seq_ = 0;
+
+  std::function<void(const SniffedFrame&)> sniffer_;
+  std::function<bool(RadioId, RadioId)> drop_filter_;
+
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t frames_corrupted_ = 0;
+  std::uint64_t frames_below_sensitivity_ = 0;
+  std::uint64_t frames_missed_busy_rx_ = 0;
+};
+
+}  // namespace liteview::phy

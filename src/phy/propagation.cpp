@@ -1,0 +1,33 @@
+#include "phy/propagation.hpp"
+
+#include <algorithm>
+
+namespace liteview::phy {
+
+double PropagationModel::shadowing_db(std::uint32_t from_id,
+                                      std::uint32_t to_id) const noexcept {
+  // Box–Muller over two splitmix64 draws keyed by (seed, from, to). The
+  // directed key means shadow(a→b) and shadow(b→a) are independent, which
+  // is the source of stable link asymmetry.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(from_id) << 32) | to_id;
+  const std::uint64_t h1 = util::splitmix64(seed_ ^ util::splitmix64(key));
+  const std::uint64_t h2 = util::splitmix64(h1);
+  // Map to (0,1]; avoid log(0).
+  const double u1 =
+      (static_cast<double>(h1 >> 11) + 1.0) / 9007199254740993.0;
+  const double u2 = static_cast<double>(h2 >> 11) / 9007199254740992.0;
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return cfg_.shadowing_sigma_db * z;
+}
+
+double PropagationModel::static_path_loss_db(
+    std::uint32_t from_id, std::uint32_t to_id, const Position& from,
+    const Position& to) const noexcept {
+  const double d = std::max(from.distance_to(to), 0.1);
+  const double pl = cfg_.pl0_db + 10.0 * cfg_.exponent * std::log10(d);
+  return pl + shadowing_db(from_id, to_id);
+}
+
+}  // namespace liteview::phy

@@ -1,0 +1,77 @@
+// Radio propagation: log-distance path loss with static per-directed-link
+// shadowing and per-packet temporal fading.
+//
+// The paper's Fig. 6 shows (a) RSSI strictly ordered by TX power level and
+// (b) persistent differences between forward and backward readings of the
+// same link. (b) arises physically from antenna orientation and enclosure
+// differences between the two endpoints; we model it as shadowing drawn
+// independently per *directed* pair, frozen for the lifetime of a
+// deployment (it is deterministic in the simulation seed).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace liteview::phy {
+
+/// 2-D deployment coordinates in meters.
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+
+  [[nodiscard]] double distance_to(const Position& o) const noexcept {
+    const double dx = x - o.x;
+    const double dy = y - o.y;
+    return std::sqrt(dx * dx + dy * dy);
+  }
+};
+
+struct PropagationConfig {
+  /// Path loss at the reference distance of 1 m (2.4 GHz free space ≈ 40 dB).
+  double pl0_db = 40.0;
+  /// Path-loss exponent; ~2 free space, 2.7–3.3 typical outdoor deployments.
+  double exponent = 3.0;
+  /// Std-dev of the static per-directed-link shadowing (dB). This is what
+  /// produces stable forward/backward RSSI asymmetry.
+  double shadowing_sigma_db = 3.0;
+  /// Std-dev of the per-packet temporal fading (dB).
+  double fading_sigma_db = 1.0;
+};
+
+/// Deterministic propagation model. Given node ids and positions, computes
+/// received power. The static shadowing for directed pair (a→b) is hashed
+/// from (seed, a, b), so it is reproducible and independent of call order.
+class PropagationModel {
+ public:
+  PropagationModel(const PropagationConfig& cfg, std::uint64_t seed)
+      : cfg_(cfg), seed_(seed) {}
+
+  /// Deterministic path loss (dB) for directed link a→b, *excluding*
+  /// per-packet fading: log-distance term + frozen shadowing.
+  [[nodiscard]] double static_path_loss_db(std::uint32_t from_id,
+                                           std::uint32_t to_id,
+                                           const Position& from,
+                                           const Position& to) const noexcept;
+
+  /// Per-packet fading sample (dB) to subtract from received power; draw
+  /// from the caller's RNG stream so event ordering stays deterministic.
+  [[nodiscard]] double sample_fading_db(util::RngStream& rng) const {
+    return cfg_.fading_sigma_db > 0.0 ? rng.normal(0.0, cfg_.fading_sigma_db)
+                                      : 0.0;
+  }
+
+  [[nodiscard]] const PropagationConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  [[nodiscard]] double shadowing_db(std::uint32_t from_id,
+                                    std::uint32_t to_id) const noexcept;
+
+  PropagationConfig cfg_;
+  std::uint64_t seed_;
+};
+
+}  // namespace liteview::phy

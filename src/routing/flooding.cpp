@@ -1,0 +1,50 @@
+#include "routing/flooding.hpp"
+
+namespace liteview::routing {
+
+bool Flooding::seen_before(net::Addr origin, std::uint16_t id) {
+  for (const auto& e : cache_) {
+    if (e.origin == origin && e.id == id) return true;
+  }
+  cache_[cache_next_] = CacheEntry{origin, id};
+  cache_next_ = (cache_next_ + 1) % cache_.size();
+  return false;
+}
+
+bool Flooding::send_first_hop(const net::NetPacket& pkt) {
+  // Record our own packet so an echoed rebroadcast is not relayed again.
+  (void)seen_before(pkt.src, pkt.id);
+  if (!node().stack().send_link(net::kBroadcast, pkt)) {
+    ++stats_.dropped_send;
+    return false;
+  }
+  return true;
+}
+
+bool Flooding::accept_packet(const net::NetPacket& pkt,
+                             const net::LinkContext& ctx) {
+  if (ctx.local) return true;
+  return !seen_before(pkt.src, pkt.id);
+}
+
+void Flooding::forward(net::NetPacket pkt, const net::LinkContext&) {
+  if (pkt.ttl == 0) {
+    ++stats_.dropped_ttl;
+    return;
+  }
+  --pkt.ttl;
+  // Random jitter before rebroadcast de-synchronizes neighbors that all
+  // received the same packet at the same instant.
+  const auto jitter = sim::SimTime::us(
+      jitter_rng_.uniform_int(200, 5'000));
+  auto shared = std::make_shared<net::NetPacket>(std::move(pkt));
+  node().simulator().schedule_in(jitter, [this, shared] {
+    if (node().stack().send_link(net::kBroadcast, *shared)) {
+      ++stats_.forwarded;
+    } else {
+      ++stats_.dropped_send;
+    }
+  });
+}
+
+}  // namespace liteview::routing

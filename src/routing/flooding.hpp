@@ -1,0 +1,54 @@
+// Duplicate-suppressed flooding.
+//
+// The simplest protocol that can carry LiteView traffic: every data
+// packet is rebroadcast once per node (after a random jitter that
+// de-synchronizes the rebroadcast storm), with a small (origin, id)
+// cache for duplicate suppression — sized like something a 4 KB-RAM mote
+// could afford. Flooding has no unicast next-hop notion, so traceroute
+// reports "no route" over it while multi-hop ping works; this contrast
+// is itself an experiment (ablation A3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "routing/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace liteview::routing {
+
+class Flooding final : public RoutingProtocol {
+ public:
+  explicit Flooding(kernel::Node& node, net::Port port = net::kPortFlooding)
+      : RoutingProtocol(node, port, "flood", kernel::Footprint{1866, 198}),
+        jitter_rng_(node.simulator().rng_root().stream("flood.jitter",
+                                                       node.address())) {}
+
+  [[nodiscard]] std::optional<net::Addr> next_hop(net::Addr) override {
+    return std::nullopt;  // flooding has no unicast route
+  }
+
+  [[nodiscard]] std::string protocol_name() const override {
+    return "flooding";
+  }
+
+ protected:
+  bool send_first_hop(const net::NetPacket& pkt) override;
+  void forward(net::NetPacket pkt, const net::LinkContext& ctx) override;
+  bool accept_packet(const net::NetPacket& pkt,
+                     const net::LinkContext& ctx) override;
+
+ private:
+  [[nodiscard]] bool seen_before(net::Addr origin, std::uint16_t id);
+
+  struct CacheEntry {
+    net::Addr origin = net::kBroadcast;
+    std::uint16_t id = 0;
+  };
+  // Ring cache of recently relayed packets (mote-sized: 32 entries).
+  std::array<CacheEntry, 32> cache_{};
+  std::size_t cache_next_ = 0;
+  util::RngStream jitter_rng_;
+};
+
+}  // namespace liteview::routing

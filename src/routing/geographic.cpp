@@ -1,0 +1,38 @@
+#include "routing/geographic.hpp"
+
+#include <limits>
+
+namespace liteview::routing {
+
+std::optional<net::Addr> GeographicForwarding::next_hop(net::Addr dst) {
+  kernel::Node& n = node();
+  if (dst == n.address()) return dst;
+
+  // Direct usable neighbor: always preferred.
+  if (n.neighbors().usable(dst)) return dst;
+
+  const auto dst_pos = n.locate(dst);
+  if (!dst_pos) return std::nullopt;
+
+  const double own_d = n.position().distance_to(*dst_pos);
+  double best_d = own_d;
+  std::optional<net::Addr> best;
+  for (const auto& e : n.neighbors().usable_entries()) {
+    // A relay must be worth committing a packet to: both directions must
+    // clear the quality floor. Unconfirmed (unidirectional) links are
+    // never used as relays — the asymmetric-link trap of Fig. 6.
+    if (e.lqi_ewma < lqi_floor_ || !e.bidirectional() ||
+        e.lqi_out < lqi_floor_) {
+      continue;
+    }
+    const double d = e.pos.distance_to(*dst_pos);
+    // Strict progress requirement keeps greedy forwarding loop-free.
+    if (d < best_d) {
+      best_d = d;
+      best = e.addr;
+    }
+  }
+  return best;
+}
+
+}  // namespace liteview::routing

@@ -1,0 +1,43 @@
+// Greedy geographic forwarding — the protocol the paper runs traceroute
+// over ("we let the geographic forwarding protocol listen on the port
+// number 10").
+//
+// Next hop = the usable neighbor geographically closest to the
+// destination, required to make strict progress (greedy mode, no face
+// routing; a packet reaching a local minimum is dropped as no-route).
+// Destination positions come from the kernel's location service: beacon
+// table first, then deployment survey hints.
+#pragma once
+
+#include "routing/protocol.hpp"
+
+namespace liteview::routing {
+
+class GeographicForwarding final : public RoutingProtocol {
+ public:
+  explicit GeographicForwarding(kernel::Node& node,
+                                net::Port port = net::kPortGeographic)
+      : RoutingProtocol(node, port, "geofwd",
+                        kernel::Footprint{3412, 310}) {}
+
+  [[nodiscard]] std::optional<net::Addr> next_hop(net::Addr dst) override;
+
+  /// Neighbors whose LQI EWMA sits below this floor are skipped when
+  /// choosing a relay (LQI-aware greedy forwarding); the final hop to the
+  /// destination itself is exempt. 0 disables the floor.
+  void set_link_quality_floor(double lqi) noexcept { lqi_floor_ = lqi; }
+  [[nodiscard]] double link_quality_floor() const noexcept {
+    return lqi_floor_;
+  }
+
+ private:
+  double lqi_floor_ = 80.0;
+
+ public:
+
+  [[nodiscard]] std::string protocol_name() const override {
+    return "geographic forwarding";
+  }
+};
+
+}  // namespace liteview::routing

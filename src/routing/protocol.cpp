@@ -1,0 +1,172 @@
+#include "routing/protocol.hpp"
+
+#include <cassert>
+
+namespace liteview::routing {
+
+std::vector<std::uint8_t> make_data_envelope(
+    net::Port inner_port, std::span<const std::uint8_t> app) {
+  std::vector<std::uint8_t> out;
+  out.reserve(2 + app.size());
+  out.push_back(kMsgData);
+  out.push_back(inner_port);
+  out.insert(out.end(), app.begin(), app.end());
+  return out;
+}
+
+std::optional<DataEnvelope> parse_data_envelope(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() < 2 || payload[0] != kMsgData) return std::nullopt;
+  DataEnvelope env;
+  env.inner_port = payload[1];
+  env.app.assign(payload.begin() + 2, payload.end());
+  return env;
+}
+
+RoutingProtocol::RoutingProtocol(kernel::Node& node, net::Port port,
+                                 std::string name,
+                                 kernel::Footprint footprint)
+    : kernel::Process(node, std::move(name), footprint), port_(port) {}
+
+RoutingProtocol::~RoutingProtocol() {
+  if (running()) RoutingProtocol::stop();
+}
+
+void RoutingProtocol::start() {
+  const bool ok = node().stack().subscribe(
+      port_, [this](const net::NetPacket& pkt, const net::LinkContext& ctx) {
+        on_packet(pkt, ctx);
+      });
+  assert(ok && "routing port already taken");
+  (void)ok;
+  set_running(true);
+}
+
+void RoutingProtocol::stop() {
+  node().stack().unsubscribe(port_);
+  set_running(false);
+}
+
+bool RoutingProtocol::handle_control(const net::NetPacket&,
+                                     const net::LinkContext&) {
+  return false;
+}
+
+bool RoutingProtocol::accept_packet(const net::NetPacket&,
+                                    const net::LinkContext&) {
+  return true;
+}
+
+void RoutingProtocol::send_control(net::Addr link_dst,
+                                   std::vector<std::uint8_t> body) {
+  net::NetPacket pkt;
+  pkt.src = node().address();
+  pkt.dst = link_dst;
+  pkt.port = port_;
+  pkt.ttl = 1;
+  pkt.payload = std::move(body);
+  ++stats_.control_sent;
+  node().stack().send_link(link_dst, pkt);
+}
+
+bool RoutingProtocol::send(net::Addr dst, net::Port inner_port,
+                           std::vector<std::uint8_t> payload, bool padding) {
+  assert(running() && "protocol process not started");
+  net::NetPacket pkt;
+  pkt.src = node().address();
+  pkt.dst = dst;
+  pkt.port = port_;
+  pkt.id = next_packet_id_++;
+  pkt.payload = make_data_envelope(inner_port, payload);
+  if (padding) pkt.enable_padding();
+
+  ++stats_.originated;
+
+  if (dst == node().address()) {
+    // Loopback: deliver straight to the inner port.
+    net::NetPacket inner = pkt;
+    inner.port = inner_port;
+    inner.payload = std::move(payload);
+    node().stack().send_local(std::move(inner));
+    ++stats_.delivered;
+    return true;
+  }
+
+  return send_first_hop(pkt);
+}
+
+bool RoutingProtocol::send_first_hop(const net::NetPacket& pkt) {
+  const auto next = next_hop(pkt.dst);
+  if (!next) {
+    ++stats_.dropped_no_route;
+    return false;
+  }
+  if (!node().stack().send_link(*next, pkt)) {
+    ++stats_.dropped_send;
+    return false;
+  }
+  return true;
+}
+
+void RoutingProtocol::on_packet(const net::NetPacket& pkt,
+                                const net::LinkContext& ctx) {
+  if (pkt.payload.empty()) return;
+  if (pkt.payload[0] != kMsgData) {
+    handle_control(pkt, ctx);
+    return;
+  }
+
+  if (!accept_packet(pkt, ctx)) return;
+
+  net::NetPacket p = pkt;
+  // Per-hop padding: every receiving hop (forwarder or final destination)
+  // appends the incoming link's metrics. When the budget is exhausted the
+  // packet keeps flowing but stops collecting — the paper's 24-hop limit.
+  if (p.padding_enabled() && !ctx.local) {
+    p.add_padding(net::PadEntry{ctx.rx.lqi, ctx.rx.rssi_reg});
+  }
+
+  const bool for_me =
+      p.dst == node().address() || p.dst == net::kBroadcast;
+  if (for_me) {
+    auto env = parse_data_envelope(p.payload);
+    if (env) {
+      net::NetPacket inner;
+      inner.src = p.src;
+      inner.dst = p.dst;
+      inner.port = env->inner_port;
+      inner.id = p.id;
+      inner.ttl = p.ttl;
+      inner.flags = p.flags;
+      inner.payload = std::move(env->app);
+      inner.padding = p.padding;
+      ++stats_.delivered;
+      node().stack().send_local(std::move(inner));
+    }
+  }
+  // Broadcast packets keep flowing after local delivery; unicast packets
+  // addressed to this node terminate here.
+  if (p.dst != node().address()) forward(std::move(p), ctx);
+}
+
+void RoutingProtocol::forward(net::NetPacket pkt, const net::LinkContext&) {
+  if (pkt.ttl == 0) {
+    ++stats_.dropped_ttl;
+    node().log_event(kernel::EventCode::kRouteDropTtl, pkt.dst);
+    return;
+  }
+  --pkt.ttl;
+  const auto next = next_hop(pkt.dst);
+  if (!next || !node().neighbors().usable(*next)) {
+    ++stats_.dropped_no_route;
+    node().log_event(kernel::EventCode::kRouteDropNoRoute, pkt.dst);
+    return;
+  }
+  if (!node().stack().send_link(*next, pkt)) {
+    ++stats_.dropped_send;
+    return;
+  }
+  ++stats_.forwarded;
+}
+
+}  // namespace liteview::routing

@@ -1,0 +1,111 @@
+// Routing protocol base: a port-subscribed process with a shared
+// forwarding engine and the link-quality padding mechanism.
+//
+// The paper's protocol-independence requirement (Sec. IV-A1): management
+// commands address a routing protocol *only* by its port number, chosen
+// at runtime; protocols contain no management-specific functionality.
+// Concrete protocols implement next-hop selection; the base class owns
+// envelope encoding, TTL, per-hop padding of {LQI, RSSI}, delivery to the
+// inner port, and statistics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/node.hpp"
+#include "kernel/process.hpp"
+#include "net/packet.hpp"
+
+namespace liteview::routing {
+
+struct RoutingStats {
+  std::uint64_t originated = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t delivered = 0;       ///< handed to the inner port here
+  std::uint64_t dropped_no_route = 0;
+  std::uint64_t dropped_ttl = 0;
+  std::uint64_t dropped_send = 0;    ///< MAC queue full / channel busy
+  std::uint64_t control_sent = 0;    ///< protocol's own control traffic
+};
+
+class RoutingProtocol : public kernel::Process {
+ public:
+  RoutingProtocol(kernel::Node& node, net::Port port, std::string name,
+                  kernel::Footprint footprint = {});
+  ~RoutingProtocol() override;
+
+  /// Originate a packet: deliver `payload` to `inner_port` at `dst` over
+  /// this protocol. `padding` enables per-hop {LQI, RSSI} collection.
+  /// Returns false when no first hop exists (or dst == self is handled
+  /// via loopback and returns true).
+  bool send(net::Addr dst, net::Port inner_port,
+            std::vector<std::uint8_t> payload, bool padding = false);
+
+  /// Next hop this node would use toward `dst`; nullopt when the protocol
+  /// has no route (or, like flooding, no unicast notion of one). Public
+  /// because traceroute walks the path hop by hop (paper Fig. 4).
+  [[nodiscard]] virtual std::optional<net::Addr> next_hop(net::Addr dst) = 0;
+
+  /// Human-readable protocol name printed by traceroute
+  /// ("Name of protocol: geographic forwarding").
+  [[nodiscard]] virtual std::string protocol_name() const = 0;
+
+  [[nodiscard]] net::Port port() const noexcept { return port_; }
+  [[nodiscard]] const RoutingStats& stats() const noexcept { return stats_; }
+
+  void start() override;
+  void stop() override;
+
+ protected:
+  /// Concrete protocols may intercept non-data control packets; return
+  /// true when consumed. Default: no control traffic.
+  virtual bool handle_control(const net::NetPacket& pkt,
+                              const net::LinkContext& ctx);
+
+  /// First gate for every arriving data packet, before padding, delivery
+  /// and forwarding. Return false to drop (flooding suppresses duplicate
+  /// copies arriving over multiple paths here). Called exactly once per
+  /// reception.
+  virtual bool accept_packet(const net::NetPacket& pkt,
+                             const net::LinkContext& ctx);
+
+  void send_control(net::Addr link_dst, std::vector<std::uint8_t> body);
+
+  /// Relay a data packet not addressed to this node. The default engine
+  /// does unicast next-hop forwarding; flooding overrides it with
+  /// duplicate-suppressed rebroadcast.
+  virtual void forward(net::NetPacket pkt, const net::LinkContext& ctx);
+
+  /// Originate the first hop of a data packet; flooding overrides to
+  /// broadcast. Returns false when no route exists.
+  virtual bool send_first_hop(const net::NetPacket& pkt);
+
+  RoutingStats stats_;
+
+ private:
+  void on_packet(const net::NetPacket& pkt, const net::LinkContext& ctx);
+
+  net::Port port_;
+  std::uint16_t next_packet_id_ = 1;
+};
+
+// ---- envelope --------------------------------------------------------
+// First payload byte is a message type; data packets carry the inner port
+// next, control packets are protocol-defined.
+inline constexpr std::uint8_t kMsgData = 0x00;
+inline constexpr std::uint8_t kMsgControl = 0x01;
+
+/// Build a data-envelope payload: [kMsgData][inner_port][app bytes...].
+[[nodiscard]] std::vector<std::uint8_t> make_data_envelope(
+    net::Port inner_port, std::span<const std::uint8_t> app);
+
+struct DataEnvelope {
+  net::Port inner_port;
+  std::vector<std::uint8_t> app;
+};
+[[nodiscard]] std::optional<DataEnvelope> parse_data_envelope(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace liteview::routing

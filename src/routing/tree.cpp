@@ -1,0 +1,166 @@
+#include "routing/tree.hpp"
+
+#include <algorithm>
+
+#include "util/bytes.hpp"
+#include "util/dbm.hpp"
+
+namespace liteview::routing {
+
+std::uint16_t link_cost_from_lqi(double lqi_ewma) noexcept {
+  // LQI 110 → ETX ~1.0 (16/16); LQI 50 → ~4.8. Quadratic in the quality
+  // deficit, the usual shape of PRR→ETX mappings.
+  const double q = util::clampd(lqi_ewma, 50.0, 110.0);
+  const double ratio = 110.0 / q;
+  const double etx16 = 16.0 * ratio * ratio;
+  return static_cast<std::uint16_t>(util::clampd(etx16, 16.0, 1024.0));
+}
+
+namespace {
+
+struct Advert {
+  net::Addr root;
+  std::uint16_t cost;
+};
+
+std::vector<std::uint8_t> encode_advert(const Advert& a) {
+  util::ByteWriter w;
+  w.u8(kMsgControl);
+  w.u16(a.root);
+  w.u16(a.cost);
+  return std::move(w).take();
+}
+
+std::optional<Advert> decode_advert(std::span<const std::uint8_t> payload) {
+  if (payload.size() < 5 || payload[0] != kMsgControl) return std::nullopt;
+  util::ByteReader r(payload.subspan(1));
+  Advert a;
+  a.root = r.u16();
+  a.cost = r.u16();
+  if (!r.ok()) return std::nullopt;
+  return a;
+}
+
+}  // namespace
+
+TreeRouting::TreeRouting(kernel::Node& node, const TreeConfig& cfg,
+                         net::Port port)
+    : RoutingProtocol(node, port, "tree", kernel::Footprint{2954, 356}),
+      cfg_(cfg),
+      is_root_(node.address() == cfg.root),
+      jitter_rng_(
+          node.simulator().rng_root().stream("tree.jitter", node.address())) {
+  if (is_root_) cost_ = 0;
+}
+
+void TreeRouting::start() {
+  RoutingProtocol::start();
+  // Phase-shifted periodic advertisement; the root seeds the gradient.
+  const auto phase = sim::SimTime::us(jitter_rng_.uniform_int(
+      0, cfg_.advertise_period.nanoseconds() / 1'000));
+  advertise_timer_ = node().simulator().schedule_in(phase, [this] {
+    advertise();
+    advertise_timer_ =
+        node().simulator().schedule_every(cfg_.advertise_period, [this] {
+          check_staleness();
+          advertise();
+        });
+  });
+}
+
+void TreeRouting::stop() {
+  advertise_timer_.cancel();
+  triggered_update_.cancel();
+  RoutingProtocol::stop();
+}
+
+void TreeRouting::advertise() {
+  if (!has_route()) return;  // nothing credible to say yet
+  send_control(net::kBroadcast, encode_advert(Advert{cfg_.root, cost_}));
+}
+
+void TreeRouting::check_staleness() {
+  if (is_root_ || !parent_valid_) return;
+  const auto age = node().simulator().now() - parent_heard_;
+  if (age > cfg_.advertise_period * cfg_.stale_periods) {
+    parent_valid_ = false;
+    cost_ = 0xffff;
+  }
+}
+
+bool TreeRouting::handle_control(const net::NetPacket& pkt,
+                                 const net::LinkContext& ctx) {
+  const auto advert = decode_advert(pkt.payload);
+  if (!advert || advert->root != cfg_.root) return false;
+  if (is_root_) return true;
+
+  // Only usable (non-blacklisted, beacon-known, bidirectional) neighbors
+  // are eligible — this is where LiteView's blacklist bends the
+  // protocol's choices, and where one-way links are kept out of the tree
+  // (upward data needs the me→parent direction to work).
+  const kernel::NeighborEntry* e = node().neighbors().find(ctx.link_src);
+  if (e == nullptr || e->blacklisted || !e->bidirectional()) return true;
+
+  // Cost combines both directions: the advert proves parent→me, the
+  // digest-reported lqi_out estimates me→parent.
+  const std::uint32_t through =
+      advert->cost + link_cost_from_lqi(std::min(e->lqi_ewma, e->lqi_out));
+  if (ctx.link_src == parent_ && parent_valid_) {
+    // Refresh and track our current parent's cost drift.
+    parent_heard_ = node().simulator().now();
+    cost_ = static_cast<std::uint16_t>(std::min(through, 0xfffeu));
+    return true;
+  }
+  if (through < cost_) {
+    parent_ = ctx.link_src;
+    parent_valid_ = true;
+    parent_heard_ = node().simulator().now();
+    cost_ = static_cast<std::uint16_t>(through);
+    // Triggered update: announce the improvement after a short jitter so
+    // the gradient spreads in one wavefront instead of one hop per
+    // advertisement period.
+    triggered_update_.cancel();
+    triggered_update_ = node().simulator().schedule_in(
+        sim::SimTime::us(jitter_rng_.uniform_int(50'000, 400'000)),
+        [this] { advertise(); });
+  }
+  return true;
+}
+
+bool TreeRouting::accept_packet(const net::NetPacket& pkt,
+                                const net::LinkContext& ctx) {
+  // Learn reverse paths from upward data traffic.
+  if (!ctx.local && pkt.src != node().address()) {
+    for (auto& r : reverse_) {
+      if (r.origin == pkt.src) {
+        r.via = ctx.link_src;
+        r.heard = node().simulator().now();
+        return true;
+      }
+    }
+    reverse_[reverse_next_] =
+        ReverseRoute{pkt.src, ctx.link_src, node().simulator().now()};
+    reverse_next_ = (reverse_next_ + 1) % reverse_.size();
+  }
+  return true;
+}
+
+std::optional<net::Addr> TreeRouting::next_hop(net::Addr dst) {
+  if (dst == node().address()) return dst;
+  if (node().neighbors().usable(dst)) return dst;
+  if (dst == cfg_.root && parent_valid_ &&
+      node().neighbors().usable(parent_)) {
+    return parent_;
+  }
+  // Downward: follow a fresh reverse-path breadcrumb if we have one.
+  constexpr auto kReverseTtl = sim::SimTime::sec(60);
+  for (const auto& r : reverse_) {
+    if (r.origin == dst && node().simulator().now() - r.heard < kReverseTtl &&
+        node().neighbors().usable(r.via)) {
+      return r.via;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace liteview::routing

@@ -1,0 +1,90 @@
+// Collection-tree routing (MintRoute-style).
+//
+// A configured root periodically advertises cost 0; every node adopts the
+// parent minimizing (advertised path cost + link cost) where link cost is
+// an ETX-like figure derived from the kernel neighbor table's LQI EWMA,
+// and re-advertises its own cost. Routes exist toward the root (and to
+// direct neighbors); anything else is no-route. This mirrors the class of
+// protocols the paper's related work (MintRoute) represents, and gives
+// LiteView a structurally different protocol to compare against
+// geographic forwarding without recompiling any command.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "routing/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace liteview::routing {
+
+/// ETX-style link cost in 1/16 units from an LQI estimate (16 = perfect).
+[[nodiscard]] std::uint16_t link_cost_from_lqi(double lqi_ewma) noexcept;
+
+struct TreeConfig {
+  net::Addr root = 0;
+  sim::SimTime advertise_period = sim::SimTime::sec(2);
+  /// Parent considered stale after this many silent periods.
+  int stale_periods = 3;
+};
+
+class TreeRouting final : public RoutingProtocol {
+ public:
+  TreeRouting(kernel::Node& node, const TreeConfig& cfg,
+              net::Port port = net::kPortTree);
+  ~TreeRouting() override {
+    if (running()) TreeRouting::stop();
+  }
+
+  [[nodiscard]] std::optional<net::Addr> next_hop(net::Addr dst) override;
+
+  [[nodiscard]] std::string protocol_name() const override {
+    return "tree routing";
+  }
+
+  void start() override;
+  void stop() override;
+
+  [[nodiscard]] bool has_route() const noexcept {
+    return is_root_ || parent_valid_;
+  }
+  [[nodiscard]] std::optional<net::Addr> parent() const {
+    if (!parent_valid_) return std::nullopt;
+    return parent_;
+  }
+  [[nodiscard]] std::uint16_t path_cost() const noexcept { return cost_; }
+  [[nodiscard]] net::Addr root() const noexcept { return cfg_.root; }
+
+ protected:
+  bool handle_control(const net::NetPacket& pkt,
+                      const net::LinkContext& ctx) override;
+  bool accept_packet(const net::NetPacket& pkt,
+                     const net::LinkContext& ctx) override;
+
+ private:
+  void advertise();
+  void check_staleness();
+
+  /// Reverse-path cache: data packets flowing up the tree leave
+  /// breadcrumbs (origin → link we heard it on), so replies can flow
+  /// back down — how collection trees support request/response traffic.
+  struct ReverseRoute {
+    net::Addr origin = net::kBroadcast;
+    net::Addr via = 0;
+    sim::SimTime heard;
+  };
+  std::array<ReverseRoute, 8> reverse_{};
+  std::size_t reverse_next_ = 0;
+
+  TreeConfig cfg_;
+  bool is_root_;
+  bool parent_valid_ = false;
+  net::Addr parent_ = 0;
+  std::uint16_t cost_ = 0xffff;  ///< path ETX×16; root = 0
+  sim::SimTime parent_heard_;
+  util::RngStream jitter_rng_;
+  sim::EventHandle advertise_timer_;
+  sim::EventHandle triggered_update_;
+};
+
+}  // namespace liteview::routing

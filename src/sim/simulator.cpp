@@ -1,0 +1,64 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace liteview::sim {
+
+std::string SimTime::to_string() const {
+  if (ns_ >= 1'000'000'000 || ns_ <= -1'000'000'000)
+    return util::format("%.3f s", seconds());
+  if (ns_ >= 1'000'000 || ns_ <= -1'000'000)
+    return util::format("%.1f ms", milliseconds());
+  if (ns_ >= 1'000 || ns_ <= -1'000)
+    return util::format("%.1f us", microseconds());
+  return util::format("%lld ns", static_cast<long long>(ns_));
+}
+
+EventHandle Simulator::schedule_at(SimTime when, Callback cb) {
+  assert(when >= now_ && "cannot schedule into the past");
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(cb), flag});
+  return EventHandle(std::move(flag));
+}
+
+EventHandle Simulator::schedule_every(SimTime period, Callback cb) {
+  auto flag = std::make_shared<bool>(false);
+  // The repeating wrapper reschedules itself while the shared flag is
+  // clear; cancelling the returned handle stops the chain.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, cb = std::move(cb), flag, tick]() {
+    if (*flag) return;
+    cb();
+    if (*flag) return;
+    auto inner = std::make_shared<bool>(false);
+    queue_.push(Event{now_ + period, next_seq_++, *tick, flag});
+  };
+  queue_.push(Event{now_ + period, next_seq_++, *tick, flag});
+  return EventHandle(std::move(flag));
+}
+
+bool Simulator::step(SimTime limit) {
+  while (!queue_.empty()) {
+    if (queue_.top().when > limit) return false;
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.cancelled && *ev.cancelled) continue;  // lazily dropped
+    now_ = ev.when;
+    ++executed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(SimTime limit) {
+  while (step(limit)) {
+  }
+  // If we stopped because the queue head is beyond the limit (or empty),
+  // the clock still advances to the limit so run_for() composes.
+  if (limit != SimTime::max() && limit > now_) now_ = limit;
+}
+
+}  // namespace liteview::sim

@@ -1,0 +1,112 @@
+// Deterministic discrete-event simulator.
+//
+// Single-threaded event loop with a total order over events:
+// (timestamp, insertion sequence). Two runs with identical seeds execute
+// identical event sequences. Parallelism in this codebase happens *across*
+// independent Simulator instances (Monte-Carlo replication), never inside
+// one — the shared-nothing pattern the HPC guides recommend.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace liteview::sim {
+
+/// Handle for cancelling a scheduled event. Cheap to copy; cancellation is
+/// lazy (the event stays queued but its body is skipped).
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void cancel() const {
+    if (cancelled_) *cancelled_ = true;
+  }
+  [[nodiscard]] bool valid() const { return cancelled_ != nullptr; }
+  [[nodiscard]] bool cancelled() const {
+    return cancelled_ && *cancelled_;
+  }
+
+ private:
+  explicit EventHandle(std::shared_ptr<bool> flag)
+      : cancelled_(std::move(flag)) {}
+  std::shared_ptr<bool> cancelled_;
+  friend class Simulator;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit Simulator(std::uint64_t seed = 1)
+      : rng_root_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule at an absolute simulated time (must be >= now()).
+  EventHandle schedule_at(SimTime when, Callback cb);
+
+  /// Schedule after a relative delay.
+  EventHandle schedule_in(SimTime delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Repeating event; first firing after `period`. Returns a handle that
+  /// cancels all future firings.
+  EventHandle schedule_every(SimTime period, Callback cb);
+
+  /// Run until the event queue drains or `limit` is reached (whichever is
+  /// first). The clock advances to the time of the last executed event.
+  void run_until(SimTime limit);
+
+  /// Advance exactly `d` from the current time.
+  void run_for(SimTime d) { run_until(now_ + d); }
+
+  /// Drain everything (use only when the model is known to quiesce).
+  void run() { run_until(SimTime::max()); }
+
+  /// Execute at most one event; returns false when the queue is empty or
+  /// the head is beyond `limit`.
+  bool step(SimTime limit = SimTime::max());
+
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size();
+  }
+  [[nodiscard]] std::uint64_t executed_events() const noexcept {
+    return executed_;
+  }
+
+  /// Root of the deterministic randomness tree for this run.
+  [[nodiscard]] const util::RngRoot& rng_root() const noexcept {
+    return rng_root_;
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback cb;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;  // FIFO among same-time events
+    }
+  };
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  util::RngRoot rng_root_;
+};
+
+}  // namespace liteview::sim

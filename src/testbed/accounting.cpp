@@ -1,0 +1,60 @@
+#include "testbed/accounting.hpp"
+
+#include "mac/frame.hpp"
+#include <algorithm>
+
+#include "routing/protocol.hpp"
+
+namespace liteview::testbed {
+
+PacketAccounting::PacketAccounting(phy::Medium& medium,
+                                   std::vector<net::Port> routing_ports)
+    : routing_ports_(std::move(routing_ports)) {
+  medium.set_sniffer(
+      [this](const phy::SniffedFrame& f) { on_frame(f); });
+}
+
+void PacketAccounting::on_frame(const phy::SniffedFrame& frame) {
+  ++total_.packets;
+  total_.bytes += frame.psdu_bytes;
+
+  const auto mac_frame = mac::decode_frame(frame.psdu);
+  if (!mac_frame) return;
+  const auto pkt = net::decode_packet(mac_frame->payload);
+  if (!pkt) return;
+
+  // Attribute routed data packets to the application port inside the
+  // envelope; control and plain packets stay on their net-layer port.
+  net::Port effective = pkt->port;
+  const bool is_routing_port =
+      std::find(routing_ports_.begin(), routing_ports_.end(), pkt->port) !=
+      routing_ports_.end();
+  if (is_routing_port) {
+    if (const auto env = routing::parse_data_envelope(pkt->payload)) {
+      effective = env->inner_port;
+    }
+  }
+  auto& c = by_port_[effective];
+  ++c.packets;
+  c.bytes += frame.psdu_bytes;
+}
+
+PacketAccounting::Counters PacketAccounting::for_port(net::Port port) const {
+  const auto it = by_port_.find(port);
+  return it == by_port_.end() ? Counters{} : it->second;
+}
+
+PacketAccounting::Counters PacketAccounting::non_beacon() const {
+  Counters out = total_;
+  const auto beacons = for_port(net::kPortBeacon);
+  out.packets -= beacons.packets;
+  out.bytes -= beacons.bytes;
+  return out;
+}
+
+void PacketAccounting::reset() {
+  total_ = Counters{};
+  by_port_.clear();
+}
+
+}  // namespace liteview::testbed

@@ -1,0 +1,58 @@
+// Radio packet accounting via the medium's promiscuous sniffer.
+//
+// The paper's Fig. 7 counts "the number of control messages as measured
+// by invoking the traceroute command". This accountant decodes every
+// transmitted frame down to its *effective* port — the inner application
+// port when the packet rides a routing-protocol data envelope — so the
+// overhead of one command can be separated from beacons, management
+// traffic and other protocols.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "net/packet.hpp"
+#include "phy/medium.hpp"
+
+namespace liteview::testbed {
+
+class PacketAccounting {
+ public:
+  /// Attach to a medium; replaces any previous sniffer. `routing_ports`
+  /// are the ports whose packets carry data envelopes (only those are
+  /// re-attributed to their inner port — other payloads may start with
+  /// the same byte values by coincidence).
+  explicit PacketAccounting(
+      phy::Medium& medium,
+      std::vector<net::Port> routing_ports = {net::kPortGeographic,
+                                              net::kPortFlooding,
+                                              net::kPortTree});
+
+  struct Counters {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;  ///< PSDU bytes (on-air minus sync header)
+  };
+
+  [[nodiscard]] Counters total() const noexcept { return total_; }
+  [[nodiscard]] Counters for_port(net::Port port) const;
+
+  /// Everything except kernel beacons — the network's "useful" traffic.
+  [[nodiscard]] Counters non_beacon() const;
+
+  /// Zero all counters (benches call this right before issuing a command).
+  void reset();
+
+  /// Snapshot of per-effective-port packet counts.
+  [[nodiscard]] const std::map<net::Port, Counters>& by_port() const noexcept {
+    return by_port_;
+  }
+
+ private:
+  void on_frame(const phy::SniffedFrame& frame);
+
+  std::vector<net::Port> routing_ports_;
+  Counters total_;
+  std::map<net::Port, Counters> by_port_;
+};
+
+}  // namespace liteview::testbed

@@ -1,0 +1,101 @@
+#include "testbed/passive_monitor.hpp"
+
+#include <algorithm>
+
+#include "mac/frame.hpp"
+#include "routing/protocol.hpp"
+
+namespace liteview::testbed {
+
+PassiveMonitor::PassiveMonitor(phy::Medium& medium) {
+  medium.set_sniffer(
+      [this](const phy::SniffedFrame& f) { on_frame(f); });
+}
+
+void PassiveMonitor::on_frame(const phy::SniffedFrame& frame) {
+  ++frames_observed_;
+  const auto mac_frame = mac::decode_frame(frame.psdu);
+  if (!mac_frame) {
+    ++frames_undecodable_;
+    return;
+  }
+
+  auto& usage = links_[{mac_frame->src, mac_frame->dst}];
+  ++usage.frames;
+  usage.bytes += frame.psdu_bytes;
+  usage.last_seen = frame.start;
+
+  const auto pkt = net::decode_packet(mac_frame->payload);
+  if (!pkt) return;
+
+  // Routed data packets: stitch the hop into the packet's trace and
+  // update flow/relay accounting. Only routing-port envelopes describe
+  // multi-hop flows; everything else is single-hop control traffic.
+  const bool routed = pkt->port == net::kPortGeographic ||
+                      pkt->port == net::kPortFlooding ||
+                      pkt->port == net::kPortTree;
+  if (!routed || !routing::parse_data_envelope(pkt->payload)) return;
+
+  auto& trace = traces_[{pkt->src, pkt->id}];
+  if (trace.hops.empty()) {
+    trace.final_dst = pkt->dst;
+    ++flows_[{pkt->src, pkt->dst}];
+  }
+  trace.hops.emplace_back(mac_frame->src, mac_frame->dst, frame.start);
+  if (mac_frame->src != pkt->src) ++relayed_[mac_frame->src];
+}
+
+std::optional<std::vector<net::Addr>> PassiveMonitor::path_of(
+    net::Addr origin, std::uint16_t packet_id) const {
+  const auto it = traces_.find({origin, packet_id});
+  if (it == traces_.end() || it->second.hops.empty()) return std::nullopt;
+  const auto& trace = it->second;
+
+  // Stitch transmissions into a chain starting at the origin. Retries
+  // appear as duplicate (src, dst) observations and collapse naturally.
+  std::vector<net::Addr> path{origin};
+  net::Addr cursor = origin;
+  for (const auto& [src, dst, time] : trace.hops) {
+    (void)time;
+    if (src == cursor && dst != cursor) {
+      path.push_back(dst);
+      cursor = dst;
+    }
+  }
+  if (path.size() < 2) return std::nullopt;
+  return path;
+}
+
+std::vector<std::vector<net::Addr>> PassiveMonitor::paths_for_flow(
+    net::Addr origin, net::Addr dst) const {
+  std::vector<std::vector<net::Addr>> out;
+  for (const auto& [key, trace] : traces_) {
+    if (key.first != origin || trace.final_dst != dst) continue;
+    if (const auto p = path_of(key.first, key.second)) {
+      // Only report paths that actually reached the destination.
+      if (p->back() == dst) out.push_back(*p);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<net::Addr, std::uint64_t>>
+PassiveMonitor::relay_ranking() const {
+  std::vector<std::pair<net::Addr, std::uint64_t>> out(relayed_.begin(),
+                                                       relayed_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  return out;
+}
+
+void PassiveMonitor::reset() {
+  links_.clear();
+  flows_.clear();
+  traces_.clear();
+  relayed_.clear();
+  frames_observed_ = 0;
+  frames_undecodable_ = 0;
+}
+
+}  // namespace liteview::testbed

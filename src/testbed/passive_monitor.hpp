@@ -1,0 +1,95 @@
+// Passive network monitoring — the LiveNet approach the paper cites
+// ([14] Chen et al., "LiveNet: Using Passive Monitoring to Reconstruct
+// Sensor Network Dynamics", DCOSS 2008), rebuilt as a testbed-side tool.
+//
+// Where LiteView probes the network *actively*, a passive monitor just
+// listens: given the sniffer feed of transmitted frames, it reconstructs
+// (a) the link-layer connectivity graph (who transmits to whom, with
+// volumes), (b) the traffic matrix of routed flows (origin → final
+// destination, by decoding the network header), and (c) multi-hop
+// forwarding paths, by stitching per-link observations of the same
+// packet id. LiteView and a passive monitor are complementary: the
+// monitor sees everything but only what happened; LiteView can ask.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "phy/medium.hpp"
+#include "sim/time.hpp"
+
+namespace liteview::testbed {
+
+class PassiveMonitor {
+ public:
+  /// Attaches to the medium's sniffer (replacing any previous sniffer,
+  /// including a PacketAccounting — use one or the other).
+  explicit PassiveMonitor(phy::Medium& medium);
+
+  struct LinkUsage {
+    std::uint64_t frames = 0;
+    std::uint64_t bytes = 0;
+    sim::SimTime last_seen;
+  };
+
+  /// Directed link-layer edges observed: (src, dst) → usage. Broadcast
+  /// frames appear under dst = net::kBroadcast.
+  [[nodiscard]] const std::map<std::pair<net::Addr, net::Addr>, LinkUsage>&
+  links() const noexcept {
+    return links_;
+  }
+
+  /// End-to-end routed flows observed: (origin, final dst) → packets.
+  [[nodiscard]] const std::map<std::pair<net::Addr, net::Addr>,
+                               std::uint64_t>&
+  flows() const noexcept {
+    return flows_;
+  }
+
+  /// Forwarding path reconstructed for one routed packet, if every hop
+  /// was overheard: the sequence of relaying nodes starting at the
+  /// origin. Keyed by (origin, packet id).
+  [[nodiscard]] std::optional<std::vector<net::Addr>> path_of(
+      net::Addr origin, std::uint16_t packet_id) const;
+
+  /// Paths of all fully-stitched packets for a flow (origin → dst).
+  [[nodiscard]] std::vector<std::vector<net::Addr>> paths_for_flow(
+      net::Addr origin, net::Addr dst) const;
+
+  /// Nodes ranked by frames relayed (forwarded, not originated): the
+  /// passive view of traffic hotspots.
+  [[nodiscard]] std::vector<std::pair<net::Addr, std::uint64_t>>
+  relay_ranking() const;
+
+  [[nodiscard]] std::uint64_t frames_observed() const noexcept {
+    return frames_observed_;
+  }
+  [[nodiscard]] std::uint64_t frames_undecodable() const noexcept {
+    return frames_undecodable_;
+  }
+
+  void reset();
+
+ private:
+  struct PacketTrace {
+    net::Addr final_dst = 0;
+    /// (link src, link dst, time) per observed transmission of this
+    /// packet, in observation order.
+    std::vector<std::tuple<net::Addr, net::Addr, sim::SimTime>> hops;
+  };
+
+  void on_frame(const phy::SniffedFrame& frame);
+
+  std::map<std::pair<net::Addr, net::Addr>, LinkUsage> links_;
+  std::map<std::pair<net::Addr, net::Addr>, std::uint64_t> flows_;
+  std::map<std::pair<net::Addr, std::uint16_t>, PacketTrace> traces_;
+  std::map<net::Addr, std::uint64_t> relayed_;
+  std::uint64_t frames_observed_ = 0;
+  std::uint64_t frames_undecodable_ = 0;
+};
+
+}  // namespace liteview::testbed

@@ -1,0 +1,162 @@
+// Deployment builder: simulator + medium + nodes + LiteView suite +
+// routing protocols + workstation, wired together like the paper's
+// 30-node MicaZ testbed.
+//
+// Determinism: one seed drives everything; two Testbeds with the same
+// config produce bit-identical runs. Independent replications (different
+// seeds) can run in parallel threads because a Testbed shares nothing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "kernel/naming.hpp"
+#include "kernel/node.hpp"
+#include "liteview/interpreter.hpp"
+#include "liteview/runtime_controller.hpp"
+#include "phy/medium.hpp"
+#include "routing/flooding.hpp"
+#include "routing/geographic.hpp"
+#include "routing/tree.hpp"
+#include "sim/simulator.hpp"
+#include "testbed/accounting.hpp"
+
+namespace liteview::testbed {
+
+struct TestbedConfig {
+  std::uint64_t seed = 1;
+  phy::PropagationConfig propagation;
+  mac::MacConfig mac;
+  kernel::NeighborTableConfig neighbors;
+  sim::SimTime beacon_period = sim::SimTime::sec(2);
+  lv::ControllerConfig controller;
+  lv::WorkstationConfig workstation;
+
+  bool install_suite = true;  ///< LiteView on every node
+  bool with_geographic = true;
+  bool with_flooding = false;
+  bool with_tree = false;
+  net::Addr tree_root = 1;
+
+  phy::PaLevel initial_power = phy::kDefaultPaLevel;
+  phy::Channel initial_channel = phy::kDefaultChannel;
+  /// The workstation stands ~1 m from the managed node; it whispers at
+  /// low power so management traffic doesn't interfere with the mesh.
+  phy::PaLevel workstation_power = 3;
+
+  /// Beacon convergence time executed by warm_up().
+  sim::SimTime warmup = sim::SimTime::sec(6);
+};
+
+/// Spacing at which the *mean* received power of an adjacent link equals
+/// sensitivity + margin_db for the given PA level (used to build line
+/// topologies where only adjacent nodes are connected).
+[[nodiscard]] double adjacency_spacing_m(const phy::PropagationConfig& prop,
+                                         phy::PaLevel level,
+                                         double margin_db);
+
+class Testbed {
+ public:
+  /// Line of n nodes spaced `spacing_m` apart; node 1 at the origin.
+  static std::unique_ptr<Testbed> line(int n, double spacing_m,
+                                       const TestbedConfig& cfg = {});
+
+  /// rows × cols grid.
+  static std::unique_ptr<Testbed> grid(int rows, int cols, double spacing_m,
+                                       const TestbedConfig& cfg = {});
+
+  /// n nodes uniformly random in a square of the given side, minimum
+  /// pairwise spacing enforced by dart throwing.
+  static std::unique_ptr<Testbed> random_square(int n, double side_m,
+                                                double min_spacing_m,
+                                                const TestbedConfig& cfg = {});
+
+  /// The paper's evaluation testbed, distilled: a line of `n` nodes in an
+  /// indoor environment (path-loss exponent 4), spaced so that at PA
+  /// level 10 only *adjacent* nodes share usable links (8-hop diameter
+  /// for n = 9), with quality-gated neighbor admission and MAC timing
+  /// calibrated to the paper's ~4.7 ms single-hop ping RTT. Fig. 5/6/7
+  /// benches and the integration tests run on this.
+  static std::unique_ptr<Testbed> paper_line(int n, std::uint64_t seed = 1);
+
+  /// paper_line with a caller-customized config (extra protocols, no
+  /// suite, ...); cfg.seed seeds the site-survey scan.
+  static std::unique_ptr<Testbed> surveyed_line(int n, TestbedConfig cfg);
+
+  /// Config used by paper_line (exposed so benches can tweak one knob).
+  [[nodiscard]] static TestbedConfig paper_config(std::uint64_t seed);
+  /// Node spacing used by paper_line.
+  [[nodiscard]] static double paper_spacing_m();
+
+  /// Grid variant of the paper testbed: spacing shrunk so diagonal links
+  /// are solid (8-connected grid) while 2-stride links stay out of reach;
+  /// deployments are site-surveyed like paper_line.
+  static std::unique_ptr<Testbed> paper_grid(int rows, int cols,
+                                             std::uint64_t seed = 1);
+  static std::unique_ptr<Testbed> surveyed_grid(int rows, int cols,
+                                                TestbedConfig cfg);
+  [[nodiscard]] static double paper_grid_spacing_m();
+
+  ~Testbed();
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  [[nodiscard]] sim::Simulator& sim() noexcept { return *sim_; }
+  [[nodiscard]] phy::Medium& medium() noexcept { return *medium_; }
+  [[nodiscard]] kernel::AddressBook& book() noexcept { return book_; }
+  [[nodiscard]] PacketAccounting& accounting() noexcept {
+    return *accounting_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  /// Node by 0-based index; addresses are index + 1.
+  [[nodiscard]] kernel::Node& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] net::Addr addr(std::size_t i) const {
+    return static_cast<net::Addr>(i + 1);
+  }
+  [[nodiscard]] kernel::Node& node_by_addr(net::Addr a) {
+    return *nodes_.at(a - 1);
+  }
+
+  [[nodiscard]] lv::NodeSuite& suite(std::size_t i) { return *suites_.at(i); }
+  [[nodiscard]] routing::GeographicForwarding* geographic(std::size_t i) {
+    return i < geo_.size() ? geo_[i].get() : nullptr;
+  }
+  [[nodiscard]] routing::Flooding* flooding(std::size_t i) {
+    return i < flood_.size() ? flood_[i].get() : nullptr;
+  }
+  [[nodiscard]] routing::TreeRouting* tree(std::size_t i) {
+    return i < tree_.size() ? tree_[i].get() : nullptr;
+  }
+
+  [[nodiscard]] lv::Workstation& workstation() noexcept { return *ws_; }
+  [[nodiscard]] lv::CommandInterpreter& shell() noexcept { return *shell_; }
+
+  /// Run the simulator for the configured warm-up so neighbor tables and
+  /// routing gradients converge before experiments start.
+  void warm_up();
+
+  /// Set every node's PA level (deployment-wide power experiment).
+  void set_all_power(phy::PaLevel level);
+
+  [[nodiscard]] const TestbedConfig& config() const noexcept { return cfg_; }
+
+ private:
+  Testbed(const TestbedConfig& cfg, std::vector<phy::Position> positions);
+
+  TestbedConfig cfg_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<phy::Medium> medium_;
+  std::unique_ptr<PacketAccounting> accounting_;
+  kernel::AddressBook book_;
+  std::vector<std::unique_ptr<kernel::Node>> nodes_;
+  std::vector<std::unique_ptr<routing::GeographicForwarding>> geo_;
+  std::vector<std::unique_ptr<routing::Flooding>> flood_;
+  std::vector<std::unique_ptr<routing::TreeRouting>> tree_;
+  std::vector<std::unique_ptr<lv::NodeSuite>> suites_;
+  std::unique_ptr<lv::Workstation> ws_;
+  std::unique_ptr<lv::CommandInterpreter> shell_;
+};
+
+}  // namespace liteview::testbed

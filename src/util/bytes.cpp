@@ -1,0 +1,3 @@
+#include "util/bytes.hpp"
+
+namespace liteview::util {}

@@ -1,0 +1,136 @@
+// Bounded little-endian byte readers/writers used by all packet codecs.
+//
+// On-air formats in this codebase are explicit: every header field is
+// written and read through these helpers, never by struct overlay, so the
+// simulated wire format is well-defined and portable.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace liteview::util {
+
+/// Appends fixed-width little-endian fields to a growing byte vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { out_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void i8(std::int8_t v) { out_.push_back(static_cast<std::uint8_t>(v)); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void i16(std::int16_t v) { u16(static_cast<std::uint16_t>(v)); }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v & 0xffff));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v & 0xffffffffULL));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void bytes(std::span<const std::uint8_t> b) {
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+
+  /// Length-prefixed (u8) string; truncates at 255 bytes.
+  void str8(std::string_view s) {
+    const auto n = static_cast<std::uint8_t>(s.size() > 255 ? 255 : s.size());
+    u8(n);
+    out_.insert(out_.end(), s.begin(), s.begin() + n);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept {
+    return out_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(out_); }
+  [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+/// Reads fixed-width little-endian fields; sets a sticky error flag on
+/// underrun instead of throwing, mirroring how a mote-side parser behaves.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> in) : in_(in) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    if (!ensure(1)) return 0;
+    return in_[pos_++];
+  }
+  [[nodiscard]] std::int8_t i8() { return static_cast<std::int8_t>(u8()); }
+  [[nodiscard]] std::uint16_t u16() {
+    if (!ensure(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        in_[pos_] | (static_cast<std::uint16_t>(in_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+  [[nodiscard]] std::int16_t i16() { return static_cast<std::int16_t>(u16()); }
+  [[nodiscard]] std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    const std::uint32_t hi = u16();
+    return lo | (hi << 16);
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  [[nodiscard]] std::vector<std::uint8_t> bytes(std::size_t n) {
+    if (!ensure(n)) return {};
+    std::vector<std::uint8_t> out(in_.begin() + static_cast<long>(pos_),
+                                  in_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  [[nodiscard]] std::string str8() {
+    const std::size_t n = u8();
+    if (!ensure(n)) return {};
+    std::string s(reinterpret_cast<const char*>(in_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Remaining unread bytes.
+  [[nodiscard]] std::span<const std::uint8_t> rest() const {
+    return in_.subspan(pos_);
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return in_.size() - pos_;
+  }
+  [[nodiscard]] bool ok() const noexcept { return !error_; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  void skip(std::size_t n) {
+    if (ensure(n)) pos_ += n;
+  }
+
+ private:
+  bool ensure(std::size_t n) {
+    if (error_ || pos_ + n > in_.size()) {
+      error_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+  bool error_ = false;
+};
+
+}  // namespace liteview::util

@@ -1,0 +1,42 @@
+#include "util/crc16.hpp"
+
+#include <array>
+
+namespace liteview::util {
+namespace {
+
+constexpr std::array<std::uint16_t, 256> make_table() {
+  std::array<std::uint16_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint16_t crc = static_cast<std::uint16_t>(i << 8);
+    for (int b = 0; b < 8; ++b) {
+      crc = static_cast<std::uint16_t>((crc & 0x8000) ? (crc << 1) ^ 0x1021
+                                                      : (crc << 1));
+    }
+    t[i] = crc;
+  }
+  return t;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data,
+                          std::uint16_t init) noexcept {
+  std::uint16_t crc = init;
+  for (std::uint8_t b : data) {
+    crc = static_cast<std::uint16_t>((crc << 8) ^ kTable[(crc >> 8) ^ b]);
+  }
+  return crc;
+}
+
+void Crc16::update(std::uint8_t byte) noexcept {
+  crc_ = static_cast<std::uint16_t>((crc_ << 8) ^ kTable[(crc_ >> 8) ^ byte]);
+}
+
+void Crc16::update(std::span<const std::uint8_t> data) noexcept {
+  for (std::uint8_t b : data) update(b);
+}
+
+}  // namespace liteview::util

@@ -1,0 +1,28 @@
+// CRC-16/CCITT (as used by IEEE 802.15.4 frame check sequences).
+//
+// Polynomial x^16 + x^12 + x^5 + 1 (0x1021), init 0x0000, no reflection —
+// the exact FCS computation the CC2420 performs in hardware.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace liteview::util {
+
+/// Compute the 802.15.4 FCS over a byte span.
+[[nodiscard]] std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data,
+                                        std::uint16_t init = 0x0000) noexcept;
+
+/// Incremental CRC, for streaming frame construction.
+class Crc16 {
+ public:
+  void update(std::uint8_t byte) noexcept;
+  void update(std::span<const std::uint8_t> data) noexcept;
+  [[nodiscard]] std::uint16_t value() const noexcept { return crc_; }
+  void reset(std::uint16_t init = 0x0000) noexcept { crc_ = init; }
+
+ private:
+  std::uint16_t crc_ = 0x0000;
+};
+
+}  // namespace liteview::util

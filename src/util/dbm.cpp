@@ -1,0 +1,13 @@
+#include "util/dbm.hpp"
+
+namespace liteview::util {
+
+double dbm_add(double a_dbm, double b_dbm) noexcept {
+  // Sum in linear space; guard against -inf (zero power) inputs.
+  const double a = dbm_to_mw(a_dbm);
+  const double b = dbm_to_mw(b_dbm);
+  const double s = a + b;
+  return s > 0.0 ? mw_to_dbm(s) : -300.0;
+}
+
+}  // namespace liteview::util

@@ -1,0 +1,31 @@
+// Decibel arithmetic helpers shared by the PHY model and benches.
+#pragma once
+
+#include <cmath>
+
+namespace liteview::util {
+
+/// dBm → milliwatts.
+[[nodiscard]] inline double dbm_to_mw(double dbm) noexcept {
+  return std::pow(10.0, dbm / 10.0);
+}
+
+/// milliwatts → dBm. Requires mw > 0.
+[[nodiscard]] inline double mw_to_dbm(double mw) noexcept {
+  return 10.0 * std::log10(mw);
+}
+
+/// Sum two powers expressed in dBm (used when accumulating interference).
+[[nodiscard]] double dbm_add(double a_dbm, double b_dbm) noexcept;
+
+/// Linear interpolation.
+[[nodiscard]] inline double lerp(double a, double b, double t) noexcept {
+  return a + (b - a) * t;
+}
+
+/// Clamp helper kept here for symmetric use with lerp in PHY tables.
+[[nodiscard]] inline double clampd(double v, double lo, double hi) noexcept {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace liteview::util

@@ -1,0 +1,53 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace liteview::util {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view msg) {
+    std::fprintf(stderr, "[%s] %.*s\n", to_string(level).data(),
+                 static_cast<int>(msg.size()), msg.data());
+  };
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::log(LogLevel level, std::string_view msg) {
+  if (enabled(level) && sink_) sink_(level, msg);
+}
+
+void log_trace(std::string_view msg) {
+  Logger::instance().log(LogLevel::kTrace, msg);
+}
+void log_debug(std::string_view msg) {
+  Logger::instance().log(LogLevel::kDebug, msg);
+}
+void log_info(std::string_view msg) {
+  Logger::instance().log(LogLevel::kInfo, msg);
+}
+void log_warn(std::string_view msg) {
+  Logger::instance().log(LogLevel::kWarn, msg);
+}
+void log_error(std::string_view msg) {
+  Logger::instance().log(LogLevel::kError, msg);
+}
+
+}  // namespace liteview::util

@@ -1,0 +1,49 @@
+// Minimal leveled logger. Simulation-time-aware: components log through a
+// sink that can stamp messages with the simulated clock rather than wall
+// time, so traces are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace liteview::util {
+
+enum class LogLevel : std::uint8_t { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Process-global log configuration. Default level is kWarn so tests and
+/// benches stay quiet; examples turn on kInfo for narrative output.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+  /// Replace the output sink (default writes to stderr).
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view msg);
+
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= level_ && level_ != LogLevel::kOff;
+  }
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+void log_trace(std::string_view msg);
+void log_debug(std::string_view msg);
+void log_info(std::string_view msg);
+void log_warn(std::string_view msg);
+void log_error(std::string_view msg);
+
+}  // namespace liteview::util

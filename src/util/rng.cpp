@@ -1,0 +1,5 @@
+#include "util/rng.hpp"
+
+// Header-only logic; this TU anchors the library target and provides a
+// home for any future out-of-line definitions.
+namespace liteview::util {}

@@ -1,0 +1,126 @@
+// Deterministic, named random-number streams.
+//
+// Every source of randomness in the simulator draws from a stream derived
+// from (root seed, stream name). Two runs with the same root seed produce
+// bit-identical event sequences; adding a new consumer of randomness does
+// not perturb existing streams (each stream is hashed independently).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace liteview::util {
+
+/// SplitMix64 step; used both as a stand-alone mixer and to seed mt19937_64.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over a string, for deriving per-stream seeds from names.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// A named deterministic random stream.
+///
+/// Thin wrapper over mt19937_64 with convenience draws. Not thread-safe;
+/// give each thread (and each logical subsystem) its own stream.
+class RngStream {
+ public:
+  RngStream() : RngStream(0, "default") {}
+  RngStream(std::uint64_t root_seed, std::string_view name)
+      : engine_(splitmix64(root_seed ^ fnv1a(name))) {}
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform() { return unit_(engine_); }
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal (mean 0, stddev 1).
+  [[nodiscard]] double normal() { return normal_(engine_); }
+
+  /// Normal with given mean/stddev.
+  [[nodiscard]] double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Exponential with given mean (> 0).
+  [[nodiscard]] double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Raw 64-bit draw.
+  [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
+
+  /// Derive a child stream; deterministic in (this stream's name path).
+  [[nodiscard]] RngStream fork(std::string_view child_name) const {
+    RngStream child;
+    child.engine_.seed(splitmix64(seed_material_ ^ fnv1a(child_name)));
+    return child;
+  }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_material_ = 0;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+
+  friend class RngRoot;
+};
+
+/// Root of the deterministic randomness tree for one simulation run.
+class RngRoot {
+ public:
+  explicit RngRoot(std::uint64_t root_seed) : root_seed_(root_seed) {}
+
+  /// Create an independent stream for a named subsystem.
+  [[nodiscard]] RngStream stream(std::string_view name) const {
+    RngStream s(root_seed_, name);
+    s.seed_material_ = splitmix64(root_seed_ ^ fnv1a(name));
+    return s;
+  }
+
+  /// Stream scoped to a node id (e.g. per-node MAC backoff).
+  [[nodiscard]] RngStream stream(std::string_view name,
+                                 std::uint64_t index) const {
+    RngStream s;
+    const std::uint64_t mat =
+        splitmix64(splitmix64(root_seed_ ^ fnv1a(name)) + index);
+    s.engine_.seed(mat);
+    s.seed_material_ = mat;
+    return s;
+  }
+
+  [[nodiscard]] std::uint64_t root_seed() const noexcept { return root_seed_; }
+
+ private:
+  std::uint64_t root_seed_;
+};
+
+}  // namespace liteview::util

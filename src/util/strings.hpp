@@ -1,0 +1,54 @@
+// Small string utilities for the shell/command layer: tokenization,
+// key=value option parsing, trimming, and numeric parsing with validation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace liteview::util {
+
+/// Split on any run of whitespace; no empty tokens.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+/// Split on a single delimiter character; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+[[nodiscard]] std::optional<std::int64_t> parse_int(std::string_view s);
+[[nodiscard]] std::optional<double> parse_double(std::string_view s);
+
+/// Parsed shell command line: positional args plus `key=value` options.
+///
+/// Mirrors the paper's command syntax, e.g.
+///   `ping 192.168.0.2 round=1 length=32 port=10`
+/// → positional {"192.168.0.2"}, options {round:1, length:32, port:10}.
+struct CommandLine {
+  std::string command;
+  std::vector<std::string> positional;
+  std::unordered_map<std::string, std::string> options;
+
+  [[nodiscard]] std::optional<std::int64_t> option_int(
+      std::string_view key) const;
+  [[nodiscard]] std::optional<std::string> option_str(
+      std::string_view key) const;
+  /// Option with default when missing; returns nullopt only on parse error.
+  [[nodiscard]] std::optional<std::int64_t> option_int_or(std::string_view key,
+                                                          std::int64_t dflt) const;
+};
+
+[[nodiscard]] CommandLine parse_command_line(std::string_view line);
+
+/// Join with separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// printf-style helper returning std::string.
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace liteview::util

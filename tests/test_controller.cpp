@@ -1,0 +1,187 @@
+// Tests for the runtime controller + workstation management operations:
+// the full command path over the reliable one-hop protocol.
+#include <gtest/gtest.h>
+
+#include "testbed/testbed.hpp"
+
+namespace liteview::lv {
+namespace {
+
+struct CtlFixture : ::testing::Test {
+  void make(int n, std::uint64_t seed = 2) {
+    tb = testbed::Testbed::paper_line(n, seed);
+    tb->warm_up();
+    tb->workstation().move_near(tb->node(0).position());
+  }
+  std::unique_ptr<testbed::Testbed> tb;
+};
+
+TEST_F(CtlFixture, RadioGetReflectsNodeState) {
+  make(2);
+  const auto rc = tb->workstation().radio_get(1);
+  ASSERT_TRUE(rc.has_value());
+  EXPECT_EQ(rc->power, 10);
+  EXPECT_EQ(rc->channel, 17);
+}
+
+TEST_F(CtlFixture, RadioSetPowerAppliesAndConfirms) {
+  make(2);
+  const auto st = tb->workstation().radio_set_power(1, 25);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_TRUE(st->ok);
+  EXPECT_EQ(tb->node(0).pa_level(), 25);
+}
+
+TEST_F(CtlFixture, RadioSetPowerRejectsInvalid) {
+  make(2);
+  const auto st = tb->workstation().radio_set_power(1, 77);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_FALSE(st->ok);
+  EXPECT_EQ(tb->node(0).pa_level(), 10);  // unchanged
+}
+
+TEST_F(CtlFixture, RadioSetChannelAcksBeforeRetuning) {
+  make(2);
+  const auto st = tb->workstation().radio_set_channel(1, 21);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_TRUE(st->ok);  // confirmation arrived on the old channel
+  EXPECT_EQ(tb->node(0).channel(), 21);  // retuned after the ack
+}
+
+TEST_F(CtlFixture, NbrListMatchesKernelTable) {
+  make(3);
+  tb->workstation().move_near(tb->node(1).position());
+  const auto table = tb->workstation().nbr_list(2, true);
+  ASSERT_TRUE(table.has_value());
+  ASSERT_EQ(table->entries.size(), 2u);
+  std::vector<net::Addr> addrs;
+  for (const auto& e : table->entries) {
+    addrs.push_back(e.addr);
+    EXPECT_GE(e.lqi, 50);
+    EXPECT_FALSE(e.name.empty());
+    EXPECT_FALSE(e.blacklisted);
+  }
+  std::sort(addrs.begin(), addrs.end());
+  EXPECT_EQ(addrs, (std::vector<net::Addr>{1, 3}));
+}
+
+TEST_F(CtlFixture, BlacklistRoundTrip) {
+  make(3);
+  tb->workstation().move_near(tb->node(1).position());
+  auto st = tb->workstation().blacklist(2, 3, true);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_TRUE(st->ok);
+  EXPECT_FALSE(tb->node(1).neighbors().usable(3));
+
+  st = tb->workstation().blacklist(2, 3, false);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_TRUE(st->ok);
+  EXPECT_TRUE(tb->node(1).neighbors().usable(3));
+}
+
+TEST_F(CtlFixture, BlacklistUnknownNeighborFails) {
+  make(2);
+  const auto st = tb->workstation().blacklist(1, 77, true);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_FALSE(st->ok);
+}
+
+TEST_F(CtlFixture, NbrUpdateChangesBeaconPeriod) {
+  make(2);
+  const auto st = tb->workstation().nbr_update(1, 7'000);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_TRUE(st->ok);
+  EXPECT_EQ(tb->node(0).beacon_period(), sim::SimTime::ms(7'000));
+}
+
+TEST_F(CtlFixture, NbrUpdateRejectsTooFast) {
+  make(2);
+  const auto st = tb->workstation().nbr_update(1, 10);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_FALSE(st->ok);
+}
+
+TEST_F(CtlFixture, PsListsLiteViewSuite) {
+  make(2);
+  const auto list = tb->workstation().ps(1);
+  ASSERT_TRUE(list.has_value());
+  std::vector<std::string> names;
+  for (const auto& p : list->processes) names.push_back(p.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "ping"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "traceroute"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "runtimectl"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "geofwd"), names.end());
+  // Paper-reported footprints surface through ps.
+  for (const auto& p : list->processes) {
+    if (p.name == "ping") {
+      EXPECT_EQ(p.flash_bytes, 2148u);
+      EXPECT_EQ(p.ram_bytes, 278u);
+    }
+    if (p.name == "traceroute") {
+      EXPECT_EQ(p.flash_bytes, 2820u);
+      EXPECT_EQ(p.ram_bytes, 272u);
+    }
+  }
+}
+
+TEST_F(CtlFixture, ExecPingEndToEnd) {
+  make(2);
+  const auto run = tb->workstation().ping(1, "192.168.0.2 round=2 length=32", 2);
+  ASSERT_TRUE(run.result.has_value());
+  EXPECT_EQ(run.result->target, 2);
+  ASSERT_EQ(run.result->rounds_data.size(), 2u);
+  EXPECT_TRUE(run.result->rounds_data[0].received);
+}
+
+TEST_F(CtlFixture, ExecPingBadParamsYieldsNoResult) {
+  make(2);
+  const auto run = tb->workstation().ping(1, "no.such.host round=1", 1);
+  EXPECT_FALSE(run.result.has_value());
+}
+
+TEST_F(CtlFixture, ExecTracerouteStreamsReports) {
+  make(4);
+  const auto run =
+      tb->workstation().traceroute(1, "192.168.0.4 round=1 length=32 port=10");
+  ASSERT_TRUE(run.done.has_value());
+  ASSERT_EQ(run.reports.size(), 3u);
+  // Arrival times increase along the path (paper Fig. 5's x-axis).
+  for (std::size_t i = 1; i < run.reports.size(); ++i) {
+    EXPECT_GE(run.reports[i].arrival, run.reports[i - 1].arrival);
+  }
+  EXPECT_EQ(run.done->protocol_name, "geographic forwarding");
+}
+
+TEST_F(CtlFixture, ResponseArrivesWithinFixedBudget) {
+  make(2);
+  // The paper's 500 ms response budget: the command waits the window out
+  // and the answer is there.
+  const auto t0 = tb->sim().now();
+  const auto rc = tb->workstation().radio_get(1);
+  const auto elapsed = tb->sim().now() - t0;
+  ASSERT_TRUE(rc.has_value());
+  EXPECT_EQ(elapsed, sim::SimTime::ms(500));
+}
+
+TEST_F(CtlFixture, CommandToDeadNodeTimesOut) {
+  make(2);
+  // Node 2 is out of the workstation's whisper range (power level 3).
+  const auto rc = tb->workstation().radio_get(2);
+  EXPECT_FALSE(rc.has_value());
+}
+
+TEST_F(CtlFixture, SequentialCommandsToDifferentNodes) {
+  make(3);
+  // Walk to node 2 and manage it, then walk back to node 1.
+  tb->workstation().move_near(tb->node(1).position());
+  auto rc = tb->workstation().radio_get(2);
+  ASSERT_TRUE(rc.has_value());
+  tb->workstation().move_near(tb->node(0).position());
+  rc = tb->workstation().radio_get(1);
+  ASSERT_TRUE(rc.has_value());
+}
+
+}  // namespace
+}  // namespace liteview::lv

@@ -1,0 +1,296 @@
+// Tests for the extension surface: energy accounting, the kernel event
+// log, netstat, the channel survey, bidirectional link confirmation and
+// tree reverse-path routing.
+#include <gtest/gtest.h>
+
+#include "kernel/event_log.hpp"
+#include "phy/energy.hpp"
+#include "testbed/testbed.hpp"
+
+namespace liteview {
+namespace {
+
+// ---- energy model ------------------------------------------------------
+
+TEST(Energy, TxCurrentTableAnchors) {
+  EXPECT_DOUBLE_EQ(phy::tx_current_ma(31), 17.4);
+  EXPECT_DOUBLE_EQ(phy::tx_current_ma(3), 8.5);
+  EXPECT_DOUBLE_EQ(phy::tx_current_ma(11), 11.2);
+  // Monotone and clamped.
+  for (phy::PaLevel l = 1; l <= 31; ++l) {
+    EXPECT_GE(phy::tx_current_ma(l), phy::tx_current_ma(l - 1));
+  }
+  EXPECT_DOUBLE_EQ(phy::tx_current_ma(0), 8.5);
+}
+
+TEST(Energy, MeterAccumulatesTxAndListen) {
+  phy::EnergyMeter m;
+  m.add_tx(sim::SimTime::ms(100), 31);
+  // 17.4 mA * 3 V * 0.1 s = 5.22 mJ
+  EXPECT_NEAR(m.tx_mj(), 5.22, 1e-9);
+  EXPECT_EQ(m.tx_time(), sim::SimTime::ms(100));
+  // Listening for the other 900 ms of a 1 s window:
+  // 18.8 mA * 3 V * 0.9 s = 50.76 mJ
+  EXPECT_NEAR(m.listen_mj(sim::SimTime::zero(), sim::SimTime::sec(1)),
+              50.76, 1e-9);
+}
+
+TEST(Energy, ListeningDominatesIdleNode) {
+  auto tb = testbed::Testbed::paper_line(2, 3);
+  tb->warm_up();
+  const double tx = tb->node(0).energy_tx_mj();
+  const double listen = tb->node(0).energy_listen_mj();
+  EXPECT_GT(tx, 0.0);  // beacons cost something
+  EXPECT_GT(listen, 50.0 * tx);  // but listening dominates by far
+}
+
+TEST(Energy, HigherPowerCostsMoreToTransmit) {
+  auto run_at = [](phy::PaLevel level) {
+    testbed::TestbedConfig cfg = testbed::Testbed::paper_config(4);
+    cfg.initial_power = level;
+    auto tb = testbed::Testbed::line(2, 5.0, cfg);
+    tb->warm_up();
+    return tb->node(0).energy_tx_mj();
+  };
+  EXPECT_GT(run_at(31), run_at(10));
+}
+
+TEST(Energy, CommandReportsOverMgmtChannel) {
+  auto tb = testbed::Testbed::paper_line(2, 5);
+  tb->warm_up();
+  const auto e = tb->workstation().energy(1);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_GT(e->uptime_ms, 5'000u);
+  EXPECT_GT(e->listen_uj, e->tx_uj);
+}
+
+// ---- event log ------------------------------------------------------------
+
+TEST(EventLog, AppendAndSnapshotInOrder) {
+  kernel::EventLog log;
+  log.append(kernel::EventCode::kBoot, 1, sim::SimTime::ms(1));
+  log.append(kernel::EventCode::kPowerChanged, 25, sim::SimTime::ms(2));
+  const auto snap = log.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].code, kernel::EventCode::kBoot);
+  EXPECT_EQ(snap[1].arg, 25u);
+  EXPECT_EQ(log.total(), 2u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLog, RingOverwritesOldest) {
+  kernel::EventLog log;
+  for (std::uint32_t i = 0; i < kernel::EventLog::kCapacity + 10; ++i) {
+    log.append(kernel::EventCode::kNeighborAdded, i, sim::SimTime::ms(i));
+  }
+  const auto snap = log.snapshot();
+  EXPECT_EQ(snap.size(), kernel::EventLog::kCapacity);
+  EXPECT_EQ(snap.front().arg, 10u);  // first 10 overwritten
+  EXPECT_EQ(log.dropped(), 10u);
+}
+
+TEST(EventLog, EveryCodeHasAName) {
+  for (std::uint16_t c = 1; c <= 12; ++c) {
+    EXPECT_NE(kernel::to_string(static_cast<kernel::EventCode>(c)),
+              "unknown");
+  }
+  EXPECT_EQ(kernel::to_string(static_cast<kernel::EventCode>(999)),
+            "unknown");
+}
+
+TEST(EventLog, KernelActivityIsLogged) {
+  auto tb = testbed::Testbed::paper_line(2, 6);
+  tb->warm_up();
+  auto& node = tb->node(0);
+  node.set_pa_level(25);
+  node.set_beacon_period(sim::SimTime::sec(5));
+  bool saw_boot = false, saw_power = false, saw_nbr = false,
+       saw_period = false;
+  for (const auto& e : node.event_log().snapshot()) {
+    if (e.code == kernel::EventCode::kBoot) saw_boot = true;
+    if (e.code == kernel::EventCode::kPowerChanged && e.arg == 25)
+      saw_power = true;
+    if (e.code == kernel::EventCode::kNeighborAdded) saw_nbr = true;
+    if (e.code == kernel::EventCode::kBeaconPeriodChanged && e.arg == 5000)
+      saw_period = true;
+  }
+  EXPECT_TRUE(saw_boot);
+  EXPECT_TRUE(saw_power);
+  EXPECT_TRUE(saw_nbr);
+  EXPECT_TRUE(saw_period);
+}
+
+TEST(EventLog, FetchedOverMgmtChannel) {
+  auto tb = testbed::Testbed::paper_line(2, 7);
+  tb->warm_up();
+  const auto log = tb->workstation().fetch_log(1);
+  ASSERT_TRUE(log.has_value());
+  EXPECT_GE(log->events.size(), 2u);
+  EXPECT_EQ(log->events.front().code,
+            static_cast<std::uint16_t>(kernel::EventCode::kBoot));
+}
+
+TEST(EventLog, BlacklistCommandLeavesTrace) {
+  auto tb = testbed::Testbed::paper_line(2, 8);
+  tb->warm_up();
+  ASSERT_TRUE(tb->workstation().blacklist(1, 2, true).has_value());
+  const auto log = tb->workstation().fetch_log(1);
+  ASSERT_TRUE(log.has_value());
+  bool saw = false;
+  for (const auto& e : log->events) {
+    if (e.code == static_cast<std::uint16_t>(
+                      kernel::EventCode::kBlacklistAdded) &&
+        e.arg == 2) {
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+// ---- netstat ----------------------------------------------------------------
+
+TEST(Netstat, ReflectsTrafficCounters) {
+  auto tb = testbed::Testbed::paper_line(3, 9);
+  tb->warm_up();
+  // Generate some routed traffic.
+  (void)tb->workstation().ping(1, "192.168.0.3 round=2 length=16 port=10", 2);
+  const auto m = tb->workstation().netstat(1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_GT(m->mac_sent, 0u);
+  EXPECT_GT(m->mac_rx_delivered, 0u);
+  ASSERT_EQ(m->protocols.size(), 1u);
+  EXPECT_EQ(m->protocols[0].port, net::kPortGeographic);
+  EXPECT_EQ(m->protocols[0].name, "geographic forwarding");
+  EXPECT_GT(m->protocols[0].originated, 0u);
+}
+
+TEST(Netstat, MiddleNodeShowsForwardedPackets) {
+  auto tb = testbed::Testbed::paper_line(3, 10);
+  tb->warm_up();
+  (void)tb->workstation().ping(1, "192.168.0.3 round=2 length=16 port=10", 2);
+  tb->workstation().move_near(tb->node(1).position());
+  const auto m = tb->workstation().netstat(2);
+  ASSERT_TRUE(m.has_value());
+  ASSERT_EQ(m->protocols.size(), 1u);
+  EXPECT_GT(m->protocols[0].forwarded, 0u);
+}
+
+// ---- channel survey -----------------------------------------------------------
+
+TEST(Scan, SixteenChannelsReported) {
+  auto tb = testbed::Testbed::paper_line(2, 11);
+  tb->warm_up();
+  const auto data = tb->workstation().scan(1, 10);
+  ASSERT_TRUE(data.has_value());
+  ASSERT_EQ(data->entries.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(data->entries[i].channel, phy::kMinChannel + i);
+  }
+  // Scanning must restore the home channel.
+  EXPECT_EQ(tb->node(0).channel(), 17);
+}
+
+TEST(Scan, DetectsBusyChannel) {
+  auto tb = testbed::Testbed::paper_line(3, 12);
+  tb->warm_up();
+  // A jammer on channel 20, right next to node 1, transmitting
+  // continuously during the scan.
+  struct Null : phy::MediumClient {
+    void on_frame(const std::vector<std::uint8_t>&,
+                  const phy::RxInfo&) override {}
+  } sink;
+  const auto jammer =
+      tb->medium().attach(&sink, {1.0, 1.0}, /*channel=*/20);
+  const auto slot = phy::frame_airtime(120);
+  for (int i = 0; i < 3000; ++i) {
+    tb->sim().schedule_in(slot * i, [&tb, jammer] {
+      tb->medium().transmit(jammer, 0.0,
+                            std::vector<std::uint8_t>(120, 0xff));
+    });
+  }
+  const auto data = tb->workstation().scan(1, 20);
+  ASSERT_TRUE(data.has_value());
+  int ch20 = -128, ch26 = -128;
+  for (const auto& e : data->entries) {
+    if (e.channel == 20) ch20 = e.rssi;
+    if (e.channel == 26) ch26 = e.rssi;
+  }
+  EXPECT_GT(ch20, -60);   // jammer a meter away: loud
+  EXPECT_LE(ch26, -100);  // quiet channel stays quiet
+}
+
+// ---- bidirectional link confirmation -------------------------------------------
+
+TEST(Bidirectional, DigestConfirmsHealthyLinks) {
+  auto tb = testbed::Testbed::paper_line(2, 13);
+  tb->warm_up();
+  const auto* e = tb->node(0).neighbors().find(2);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->bidirectional());
+  EXPECT_GE(e->lqi_out, 50.0);
+}
+
+TEST(Bidirectional, OneWayLinkStaysUnconfirmed) {
+  auto tb = testbed::Testbed::paper_line(2, 14);
+  // Sever the 1 → 2 direction before any beacons flow: node 1 hears
+  // node 2, but node 2 never hears node 1, so node 2's digests never
+  // list node 1.
+  tb->medium().set_drop_filter([&](phy::RadioId from, phy::RadioId to) {
+    return from == tb->node(0).mac().radio_id() &&
+           to == tb->node(1).mac().radio_id();
+  });
+  tb->warm_up();
+  const auto* e = tb->node(0).neighbors().find(2);
+  ASSERT_NE(e, nullptr);          // incoming beacons still arrive
+  EXPECT_FALSE(e->bidirectional());  // but the link is never confirmed
+  // Geographic forwarding refuses the unconfirmed link as a relay.
+  EXPECT_EQ(tb->node(1).neighbors().find(1), nullptr);
+}
+
+TEST(Bidirectional, RecordOutgoingUpdatesEwma) {
+  kernel::NeighborTable t;
+  phy::RxInfo rx;
+  rx.lqi = 100;
+  rx.rssi_reg = -40;
+  t.observe(5, "n", {}, rx, sim::SimTime::sec(1));
+  EXPECT_FALSE(t.find(5)->bidirectional());
+  t.record_outgoing(5, 90, sim::SimTime::sec(2));
+  EXPECT_TRUE(t.find(5)->bidirectional());
+  EXPECT_DOUBLE_EQ(t.find(5)->lqi_out, 90.0);
+  t.record_outgoing(5, 60, sim::SimTime::sec(3));
+  EXPECT_NEAR(t.find(5)->lqi_out, 0.7 * 90 + 0.3 * 60, 1e-9);
+  // Unknown neighbors are ignored.
+  t.record_outgoing(99, 80, sim::SimTime::sec(3));
+  EXPECT_EQ(t.find(99), nullptr);
+}
+
+// ---- tree reverse routes ---------------------------------------------------------
+
+TEST(TreeReverse, RepliesFollowBreadcrumbs) {
+  testbed::TestbedConfig cfg = testbed::Testbed::paper_config(15);
+  cfg.with_tree = true;
+  cfg.tree_root = 1;
+  cfg.install_suite = false;
+  auto tb = testbed::Testbed::surveyed_line(4, cfg);
+  tb->warm_up();
+  tb->sim().run_for(sim::SimTime::sec(4));
+
+  // Leaf → root data leaves breadcrumbs; root → leaf then works.
+  bool up = false, down = false;
+  tb->node(0).stack().subscribe(
+      60, [&](const net::NetPacket&, const net::LinkContext&) { up = true; });
+  tb->node(3).stack().subscribe(
+      60, [&](const net::NetPacket&, const net::LinkContext&) { down = true; });
+  ASSERT_TRUE(tb->tree(3)->send(1, 60, {1}));
+  tb->sim().run_for(sim::SimTime::ms(500));
+  ASSERT_TRUE(up);
+  // Before the upward packet, the root had no route to the leaf; now the
+  // reverse path exists.
+  ASSERT_TRUE(tb->tree(0)->next_hop(4).has_value());
+  ASSERT_TRUE(tb->tree(0)->send(4, 60, {2}));
+  tb->sim().run_for(sim::SimTime::ms(500));
+  EXPECT_TRUE(down);
+}
+
+}  // namespace
+}  // namespace liteview

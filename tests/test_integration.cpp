@@ -1,0 +1,240 @@
+// Cross-module integration scenarios: the paper's deployment-diagnosis
+// workflows end to end, including determinism and failure injection.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "testbed/testbed.hpp"
+
+namespace liteview {
+namespace {
+
+TEST(Integration, DeterministicRunsBitForBit) {
+  auto run_once = [] {
+    auto tb = testbed::Testbed::paper_line(5, 9);
+    tb->warm_up();
+    auto& sh = tb->shell();
+    sh.cd("192.168.0.1");
+    std::string out = sh.execute("ping 192.168.0.2 round=2 length=32");
+    out += sh.execute("traceroute 192.168.0.5 round=1 length=32 port=10");
+    out += sh.execute("ps");
+    return out;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Integration, ParallelReplicationsAreIndependent) {
+  // Shared-nothing Monte-Carlo replication across threads: each thread
+  // owns its Simulator; results must equal the sequential baseline.
+  auto run_seeded = [](std::uint64_t seed) {
+    auto tb = testbed::Testbed::paper_line(3, seed);
+    tb->warm_up();
+    auto& sh = tb->shell();
+    sh.cd("192.168.0.1");
+    return sh.execute("ping 192.168.0.2 round=1 length=32");
+  };
+  const auto base1 = run_seeded(1);
+  const auto base2 = run_seeded(2);
+
+  std::string t1_out, t2_out;
+  std::thread t1([&] { t1_out = run_seeded(1); });
+  std::thread t2([&] { t2_out = run_seeded(2); });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(t1_out, base1);
+  EXPECT_EQ(t2_out, base2);
+  EXPECT_NE(base1, base2);  // different seeds differ somewhere
+}
+
+TEST(Integration, BlacklistDivertsGeographicRoute) {
+  // The paper's motivating workflow: identify a suspect node, blacklist
+  // it, observe the route change immediately.
+  auto tb = testbed::Testbed::paper_grid(3, 3, 12);
+  tb->warm_up();
+  // Route 1 (corner) → 9 (opposite corner); the greedy route crosses the
+  // center node 5.
+  const auto first = tb->geographic(0)->next_hop(9);
+  ASSERT_TRUE(first.has_value());
+  // Blacklist whatever the first hop is; the route must change or die,
+  // and after un-blacklisting it must come back.
+  tb->node(0).neighbors().set_blacklisted(*first, true);
+  const auto second = tb->geographic(0)->next_hop(9);
+  if (second.has_value()) EXPECT_NE(*second, *first);
+  tb->node(0).neighbors().set_blacklisted(*first, false);
+  EXPECT_EQ(tb->geographic(0)->next_hop(9), first);
+}
+
+TEST(Integration, TracerouteDiagnosesBrokenLink) {
+  // Break a mid-path link; traceroute localizes the failure at exactly
+  // that hop — the paper's headline use case.
+  auto tb = testbed::Testbed::paper_line(6, 2);
+  tb->warm_up();
+  tb->medium().set_drop_filter([&](phy::RadioId from, phy::RadioId to) {
+    const auto r4 = tb->node(3).mac().radio_id();
+    const auto r5 = tb->node(4).mac().radio_id();
+    return (from == r4 && to == r5) || (from == r5 && to == r4);
+  });
+  auto& sh = tb->shell();
+  sh.cd("192.168.0.1");
+  const auto out =
+      sh.execute("traceroute 192.168.0.6 round=1 length=32 port=10");
+  SCOPED_TRACE(out);
+  EXPECT_NE(out.find("Reply from 192.168.0.4"), std::string::npos);
+  EXPECT_NE(out.find("No reply for hop 4 (from 192.168.0.4)"),
+            std::string::npos);
+  EXPECT_EQ(out.find("Reply from 192.168.0.6"), std::string::npos);
+}
+
+TEST(Integration, AsymmetricLinkVisibleInPing) {
+  // Fwd and bwd measurements of one link differ persistently — the
+  // asymmetry diagnosis the paper motivates (Fig. 6's two series).
+  auto tb = testbed::Testbed::paper_line(2, 2);
+  tb->warm_up();
+  const auto fwd = tb->medium().mean_rx_power_dbm(
+      tb->node(0).mac().radio_id(), tb->node(1).mac().radio_id(),
+      phy::pa_level_to_dbm(10));
+  const auto bwd = tb->medium().mean_rx_power_dbm(
+      tb->node(1).mac().radio_id(), tb->node(0).mac().radio_id(),
+      phy::pa_level_to_dbm(10));
+  EXPECT_NE(fwd, bwd);
+
+  auto& sh = tb->shell();
+  sh.cd("192.168.0.1");
+  const auto run = tb->workstation().ping(1, "192.168.0.2 round=4", 4);
+  ASSERT_TRUE(run.result.has_value());
+  // Mean reported RSSI fwd/bwd should preserve the sign of the true
+  // asymmetry (each sample has ±1 dB fading and integer rounding).
+  double f = 0, b = 0;
+  int n = 0;
+  for (const auto& rd : run.result->rounds_data) {
+    if (!rd.received) continue;
+    f += rd.rssi_fwd;
+    b += rd.rssi_bwd;
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_EQ(f / n > b / n, fwd > bwd);
+}
+
+TEST(Integration, PowerIncreaseRaisesReportedRssi) {
+  // The deployment-tuning loop: bump TX power, re-probe, see the effect
+  // "within a few seconds" (paper Sec. V-B).
+  auto tb = testbed::Testbed::paper_line(2, 3);
+  tb->warm_up();
+  auto& ws = tb->workstation();
+  const auto low = ws.ping(1, "192.168.0.2 round=3", 3);
+  ASSERT_TRUE(low.result.has_value());
+
+  // Raise both ends to PA 25 via management commands.
+  ASSERT_TRUE(ws.radio_set_power(1, 25).has_value());
+  ws.move_near(tb->node(1).position());
+  ASSERT_TRUE(ws.radio_set_power(2, 25).has_value());
+  ws.move_near(tb->node(0).position());
+
+  const auto high = ws.ping(1, "192.168.0.2 round=3", 3);
+  ASSERT_TRUE(high.result.has_value());
+
+  auto mean_rssi = [](const lv::PingResultMsg& r) {
+    double s = 0;
+    int n = 0;
+    for (const auto& rd : r.rounds_data) {
+      if (rd.received) {
+        s += rd.rssi_fwd;
+        ++n;
+      }
+    }
+    return n ? s / n : -128.0;
+  };
+  // PA 10 → 25 is ~9 dB in the CC2420 table.
+  EXPECT_GT(mean_rssi(*high.result), mean_rssi(*low.result) + 5.0);
+}
+
+TEST(Integration, ChannelMigrationWorkflow) {
+  // Move a whole 2-node deployment to another channel via the shell,
+  // then verify the pair still communicates there.
+  auto tb = testbed::Testbed::paper_line(2, 4);
+  tb->warm_up();
+  auto& sh = tb->shell();
+  // Farthest node first, or we saw off the branch we're sitting on.
+  ASSERT_TRUE(sh.cd("192.168.0.2"));
+  EXPECT_NE(sh.execute("channel 21").find("channel set to 21"),
+            std::string::npos);
+  ASSERT_TRUE(sh.cd("192.168.0.1"));
+  EXPECT_NE(sh.execute("channel 21").find("channel set to 21"),
+            std::string::npos);
+  // Workstation follows.
+  tb->workstation().node().set_channel(21);
+  tb->sim().run_for(sim::SimTime::sec(1));
+  EXPECT_EQ(tb->node(0).channel(), 21);
+  EXPECT_EQ(tb->node(1).channel(), 21);
+  const auto out = sh.execute("ping 192.168.0.2 round=1 length=32");
+  SCOPED_TRACE(out);
+  EXPECT_NE(out.find("Received = 1"), std::string::npos);
+  EXPECT_NE(out.find("Channel = 21"), std::string::npos);
+}
+
+TEST(Integration, PingOverTreeRoutingProtocolIndependence) {
+  // The same ping binary runs over tree routing by switching the port
+  // parameter — no recompilation (paper Sec. IV-A1).
+  testbed::TestbedConfig cfg = testbed::Testbed::paper_config(6);
+  cfg.with_tree = true;
+  cfg.tree_root = 1;
+  auto tb = testbed::Testbed::surveyed_line(4, cfg);
+  tb->warm_up();
+  tb->sim().run_for(sim::SimTime::sec(4));  // extra tree convergence
+
+  // Node 4 pings the root over the tree (port 12).
+  lv::PingParams p;
+  p.dst = 1;
+  p.rounds = 1;
+  p.routing_port = net::kPortTree;
+  p.round_timeout = sim::SimTime::ms(900);
+  bool done = false;
+  bool received = false;
+  std::size_t hops = 0;
+  tb->suite(3).ping().run(p, [&](const lv::PingResultMsg& r) {
+    done = true;
+    received = r.rounds_data[0].received;
+    hops = r.rounds_data[0].hops_fwd.size();
+  });
+  tb->sim().run_for(sim::SimTime::sec(3));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(received);
+  EXPECT_EQ(hops, 3u);  // 4 → 3 → 2 → 1 along the tree
+}
+
+TEST(Integration, BeaconFrequencyUpdateSlowsDiscovery) {
+  // `update period=...` is how the paper freezes neighbor tables before
+  // toggling power; verify the knob actually changes beacon traffic.
+  auto tb = testbed::Testbed::paper_line(2, 5);
+  tb->warm_up();
+  auto& ws = tb->workstation();
+  ASSERT_TRUE(ws.nbr_update(1, 60'000).has_value());
+  ws.move_near(tb->node(1).position());
+  ASSERT_TRUE(ws.nbr_update(2, 60'000).has_value());
+
+  tb->accounting().reset();
+  tb->sim().run_for(sim::SimTime::sec(10));
+  const auto beacons =
+      tb->accounting().for_port(net::kPortBeacon).packets;
+  // Two nodes at one beacon per minute: at most one beacon each in 10 s.
+  EXPECT_LE(beacons, 2u);
+}
+
+TEST(Integration, ThirtyNodeGridBringUp) {
+  // Paper-scale deployment: 30 MicaZ nodes. Bring up a 5×6 grid, warm
+  // up, and check every node discovered at least two neighbors.
+  testbed::TestbedConfig cfg = testbed::Testbed::paper_config(21);
+  auto tb = testbed::Testbed::grid(5, 6, testbed::Testbed::paper_spacing_m(),
+                                   cfg);
+  tb->warm_up();
+  tb->sim().run_for(sim::SimTime::sec(4));
+  for (std::size_t i = 0; i < tb->size(); ++i) {
+    EXPECT_GE(tb->node(i).neighbors().size(), 2u) << "node " << i + 1;
+  }
+}
+
+}  // namespace
+}  // namespace liteview

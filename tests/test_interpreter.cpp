@@ -1,0 +1,203 @@
+// Tests for the shell-style command interpreter: context handling and
+// transcript formatting matching the paper's examples.
+#include <gtest/gtest.h>
+
+#include "testbed/testbed.hpp"
+
+namespace liteview::lv {
+namespace {
+
+struct ShellFixture : ::testing::Test {
+  void make(int n, std::uint64_t seed = 2) {
+    tb = testbed::Testbed::paper_line(n, seed);
+    tb->warm_up();
+  }
+  std::unique_ptr<testbed::Testbed> tb;
+};
+
+TEST_F(ShellFixture, PwdBeforeAndAfterCd) {
+  make(2);
+  auto& sh = tb->shell();
+  EXPECT_EQ(sh.pwd(), "/sn01");
+  EXPECT_EQ(sh.execute("pwd"), "/sn01\n");
+  ASSERT_TRUE(sh.cd("192.168.0.1"));
+  EXPECT_EQ(sh.pwd(), "/sn01/192.168.0.1");
+  ASSERT_TRUE(sh.cd("/sn01/192.168.0.2"));  // absolute path form
+  EXPECT_EQ(sh.pwd(), "/sn01/192.168.0.2");
+  ASSERT_TRUE(sh.cd(".."));
+  EXPECT_EQ(sh.pwd(), "/sn01");
+}
+
+TEST_F(ShellFixture, CdUnknownNodeFails) {
+  make(2);
+  EXPECT_FALSE(tb->shell().cd("192.168.9.9"));
+  EXPECT_EQ(tb->shell().execute("cd 192.168.9.9"), "cd: no such node\n");
+}
+
+TEST_F(ShellFixture, LsListsDeployment) {
+  make(3);
+  const auto out = tb->shell().execute("ls");
+  EXPECT_NE(out.find("192.168.0.1"), std::string::npos);
+  EXPECT_NE(out.find("192.168.0.2"), std::string::npos);
+  EXPECT_NE(out.find("192.168.0.3"), std::string::npos);
+}
+
+TEST_F(ShellFixture, CommandsRequireLogin) {
+  make(2);
+  EXPECT_EQ(tb->shell().execute("ping 192.168.0.2"),
+            "not logged into a node (use cd)\n");
+}
+
+TEST_F(ShellFixture, UnknownCommandReported) {
+  make(2);
+  tb->shell().cd("192.168.0.1");
+  EXPECT_EQ(tb->shell().execute("frobnicate"),
+            "frobnicate: command not found\n");
+}
+
+TEST_F(ShellFixture, PingTranscriptMatchesPaperShape) {
+  make(2);
+  auto& sh = tb->shell();
+  sh.cd("192.168.0.1");
+  const auto out = sh.execute("ping 192.168.0.2 round=1 length=32");
+  SCOPED_TRACE(out);
+  // The exact sections of the paper's Sec. III-B3 sample output.
+  EXPECT_NE(out.find("Pinging 192.168.0.2 with 1 packets with 32 bytes:"),
+            std::string::npos);
+  EXPECT_NE(out.find("RTT = "), std::string::npos);
+  EXPECT_NE(out.find("LQI = "), std::string::npos);
+  EXPECT_NE(out.find("RSSI = "), std::string::npos);
+  EXPECT_NE(out.find("Queue = "), std::string::npos);
+  EXPECT_NE(out.find("Power = 10, Channel = 17"), std::string::npos);
+  EXPECT_NE(out.find("Ping statistics:"), std::string::npos);
+  EXPECT_NE(out.find("Packets = 1"), std::string::npos);
+  EXPECT_NE(out.find("Received = 1"), std::string::npos);
+  EXPECT_NE(out.find("Lost = 0"), std::string::npos);
+}
+
+TEST_F(ShellFixture, TracerouteTranscriptMatchesPaperShape) {
+  make(3);
+  auto& sh = tb->shell();
+  sh.cd("192.168.0.1");
+  const auto out =
+      sh.execute("traceroute 192.168.0.3 round=1 length=32 port=10");
+  SCOPED_TRACE(out);
+  // Paper Sec. III-B4 sample output shape.
+  EXPECT_NE(out.find("Reaching 192.168.0.3 with 1 packets with 32 bytes:"),
+            std::string::npos);
+  EXPECT_NE(out.find("Name of protocol: geographic forwarding"),
+            std::string::npos);
+  EXPECT_NE(out.find("Reply from 192.168.0.2"), std::string::npos);
+  EXPECT_NE(out.find("Reply from 192.168.0.3"), std::string::npos);
+  EXPECT_NE(out.find("Traceroute statistics:"), std::string::npos);
+  EXPECT_NE(out.find("Received = 1"), std::string::npos);
+}
+
+TEST_F(ShellFixture, NeighborhoodManagementMode) {
+  make(3);
+  auto& sh = tb->shell();
+  sh.cd("192.168.0.2");
+  // Subcommands only work inside neighborsetup mode.
+  EXPECT_NE(sh.execute("list").find("command not found"), std::string::npos);
+  sh.execute("neighborsetup");
+  const auto out = sh.execute("list");
+  SCOPED_TRACE(out);
+  EXPECT_NE(out.find("2 neighbors:"), std::string::npos);
+  EXPECT_NE(out.find("LQI = "), std::string::npos);
+
+  const auto bl = sh.execute("blacklist add 192.168.0.3");
+  EXPECT_NE(bl.find("added to"), std::string::npos);
+  const auto out2 = sh.execute("list");
+  EXPECT_NE(out2.find("[blacklisted]"), std::string::npos);
+  sh.execute("blacklist remove 192.168.0.3");
+
+  const auto upd = sh.execute("update period=5000");
+  EXPECT_NE(upd.find("beacon period 5000 ms"), std::string::npos);
+  sh.execute("exit");
+  EXPECT_NE(sh.execute("list").find("command not found"), std::string::npos);
+}
+
+TEST_F(ShellFixture, PowerAndChannelCommands) {
+  make(2);
+  auto& sh = tb->shell();
+  sh.cd("192.168.0.1");
+  EXPECT_NE(sh.execute("power").find("Power = 10"), std::string::npos);
+  EXPECT_NE(sh.execute("power 25").find("power set to 25"),
+            std::string::npos);
+  EXPECT_NE(sh.execute("power").find("Power = 25"), std::string::npos);
+  EXPECT_NE(sh.execute("power 99").find("usage"), std::string::npos);
+  EXPECT_NE(sh.execute("channel").find("Channel = 17"), std::string::npos);
+  EXPECT_NE(sh.execute("channel 5").find("usage"), std::string::npos);
+}
+
+TEST_F(ShellFixture, PsShowsFootprints) {
+  make(2);
+  auto& sh = tb->shell();
+  sh.cd("192.168.0.1");
+  const auto out = sh.execute("ps");
+  SCOPED_TRACE(out);
+  EXPECT_NE(out.find("ping"), std::string::npos);
+  EXPECT_NE(out.find("2148"), std::string::npos);
+  EXPECT_NE(out.find("2820"), std::string::npos);
+  EXPECT_NE(out.find("running"), std::string::npos);
+}
+
+TEST_F(ShellFixture, LogCommandPrintsEvents) {
+  make(2);
+  auto& sh = tb->shell();
+  sh.cd("192.168.0.1");
+  sh.execute("power 25");
+  const auto out = sh.execute("log");
+  SCOPED_TRACE(out);
+  EXPECT_NE(out.find("boot"), std::string::npos);
+  EXPECT_NE(out.find("power-changed"), std::string::npos);
+  EXPECT_NE(out.find("arg=25"), std::string::npos);
+}
+
+TEST_F(ShellFixture, EnergyCommandShowsListeningDominance) {
+  make(2);
+  auto& sh = tb->shell();
+  sh.cd("192.168.0.1");
+  const auto out = sh.execute("energy");
+  SCOPED_TRACE(out);
+  EXPECT_NE(out.find("TX"), std::string::npos);
+  EXPECT_NE(out.find("listen"), std::string::npos);
+  EXPECT_NE(out.find("spent listening"), std::string::npos);
+}
+
+TEST_F(ShellFixture, NetstatCommandShowsLayers) {
+  make(2);
+  auto& sh = tb->shell();
+  sh.cd("192.168.0.1");
+  const auto out = sh.execute("netstat");
+  SCOPED_TRACE(out);
+  EXPECT_NE(out.find("MAC :"), std::string::npos);
+  EXPECT_NE(out.find("NET :"), std::string::npos);
+  EXPECT_NE(out.find("geographic forwarding"), std::string::npos);
+}
+
+TEST_F(ShellFixture, ScanCommandListsAllChannels) {
+  make(2);
+  auto& sh = tb->shell();
+  sh.cd("192.168.0.1");
+  const auto out = sh.execute("scan dwell=10");
+  SCOPED_TRACE(out);
+  EXPECT_NE(out.find("ch 11"), std::string::npos);
+  EXPECT_NE(out.find("ch 26"), std::string::npos);
+  EXPECT_NE(sh.execute("scan dwell=3").find("usage"), std::string::npos);
+}
+
+TEST_F(ShellFixture, MultiHopPingPrintsPath) {
+  make(4);
+  auto& sh = tb->shell();
+  sh.cd("192.168.0.1");
+  const auto out =
+      sh.execute("ping 192.168.0.4 round=1 length=16 port=10");
+  SCOPED_TRACE(out);
+  EXPECT_NE(out.find("Path of 3 hops"), std::string::npos);
+  EXPECT_NE(out.find("hop 1:"), std::string::npos);
+  EXPECT_NE(out.find("hop 3:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace liteview::lv

@@ -1,0 +1,265 @@
+// Unit tests for the kernel: naming, neighbor table, node services.
+#include <gtest/gtest.h>
+
+#include "kernel/naming.hpp"
+#include "kernel/neighbor_table.hpp"
+#include "kernel/node.hpp"
+#include "kernel/process.hpp"
+
+namespace liteview::kernel {
+namespace {
+
+// ---- naming ------------------------------------------------------------
+
+TEST(Naming, IpStyleNames) {
+  EXPECT_EQ(ip_style_name(1), "192.168.0.1");
+  EXPECT_EQ(ip_style_name(30), "192.168.0.30");
+  EXPECT_EQ(ip_style_name(258), "192.168.1.2");
+}
+
+TEST(Naming, AddressBookRoundTrip) {
+  AddressBook book("sn01");
+  EXPECT_TRUE(book.add("192.168.0.1", 1));
+  EXPECT_TRUE(book.add("192.168.0.2", 2));
+  EXPECT_EQ(book.resolve("192.168.0.2"), 2);
+  EXPECT_EQ(book.name_of(1), "192.168.0.1");
+  EXPECT_EQ(book.path_of(1), "/sn01/192.168.0.1");
+  EXPECT_FALSE(book.resolve("10.0.0.1").has_value());
+  EXPECT_FALSE(book.name_of(99).has_value());
+  EXPECT_EQ(book.path_of(99), "/sn01/node99");
+}
+
+TEST(Naming, AddressBookRejectsDuplicates) {
+  AddressBook book;
+  EXPECT_TRUE(book.add("a", 1));
+  EXPECT_FALSE(book.add("a", 2));  // duplicate name
+  EXPECT_FALSE(book.add("b", 1));  // duplicate address
+  EXPECT_EQ(book.size(), 1u);
+}
+
+TEST(Naming, AllAddressesSorted) {
+  AddressBook book;
+  book.add("c", 3);
+  book.add("a", 1);
+  book.add("b", 2);
+  EXPECT_EQ(book.all_addresses(), (std::vector<net::Addr>{1, 2, 3}));
+}
+
+// ---- neighbor table -------------------------------------------------------
+
+phy::RxInfo rx_with(std::uint8_t lqi, std::int8_t rssi) {
+  phy::RxInfo rx;
+  rx.lqi = lqi;
+  rx.rssi_reg = rssi;
+  rx.crc_ok = true;
+  return rx;
+}
+
+TEST(NeighborTable, ObserveCreatesAndUpdates) {
+  NeighborTable t;
+  t.observe(5, "n5", {1, 2}, rx_with(100, -40), sim::SimTime::sec(1));
+  ASSERT_EQ(t.size(), 1u);
+  const auto* e = t.find(5);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->name, "n5");
+  EXPECT_DOUBLE_EQ(e->lqi_ewma, 100.0);  // first sample initializes
+  EXPECT_DOUBLE_EQ(e->rssi_ewma, -40.0);
+
+  t.observe(5, "n5", {1, 2}, rx_with(60, -60), sim::SimTime::sec(3));
+  EXPECT_NEAR(t.find(5)->lqi_ewma, 0.7 * 100 + 0.3 * 60, 1e-9);
+  EXPECT_EQ(t.find(5)->beacons, 2u);
+  EXPECT_EQ(t.find(5)->last_seen, sim::SimTime::sec(3));
+}
+
+TEST(NeighborTable, ExpiryKeepsFreshEntries) {
+  NeighborTableConfig cfg;
+  cfg.max_age = sim::SimTime::sec(10);
+  NeighborTable t(cfg);
+  t.observe(1, "a", {}, rx_with(90, -50), sim::SimTime::sec(0));
+  t.observe(2, "b", {}, rx_with(90, -50), sim::SimTime::sec(8));
+  t.expire(sim::SimTime::sec(12));
+  EXPECT_EQ(t.find(1), nullptr);
+  EXPECT_NE(t.find(2), nullptr);
+}
+
+TEST(NeighborTable, BlacklistedEntriesNeverExpire) {
+  NeighborTableConfig cfg;
+  cfg.max_age = sim::SimTime::sec(10);
+  NeighborTable t(cfg);
+  t.observe(1, "a", {}, rx_with(90, -50), sim::SimTime::sec(0));
+  EXPECT_TRUE(t.set_blacklisted(1, true));
+  t.expire(sim::SimTime::sec(100));
+  ASSERT_NE(t.find(1), nullptr);
+  EXPECT_TRUE(t.find(1)->blacklisted);
+}
+
+TEST(NeighborTable, BlacklistControlsUsability) {
+  NeighborTable t;
+  t.observe(3, "c", {}, rx_with(90, -50), sim::SimTime::sec(1));
+  EXPECT_TRUE(t.usable(3));
+  EXPECT_TRUE(t.set_blacklisted(3, true));
+  EXPECT_FALSE(t.usable(3));
+  EXPECT_TRUE(t.set_blacklisted(3, false));
+  EXPECT_TRUE(t.usable(3));
+  EXPECT_FALSE(t.set_blacklisted(77, true));  // unknown neighbor
+  EXPECT_FALSE(t.usable(77));
+}
+
+TEST(NeighborTable, CapacityEvictsStalest) {
+  NeighborTableConfig cfg;
+  cfg.capacity = 3;
+  NeighborTable t(cfg);
+  t.observe(1, "a", {}, rx_with(90, -50), sim::SimTime::sec(1));
+  t.observe(2, "b", {}, rx_with(90, -50), sim::SimTime::sec(2));
+  t.observe(3, "c", {}, rx_with(90, -50), sim::SimTime::sec(3));
+  t.observe(4, "d", {}, rx_with(90, -50), sim::SimTime::sec(4));
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.find(1), nullptr);  // stalest evicted
+  EXPECT_NE(t.find(4), nullptr);
+}
+
+TEST(NeighborTable, EvictionSparesBlacklisted) {
+  NeighborTableConfig cfg;
+  cfg.capacity = 2;
+  NeighborTable t(cfg);
+  t.observe(1, "a", {}, rx_with(90, -50), sim::SimTime::sec(1));
+  t.set_blacklisted(1, true);
+  t.observe(2, "b", {}, rx_with(90, -50), sim::SimTime::sec(2));
+  t.observe(3, "c", {}, rx_with(90, -50), sim::SimTime::sec(3));
+  EXPECT_NE(t.find(1), nullptr);  // pinned by the blacklist
+  EXPECT_EQ(t.find(2), nullptr);  // evicted instead
+}
+
+TEST(NeighborTable, AdmissionGateRejectsWeakNewLinks) {
+  NeighborTableConfig cfg;
+  cfg.min_lqi = 80;
+  NeighborTable t(cfg);
+  t.observe(1, "weak", {}, rx_with(70, -90), sim::SimTime::sec(1));
+  EXPECT_EQ(t.find(1), nullptr);
+  // Existing entries keep updating even below the gate.
+  t.observe(2, "ok", {}, rx_with(95, -60), sim::SimTime::sec(1));
+  t.observe(2, "ok", {}, rx_with(60, -85), sim::SimTime::sec(2));
+  ASSERT_NE(t.find(2), nullptr);
+  EXPECT_EQ(t.find(2)->beacons, 2u);
+}
+
+TEST(NeighborTable, UsableEntriesSortedAndFiltered) {
+  NeighborTable t;
+  t.observe(3, "c", {}, rx_with(90, -50), sim::SimTime::sec(1));
+  t.observe(1, "a", {}, rx_with(90, -50), sim::SimTime::sec(1));
+  t.observe(2, "b", {}, rx_with(90, -50), sim::SimTime::sec(1));
+  t.set_blacklisted(2, true);
+  const auto u = t.usable_entries();
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_EQ(u[0].addr, 1);
+  EXPECT_EQ(u[1].addr, 3);
+}
+
+// ---- node services -----------------------------------------------------
+
+struct NodeFixture : ::testing::Test {
+  NodeFixture() : sim(31), medium(sim, prop()) {}
+  static phy::PropagationConfig prop() {
+    phy::PropagationConfig p;
+    p.shadowing_sigma_db = 0.0;
+    p.fading_sigma_db = 0.0;
+    return p;
+  }
+  std::unique_ptr<Node> make(net::Addr addr, double x,
+                             sim::SimTime beacon_period = sim::SimTime::sec(1)) {
+    NodeConfig cfg;
+    cfg.address = addr;
+    cfg.name = ip_style_name(addr);
+    cfg.position = {x, 0};
+    cfg.beacon_period = beacon_period;
+    return std::make_unique<Node>(sim, medium, cfg);
+  }
+  sim::Simulator sim;
+  phy::Medium medium;
+};
+
+TEST_F(NodeFixture, BeaconsPopulateNeighborTables) {
+  auto a = make(1, 0);
+  auto b = make(2, 10);
+  sim.run_until(sim::SimTime::sec(3));
+  ASSERT_NE(a->neighbors().find(2), nullptr);
+  ASSERT_NE(b->neighbors().find(1), nullptr);
+  EXPECT_EQ(a->neighbors().find(2)->name, "192.168.0.2");
+  EXPECT_NEAR(a->neighbors().find(2)->pos.x, 10.0, 0.01);
+  EXPECT_GE(a->neighbors().find(2)->beacons, 2u);
+}
+
+TEST_F(NodeFixture, BeaconPeriodChangeTakesEffect) {
+  auto a = make(1, 0, sim::SimTime::sec(1));
+  auto b = make(2, 10, sim::SimTime::sec(1));
+  sim.run_until(sim::SimTime::sec(4));
+  const auto before = b->neighbors().find(1)->beacons;
+  // Slow node 1 down to one beacon per 10 s: few new beacons in the next 4 s.
+  a->set_beacon_period(sim::SimTime::sec(10));
+  sim.run_until(sim::SimTime::sec(8));
+  const auto after = b->neighbors().find(1)->beacons;
+  EXPECT_LE(after - before, 1u);
+}
+
+TEST_F(NodeFixture, ParamBufferSyscall) {
+  auto a = make(1, 0);
+  EXPECT_EQ(a->param_buffer(), "");  // "\0"-initial buffer when empty
+  a->set_param_buffer("192.168.0.2 round=1 length=32");
+  EXPECT_EQ(a->param_buffer(), "192.168.0.2 round=1 length=32");
+}
+
+TEST_F(NodeFixture, RadioSyscalls) {
+  auto a = make(1, 0);
+  a->set_pa_level(10);
+  EXPECT_EQ(a->pa_level(), 10);
+  a->set_channel(21);
+  EXPECT_EQ(a->channel(), 21);
+}
+
+TEST_F(NodeFixture, TimestampTracksSimClock) {
+  auto a = make(1, 0);
+  sim.run_until(sim::SimTime::ms(123));
+  EXPECT_EQ(a->timestamp_ns(), sim::SimTime::ms(123).nanoseconds());
+}
+
+TEST_F(NodeFixture, LocateUsesBeaconsThenHints) {
+  auto a = make(1, 0);
+  auto b = make(2, 10);
+  EXPECT_FALSE(a->locate(2).has_value());  // nothing known yet
+  a->set_location_hint(2, {99, 0});
+  EXPECT_NEAR(a->locate(2)->x, 99.0, 0.01);  // survey hint
+  sim.run_until(sim::SimTime::sec(3));
+  EXPECT_NEAR(a->locate(2)->x, 10.0, 0.01);  // beacon overrides hint
+  EXPECT_NEAR(a->locate(1)->x, 0.0, 0.01);   // self
+}
+
+struct CountingProcess : Process {
+  using Process::Process;
+  void start() override { set_running(true); }
+};
+
+TEST_F(NodeFixture, ProcessRegistry) {
+  auto a = make(1, 0);
+  {
+    CountingProcess p(*a, "worker", Footprint{100, 10});
+    EXPECT_EQ(a->find_process("worker"), &p);
+    EXPECT_EQ(a->processes().size(), 1u);
+    EXPECT_FALSE(p.running());
+    p.start();
+    EXPECT_TRUE(p.running());
+    EXPECT_EQ(p.footprint().flash_bytes, 100u);
+  }
+  EXPECT_EQ(a->find_process("worker"), nullptr);  // dtor unregisters
+}
+
+TEST_F(NodeFixture, ChannelChangeIsolatesBeacons) {
+  auto a = make(1, 0);
+  auto b = make(2, 10);
+  a->set_channel(26);  // b stays on 17: they can't hear each other
+  sim.run_until(sim::SimTime::sec(4));
+  EXPECT_EQ(a->neighbors().size(), 0u);
+  EXPECT_EQ(b->neighbors().size(), 0u);
+}
+
+}  // namespace
+}  // namespace liteview::kernel

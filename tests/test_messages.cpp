@@ -1,0 +1,231 @@
+// Unit tests for the management message codecs.
+#include <gtest/gtest.h>
+
+#include "liteview/messages.hpp"
+
+namespace liteview::lv {
+namespace {
+
+TEST(Mgmt, EnvelopeRoundTrip) {
+  const auto bytes = encode_mgmt(MsgType::kNbrList, encode_body(NbrList{true}));
+  const auto msg = decode_mgmt(bytes);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MsgType::kNbrList);
+  const auto body = decode_nbr_list(msg->body);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_TRUE(body->with_link_info);
+}
+
+TEST(Mgmt, EmptyBufferRejected) {
+  EXPECT_FALSE(decode_mgmt({}).has_value());
+}
+
+TEST(Mgmt, RadioBodies) {
+  EXPECT_EQ(decode_radio_set_power(encode_body(RadioSetPower{25}))->level, 25);
+  EXPECT_EQ(decode_radio_set_channel(encode_body(RadioSetChannel{17}))->channel,
+            17);
+  const auto rc = decode_radio_config(encode_body(RadioConfig{31, 17}));
+  ASSERT_TRUE(rc.has_value());
+  EXPECT_EQ(rc->power, 31);
+  EXPECT_EQ(rc->channel, 17);
+  EXPECT_FALSE(decode_radio_config(std::vector<std::uint8_t>{1}).has_value());
+}
+
+TEST(Mgmt, NeighborBodies) {
+  EXPECT_EQ(decode_nbr_blacklist(encode_body(NbrBlacklist{0x1234}))->addr,
+            0x1234);
+  EXPECT_EQ(decode_nbr_update(encode_body(NbrUpdate{5000}))->beacon_period_ms,
+            5000u);
+}
+
+TEST(Mgmt, ExecCommandCarriesRawParams) {
+  const ExecCommand cmd{"192.168.0.2 round=3 length=64 port=10"};
+  const auto back = decode_exec(encode_body(cmd));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->params, cmd.params);
+}
+
+TEST(Mgmt, StatusRoundTrip) {
+  Status st;
+  st.ok = false;
+  st.detail = "invalid channel";
+  const auto back = decode_status(encode_body(st));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_FALSE(back->ok);
+  EXPECT_EQ(back->detail, "invalid channel");
+}
+
+TEST(Mgmt, NbrTableRoundTrip) {
+  NbrTableMsg t;
+  t.with_link_info = true;
+  t.entries.push_back({2, "192.168.0.2", 108, -20, false, 1500});
+  t.entries.push_back({3, "192.168.0.3", 95, -35, true, 300});
+  const auto back = decode_nbr_table(encode_body(t));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->entries.size(), 2u);
+  EXPECT_EQ(back->entries[0].name, "192.168.0.2");
+  EXPECT_EQ(back->entries[0].lqi, 108);
+  EXPECT_EQ(back->entries[0].rssi, -20);
+  EXPECT_TRUE(back->entries[1].blacklisted);
+  EXPECT_EQ(back->entries[1].age_ms, 300u);
+}
+
+TEST(Mgmt, PingResultRoundTripWithHops) {
+  PingResultMsg m;
+  m.target = 9;
+  m.rounds = 2;
+  m.payload_len = 32;
+  m.power = 31;
+  m.channel = 17;
+  PingRoundMsg r0;
+  r0.round = 0;
+  r0.received = true;
+  r0.rtt_us = 4700;
+  r0.lqi_fwd = 108;
+  r0.lqi_bwd = 106;
+  r0.rssi_fwd = -1;
+  r0.rssi_bwd = 8;
+  r0.hops_fwd = {{100, -10}, {90, -15}};
+  r0.hops_bwd = {{95, -12}, {85, -18}};
+  PingRoundMsg r1;
+  r1.round = 1;
+  r1.received = false;
+  m.rounds_data = {r0, r1};
+
+  const auto back = decode_ping_result(encode_body(m));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->rounds_data.size(), 2u);
+  EXPECT_EQ(back->rounds_data[0].rtt_us, 4700u);
+  EXPECT_EQ(back->rounds_data[0].hops_fwd.size(), 2u);
+  EXPECT_EQ(back->rounds_data[0].hops_fwd[1].rssi, -15);
+  EXPECT_EQ(back->rounds_data[0].hops_bwd[0].lqi, 95);
+  EXPECT_FALSE(back->rounds_data[1].received);
+  EXPECT_EQ(back->power, 31);
+}
+
+TEST(Mgmt, TracerouteReportRoundTrip) {
+  TracerouteReportMsg m;
+  m.task_id = 321;
+  m.hop_index = 4;
+  m.prober = 5;
+  m.next = 6;
+  m.reached = true;
+  m.rtt_us = 4900;
+  m.lqi_fwd = 106;
+  m.lqi_bwd = 107;
+  m.rssi_fwd = 1;
+  m.rssi_bwd = 2;
+  m.queue_near = 0;
+  m.queue_far = 0;
+  m.is_final = true;
+  const auto back = decode_traceroute_report(encode_body(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->task_id, 321);
+  EXPECT_EQ(back->hop_index, 4);
+  EXPECT_EQ(back->next, 6);
+  EXPECT_EQ(back->rtt_us, 4900u);
+  EXPECT_TRUE(back->is_final);
+}
+
+TEST(Mgmt, TracerouteReportRejectsWrongSize) {
+  auto bytes = encode_body(TracerouteReportMsg{});
+  bytes.push_back(0);  // trailing garbage
+  EXPECT_FALSE(decode_traceroute_report(bytes).has_value());
+  bytes.resize(bytes.size() - 2);  // truncated
+  EXPECT_FALSE(decode_traceroute_report(bytes).has_value());
+}
+
+TEST(Mgmt, TracerouteDoneRoundTrip) {
+  TracerouteDoneMsg m;
+  m.task_id = 9;
+  m.hops = 8;
+  m.received = 7;
+  m.protocol_name = "geographic forwarding";
+  const auto back = decode_traceroute_done(encode_body(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->hops, 8);
+  EXPECT_EQ(back->received, 7);
+  EXPECT_EQ(back->protocol_name, "geographic forwarding");
+}
+
+TEST(Mgmt, LogDataRoundTrip) {
+  LogDataMsg m;
+  m.total = 100;
+  m.dropped = 36;
+  m.events.push_back({1'500, 2, 25});
+  m.events.push_back({2'000, 6, 3});
+  const auto back = decode_log_data(encode_body(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->total, 100u);
+  EXPECT_EQ(back->dropped, 36u);
+  ASSERT_EQ(back->events.size(), 2u);
+  EXPECT_EQ(back->events[0].time_ms, 1'500u);
+  EXPECT_EQ(back->events[1].code, 6);
+  EXPECT_EQ(back->events[1].arg, 3u);
+}
+
+TEST(Mgmt, EnergyRoundTrip) {
+  EnergyMsg m;
+  m.uptime_ms = 60'000;
+  m.tx_uj = 1'234'567'890ull;
+  m.listen_uj = 33'474'000'000ull;
+  const auto back = decode_energy(encode_body(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->uptime_ms, 60'000u);
+  EXPECT_EQ(back->tx_uj, 1'234'567'890ull);
+  EXPECT_EQ(back->listen_uj, 33'474'000'000ull);
+  // Size-strict: trailing bytes are rejected.
+  auto bytes = encode_body(m);
+  bytes.push_back(0);
+  EXPECT_FALSE(decode_energy(bytes).has_value());
+}
+
+TEST(Mgmt, ScanRoundTrip) {
+  EXPECT_EQ(decode_scan_request(encode_body(ScanRequest{80}))->dwell_ms, 80);
+  ScanDataMsg m;
+  for (std::uint8_t ch = 11; ch <= 26; ++ch) {
+    m.entries.push_back({ch, static_cast<std::int8_t>(-100 + ch)});
+  }
+  const auto back = decode_scan_data(encode_body(m));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->entries.size(), 16u);
+  EXPECT_EQ(back->entries[0].channel, 11);
+  EXPECT_EQ(back->entries[15].rssi, -74);
+}
+
+TEST(Mgmt, NetstatRoundTrip) {
+  NetstatMsg m;
+  m.mac_sent = 42;
+  m.mac_rx_crc_failures = 3;
+  m.net_no_subscriber = 1;
+  RoutingStatMsg p;
+  p.port = 10;
+  p.name = "geographic forwarding";
+  p.forwarded = 17;
+  p.dropped_no_route = 2;
+  m.protocols.push_back(p);
+  const auto back = decode_netstat(encode_body(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->mac_sent, 42u);
+  EXPECT_EQ(back->mac_rx_crc_failures, 3u);
+  EXPECT_EQ(back->net_no_subscriber, 1u);
+  ASSERT_EQ(back->protocols.size(), 1u);
+  EXPECT_EQ(back->protocols[0].name, "geographic forwarding");
+  EXPECT_EQ(back->protocols[0].forwarded, 17u);
+}
+
+TEST(Mgmt, ProcessListRoundTrip) {
+  ProcessListMsg m;
+  m.processes.push_back({"ping", true, 2148, 278});
+  m.processes.push_back({"traceroute", false, 2820, 272});
+  const auto back = decode_process_list(encode_body(m));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->processes.size(), 2u);
+  EXPECT_EQ(back->processes[0].name, "ping");
+  EXPECT_TRUE(back->processes[0].running);
+  EXPECT_EQ(back->processes[0].flash_bytes, 2148u);
+  EXPECT_EQ(back->processes[1].ram_bytes, 272u);
+}
+
+}  // namespace
+}  // namespace liteview::lv

@@ -1,0 +1,215 @@
+// Unit tests for the network layer: packet codec (incl. padding budget)
+// and the port-subscription stack of paper Fig. 2.
+#include <gtest/gtest.h>
+
+#include "mac/csma.hpp"
+#include "net/packet.hpp"
+#include "net/stack.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace liteview::net {
+namespace {
+
+// ---- packet codec ----------------------------------------------------
+
+TEST(Packet, RoundTrip) {
+  NetPacket p;
+  p.src = 10;
+  p.dst = 20;
+  p.port = kPortPing;
+  p.ttl = 5;
+  p.id = 777;
+  p.payload = {1, 2, 3};
+  p.enable_padding();
+  p.padding = {{100, -10}, {90, -20}};
+  const auto bytes = encode_packet(p);
+  EXPECT_EQ(bytes.size(), p.wire_size());
+  const auto back = decode_packet(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->src, p.src);
+  EXPECT_EQ(back->dst, p.dst);
+  EXPECT_EQ(back->port, p.port);
+  EXPECT_EQ(back->ttl, p.ttl);
+  EXPECT_EQ(back->id, p.id);
+  EXPECT_EQ(back->payload, p.payload);
+  EXPECT_EQ(back->padding, p.padding);
+}
+
+TEST(Packet, RejectsTruncated) {
+  NetPacket p;
+  p.payload = {1, 2, 3, 4};
+  const auto bytes = encode_packet(p);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(
+        decode_packet(std::span(bytes.data(), len)).has_value())
+        << "len " << len;
+  }
+}
+
+TEST(Packet, PaddingBudgetMath) {
+  // The paper's exact example: a 16-byte probe, 2 bytes per hop, 64-byte
+  // budget → at most (64-16)/2 = 24 hops of padding.
+  NetPacket p;
+  p.payload.assign(16, 0);
+  p.enable_padding();
+  int added = 0;
+  while (p.add_padding(PadEntry{100, -5})) ++added;
+  EXPECT_EQ(added, 24);
+  EXPECT_FALSE(p.can_pad());
+  // The packet still encodes/decodes at the budget boundary.
+  const auto back = decode_packet(encode_packet(p));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->padding.size(), 24u);
+}
+
+TEST(Packet, PaddingRequiresFlag) {
+  NetPacket p;
+  p.payload.assign(8, 0);
+  EXPECT_FALSE(p.can_pad());
+  EXPECT_FALSE(p.add_padding(PadEntry{1, 1}));
+  p.enable_padding();
+  EXPECT_TRUE(p.add_padding(PadEntry{1, 1}));
+}
+
+TEST(Packet, FullPayloadLeavesNoPaddingRoom) {
+  NetPacket p;
+  p.payload.assign(kPayloadBudget, 0xee);
+  p.enable_padding();
+  EXPECT_FALSE(p.add_padding(PadEntry{1, 1}));
+}
+
+TEST(Packet, DecodeRejectsOverBudget) {
+  // Hand-craft a packet whose payload + padding exceed the budget.
+  NetPacket p;
+  p.payload.assign(60, 1);
+  auto bytes = encode_packet(p);
+  bytes[9] = 10;  // pad_count = 10 → 60 + 20 > 64
+  for (int i = 0; i < 20; ++i) bytes.push_back(0);
+  EXPECT_FALSE(decode_packet(bytes).has_value());
+}
+
+// ---- stack ------------------------------------------------------------
+
+struct StackFixture : ::testing::Test {
+  StackFixture() : sim(23), medium(sim, quiet_prop()) {
+    mac_a = std::make_unique<mac::CsmaMac>(sim, medium, 1,
+                                           phy::Position{0, 0});
+    mac_b = std::make_unique<mac::CsmaMac>(sim, medium, 2,
+                                           phy::Position{10, 0});
+    stack_a = std::make_unique<CommStack>(sim, *mac_a);
+    stack_b = std::make_unique<CommStack>(sim, *mac_b);
+  }
+  static phy::PropagationConfig quiet_prop() {
+    phy::PropagationConfig p;
+    p.shadowing_sigma_db = 0.0;
+    p.fading_sigma_db = 0.0;
+    return p;
+  }
+  sim::Simulator sim;
+  phy::Medium medium;
+  std::unique_ptr<mac::CsmaMac> mac_a, mac_b;
+  std::unique_ptr<CommStack> stack_a, stack_b;
+};
+
+TEST_F(StackFixture, PortDemultiplexing) {
+  std::vector<Port> got;
+  stack_b->subscribe(5, [&](const NetPacket& p, const LinkContext&) {
+    got.push_back(p.port);
+  });
+  stack_b->subscribe(6, [&](const NetPacket& p, const LinkContext&) {
+    got.push_back(p.port);
+  });
+
+  NetPacket p;
+  p.src = 1;
+  p.dst = 2;
+  p.port = 6;
+  p.payload = {1};
+  stack_a->send_link(2, p);
+  sim.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 6);
+}
+
+TEST_F(StackFixture, OnePortOneSubscriber) {
+  EXPECT_TRUE(stack_a->subscribe(9, [](const NetPacket&, const LinkContext&) {}));
+  EXPECT_FALSE(stack_a->subscribe(9, [](const NetPacket&, const LinkContext&) {}));
+  stack_a->unsubscribe(9);
+  EXPECT_TRUE(stack_a->subscribe(9, [](const NetPacket&, const LinkContext&) {}));
+}
+
+TEST_F(StackFixture, UnsubscribedPortCounted) {
+  NetPacket p;
+  p.src = 1;
+  p.dst = 2;
+  p.port = 99;
+  p.payload = {1};
+  stack_a->send_link(2, p);
+  sim.run();
+  EXPECT_EQ(stack_b->stats().no_subscriber, 1u);
+  EXPECT_EQ(stack_b->stats().delivered, 0u);
+}
+
+TEST_F(StackFixture, LinkContextCarriesMeasurements) {
+  phy::RxInfo seen;
+  mac::ShortAddr link_src = 0;
+  stack_b->subscribe(5, [&](const NetPacket&, const LinkContext& ctx) {
+    seen = ctx.rx;
+    link_src = ctx.link_src;
+  });
+  NetPacket p;
+  p.src = 1;
+  p.dst = 2;
+  p.port = 5;
+  p.payload = {1};
+  stack_a->send_link(2, p);
+  sim.run();
+  EXPECT_EQ(link_src, 1);
+  EXPECT_TRUE(seen.crc_ok);
+  EXPECT_GT(seen.lqi, 50);
+  // 10 m at exponent 3 → -70 dBm → register -25.
+  EXPECT_EQ(seen.rssi_reg, -25);
+}
+
+TEST_F(StackFixture, LocalhostDelivery) {
+  bool got = false;
+  bool was_local = false;
+  stack_a->subscribe(7, [&](const NetPacket& p, const LinkContext& ctx) {
+    got = (p.payload.size() == 2);
+    was_local = ctx.local;
+  });
+  NetPacket p;
+  p.src = 1;
+  p.dst = 1;
+  p.port = 7;
+  p.payload = {1, 2};
+  stack_a->send_local(std::move(p));
+  sim.run();
+  EXPECT_TRUE(got);
+  EXPECT_TRUE(was_local);
+  EXPECT_EQ(stack_a->stats().local_delivered, 1u);
+  EXPECT_EQ(medium.frames_sent(), 0u);  // never touched the radio
+}
+
+TEST_F(StackFixture, PaddingSurvivesLinkTransfer) {
+  std::vector<PadEntry> got;
+  stack_b->subscribe(5, [&](const NetPacket& p, const LinkContext&) {
+    got = p.padding;
+  });
+  NetPacket p;
+  p.src = 1;
+  p.dst = 2;
+  p.port = 5;
+  p.payload = {0};
+  p.enable_padding();
+  p.padding = {{105, -12}};
+  stack_a->send_link(2, p);
+  sim.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].lqi, 105);
+  EXPECT_EQ(got[0].rssi, -12);
+}
+
+}  // namespace
+}  // namespace liteview::net

@@ -1,0 +1,131 @@
+// Tests for the LiveNet-style passive monitor: connectivity graph,
+// traffic matrix, path stitching and relay ranking from sniffed frames.
+#include <gtest/gtest.h>
+
+#include "testbed/passive_monitor.hpp"
+#include "testbed/testbed.hpp"
+
+namespace liteview::testbed {
+namespace {
+
+struct MonitorFixture : ::testing::Test {
+  void make(int n, std::uint64_t seed = 2) {
+    TestbedConfig cfg = Testbed::paper_config(seed);
+    cfg.install_suite = false;
+    tb = Testbed::surveyed_line(n, cfg);
+    // The monitor replaces the testbed's default accounting sniffer.
+    monitor = std::make_unique<PassiveMonitor>(tb->medium());
+    tb->warm_up();
+  }
+  std::unique_ptr<Testbed> tb;
+  std::unique_ptr<PassiveMonitor> monitor;
+};
+
+TEST_F(MonitorFixture, BeaconsBuildConnectivityGraph) {
+  make(3);
+  // Every node broadcast beacons during warm-up.
+  for (net::Addr a = 1; a <= 3; ++a) {
+    const auto it = monitor->links().find({a, net::kBroadcast});
+    ASSERT_NE(it, monitor->links().end()) << "node " << a;
+    EXPECT_GE(it->second.frames, 2u);
+    EXPECT_GT(it->second.bytes, 0u);
+  }
+  EXPECT_GT(monitor->frames_observed(), 6u);
+  EXPECT_EQ(monitor->frames_undecodable(), 0u);
+}
+
+TEST_F(MonitorFixture, RoutedFlowAppearsInTrafficMatrix) {
+  make(4);
+  monitor->reset();
+  tb->node(3).stack().subscribe(
+      60, [](const net::NetPacket&, const net::LinkContext&) {});
+  ASSERT_TRUE(tb->geographic(0)->send(4, 60, {1, 2, 3}));
+  tb->sim().run_for(sim::SimTime::ms(500));
+
+  const auto it = monitor->flows().find({1, 4});
+  ASSERT_NE(it, monitor->flows().end());
+  EXPECT_EQ(it->second, 1u);
+  // Unicast hop edges observed along the line.
+  EXPECT_NE(monitor->links().find({1, 2}), monitor->links().end());
+  EXPECT_NE(monitor->links().find({2, 3}), monitor->links().end());
+  EXPECT_NE(monitor->links().find({3, 4}), monitor->links().end());
+}
+
+TEST_F(MonitorFixture, PathStitchedAcrossHops) {
+  make(5);
+  monitor->reset();
+  tb->node(4).stack().subscribe(
+      60, [](const net::NetPacket&, const net::LinkContext&) {});
+  ASSERT_TRUE(tb->geographic(0)->send(5, 60, {9}));
+  tb->sim().run_for(sim::SimTime::ms(500));
+
+  const auto paths = monitor->paths_for_flow(1, 5);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<net::Addr>{1, 2, 3, 4, 5}));
+}
+
+TEST_F(MonitorFixture, PathOfUnknownPacketIsNull) {
+  make(2);
+  EXPECT_FALSE(monitor->path_of(1, 999).has_value());
+}
+
+TEST_F(MonitorFixture, RelayRankingFindsTheFunnel) {
+  make(5);
+  monitor->reset();
+  tb->node(0).stack().subscribe(
+      60, [](const net::NetPacket&, const net::LinkContext&) {});
+  // Nodes 3..5 each send several packets to node 1: nodes 2 and 3 relay
+  // the most.
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 2; i < 5; ++i) {
+      tb->sim().schedule_in(sim::SimTime::ms(150 * round + 30 * i),
+                            [this, i] {
+                              (void)tb->geographic(i)->send(1, 60, {7});
+                            });
+    }
+  }
+  tb->sim().run_for(sim::SimTime::sec(2));
+
+  const auto ranking = monitor->relay_ranking();
+  ASSERT_GE(ranking.size(), 2u);
+  // Node 2 relays traffic from 3, 4 and 5: it must top the ranking.
+  EXPECT_EQ(ranking[0].first, 2);
+  EXPECT_GT(ranking[0].second, ranking.back().second);
+}
+
+TEST_F(MonitorFixture, ResetClearsEverything) {
+  make(3);
+  EXPECT_GT(monitor->frames_observed(), 0u);
+  monitor->reset();
+  EXPECT_EQ(monitor->frames_observed(), 0u);
+  EXPECT_TRUE(monitor->links().empty());
+  EXPECT_TRUE(monitor->flows().empty());
+}
+
+TEST_F(MonitorFixture, MonitorAgreesWithActiveTraceroute) {
+  // The complementary-tools story: the passive view of a path matches
+  // what active traceroute reports.
+  TestbedConfig cfg = Testbed::paper_config(5);
+  tb = Testbed::surveyed_line(5, cfg);  // suite installed this time
+  monitor = std::make_unique<PassiveMonitor>(tb->medium());
+  tb->warm_up();
+
+  const auto run =
+      tb->workstation().traceroute(1, "192.168.0.5 round=1 length=16 port=10");
+  std::vector<net::Addr> active_path{1};
+  for (const auto& r : run.reports) {
+    if (r.report.reached) active_path.push_back(r.report.next);
+  }
+  ASSERT_EQ(active_path.size(), 5u);
+
+  // The passive monitor saw the reports flow back to node 1 over the
+  // same line; check its link graph covers every hop of the active path.
+  for (std::size_t i = 0; i + 1 < active_path.size(); ++i) {
+    EXPECT_NE(monitor->links().find({active_path[i], active_path[i + 1]}),
+              monitor->links().end())
+        << active_path[i] << "->" << active_path[i + 1];
+  }
+}
+
+}  // namespace
+}  // namespace liteview::testbed

@@ -1,0 +1,342 @@
+// Unit tests for the PHY: CC2420 model, BER/PER, propagation, medium.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phy/ber.hpp"
+#include "phy/cc2420.hpp"
+#include "phy/medium.hpp"
+#include "phy/propagation.hpp"
+#include "sim/simulator.hpp"
+
+namespace liteview::phy {
+namespace {
+
+// ---- CC2420 conversions ----------------------------------------------
+
+TEST(Cc2420, PaTableAnchorPoints) {
+  EXPECT_DOUBLE_EQ(pa_level_to_dbm(31), 0.0);
+  EXPECT_DOUBLE_EQ(pa_level_to_dbm(27), -1.0);
+  EXPECT_DOUBLE_EQ(pa_level_to_dbm(23), -3.0);
+  EXPECT_DOUBLE_EQ(pa_level_to_dbm(19), -5.0);
+  EXPECT_DOUBLE_EQ(pa_level_to_dbm(15), -7.0);
+  EXPECT_DOUBLE_EQ(pa_level_to_dbm(11), -10.0);
+  EXPECT_DOUBLE_EQ(pa_level_to_dbm(7), -15.0);
+  EXPECT_DOUBLE_EQ(pa_level_to_dbm(3), -25.0);
+}
+
+TEST(Cc2420, PaTableMonotone) {
+  for (PaLevel l = 1; l <= kMaxPaLevel; ++l) {
+    EXPECT_GE(pa_level_to_dbm(l), pa_level_to_dbm(l - 1))
+        << "level " << static_cast<int>(l);
+  }
+}
+
+TEST(Cc2420, PaTableClampsBelowAndAbove) {
+  EXPECT_DOUBLE_EQ(pa_level_to_dbm(0), -25.0);
+  EXPECT_DOUBLE_EQ(pa_level_to_dbm(200), 0.0);
+}
+
+TEST(Cc2420, RssiRegisterMatchesPaperExample) {
+  // "a RSSI reading of -20 indicates a RF power level of approximately
+  // -65 dBm" (Sec. III-B3).
+  EXPECT_EQ(rssi_register(-65.0), -20);
+  EXPECT_DOUBLE_EQ(rssi_register_to_dbm(-20), -65.0);
+}
+
+TEST(Cc2420, RssiRegisterSaturates) {
+  EXPECT_EQ(rssi_register(-300.0), -128);
+  EXPECT_EQ(rssi_register(300.0), 127);
+}
+
+TEST(Cc2420, LqiRange) {
+  // Paper: "A correlation of around 110 indicates the highest quality
+  // while a value of 50 the lowest."
+  EXPECT_EQ(lqi_from_snr(-30.0), 50);
+  EXPECT_EQ(lqi_from_snr(40.0), 110);
+  const auto mid = lqi_from_snr(4.5);
+  EXPECT_GT(mid, 50);
+  EXPECT_LT(mid, 110);
+}
+
+TEST(Cc2420, LqiMonotoneInSnr) {
+  for (double snr = -5.0; snr < 14.0; snr += 0.5) {
+    EXPECT_LE(lqi_from_snr(snr), lqi_from_snr(snr + 0.5));
+  }
+}
+
+TEST(Cc2420, FrameAirtime) {
+  // 250 kbps → 32 us/byte; 6 bytes of sync+len overhead.
+  EXPECT_EQ(frame_airtime(10).microseconds(), (6 + 10) * 32.0);
+  // PSDU capped at 127.
+  EXPECT_EQ(frame_airtime(500), frame_airtime(127));
+}
+
+// ---- BER/PER ------------------------------------------------------------
+
+TEST(Ber, MonotoneDecreasingInSinr) {
+  double prev = 1.0;
+  for (double sinr = -10.0; sinr <= 12.0; sinr += 1.0) {
+    const double b = ber_oqpsk(sinr);
+    EXPECT_LE(b, prev + 1e-12) << "sinr " << sinr;
+    prev = b;
+  }
+}
+
+TEST(Ber, GoodLinkEssentiallyErrorFree) {
+  EXPECT_LT(ber_oqpsk(10.0), 1e-9);
+}
+
+TEST(Ber, BadLinkNearCoinFlip) {
+  EXPECT_GT(ber_oqpsk(-10.0), 0.1);
+}
+
+TEST(Per, ZeroBitsZeroPer) {
+  EXPECT_EQ(per_oqpsk(5.0, 0), 0.0);
+}
+
+TEST(Per, IncreasesWithLength) {
+  const double short_per = per_oqpsk(5.0, 100);
+  const double long_per = per_oqpsk(5.0, 1000);
+  EXPECT_LT(short_per, long_per);
+  EXPECT_GE(short_per, 0.0);
+  EXPECT_LE(long_per, 1.0);
+}
+
+TEST(Per, ConsistentWithBer) {
+  const double ber = ber_oqpsk(4.0);
+  const double per = per_oqpsk(4.0, 256);
+  EXPECT_NEAR(per, 1.0 - std::pow(1.0 - ber, 256), 1e-9);
+}
+
+// ---- propagation ----------------------------------------------------------
+
+TEST(Propagation, LogDistanceBaseline) {
+  PropagationConfig cfg;
+  cfg.shadowing_sigma_db = 0.0;
+  PropagationModel m(cfg, 1);
+  const Position a{0, 0}, b{10, 0};
+  // pl0 40, n 3 → 40 + 30*log10(10) = 70.
+  EXPECT_NEAR(m.static_path_loss_db(0, 1, a, b), 70.0, 1e-9);
+}
+
+TEST(Propagation, ShadowingFrozenPerDirectedPair) {
+  PropagationConfig cfg;
+  cfg.shadowing_sigma_db = 4.0;
+  PropagationModel m(cfg, 77);
+  const Position a{0, 0}, b{25, 0};
+  const double ab1 = m.static_path_loss_db(3, 9, a, b);
+  const double ab2 = m.static_path_loss_db(3, 9, a, b);
+  EXPECT_DOUBLE_EQ(ab1, ab2);  // frozen
+  const double ba = m.static_path_loss_db(9, 3, b, a);
+  EXPECT_NE(ab1, ba);  // directed → asymmetric links (paper Fig. 6)
+}
+
+TEST(Propagation, SeedChangesShadowing) {
+  PropagationConfig cfg;
+  cfg.shadowing_sigma_db = 4.0;
+  PropagationModel m1(cfg, 1), m2(cfg, 2);
+  const Position a{0, 0}, b{25, 0};
+  EXPECT_NE(m1.static_path_loss_db(0, 1, a, b),
+            m2.static_path_loss_db(0, 1, a, b));
+}
+
+TEST(Propagation, MinimumDistanceClamped) {
+  PropagationConfig cfg;
+  cfg.shadowing_sigma_db = 0.0;
+  PropagationModel m(cfg, 1);
+  const Position a{0, 0};
+  // Coincident nodes: clamped at 0.1 m rather than -inf loss.
+  EXPECT_NEAR(m.static_path_loss_db(0, 1, a, a),
+              cfg.pl0_db + 10.0 * cfg.exponent * std::log10(0.1), 1e-9);
+}
+
+// ---- medium -----------------------------------------------------------------
+
+class Sink : public MediumClient {
+ public:
+  void on_frame(const std::vector<std::uint8_t>& psdu,
+                const RxInfo& info) override {
+    frames.push_back({psdu, info});
+  }
+  std::vector<std::pair<std::vector<std::uint8_t>, RxInfo>> frames;
+};
+
+struct MediumFixture : ::testing::Test {
+  MediumFixture() : sim(5), medium(sim, make_prop()) {}
+  static PropagationConfig make_prop() {
+    PropagationConfig p;
+    p.shadowing_sigma_db = 0.0;
+    p.fading_sigma_db = 0.0;
+    return p;
+  }
+  sim::Simulator sim;
+  Medium medium;
+};
+
+TEST_F(MediumFixture, DeliversWithinRange) {
+  Sink tx_sink, rx_sink;
+  const auto tx = medium.attach(&tx_sink, {0, 0});
+  medium.attach(&rx_sink, {10, 0});
+  medium.transmit(tx, 0.0, {1, 2, 3});
+  sim.run();
+  ASSERT_EQ(rx_sink.frames.size(), 1u);
+  EXPECT_TRUE(rx_sink.frames[0].second.crc_ok);
+  EXPECT_EQ(rx_sink.frames[0].first, (std::vector<std::uint8_t>{1, 2, 3}));
+  // rx power = 0 - 70 dB = -70 dBm → register -25.
+  EXPECT_EQ(rx_sink.frames[0].second.rssi_reg, -25);
+  EXPECT_EQ(tx_sink.frames.size(), 0u);  // no self-reception
+}
+
+TEST_F(MediumFixture, NoDeliveryBelowSensitivity) {
+  Sink a, b;
+  const auto tx = medium.attach(&a, {0, 0});
+  medium.attach(&b, {2000, 0});  // ~139 dB path loss
+  medium.transmit(tx, 0.0, {9});
+  sim.run();
+  EXPECT_TRUE(b.frames.empty());
+  EXPECT_EQ(medium.frames_below_sensitivity(), 1u);
+}
+
+TEST_F(MediumFixture, ChannelIsolation) {
+  Sink a, b, c;
+  const auto tx = medium.attach(&a, {0, 0}, 17);
+  medium.attach(&b, {10, 0}, 17);
+  medium.attach(&c, {10, 5}, 26);
+  medium.transmit(tx, 0.0, {42});
+  sim.run();
+  EXPECT_EQ(b.frames.size(), 1u);
+  EXPECT_TRUE(c.frames.empty());
+}
+
+TEST_F(MediumFixture, DeliveryTakesAirtime) {
+  Sink a, b;
+  const auto tx = medium.attach(&a, {0, 0});
+  medium.attach(&b, {10, 0});
+  std::vector<std::uint8_t> psdu(20, 0xcc);
+  medium.transmit(tx, 0.0, psdu);
+  sim.run_until(frame_airtime(20) - sim::SimTime::us(1));
+  EXPECT_TRUE(b.frames.empty());
+  sim.run();
+  EXPECT_EQ(b.frames.size(), 1u);
+}
+
+TEST_F(MediumFixture, CollisionCorruptsBothAtEqualPower) {
+  Sink a, b, victim;
+  const auto t1 = medium.attach(&a, {-10, 0});
+  const auto t2 = medium.attach(&b, {10, 0});
+  medium.attach(&victim, {0, 0});
+  std::vector<std::uint8_t> psdu(60, 1);
+  medium.transmit(t1, 0.0, psdu);
+  medium.transmit(t2, 0.0, psdu);  // same instant, equal power
+  sim.run();
+  // SINR ≈ 0 dB → PER ≈ 1: both frames arrive corrupted (crc_ok false).
+  ASSERT_EQ(victim.frames.size(), 2u);
+  EXPECT_FALSE(victim.frames[0].second.crc_ok);
+  EXPECT_FALSE(victim.frames[1].second.crc_ok);
+  EXPECT_EQ(medium.frames_corrupted(), 2u);
+}
+
+TEST_F(MediumFixture, CaptureWhenMuchStronger) {
+  Sink a, b, victim;
+  const auto strong = medium.attach(&a, {2, 0});
+  const auto weak = medium.attach(&b, {300, 0});
+  medium.attach(&victim, {0, 0});
+  std::vector<std::uint8_t> psdu(40, 1);
+  medium.transmit(weak, 0.0, psdu);
+  medium.transmit(strong, 0.0, psdu);
+  sim.run();
+  // The strong frame survives; SINR for it is huge.
+  bool strong_ok = false;
+  for (const auto& [bytes, info] : victim.frames) {
+    if (info.crc_ok) strong_ok = true;
+  }
+  EXPECT_TRUE(strong_ok);
+}
+
+TEST_F(MediumFixture, HalfDuplexReceiverMidTransmission) {
+  Sink a, b;
+  const auto t1 = medium.attach(&a, {0, 0});
+  const auto t2 = medium.attach(&b, {10, 0});
+  std::vector<std::uint8_t> psdu(50, 1);
+  medium.transmit(t1, 0.0, psdu);
+  // t2 starts transmitting while t1's frame is in the air toward it.
+  sim.run_until(sim::SimTime::us(100));
+  medium.transmit(t2, 0.0, psdu);
+  sim.run();
+  // t2 must not have received t1's frame (it was transmitting).
+  EXPECT_TRUE(b.frames.empty());
+  // ...but t1 hears t2's frame after finishing its own transmission?
+  // t1's tx ends at ~1.8 ms, t2's frame ends ~1.9 ms; t1 was still
+  // transmitting when t2's frame *started*, so it is deaf to it as well.
+  EXPECT_TRUE(a.frames.empty());
+  EXPECT_GE(medium.frames_missed_busy_rx(), 1u);
+}
+
+TEST_F(MediumFixture, CcaSeesActiveTransmission) {
+  Sink a, b;
+  const auto t1 = medium.attach(&a, {0, 0});
+  const auto r = medium.attach(&b, {10, 0});
+  EXPECT_TRUE(medium.cca_clear(r, -90.0));
+  medium.transmit(t1, 0.0, {1, 2, 3, 4});
+  // During the transmission the channel reads busy at -70 dBm.
+  EXPECT_FALSE(medium.cca_clear(r, -90.0));
+  EXPECT_NEAR(medium.channel_power_dbm(r), -70.0, 0.5);
+  sim.run();
+  EXPECT_TRUE(medium.cca_clear(r, -90.0));
+}
+
+TEST_F(MediumFixture, SnifferSeesEveryTransmission) {
+  Sink a, b;
+  const auto t1 = medium.attach(&a, {0, 0});
+  const auto t2 = medium.attach(&b, {10, 0});
+  int count = 0;
+  std::size_t bytes = 0;
+  medium.set_sniffer([&](const SniffedFrame& f) {
+    ++count;
+    bytes += f.psdu_bytes;
+  });
+  medium.transmit(t1, 0.0, {1, 2, 3});
+  sim.run();
+  medium.transmit(t2, 0.0, {4, 5});
+  sim.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(bytes, 5u);
+  EXPECT_EQ(medium.frames_sent(), 2u);
+}
+
+TEST_F(MediumFixture, DetachedRadioGetsNothing) {
+  Sink a, b;
+  const auto t1 = medium.attach(&a, {0, 0});
+  const auto r = medium.attach(&b, {10, 0});
+  medium.detach(r);
+  medium.transmit(t1, 0.0, {7});
+  sim.run();
+  EXPECT_TRUE(b.frames.empty());
+}
+
+TEST_F(MediumFixture, RetuneMidFrameLosesFrame) {
+  Sink a, b;
+  const auto t1 = medium.attach(&a, {0, 0});
+  const auto r = medium.attach(&b, {10, 0});
+  medium.transmit(t1, 0.0, std::vector<std::uint8_t>(30, 2));
+  sim.run_until(sim::SimTime::us(200));
+  medium.set_channel(r, 26);  // retunes away mid-reception
+  sim.run();
+  EXPECT_TRUE(b.frames.empty());
+}
+
+TEST_F(MediumFixture, LqiReflectsSnr) {
+  Sink a, near_sink, far_sink;
+  const auto tx = medium.attach(&a, {0, 0});
+  medium.attach(&near_sink, {5, 0});
+  medium.attach(&far_sink, {50, 0});
+  medium.transmit(tx, 0.0, {1});
+  sim.run();
+  ASSERT_EQ(near_sink.frames.size(), 1u);
+  ASSERT_EQ(far_sink.frames.size(), 1u);
+  EXPECT_GT(near_sink.frames[0].second.lqi, far_sink.frames[0].second.lqi);
+}
+
+}  // namespace
+}  // namespace liteview::phy

@@ -1,0 +1,209 @@
+// Tests for the ping command: parameter parsing, single-hop and
+// multi-hop (padded) operation, loss handling, queue reporting.
+#include <gtest/gtest.h>
+
+#include "liteview/ping.hpp"
+#include "testbed/testbed.hpp"
+
+namespace liteview::lv {
+namespace {
+
+struct PingFixture : ::testing::Test {
+  void make(int n, std::uint64_t seed = 2) {
+    tb = testbed::Testbed::paper_line(n, seed);
+    tb->warm_up();
+  }
+  PingResultMsg run_ping(std::size_t node_idx, const PingParams& p) {
+    PingResultMsg out;
+    bool done = false;
+    tb->suite(node_idx).ping().run(p, [&](const PingResultMsg& r) {
+      out = r;
+      done = true;
+    });
+    tb->sim().run_for(sim::SimTime::sec(2) +
+                      p.round_timeout * (p.rounds + 1));
+    EXPECT_TRUE(done);
+    return out;
+  }
+  std::unique_ptr<testbed::Testbed> tb;
+};
+
+// ---- parameter parsing (the kernel parameter-buffer syscall path) ------
+
+TEST(PingParams, FullSyntax) {
+  kernel::AddressBook book;
+  book.add("192.168.0.2", 2);
+  const auto p =
+      parse_ping_params("192.168.0.2 round=3 length=64 port=10", &book);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->dst, 2);
+  EXPECT_EQ(p->rounds, 3);
+  EXPECT_EQ(p->length, 64);
+  ASSERT_TRUE(p->routing_port.has_value());
+  EXPECT_EQ(*p->routing_port, 10);
+}
+
+TEST(PingParams, DefaultsAndNumericAddress) {
+  const auto p = parse_ping_params("7", nullptr);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->dst, 7);
+  EXPECT_EQ(p->rounds, 1);
+  EXPECT_EQ(p->length, 32);
+  EXPECT_FALSE(p->routing_port.has_value());
+}
+
+TEST(PingParams, RejectsBadInput) {
+  kernel::AddressBook book;
+  book.add("192.168.0.2", 2);
+  EXPECT_FALSE(parse_ping_params("", &book).has_value());
+  EXPECT_FALSE(parse_ping_params("unknown.host", &book).has_value());
+  EXPECT_FALSE(parse_ping_params("192.168.0.2 round=0", &book).has_value());
+  EXPECT_FALSE(parse_ping_params("192.168.0.2 round=abc", &book).has_value());
+  EXPECT_FALSE(parse_ping_params("192.168.0.2 length=200", &book).has_value());
+  EXPECT_FALSE(parse_ping_params("192.168.0.2 port=0", &book).has_value());
+}
+
+TEST(PingParams, MinimumLengthClamped) {
+  const auto p = parse_ping_params("7 length=0", nullptr);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_GE(p->length, 6);  // probe header floor
+}
+
+// ---- behavior ------------------------------------------------------------
+
+TEST_F(PingFixture, SingleHopMeasurements) {
+  make(2);
+  PingParams p;
+  p.dst = 2;
+  p.rounds = 1;
+  p.length = 32;
+  const auto r = run_ping(0, p);
+  ASSERT_EQ(r.rounds_data.size(), 1u);
+  const auto& rd = r.rounds_data[0];
+  EXPECT_TRUE(rd.received);
+  // RTT for a 32-byte probe on a quiet channel: a few ms (paper: 4.7 ms).
+  EXPECT_GT(rd.rtt_us, 2'000u);
+  EXPECT_LT(rd.rtt_us, 12'000u);
+  EXPECT_GE(rd.lqi_fwd, 50);
+  EXPECT_LE(rd.lqi_fwd, 110);
+  EXPECT_LT(rd.rssi_fwd, 0);
+  EXPECT_EQ(r.power, 10);
+  EXPECT_EQ(r.channel, 17);
+  EXPECT_EQ(r.target, 2);
+}
+
+TEST_F(PingFixture, MultipleRoundsAllAnswered) {
+  make(2, 5);
+  PingParams p;
+  p.dst = 2;
+  p.rounds = 5;
+  const auto r = run_ping(0, p);
+  ASSERT_EQ(r.rounds_data.size(), 5u);
+  for (const auto& rd : r.rounds_data) EXPECT_TRUE(rd.received);
+  // Rounds are numbered sequentially.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(r.rounds_data[i].round, static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST_F(PingFixture, UnreachableTargetTimesOut) {
+  make(2);
+  PingParams p;
+  p.dst = 99;  // nonexistent node
+  p.rounds = 2;
+  p.round_timeout = sim::SimTime::ms(200);
+  const auto r = run_ping(0, p);
+  ASSERT_EQ(r.rounds_data.size(), 2u);
+  EXPECT_FALSE(r.rounds_data[0].received);
+  EXPECT_FALSE(r.rounds_data[1].received);
+}
+
+TEST_F(PingFixture, MultiHopPingCollectsPerHopPadding) {
+  make(5, 3);
+  PingParams p;
+  p.dst = 5;
+  p.rounds = 1;
+  p.length = 16;  // the paper's example probe size
+  p.routing_port = net::kPortGeographic;
+  p.round_timeout = sim::SimTime::ms(800);
+  const auto r = run_ping(0, p);
+  ASSERT_EQ(r.rounds_data.size(), 1u);
+  const auto& rd = r.rounds_data[0];
+  ASSERT_TRUE(rd.received);
+  // 4 forward hops and 4 backward hops, each carrying LQI/RSSI.
+  EXPECT_EQ(rd.hops_fwd.size(), 4u);
+  EXPECT_EQ(rd.hops_bwd.size(), 4u);
+  for (const auto& h : rd.hops_fwd) {
+    EXPECT_GE(h.lqi, 50);
+    EXPECT_LE(h.lqi, 110);
+  }
+  // Multi-hop RTT exceeds a single-hop RTT several times over.
+  EXPECT_GT(rd.rtt_us, 10'000u);
+}
+
+TEST_F(PingFixture, LossyLinkReportedInStatistics) {
+  make(2, 4);
+  // Kill the forward direction entirely.
+  tb->medium().set_drop_filter(
+      [&](phy::RadioId from, phy::RadioId to) {
+        return from == tb->node(0).mac().radio_id() &&
+               to == tb->node(1).mac().radio_id();
+      });
+  PingParams p;
+  p.dst = 2;
+  p.rounds = 3;
+  p.round_timeout = sim::SimTime::ms(200);
+  const auto r = run_ping(0, p);
+  int received = 0;
+  for (const auto& rd : r.rounds_data) {
+    if (rd.received) ++received;
+  }
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(PingFixture, ResponderAnswersManyClients) {
+  make(3, 6);
+  // Nodes 1 and 3 ping node 2 back to back.
+  PingResultMsg r1, r3;
+  bool d1 = false, d3 = false;
+  PingParams p;
+  p.dst = 2;
+  p.rounds = 2;
+  tb->suite(0).ping().run(p, [&](const PingResultMsg& r) {
+    r1 = r;
+    d1 = true;
+  });
+  tb->suite(2).ping().run(p, [&](const PingResultMsg& r) {
+    r3 = r;
+    d3 = true;
+  });
+  tb->sim().run_for(sim::SimTime::sec(4));
+  ASSERT_TRUE(d1);
+  ASSERT_TRUE(d3);
+  EXPECT_TRUE(r1.rounds_data[0].received);
+  EXPECT_TRUE(r3.rounds_data[0].received);
+}
+
+TEST_F(PingFixture, StartViaParamBufferSyscall) {
+  make(2, 7);
+  // The runtime-controller path: params in the kernel buffer, then
+  // process start — exactly the paper's parameter-passing design.
+  auto& node = tb->node(0);
+  node.set_param_buffer("192.168.0.2 round=1 length=32");
+  PingResultMsg out;
+  bool done = false;
+  // Restart the daemon so start() re-reads the buffer.
+  tb->suite(0).ping().set_done_callback(
+      [&](const PingResultMsg& r) {
+        out = r;
+        done = true;
+      });
+  tb->suite(0).ping().start();
+  tb->sim().run_for(sim::SimTime::sec(2));
+  EXPECT_TRUE(done);
+  ASSERT_EQ(out.rounds_data.size(), 1u);
+  EXPECT_TRUE(out.rounds_data[0].received);
+}
+
+}  // namespace
+}  // namespace liteview::lv

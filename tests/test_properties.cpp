@@ -1,0 +1,243 @@
+// Property-based (parameterized) sweeps over protocol invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "liteview/reliable.hpp"
+#include "net/packet.hpp"
+#include "phy/ber.hpp"
+#include "phy/cc2420.hpp"
+#include "testbed/testbed.hpp"
+#include "util/crc16.hpp"
+
+namespace liteview {
+namespace {
+
+// ---- packet codec invariants over payload/padding grid ----------------
+
+struct CodecParam {
+  std::size_t payload_len;
+  std::size_t pad_count;
+};
+
+class PacketCodecProperty : public ::testing::TestWithParam<CodecParam> {};
+
+TEST_P(PacketCodecProperty, RoundTripExactAtEveryShape) {
+  const auto [len, pads] = GetParam();
+  if (len + pads * net::kPadEntryBytes > net::kPayloadBudget) {
+    GTEST_SKIP() << "shape exceeds budget by construction";
+  }
+  net::NetPacket p;
+  p.src = 0x00f0;
+  p.dst = 0x0f00;
+  p.port = 10;
+  p.ttl = 7;
+  p.id = static_cast<std::uint16_t>(len * 31 + pads);
+  if (pads > 0) p.enable_padding();
+  for (std::size_t i = 0; i < len; ++i) {
+    p.payload.push_back(static_cast<std::uint8_t>(i ^ 0x5a));
+  }
+  for (std::size_t i = 0; i < pads; ++i) {
+    p.padding.push_back(net::PadEntry{
+        static_cast<std::uint8_t>(50 + i),
+        static_cast<std::int8_t>(-static_cast<int>(i) - 1)});
+  }
+  const auto bytes = net::encode_packet(p);
+  EXPECT_EQ(bytes.size(), net::kNetHeaderBytes + len + 2 * pads);
+  const auto back = net::decode_packet(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->payload, p.payload);
+  EXPECT_EQ(back->padding, p.padding);
+  EXPECT_EQ(back->id, p.id);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PacketCodecProperty,
+    ::testing::Values(CodecParam{0, 0}, CodecParam{0, 32}, CodecParam{1, 0},
+                      CodecParam{16, 24}, CodecParam{32, 16},
+                      CodecParam{63, 0}, CodecParam{64, 0},
+                      CodecParam{40, 12}, CodecParam{62, 1}));
+
+// ---- padding budget law -----------------------------------------------
+
+class PaddingBudgetProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PaddingBudgetProperty, MaxHopsFormulaHolds) {
+  const std::size_t len = GetParam();
+  net::NetPacket p;
+  p.payload.assign(len, 0);
+  p.enable_padding();
+  std::size_t added = 0;
+  while (p.add_padding(net::PadEntry{100, -10})) ++added;
+  const std::size_t expected =
+      (net::kPayloadBudget - len) / net::kPadEntryBytes;
+  EXPECT_EQ(added, expected) << "payload " << len;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PaddingBudgetProperty,
+                         ::testing::Values(0u, 1u, 8u, 16u, 17u, 32u, 48u,
+                                           63u, 64u));
+
+// ---- CRC error detection sweep ------------------------------------------
+
+class CrcFlipProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrcFlipProperty, DetectsDoubleBitErrors) {
+  const int second = GetParam();
+  std::vector<std::uint8_t> data(24, 0x3c);
+  const auto good = util::crc16_ccitt(data);
+  auto bad = data;
+  bad[0] ^= 0x01;
+  bad[static_cast<std::size_t>(second) % bad.size()] ^=
+      static_cast<std::uint8_t>(1 << (second % 8));
+  // Identical flip cancels out; skip that degenerate case.
+  if (bad == data) GTEST_SKIP();
+  EXPECT_NE(util::crc16_ccitt(bad), good);
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, CrcFlipProperty,
+                         ::testing::Range(1, 24));
+
+// ---- PER laws -------------------------------------------------------------
+
+class PerLengthProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PerLengthProperty, PerMonotoneInLengthAndSnr) {
+  const int bits = GetParam();
+  for (double snr = -2.0; snr <= 8.0; snr += 1.0) {
+    EXPECT_LE(phy::per_oqpsk(snr + 1.0, bits), phy::per_oqpsk(snr, bits))
+        << "snr " << snr;
+    EXPECT_GE(phy::per_oqpsk(snr, bits + 64), phy::per_oqpsk(snr, bits))
+        << "snr " << snr;
+    EXPECT_GE(phy::per_oqpsk(snr, bits), 0.0);
+    EXPECT_LE(phy::per_oqpsk(snr, bits), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, PerLengthProperty,
+                         ::testing::Values(64, 128, 256, 512, 1016));
+
+// ---- reliable protocol under a loss-rate sweep -----------------------------
+
+class ReliableLossProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReliableLossProperty, DeliversExactlyOnceUnderLoss) {
+  const int loss_percent = GetParam();
+  auto tb = testbed::Testbed::paper_line(2, 31 + loss_percent);
+  tb->warm_up();
+  // Random i.i.d. loss in both directions at the injected rate.
+  util::RngStream loss_rng(99, "test.loss");
+  tb->medium().set_drop_filter([&](phy::RadioId, phy::RadioId) {
+    return loss_rng.chance(loss_percent / 100.0);
+  });
+
+  auto& a = tb->suite(0).controller().endpoint();
+  auto& b = tb->suite(1).controller().endpoint();
+  int deliveries = 0;
+  std::vector<std::uint8_t> got;
+  b.set_handler([&](net::Addr, const std::vector<std::uint8_t>& m, bool) {
+    ++deliveries;
+    got = m;
+  });
+  std::vector<std::uint8_t> msg(180);
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  int ok = -1;
+  a.send_message(2, msg, [&](bool s) { ok = s ? 1 : 0; });
+  tb->sim().run_for(sim::SimTime::sec(20));
+  ASSERT_NE(ok, -1) << "protocol never terminated";
+  if (ok == 1) {
+    EXPECT_EQ(deliveries, 1);
+    EXPECT_EQ(got, msg);
+  } else {
+    // Only acceptable at extreme loss.
+    EXPECT_GE(loss_percent, 40);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, ReliableLossProperty,
+                         ::testing::Values(0, 5, 10, 20, 30, 40));
+
+// ---- ping RTT scaling law ---------------------------------------------------
+
+class PingLengthProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PingLengthProperty, RttGrowsWithProbeLength) {
+  const int length = GetParam();
+  auto tb = testbed::Testbed::paper_line(2, 8);
+  tb->warm_up();
+  auto run_len = [&](int len) -> double {
+    lv::PingParams p;
+    p.dst = 2;
+    p.rounds = 3;
+    p.length = len;
+    double total = 0;
+    int n = 0;
+    bool done = false;
+    tb->suite(0).ping().run(p, [&](const lv::PingResultMsg& r) {
+      for (const auto& rd : r.rounds_data) {
+        if (rd.received) {
+          total += rd.rtt_us;
+          ++n;
+        }
+      }
+      done = true;
+    });
+    tb->sim().run_for(sim::SimTime::sec(4));
+    EXPECT_TRUE(done);
+    return n ? total / n : 0.0;
+  };
+  const double small = run_len(8);
+  const double large = run_len(length);
+  ASSERT_GT(small, 0.0);
+  ASSERT_GT(large, 0.0);
+  // Each extra byte costs 32 us one way; allow CSMA noise but require
+  // the trend.
+  if (length >= 40) EXPECT_GT(large, small);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PingLengthProperty,
+                         ::testing::Values(16, 32, 48, 64));
+
+// ---- deployment determinism across seeds -----------------------------------
+
+class SeedDeterminismProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SeedDeterminismProperty, SameSeedSameTranscript) {
+  const auto seed = GetParam();
+  auto run_once = [&] {
+    auto tb = testbed::Testbed::paper_line(3, seed);
+    tb->warm_up();
+    auto& sh = tb->shell();
+    sh.cd("192.168.0.1");
+    return sh.execute("ping 192.168.0.2 round=1 length=32");
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedDeterminismProperty,
+                         ::testing::Values(1u, 7u, 1234u, 99999u));
+
+// ---- PA level monotone in reported RSSI -------------------------------------
+
+class PowerSweepProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PowerSweepProperty, HigherPaLevelNeverLowersMeanRx) {
+  const auto level = static_cast<phy::PaLevel>(GetParam());
+  auto tb = testbed::Testbed::paper_line(2, 2);
+  const auto a = tb->node(0).mac().radio_id();
+  const auto b = tb->node(1).mac().radio_id();
+  const double lo =
+      tb->medium().mean_rx_power_dbm(a, b, phy::pa_level_to_dbm(level));
+  const double hi = tb->medium().mean_rx_power_dbm(
+      a, b, phy::pa_level_to_dbm(static_cast<phy::PaLevel>(level + 5)));
+  EXPECT_GE(hi, lo);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, PowerSweepProperty,
+                         ::testing::Values(3, 7, 10, 15, 20, 25));
+
+}  // namespace
+}  // namespace liteview

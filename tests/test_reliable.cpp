@@ -1,0 +1,277 @@
+// Tests for the reliable one-hop command protocol: ack/timeout, batched
+// fragments, missing-sequence detection, and dynamic batch adaptation
+// (paper Sec. IV-B), including failure injection.
+#include <gtest/gtest.h>
+
+#include "kernel/node.hpp"
+#include "liteview/reliable.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace liteview::lv {
+namespace {
+
+struct ReliableFixture : ::testing::Test {
+  ReliableFixture() : sim(41), medium(sim, prop()) {
+    a_node = make_node(1, 0);
+    b_node = make_node(2, 5);
+  }
+
+  static phy::PropagationConfig prop() {
+    phy::PropagationConfig p;
+    p.shadowing_sigma_db = 0.0;
+    p.fading_sigma_db = 0.0;
+    return p;
+  }
+
+  std::unique_ptr<kernel::Node> make_node(net::Addr addr, double x) {
+    kernel::NodeConfig cfg;
+    cfg.address = addr;
+    cfg.name = kernel::ip_style_name(addr);
+    cfg.position = {x, 0};
+    cfg.beaconing = false;  // quiet channel for protocol-focused tests
+    return std::make_unique<kernel::Node>(sim, medium, cfg);
+  }
+
+  void make_endpoints(const ReliableConfig& cfg = {}) {
+    a = std::make_unique<ReliableEndpoint>(*a_node, cfg);
+    b = std::make_unique<ReliableEndpoint>(*b_node, cfg);
+  }
+
+  static std::vector<std::uint8_t> pattern(std::size_t n) {
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+      v[i] = static_cast<std::uint8_t>(i * 13 + 7);
+    return v;
+  }
+
+  sim::Simulator sim;
+  phy::Medium medium;
+  std::unique_ptr<kernel::Node> a_node, b_node;
+  std::unique_ptr<ReliableEndpoint> a, b;
+};
+
+TEST_F(ReliableFixture, SinglePacketCommandOneAck) {
+  make_endpoints();
+  std::vector<std::uint8_t> got;
+  b->set_handler([&](net::Addr from, const std::vector<std::uint8_t>& m,
+                     bool bcast) {
+    EXPECT_EQ(from, 1);
+    EXPECT_FALSE(bcast);
+    got = m;
+  });
+  bool ok = false;
+  a->send_message(2, {1, 2, 3}, [&](bool s) { ok = s; });
+  sim.run_for(sim::SimTime::sec(1));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{1, 2, 3}));
+  // Paper: one data packet + one acknowledgement.
+  EXPECT_EQ(a->stats().data_frags_sent, 1u);
+  EXPECT_EQ(b->stats().acks_sent, 1u);
+  EXPECT_EQ(a->stats().retransmissions, 0u);
+}
+
+TEST_F(ReliableFixture, MultiFragmentReassembly) {
+  make_endpoints();
+  const auto msg = pattern(300);  // 7 fragments at 48 B each
+  std::vector<std::uint8_t> got;
+  b->set_handler([&](net::Addr, const std::vector<std::uint8_t>& m, bool) {
+    got = m;
+  });
+  bool ok = false;
+  a->send_message(2, msg, [&](bool s) { ok = s; });
+  sim.run_for(sim::SimTime::sec(3));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, msg);
+  EXPECT_GE(a->stats().data_frags_sent, 7u);
+}
+
+TEST_F(ReliableFixture, EmptyMessageStillDelivered) {
+  make_endpoints();
+  bool delivered = false;
+  b->set_handler([&](net::Addr, const std::vector<std::uint8_t>& m, bool) {
+    delivered = m.empty();
+  });
+  a->send_message(2, {});
+  sim.run_for(sim::SimTime::sec(1));
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(ReliableFixture, RetransmitsThroughLossBurst) {
+  make_endpoints();
+  // Drop the first 3 data transmissions from a → b.
+  int losses = 3;
+  medium.set_drop_filter([&](phy::RadioId from, phy::RadioId to) {
+    if (from == a_node->mac().radio_id() && to == b_node->mac().radio_id() &&
+        losses > 0) {
+      --losses;
+      return true;
+    }
+    return false;
+  });
+  std::vector<std::uint8_t> got;
+  b->set_handler([&](net::Addr, const std::vector<std::uint8_t>& m, bool) {
+    got = m;
+  });
+  bool ok = false;
+  a->send_message(2, {42}, [&](bool s) { ok = s; });
+  sim.run_for(sim::SimTime::sec(5));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{42}));
+  EXPECT_GE(a->stats().retransmissions, 3u);
+  EXPECT_GE(a->stats().timeouts, 3u);
+}
+
+TEST_F(ReliableFixture, FailsAfterMaxRetries) {
+  ReliableConfig cfg;
+  cfg.max_retries = 3;
+  make_endpoints(cfg);
+  medium.set_drop_filter([&](phy::RadioId from, phy::RadioId) {
+    return from == a_node->mac().radio_id();  // total blackout a → b
+  });
+  bool ok = true;
+  a->send_message(2, {1}, [&](bool s) { ok = s; });
+  sim.run_for(sim::SimTime::sec(10));
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(a->stats().messages_failed, 1u);
+}
+
+TEST_F(ReliableFixture, MissingFragmentsDetectedAndRepaired) {
+  make_endpoints();
+  // Drop exactly the 2nd data fragment once.
+  int data_seen = 0;
+  bool dropped = false;
+  medium.set_drop_filter([&](phy::RadioId from, phy::RadioId to) {
+    if (from != a_node->mac().radio_id() ||
+        to != b_node->mac().radio_id()) {
+      return false;
+    }
+    ++data_seen;
+    if (data_seen == 2 && !dropped) {
+      dropped = true;
+      return true;
+    }
+    return false;
+  });
+  const auto msg = pattern(200);  // 5 fragments
+  std::vector<std::uint8_t> got;
+  b->set_handler([&](net::Addr, const std::vector<std::uint8_t>& m, bool) {
+    got = m;
+  });
+  a->send_message(2, msg);
+  sim.run_for(sim::SimTime::sec(5));
+  EXPECT_EQ(got, msg);  // hole detected by sequence gap and repaired
+  EXPECT_GE(a->stats().data_frags_sent, 6u);
+}
+
+TEST_F(ReliableFixture, BatchShrinksOnLossGrowsOnSuccess) {
+  ReliableConfig cfg;
+  cfg.initial_batch = 4;
+  make_endpoints(cfg);
+  EXPECT_EQ(a->batch_size(2), 4u);
+
+  // Clean multi-fragment message: batch should grow.
+  a->send_message(2, pattern(300));
+  sim.run_for(sim::SimTime::sec(3));
+  const auto grown = a->batch_size(2);
+  EXPECT_GT(grown, 4u);
+
+  // Now a lossy transfer: batch must shrink below its grown value.
+  int counter = 0;
+  medium.set_drop_filter([&](phy::RadioId from, phy::RadioId to) {
+    if (from != a_node->mac().radio_id() ||
+        to != b_node->mac().radio_id()) {
+      return false;
+    }
+    return (++counter % 2) == 0;  // 50% loss
+  });
+  a->send_message(2, pattern(300));
+  sim.run_for(sim::SimTime::sec(5));
+  EXPECT_LT(a->batch_size(2), grown);
+  EXPECT_GE(a->batch_size(2), cfg.min_batch);
+}
+
+TEST_F(ReliableFixture, FixedBatchWhenAdaptationDisabled) {
+  ReliableConfig cfg;
+  cfg.adaptive_batch = false;
+  cfg.initial_batch = 4;
+  make_endpoints(cfg);
+  a->send_message(2, pattern(300));
+  sim.run_for(sim::SimTime::sec(3));
+  EXPECT_EQ(a->batch_size(2), 4u);
+}
+
+TEST_F(ReliableFixture, MessagesToSamePeerStayOrdered) {
+  make_endpoints();
+  std::vector<int> order;
+  b->set_handler([&](net::Addr, const std::vector<std::uint8_t>& m, bool) {
+    order.push_back(m[0]);
+  });
+  for (std::uint8_t i = 0; i < 4; ++i) a->send_message(2, {i});
+  sim.run_for(sim::SimTime::sec(3));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST_F(ReliableFixture, DuplicateDeliverySuppressed) {
+  make_endpoints();
+  // Drop the ACK so the sender retransmits a message the receiver has
+  // already completed; the receiver must not deliver it twice.
+  int acks_dropped = 0;
+  medium.set_drop_filter([&](phy::RadioId from, phy::RadioId to) {
+    if (from == b_node->mac().radio_id() &&
+        to == a_node->mac().radio_id() && acks_dropped < 1) {
+      ++acks_dropped;
+      return true;
+    }
+    return false;
+  });
+  int deliveries = 0;
+  b->set_handler([&](net::Addr, const std::vector<std::uint8_t>&, bool) {
+    ++deliveries;
+  });
+  bool ok = false;
+  a->send_message(2, {5}, [&](bool s) { ok = s; });
+  sim.run_for(sim::SimTime::sec(5));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(deliveries, 1);
+}
+
+TEST_F(ReliableFixture, BroadcastDeliveredFlaggedAndUnacked) {
+  make_endpoints();
+  bool got_bcast = false;
+  b->set_handler([&](net::Addr from, const std::vector<std::uint8_t>& m,
+                     bool bcast) {
+    got_bcast = bcast && from == 1 && m.size() == 1;
+  });
+  EXPECT_TRUE(a->broadcast({9}));
+  sim.run_for(sim::SimTime::sec(1));
+  EXPECT_TRUE(got_bcast);
+  EXPECT_EQ(b->stats().acks_sent, 0u);
+}
+
+TEST_F(ReliableFixture, BroadcastRejectsOversize) {
+  make_endpoints();
+  EXPECT_FALSE(a->broadcast(pattern(100)));  // > one fragment
+}
+
+TEST_F(ReliableFixture, BidirectionalSimultaneousTraffic) {
+  make_endpoints();
+  std::vector<std::uint8_t> at_a, at_b;
+  a->set_handler([&](net::Addr, const std::vector<std::uint8_t>& m, bool) {
+    at_a = m;
+  });
+  b->set_handler([&](net::Addr, const std::vector<std::uint8_t>& m, bool) {
+    at_b = m;
+  });
+  const auto ma = pattern(150);
+  auto mb = pattern(150);
+  mb[0] ^= 0xff;
+  a->send_message(2, ma);
+  b->send_message(1, mb);
+  sim.run_for(sim::SimTime::sec(5));
+  EXPECT_EQ(at_b, ma);
+  EXPECT_EQ(at_a, mb);
+}
+
+}  // namespace
+}  // namespace liteview::lv

@@ -1,0 +1,242 @@
+// Unit tests for routing: envelope codec, geographic forwarding,
+// flooding, tree routing, and the shared padding engine.
+#include <gtest/gtest.h>
+
+#include "kernel/naming.hpp"
+#include "routing/flooding.hpp"
+#include "routing/geographic.hpp"
+#include "routing/tree.hpp"
+#include "testbed/testbed.hpp"
+
+namespace liteview::routing {
+namespace {
+
+// ---- envelope -------------------------------------------------------------
+
+TEST(Envelope, RoundTrip) {
+  const std::vector<std::uint8_t> app = {9, 8, 7};
+  const auto bytes = make_data_envelope(5, app);
+  const auto env = parse_data_envelope(bytes);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->inner_port, 5);
+  EXPECT_EQ(env->app, app);
+}
+
+TEST(Envelope, RejectsControlAndShort) {
+  EXPECT_FALSE(parse_data_envelope(std::vector<std::uint8_t>{}).has_value());
+  EXPECT_FALSE(
+      parse_data_envelope(std::vector<std::uint8_t>{kMsgControl, 5, 1})
+          .has_value());
+  EXPECT_FALSE(
+      parse_data_envelope(std::vector<std::uint8_t>{kMsgData}).has_value());
+}
+
+TEST(TreeCost, LinkCostFromLqi) {
+  EXPECT_EQ(link_cost_from_lqi(110.0), 16);  // perfect link = ETX 1
+  EXPECT_GT(link_cost_from_lqi(50.0), link_cost_from_lqi(80.0));
+  EXPECT_GT(link_cost_from_lqi(80.0), link_cost_from_lqi(110.0));
+  // Clamped outside the meaningful LQI range.
+  EXPECT_EQ(link_cost_from_lqi(200.0), 16);
+  EXPECT_EQ(link_cost_from_lqi(0.0), link_cost_from_lqi(50.0));
+}
+
+// ---- fixtures over a real testbed -----------------------------------------
+
+struct RoutingFixture : ::testing::Test {
+  void make_line(int n, std::uint64_t seed = 2, bool flooding = false,
+                 bool tree = false) {
+    testbed::TestbedConfig cfg = testbed::Testbed::paper_config(seed);
+    cfg.with_flooding = flooding;
+    cfg.with_tree = tree;
+    cfg.install_suite = false;  // raw protocols, no LiteView daemons
+    tb = testbed::Testbed::surveyed_line(n, cfg);
+    tb->warm_up();
+  }
+  std::unique_ptr<testbed::Testbed> tb;
+};
+
+TEST_F(RoutingFixture, GeographicNextHopMakesProgress) {
+  make_line(5);
+  // From node 1 toward node 5, the next hop must be node 2 (unit stride
+  // on the adjacency-calibrated line).
+  EXPECT_EQ(tb->geographic(0)->next_hop(5), 2);
+  EXPECT_EQ(tb->geographic(1)->next_hop(5), 3);
+  // Direct neighbor: returns it outright.
+  EXPECT_EQ(tb->geographic(2)->next_hop(4), 4);
+  // Self: loopback.
+  EXPECT_EQ(tb->geographic(0)->next_hop(1), 1);
+}
+
+TEST_F(RoutingFixture, GeographicNoRouteBeyondDeadEnd) {
+  make_line(3);
+  // Unknown destination (no beacon, no survey hint): no route.
+  EXPECT_FALSE(tb->geographic(0)->next_hop(77).has_value());
+}
+
+TEST_F(RoutingFixture, GeographicRespectsBlacklist) {
+  make_line(3);
+  ASSERT_EQ(tb->geographic(0)->next_hop(3), 2);
+  tb->node(0).neighbors().set_blacklisted(2, true);
+  // Node 2 blacklisted: greedy has no usable progress from node 1.
+  EXPECT_FALSE(tb->geographic(0)->next_hop(3).has_value());
+  tb->node(0).neighbors().set_blacklisted(2, false);
+  EXPECT_EQ(tb->geographic(0)->next_hop(3), 2);
+}
+
+TEST_F(RoutingFixture, GeographicEndToEndDelivery) {
+  make_line(5);
+  std::vector<std::uint8_t> got;
+  net::Addr got_src = 0;
+  tb->node(4).stack().subscribe(
+      42, [&](const net::NetPacket& p, const net::LinkContext&) {
+        got = p.payload;
+        got_src = p.src;
+      });
+  ASSERT_TRUE(tb->geographic(0)->send(5, 42, {1, 2, 3}));
+  tb->sim().run_for(sim::SimTime::ms(500));
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(got_src, 1);
+}
+
+TEST_F(RoutingFixture, PaddingCollectsPerHopEntries) {
+  make_line(5);
+  std::vector<net::PadEntry> padding;
+  tb->node(4).stack().subscribe(
+      42, [&](const net::NetPacket& p, const net::LinkContext&) {
+        padding = p.padding;
+      });
+  ASSERT_TRUE(tb->geographic(0)->send(5, 42, {0}, /*padding=*/true));
+  tb->sim().run_for(sim::SimTime::ms(500));
+  // 4 hops → 4 padding entries, each with plausible measurements.
+  ASSERT_EQ(padding.size(), 4u);
+  for (const auto& e : padding) {
+    EXPECT_GE(e.lqi, 50);
+    EXPECT_LE(e.lqi, 110);
+    EXPECT_LT(e.rssi, 0);  // register units, below 0 at these powers
+  }
+}
+
+TEST_F(RoutingFixture, PaddingStopsAtBudget) {
+  make_line(4);
+  std::vector<net::PadEntry> padding;
+  bool got = false;
+  tb->node(3).stack().subscribe(
+      42, [&](const net::NetPacket& p, const net::LinkContext&) {
+        padding = p.padding;
+        got = true;
+      });
+  // A 60-byte app payload plus the 2-byte routing envelope fills 62 of
+  // the 64-byte budget: room for exactly one padding entry.
+  ASSERT_TRUE(tb->geographic(0)->send(
+      4, 42, std::vector<std::uint8_t>(60, 0xaa), /*padding=*/true));
+  tb->sim().run_for(sim::SimTime::ms(500));
+  ASSERT_TRUE(got);
+  EXPECT_EQ(padding.size(), 1u);  // budget exhausted after the first hop
+}
+
+TEST_F(RoutingFixture, LoopbackDelivery) {
+  make_line(2);
+  bool got = false;
+  tb->node(0).stack().subscribe(
+      42, [&](const net::NetPacket& p, const net::LinkContext& ctx) {
+        got = ctx.local && p.src == 1 && p.dst == 1;
+      });
+  ASSERT_TRUE(tb->geographic(0)->send(1, 42, {5}));
+  tb->sim().run_for(sim::SimTime::ms(100));
+  EXPECT_TRUE(got);
+  EXPECT_EQ(tb->geographic(0)->stats().delivered, 1u);
+}
+
+TEST_F(RoutingFixture, TtlExhaustionDropsPacket) {
+  make_line(5);
+  bool got = false;
+  tb->node(4).stack().subscribe(
+      42, [&](const net::NetPacket&, const net::LinkContext&) { got = true; });
+  // Hand-craft a packet with ttl 1: it dies after the second hop.
+  net::NetPacket p;
+  p.src = 1;
+  p.dst = 5;
+  p.port = net::kPortGeographic;
+  p.ttl = 1;
+  p.payload = make_data_envelope(42, std::vector<std::uint8_t>{1});
+  tb->node(0).stack().send_link(2, p);
+  tb->sim().run_for(sim::SimTime::ms(500));
+  EXPECT_FALSE(got);
+  EXPECT_GE(tb->geographic(1)->stats().forwarded +
+                tb->geographic(2)->stats().dropped_ttl,
+            1u);
+}
+
+TEST_F(RoutingFixture, FloodingDeliversWithoutRoutes) {
+  make_line(4, 2, /*flooding=*/true);
+  int deliveries = 0;
+  tb->node(3).stack().subscribe(
+      42, [&](const net::NetPacket&, const net::LinkContext&) {
+        ++deliveries;
+      });
+  ASSERT_TRUE(tb->flooding(0)->send(4, 42, {7}));
+  tb->sim().run_for(sim::SimTime::ms(500));
+  EXPECT_EQ(deliveries, 1);  // duplicate suppression at the destination
+  EXPECT_FALSE(tb->flooding(0)->next_hop(4).has_value());
+}
+
+TEST_F(RoutingFixture, FloodingSuppressesDuplicateForwards) {
+  make_line(4, 2, /*flooding=*/true);
+  tb->accounting().reset();
+  ASSERT_TRUE(tb->flooding(0)->send(4, 42, {7}));
+  tb->sim().run_for(sim::SimTime::ms(500));
+  // Each node rebroadcasts at most once: ≤ n transmissions on the port.
+  const auto c = tb->accounting().for_port(42);
+  EXPECT_LE(c.packets, 4u);
+  EXPECT_GE(c.packets, 3u);
+}
+
+TEST_F(RoutingFixture, TreeConvergesTowardRoot) {
+  make_line(5, 2, false, /*tree=*/true);
+  // Warm-up ran 6 s with 2 s advertisements: gradient must have formed.
+  for (int i = 1; i < 5; ++i) {
+    ASSERT_TRUE(tb->tree(static_cast<std::size_t>(i))->has_route())
+        << "node " << i + 1;
+    EXPECT_EQ(tb->tree(static_cast<std::size_t>(i))->parent(),
+              static_cast<net::Addr>(i))
+        << "node " << i + 1;
+  }
+  // Path cost grows monotonically away from the root.
+  EXPECT_LT(tb->tree(1)->path_cost(), tb->tree(3)->path_cost());
+}
+
+TEST_F(RoutingFixture, TreeDeliversToRoot) {
+  make_line(5, 2, false, /*tree=*/true);
+  std::vector<std::uint8_t> got;
+  tb->node(0).stack().subscribe(
+      42, [&](const net::NetPacket& p, const net::LinkContext&) {
+        got = p.payload;
+      });
+  ASSERT_TRUE(tb->tree(4)->send(1, 42, {3, 2, 1}));
+  tb->sim().run_for(sim::SimTime::ms(500));
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{3, 2, 1}));
+}
+
+TEST_F(RoutingFixture, TreeHasNoRouteToNonRoot) {
+  make_line(5, 2, false, true);
+  // Collection tree: no unicast route to an arbitrary non-neighbor.
+  EXPECT_FALSE(tb->tree(4)->next_hop(2).has_value());
+  // But direct neighbors still work.
+  EXPECT_EQ(tb->tree(4)->next_hop(4), 4);
+}
+
+TEST_F(RoutingFixture, TreeReroutesAroundBlacklistedParent) {
+  make_line(3, 2, false, true);
+  ASSERT_EQ(tb->tree(2)->parent(), 2);
+  // Blacklist node 3's parent (node 2). The stale parent link is only
+  // abandoned after the staleness window; advertisements from node 2 are
+  // ignored once blacklisted.
+  tb->node(2).neighbors().set_blacklisted(2, true);
+  tb->sim().run_for(sim::SimTime::sec(10));
+  // With its only upstream blacklisted, node 3 loses the route (a line
+  // has no alternative parent at equal depth).
+  EXPECT_FALSE(tb->tree(2)->next_hop(1).has_value());
+}
+
+}  // namespace
+}  // namespace liteview::routing

@@ -1,0 +1,155 @@
+// Unit tests for the discrete-event simulator core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace liteview::sim {
+namespace {
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(SimTime::us(5).nanoseconds(), 5'000);
+  EXPECT_EQ(SimTime::ms(2).nanoseconds(), 2'000'000);
+  EXPECT_EQ(SimTime::sec(1).nanoseconds(), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(SimTime::ms(4).milliseconds(), 4.0);
+  EXPECT_EQ(SimTime::us_f(1.5).nanoseconds(), 1'500);
+}
+
+TEST(SimTime, Arithmetic) {
+  const auto a = SimTime::ms(3);
+  const auto b = SimTime::ms(1);
+  EXPECT_EQ((a + b).milliseconds(), 4.0);
+  EXPECT_EQ((a - b).milliseconds(), 2.0);
+  EXPECT_EQ((b * 5).milliseconds(), 5.0);
+  EXPECT_LT(b, a);
+}
+
+TEST(SimTime, ToString) {
+  EXPECT_EQ(SimTime::us_f(4700).to_string(), "4.7 ms");
+  EXPECT_EQ(SimTime::us(12).to_string(), "12.0 us");
+  EXPECT_EQ(SimTime::ns(999).to_string(), "999 ns");
+  EXPECT_EQ(SimTime::sec(2).to_string(), "2.000 s");
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::ms(30), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::ms(10), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::ms(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, FifoAmongSameTimeEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime::ms(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen;
+  sim.schedule_in(SimTime::ms(7), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, SimTime::ms(7));
+}
+
+TEST(Simulator, RunUntilStopsBeforeLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::ms(10), [&] { ++fired; });
+  sim.schedule_at(SimTime::ms(30), [&] { ++fired; });
+  sim.run_until(SimTime::ms(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), SimTime::ms(20));  // clock reaches the limit
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunForComposes) {
+  Simulator sim;
+  sim.run_for(SimTime::ms(5));
+  sim.run_for(SimTime::ms(5));
+  EXPECT_EQ(sim.now(), SimTime::ms(10));
+}
+
+TEST(Simulator, CancelledEventDoesNotFire) {
+  Simulator sim;
+  bool fired = false;
+  auto h = sim.schedule_in(SimTime::ms(1), [&] { fired = true; });
+  h.cancel();
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(h.cancelled());
+}
+
+TEST(Simulator, EventsScheduledDuringExecutionRun) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_in(SimTime::ms(1), recurse);
+  };
+  sim.schedule_in(SimTime::ms(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), SimTime::ms(5));
+}
+
+TEST(Simulator, ScheduleEveryRepeatsUntilCancelled) {
+  Simulator sim;
+  int count = 0;
+  auto h = sim.schedule_every(SimTime::ms(10), [&] { ++count; });
+  sim.run_until(SimTime::ms(55));
+  EXPECT_EQ(count, 5);
+  h.cancel();
+  sim.run_until(SimTime::ms(200));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, ScheduleEveryCancelFromWithinCallback) {
+  Simulator sim;
+  int count = 0;
+  sim::EventHandle h;
+  h = sim.schedule_every(SimTime::ms(1), [&] {
+    if (++count == 3) h.cancel();
+  });
+  sim.run_until(SimTime::ms(100));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, StepExecutesSingleEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(SimTime::ms(1), [&] { ++fired; });
+  sim.schedule_in(SimTime::ms(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_in(SimTime::ms(i + 1), [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 7u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  // Two simulators with the same seed see identical RNG streams.
+  Simulator a(99), b(99);
+  auto ra = a.rng_root().stream("x");
+  auto rb = b.rng_root().stream("x");
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(ra.next_u64(), rb.next_u64());
+}
+
+}  // namespace
+}  // namespace liteview::sim

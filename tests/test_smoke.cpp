@@ -1,0 +1,59 @@
+// End-to-end smoke tests: bring up a testbed, run the paper's commands.
+#include <gtest/gtest.h>
+
+#include "testbed/testbed.hpp"
+
+namespace liteview {
+namespace {
+
+TEST(Smoke, TwoNodePingOverShell) {
+  auto tb = testbed::Testbed::paper_line(2, 7);
+  tb->warm_up();
+
+  auto& shell = tb->shell();
+  ASSERT_TRUE(shell.cd("192.168.0.1"));
+  EXPECT_EQ(shell.pwd(), "/sn01/192.168.0.1");
+
+  const std::string out = shell.execute("ping 192.168.0.2 round=1 length=32");
+  SCOPED_TRACE(out);
+  EXPECT_NE(out.find("Pinging 192.168.0.2 with 1 packets"), std::string::npos);
+  EXPECT_NE(out.find("RTT = "), std::string::npos);
+  EXPECT_NE(out.find("Received = 1"), std::string::npos);
+}
+
+TEST(Smoke, LineTracerouteOverGeographic) {
+  auto tb = testbed::Testbed::paper_line(4, 11);
+  tb->warm_up();
+
+  auto& shell = tb->shell();
+  ASSERT_TRUE(shell.cd("192.168.0.1"));
+  const std::string out =
+      shell.execute("traceroute 192.168.0.4 round=1 length=32 port=10");
+  SCOPED_TRACE(out);
+  EXPECT_NE(out.find("Name of protocol: geographic forwarding"),
+            std::string::npos);
+  EXPECT_NE(out.find("Reply from 192.168.0.4"), std::string::npos);
+  EXPECT_NE(out.find("Received = 1"), std::string::npos);
+}
+
+TEST(Smoke, NeighborListAndRadioConfig) {
+  auto tb = testbed::Testbed::paper_line(3, 3);
+  tb->warm_up();
+
+  auto& shell = tb->shell();
+  ASSERT_TRUE(shell.cd("192.168.0.2"));
+  shell.execute("neighborsetup");
+  const std::string nbrs = shell.execute("list");
+  SCOPED_TRACE(nbrs);
+  EXPECT_NE(nbrs.find("192.168.0.1"), std::string::npos);
+  EXPECT_NE(nbrs.find("192.168.0.3"), std::string::npos);
+  shell.execute("exit");
+
+  const std::string power = shell.execute("power");
+  EXPECT_NE(power.find("Power = 10"), std::string::npos);
+  const std::string chan = shell.execute("channel");
+  EXPECT_NE(chan.find("Channel = 17"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace liteview

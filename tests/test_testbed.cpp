@@ -1,0 +1,156 @@
+// Tests for the testbed substrate: topology builders, the deterministic
+// site survey, spacing math, and packet accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "testbed/testbed.hpp"
+
+namespace liteview::testbed {
+namespace {
+
+TEST(Spacing, AdjacencyFormulaInvertsPathLoss) {
+  phy::PropagationConfig prop;
+  prop.exponent = 4.0;
+  prop.pl0_db = 40.0;
+  const double d = adjacency_spacing_m(prop, 10, 7.0);
+  // At that distance the mean RX must equal sensitivity + margin.
+  const double pl = prop.pl0_db + 10.0 * prop.exponent * std::log10(d);
+  EXPECT_NEAR(phy::pa_level_to_dbm(10) - pl, phy::kSensitivityDbm + 7.0,
+              1e-9);
+  // Higher power → larger spacing; higher margin → smaller spacing.
+  EXPECT_GT(adjacency_spacing_m(prop, 25, 7.0), d);
+  EXPECT_LT(adjacency_spacing_m(prop, 10, 10.0), d);
+}
+
+TEST(Topology, LinePositions) {
+  auto tb = Testbed::line(4, 10.0, Testbed::paper_config(1));
+  ASSERT_EQ(tb->size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(tb->node(i).position().x, 10.0 * i, 1e-9);
+    EXPECT_NEAR(tb->node(i).position().y, 0.0, 1e-9);
+    EXPECT_EQ(tb->addr(i), i + 1);
+    EXPECT_EQ(tb->node(i).name(),
+              kernel::ip_style_name(static_cast<std::uint16_t>(i + 1)));
+  }
+  EXPECT_EQ(&tb->node_by_addr(3), &tb->node(2));
+}
+
+TEST(Topology, GridPositions) {
+  auto tb = Testbed::grid(2, 3, 5.0, Testbed::paper_config(1));
+  ASSERT_EQ(tb->size(), 6u);
+  // Row-major: node index 4 = row 1, col 1.
+  EXPECT_NEAR(tb->node(4).position().x, 5.0, 1e-9);
+  EXPECT_NEAR(tb->node(4).position().y, 5.0, 1e-9);
+}
+
+TEST(Topology, RandomSquareRespectsMinSpacing) {
+  auto tb = Testbed::random_square(12, 50.0, 6.0, Testbed::paper_config(3));
+  ASSERT_EQ(tb->size(), 12u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    const auto p = tb->node(i).position();
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 50.0);
+    for (std::size_t j = i + 1; j < 12; ++j) {
+      EXPECT_GE(p.distance_to(tb->node(j).position()), 6.0)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(Survey, PaperLineGuaranteesAdjacency) {
+  for (std::uint64_t seed : {1ull, 42ull, 777ull}) {
+    auto tb = Testbed::paper_line(9, seed);
+    const double tx =
+        phy::pa_level_to_dbm(tb->config().initial_power);
+    for (int i = 0; i + 1 < 9; ++i) {
+      const auto a = static_cast<phy::RadioId>(i);
+      const auto b = static_cast<phy::RadioId>(i + 1);
+      EXPECT_GE(tb->medium().mean_rx_power_dbm(a, b, tx),
+                phy::kSensitivityDbm + 4.0);
+      EXPECT_GE(tb->medium().mean_rx_power_dbm(b, a, tx),
+                phy::kSensitivityDbm + 4.0);
+    }
+    for (int i = 0; i + 2 < 9; ++i) {
+      const auto a = static_cast<phy::RadioId>(i);
+      const auto b = static_cast<phy::RadioId>(i + 2);
+      EXPECT_LE(tb->medium().mean_rx_power_dbm(a, b, tx),
+                phy::kSensitivityDbm - 1.0);
+    }
+  }
+}
+
+TEST(Survey, DeterministicSeedChoice) {
+  auto a = Testbed::paper_line(5, 9);
+  auto b = Testbed::paper_line(5, 9);
+  EXPECT_EQ(a->config().seed, b->config().seed);
+}
+
+TEST(Survey, PaperGridGuaranteesEightConnectivity) {
+  auto tb = Testbed::paper_grid(3, 3, 4);
+  const double tx = phy::pa_level_to_dbm(tb->config().initial_power);
+  const double s = Testbed::paper_grid_spacing_m();
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = 0; j < 9; ++j) {
+      if (i == j) continue;
+      const double d =
+          tb->node(i).position().distance_to(tb->node(j).position());
+      if (d < 1.5 * s) {
+        EXPECT_GE(tb->medium().mean_rx_power_dbm(
+                      static_cast<phy::RadioId>(i),
+                      static_cast<phy::RadioId>(j), tx),
+                  phy::kSensitivityDbm + 4.0)
+            << i << "->" << j;
+      }
+    }
+  }
+}
+
+TEST(Accounting, CountsPerEffectivePort) {
+  auto tb = Testbed::paper_line(3, 6);
+  tb->warm_up();
+  tb->accounting().reset();
+  tb->node(2).stack().subscribe(
+      60, [](const net::NetPacket&, const net::LinkContext&) {});
+  ASSERT_TRUE(tb->geographic(0)->send(3, 60, {1}));
+  tb->sim().run_for(sim::SimTime::ms(300));
+  // Two link transmissions of the routed packet, attributed to port 60.
+  EXPECT_EQ(tb->accounting().for_port(60).packets, 2u);
+  EXPECT_GT(tb->accounting().for_port(60).bytes, 0u);
+  EXPECT_GE(tb->accounting().total().packets, 2u);
+}
+
+TEST(Accounting, NonBeaconExcludesBeacons) {
+  auto tb = Testbed::paper_line(2, 7);
+  tb->warm_up();
+  const auto total = tb->accounting().total();
+  const auto beacons = tb->accounting().for_port(net::kPortBeacon);
+  const auto rest = tb->accounting().non_beacon();
+  EXPECT_EQ(rest.packets, total.packets - beacons.packets);
+  EXPECT_GT(beacons.packets, 0u);
+}
+
+TEST(Replicate, PreservesSeedOrder) {
+  const auto out = bench::replicate<std::uint64_t>(
+      6, 100, [](std::uint64_t seed) { return seed; });
+  ASSERT_EQ(out.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)],
+              100ull + static_cast<std::uint64_t>(i) * 101);
+  }
+}
+
+TEST(Workstation, SetAllPowerCoversDeploymentAndBase) {
+  auto tb = Testbed::paper_line(3, 8);
+  tb->set_all_power(25);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(tb->node(i).pa_level(), 25);
+  }
+  // The workstation keeps whispering regardless of deployment power.
+  EXPECT_EQ(tb->workstation().node().pa_level(),
+            tb->config().workstation_power);
+}
+
+}  // namespace
+}  // namespace liteview::testbed

@@ -1,0 +1,166 @@
+// Tests for the traceroute command: per-hop task cascade (paper Fig. 4),
+// report streaming, failure reporting, protocol independence.
+#include <gtest/gtest.h>
+
+#include "liteview/traceroute.hpp"
+#include "testbed/testbed.hpp"
+
+namespace liteview::lv {
+namespace {
+
+struct TrFixture : ::testing::Test {
+  void make(int n, std::uint64_t seed = 2) {
+    tb = testbed::Testbed::paper_line(n, seed);
+    tb->warm_up();
+  }
+  struct Run {
+    std::vector<TracerouteReportMsg> reports;
+    std::optional<TracerouteDoneMsg> done;
+  };
+  Run run_traceroute(std::size_t node_idx, TracerouteParams p) {
+    Run out;
+    tb->suite(node_idx).traceroute().run(
+        p,
+        [&](const TracerouteReportMsg& r) { out.reports.push_back(r); },
+        [&](const TracerouteDoneMsg& d) { out.done = d; });
+    tb->sim().run_for(p.total_timeout + sim::SimTime::sec(1));
+    return out;
+  }
+  std::unique_ptr<testbed::Testbed> tb;
+};
+
+TEST(TrParams, FullSyntax) {
+  kernel::AddressBook book;
+  book.add("192.168.0.3", 3);
+  const auto p =
+      parse_traceroute_params("192.168.0.3 round=1 length=32 port=10", &book);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->dst, 3);
+  EXPECT_EQ(p->rounds, 1);
+  EXPECT_EQ(p->length, 32);
+  EXPECT_EQ(p->routing_port, 10);
+}
+
+TEST(TrParams, DefaultPortIsGeographic) {
+  const auto p = parse_traceroute_params("5", nullptr);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->routing_port, net::kPortGeographic);
+}
+
+TEST(TrParams, RejectsBadInput) {
+  EXPECT_FALSE(parse_traceroute_params("", nullptr).has_value());
+  EXPECT_FALSE(parse_traceroute_params("5 port=300", nullptr).has_value());
+  EXPECT_FALSE(parse_traceroute_params("5 length=65", nullptr).has_value());
+}
+
+TEST_F(TrFixture, EveryHopReportsOnCleanPath) {
+  make(5, 2);
+  TracerouteParams p;
+  p.dst = 5;
+  const auto run = run_traceroute(0, p);
+  ASSERT_TRUE(run.done.has_value());
+  ASSERT_EQ(run.reports.size(), 4u);
+  // Hop k's report names node k+2 as its far end ("Reply from ...").
+  for (std::size_t k = 0; k < run.reports.size(); ++k) {
+    const auto& r = run.reports[k];
+    EXPECT_TRUE(r.reached);
+    EXPECT_EQ(r.prober, static_cast<net::Addr>(k + 1));
+    EXPECT_EQ(r.next, static_cast<net::Addr>(k + 2));
+    EXPECT_EQ(r.hop_index, static_cast<std::uint8_t>(k));
+    EXPECT_GT(r.rtt_us, 1'000u);
+    EXPECT_LT(r.rtt_us, 50'000u);
+    EXPECT_GE(r.lqi_fwd, 50);
+    EXPECT_GE(r.lqi_bwd, 50);
+  }
+  EXPECT_TRUE(run.reports.back().is_final);
+  EXPECT_EQ(run.done->protocol_name, "geographic forwarding");
+  EXPECT_EQ(run.done->received, 4);
+}
+
+TEST_F(TrFixture, PerHopRttsAreSingleLink) {
+  // The paper stresses traceroute RTTs are per-hop, not end-to-end: hop
+  // RTTs on an 8-hop path stay in the single-link range.
+  make(9, 2);
+  TracerouteParams p;
+  p.dst = 9;
+  const auto run = run_traceroute(0, p);
+  for (const auto& r : run.reports) {
+    if (r.reached) EXPECT_LT(r.rtt_us, 60'000u) << "hop " << int(r.hop_index);
+  }
+  ASSERT_GE(run.reports.size(), 6u);  // most of 8 hops reported
+}
+
+TEST_F(TrFixture, DeadEndReportsUnreached) {
+  make(3, 2);
+  // Sever the 2→3 link in both directions: the trace dead-ends at hop 2.
+  tb->medium().set_drop_filter([&](phy::RadioId from, phy::RadioId to) {
+    const auto r2 = tb->node(1).mac().radio_id();
+    const auto r3 = tb->node(2).mac().radio_id();
+    return (from == r2 && to == r3) || (from == r3 && to == r2);
+  });
+  TracerouteParams p;
+  p.dst = 3;
+  p.hop_timeout = sim::SimTime::ms(150);
+  const auto run = run_traceroute(0, p);
+  ASSERT_GE(run.reports.size(), 2u);
+  EXPECT_TRUE(run.reports[0].reached);   // 1 → 2 fine
+  EXPECT_FALSE(run.reports[1].reached);  // 2 → 3 dead
+  ASSERT_TRUE(run.done.has_value());
+}
+
+TEST_F(TrFixture, NoRouteReportsImmediately) {
+  make(2, 2);
+  TracerouteParams p;
+  p.dst = 77;  // unknown: geographic forwarding has no position for it
+  p.total_timeout = sim::SimTime::sec(2);
+  const auto run = run_traceroute(0, p);
+  ASSERT_EQ(run.reports.size(), 1u);
+  EXPECT_FALSE(run.reports[0].reached);
+  EXPECT_EQ(run.reports[0].prober, 1);
+}
+
+TEST_F(TrFixture, ReportsStreamInAscendingHopOrderMostly) {
+  make(9, 4);
+  TracerouteParams p;
+  p.dst = 9;
+  const auto run = run_traceroute(0, p);
+  ASSERT_GE(run.reports.size(), 6u);
+  // Hop 0's local report must be first; later reports may reorder only
+  // slightly (queueing), mirroring the paper's Fig. 5 discussion.
+  EXPECT_EQ(run.reports.front().hop_index, 0);
+}
+
+TEST_F(TrFixture, TracerouteToDirectNeighborIsOneHop) {
+  make(3, 2);
+  TracerouteParams p;
+  p.dst = 2;
+  const auto run = run_traceroute(0, p);
+  ASSERT_EQ(run.reports.size(), 1u);
+  EXPECT_TRUE(run.reports[0].is_final);
+  EXPECT_EQ(run.reports[0].next, 2);
+  ASSERT_TRUE(run.done.has_value());
+  EXPECT_EQ(run.done->hops, 1);
+}
+
+TEST_F(TrFixture, ConcurrentTracesFromDifferentSources) {
+  make(5, 5);
+  Run a, b;
+  TracerouteParams p;
+  p.dst = 5;
+  tb->suite(0).traceroute().run(
+      p, [&](const TracerouteReportMsg& r) { a.reports.push_back(r); },
+      [&](const TracerouteDoneMsg& d) { a.done = d; });
+  TracerouteParams q;
+  q.dst = 1;
+  tb->suite(4).traceroute().run(
+      q, [&](const TracerouteReportMsg& r) { b.reports.push_back(r); },
+      [&](const TracerouteDoneMsg& d) { b.done = d; });
+  tb->sim().run_for(sim::SimTime::sec(8));
+  ASSERT_TRUE(a.done.has_value());
+  ASSERT_TRUE(b.done.has_value());
+  // Both traces make progress despite contending for the same channel.
+  EXPECT_GE(a.reports.size() + b.reports.size(), 5u);
+}
+
+}  // namespace
+}  // namespace liteview::lv

@@ -1,0 +1,303 @@
+// Unit tests for src/util: RNG streams, byte codecs, CRC, strings, stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <set>
+
+#include "util/bytes.hpp"
+#include "util/crc16.hpp"
+#include "util/dbm.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace liteview::util {
+namespace {
+
+// ---- rng -------------------------------------------------------------
+
+TEST(Rng, SameSeedSameStream) {
+  RngRoot root(42);
+  auto a = root.stream("mac.backoff");
+  auto b = root.stream("mac.backoff");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentNamesIndependent) {
+  RngRoot root(42);
+  auto a = root.stream("alpha");
+  auto b = root.stream("beta");
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, IndexedStreamsIndependent) {
+  RngRoot root(7);
+  auto s0 = root.stream("node", 0);
+  auto s1 = root.stream("node", 1);
+  EXPECT_NE(s0.next_u64(), s1.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  RngRoot root(1);
+  auto s = root.stream("u");
+  for (int i = 0; i < 1000; ++i) {
+    const double v = s.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  RngRoot root(1);
+  auto s = root.stream("ui");
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = s.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values reachable
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  RngRoot root(1);
+  auto s = root.stream("c");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(s.chance(0.0));
+    EXPECT_TRUE(s.chance(1.0));
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  RngRoot root(9);
+  auto s = root.stream("n");
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = s.normal(10.0, 2.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double stdev = std::sqrt(sum2 / n - mean * mean);
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(stdev, 2.0, 0.1);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  RngRoot root(3);
+  auto parent1 = root.stream("p");
+  auto parent2 = root.stream("p");
+  auto c1 = parent1.fork("child");
+  auto c2 = parent2.fork("child");
+  EXPECT_EQ(c1.next_u64(), c2.next_u64());
+}
+
+// ---- bytes ------------------------------------------------------------
+
+TEST(Bytes, RoundTripAllWidths) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.i8(-5);
+  w.u16(0xbeef);
+  w.i16(-1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.str8("hello");
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.i8(), -5);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.i16(), -1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.str8(), "hello");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, ReaderUnderrunSetsStickyError) {
+  const std::uint8_t buf[1] = {0x55};
+  ByteReader r({buf, 1});
+  EXPECT_EQ(r.u16(), 0);  // needs 2 bytes
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0);  // error is sticky
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter w;
+  w.u16(0x1234);
+  EXPECT_EQ(w.data()[0], 0x34);
+  EXPECT_EQ(w.data()[1], 0x12);
+}
+
+TEST(Bytes, Str8TruncatesAt255) {
+  ByteWriter w;
+  w.str8(std::string(300, 'x'));
+  ByteReader r(w.data());
+  EXPECT_EQ(r.str8().size(), 255u);
+}
+
+TEST(Bytes, SkipAndRest) {
+  ByteWriter w;
+  for (int i = 0; i < 10; ++i) w.u8(static_cast<std::uint8_t>(i));
+  ByteReader r(w.data());
+  r.skip(4);
+  EXPECT_EQ(r.u8(), 4);
+  EXPECT_EQ(r.rest().size(), 5u);
+}
+
+// ---- crc16 ------------------------------------------------------------
+
+TEST(Crc16, KnownVector) {
+  // CRC-16/XMODEM ("123456789") = 0x31C3 — same polynomial/init as the
+  // 802.15.4 FCS.
+  const char* s = "123456789";
+  const auto crc = crc16_ccitt(
+      {reinterpret_cast<const std::uint8_t*>(s), std::strlen(s)});
+  EXPECT_EQ(crc, 0x31c3);
+}
+
+TEST(Crc16, EmptyIsInit) {
+  EXPECT_EQ(crc16_ccitt({}), 0x0000);
+  EXPECT_EQ(crc16_ccitt({}, 0xffff), 0xffff);
+}
+
+TEST(Crc16, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 64; ++i) data.push_back(static_cast<std::uint8_t>(i * 7));
+  Crc16 inc;
+  for (auto b : data) inc.update(b);
+  EXPECT_EQ(inc.value(), crc16_ccitt(data));
+}
+
+TEST(Crc16, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> data(32, 0xa5);
+  const auto good = crc16_ccitt(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    auto copy = data;
+    copy[i] ^= 0x01;
+    EXPECT_NE(crc16_ccitt(copy), good) << "flip at byte " << i;
+  }
+}
+
+// ---- strings -----------------------------------------------------------
+
+TEST(Strings, SplitWs) {
+  const auto t = split_ws("  ping   192.168.0.2  round=1 ");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "ping");
+  EXPECT_EQ(t[1], "192.168.0.2");
+  EXPECT_EQ(t[2], "round=1");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto t = split("a..b", '.');
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[1], "");
+}
+
+TEST(Strings, ParseIntRejectsGarbage) {
+  EXPECT_EQ(parse_int("123"), 123);
+  EXPECT_EQ(parse_int(" 45 "), 45);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_FALSE(parse_int("12x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("4.5").has_value());
+}
+
+TEST(Strings, CommandLineParsing) {
+  const auto cl =
+      parse_command_line("ping 192.168.0.2 round=1 length=32 port=10");
+  EXPECT_EQ(cl.command, "ping");
+  ASSERT_EQ(cl.positional.size(), 1u);
+  EXPECT_EQ(cl.positional[0], "192.168.0.2");
+  EXPECT_EQ(cl.option_int("round"), 1);
+  EXPECT_EQ(cl.option_int("length"), 32);
+  EXPECT_EQ(cl.option_int("port"), 10);
+  EXPECT_FALSE(cl.option_int("nope").has_value());
+  EXPECT_EQ(cl.option_int_or("nope", 9), 9);
+}
+
+TEST(Strings, CommandLineBadOptionValue) {
+  const auto cl = parse_command_line("ping x round=abc");
+  EXPECT_FALSE(cl.option_int("round").has_value());      // parse error
+  EXPECT_FALSE(cl.option_int_or("round", 5).has_value());  // not defaulted
+}
+
+TEST(Strings, FormatBasic) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format("%.1f", 4.66), "4.7");
+}
+
+// ---- dbm ----------------------------------------------------------------
+
+TEST(Dbm, RoundTrip) {
+  for (double dbm : {-95.0, -45.0, 0.0, 10.0}) {
+    EXPECT_NEAR(mw_to_dbm(dbm_to_mw(dbm)), dbm, 1e-9);
+  }
+}
+
+TEST(Dbm, AddEqualPowersGainsThreeDb) {
+  EXPECT_NEAR(dbm_add(-90.0, -90.0), -86.99, 0.02);
+}
+
+TEST(Dbm, AddDominatedByStronger) {
+  EXPECT_NEAR(dbm_add(-50.0, -90.0), -50.0, 0.01);
+}
+
+// ---- stats ---------------------------------------------------------------
+
+TEST(Stats, RunningBasics) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(Stats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i) * 10;
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, Percentiles) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_NEAR(p.median(), 50.5, 0.01);
+  EXPECT_NEAR(p.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(p.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(p.percentile(90), 90.1, 0.01);
+}
+
+TEST(Stats, EmptyAccumulatorsAreZero) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  Percentiles p;
+  EXPECT_EQ(p.median(), 0.0);
+}
+
+}  // namespace
+}  // namespace liteview::util
