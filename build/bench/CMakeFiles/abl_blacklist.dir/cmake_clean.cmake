@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_blacklist.dir/abl_blacklist.cpp.o"
+  "CMakeFiles/abl_blacklist.dir/abl_blacklist.cpp.o.d"
+  "abl_blacklist"
+  "abl_blacklist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_blacklist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_group_backoff.dir/abl_group_backoff.cpp.o"
+  "CMakeFiles/abl_group_backoff.dir/abl_group_backoff.cpp.o.d"
+  "abl_group_backoff"
+  "abl_group_backoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_group_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_padding.dir/abl_padding.cpp.o"
+  "CMakeFiles/abl_padding.dir/abl_padding.cpp.o.d"
+  "abl_padding"
+  "abl_padding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_protocols.dir/abl_protocols.cpp.o"
+  "CMakeFiles/abl_protocols.dir/abl_protocols.cpp.o.d"
+  "abl_protocols"
+  "abl_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

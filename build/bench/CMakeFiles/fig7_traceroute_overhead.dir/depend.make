@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_traceroute_overhead.
+# This may be replaced when dependencies are built.

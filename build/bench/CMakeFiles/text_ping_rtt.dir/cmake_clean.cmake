@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_ping_rtt.dir/text_ping_rtt.cpp.o"
+  "CMakeFiles/text_ping_rtt.dir/text_ping_rtt.cpp.o.d"
+  "text_ping_rtt"
+  "text_ping_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_ping_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_response_delay.dir/text_response_delay.cpp.o"
+  "CMakeFiles/text_response_delay.dir/text_response_delay.cpp.o.d"
+  "text_response_delay"
+  "text_response_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_response_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

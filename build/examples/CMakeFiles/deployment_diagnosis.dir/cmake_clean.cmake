@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_diagnosis.dir/deployment_diagnosis.cpp.o"
+  "CMakeFiles/deployment_diagnosis.dir/deployment_diagnosis.cpp.o.d"
+  "deployment_diagnosis"
+  "deployment_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/event_log.cpp" "src/kernel/CMakeFiles/lv_kernel.dir/event_log.cpp.o" "gcc" "src/kernel/CMakeFiles/lv_kernel.dir/event_log.cpp.o.d"
+  "/root/repo/src/kernel/naming.cpp" "src/kernel/CMakeFiles/lv_kernel.dir/naming.cpp.o" "gcc" "src/kernel/CMakeFiles/lv_kernel.dir/naming.cpp.o.d"
+  "/root/repo/src/kernel/neighbor_table.cpp" "src/kernel/CMakeFiles/lv_kernel.dir/neighbor_table.cpp.o" "gcc" "src/kernel/CMakeFiles/lv_kernel.dir/neighbor_table.cpp.o.d"
+  "/root/repo/src/kernel/node.cpp" "src/kernel/CMakeFiles/lv_kernel.dir/node.cpp.o" "gcc" "src/kernel/CMakeFiles/lv_kernel.dir/node.cpp.o.d"
+  "/root/repo/src/kernel/process.cpp" "src/kernel/CMakeFiles/lv_kernel.dir/process.cpp.o" "gcc" "src/kernel/CMakeFiles/lv_kernel.dir/process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/lv_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/lv_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_kernel.dir/event_log.cpp.o"
+  "CMakeFiles/lv_kernel.dir/event_log.cpp.o.d"
+  "CMakeFiles/lv_kernel.dir/naming.cpp.o"
+  "CMakeFiles/lv_kernel.dir/naming.cpp.o.d"
+  "CMakeFiles/lv_kernel.dir/neighbor_table.cpp.o"
+  "CMakeFiles/lv_kernel.dir/neighbor_table.cpp.o.d"
+  "CMakeFiles/lv_kernel.dir/node.cpp.o"
+  "CMakeFiles/lv_kernel.dir/node.cpp.o.d"
+  "CMakeFiles/lv_kernel.dir/process.cpp.o"
+  "CMakeFiles/lv_kernel.dir/process.cpp.o.d"
+  "liblv_kernel.a"
+  "liblv_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

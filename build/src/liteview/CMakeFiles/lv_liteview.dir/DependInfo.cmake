@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/liteview/interpreter.cpp" "src/liteview/CMakeFiles/lv_liteview.dir/interpreter.cpp.o" "gcc" "src/liteview/CMakeFiles/lv_liteview.dir/interpreter.cpp.o.d"
+  "/root/repo/src/liteview/messages.cpp" "src/liteview/CMakeFiles/lv_liteview.dir/messages.cpp.o" "gcc" "src/liteview/CMakeFiles/lv_liteview.dir/messages.cpp.o.d"
+  "/root/repo/src/liteview/ping.cpp" "src/liteview/CMakeFiles/lv_liteview.dir/ping.cpp.o" "gcc" "src/liteview/CMakeFiles/lv_liteview.dir/ping.cpp.o.d"
+  "/root/repo/src/liteview/reliable.cpp" "src/liteview/CMakeFiles/lv_liteview.dir/reliable.cpp.o" "gcc" "src/liteview/CMakeFiles/lv_liteview.dir/reliable.cpp.o.d"
+  "/root/repo/src/liteview/runtime_controller.cpp" "src/liteview/CMakeFiles/lv_liteview.dir/runtime_controller.cpp.o" "gcc" "src/liteview/CMakeFiles/lv_liteview.dir/runtime_controller.cpp.o.d"
+  "/root/repo/src/liteview/traceroute.cpp" "src/liteview/CMakeFiles/lv_liteview.dir/traceroute.cpp.o" "gcc" "src/liteview/CMakeFiles/lv_liteview.dir/traceroute.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/lv_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/lv_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/lv_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/lv_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

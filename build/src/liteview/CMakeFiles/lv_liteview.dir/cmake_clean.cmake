@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_liteview.dir/interpreter.cpp.o"
+  "CMakeFiles/lv_liteview.dir/interpreter.cpp.o.d"
+  "CMakeFiles/lv_liteview.dir/messages.cpp.o"
+  "CMakeFiles/lv_liteview.dir/messages.cpp.o.d"
+  "CMakeFiles/lv_liteview.dir/ping.cpp.o"
+  "CMakeFiles/lv_liteview.dir/ping.cpp.o.d"
+  "CMakeFiles/lv_liteview.dir/reliable.cpp.o"
+  "CMakeFiles/lv_liteview.dir/reliable.cpp.o.d"
+  "CMakeFiles/lv_liteview.dir/runtime_controller.cpp.o"
+  "CMakeFiles/lv_liteview.dir/runtime_controller.cpp.o.d"
+  "CMakeFiles/lv_liteview.dir/traceroute.cpp.o"
+  "CMakeFiles/lv_liteview.dir/traceroute.cpp.o.d"
+  "liblv_liteview.a"
+  "liblv_liteview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_liteview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_mac.dir/csma.cpp.o"
+  "CMakeFiles/lv_mac.dir/csma.cpp.o.d"
+  "CMakeFiles/lv_mac.dir/frame.cpp.o"
+  "CMakeFiles/lv_mac.dir/frame.cpp.o.d"
+  "liblv_mac.a"
+  "liblv_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/lv_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/lv_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/stack.cpp" "src/net/CMakeFiles/lv_net.dir/stack.cpp.o" "gcc" "src/net/CMakeFiles/lv_net.dir/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mac/CMakeFiles/lv_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/lv_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_net.dir/packet.cpp.o"
+  "CMakeFiles/lv_net.dir/packet.cpp.o.d"
+  "CMakeFiles/lv_net.dir/stack.cpp.o"
+  "CMakeFiles/lv_net.dir/stack.cpp.o.d"
+  "liblv_net.a"
+  "liblv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/ber.cpp" "src/phy/CMakeFiles/lv_phy.dir/ber.cpp.o" "gcc" "src/phy/CMakeFiles/lv_phy.dir/ber.cpp.o.d"
+  "/root/repo/src/phy/cc2420.cpp" "src/phy/CMakeFiles/lv_phy.dir/cc2420.cpp.o" "gcc" "src/phy/CMakeFiles/lv_phy.dir/cc2420.cpp.o.d"
+  "/root/repo/src/phy/energy.cpp" "src/phy/CMakeFiles/lv_phy.dir/energy.cpp.o" "gcc" "src/phy/CMakeFiles/lv_phy.dir/energy.cpp.o.d"
+  "/root/repo/src/phy/medium.cpp" "src/phy/CMakeFiles/lv_phy.dir/medium.cpp.o" "gcc" "src/phy/CMakeFiles/lv_phy.dir/medium.cpp.o.d"
+  "/root/repo/src/phy/propagation.cpp" "src/phy/CMakeFiles/lv_phy.dir/propagation.cpp.o" "gcc" "src/phy/CMakeFiles/lv_phy.dir/propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

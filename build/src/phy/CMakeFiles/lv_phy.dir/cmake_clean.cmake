@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_phy.dir/ber.cpp.o"
+  "CMakeFiles/lv_phy.dir/ber.cpp.o.d"
+  "CMakeFiles/lv_phy.dir/cc2420.cpp.o"
+  "CMakeFiles/lv_phy.dir/cc2420.cpp.o.d"
+  "CMakeFiles/lv_phy.dir/energy.cpp.o"
+  "CMakeFiles/lv_phy.dir/energy.cpp.o.d"
+  "CMakeFiles/lv_phy.dir/medium.cpp.o"
+  "CMakeFiles/lv_phy.dir/medium.cpp.o.d"
+  "CMakeFiles/lv_phy.dir/propagation.cpp.o"
+  "CMakeFiles/lv_phy.dir/propagation.cpp.o.d"
+  "liblv_phy.a"
+  "liblv_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

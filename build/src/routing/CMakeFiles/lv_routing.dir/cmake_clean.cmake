@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_routing.dir/flooding.cpp.o"
+  "CMakeFiles/lv_routing.dir/flooding.cpp.o.d"
+  "CMakeFiles/lv_routing.dir/geographic.cpp.o"
+  "CMakeFiles/lv_routing.dir/geographic.cpp.o.d"
+  "CMakeFiles/lv_routing.dir/protocol.cpp.o"
+  "CMakeFiles/lv_routing.dir/protocol.cpp.o.d"
+  "CMakeFiles/lv_routing.dir/tree.cpp.o"
+  "CMakeFiles/lv_routing.dir/tree.cpp.o.d"
+  "liblv_routing.a"
+  "liblv_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_sim.dir/simulator.cpp.o"
+  "CMakeFiles/lv_sim.dir/simulator.cpp.o.d"
+  "liblv_sim.a"
+  "liblv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_testbed.dir/accounting.cpp.o"
+  "CMakeFiles/lv_testbed.dir/accounting.cpp.o.d"
+  "CMakeFiles/lv_testbed.dir/passive_monitor.cpp.o"
+  "CMakeFiles/lv_testbed.dir/passive_monitor.cpp.o.d"
+  "CMakeFiles/lv_testbed.dir/testbed.cpp.o"
+  "CMakeFiles/lv_testbed.dir/testbed.cpp.o.d"
+  "liblv_testbed.a"
+  "liblv_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

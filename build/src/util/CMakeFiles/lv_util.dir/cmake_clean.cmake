@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_util.dir/bytes.cpp.o"
+  "CMakeFiles/lv_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/lv_util.dir/crc16.cpp.o"
+  "CMakeFiles/lv_util.dir/crc16.cpp.o.d"
+  "CMakeFiles/lv_util.dir/dbm.cpp.o"
+  "CMakeFiles/lv_util.dir/dbm.cpp.o.d"
+  "CMakeFiles/lv_util.dir/log.cpp.o"
+  "CMakeFiles/lv_util.dir/log.cpp.o.d"
+  "CMakeFiles/lv_util.dir/rng.cpp.o"
+  "CMakeFiles/lv_util.dir/rng.cpp.o.d"
+  "CMakeFiles/lv_util.dir/stats.cpp.o"
+  "CMakeFiles/lv_util.dir/stats.cpp.o.d"
+  "CMakeFiles/lv_util.dir/strings.cpp.o"
+  "CMakeFiles/lv_util.dir/strings.cpp.o.d"
+  "liblv_util.a"
+  "liblv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_passive_monitor.dir/test_passive_monitor.cpp.o"
+  "CMakeFiles/test_passive_monitor.dir/test_passive_monitor.cpp.o.d"
+  "test_passive_monitor"
+  "test_passive_monitor.pdb"
+  "test_passive_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_passive_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

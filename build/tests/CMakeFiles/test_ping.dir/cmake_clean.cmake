@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ping.dir/test_ping.cpp.o"
+  "CMakeFiles/test_ping.dir/test_ping.cpp.o.d"
+  "test_ping"
+  "test_ping.pdb"
+  "test_ping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

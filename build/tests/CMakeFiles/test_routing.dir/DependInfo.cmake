@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/test_routing.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/test_routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/lv_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/liteview/CMakeFiles/lv_liteview.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/lv_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/lv_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/lv_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/lv_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
