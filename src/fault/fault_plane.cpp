@@ -1,0 +1,259 @@
+#include "fault/fault_plane.hpp"
+
+#include <algorithm>
+
+#include "util/bytes.hpp"
+
+namespace liteview::fault {
+
+FaultPlane::FaultPlane(sim::Simulator& sim, phy::Medium& medium)
+    : sim_(sim),
+      medium_(medium),
+      churn_rng_(sim.rng_root().stream("fault.churn")) {
+  medium_.set_fault_interceptor(this);
+}
+
+FaultPlane::~FaultPlane() {
+  if (medium_.fault_interceptor() == this) {
+    medium_.set_fault_interceptor(nullptr);
+  }
+}
+
+void FaultPlane::add_node(kernel::Node& node) {
+  nodes_[node.address()] = &node;
+  radio_to_addr_[node.mac().radio_id()] = node.address();
+}
+
+kernel::Node* FaultPlane::find_node(net::Addr addr) const {
+  const auto it = nodes_.find(addr);
+  return it == nodes_.end() ? nullptr : it->second;
+}
+
+void FaultPlane::record(FaultKind kind, std::uint32_t a, std::uint32_t b) {
+  trace_.push_back(FaultEvent{sim_.now().nanoseconds(), kind, a, b});
+}
+
+FaultPlane::LinkState& FaultPlane::link_state(phy::RadioId from,
+                                              phy::RadioId to) {
+  return links_[link_key(from, to)];
+}
+
+void FaultPlane::set_link_burst(net::Addr from, net::Addr to,
+                                const GilbertElliottConfig& ge) {
+  kernel::Node* nf = find_node(from);
+  kernel::Node* nt = find_node(to);
+  if (nf == nullptr || nt == nullptr) return;
+  LinkState& ls =
+      link_state(nf->mac().radio_id(), nt->mac().radio_id());
+  ls.ge = ge;
+  ls.has_ge = true;
+  ls.bad = false;
+  // Stream keyed by *addresses*, so the chain's draws are stable even if
+  // radio attach order changes between builds of the same deployment.
+  ls.rng = sim_.rng_root().stream(
+      "fault.link",
+      (static_cast<std::uint64_t>(from) << 16) | to);
+}
+
+void FaultPlane::set_link_burst_all(const GilbertElliottConfig& ge) {
+  for (const auto& [from, nf] : nodes_) {
+    for (const auto& [to, nt] : nodes_) {
+      if (from != to) set_link_burst(from, to, ge);
+    }
+  }
+}
+
+void FaultPlane::set_link_down(net::Addr from, net::Addr to, bool down) {
+  kernel::Node* nf = find_node(from);
+  kernel::Node* nt = find_node(to);
+  if (nf == nullptr || nt == nullptr) return;
+  link_state(nf->mac().radio_id(), nt->mac().radio_id()).down = down;
+  if (down) record(FaultKind::kLinkDown, from, to);
+}
+
+void FaultPlane::crash_now(net::Addr addr) {
+  kernel::Node* node = find_node(addr);
+  if (node == nullptr || !node->powered()) return;
+  node->power_down();
+  record(FaultKind::kCrash, addr);
+  ++stats_[addr].crashes;
+}
+
+void FaultPlane::reboot_now(net::Addr addr) {
+  kernel::Node* node = find_node(addr);
+  if (node == nullptr || node->powered()) return;
+  record(FaultKind::kReboot, addr);
+  ++stats_[addr].reboots;
+  node->power_up();
+}
+
+void FaultPlane::crash_at(net::Addr addr, sim::SimTime when,
+                          sim::SimTime downtime) {
+  sim_.schedule_at(when, [this, addr, downtime] {
+    crash_now(addr);
+    if (downtime > sim::SimTime::zero()) {
+      sim_.schedule_in(downtime, [this, addr] { reboot_now(addr); });
+    }
+  });
+}
+
+void FaultPlane::jam(phy::Channel channel, sim::SimTime start,
+                     sim::SimTime duration) {
+  const sim::SimTime end = start + duration;
+  jams_.push_back(JamWindow{channel, start, end});
+  sim_.schedule_at(start,
+                   [this, channel] { record(FaultKind::kJamStart, channel); });
+  sim_.schedule_at(end, [this, channel, end] {
+    record(FaultKind::kJamEnd, channel);
+    std::erase_if(jams_, [&](const JamWindow& w) {
+      return w.channel == channel && w.end <= end;
+    });
+  });
+}
+
+void FaultPlane::churn_tick(std::vector<net::Addr> pool, sim::SimTime period,
+                            sim::SimTime downtime, sim::SimTime until) {
+  if (sim_.now() > until) return;
+  // Pick one currently-powered victim; draw even when none qualify so
+  // the stream's consumption doesn't depend on transient power state.
+  const auto pick = static_cast<std::size_t>(churn_rng_.uniform_int(
+      0, static_cast<std::int64_t>(pool.size()) - 1));
+  const net::Addr victim = pool[pick];
+  if (kernel::Node* node = find_node(victim);
+      node != nullptr && node->powered()) {
+    crash_now(victim);
+    if (downtime > sim::SimTime::zero()) {
+      sim_.schedule_in(downtime, [this, victim] { reboot_now(victim); });
+    }
+  }
+  const sim::SimTime next = sim_.now() + period;
+  if (next <= until) {
+    sim_.schedule_at(next, [this, pool, period, downtime, until] {
+      churn_tick(pool, period, downtime, until);
+    });
+  }
+}
+
+void FaultPlane::churn(std::vector<net::Addr> pool, sim::SimTime period,
+                       sim::SimTime downtime, sim::SimTime until) {
+  if (pool.empty()) return;
+  sim_.schedule_at(sim_.now() + period,
+                   [this, pool, period, downtime, until] {
+                     churn_tick(pool, period, downtime, until);
+                   });
+}
+
+bool FaultPlane::load(const Scenario& scenario) {
+  const auto known = [&](net::Addr a) { return find_node(a) != nullptr; };
+  for (const auto& d : scenario.bursts) {
+    if (!d.all_links && (!known(d.from) || !known(d.to))) return false;
+  }
+  for (const auto& d : scenario.crashes) {
+    if (!known(d.node)) return false;
+  }
+  for (const auto& d : scenario.link_downs) {
+    if (!known(d.from) || !known(d.to)) return false;
+  }
+  for (const auto& d : scenario.churns) {
+    for (net::Addr a : d.pool) {
+      if (!known(a)) return false;
+    }
+  }
+
+  for (const auto& d : scenario.bursts) {
+    if (d.all_links) {
+      set_link_burst_all(d.ge);
+    } else {
+      set_link_burst(d.from, d.to, d.ge);
+    }
+  }
+  for (const auto& d : scenario.crashes) crash_at(d.node, d.at, d.downtime);
+  for (const auto& d : scenario.jams) jam(d.channel, d.at, d.duration);
+  for (const auto& d : scenario.link_downs) set_link_down(d.from, d.to);
+  for (const auto& d : scenario.churns) {
+    churn(d.pool, d.period, d.downtime, d.until);
+  }
+  return true;
+}
+
+bool FaultPlane::should_drop(phy::RadioId from, phy::RadioId to,
+                             phy::Channel channel) {
+  const auto addr_of = [&](phy::RadioId r) -> std::uint32_t {
+    const auto it = radio_to_addr_.find(r);
+    return it == radio_to_addr_.end() ? 0 : it->second;
+  };
+
+  bool drop = false;
+  const sim::SimTime now = sim_.now();
+  for (const auto& jw : jams_) {
+    if (jw.channel == channel && now >= jw.start && now < jw.end) {
+      drop = true;
+      break;
+    }
+  }
+
+  if (!drop) {
+    const auto it = links_.find(link_key(from, to));
+    if (it != links_.end()) {
+      LinkState& ls = it->second;
+      if (ls.down) {
+        drop = true;
+      } else if (ls.has_ge) {
+        // Advance the Gilbert–Elliott chain one frame, then sample the
+        // state's loss probability.
+        if (ls.bad) {
+          if (ls.rng.chance(ls.ge.p_bad_to_good)) {
+            ls.bad = false;
+            record(FaultKind::kBurstLeave, addr_of(from), addr_of(to));
+          }
+        } else if (ls.rng.chance(ls.ge.p_good_to_bad)) {
+          ls.bad = true;
+          record(FaultKind::kBurstEnter, addr_of(from), addr_of(to));
+          ++stats_[static_cast<net::Addr>(addr_of(to))].bursts;
+        }
+        drop = ls.rng.chance(ls.bad ? ls.ge.loss_bad : ls.ge.loss_good);
+      }
+    }
+  }
+
+  if (drop) {
+    record(FaultKind::kDrop, addr_of(from), addr_of(to));
+    ++stats_[static_cast<net::Addr>(addr_of(to))].frames_dropped;
+  }
+  return drop;
+}
+
+std::vector<std::uint8_t> FaultPlane::trace_bytes() const {
+  util::ByteWriter w;
+  for (const auto& e : trace_) {
+    w.u32(static_cast<std::uint32_t>(e.t_ns & 0xffffffff));
+    w.u32(static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(e.t_ns) >> 32));
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.u32(e.a);
+    w.u32(e.b);
+  }
+  return std::move(w).take();
+}
+
+const FaultStats& FaultPlane::stats(net::Addr node) const {
+  return stats_[node];
+}
+
+FaultStats FaultPlane::totals() const {
+  FaultStats t;
+  for (const auto& [addr, s] : stats_) {
+    t.crashes += s.crashes;
+    t.reboots += s.reboots;
+    t.frames_dropped += s.frames_dropped;
+    t.bursts += s.bursts;
+  }
+  return t;
+}
+
+bool FaultPlane::node_powered(net::Addr node) const {
+  const kernel::Node* n = find_node(node);
+  return n != nullptr && n->powered();
+}
+
+}  // namespace liteview::fault

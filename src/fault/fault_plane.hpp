@@ -1,0 +1,151 @@
+// Deterministic fault injection for the whole diagnosis stack.
+//
+// The FaultPlane sits between the physics (phy::Medium) and the nodes it
+// torments: it implements the medium's delivery-time FaultInterceptor for
+// link-level pathologies (Gilbert–Elliott burst loss, jamming windows,
+// one-directional blackouts) and drives kernel::Node's power lifecycle
+// for node-level ones (crash, reboot, churn). All randomness comes from
+// named streams under the owning Simulator's RNG root, and every fault
+// decision is appended to an event trace — two runs with the same seed
+// and scenario produce byte-identical traces, which is what makes fault
+// scenarios usable as regression harnesses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/scenario.hpp"
+#include "kernel/node.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace liteview::fault {
+
+enum class FaultKind : std::uint8_t {
+  kDrop = 1,        ///< a=from addr, b=to addr — reception suppressed
+  kBurstEnter = 2,  ///< a=from, b=to — GE chain entered the bad state
+  kBurstLeave = 3,  ///< a=from, b=to — GE chain returned to good
+  kCrash = 4,       ///< a=node
+  kReboot = 5,      ///< a=node
+  kJamStart = 6,    ///< a=channel
+  kJamEnd = 7,      ///< a=channel
+  kLinkDown = 8,    ///< a=from, b=to — directed blackout installed
+};
+
+struct FaultEvent {
+  std::int64_t t_ns = 0;
+  FaultKind kind{};
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+/// Per-node fault/recovery counters, surfaced through the testbed so
+/// benches can report delivery ratio and recovery latency per scenario.
+struct FaultStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t reboots = 0;
+  /// Receptions addressed at this node suppressed by the fault plane.
+  std::uint64_t frames_dropped = 0;
+  /// GE bad-state entries on links into this node.
+  std::uint64_t bursts = 0;
+};
+
+class FaultPlane final : public phy::FaultInterceptor {
+ public:
+  FaultPlane(sim::Simulator& sim, phy::Medium& medium);
+  ~FaultPlane() override;
+
+  FaultPlane(const FaultPlane&) = delete;
+  FaultPlane& operator=(const FaultPlane&) = delete;
+
+  /// Register a node so address-keyed faults can reach it. The node must
+  /// outlive the FaultPlane.
+  void add_node(kernel::Node& node);
+
+  // ---- scripted faults (programmatic API) -----------------------------
+  /// Install a Gilbert–Elliott burst-loss chain on one directed link.
+  void set_link_burst(net::Addr from, net::Addr to,
+                      const GilbertElliottConfig& ge);
+  /// Same chain parameters on every directed link between registered
+  /// nodes (each link still gets an independent RNG stream).
+  void set_link_burst_all(const GilbertElliottConfig& ge);
+  /// Permanent one-directional blackout (link asymmetry). `down=false`
+  /// restores the link.
+  void set_link_down(net::Addr from, net::Addr to, bool down = true);
+  /// Crash `node` at absolute simulated time `when`; reboot after
+  /// `downtime` (zero = stays down).
+  void crash_at(net::Addr node, sim::SimTime when,
+                sim::SimTime downtime = sim::SimTime::zero());
+  /// Immediate crash/reboot (tests driving faults by hand).
+  void crash_now(net::Addr node);
+  void reboot_now(net::Addr node);
+  /// Jam every reception on `channel` during [start, start+duration).
+  void jam(phy::Channel channel, sim::SimTime start, sim::SimTime duration);
+  /// Random crash/reboot churn: every `period`, one random powered node
+  /// from `pool` crashes for `downtime`; stops at absolute time `until`.
+  void churn(std::vector<net::Addr> pool, sim::SimTime period,
+             sim::SimTime downtime, sim::SimTime until);
+
+  /// Apply a whole scenario (see scenario.hpp). Returns false when a
+  /// directive names an unregistered node.
+  bool load(const Scenario& scenario);
+
+  // ---- phy::FaultInterceptor ------------------------------------------
+  bool should_drop(phy::RadioId from, phy::RadioId to,
+                   phy::Channel channel) override;
+
+  // ---- observability ---------------------------------------------------
+  /// Every fault decision, in simulator order. Byte-identical across two
+  /// runs with the same seed + scenario (tests/test_fault.cpp holds this).
+  [[nodiscard]] const std::vector<FaultEvent>& trace() const noexcept {
+    return trace_;
+  }
+  /// Canonical serialization of trace() for determinism comparison.
+  [[nodiscard]] std::vector<std::uint8_t> trace_bytes() const;
+
+  [[nodiscard]] const FaultStats& stats(net::Addr node) const;
+  [[nodiscard]] FaultStats totals() const;
+  [[nodiscard]] bool node_powered(net::Addr node) const;
+
+ private:
+  struct LinkState {
+    GilbertElliottConfig ge;
+    bool bad = false;
+    bool down = false;  ///< hard one-directional blackout
+    util::RngStream rng;
+    bool has_ge = false;
+  };
+
+  struct JamWindow {
+    phy::Channel channel;
+    sim::SimTime start;
+    sim::SimTime end;
+  };
+
+  [[nodiscard]] static std::uint64_t link_key(phy::RadioId from,
+                                              phy::RadioId to) noexcept {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+  LinkState& link_state(phy::RadioId from, phy::RadioId to);
+  void record(FaultKind kind, std::uint32_t a, std::uint32_t b = 0);
+  [[nodiscard]] kernel::Node* find_node(net::Addr addr) const;
+  void churn_tick(std::vector<net::Addr> pool, sim::SimTime period,
+                  sim::SimTime downtime, sim::SimTime until);
+
+  sim::Simulator& sim_;
+  phy::Medium& medium_;
+  util::RngStream churn_rng_;
+
+  std::unordered_map<net::Addr, kernel::Node*> nodes_;
+  std::unordered_map<phy::RadioId, net::Addr> radio_to_addr_;
+  std::unordered_map<std::uint64_t, LinkState> links_;
+  std::vector<JamWindow> jams_;
+
+  std::vector<FaultEvent> trace_;
+  mutable std::map<net::Addr, FaultStats> stats_;
+};
+
+}  // namespace liteview::fault

@@ -1,0 +1,140 @@
+#include "fault/scenario.hpp"
+
+#include "util/strings.hpp"
+
+namespace liteview::fault {
+namespace {
+
+/// "1->2" → (1, 2); nullopt otherwise.
+std::optional<std::pair<net::Addr, net::Addr>> parse_link(
+    const std::string& token) {
+  const auto pos = token.find("->");
+  if (pos == std::string::npos) return std::nullopt;
+  const auto a = util::parse_int(token.substr(0, pos));
+  const auto b = util::parse_int(token.substr(pos + 2));
+  if (!a || !b || *a < 1 || *b < 1 || *a > 0xffff || *b > 0xffff) {
+    return std::nullopt;
+  }
+  return std::make_pair(static_cast<net::Addr>(*a),
+                        static_cast<net::Addr>(*b));
+}
+
+std::optional<double> option_double(const util::CommandLine& cl,
+                                    std::string_view key, double dflt) {
+  const auto s = cl.option_str(key);
+  if (!s) return dflt;
+  return util::parse_double(*s);
+}
+
+std::optional<sim::SimTime> option_duration(const util::CommandLine& cl,
+                                            std::string_view key,
+                                            sim::SimTime dflt) {
+  const auto s = cl.option_str(key);
+  if (!s) return dflt;
+  return parse_duration(*s);
+}
+
+}  // namespace
+
+std::optional<sim::SimTime> parse_duration(const std::string& token) {
+  std::size_t unit_at = token.size();
+  while (unit_at > 0 && !(token[unit_at - 1] >= '0' &&
+                          token[unit_at - 1] <= '9')) {
+    --unit_at;
+  }
+  const auto value = util::parse_int(token.substr(0, unit_at));
+  if (!value || *value < 0) return std::nullopt;
+  const std::string unit = token.substr(unit_at);
+  if (unit.empty() || unit == "ns") return sim::SimTime::ns(*value);
+  if (unit == "us") return sim::SimTime::us(*value);
+  if (unit == "ms") return sim::SimTime::ms(*value);
+  if (unit == "s") return sim::SimTime::sec(*value);
+  return std::nullopt;
+}
+
+std::optional<Scenario> parse_scenario(const std::string& text) {
+  Scenario sc;
+  for (const auto& raw_line : util::split(text, '\n')) {
+    std::string line = raw_line;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    if (util::trim(line).empty()) continue;
+    const auto cl = util::parse_command_line(line);
+
+    if (cl.command == "burst") {
+      if (cl.positional.size() != 1) return std::nullopt;
+      BurstDirective d;
+      if (cl.positional[0] == "*") {
+        d.all_links = true;
+      } else if (const auto link = parse_link(cl.positional[0])) {
+        d.from = link->first;
+        d.to = link->second;
+      } else {
+        return std::nullopt;
+      }
+      const auto pgb = option_double(cl, "pgb", 0.0);
+      const auto pbg = option_double(cl, "pbg", 1.0);
+      const auto lossb = option_double(cl, "lossb", 1.0);
+      const auto lossg = option_double(cl, "lossg", 0.0);
+      if (!pgb || !pbg || !lossb || !lossg) return std::nullopt;
+      d.ge = {*pgb, *pbg, *lossg, *lossb};
+      sc.bursts.push_back(d);
+    } else if (cl.command == "crash") {
+      if (cl.positional.size() != 1) return std::nullopt;
+      const auto node = util::parse_int(cl.positional[0]);
+      if (!node || *node < 1 || *node > 0xffff) return std::nullopt;
+      CrashDirective d;
+      d.node = static_cast<net::Addr>(*node);
+      const auto at = option_duration(cl, "at", sim::SimTime::zero());
+      const auto dur = option_duration(cl, "for", sim::SimTime::zero());
+      if (!at || !dur) return std::nullopt;
+      d.at = *at;
+      d.downtime = *dur;
+      sc.crashes.push_back(d);
+    } else if (cl.command == "jam") {
+      JamDirective d;
+      const auto ch = cl.option_int_or("ch", phy::kDefaultChannel);
+      if (!ch || *ch < phy::kMinChannel || *ch > phy::kMaxChannel) {
+        return std::nullopt;
+      }
+      d.channel = static_cast<phy::Channel>(*ch);
+      const auto at = option_duration(cl, "at", sim::SimTime::zero());
+      const auto dur = option_duration(cl, "for", sim::SimTime::zero());
+      if (!at || !dur || *dur <= sim::SimTime::zero()) return std::nullopt;
+      d.at = *at;
+      d.duration = *dur;
+      sc.jams.push_back(d);
+    } else if (cl.command == "linkdown") {
+      if (cl.positional.size() != 1) return std::nullopt;
+      const auto link = parse_link(cl.positional[0]);
+      if (!link) return std::nullopt;
+      sc.link_downs.push_back({link->first, link->second});
+    } else if (cl.command == "churn") {
+      if (cl.positional.size() != 1) return std::nullopt;
+      ChurnDirective d;
+      for (const auto& tok : util::split(cl.positional[0], ',')) {
+        const auto node = util::parse_int(tok);
+        if (!node || *node < 1 || *node > 0xffff) return std::nullopt;
+        d.pool.push_back(static_cast<net::Addr>(*node));
+      }
+      if (d.pool.empty()) return std::nullopt;
+      const auto period = option_duration(cl, "period", sim::SimTime::sec(10));
+      const auto down = option_duration(cl, "down", sim::SimTime::sec(1));
+      const auto until = option_duration(cl, "until", sim::SimTime::sec(60));
+      if (!period || !down || !until ||
+          *period <= sim::SimTime::zero()) {
+        return std::nullopt;
+      }
+      d.period = *period;
+      d.downtime = *down;
+      d.until = *until;
+      sc.churns.push_back(std::move(d));
+    } else {
+      return std::nullopt;
+    }
+  }
+  return sc;
+}
+
+}  // namespace liteview::fault

@@ -1,0 +1,108 @@
+// Scripted fault scenarios.
+//
+// A Scenario is the declarative half of the fault plane: a list of fault
+// directives (burst-loss links, crash/reboot schedules, jamming windows,
+// link asymmetry, churn) that FaultPlane::load() turns into simulator
+// events. Scenarios can be built programmatically or parsed from a small
+// line-oriented text format so benches and tests can keep their fault
+// scripts next to their code:
+//
+//   # Gilbert–Elliott burst loss on one directed link (or '*' for all)
+//   burst 1->2 pgb=0.15 pbg=0.35 lossb=1.0 lossg=0.0
+//   burst *    pgb=0.15 pbg=0.35
+//   # node 3 loses power at t=5s and reboots 10s later (omit for=.. to
+//   # keep it down for the rest of the run)
+//   crash 3 at=5s for=10s
+//   # channel-wide jamming window
+//   jam ch=26 at=2s for=500ms
+//   # permanent one-directional blackout (link asymmetry)
+//   linkdown 2->3
+//   # random crash/reboot churn over a node pool until t=60s
+//   churn 1,2,3,4 period=10s down=2s until=60s
+//
+// Durations accept ns/us/ms/s suffixes. '#' starts a comment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "phy/cc2420.hpp"
+#include "sim/time.hpp"
+
+namespace liteview::fault {
+
+/// Two-state Markov (Gilbert–Elliott) loss process for one directed
+/// link. The chain advances once per delivered frame; measurement
+/// studies (Fu et al.) show WSN links lose packets in exactly these
+/// correlated bursts rather than i.i.d. drops.
+struct GilbertElliottConfig {
+  double p_good_to_bad = 0.0;  ///< per-frame transition probability
+  double p_bad_to_good = 1.0;
+  double loss_good = 0.0;      ///< drop probability in the good state
+  double loss_bad = 1.0;       ///< drop probability in the bad state
+
+  /// Stationary loss rate of the chain (for sizing scenarios).
+  [[nodiscard]] double mean_loss() const noexcept {
+    const double denom = p_good_to_bad + p_bad_to_good;
+    if (denom <= 0.0) return loss_good;
+    const double pi_bad = p_good_to_bad / denom;
+    return (1.0 - pi_bad) * loss_good + pi_bad * loss_bad;
+  }
+};
+
+struct BurstDirective {
+  bool all_links = false;  ///< apply to every registered directed link
+  net::Addr from = 0;
+  net::Addr to = 0;
+  GilbertElliottConfig ge;
+};
+
+struct CrashDirective {
+  net::Addr node = 0;
+  sim::SimTime at;
+  /// Zero = never reboots.
+  sim::SimTime downtime;
+};
+
+struct JamDirective {
+  phy::Channel channel = phy::kDefaultChannel;
+  sim::SimTime at;
+  sim::SimTime duration;
+};
+
+struct LinkDownDirective {
+  net::Addr from = 0;
+  net::Addr to = 0;
+};
+
+struct ChurnDirective {
+  std::vector<net::Addr> pool;
+  sim::SimTime period;
+  sim::SimTime downtime;
+  sim::SimTime until;
+};
+
+struct Scenario {
+  std::vector<BurstDirective> bursts;
+  std::vector<CrashDirective> crashes;
+  std::vector<JamDirective> jams;
+  std::vector<LinkDownDirective> link_downs;
+  std::vector<ChurnDirective> churns;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return bursts.empty() && crashes.empty() && jams.empty() &&
+           link_downs.empty() && churns.empty();
+  }
+};
+
+/// Parse the text format above; nullopt on any malformed line.
+[[nodiscard]] std::optional<Scenario> parse_scenario(const std::string& text);
+
+/// Parse a duration token like "250ms", "2s", "800us", "100" (= ns).
+[[nodiscard]] std::optional<sim::SimTime> parse_duration(
+    const std::string& token);
+
+}  // namespace liteview::fault

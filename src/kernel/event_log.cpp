@@ -16,6 +16,9 @@ std::string_view to_string(EventCode code) noexcept {
     case EventCode::kRouteDropTtl: return "route-drop-ttl";
     case EventCode::kCommandExecuted: return "command-executed";
     case EventCode::kQueueOverflow: return "queue-overflow";
+    case EventCode::kCrashed: return "crashed";
+    case EventCode::kRebooted: return "rebooted";
+    case EventCode::kPeerDead: return "peer-dead";
   }
   return "unknown";
 }

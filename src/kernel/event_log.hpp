@@ -30,6 +30,9 @@ enum class EventCode : std::uint16_t {
   kRouteDropTtl = 10,      ///< arg: destination address
   kCommandExecuted = 11,   ///< arg: management message type
   kQueueOverflow = 12,     ///< arg: dropped packet's destination
+  kCrashed = 13,           ///< arg: node address (fault-plane power loss)
+  kRebooted = 14,          ///< arg: node address
+  kPeerDead = 15,          ///< arg: peer declared unreachable by transport
 };
 
 [[nodiscard]] std::string_view to_string(EventCode code) noexcept;

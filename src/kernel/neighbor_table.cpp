@@ -75,6 +75,12 @@ void NeighborTable::expire(sim::SimTime now) {
   });
 }
 
+bool NeighborTable::remove(net::Addr addr) {
+  return std::erase_if(entries_, [&](const NeighborEntry& e) {
+           return e.addr == addr && !e.blacklisted;
+         }) > 0;
+}
+
 bool NeighborTable::set_blacklisted(net::Addr addr, bool value) {
   if (NeighborEntry* e = find_mut(addr)) {
     e->blacklisted = value;

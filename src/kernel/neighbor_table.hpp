@@ -68,6 +68,12 @@ class NeighborTable {
   /// Drop entries older than max_age relative to `now`.
   void expire(sim::SimTime now);
 
+  /// Remove one entry immediately (dead-peer verdict from the transport
+  /// layer — faster than waiting for beacon aging). Blacklisted entries
+  /// stay: the blacklist is an explicit operator decision. Returns true
+  /// when an entry was removed.
+  bool remove(net::Addr addr);
+
   [[nodiscard]] const NeighborEntry* find(net::Addr addr) const;
 
   /// Set/clear the blacklist flag; false when the neighbor is unknown.

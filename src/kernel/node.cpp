@@ -84,7 +84,32 @@ void Node::set_channel(phy::Channel ch) {
   log_event(EventCode::kChannelChanged, ch);
 }
 
+void Node::power_down() {
+  if (!powered_) return;
+  powered_ = false;
+  beacon_timer_.cancel();
+  // Volatile kernel state dies with the power: neighbor table, parameter
+  // buffer, and the RAM event log. The address book and location hints
+  // survive — they model install-time flash configuration.
+  table_.clear();
+  param_buffer_.clear();
+  event_log_.clear();
+  mac_->set_radio_enabled(false);
+}
+
+void Node::power_up() {
+  if (powered_) return;
+  powered_ = true;
+  mac_->set_radio_enabled(true);
+  log_event(EventCode::kRebooted, cfg_.address);
+  // Fast rediscovery: announce immediately, then fall back into the
+  // jittered schedule.
+  send_beacon();
+  if (cfg_.beaconing) schedule_beacons();
+}
+
 void Node::send_beacon() {
+  if (!powered_) return;
   net::NetPacket pkt;
   pkt.src = cfg_.address;
   pkt.dst = net::kBroadcast;
@@ -96,6 +121,7 @@ void Node::send_beacon() {
 
 void Node::schedule_beacons() {
   beacon_timer_.cancel();
+  if (!powered_) return;
   // Random initial phase, and ±10% fresh jitter on every round: two
   // hidden nodes whose beacons collide at a common neighbor must not
   // keep colliding forever (fixed-phase beacons do exactly that).
@@ -128,7 +154,7 @@ void Node::set_beacon_period(sim::SimTime period) {
 }
 
 void Node::on_beacon(const net::NetPacket& pkt, const net::LinkContext& ctx) {
-  if (ctx.local || pkt.src == cfg_.address) return;
+  if (!powered_ || ctx.local || pkt.src == cfg_.address) return;
   const auto beacon = decode_beacon(pkt.payload);
   if (!beacon) return;
   const bool was_known = table_.find(pkt.src) != nullptr;

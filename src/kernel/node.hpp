@@ -107,6 +107,17 @@ class Node {
   void set_channel(phy::Channel ch);
   [[nodiscard]] phy::Channel channel() const { return mac_->channel(); }
 
+  // ---- power lifecycle (fault plane) ----------------------------------
+  /// Crash: the radio powers off (TX queue purged, receive path deaf),
+  /// the neighbor table and other volatile kernel state are wiped, and
+  /// the beacon service stops. In-flight messages are lost.
+  void power_down();
+  /// Reboot after a crash: radio back on, immediate beacon for fast
+  /// rediscovery, regular beacon schedule restarted. Volatile state was
+  /// lost at power_down time, as on a real mote.
+  void power_up();
+  [[nodiscard]] bool powered() const noexcept { return powered_; }
+
   // ---- beacon service -------------------------------------------------
   /// Change the beacon period at runtime (the `update` command).
   void set_beacon_period(sim::SimTime period);
@@ -152,6 +163,7 @@ class Node {
   EventLog event_log_;
   util::RngStream beacon_rng_;
   sim::EventHandle beacon_timer_;
+  bool powered_ = true;
 };
 
 }  // namespace liteview::kernel

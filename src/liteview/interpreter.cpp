@@ -384,9 +384,10 @@ std::string CommandInterpreter::cmd_traceroute(const util::CommandLine& cl) {
   for (const auto& tr : run.reports) {
     if (!tr.report.reached) {
       ++lost;
-      out += util::format("No reply for hop %u (from %s)\n",
+      out += util::format("No reply for hop %u (from %s): %s\n",
                           tr.report.hop_index + 1,
-                          name_of(tr.report.prober).c_str());
+                          name_of(tr.report.prober).c_str(),
+                          to_string(tr.report.fail_reason));
       continue;
     }
     ++received;

@@ -221,6 +221,15 @@ std::optional<PingResultMsg> decode_ping_result(
 
 // ---- traceroute ---------------------------------------------------------
 
+const char* to_string(TrFailReason r) {
+  switch (r) {
+    case TrFailReason::kNone: return "ok";
+    case TrFailReason::kNoRoute: return "no route";
+    case TrFailReason::kNoReply: return "no reply";
+  }
+  return "?";
+}
+
 std::vector<std::uint8_t> encode_body(const TracerouteReportMsg& b) {
   util::ByteWriter w;
   w.u16(b.task_id);
@@ -228,6 +237,7 @@ std::vector<std::uint8_t> encode_body(const TracerouteReportMsg& b) {
   w.u16(b.prober);
   w.u16(b.next);
   w.u8(b.reached ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(b.fail_reason));
   w.u32(b.rtt_us);
   w.u8(b.lqi_fwd);
   w.u8(b.lqi_bwd);
@@ -248,6 +258,7 @@ std::optional<TracerouteReportMsg> decode_traceroute_report(
   m.prober = r.u16();
   m.next = r.u16();
   m.reached = r.u8() != 0;
+  m.fail_reason = static_cast<TrFailReason>(r.u8());
   m.rtt_us = r.u32();
   m.lqi_fwd = r.u8();
   m.lqi_bwd = r.u8();

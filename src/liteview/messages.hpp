@@ -122,12 +122,24 @@ struct PingResultMsg {
 
 /// One traceroute hop report (paper Fig. 4 step 7: RTT + link quality of
 /// one hop, delivered to the source).
+/// Why a hop probe failed (reached == false). Lets the end user tell a
+/// routing hole ("no route") from a dead/unreachable next hop ("no
+/// reply") when reading a partial path.
+enum class TrFailReason : std::uint8_t {
+  kNone = 0,     ///< hop succeeded
+  kNoRoute = 1,  ///< prober has no next hop toward the destination
+  kNoReply = 2,  ///< next hop never answered the probe (crashed? jammed?)
+};
+
+[[nodiscard]] const char* to_string(TrFailReason r);
+
 struct TracerouteReportMsg {
   std::uint16_t task_id = 0;
   std::uint8_t hop_index = 0;     ///< 0-based index of the probed link
   net::Addr prober = 0;           ///< near end of the link
   net::Addr next = 0;             ///< far end ("Reply from <next>")
   bool reached = true;            ///< probe reply received?
+  TrFailReason fail_reason = TrFailReason::kNone;
   std::uint32_t rtt_us = 0;
   std::uint8_t lqi_fwd = 0, lqi_bwd = 0;
   std::int8_t rssi_fwd = 0, rssi_bwd = 0;

@@ -11,6 +11,15 @@ constexpr std::uint8_t kKindAck = 1;
 constexpr std::uint8_t kFlagAckRequest = 0x01;
 constexpr std::uint8_t kFlagNoAck = 0x02;
 
+// RFC 1982 serial-number order for the 16-bit msg_id space: `a` is newer
+// than `b` iff the forward distance b -> a is under half the space. Plain
+// `>` breaks at wraparound: after 65536 messages the counter reuses ids,
+// and a fresh message would compare "not newer" than last_completed and
+// be swallowed as a duplicate.
+constexpr bool serial_newer(std::uint16_t a, std::uint16_t b) {
+  return a != b && static_cast<std::uint16_t>(a - b) < 0x8000;
+}
+
 }  // namespace
 
 ReliableEndpoint::ReliableEndpoint(kernel::Node& node,
@@ -30,6 +39,7 @@ ReliableEndpoint::ReliableEndpoint(kernel::Node& node,
 
 ReliableEndpoint::~ReliableEndpoint() {
   timeout_.cancel();
+  sweep_timer_.cancel();
   node_.stack().unsubscribe(net::kPortMgmt);
 }
 
@@ -43,7 +53,12 @@ void ReliableEndpoint::send_message(net::Addr dst,
                                     SendCallback cb) {
   Outgoing out;
   out.dst = dst;
-  out.msg_id = next_msg_id_++;
+  // Per-peer sequential ids: the receiver's serial-number dedup relies on
+  // a fresh id being a *small* forward step past its last completion. Id
+  // 0 is skipped so a freshly default-constructed counter means "start".
+  auto& ctr = next_id_[dst];
+  if (ctr == 0) ctr = 1;
+  out.msg_id = ctr++;
   for (std::size_t off = 0; off < message.size();
        off += cfg_.frag_payload) {
     const std::size_t len =
@@ -82,10 +97,47 @@ bool ReliableEndpoint::broadcast(std::vector<std::uint8_t> message) {
 }
 
 void ReliableEndpoint::start_next() {
-  if (in_flight_ || queue_.empty()) return;
+  if (in_flight_) return;
+  fail_dead_peer_head();
+  if (queue_.empty()) return;
   in_flight_ = true;
   queue_.front().retries = 0;
   send_round();
+}
+
+bool ReliableEndpoint::peer_dead(net::Addr peer) const {
+  const auto it = dead_until_.find(peer);
+  return it != dead_until_.end() && node_.simulator().now() < it->second;
+}
+
+void ReliableEndpoint::declare_peer_dead(net::Addr peer) {
+  if (cfg_.dead_peer_cooldown <= sim::SimTime::zero()) return;
+  dead_until_[peer] = node_.simulator().now() + cfg_.dead_peer_cooldown;
+  node_.log_event(kernel::EventCode::kPeerDead, peer);
+  // A peer that exhausted the retry ladder is gone for routing purposes
+  // too: drop it from the neighbor table now rather than waiting out the
+  // beacon staleness timeout.
+  node_.neighbors().remove(peer);
+}
+
+void ReliableEndpoint::fail_dead_peer_head() {
+  // Fail queued messages to presumed-dead peers immediately instead of
+  // letting each stall the (single-in-flight) queue through a full retry
+  // ladder. The first message after the cooldown probes the peer again.
+  const sim::SimTime now = node_.simulator().now();
+  while (!queue_.empty()) {
+    const auto it = dead_until_.find(queue_.front().dst);
+    if (it == dead_until_.end()) return;
+    if (now >= it->second) {
+      dead_until_.erase(it);
+      return;
+    }
+    Outgoing dead = std::move(queue_.front());
+    queue_.pop_front();
+    ++stats_.messages_failed;
+    ++stats_.dead_peer_fastfails;
+    if (dead.cb) dead.cb(false);
+  }
 }
 
 std::vector<std::size_t> ReliableEndpoint::unacked(const Outgoing& m) const {
@@ -136,13 +188,30 @@ void ReliableEndpoint::send_round() {
     send_frag(msg, missing[k], /*ack_request=*/last,
               cfg_.frag_spacing * static_cast<std::int64_t>(k));
   }
-  // The ack timer covers the whole batch's airtime plus turnaround.
-  const auto window =
-      cfg_.frag_spacing * static_cast<std::int64_t>(batch) + cfg_.ack_timeout;
+  const auto window = retry_window(msg, batch);
   const std::uint16_t id = msg.msg_id;
   timeout_.cancel();
   timeout_ =
       node_.simulator().schedule_in(window, [this, id] { on_ack_timeout(id); });
+}
+
+sim::SimTime ReliableEndpoint::retry_window(const Outgoing& m,
+                                            std::size_t batch) {
+  // The ack timer covers the whole batch's airtime plus turnaround; on
+  // consecutive timeouts it backs off exponentially (a fixed timer lands
+  // every retry inside the same loss burst) with multiplicative jitter so
+  // endpoints that timed out together don't retry in lockstep.
+  const auto base =
+      cfg_.frag_spacing * static_cast<std::int64_t>(batch) + cfg_.ack_timeout;
+  double ns = static_cast<double>(base.nanoseconds());
+  const double cap = static_cast<double>(
+      std::max(base, cfg_.max_backoff).nanoseconds());
+  for (int i = 0; i < m.retries && ns < cap; ++i) ns *= cfg_.backoff_factor;
+  ns = std::min(ns, cap);
+  if (cfg_.backoff_jitter > 0) {
+    ns *= rng_.uniform(1.0, 1.0 + cfg_.backoff_jitter);
+  }
+  return sim::SimTime::ns(static_cast<std::int64_t>(ns));
 }
 
 void ReliableEndpoint::on_ack_timeout(std::uint16_t msg_id) {
@@ -156,6 +225,7 @@ void ReliableEndpoint::on_ack_timeout(std::uint16_t msg_id) {
         std::max(cfg_.min_batch, batch_size(msg.dst) / 2);
   }
   if (++msg.retries > cfg_.max_retries) {
+    declare_peer_dead(msg.dst);
     finish_current(false);
     return;
   }
@@ -206,15 +276,25 @@ void ReliableEndpoint::handle_data(net::Addr from, util::ByteReader& r,
     return;
   }
 
-  // Duplicate of an already-completed message: just re-ack completion.
+  // Duplicate of a recently completed message — or a serial-older
+  // straggler from one the sender has since moved past (messages to a
+  // peer go one at a time, in order) — just re-ack completion so the
+  // sender stops; never deliver twice or resurrect reassembly state.
+  // The recency bound keeps an ancient completion from swallowing the
+  // first fresh message after the 16-bit id space wraps around.
+  const sim::SimTime now = node_.simulator().now();
   const auto done_it = last_completed_.find(from);
-  if (done_it != last_completed_.end() && done_it->second == msg_id) {
+  if (done_it != last_completed_.end() &&
+      now - done_it->second.when < cfg_.dedup_window &&
+      !serial_newer(msg_id, done_it->second.id)) {
     if (flags & kFlagAckRequest) send_ack(from, msg_id, {});
     return;
   }
 
   auto& inc = incoming_[{from, msg_id}];
   if (inc.frags.empty()) inc.frags.resize(count);
+  inc.last_update = now;
+  arm_sweep();
   if (index < inc.frags.size() && !inc.frags[index]) {
     inc.frags[index] = std::move(chunk);
     ++inc.received;
@@ -227,7 +307,7 @@ void ReliableEndpoint::handle_data(net::Addr from, util::ByteReader& r,
       message.insert(message.end(), f->begin(), f->end());
     }
     incoming_.erase({from, msg_id});
-    last_completed_[from] = msg_id;
+    last_completed_[from] = {msg_id, now};
     send_ack(from, msg_id, {});
     if (handler_) handler_(from, message, was_broadcast);
     return;
@@ -245,6 +325,34 @@ void ReliableEndpoint::handle_data(net::Addr from, util::ByteReader& r,
     }
     send_ack(from, msg_id, missing);
   }
+}
+
+void ReliableEndpoint::arm_sweep() {
+  if (sweep_armed_ || incoming_.empty()) return;
+  if (cfg_.incoming_ttl <= sim::SimTime::zero()) return;
+  sweep_armed_ = true;
+  sweep_timer_ = node_.simulator().schedule_in(cfg_.incoming_ttl, [this] {
+    sweep_armed_ = false;
+    sweep_incoming();
+  });
+}
+
+void ReliableEndpoint::sweep_incoming() {
+  // Evict reassembly buffers whose sender went quiet for a full TTL: a
+  // crashed or perma-lossy peer never completes its message, and without
+  // the sweep every such attempt leaks a buffer forever. The timer only
+  // runs while incomplete buffers exist, so an idle endpoint schedules
+  // nothing and sim.run() can still drain.
+  const sim::SimTime now = node_.simulator().now();
+  for (auto it = incoming_.begin(); it != incoming_.end();) {
+    if (now - it->second.last_update >= cfg_.incoming_ttl) {
+      ++stats_.incoming_evicted;
+      it = incoming_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  arm_sweep();
 }
 
 void ReliableEndpoint::send_ack(net::Addr to, std::uint16_t msg_id,

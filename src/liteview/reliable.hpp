@@ -46,6 +46,31 @@ struct ReliableConfig {
   int max_retries = 8;
   /// Spacing between fragments within one batch (MAC queue pacing).
   sim::SimTime frag_spacing = sim::SimTime::ms(4);
+  /// Retry backoff: the ack wait grows by this factor per consecutive
+  /// timeout (fixed-timeout retransmission collapses under the burst
+  /// losses real WSN links exhibit — each retry lands in the same burst).
+  /// 1.0 restores the old fixed-timeout behavior.
+  double backoff_factor = 2.0;
+  /// Cap on the grown ack wait (bounds worst-case latency detection).
+  sim::SimTime max_backoff = sim::SimTime::sec(2);
+  /// Multiplicative jitter on every retry window: the wait is scaled by
+  /// uniform(1, 1 + backoff_jitter) so synchronized endpoints don't
+  /// retry in lockstep. 0 disables.
+  double backoff_jitter = 0.25;
+  /// Dead-peer verdict: after a message exhausts max_retries, queued and
+  /// new messages to that peer fail immediately for this long instead of
+  /// each stalling the queue through a full retry ladder. Zero disables.
+  sim::SimTime dead_peer_cooldown = sim::SimTime::sec(5);
+  /// Incomplete reassembly buffers not refreshed within this window are
+  /// evicted — without it, fragments from lossy or crashed peers leak
+  /// memory forever.
+  sim::SimTime incoming_ttl = sim::SimTime::sec(30);
+  /// Duplicate suppression horizon: a completed msg_id only swallows
+  /// retransmissions this recent. Retries die within seconds, but the
+  /// 16-bit id space wraps after 65536 messages — an unbounded horizon
+  /// would silently eat the first fresh message whose id collides with
+  /// an ancient completion.
+  sim::SimTime dedup_window = sim::SimTime::sec(60);
 };
 
 struct ReliableStats {
@@ -57,6 +82,10 @@ struct ReliableStats {
   std::uint64_t acks_sent = 0;
   std::uint64_t acks_received = 0;
   std::uint64_t timeouts = 0;
+  /// Messages failed instantly because their peer was presumed dead.
+  std::uint64_t dead_peer_fastfails = 0;
+  /// Stale incomplete reassembly buffers dropped by the TTL sweep.
+  std::uint64_t incoming_evicted = 0;
 };
 
 /// One endpoint of the reliable protocol. Both the workstation's base
@@ -91,6 +120,18 @@ class ReliableEndpoint {
   [[nodiscard]] kernel::Node& node() noexcept { return node_; }
   [[nodiscard]] const ReliableConfig& config() const noexcept { return cfg_; }
 
+  /// True while `peer` is under a dead-peer cooldown (messages fail fast).
+  [[nodiscard]] bool peer_dead(net::Addr peer) const;
+  /// Incomplete reassembly buffers currently held (TTL sweep observability).
+  [[nodiscard]] std::size_t pending_reassemblies() const noexcept {
+    return incoming_.size();
+  }
+  /// Test hook: force the next outgoing msg_id toward `peer` (simulates
+  /// the id space wrapping without sending 65536 messages).
+  void set_next_msg_id(net::Addr peer, std::uint16_t id) {
+    next_id_[peer] = id;
+  }
+
  private:
   struct Outgoing {
     net::Addr dst = 0;
@@ -105,6 +146,7 @@ class ReliableEndpoint {
   struct Incoming {
     std::vector<std::optional<std::vector<std::uint8_t>>> frags;
     std::size_t received = 0;
+    sim::SimTime last_update;  ///< refreshed per fragment; drives the TTL
   };
 
   void on_packet(const net::NetPacket& pkt, const net::LinkContext& ctx);
@@ -119,20 +161,38 @@ class ReliableEndpoint {
   void send_ack(net::Addr to, std::uint16_t msg_id,
                 const std::vector<std::uint8_t>& missing);
   [[nodiscard]] std::vector<std::size_t> unacked(const Outgoing& m) const;
+  void declare_peer_dead(net::Addr peer);
+  void fail_dead_peer_head();
+  [[nodiscard]] sim::SimTime retry_window(const Outgoing& m,
+                                          std::size_t batch);
+  void sweep_incoming();
+  void arm_sweep();
 
   kernel::Node& node_;
   ReliableConfig cfg_;
   MessageHandler handler_;
   util::RngStream rng_;
 
+  struct Completed {
+    std::uint16_t id = 0;
+    sim::SimTime when;  ///< bounds the dedup horizon across id wraparound
+  };
+
   std::deque<Outgoing> queue_;  ///< front = in flight
   bool in_flight_ = false;
+  /// Unicast ids are per-peer and sequential (dedup compares them in
+  /// serial-number order, which needs small forward distances); this
+  /// counter only numbers unacknowledged broadcasts.
   std::uint16_t next_msg_id_ = 1;
+  std::map<net::Addr, std::uint16_t> next_id_;
   sim::EventHandle timeout_;
 
   std::map<net::Addr, std::size_t> peer_batch_;
   std::map<std::pair<net::Addr, std::uint16_t>, Incoming> incoming_;
-  std::map<net::Addr, std::uint16_t> last_completed_;
+  std::map<net::Addr, Completed> last_completed_;
+  std::map<net::Addr, sim::SimTime> dead_until_;
+  sim::EventHandle sweep_timer_;
+  bool sweep_armed_ = false;
 
   ReliableStats stats_;
 };

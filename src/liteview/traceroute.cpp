@@ -262,6 +262,7 @@ void TracerouteProcess::begin_task(const TaskContext& task) {
   fail.hop_index = task.hop_index;
   fail.prober = node().address();
   fail.reached = false;
+  fail.fail_reason = TrFailReason::kNoRoute;
 
   if (proto == nullptr) {
     deliver_report_to_source(fail, task.origin, task.routing_port);
@@ -329,6 +330,7 @@ void TracerouteProcess::task_timeout() {
   report.prober = node().address();
   report.next = task_next_;
   report.reached = false;
+  report.fail_reason = TrFailReason::kNoReply;
   report.queue_near = task_queue_local_;
   report.is_final = (task_next_ == task_.final_dst);
   deliver_report_to_source(report, task_.origin, task_.routing_port);

@@ -24,9 +24,34 @@ void CsmaMac::set_position(phy::Position pos) {
   medium_.set_position(radio_, pos);
 }
 
+void CsmaMac::set_radio_enabled(bool enabled) {
+  if (enabled == enabled_) return;
+  enabled_ = enabled;
+  if (!enabled) {
+    // Power loss: everything queued dies. The head-of-line frame may
+    // already be mid-CSMA or on the air; its scheduled continuation
+    // checks enabled_ and finishes as a failure, so leave it queued for
+    // that chain to retire.
+    const std::size_t keep = busy_ ? 1 : 0;
+    while (queue_.size() > keep) {
+      Pending p = std::move(queue_.back());
+      queue_.pop_back();
+      ++stats_.dropped_radio_off;
+      if (p.cb) p.cb(false);
+    }
+    return;
+  }
+  maybe_start();
+}
+
 bool CsmaMac::send(ShortAddr dst, std::vector<std::uint8_t> payload,
                    SendCallback cb) {
   assert(payload.size() <= kMaxMacPayload);
+  if (!enabled_) {
+    ++stats_.dropped_radio_off;
+    if (cb) cb(false);
+    return false;
+  }
   if (queue_.size() >= cfg_.queue_capacity) {
     ++stats_.dropped_queue_full;
     if (cb) cb(false);
@@ -44,18 +69,28 @@ bool CsmaMac::send(ShortAddr dst, std::vector<std::uint8_t> payload,
 }
 
 void CsmaMac::maybe_start() {
-  if (busy_ || queue_.empty()) return;
+  if (busy_ || queue_.empty() || !enabled_) return;
   busy_ = true;
   sim_.schedule_in(cfg_.tx_proc_delay,
                    [this] { csma_attempt(0, cfg_.min_be); });
 }
 
 void CsmaMac::csma_attempt(std::uint8_t nb, std::uint8_t be) {
+  if (!enabled_) {
+    ++stats_.dropped_radio_off;
+    finish_head(false);
+    return;
+  }
   // Random backoff of [0, 2^BE - 1] unit periods, then an 8-symbol CCA.
   const auto slots = backoff_rng_.uniform_int(0, (1 << be) - 1);
   const auto backoff =
       sim::SimTime::us_f(static_cast<double>(slots) * phy::kBackoffUnitUs);
   sim_.schedule_in(backoff + sim::SimTime::us_f(phy::kCcaUs), [this, nb, be] {
+    if (!enabled_) {
+      ++stats_.dropped_radio_off;
+      finish_head(false);
+      return;
+    }
     if (medium_.cca_clear(radio_, cfg_.cca_threshold_dbm)) {
       // RX→TX turnaround after a clear CCA: the radio is committed and
       // blind during these 12 symbols — the collision vulnerability
@@ -79,6 +114,11 @@ void CsmaMac::csma_attempt(std::uint8_t nb, std::uint8_t be) {
 
 void CsmaMac::transmit_head() {
   assert(!queue_.empty());
+  if (!enabled_) {
+    ++stats_.dropped_radio_off;
+    finish_head(false);
+    return;
+  }
   const auto mpdu = encode_frame(queue_.front().frame);
   const auto air = phy::frame_airtime(static_cast<int>(mpdu.size()));
   medium_.transmit(radio_, phy::pa_level_to_dbm(pa_level_), mpdu);
@@ -100,6 +140,7 @@ void CsmaMac::finish_head(bool ok) {
 
 void CsmaMac::on_frame(const std::vector<std::uint8_t>& psdu,
                        const phy::RxInfo& info) {
+  if (!enabled_) return;  // powered-down radios are deaf
   auto decoded = decode_frame(psdu);
   if (!decoded) {
     ++stats_.rx_crc_failures;
@@ -116,7 +157,8 @@ void CsmaMac::on_frame(const std::vector<std::uint8_t>& psdu,
   auto frame = std::make_shared<MacFrame>(std::move(*decoded));
   const phy::RxInfo rx = info;
   sim_.schedule_in(cfg_.rx_proc_delay, [this, frame, rx] {
-    if (rx_handler_) rx_handler_(*frame, rx);
+    // A crash between arrival and dispatch loses the frame too.
+    if (rx_handler_ && enabled_) rx_handler_(*frame, rx);
   });
 }
 

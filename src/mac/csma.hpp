@@ -46,6 +46,7 @@ struct MacStats {
   std::uint64_t rx_delivered = 0;
   std::uint64_t rx_filtered = 0;  ///< frames addressed elsewhere
   std::uint64_t cca_busy = 0;
+  std::uint64_t dropped_radio_off = 0;  ///< frames lost to a power-down
 };
 
 class CsmaMac final : public phy::MediumClient {
@@ -74,6 +75,11 @@ class CsmaMac final : public phy::MediumClient {
   }
 
   // ---- radio control (the paper's "Radio Configurations" group) -------
+  /// Power the radio down/up (node crash/reboot in the fault plane).
+  /// Disabling purges the TX queue — in-flight commands are lost exactly
+  /// as on a real mote losing power — and makes the receive path deaf.
+  void set_radio_enabled(bool enabled);
+  [[nodiscard]] bool radio_enabled() const noexcept { return enabled_; }
   void set_pa_level(phy::PaLevel level) noexcept { pa_level_ = level; }
   [[nodiscard]] phy::PaLevel pa_level() const noexcept { return pa_level_; }
   void set_channel(phy::Channel ch);
@@ -130,6 +136,7 @@ class CsmaMac final : public phy::MediumClient {
   sim::SimTime created_;
   std::deque<Pending> queue_;
   bool busy_ = false;          ///< head-of-line frame in CSMA or on air
+  bool enabled_ = true;        ///< radio powered (false while crashed)
   std::uint8_t next_seq_ = 0;
   RxHandler rx_handler_;
   RxHandler promiscuous_;

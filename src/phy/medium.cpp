@@ -183,8 +183,16 @@ void Medium::deliver(std::uint64_t tx_seq,
     }
     // A radio that retuned mid-frame loses the frame.
     if (radios_[rx.to].channel != rx.channel) continue;
-    // Test-only failure injection.
-    if (drop_filter_ && drop_filter_(rx.from, rx.to)) continue;
+    // Injected failures: the test drop filter and the fault plane.
+    if (drop_filter_ && drop_filter_(rx.from, rx.to)) {
+      ++frames_dropped_fault_;
+      continue;
+    }
+    if (interceptor_ &&
+        interceptor_->should_drop(rx.from, rx.to, rx.channel)) {
+      ++frames_dropped_fault_;
+      continue;
+    }
 
     const double noise_mw = util::dbm_to_mw(kNoiseFloorDbm);
     const double sinr_db =

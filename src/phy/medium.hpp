@@ -58,6 +58,18 @@ struct SniffedFrame {
   std::span<const std::uint8_t> psdu;
 };
 
+/// Delivery-time fault hook. The fault plane (src/fault/) implements this
+/// to impose scripted pathologies — burst loss, jamming windows, link
+/// asymmetry — on top of the physics. Consulted once per (tx, rx) pair
+/// when the frame finishes arriving, after all interference bookkeeping,
+/// so fault drops never perturb SINR seen by other receivers.
+class FaultInterceptor {
+ public:
+  virtual ~FaultInterceptor() = default;
+  /// Return true to silently drop this reception (as if faded out).
+  virtual bool should_drop(RadioId from, RadioId to, Channel channel) = 0;
+};
+
 class Medium {
  public:
   Medium(sim::Simulator& sim, const PropagationConfig& prop_cfg);
@@ -101,9 +113,19 @@ class Medium {
 
   /// Failure injection for tests: when set, receptions for which the
   /// filter returns true are silently dropped (as if faded out). Applied
-  /// at delivery time, after all interference bookkeeping.
+  /// at delivery time, after all interference bookkeeping. For scripted
+  /// multi-fault scenarios use set_fault_interceptor instead.
   void set_drop_filter(std::function<bool(RadioId from, RadioId to)> f) {
     drop_filter_ = std::move(f);
+  }
+
+  /// Install the fault plane's delivery hook (nullptr to remove). Runs in
+  /// addition to any drop filter; either one can drop a reception.
+  void set_fault_interceptor(FaultInterceptor* f) noexcept {
+    interceptor_ = f;
+  }
+  [[nodiscard]] FaultInterceptor* fault_interceptor() const noexcept {
+    return interceptor_;
   }
 
   [[nodiscard]] const PropagationModel& propagation() const noexcept {
@@ -125,6 +147,10 @@ class Medium {
   }
   [[nodiscard]] std::uint64_t frames_missed_busy_rx() const noexcept {
     return frames_missed_busy_rx_;
+  }
+  /// Receptions suppressed by the drop filter or the fault interceptor.
+  [[nodiscard]] std::uint64_t frames_dropped_fault() const noexcept {
+    return frames_dropped_fault_;
   }
 
   /// Deterministic received power (no fading) for a directed pair — used
@@ -183,12 +209,14 @@ class Medium {
 
   std::function<void(const SniffedFrame&)> sniffer_;
   std::function<bool(RadioId, RadioId)> drop_filter_;
+  FaultInterceptor* interceptor_ = nullptr;
 
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_delivered_ = 0;
   std::uint64_t frames_corrupted_ = 0;
   std::uint64_t frames_below_sensitivity_ = 0;
   std::uint64_t frames_missed_busy_rx_ = 0;
+  std::uint64_t frames_dropped_fault_ = 0;
 };
 
 }  // namespace liteview::phy

@@ -187,6 +187,7 @@ Testbed::Testbed(const TestbedConfig& cfg,
       sim_(std::make_unique<sim::Simulator>(cfg.seed)),
       medium_(std::make_unique<phy::Medium>(*sim_, cfg.propagation)) {
   accounting_ = std::make_unique<PacketAccounting>(*medium_);
+  fault_ = std::make_unique<fault::FaultPlane>(*sim_, *medium_);
 
   const std::size_t n = positions.size();
   nodes_.reserve(n);
@@ -202,6 +203,7 @@ Testbed::Testbed(const TestbedConfig& cfg,
     node->set_pa_level(cfg.initial_power);
     node->set_channel(cfg.initial_channel);
     book_.add(nc.name, nc.address);
+    fault_->add_node(*node);
     nodes_.push_back(std::move(node));
   }
 
@@ -261,6 +263,15 @@ Testbed::Testbed(const TestbedConfig& cfg,
 Testbed::~Testbed() = default;
 
 void Testbed::warm_up() { sim_->run_for(cfg_.warmup); }
+
+Testbed::NodeFaultReport Testbed::fault_report(std::size_t i) {
+  NodeFaultReport r;
+  r.faults = fault_->stats(addr(i));
+  if (i < suites_.size()) {
+    r.transport = suites_[i]->controller().endpoint().stats();
+  }
+  return r;
+}
 
 void Testbed::set_all_power(phy::PaLevel level) {
   for (auto& node : nodes_) node->set_pa_level(level);

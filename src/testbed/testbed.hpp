@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_plane.hpp"
 #include "kernel/naming.hpp"
 #include "kernel/node.hpp"
 #include "liteview/interpreter.hpp"
@@ -108,6 +109,19 @@ class Testbed {
   [[nodiscard]] PacketAccounting& accounting() noexcept {
     return *accounting_;
   }
+  /// The deployment's fault plane. Inert until faults are scripted onto
+  /// it (zero RNG draws, zero per-frame work), so fault-free runs stay
+  /// bit-identical with older builds.
+  [[nodiscard]] fault::FaultPlane& fault() noexcept { return *fault_; }
+  /// Per-node fault/recovery counters: the fault plane's view (crashes,
+  /// reboots, injected drops) merged with the node's transport recovery
+  /// counters (retransmissions, timeouts, failures) — what benches use
+  /// to report delivery ratio and recovery cost per scenario.
+  struct NodeFaultReport {
+    fault::FaultStats faults;
+    lv::ReliableStats transport;
+  };
+  [[nodiscard]] NodeFaultReport fault_report(std::size_t i);
 
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
   /// Node by 0-based index; addresses are index + 1.
@@ -149,6 +163,7 @@ class Testbed {
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<phy::Medium> medium_;
   std::unique_ptr<PacketAccounting> accounting_;
+  std::unique_ptr<fault::FaultPlane> fault_;
   kernel::AddressBook book_;
   std::vector<std::unique_ptr<kernel::Node>> nodes_;
   std::vector<std::unique_ptr<routing::GeographicForwarding>> geo_;

@@ -254,6 +254,128 @@ TEST_F(ReliableFixture, BroadcastRejectsOversize) {
   EXPECT_FALSE(a->broadcast(pattern(100)));  // > one fragment
 }
 
+TEST_F(ReliableFixture, MsgIdWraparoundStillDelivers) {
+  make_endpoints();
+  int deliveries = 0;
+  b->set_handler([&](net::Addr, const std::vector<std::uint8_t>&, bool) {
+    ++deliveries;
+  });
+  // Straddle the 16-bit boundary: ids 0xFFFE, 0xFFFF, then wrap (id 0 is
+  // skipped). Serial-number comparison must keep treating each as fresh.
+  a->set_next_msg_id(2, 0xFFFE);
+  for (std::uint8_t i = 0; i < 4; ++i) a->send_message(2, {i});
+  sim.run_for(sim::SimTime::sec(3));
+  EXPECT_EQ(deliveries, 4);
+  EXPECT_EQ(a->stats().messages_delivered, 4u);
+}
+
+TEST_F(ReliableFixture, ReusedMsgIdAfterFullWrapDelivered) {
+  make_endpoints();
+  int deliveries = 0;
+  b->set_handler([&](net::Addr, const std::vector<std::uint8_t>&, bool) {
+    ++deliveries;
+  });
+  a->set_next_msg_id(2, 100);
+  a->send_message(2, {1});
+  sim.run_for(sim::SimTime::sec(1));
+  ASSERT_EQ(deliveries, 1);
+
+  // Simulate the id space wrapping all the way around between two
+  // commands (65536 messages later, same id again). The receiver's dedup
+  // horizon has lapsed by then, so the colliding id must be treated as a
+  // fresh message — an unbounded horizon would swallow it forever while
+  // telling the sender it was delivered.
+  sim.run_for(a->config().dedup_window + sim::SimTime::sec(1));
+  a->set_next_msg_id(2, 100);
+  a->send_message(2, {2});
+  sim.run_for(sim::SimTime::sec(1));
+  EXPECT_EQ(deliveries, 2);
+}
+
+TEST_F(ReliableFixture, StaleReassemblyEvictedByTtl) {
+  ReliableConfig cfg;
+  cfg.incoming_ttl = sim::SimTime::sec(2);
+  cfg.max_retries = 2;
+  make_endpoints(cfg);
+  // Exactly one data fragment crosses a -> b, then the link goes dark in
+  // both directions: b is left holding a partial reassembly the sender
+  // will never finish.
+  int data_passed = 0;
+  medium.set_drop_filter([&](phy::RadioId from, phy::RadioId to) {
+    if (from == a_node->mac().radio_id() && to == b_node->mac().radio_id()) {
+      return ++data_passed > 1;
+    }
+    return from == b_node->mac().radio_id();  // no acks back either
+  });
+  a->send_message(2, pattern(200));  // 5 fragments
+  sim.run_for(sim::SimTime::sec(1));
+  EXPECT_EQ(b->pending_reassemblies(), 1u);
+
+  sim.run_for(sim::SimTime::sec(29));
+  EXPECT_EQ(b->pending_reassemblies(), 0u);
+  EXPECT_GE(b->stats().incoming_evicted, 1u);
+}
+
+TEST_F(ReliableFixture, DeadPeerFailsFastThenRecovers) {
+  ReliableConfig cfg;
+  cfg.max_retries = 2;
+  cfg.dead_peer_cooldown = sim::SimTime::sec(5);
+  make_endpoints(cfg);
+  bool blackout = true;
+  medium.set_drop_filter([&](phy::RadioId from, phy::RadioId) {
+    return blackout && from == a_node->mac().radio_id();
+  });
+  int failed = 0, delivered = 0;
+  const auto cb = [&](bool s) { (s ? delivered : failed)++; };
+  for (std::uint8_t i = 0; i < 4; ++i) a->send_message(2, {i}, cb);
+  sim.run_for(sim::SimTime::sec(4));
+  // The first message burns the full retry ladder; the rest fail fast on
+  // the dead-peer verdict instead of stalling the queue ~1 s each.
+  EXPECT_EQ(failed, 4);
+  EXPECT_GE(a->stats().dead_peer_fastfails, 3u);
+  EXPECT_TRUE(a->peer_dead(2));
+
+  // After the cooldown the next message probes the (healed) link again.
+  blackout = false;
+  sim.run_for(sim::SimTime::sec(5));
+  a->send_message(2, {9}, cb);
+  sim.run_for(sim::SimTime::sec(2));
+  EXPECT_EQ(delivered, 1);
+  EXPECT_FALSE(a->peer_dead(2));
+}
+
+TEST_F(ReliableFixture, GroupBroadcastLostBySubsetOfGroup) {
+  // Three-receiver group; the broadcast fragment dies on the way to one
+  // member only. Best-effort semantics: the others deliver, nobody acks,
+  // nothing is retransmitted.
+  auto c_node = make_node(3, 2.5);
+  auto d_node = make_node(4, -2.5);
+  make_endpoints();
+  auto c = std::make_unique<ReliableEndpoint>(*c_node);
+  auto d = std::make_unique<ReliableEndpoint>(*d_node);
+  int at_b = 0, at_c = 0, at_d = 0;
+  const auto counter = [](int& n) {
+    return [&n](net::Addr, const std::vector<std::uint8_t>&, bool bcast) {
+      if (bcast) ++n;
+    };
+  };
+  b->set_handler(counter(at_b));
+  c->set_handler(counter(at_c));
+  d->set_handler(counter(at_d));
+  medium.set_drop_filter([&](phy::RadioId, phy::RadioId to) {
+    return to == c_node->mac().radio_id();
+  });
+  EXPECT_TRUE(a->broadcast({7}));
+  sim.run_for(sim::SimTime::sec(1));
+  EXPECT_EQ(at_b, 1);
+  EXPECT_EQ(at_c, 0);  // the unlucky subset misses the command entirely
+  EXPECT_EQ(at_d, 1);
+  EXPECT_EQ(a->stats().retransmissions, 0u);
+  EXPECT_EQ(b->stats().acks_sent + c->stats().acks_sent +
+                d->stats().acks_sent,
+            0u);
+}
+
 TEST_F(ReliableFixture, BidirectionalSimultaneousTraffic) {
   make_endpoints();
   std::vector<std::uint8_t> at_a, at_b;
