@@ -1,13 +1,15 @@
-// Shared bench harness: table printing and thread-parallel Monte-Carlo
-// replication over independent Testbed instances (shared-nothing).
+// Shared bench harness: table printing, wall-clock timing, and
+// Monte-Carlo replication via sim::run_replications (shared-nothing
+// Testbed instances, ordered results).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "sim/replication.hpp"
 #include "util/stats.hpp"
 
 namespace liteview::bench {
@@ -22,26 +24,40 @@ inline void section(const std::string& s) {
   std::printf("\n--- %s ---\n", s.c_str());
 }
 
-/// Run `fn(seed)` for `replications` seeds across hardware threads, each
-/// replication building its own simulator (no shared state). Results are
-/// returned in seed order regardless of completion order.
+/// Wall-clock seconds spent in `fn()`.
+template <typename Fn>
+double wall_seconds(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Run `fn(seed)` for `replications` derived seeds on the shared-nothing
+/// replication runner (threads = 0 → hardware concurrency). Results come
+/// back in replication order regardless of scheduling; a replication that
+/// threw contributes a default-constructed Result (benches report
+/// aggregate stats, so a crash-free default beats aborting the sweep).
 template <typename Result>
 std::vector<Result> replicate(int replications, std::uint64_t base_seed,
-                              const std::function<Result(std::uint64_t)>& fn) {
-  std::vector<Result> results(static_cast<std::size_t>(replications));
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  std::vector<std::jthread> workers;
-  std::atomic<int> next{0};
-  for (unsigned t = 0; t < hw; ++t) {
-    workers.emplace_back([&] {
-      for (int i = next.fetch_add(1); i < replications;
-           i = next.fetch_add(1)) {
-        results[static_cast<std::size_t>(i)] =
-            fn(base_seed + static_cast<std::uint64_t>(i) * 101);
-      }
-    });
+                              const std::function<Result(std::uint64_t)>& fn,
+                              unsigned threads = 0) {
+  sim::ReplicationConfig cfg;
+  cfg.replications = static_cast<std::size_t>(replications);
+  cfg.threads = threads;
+  cfg.base_seed = base_seed;
+  auto reps = sim::run_replications(
+      cfg, [&](std::size_t, std::uint64_t seed) { return fn(seed); });
+  std::vector<Result> results;
+  results.reserve(reps.size());
+  for (auto& r : reps) {
+    if (!r.ok) {
+      std::fprintf(stderr, "replication %zu (seed %llu) failed: %s\n",
+                   r.index, static_cast<unsigned long long>(r.seed),
+                   r.error.c_str());
+    }
+    results.push_back(r.ok ? std::move(*r.value) : Result{});
   }
-  workers.clear();  // join
   return results;
 }
 

@@ -130,5 +130,26 @@ int main() {
       "mild loss (smaller redundant resends); under heavy bursts the\n"
       "fixed batch recovers faster because shrinking to batch-1 rounds\n"
       "means each burst frame costs a whole backoff window.\n");
+
+  // Shared-nothing scaling: the same 8-replication workload on 1 worker
+  // vs. 8. Each replication owns its Simulator+Testbed, so speedup is
+  // bounded only by physical cores (hardware_concurrency below reports
+  // what this host can actually deliver).
+  bench::section("parallel replication speedup (64 reps, burst loss 20%)");
+  constexpr int kSpeedupReps = 64;
+  auto sweep = [&](unsigned threads) {
+    return bench::wall_seconds([&] {
+      bench::replicate<Outcome>(
+          kSpeedupReps, 913,
+          [&](std::uint64_t seed) { return run(seed, 20, true); }, threads);
+    });
+  };
+  const double serial_s = sweep(1);
+  const double parallel_s = sweep(8);
+  std::printf(
+      "  1 thread: %6.2f s    8 threads: %6.2f s    speedup: %.2fx "
+      "(host has %u hardware threads)\n",
+      serial_s, parallel_s, serial_s / parallel_s,
+      std::thread::hardware_concurrency());
   return 0;
 }

@@ -1,0 +1,159 @@
+// Scale sweep — how far the testbed stretches beyond the paper's handful
+// of MicaZ motes. Two questions:
+//
+//   1. Does spatial culling in phy::Medium turn the O(n) per-transmission
+//      candidate scan into O(neighborhood) without changing a single
+//      delivery? (n ∈ {50, 200, 1000} beaconing deployments, grid on vs.
+//      off, events/sec + a counter cross-check.)
+//   2. Does shared-nothing Monte-Carlo replication scale across workers?
+//      (8 replications of the 200-node deployment, 1 vs. 8 threads.)
+//
+// Node density is held constant across n, so the culled candidate count
+// stays flat while the unculled scan grows linearly — the gap IS the
+// quadratic term this sweep exists to kill.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "phy/cc2420.hpp"
+#include "phy/medium.hpp"
+#include "sim/replication.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace liteview;
+
+/// Minimal radio client: counts receptions, nothing else. The sweep
+/// stresses the medium, not the upper stack.
+struct Beacon final : phy::MediumClient {
+  void on_frame(const std::vector<std::uint8_t>& psdu,
+                const phy::RxInfo& info) override {
+    (void)psdu;
+    received += 1 + (info.crc_ok ? 1 : 0);  // fold crc into the checksum
+  }
+  std::uint64_t received = 0;
+};
+
+constexpr double kTxPowerDbm = -10.0;       // PA level 11
+constexpr double kDensityPerM2 = 0.0016;    // ~5 neighbors in mean range
+constexpr sim::SimTime kBeaconPeriod = sim::SimTime::ms(200);
+
+struct ScenarioResult {
+  std::uint64_t delivered = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t below_sensitivity = 0;
+  std::uint64_t rx_checksum = 0;  ///< sum over nodes of Beacon::received
+  std::uint64_t events = 0;
+  double wall_s = 0;
+
+  [[nodiscard]] bool same_trace_as(const ScenarioResult& o) const {
+    return delivered == o.delivered && corrupted == o.corrupted &&
+           below_sensitivity == o.below_sensitivity &&
+           rx_checksum == o.rx_checksum && events == o.events;
+  }
+};
+
+ScenarioResult run_scenario(int n, std::uint64_t seed, bool culling,
+                            std::int64_t sim_seconds) {
+  sim::Simulator sim(seed);
+  phy::Medium medium(sim, phy::PropagationConfig{});
+  medium.set_spatial_culling(culling);
+
+  const double side = std::sqrt(static_cast<double>(n) / kDensityPerM2);
+  util::RngStream place(seed, "scale.placement");
+  std::vector<std::unique_ptr<Beacon>> nodes;
+  nodes.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<Beacon>());
+    medium.attach(nodes.back().get(),
+                  {place.uniform(0.0, side), place.uniform(0.0, side)});
+  }
+
+  // Staggered periodic beacons: node i first fires at (i mod period) ms,
+  // then every period. Same-slot nodes are far apart at this density, so
+  // collisions stay a realistic minority of the workload.
+  const std::vector<std::uint8_t> frame(30, 0xb5);
+  const auto period_ms = static_cast<int>(kBeaconPeriod.milliseconds());
+  for (int i = 0; i < n; ++i) {
+    const auto id = static_cast<phy::RadioId>(i);
+    sim.schedule_at(sim::SimTime::ms(i % period_ms),
+                    [&sim, &medium, &frame, id] {
+                      medium.transmit(id, kTxPowerDbm, frame);
+                      sim.schedule_every(kBeaconPeriod,
+                                         [&medium, &frame, id] {
+                                           medium.transmit(id, kTxPowerDbm,
+                                                           frame);
+                                         });
+                    });
+  }
+
+  ScenarioResult r;
+  r.wall_s = bench::wall_seconds(
+      [&] { sim.run_until(sim::SimTime::sec(sim_seconds)); });
+  r.delivered = medium.frames_delivered();
+  r.corrupted = medium.frames_corrupted();
+  r.below_sensitivity = medium.frames_below_sensitivity();
+  r.events = sim.executed_events();
+  for (const auto& b : nodes) r.rx_checksum += b->received;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Scale sweep — spatial culling (events/sec, grid on vs. off) and "
+      "shared-nothing replication speedup");
+
+  bench::section("spatial culling, constant density, 2 s of beaconing");
+  std::printf("%-8s %-14s %-14s %-9s %-12s\n", "nodes", "culled ev/s",
+              "unculled ev/s", "speedup", "identical?");
+  for (int n : {50, 200, 1000}) {
+    const auto culled = run_scenario(n, 42, /*culling=*/true, 2);
+    const auto unculled = run_scenario(n, 42, /*culling=*/false, 2);
+    std::printf("%-8d %-14.0f %-14.0f %-9.2f %s\n", n,
+                static_cast<double>(culled.events) / culled.wall_s,
+                static_cast<double>(unculled.events) / unculled.wall_s,
+                (static_cast<double>(culled.events) / culled.wall_s) /
+                    (static_cast<double>(unculled.events) / unculled.wall_s),
+                culled.same_trace_as(unculled) ? "yes" : "NO — BUG");
+  }
+
+  bench::section("replication speedup (8 reps of the 200-node deployment)");
+  auto sweep = [&](unsigned threads) {
+    return bench::wall_seconds([&] {
+      sim::ReplicationConfig cfg;
+      cfg.replications = 8;
+      cfg.threads = threads;
+      cfg.base_seed = 7;
+      auto reps = sim::run_replications(
+          cfg, [](std::size_t, std::uint64_t seed) {
+            return run_scenario(200, seed, /*culling=*/true, 2).delivered;
+          });
+      std::uint64_t total = 0;
+      for (const auto& rep : reps) total += rep.ok ? *rep.value : 0;
+      return total;
+    });
+  };
+  const double serial_s = sweep(1);
+  const double parallel_s = sweep(8);
+  std::printf(
+      "  1 thread: %6.2f s    8 threads: %6.2f s    speedup: %.2fx "
+      "(host has %u hardware threads)\n",
+      serial_s, parallel_s, serial_s / parallel_s,
+      std::thread::hardware_concurrency());
+
+  bench::section("reading");
+  std::printf(
+      "Culled and unculled runs agree on every counter and every received\n"
+      "frame (the determinism suite asserts the same byte-for-byte); the\n"
+      "events/sec column is pure hot-path win. Replication speedup tracks\n"
+      "physical cores — each replication owns its whole world, so there is\n"
+      "nothing to contend on.\n");
+  return 0;
+}

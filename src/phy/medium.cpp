@@ -9,12 +9,28 @@
 
 namespace liteview::phy {
 
+namespace {
+
+/// Grid cell size: the max range at full PA so a candidate query touches
+/// ~9 cells. When the budget is unbounded the grid is never consulted;
+/// any finite placeholder keeps maintenance cheap.
+double grid_cell_for(const PropagationModel& prop) {
+  const double r =
+      prop.max_range_m(pa_level_to_dbm(kMaxPaLevel), kSensitivityDbm);
+  return std::isfinite(r) ? std::clamp(r, 1.0, 1.0e6) : 1.0;
+}
+
+}  // namespace
+
 Medium::Medium(sim::Simulator& sim, const PropagationConfig& prop_cfg)
     : sim_(sim),
       prop_(prop_cfg, sim.rng_root().root_seed()),
-      fading_rng_(sim.rng_root().stream("phy.fading")),
       loss_rng_(sim.rng_root().stream("phy.loss")),
-      corrupt_rng_(sim.rng_root().stream("phy.corrupt")) {}
+      corrupt_rng_(sim.rng_root().stream("phy.corrupt")),
+      grid_(grid_cell_for(prop_)),
+      culling_possible_(std::isfinite(
+          prop_.max_range_m(pa_level_to_dbm(kMaxPaLevel), kSensitivityDbm))),
+      max_tx_power_seen_dbm_(-std::numeric_limits<double>::infinity()) {}
 
 RadioId Medium::attach(MediumClient* client, Position pos, Channel channel) {
   assert(client != nullptr);
@@ -23,18 +39,30 @@ RadioId Medium::attach(MediumClient* client, Position pos, Channel channel) {
   r.pos = pos;
   r.channel = channel;
   r.attached = true;
-  radios_.push_back(r);
-  return static_cast<RadioId>(radios_.size() - 1);
+  radios_.push_back(std::move(r));
+  const auto id = static_cast<RadioId>(radios_.size() - 1);
+  grid_.insert(id, pos);
+  ++channel_counts_[channel];
+  ++topo_epoch_;
+  return id;
 }
 
 void Medium::detach(RadioId id) {
   assert(id < radios_.size());
+  if (!radios_[id].attached) return;
+  grid_.remove(id, radios_[id].pos);
+  --channel_counts_[radios_[id].channel];
+  ++topo_epoch_;
   radios_[id].attached = false;
   radios_[id].client = nullptr;
 }
 
 void Medium::set_position(RadioId id, Position pos) {
   assert(id < radios_.size());
+  if (radios_[id].attached) {
+    grid_.move(id, radios_[id].pos, pos);
+    ++topo_epoch_;
+  }
   radios_[id].pos = pos;
 }
 
@@ -45,6 +73,11 @@ Position Medium::position(RadioId id) const {
 
 void Medium::set_channel(RadioId id, Channel channel) {
   assert(id < radios_.size());
+  if (radios_[id].attached && radios_[id].channel != channel) {
+    --channel_counts_[radios_[id].channel];
+    ++channel_counts_[channel];
+    ++topo_epoch_;
+  }
   radios_[id].channel = channel;
 }
 
@@ -85,6 +118,28 @@ double Medium::channel_power_dbm(RadioId at) const {
   return total_mw > 0.0 ? util::mw_to_dbm(total_mw) : -300.0;
 }
 
+const std::vector<RadioId>& Medium::reachable_set(RadioId from) {
+  Radio& r = radios_[from];
+  if (r.cache_epoch == topo_epoch_) return r.reachable;
+
+  const double range =
+      prop_.max_range_m(max_tx_power_seen_dbm_, kSensitivityDbm);
+  r.reachable.clear();
+  query_scratch_.clear();
+  grid_.query(r.pos, range, query_scratch_);
+  for (const RadioId id : query_scratch_) {
+    if (id == from) continue;
+    if (radios_[id].pos.distance_to(r.pos) <= range) {
+      r.reachable.push_back(id);
+    }
+  }
+  // Ascending id order keeps the candidate walk — and therefore every
+  // downstream RNG draw — identical to the unculled 0..n scan.
+  std::sort(r.reachable.begin(), r.reachable.end());
+  r.cache_epoch = topo_epoch_;
+  return r.reachable;
+}
+
 void Medium::transmit(RadioId from, double tx_power_dbm,
                       std::vector<std::uint8_t> psdu) {
   assert(from < radios_.size());
@@ -95,6 +150,13 @@ void Medium::transmit(RadioId from, double tx_power_dbm,
   const sim::SimTime end = start + air;
   const Channel ch = radios_[from].channel;
   const std::uint64_t seq = next_tx_seq_++;
+
+  if (tx_power_dbm > max_tx_power_seen_dbm_) {
+    // A louder transmitter than any before: cached reachable sets were
+    // sized for a smaller budget, so retire them all.
+    max_tx_power_seen_dbm_ = tx_power_dbm;
+    ++topo_epoch_;
+  }
 
   ++frames_sent_;
   radios_[from].tx_until = end;
@@ -125,21 +187,26 @@ void Medium::transmit(RadioId from, double tx_power_dbm,
 
   // Start a reception record at every other attached same-channel radio
   // whose received power exceeds sensitivity and that is not itself
-  // transmitting.
-  for (RadioId to = 0; to < radios_.size(); ++to) {
-    if (to == from || !radios_[to].attached) continue;
-    if (radios_[to].channel != ch) continue;
+  // transmitting. `visited` counts the same-channel radios the loop
+  // actually evaluated, so the culled path can credit the skipped rest to
+  // the below-sensitivity counter (they can't clear sensitivity for any
+  // fading draw — that is the culling invariant).
+  std::uint32_t visited = 0;
+  auto consider = [&](RadioId to) {
+    if (to == from || !radios_[to].attached) return;
+    if (radios_[to].channel != ch) return;
+    ++visited;
 
-    const double fading = prop_.sample_fading_db(fading_rng_);
+    const double fading = prop_.packet_fading_db(seq, to);
     const double prx = rx_power_dbm_at(tx, to) - fading;
     if (prx < kSensitivityDbm) {
       ++frames_below_sensitivity_;
-      continue;
+      return;
     }
     if (radios_[to].tx_until > start) {
       // Receiver is mid-transmission: deaf.
       ++frames_missed_busy_rx_;
-      continue;
+      return;
     }
 
     // Initial interference: every other already-active transmission on
@@ -154,6 +221,15 @@ void Medium::transmit(RadioId from, double tx_power_dbm,
     receptions_.push_back(
         Reception{from, to, ch, prx, interference_mw, start, end,
                   /*aborted=*/false, seq});
+  };
+
+  if (culling_enabled_ && culling_possible_) {
+    for (const RadioId to : reachable_set(from)) consider(to);
+    const std::uint32_t on_channel = channel_counts_[ch] - 1;  // minus from
+    frames_below_sensitivity_ += on_channel - visited;
+    culled_candidates_ += on_channel - visited;
+  } else {
+    for (RadioId to = 0; to < radios_.size(); ++to) consider(to);
   }
 
   active_.push_back(tx);

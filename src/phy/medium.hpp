@@ -12,18 +12,18 @@
 #include <limits>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "phy/cc2420.hpp"
 #include "phy/propagation.hpp"
+#include "phy/spatial_grid.hpp"
 #include "sim/simulator.hpp"
 
 namespace liteview::phy {
 
-/// Radio identifier within a Medium (dense, assigned at attach()).
-using RadioId = std::uint32_t;
-inline constexpr RadioId kInvalidRadio =
-    std::numeric_limits<RadioId>::max();
+// RadioId / kInvalidRadio live in spatial_grid.hpp (the grid indexes
+// radios by the same dense ids the Medium assigns at attach()).
 
 /// Receiver-side measurements delivered with every frame — exactly what
 /// the CC2420 exposes and what LiteView's commands report.
@@ -132,6 +132,29 @@ class Medium {
     return prop_;
   }
 
+  /// Spatial culling: when enabled (the default), transmit() only visits
+  /// radios inside the link budget's max range instead of every radio in
+  /// the deployment. Culling is *semantically invisible*: any radio the
+  /// unculled path could deliver to at any nonzero probability stays in
+  /// the candidate set, per-packet fading is hashed per (transmission,
+  /// receiver) rather than drawn from a shared stream, and the bypassed
+  /// radios are folded into frames_below_sensitivity() — so traces and
+  /// counters are byte-identical with the grid on or off
+  /// (tests/test_determinism.cpp holds this). Turning it off forces the
+  /// O(n) scan, for audits and benchmarks.
+  void set_spatial_culling(bool enabled) noexcept {
+    culling_enabled_ = enabled;
+  }
+  [[nodiscard]] bool spatial_culling_active() const noexcept {
+    return culling_enabled_ && culling_possible_;
+  }
+
+  /// Candidate-loop iterations skipped thanks to the grid (perf probe for
+  /// benches; not part of the delivery semantics).
+  [[nodiscard]] std::uint64_t culled_candidates() const noexcept {
+    return culled_candidates_;
+  }
+
   // ---- counters (per run) --------------------------------------------
   [[nodiscard]] std::uint64_t frames_sent() const noexcept {
     return frames_sent_;
@@ -167,6 +190,11 @@ class Medium {
     Channel channel = kDefaultChannel;
     bool attached = false;
     sim::SimTime tx_until;  ///< busy transmitting until this time
+    /// Cached ids (ascending) of every attached radio within the link
+    /// budget's max range of this one; valid while cache_epoch matches
+    /// the medium's topology epoch.
+    std::vector<RadioId> reachable;
+    std::uint64_t cache_epoch = 0;
   };
 
   /// One (transmission, receiver) pair currently in the air.
@@ -195,10 +223,11 @@ class Medium {
   void deliver(std::uint64_t tx_seq, std::shared_ptr<std::vector<std::uint8_t>> psdu);
   [[nodiscard]] double rx_power_dbm_at(const ActiveTx& tx,
                                        RadioId at) const;
+  /// Rebuild (if stale) and return the reachable-set cache for `from`.
+  const std::vector<RadioId>& reachable_set(RadioId from);
 
   sim::Simulator& sim_;
   PropagationModel prop_;
-  util::RngStream fading_rng_;
   util::RngStream loss_rng_;
   util::RngStream corrupt_rng_;
 
@@ -206,6 +235,25 @@ class Medium {
   std::vector<ActiveTx> active_;
   std::vector<Reception> receptions_;
   std::uint64_t next_tx_seq_ = 0;
+
+  // ---- spatial culling state ----------------------------------------
+  SpatialGrid grid_;
+  /// Bumped on any attach/detach/position/channel change and whenever the
+  /// observed max TX power grows; reachable caches lazily rebuild on
+  /// mismatch.
+  std::uint64_t topo_epoch_ = 1;
+  bool culling_enabled_ = true;
+  /// False when the propagation config leaves the link budget unbounded
+  /// (tail_clamp_sigma <= 0 or exponent <= 0): culling would be lossy, so
+  /// the O(n) path is forced.
+  bool culling_possible_ = true;
+  /// Highest TX power seen so far; reachable sets are sized for it, so a
+  /// louder transmitter than any before invalidates them.
+  double max_tx_power_seen_dbm_;
+  /// Attached radios per channel — lets the culled path credit the radios
+  /// it skipped to frames_below_sensitivity_ without visiting them.
+  std::unordered_map<Channel, std::uint32_t> channel_counts_;
+  std::vector<RadioId> query_scratch_;
 
   std::function<void(const SniffedFrame&)> sniffer_;
   std::function<bool(RadioId, RadioId)> drop_filter_;
@@ -217,6 +265,7 @@ class Medium {
   std::uint64_t frames_below_sensitivity_ = 0;
   std::uint64_t frames_missed_busy_rx_ = 0;
   std::uint64_t frames_dropped_fault_ = 0;
+  std::uint64_t culled_candidates_ = 0;
 };
 
 }  // namespace liteview::phy

@@ -1,25 +1,74 @@
 #include "phy/propagation.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace liteview::phy {
 
-double PropagationModel::shadowing_db(std::uint32_t from_id,
-                                      std::uint32_t to_id) const noexcept {
-  // Box–Muller over two splitmix64 draws keyed by (seed, from, to). The
-  // directed key means shadow(a→b) and shadow(b→a) are independent, which
-  // is the source of stable link asymmetry.
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(from_id) << 32) | to_id;
-  const std::uint64_t h1 = util::splitmix64(seed_ ^ util::splitmix64(key));
+namespace {
+
+/// Box–Muller over a splitmix64 chain seeded by `h1`: one standard-normal
+/// variate, deterministic in the key. Shared by the frozen shadowing and
+/// the per-packet fading so both obey the same tail clamp.
+double unit_normal_from_key(std::uint64_t h1) noexcept {
   const std::uint64_t h2 = util::splitmix64(h1);
   // Map to (0,1]; avoid log(0).
   const double u1 =
       (static_cast<double>(h1 >> 11) + 1.0) / 9007199254740993.0;
   const double u2 = static_cast<double>(h2 >> 11) / 9007199254740992.0;
-  const double z =
-      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace
+
+double PropagationModel::shadowing_db(std::uint32_t from_id,
+                                      std::uint32_t to_id) const noexcept {
+  // The directed key means shadow(a→b) and shadow(b→a) are independent,
+  // which is the source of stable link asymmetry.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(from_id) << 32) | to_id;
+  double z = unit_normal_from_key(util::splitmix64(seed_ ^ util::splitmix64(key)));
+  if (cfg_.tail_clamp_sigma > 0.0) {
+    z = std::clamp(z, -cfg_.tail_clamp_sigma, cfg_.tail_clamp_sigma);
+  }
   return cfg_.shadowing_sigma_db * z;
+}
+
+double PropagationModel::packet_fading_db(std::uint64_t tx_seq,
+                                          std::uint32_t rx_id) const noexcept {
+  if (cfg_.fading_sigma_db <= 0.0) return 0.0;
+  std::uint64_t h = util::splitmix64(seed_ ^ 0x0fad1f4d1f4dfadeULL);
+  h = util::splitmix64(h ^ tx_seq);
+  h = util::splitmix64(h ^ rx_id);
+  double z = unit_normal_from_key(h);
+  if (cfg_.tail_clamp_sigma > 0.0) {
+    z = std::clamp(z, -cfg_.tail_clamp_sigma, cfg_.tail_clamp_sigma);
+  }
+  return cfg_.fading_sigma_db * z;
+}
+
+double PropagationModel::max_random_gain_db() const noexcept {
+  if (cfg_.tail_clamp_sigma <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return cfg_.tail_clamp_sigma *
+         (cfg_.shadowing_sigma_db + cfg_.fading_sigma_db);
+}
+
+double PropagationModel::max_range_m(double tx_power_dbm,
+                                     double sensitivity_dbm) const noexcept {
+  const double gain = max_random_gain_db();
+  if (!std::isfinite(gain) || cfg_.exponent <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Solve tx − (pl0 + 10·n·log10(d)) + gain = sensitivity for d. Below the
+  // 0.1 m clamp of static_path_loss_db the loss no longer shrinks, so the
+  // bound never drops under 0.1 m. The 1e-6 relative headroom absorbs
+  // floating-point disagreement with the per-pair loss computation.
+  const double budget = tx_power_dbm - sensitivity_dbm + gain - cfg_.pl0_db;
+  const double d = std::pow(10.0, budget / (10.0 * cfg_.exponent));
+  return std::max(d, 0.1) * (1.0 + 1e-6);
 }
 
 double PropagationModel::static_path_loss_db(

@@ -38,6 +38,13 @@ struct PropagationConfig {
   double shadowing_sigma_db = 3.0;
   /// Std-dev of the per-packet temporal fading (dB).
   double fading_sigma_db = 1.0;
+  /// Truncation, in sigmas, applied to both the shadowing and the fading
+  /// draws. Bounding the random terms gives the link budget a hard
+  /// ceiling — tx_power − pl(d) + tail_clamp_sigma·(σ_sh + σ_fade) — which
+  /// is what lets the medium's spatial culling derive a max range that can
+  /// never lose a deliverable frame. ≤ 0 disables the clamp (and with it
+  /// culling: max_range_m becomes infinite).
+  double tail_clamp_sigma = 4.0;
 };
 
 /// Deterministic propagation model. Given node ids and positions, computes
@@ -55,12 +62,25 @@ class PropagationModel {
                                            const Position& from,
                                            const Position& to) const noexcept;
 
-  /// Per-packet fading sample (dB) to subtract from received power; draw
-  /// from the caller's RNG stream so event ordering stays deterministic.
-  [[nodiscard]] double sample_fading_db(util::RngStream& rng) const {
-    return cfg_.fading_sigma_db > 0.0 ? rng.normal(0.0, cfg_.fading_sigma_db)
-                                      : 0.0;
-  }
+  /// Per-packet fading sample (dB) to subtract from received power for
+  /// transmission `tx_seq` as heard at radio `rx_id`. Hashed from
+  /// (seed, tx_seq, rx_id) rather than drawn from a shared stream, so the
+  /// value a receiver sees cannot depend on which *other* receivers were
+  /// evaluated — the property that makes spatial culling trace-invisible.
+  /// Clamped to ±tail_clamp_sigma·σ (unbounded when the clamp is off).
+  [[nodiscard]] double packet_fading_db(std::uint64_t tx_seq,
+                                        std::uint32_t rx_id) const noexcept;
+
+  /// Largest possible gain (dB) the bounded random terms can contribute
+  /// over the deterministic log-distance loss. +inf when the clamp is off.
+  [[nodiscard]] double max_random_gain_db() const noexcept;
+
+  /// Hard upper bound on the distance at which a frame sent at
+  /// `tx_power_dbm` can arrive at or above `sensitivity_dbm`, for *any*
+  /// shadowing/fading draw. +inf when the clamp is off (culling must then
+  /// fall back to visiting every radio).
+  [[nodiscard]] double max_range_m(double tx_power_dbm,
+                                   double sensitivity_dbm) const noexcept;
 
   [[nodiscard]] const PropagationConfig& config() const noexcept {
     return cfg_;

@@ -1,0 +1,79 @@
+#include "phy/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace liteview::phy {
+
+SpatialGrid::SpatialGrid(double cell_size_m)
+    : cell_(std::isfinite(cell_size_m) && cell_size_m > 0.0 ? cell_size_m
+                                                            : 1.0) {}
+
+std::int32_t SpatialGrid::coord(double v) const noexcept {
+  return static_cast<std::int32_t>(std::floor(v / cell_));
+}
+
+void SpatialGrid::insert(RadioId id, Position pos) {
+  cells_[pack(coord(pos.x), coord(pos.y))].push_back(id);
+  ++count_;
+}
+
+void SpatialGrid::remove(RadioId id, Position pos) {
+  const auto it = cells_.find(pack(coord(pos.x), coord(pos.y)));
+  assert(it != cells_.end() && "remove() with a stale position");
+  auto& bucket = it->second;
+  const auto pos_it = std::find(bucket.begin(), bucket.end(), id);
+  assert(pos_it != bucket.end() && "remove() of an id not in the grid");
+  bucket.erase(pos_it);
+  if (bucket.empty()) cells_.erase(it);
+  --count_;
+}
+
+void SpatialGrid::move(RadioId id, Position from, Position to) {
+  const CellKey a = pack(coord(from.x), coord(from.y));
+  const CellKey b = pack(coord(to.x), coord(to.y));
+  if (a == b) return;
+  remove(id, from);
+  cells_[b].push_back(id);
+  ++count_;
+}
+
+void SpatialGrid::query(Position center, double radius_m,
+                        std::vector<RadioId>& out) const {
+  if (!std::isfinite(radius_m)) {
+    for (const auto& [key, bucket] : cells_) {
+      out.insert(out.end(), bucket.begin(), bucket.end());
+    }
+    return;
+  }
+  const std::int32_t x0 = coord(center.x - radius_m);
+  const std::int32_t x1 = coord(center.x + radius_m);
+  const std::int32_t y0 = coord(center.y - radius_m);
+  const std::int32_t y1 = coord(center.y + radius_m);
+  // A sparse deployment can make the cell window larger than the number
+  // of occupied cells; walk whichever enumeration is smaller.
+  const std::uint64_t window =
+      (static_cast<std::uint64_t>(x1 - x0) + 1) *
+      (static_cast<std::uint64_t>(y1 - y0) + 1);
+  if (window >= cells_.size()) {
+    for (const auto& [key, bucket] : cells_) {
+      const auto cx = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(key >> 32));
+      const auto cy = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(key & 0xffffffffULL));
+      if (cx < x0 || cx > x1 || cy < y0 || cy > y1) continue;
+      out.insert(out.end(), bucket.begin(), bucket.end());
+    }
+    return;
+  }
+  for (std::int32_t cx = x0; cx <= x1; ++cx) {
+    for (std::int32_t cy = y0; cy <= y1; ++cy) {
+      const auto it = cells_.find(pack(cx, cy));
+      if (it == cells_.end()) continue;
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+}
+
+}  // namespace liteview::phy

@@ -1,0 +1,59 @@
+// Uniform spatial hash grid over radio positions.
+//
+// Buckets radios into square cells so the medium can enumerate "everything
+// within r meters of here" by scanning O((r/cell)^2) cells instead of every
+// radio in the deployment. Queries are conservative by construction: they
+// return every radio in any cell that intersects the disc (possibly a few
+// outside it), never missing one inside — the caller applies the exact
+// distance test. Purely geometric; all delivery semantics stay in Medium.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "phy/propagation.hpp"
+
+namespace liteview::phy {
+
+/// Radio identifier within a Medium (dense, assigned at attach()).
+using RadioId = std::uint32_t;
+inline constexpr RadioId kInvalidRadio =
+    std::numeric_limits<RadioId>::max();
+
+class SpatialGrid {
+ public:
+  /// `cell_size_m` trades memory for query precision; the medium sizes it
+  /// at the propagation model's max range so a query touches ~9 cells.
+  explicit SpatialGrid(double cell_size_m);
+
+  void insert(RadioId id, Position pos);
+  /// `pos` must be the position the id was inserted/moved to last.
+  void remove(RadioId id, Position pos);
+  void move(RadioId id, Position from, Position to);
+
+  /// Append every radio whose cell intersects the disc (center, radius)
+  /// to `out` (without clearing it). Radios appear at most once.
+  void query(Position center, double radius_m,
+             std::vector<RadioId>& out) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] double cell_size_m() const noexcept { return cell_; }
+
+ private:
+  using CellKey = std::uint64_t;
+
+  [[nodiscard]] std::int32_t coord(double v) const noexcept;
+  [[nodiscard]] static CellKey pack(std::int32_t cx,
+                                    std::int32_t cy) noexcept {
+    return (static_cast<CellKey>(static_cast<std::uint32_t>(cx)) << 32) |
+           static_cast<std::uint32_t>(cy);
+  }
+
+  double cell_;
+  std::size_t count_ = 0;
+  std::unordered_map<CellKey, std::vector<RadioId>> cells_;
+};
+
+}  // namespace liteview::phy

@@ -1,0 +1,22 @@
+#include "sim/replication.hpp"
+
+#include "util/rng.hpp"
+
+namespace liteview::sim {
+
+std::uint64_t derive_replication_seed(std::uint64_t base_seed,
+                                      std::size_t index) noexcept {
+  // Decorrelate the base first so sweeps with nearby bases (601, 602, ...)
+  // do not walk overlapping index spaces; then one bijective mix keyed by
+  // the index keeps the map collision-free per base.
+  const std::uint64_t h = util::splitmix64(base_seed ^ 0x52eb1ca7e5eed5ULL);
+  return util::splitmix64(h ^ static_cast<std::uint64_t>(index));
+}
+
+unsigned effective_threads(unsigned requested) noexcept {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace liteview::sim

@@ -186,6 +186,7 @@ Testbed::Testbed(const TestbedConfig& cfg,
     : cfg_(cfg),
       sim_(std::make_unique<sim::Simulator>(cfg.seed)),
       medium_(std::make_unique<phy::Medium>(*sim_, cfg.propagation)) {
+  medium_->set_spatial_culling(cfg.spatial_culling);
   accounting_ = std::make_unique<PacketAccounting>(*medium_);
   fault_ = std::make_unique<fault::FaultPlane>(*sim_, *medium_);
 

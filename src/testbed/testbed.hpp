@@ -40,6 +40,11 @@ struct TestbedConfig {
   bool with_tree = false;
   net::Addr tree_root = 1;
 
+  /// Spatial culling in the medium (see phy::Medium::set_spatial_culling).
+  /// Semantically invisible either way; off forces the O(n) scan for
+  /// determinism audits and scaling benchmarks.
+  bool spatial_culling = true;
+
   phy::PaLevel initial_power = phy::kDefaultPaLevel;
   phy::Channel initial_channel = phy::kDefaultChannel;
   /// The workstation stands ~1 m from the managed node; it whispers at

@@ -1,0 +1,433 @@
+// Randomized round-trip + adversarial-input fuzzing for the management
+// message codecs. Two properties per message type:
+//
+//   1. decode(encode(m)) == m for randomized field values, including
+//      boundary sizes (empty strings/vectors, max counts).
+//   2. Every decoder survives arbitrary byte soup — 10k seeded-random
+//      buffers per decoder must return nullopt or a value, never crash,
+//      read out of bounds, or trip UB. Run under the `asan` preset
+//      (ASan+UBSan) this is the codec's memory-safety gate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "liteview/messages.hpp"
+#include "util/rng.hpp"
+
+namespace liteview::lv {
+namespace {
+
+// -- randomized value generators ----------------------------------------
+
+struct Gen {
+  explicit Gen(std::uint64_t seed) : rng(seed) {}
+  std::mt19937_64 rng;
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(rng()); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(rng()); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(rng()); }
+  std::uint64_t u64() { return rng(); }
+  std::int8_t i8() { return static_cast<std::int8_t>(rng()); }
+  bool flag() { return (rng() & 1) != 0; }
+  std::size_t count(std::size_t max) { return rng() % (max + 1); }
+
+  std::string str(std::size_t max_len) {
+    std::string s(count(max_len), '\0');
+    for (auto& c : s) c = static_cast<char>('a' + rng() % 26);
+    return s;
+  }
+  std::vector<net::PadEntry> pads(std::size_t max_len) {
+    std::vector<net::PadEntry> v(count(max_len));
+    for (auto& p : v) p = {u8(), i8()};
+    return v;
+  }
+};
+
+// Equality for the message structs (defined here so the shipped headers
+// stay minimal; field-by-field keeps failures readable in gtest output).
+bool eq(const Status& a, const Status& b) {
+  return a.ok == b.ok && a.detail == b.detail;
+}
+bool eq(const NbrTableEntryMsg& a, const NbrTableEntryMsg& b) {
+  return a.addr == b.addr && a.name == b.name && a.lqi == b.lqi &&
+         a.rssi == b.rssi && a.blacklisted == b.blacklisted &&
+         a.age_ms == b.age_ms;
+}
+bool eq(const PingRoundMsg& a, const PingRoundMsg& b) {
+  return a.round == b.round && a.received == b.received &&
+         a.rtt_us == b.rtt_us && a.lqi_fwd == b.lqi_fwd &&
+         a.lqi_bwd == b.lqi_bwd && a.rssi_fwd == b.rssi_fwd &&
+         a.rssi_bwd == b.rssi_bwd && a.queue_local == b.queue_local &&
+         a.queue_remote == b.queue_remote && a.hops_fwd == b.hops_fwd &&
+         a.hops_bwd == b.hops_bwd;
+}
+bool eq(const ProcessInfoMsg& a, const ProcessInfoMsg& b) {
+  return a.name == b.name && a.running == b.running &&
+         a.flash_bytes == b.flash_bytes && a.ram_bytes == b.ram_bytes;
+}
+bool eq(const LogEventMsg& a, const LogEventMsg& b) {
+  return a.time_ms == b.time_ms && a.code == b.code && a.arg == b.arg;
+}
+bool eq(const RoutingStatMsg& a, const RoutingStatMsg& b) {
+  return a.port == b.port && a.name == b.name &&
+         a.originated == b.originated && a.forwarded == b.forwarded &&
+         a.delivered == b.delivered &&
+         a.dropped_no_route == b.dropped_no_route &&
+         a.dropped_ttl == b.dropped_ttl && a.control_sent == b.control_sent;
+}
+template <typename T, typename F>
+bool all_eq(const std::vector<T>& a, const std::vector<T>& b, F f) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!f(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+constexpr int kRoundTrips = 200;
+
+// -- round trips ---------------------------------------------------------
+
+TEST(MessagesFuzz, RoundTripScalarBodies) {
+  Gen g(1);
+  for (int i = 0; i < kRoundTrips; ++i) {
+    {
+      RadioSetPower m{g.u8()};
+      const auto d = decode_radio_set_power(encode_body(m));
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(d->level, m.level);
+    }
+    {
+      RadioSetChannel m{g.u8()};
+      const auto d = decode_radio_set_channel(encode_body(m));
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(d->channel, m.channel);
+    }
+    {
+      NbrList m{g.flag()};
+      const auto d = decode_nbr_list(encode_body(m));
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(d->with_link_info, m.with_link_info);
+    }
+    {
+      NbrBlacklist m{static_cast<net::Addr>(g.u16())};
+      const auto d = decode_nbr_blacklist(encode_body(m));
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(d->addr, m.addr);
+    }
+    {
+      NbrUpdate m{g.u32()};
+      const auto d = decode_nbr_update(encode_body(m));
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(d->beacon_period_ms, m.beacon_period_ms);
+    }
+    {
+      ExecCommand m{g.str(64)};
+      const auto d = decode_exec(encode_body(m));
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(d->params, m.params);
+    }
+    {
+      Status m{g.flag(), g.str(48)};
+      const auto d = decode_status(encode_body(m));
+      ASSERT_TRUE(d.has_value());
+      EXPECT_TRUE(eq(*d, m));
+    }
+    {
+      RadioConfig m{g.u8(), g.u8()};
+      const auto d = decode_radio_config(encode_body(m));
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(d->power, m.power);
+      EXPECT_EQ(d->channel, m.channel);
+    }
+    {
+      EnergyMsg m{g.u32(), g.u64(), g.u64()};
+      const auto d = decode_energy(encode_body(m));
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(d->uptime_ms, m.uptime_ms);
+      EXPECT_EQ(d->tx_uj, m.tx_uj);
+      EXPECT_EQ(d->listen_uj, m.listen_uj);
+    }
+    {
+      ScanRequest m{g.u16()};
+      const auto d = decode_scan_request(encode_body(m));
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(d->dwell_ms, m.dwell_ms);
+    }
+  }
+}
+
+TEST(MessagesFuzz, RoundTripNbrTable) {
+  Gen g(2);
+  for (int i = 0; i < kRoundTrips; ++i) {
+    NbrTableMsg m;
+    m.with_link_info = g.flag();
+    m.entries.resize(g.count(20));
+    for (auto& e : m.entries) {
+      e = {static_cast<net::Addr>(g.u16()), g.str(12), g.u8(), g.i8(),
+           g.flag(), g.u32()};
+    }
+    const auto d = decode_nbr_table(encode_body(m));
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->with_link_info, m.with_link_info);
+    EXPECT_TRUE(all_eq(d->entries, m.entries,
+                       [](const auto& a, const auto& b) { return eq(a, b); }));
+  }
+}
+
+TEST(MessagesFuzz, RoundTripPingResult) {
+  Gen g(3);
+  for (int i = 0; i < kRoundTrips; ++i) {
+    PingResultMsg m;
+    m.target = static_cast<net::Addr>(g.u16());
+    m.rounds = g.u8();
+    m.payload_len = g.u8();
+    m.power = g.u8();
+    m.channel = g.u8();
+    m.rounds_data.resize(g.count(10));
+    for (auto& r : m.rounds_data) {
+      r.round = g.u8();
+      r.received = g.flag();
+      r.rtt_us = g.u32();
+      r.lqi_fwd = g.u8();
+      r.lqi_bwd = g.u8();
+      r.rssi_fwd = g.i8();
+      r.rssi_bwd = g.i8();
+      r.queue_local = g.u8();
+      r.queue_remote = g.u8();
+      r.hops_fwd = g.pads(6);
+      r.hops_bwd = g.pads(6);
+    }
+    const auto d = decode_ping_result(encode_body(m));
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->target, m.target);
+    EXPECT_EQ(d->rounds, m.rounds);
+    EXPECT_EQ(d->payload_len, m.payload_len);
+    EXPECT_EQ(d->power, m.power);
+    EXPECT_EQ(d->channel, m.channel);
+    EXPECT_TRUE(all_eq(d->rounds_data, m.rounds_data,
+                       [](const auto& a, const auto& b) { return eq(a, b); }));
+  }
+}
+
+TEST(MessagesFuzz, RoundTripTraceroute) {
+  Gen g(4);
+  for (int i = 0; i < kRoundTrips; ++i) {
+    {
+      TracerouteReportMsg m;
+      m.task_id = g.u16();
+      m.hop_index = g.u8();
+      m.prober = static_cast<net::Addr>(g.u16());
+      m.next = static_cast<net::Addr>(g.u16());
+      m.reached = g.flag();
+      m.fail_reason = static_cast<TrFailReason>(g.u8() % 3);
+      m.rtt_us = g.u32();
+      m.lqi_fwd = g.u8();
+      m.lqi_bwd = g.u8();
+      m.rssi_fwd = g.i8();
+      m.rssi_bwd = g.i8();
+      m.queue_near = g.u8();
+      m.queue_far = g.u8();
+      m.is_final = g.flag();
+      const auto d = decode_traceroute_report(encode_body(m));
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(d->task_id, m.task_id);
+      EXPECT_EQ(d->hop_index, m.hop_index);
+      EXPECT_EQ(d->prober, m.prober);
+      EXPECT_EQ(d->next, m.next);
+      EXPECT_EQ(d->reached, m.reached);
+      EXPECT_EQ(d->fail_reason, m.fail_reason);
+      EXPECT_EQ(d->rtt_us, m.rtt_us);
+      EXPECT_EQ(d->lqi_fwd, m.lqi_fwd);
+      EXPECT_EQ(d->lqi_bwd, m.lqi_bwd);
+      EXPECT_EQ(d->rssi_fwd, m.rssi_fwd);
+      EXPECT_EQ(d->rssi_bwd, m.rssi_bwd);
+      EXPECT_EQ(d->queue_near, m.queue_near);
+      EXPECT_EQ(d->queue_far, m.queue_far);
+      EXPECT_EQ(d->is_final, m.is_final);
+    }
+    {
+      TracerouteDoneMsg m{g.u16(), g.u8(), g.u8(), g.str(16)};
+      const auto d = decode_traceroute_done(encode_body(m));
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(d->task_id, m.task_id);
+      EXPECT_EQ(d->hops, m.hops);
+      EXPECT_EQ(d->received, m.received);
+      EXPECT_EQ(d->protocol_name, m.protocol_name);
+    }
+  }
+}
+
+TEST(MessagesFuzz, RoundTripProcessLogScanNetstat) {
+  Gen g(5);
+  for (int i = 0; i < kRoundTrips; ++i) {
+    {
+      ProcessListMsg m;
+      m.processes.resize(g.count(8));
+      for (auto& p : m.processes) {
+        p = {g.str(12), g.flag(), g.u32(), g.u32()};
+      }
+      const auto d = decode_process_list(encode_body(m));
+      ASSERT_TRUE(d.has_value());
+      EXPECT_TRUE(all_eq(
+          d->processes, m.processes,
+          [](const auto& a, const auto& b) { return eq(a, b); }));
+    }
+    {
+      LogDataMsg m;
+      m.total = g.u32();
+      m.dropped = g.u32();
+      m.events.resize(g.count(32));
+      for (auto& e : m.events) e = {g.u32(), g.u16(), g.u32()};
+      const auto d = decode_log_data(encode_body(m));
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(d->total, m.total);
+      EXPECT_EQ(d->dropped, m.dropped);
+      EXPECT_TRUE(all_eq(d->events, m.events, [](const auto& a,
+                                                 const auto& b) {
+        return eq(a, b);
+      }));
+    }
+    {
+      ScanDataMsg m;
+      m.entries.resize(g.count(16));
+      for (auto& e : m.entries) e = {g.u8(), g.i8()};
+      const auto d = decode_scan_data(encode_body(m));
+      ASSERT_TRUE(d.has_value());
+      ASSERT_EQ(d->entries.size(), m.entries.size());
+      for (std::size_t k = 0; k < m.entries.size(); ++k) {
+        EXPECT_EQ(d->entries[k].channel, m.entries[k].channel);
+        EXPECT_EQ(d->entries[k].rssi, m.entries[k].rssi);
+      }
+    }
+    {
+      NetstatMsg m;
+      m.mac_enqueued = g.u32();
+      m.mac_sent = g.u32();
+      m.mac_dropped_queue_full = g.u32();
+      m.mac_dropped_channel_busy = g.u32();
+      m.mac_rx_delivered = g.u32();
+      m.mac_rx_crc_failures = g.u32();
+      m.mac_cca_busy = g.u32();
+      m.net_delivered = g.u32();
+      m.net_local = g.u32();
+      m.net_no_subscriber = g.u32();
+      m.net_malformed = g.u32();
+      m.protocols.resize(g.count(4));
+      for (auto& p : m.protocols) {
+        p = {g.u8(),  g.str(10), g.u32(), g.u32(),
+             g.u32(), g.u32(),   g.u32(), g.u32()};
+      }
+      const auto d = decode_netstat(encode_body(m));
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(d->mac_enqueued, m.mac_enqueued);
+      EXPECT_EQ(d->mac_sent, m.mac_sent);
+      EXPECT_EQ(d->mac_dropped_queue_full, m.mac_dropped_queue_full);
+      EXPECT_EQ(d->mac_dropped_channel_busy, m.mac_dropped_channel_busy);
+      EXPECT_EQ(d->mac_rx_delivered, m.mac_rx_delivered);
+      EXPECT_EQ(d->mac_rx_crc_failures, m.mac_rx_crc_failures);
+      EXPECT_EQ(d->mac_cca_busy, m.mac_cca_busy);
+      EXPECT_EQ(d->net_delivered, m.net_delivered);
+      EXPECT_EQ(d->net_local, m.net_local);
+      EXPECT_EQ(d->net_no_subscriber, m.net_no_subscriber);
+      EXPECT_EQ(d->net_malformed, m.net_malformed);
+      EXPECT_TRUE(all_eq(
+          d->protocols, m.protocols,
+          [](const auto& a, const auto& b) { return eq(a, b); }));
+    }
+  }
+}
+
+TEST(MessagesFuzz, RoundTripEnvelope) {
+  Gen g(6);
+  for (int i = 0; i < kRoundTrips; ++i) {
+    std::vector<std::uint8_t> body(g.count(120));
+    for (auto& b : body) b = g.u8();
+    const auto type = static_cast<MsgType>(g.u8());
+    const auto wire = encode_mgmt(type, body);
+    const auto d = decode_mgmt(wire);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->type, type);
+    EXPECT_EQ(d->body, body);
+  }
+}
+
+// -- adversarial byte soup ----------------------------------------------
+
+constexpr int kFuzzBuffers = 10000;
+constexpr std::size_t kMaxFuzzLen = 160;
+
+/// Feed `decode` random buffers. Any return value is acceptable; the only
+/// failure modes are crashes / sanitizer reports. Buffers are biased
+/// short (half ≤ 16 bytes) because length-prefix bugs live there.
+template <typename F>
+void soup(std::uint64_t seed, F&& decode) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint8_t> buf;
+  for (int i = 0; i < kFuzzBuffers; ++i) {
+    const std::size_t len = (i % 2 == 0) ? rng() % 17 : rng() % kMaxFuzzLen;
+    buf.resize(len);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+    (void)decode(std::span<const std::uint8_t>(buf));
+  }
+}
+
+TEST(MessagesFuzz, DecodersSurviveByteSoup) {
+  soup(100, [](auto s) { return decode_mgmt(s).has_value(); });
+  soup(101, [](auto s) { return decode_radio_set_power(s).has_value(); });
+  soup(102, [](auto s) { return decode_radio_set_channel(s).has_value(); });
+  soup(103, [](auto s) { return decode_nbr_list(s).has_value(); });
+  soup(104, [](auto s) { return decode_nbr_blacklist(s).has_value(); });
+  soup(105, [](auto s) { return decode_nbr_update(s).has_value(); });
+  soup(106, [](auto s) { return decode_exec(s).has_value(); });
+  soup(107, [](auto s) { return decode_status(s).has_value(); });
+  soup(108, [](auto s) { return decode_radio_config(s).has_value(); });
+  soup(109, [](auto s) { return decode_nbr_table(s).has_value(); });
+  soup(110, [](auto s) { return decode_ping_result(s).has_value(); });
+  soup(111, [](auto s) { return decode_traceroute_report(s).has_value(); });
+  soup(112, [](auto s) { return decode_traceroute_done(s).has_value(); });
+  soup(113, [](auto s) { return decode_process_list(s).has_value(); });
+  soup(114, [](auto s) { return decode_log_data(s).has_value(); });
+  soup(115, [](auto s) { return decode_energy(s).has_value(); });
+  soup(116, [](auto s) { return decode_scan_request(s).has_value(); });
+  soup(117, [](auto s) { return decode_scan_data(s).has_value(); });
+  soup(118, [](auto s) { return decode_netstat(s).has_value(); });
+}
+
+/// Mutated valid messages: flip bytes / truncate real encodings, which
+/// reaches deeper decoder states than pure noise.
+TEST(MessagesFuzz, DecodersSurviveMutatedValidMessages) {
+  Gen g(7);
+  std::mt19937_64 rng(200);
+  for (int i = 0; i < 2000; ++i) {
+    PingResultMsg m;
+    m.rounds_data.resize(g.count(6));
+    for (auto& r : m.rounds_data) {
+      r.hops_fwd = g.pads(4);
+      r.hops_bwd = g.pads(4);
+    }
+    auto wire = encode_body(m);
+    if (!wire.empty()) {
+      // One byte flipped, then a random truncation.
+      wire[rng() % wire.size()] ^= static_cast<std::uint8_t>(1 + rng() % 255);
+      wire.resize(rng() % (wire.size() + 1));
+    }
+    (void)decode_ping_result(wire);
+
+    NbrTableMsg t;
+    t.entries.resize(g.count(10));
+    for (auto& e : t.entries) e.name = g.str(10);
+    auto tw = encode_body(t);
+    if (!tw.empty()) {
+      tw[rng() % tw.size()] ^= static_cast<std::uint8_t>(1 + rng() % 255);
+      tw.resize(rng() % (tw.size() + 1));
+    }
+    (void)decode_nbr_table(tw);
+  }
+}
+
+}  // namespace
+}  // namespace liteview::lv

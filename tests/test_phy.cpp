@@ -2,12 +2,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <memory>
 
 #include "phy/ber.hpp"
 #include "phy/cc2420.hpp"
 #include "phy/medium.hpp"
 #include "phy/propagation.hpp"
+#include "phy/spatial_grid.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 
 namespace liteview::phy {
 namespace {
@@ -336,6 +340,212 @@ TEST_F(MediumFixture, LqiReflectsSnr) {
   ASSERT_EQ(near_sink.frames.size(), 1u);
   ASSERT_EQ(far_sink.frames.size(), 1u);
   EXPECT_GT(near_sink.frames[0].second.lqi, far_sink.frames[0].second.lqi);
+}
+
+// ---- spatial grid -----------------------------------------------------------
+
+TEST(SpatialGrid, QueryIsConservative) {
+  // Random points; every query must return a superset of the radios
+  // actually inside the disc — the grid may over-return, never miss.
+  SpatialGrid grid(25.0);
+  util::RngStream rng(11, "grid.test");
+  std::vector<Position> pts;
+  for (RadioId id = 0; id < 200; ++id) {
+    pts.push_back({rng.uniform(-300.0, 300.0), rng.uniform(-300.0, 300.0)});
+    grid.insert(id, pts.back());
+  }
+  EXPECT_EQ(grid.size(), 200u);
+
+  std::vector<RadioId> found;
+  for (int q = 0; q < 50; ++q) {
+    const Position c{rng.uniform(-300.0, 300.0), rng.uniform(-300.0, 300.0)};
+    const double r = rng.uniform(0.0, 150.0);
+    found.clear();
+    grid.query(c, r, found);
+    std::vector<bool> in_result(200, false);
+    for (const auto id : found) {
+      ASSERT_LT(id, 200u);
+      EXPECT_FALSE(in_result[id]) << "duplicate id in query result";
+      in_result[id] = true;
+    }
+    for (RadioId id = 0; id < 200; ++id) {
+      const double dx = pts[id].x - c.x, dy = pts[id].y - c.y;
+      if (dx * dx + dy * dy <= r * r) {
+        EXPECT_TRUE(in_result[id])
+            << "radio " << id << " inside disc but missing from query";
+      }
+    }
+  }
+}
+
+TEST(SpatialGrid, MoveAndRemoveTrackMembership) {
+  SpatialGrid grid(10.0);
+  grid.insert(0, {0, 0});
+  grid.insert(1, {100, 100});
+  std::vector<RadioId> found;
+  grid.query({0, 0}, 5.0, found);
+  EXPECT_EQ(found, (std::vector<RadioId>{0}));
+
+  grid.move(0, {0, 0}, {100, 100});
+  found.clear();
+  grid.query({0, 0}, 5.0, found);
+  EXPECT_TRUE(found.empty());
+  found.clear();
+  grid.query({100, 100}, 5.0, found);
+  EXPECT_EQ(found.size(), 2u);
+
+  grid.remove(1, {100, 100});
+  EXPECT_EQ(grid.size(), 1u);
+  found.clear();
+  grid.query({100, 100}, 5.0, found);
+  EXPECT_EQ(found, (std::vector<RadioId>{0}));
+}
+
+TEST(SpatialGrid, InfiniteRadiusReturnsEveryone) {
+  SpatialGrid grid(50.0);
+  for (RadioId id = 0; id < 40; ++id) {
+    grid.insert(id, {static_cast<double>(id) * 97.0, -123.0});
+  }
+  std::vector<RadioId> found;
+  grid.query({0, 0}, std::numeric_limits<double>::infinity(), found);
+  EXPECT_EQ(found.size(), 40u);
+}
+
+// ---- spatial culling --------------------------------------------------------
+
+/// Culled and unculled runs of the same seeded 100-radio beacon storm must
+/// agree on every counter and every delivered frame — with shadowing and
+/// fading ON, so the random link budget is exercised end to end.
+TEST(MediumCulling, CulledMatchesUnculledExactly) {
+  struct Run {
+    std::uint64_t delivered, corrupted, below, busy, rx_count, rx_bytes;
+  };
+  auto run = [](bool culling) {
+    sim::Simulator sim(21);
+    Medium medium(sim, PropagationConfig{});  // default: sigmas nonzero
+    medium.set_spatial_culling(culling);
+    std::vector<std::unique_ptr<Sink>> sinks;
+    util::RngStream place(21, "culling.place");
+    std::vector<RadioId> ids;
+    for (int i = 0; i < 100; ++i) {
+      sinks.push_back(std::make_unique<Sink>());
+      ids.push_back(medium.attach(
+          sinks.back().get(),
+          {place.uniform(0.0, 250.0), place.uniform(0.0, 250.0)}));
+    }
+    for (int round = 0; round < 3; ++round) {
+      for (const auto id : ids) {
+        sim.schedule_at(
+            sim::SimTime::ms(round * 40 + (id % 37)),
+            [&medium, id] {
+              medium.transmit(id, -10.0, std::vector<std::uint8_t>(20, 0x5a));
+            });
+      }
+    }
+    sim.run();
+    Run r{medium.frames_delivered(), medium.frames_corrupted(),
+          medium.frames_below_sensitivity(), medium.frames_missed_busy_rx(),
+          0, 0};
+    for (const auto& s : sinks) {
+      r.rx_count += s->frames.size();
+      for (const auto& f : s->frames) r.rx_bytes += f.first.size();
+    }
+    return r;
+  };
+  const Run culled = run(true);
+  const Run unculled = run(false);
+  EXPECT_EQ(culled.delivered, unculled.delivered);
+  EXPECT_EQ(culled.corrupted, unculled.corrupted);
+  EXPECT_EQ(culled.below, unculled.below);
+  EXPECT_EQ(culled.busy, unculled.busy);
+  EXPECT_EQ(culled.rx_count, unculled.rx_count);
+  EXPECT_EQ(culled.rx_bytes, unculled.rx_bytes);
+  EXPECT_GT(culled.delivered, 0u);  // the storm actually delivered frames
+}
+
+TEST_F(MediumFixture, CullingActuallySkipsFarRadios) {
+  ASSERT_TRUE(medium.spatial_culling_active());
+  Sink a, b, far;
+  const auto tx = medium.attach(&a, {0, 0});
+  medium.attach(&b, {10, 0});
+  medium.attach(&far, {1e5, 1e5});  // hopelessly out of range
+  medium.transmit(tx, 0.0, {1});
+  sim.run();
+  EXPECT_EQ(b.frames.size(), 1u);
+  EXPECT_TRUE(far.frames.empty());
+  EXPECT_GE(medium.culled_candidates(), 1u);  // `far` was never visited
+  // ... but it still shows up in the below-sensitivity count, exactly as
+  // the unculled scan would have recorded it.
+  EXPECT_EQ(medium.frames_below_sensitivity(), 1u);
+}
+
+TEST_F(MediumFixture, CullingCacheInvalidatesOnMove) {
+  Sink a, b;
+  const auto tx = medium.attach(&a, {0, 0});
+  const auto rx = medium.attach(&b, {1e5, 0});  // out of range
+  medium.transmit(tx, 0.0, {1});
+  sim.run();
+  EXPECT_TRUE(b.frames.empty());
+
+  medium.set_position(rx, {10, 0});  // must invalidate tx's reachable set
+  medium.transmit(tx, 0.0, {2});
+  sim.run();
+  ASSERT_EQ(b.frames.size(), 1u);
+
+  medium.set_position(rx, {1e5, 0});  // and invalidate again on the way out
+  medium.transmit(tx, 0.0, {3});
+  sim.run();
+  EXPECT_EQ(b.frames.size(), 1u);
+}
+
+TEST_F(MediumFixture, CullingCacheInvalidatesOnChannelChange) {
+  Sink a, b;
+  const auto tx = medium.attach(&a, {0, 0});
+  const auto rx = medium.attach(&b, {10, 0});
+  medium.set_channel(rx, 26);
+  medium.transmit(tx, 0.0, {1});
+  sim.run();
+  EXPECT_TRUE(b.frames.empty());
+
+  medium.set_channel(rx, kDefaultChannel);
+  medium.transmit(tx, 0.0, {2});
+  sim.run();
+  EXPECT_EQ(b.frames.size(), 1u);
+}
+
+TEST_F(MediumFixture, CullingCacheInvalidatesOnPowerGrowth) {
+  Sink a, b;
+  const auto tx = medium.attach(&a, {0, 0});
+  // Park b where a -25 dBm transmit cannot reach (max range 10 m with
+  // this budget) but a 0 dBm one can (max range ~68 m): PL(40 m) ≈ 88 dB.
+  medium.attach(&b, {40, 0});
+  medium.transmit(tx, -25.0, {1});  // rx ≈ -113 dBm: below sensitivity
+  sim.run();
+  EXPECT_TRUE(b.frames.empty());
+
+  // Raising TX power must widen the cached reachable sets.
+  medium.transmit(tx, 0.0, {2});  // rx ≈ -88 dBm: above sensitivity
+  sim.run();
+  EXPECT_EQ(b.frames.size(), 1u);
+}
+
+TEST(MediumCulling, InfiniteRangeDisablesCulling) {
+  // With tail clamping off the link budget is unbounded, so culling must
+  // deactivate itself (correctness over speed) — and delivery still works.
+  sim::Simulator sim(3);
+  PropagationConfig cfg;
+  cfg.shadowing_sigma_db = 0.0;
+  cfg.fading_sigma_db = 0.0;
+  cfg.tail_clamp_sigma = 0.0;  // 0 = unclamped tails
+  Medium medium(sim, cfg);
+  EXPECT_FALSE(medium.spatial_culling_active());
+  Sink a, b;
+  const auto tx = medium.attach(&a, {0, 0});
+  medium.attach(&b, {10, 0});
+  medium.transmit(tx, 0.0, {9});
+  sim.run();
+  EXPECT_EQ(b.frames.size(), 1u);
+  EXPECT_EQ(medium.culled_candidates(), 0u);
 }
 
 }  // namespace

@@ -132,13 +132,17 @@ TEST(Accounting, NonBeaconExcludesBeacons) {
 }
 
 TEST(Replicate, PreservesSeedOrder) {
+  // Slot i must hold the result of replication i (derived-seed contract;
+  // see sim/replication.hpp), independent of how many workers ran it.
   const auto out = bench::replicate<std::uint64_t>(
       6, 100, [](std::uint64_t seed) { return seed; });
   ASSERT_EQ(out.size(), 6u);
-  for (int i = 0; i < 6; ++i) {
-    EXPECT_EQ(out[static_cast<std::size_t>(i)],
-              100ull + static_cast<std::uint64_t>(i) * 101);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(out[i], sim::derive_replication_seed(100, i));
   }
+  const auto parallel = bench::replicate<std::uint64_t>(
+      6, 100, [](std::uint64_t seed) { return seed; }, 4);
+  EXPECT_EQ(out, parallel);
 }
 
 TEST(Workstation, SetAllPowerCoversDeploymentAndBase) {
