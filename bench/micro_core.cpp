@@ -3,9 +3,12 @@
 // evaluation, padding operations, and a full testbed warm-up.
 #include <benchmark/benchmark.h>
 
+#include "mac/csma.hpp"
 #include "mac/frame.hpp"
 #include "net/packet.hpp"
+#include "net/stack.hpp"
 #include "phy/ber.hpp"
+#include "phy/medium.hpp"
 #include "sim/simulator.hpp"
 #include "testbed/testbed.hpp"
 #include "util/crc16.hpp"
@@ -27,6 +30,83 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1'000)->Arg(10'000);
+
+void BM_EventQueueScheduleCancel(benchmark::State& state) {
+  // Schedule/cancel-heavy load: half the scheduled events are cancelled
+  // through their handles before the run, exercising the generation-check
+  // path and the lazy reaping of cancelled slots.
+  const auto n = state.range(0);
+  std::vector<sim::EventHandle> handles;
+  handles.reserve(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    handles.clear();
+    for (std::int64_t i = 0; i < n; ++i) {
+      handles.push_back(sim.schedule_at(sim::SimTime::us(i % 977), [] {}));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].cancel();
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+    handles.clear();  // drop before the simulator goes out of scope
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleCancel)->Arg(1'000)->Arg(10'000);
+
+void BM_EventQueueRepeatingTimers(benchmark::State& state) {
+  // schedule_every-heavy load: many staggered periodic timers ticking
+  // through the pooled arena (each tick reuses its slot; the item count
+  // is timer firings).
+  const auto timers = state.range(0);
+  std::uint64_t total_ticks = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t ticks = 0;
+    std::vector<sim::EventHandle> hs;
+    hs.reserve(static_cast<std::size_t>(timers));
+    for (std::int64_t i = 0; i < timers; ++i) {
+      hs.push_back(sim.schedule_every(sim::SimTime::us(50 + i % 37),
+                                      [&ticks] { ++ticks; }));
+    }
+    sim.run_until(sim::SimTime::ms(10));
+    for (auto& h : hs) h.cancel();
+    benchmark::DoNotOptimize(ticks);
+    total_ticks += ticks;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_ticks));
+}
+BENCHMARK(BM_EventQueueRepeatingTimers)->Arg(16)->Arg(256);
+
+void BM_PacketHopBufferChurn(benchmark::State& state) {
+  // Steady-state cost of one link-layer packet hop (stack→MAC→medium→
+  // MAC→stack) with every buffer on the path recycled from a pool.
+  sim::Simulator sim(5);
+  phy::PropagationConfig prop;
+  prop.shadowing_sigma_db = 0.0;
+  prop.fading_sigma_db = 0.0;
+  phy::Medium medium(sim, prop);
+  mac::CsmaMac mac_a(sim, medium, 1, phy::Position{0, 0});
+  mac::CsmaMac mac_b(sim, medium, 2, phy::Position{10, 0});
+  net::CommStack stack_a(sim, mac_a);
+  net::CommStack stack_b(sim, mac_b);
+  std::uint64_t received = 0;
+  stack_b.subscribe(5, [&received](const net::NetPacket&,
+                                   const net::LinkContext&) { ++received; });
+  std::uint32_t id = 0;
+  for (auto _ : state) {
+    net::NetPacket p;
+    p.src = 1;
+    p.dst = 2;
+    p.port = 5;
+    p.id = ++id;
+    p.payload = {0xA5, 0x5A, 0x42, 0x24};
+    stack_a.send_link(2, p);
+    sim.run();
+  }
+  benchmark::DoNotOptimize(received);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketHopBufferChurn);
 
 void BM_Crc16(benchmark::State& state) {
   std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));

@@ -111,14 +111,15 @@ void FaultPlane::jam(phy::Channel channel, sim::SimTime start,
   });
 }
 
-void FaultPlane::churn_tick(std::vector<net::Addr> pool, sim::SimTime period,
-                            sim::SimTime downtime, sim::SimTime until) {
+void FaultPlane::churn_tick(
+    const std::shared_ptr<const std::vector<net::Addr>>& pool,
+    sim::SimTime period, sim::SimTime downtime, sim::SimTime until) {
   if (sim_.now() > until) return;
   // Pick one currently-powered victim; draw even when none qualify so
   // the stream's consumption doesn't depend on transient power state.
   const auto pick = static_cast<std::size_t>(churn_rng_.uniform_int(
-      0, static_cast<std::int64_t>(pool.size()) - 1));
-  const net::Addr victim = pool[pick];
+      0, static_cast<std::int64_t>(pool->size()) - 1));
+  const net::Addr victim = (*pool)[pick];
   if (kernel::Node* node = find_node(victim);
       node != nullptr && node->powered()) {
     crash_now(victim);
@@ -137,9 +138,13 @@ void FaultPlane::churn_tick(std::vector<net::Addr> pool, sim::SimTime period,
 void FaultPlane::churn(std::vector<net::Addr> pool, sim::SimTime period,
                        sim::SimTime downtime, sim::SimTime until) {
   if (pool.empty()) return;
+  // Shared ownership keeps the tick capture within the event core's
+  // inline budget and stops every tick from re-copying the pool.
+  auto shared = std::make_shared<const std::vector<net::Addr>>(
+      std::move(pool));
   sim_.schedule_at(sim_.now() + period,
-                   [this, pool, period, downtime, until] {
-                     churn_tick(pool, period, downtime, until);
+                   [this, shared, period, downtime, until] {
+                     churn_tick(shared, period, downtime, until);
                    });
 }
 

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -132,8 +133,9 @@ class FaultPlane final : public phy::FaultInterceptor {
   LinkState& link_state(phy::RadioId from, phy::RadioId to);
   void record(FaultKind kind, std::uint32_t a, std::uint32_t b = 0);
   [[nodiscard]] kernel::Node* find_node(net::Addr addr) const;
-  void churn_tick(std::vector<net::Addr> pool, sim::SimTime period,
-                  sim::SimTime downtime, sim::SimTime until);
+  void churn_tick(const std::shared_ptr<const std::vector<net::Addr>>& pool,
+                  sim::SimTime period, sim::SimTime downtime,
+                  sim::SimTime until);
 
   sim::Simulator& sim_;
   phy::Medium& medium_;

@@ -278,7 +278,11 @@ void RuntimeController::exec_scan(net::Addr from, const ScanRequest& req) {
                    static_cast<std::uint32_t>(MsgType::kScan));
   auto st = std::make_shared<ScanState>();
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, sample_gap, home, st, step, from] {
+  // The function holds itself only weakly — each scheduled continuation
+  // carries the strong ref, so finishing the sweep (no reschedule) drops
+  // the last one instead of leaking a step→lambda→step cycle.
+  *step = [this, sample_gap, home, st,
+           weak_step = std::weak_ptr<std::function<void()>>(step), from] {
     // Retune through the raw MAC: a 17-hop sweep shouldn't flood the
     // event log with channel-changed entries.
     if (st->sample == 0) node().mac().set_channel(st->channel);
@@ -296,7 +300,10 @@ void RuntimeController::exec_scan(net::Addr from, const ScanRequest& req) {
       }
       ++st->channel;
     }
-    node().simulator().schedule_in(sample_gap, [step] { (*step)(); });
+    if (auto strong = weak_step.lock()) {
+      node().simulator().schedule_in(sample_gap,
+                                     [strong] { (*strong)(); });
+    }
   };
   (*step)();
 }

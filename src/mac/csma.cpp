@@ -12,7 +12,8 @@ CsmaMac::CsmaMac(sim::Simulator& sim, phy::Medium& medium, ShortAddr address,
       cfg_(cfg),
       radio_(medium.attach(this, pos)),
       backoff_rng_(sim.rng_root().stream("mac.backoff", address)),
-      created_(sim.now()) {}
+      created_(sim.now()),
+      queue_(cfg.queue_capacity) {}
 
 CsmaMac::~CsmaMac() { medium_.detach(radio_); }
 
@@ -44,8 +45,7 @@ void CsmaMac::set_radio_enabled(bool enabled) {
   maybe_start();
 }
 
-bool CsmaMac::send(ShortAddr dst, std::vector<std::uint8_t> payload,
-                   SendCallback cb) {
+bool CsmaMac::send(ShortAddr dst, FramePayload payload, SendCallback cb) {
   assert(payload.size() <= kMaxMacPayload);
   if (!enabled_) {
     ++stats_.dropped_radio_off;
@@ -119,9 +119,12 @@ void CsmaMac::transmit_head() {
     finish_head(false);
     return;
   }
-  const auto mpdu = encode_frame(queue_.front().frame);
-  const auto air = phy::frame_airtime(static_cast<int>(mpdu.size()));
-  medium_.transmit(radio_, phy::pa_level_to_dbm(pa_level_), mpdu);
+  // Encode straight into a pooled PSDU buffer: the whole MAC→air→deliver
+  // hop reuses recycled storage instead of allocating per frame.
+  phy::FrameBufferRef mpdu = medium_.acquire_frame();
+  encode_frame_into(queue_.front().frame, mpdu.bytes());
+  const auto air = phy::frame_airtime(static_cast<int>(mpdu.bytes().size()));
+  medium_.transmit(radio_, phy::pa_level_to_dbm(pa_level_), std::move(mpdu));
   energy_.add_tx(air, pa_level_);
   ++stats_.sent;
   // Busy until end of frame plus RX/TX turnaround before the next head.
@@ -153,12 +156,24 @@ void CsmaMac::on_frame(const std::vector<std::uint8_t>& psdu,
   }
   ++stats_.rx_delivered;
   if (!rx_handler_) return;
-  // Copy into the handler's context after the software processing delay.
-  auto frame = std::make_shared<MacFrame>(std::move(*decoded));
-  const phy::RxInfo rx = info;
-  sim_.schedule_in(cfg_.rx_proc_delay, [this, frame, rx] {
+  // Park the frame in a pooled slot until the software processing delay
+  // elapses; the dispatch event carries only the slot index.
+  std::uint32_t idx;
+  if (!rx_free_.empty()) {
+    idx = rx_free_.back();
+    rx_free_.pop_back();
+  } else {
+    rx_slots_.push_back(std::make_unique<RxPending>());
+    idx = static_cast<std::uint32_t>(rx_slots_.size() - 1);
+  }
+  RxPending& slot = *rx_slots_[idx];
+  slot.frame = std::move(*decoded);
+  slot.rx = info;
+  sim_.schedule_in(cfg_.rx_proc_delay, [this, idx] {
+    RxPending& p = *rx_slots_[idx];
     // A crash between arrival and dispatch loses the frame too.
-    if (rx_handler_ && enabled_) rx_handler_(*frame, rx);
+    if (rx_handler_ && enabled_) rx_handler_(p.frame, p.rx);
+    rx_free_.push_back(idx);
   });
 }
 

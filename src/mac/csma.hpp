@@ -8,8 +8,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "mac/frame.hpp"
@@ -64,8 +64,10 @@ class CsmaMac final : public phy::MediumClient {
   CsmaMac& operator=(const CsmaMac&) = delete;
 
   /// Enqueue a frame. Returns false (and drops) when the queue is full.
-  bool send(ShortAddr dst, std::vector<std::uint8_t> payload,
-            SendCallback cb = {});
+  /// (std::vector arguments convert: the bytes are copied into the
+  /// frame's inline payload, which is cheaper than the old vector move
+  /// plus its eventual free.)
+  bool send(ShortAddr dst, FramePayload payload, SendCallback cb = {});
 
   void set_rx_handler(RxHandler handler) { rx_handler_ = std::move(handler); }
 
@@ -118,6 +120,40 @@ class CsmaMac final : public phy::MediumClient {
     MacFrame frame;
     SendCallback cb;
   };
+  /// Fixed-capacity ring over the bounded TX queue. push/pop recycle the
+  /// same slots forever, keeping steady-state queueing off the heap — a
+  /// std::deque here block-cycled a fresh allocation every couple of
+  /// frames (tests/test_alloc.cpp holds the zero-alloc line).
+  class TxQueue {
+   public:
+    explicit TxQueue(std::size_t capacity) : slots_(capacity) {}
+    [[nodiscard]] std::size_t size() const noexcept { return count_; }
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+    [[nodiscard]] Pending& front() noexcept { return slots_[head_]; }
+    [[nodiscard]] Pending& back() noexcept { return slots_[index(count_ - 1)]; }
+    void push_back(Pending&& p) { slots_[index(count_++)] = std::move(p); }
+    void pop_front() {
+      slots_[head_] = Pending{};  // release the payload/capture now
+      head_ = index(1);
+      --count_;
+    }
+    void pop_back() { slots_[index(--count_)] = Pending{}; }
+
+   private:
+    [[nodiscard]] std::size_t index(std::size_t i) const noexcept {
+      return (head_ + i) % slots_.size();
+    }
+    std::vector<Pending> slots_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+  };
+  /// A received frame parked between arrival and the rx_proc_delay
+  /// dispatch event. Pooled (free-list reuse, stable addresses) so the
+  /// receive path stays heap-free in steady state.
+  struct RxPending {
+    MacFrame frame;
+    phy::RxInfo rx;
+  };
 
   void maybe_start();
   void csma_attempt(std::uint8_t nb, std::uint8_t be);
@@ -134,7 +170,9 @@ class CsmaMac final : public phy::MediumClient {
   util::RngStream backoff_rng_;
   phy::EnergyMeter energy_;
   sim::SimTime created_;
-  std::deque<Pending> queue_;
+  TxQueue queue_;
+  std::vector<std::unique_ptr<RxPending>> rx_slots_;
+  std::vector<std::uint32_t> rx_free_;
   bool busy_ = false;          ///< head-of-line frame in CSMA or on air
   bool enabled_ = true;        ///< radio powered (false while crashed)
   std::uint8_t next_seq_ = 0;

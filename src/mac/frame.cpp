@@ -6,15 +6,25 @@
 namespace liteview::mac {
 
 std::vector<std::uint8_t> encode_frame(const MacFrame& f) {
-  util::ByteWriter w(kMacOverheadBytes + f.payload.size());
-  w.u16(kDataFcf);
-  w.u8(f.seq);
-  w.u16(f.dst);
-  w.u16(f.src);
-  w.bytes(f.payload);
-  const std::uint16_t fcs = util::crc16_ccitt(w.data());
-  w.u16(fcs);
-  return std::move(w).take();
+  std::vector<std::uint8_t> out;
+  encode_frame_into(f, out);
+  return out;
+}
+
+void encode_frame_into(const MacFrame& f, std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(kMacOverheadBytes + f.payload.size());
+  const auto u16 = [&out](std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(v & 0xff));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+  };
+  u16(kDataFcf);
+  out.push_back(f.seq);
+  u16(f.dst);
+  u16(f.src);
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+  const std::uint16_t fcs = util::crc16_ccitt(out);
+  u16(fcs);
 }
 
 std::optional<MacFrame> decode_frame(std::span<const std::uint8_t> mpdu) {

@@ -15,6 +15,8 @@
 #include <span>
 #include <vector>
 
+#include "util/small_vec.hpp"
+
 namespace liteview::mac {
 
 using ShortAddr = std::uint16_t;
@@ -27,11 +29,16 @@ inline constexpr std::size_t kMacOverheadBytes = kMacHeaderBytes + kFcsBytes;
 /// Maximum network-layer payload per frame.
 inline constexpr std::size_t kMaxMacPayload = 127 - kMacOverheadBytes;
 
+/// MAC payload bytes, stored inline up to the protocol maximum so frames
+/// move through the stack without heap traffic. (Decoder fuzzing can feed
+/// oversized runs; those spill to the heap and are then rejected.)
+using FramePayload = util::SmallVec<std::uint8_t, kMaxMacPayload>;
+
 struct MacFrame {
   ShortAddr src = 0;
   ShortAddr dst = kBroadcastAddr;
   std::uint8_t seq = 0;
-  std::vector<std::uint8_t> payload;
+  FramePayload payload;
 
   [[nodiscard]] bool broadcast() const noexcept {
     return dst == kBroadcastAddr;
@@ -40,6 +47,10 @@ struct MacFrame {
 
 /// Serialize a frame to MPDU bytes (including FCS).
 [[nodiscard]] std::vector<std::uint8_t> encode_frame(const MacFrame& f);
+
+/// Serialize into a reused buffer (cleared first, capacity retained) — the
+/// allocation-free path the MAC uses with pooled PSDU buffers.
+void encode_frame_into(const MacFrame& f, std::vector<std::uint8_t>& out);
 
 /// Parse an MPDU. Returns nullopt on malformed length or FCS mismatch —
 /// this is the "CRC Checker" stage of the paper's stack.

@@ -6,26 +6,48 @@
 
 namespace liteview::net {
 
-std::vector<std::uint8_t> encode_packet(const NetPacket& p) {
+namespace {
+
+/// Shared field layout for both encode targets (growable vector and
+/// inline MAC payload).
+template <class Out>
+void encode_fields(const NetPacket& p, Out& out) {
   assert(p.payload.size() <= 255);
   assert(p.payload.size() + p.padding.size() * kPadEntryBytes <=
              kPayloadBudget &&
          "payload + padding exceeds the routing-layer budget");
-  util::ByteWriter w(p.wire_size());
-  w.u16(p.src);
-  w.u16(p.dst);
-  w.u8(p.port);
-  w.u8(p.ttl);
-  w.u8(p.flags);
-  w.u16(p.id);
-  w.u8(static_cast<std::uint8_t>(p.padding.size()));
-  w.u8(static_cast<std::uint8_t>(p.payload.size()));
-  w.bytes(p.payload);
+  const auto u8 = [&out](std::uint8_t v) { out.push_back(v); };
+  const auto u16 = [&out](std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(v & 0xff));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+  };
+  u16(p.src);
+  u16(p.dst);
+  u8(p.port);
+  u8(p.ttl);
+  u8(p.flags);
+  u16(p.id);
+  u8(static_cast<std::uint8_t>(p.padding.size()));
+  u8(static_cast<std::uint8_t>(p.payload.size()));
+  out.insert(out.end(), p.payload.begin(), p.payload.end());
   for (const auto& e : p.padding) {
-    w.u8(e.lqi);
-    w.i8(e.rssi);
+    u8(e.lqi);
+    u8(static_cast<std::uint8_t>(e.rssi));
   }
-  return std::move(w).take();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_packet(const NetPacket& p) {
+  std::vector<std::uint8_t> out;
+  out.reserve(p.wire_size());
+  encode_fields(p, out);
+  return out;
+}
+
+void encode_packet_into(const NetPacket& p, mac::FramePayload& out) {
+  out.clear();
+  encode_fields(p, out);
 }
 
 std::optional<NetPacket> decode_packet(std::span<const std::uint8_t> bytes) {
@@ -40,7 +62,7 @@ std::optional<NetPacket> decode_packet(std::span<const std::uint8_t> bytes) {
   p.id = r.u16();
   const std::uint8_t pad_count = r.u8();
   const std::uint8_t payload_len = r.u8();
-  p.payload = r.bytes(payload_len);
+  p.payload = r.view(payload_len);
   p.padding.reserve(pad_count);
   for (std::uint8_t i = 0; i < pad_count; ++i) {
     PadEntry e;

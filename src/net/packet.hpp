@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "mac/frame.hpp"
+#include "util/small_vec.hpp"
 
 namespace liteview::net {
 
@@ -60,6 +61,13 @@ struct PadEntry {
   bool operator==(const PadEntry&) const = default;
 };
 
+/// Payload bytes live inline up to the routing budget; padding entries up
+/// to the most the budget can carry. Well-formed packets therefore never
+/// heap-allocate; only decoder fuzzing (oversized fields, rejected right
+/// after) spills.
+using Payload = util::SmallVec<std::uint8_t, kPayloadBudget>;
+using PadList = util::SmallVec<PadEntry, kPayloadBudget / kPadEntryBytes>;
+
 struct NetPacket {
   Addr src = 0;
   Addr dst = kBroadcast;
@@ -67,8 +75,8 @@ struct NetPacket {
   std::uint8_t ttl = kDefaultTtl;
   std::uint8_t flags = 0;
   std::uint16_t id = 0;  ///< origin-assigned; stable across hops
-  std::vector<std::uint8_t> payload;
-  std::vector<PadEntry> padding;
+  Payload payload;
+  PadList padding;
 
   [[nodiscard]] bool padding_enabled() const noexcept {
     return flags & kFlagPadding;
@@ -98,6 +106,9 @@ struct NetPacket {
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode_packet(const NetPacket& p);
+/// Encode straight into a MAC payload (cleared first) — no intermediate
+/// vector, no heap for budget-sized packets.
+void encode_packet_into(const NetPacket& p, mac::FramePayload& out);
 [[nodiscard]] std::optional<NetPacket> decode_packet(
     std::span<const std::uint8_t> bytes);
 

@@ -23,7 +23,10 @@ void CommStack::unsubscribe(Port port) { handlers_.erase(port); }
 
 bool CommStack::send_link(mac::ShortAddr next_hop, const NetPacket& packet,
                           SendCallback cb) {
-  return mac_.send(next_hop, encode_packet(packet), std::move(cb));
+  // Encode straight into the frame's inline payload — no per-hop vector.
+  mac::FramePayload bytes;
+  encode_packet_into(packet, bytes);
+  return mac_.send(next_hop, std::move(bytes), std::move(cb));
 }
 
 void CommStack::send_local(NetPacket packet) {

@@ -1,0 +1,144 @@
+// Pooled, refcounted PSDU buffers for the packet hot path.
+//
+// Every transmission used to heap-allocate a fresh
+// shared_ptr<vector<uint8_t>> to carry the frame bytes from transmit() to
+// the delivery event. The pool recycles buffers instead: a released buffer
+// keeps its capacity and goes on a free list, so in steady state a
+// transmit→deliver hop performs zero heap allocations. Refcounts are
+// intrusive and non-atomic — buffers never leave their Simulator's thread
+// (shared-nothing replication runs one Medium per thread).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace liteview::phy {
+
+class FrameBufferPool;
+
+/// One pooled PSDU. Owned by the pool; referenced via FrameBufferRef.
+struct FrameBuffer {
+  std::vector<std::uint8_t> bytes;  ///< capacity survives recycling
+  std::uint32_t refs = 0;
+  FrameBufferPool* pool = nullptr;
+  FrameBuffer* next_free = nullptr;
+};
+
+/// Shared reference to a pooled buffer; the last ref returns the buffer to
+/// its pool. Copy is a counter bump — never an allocation.
+class FrameBufferRef {
+ public:
+  FrameBufferRef() noexcept = default;
+  FrameBufferRef(const FrameBufferRef& other) noexcept : buf_(other.buf_) {
+    if (buf_ != nullptr) ++buf_->refs;
+  }
+  FrameBufferRef(FrameBufferRef&& other) noexcept : buf_(other.buf_) {
+    other.buf_ = nullptr;
+  }
+  FrameBufferRef& operator=(const FrameBufferRef& other) noexcept {
+    if (this != &other) {
+      reset();
+      buf_ = other.buf_;
+      if (buf_ != nullptr) ++buf_->refs;
+    }
+    return *this;
+  }
+  FrameBufferRef& operator=(FrameBufferRef&& other) noexcept {
+    if (this != &other) {
+      reset();
+      buf_ = other.buf_;
+      other.buf_ = nullptr;
+    }
+    return *this;
+  }
+  ~FrameBufferRef() { reset(); }
+
+  void reset() noexcept;
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return buf_ != nullptr;
+  }
+  [[nodiscard]] std::vector<std::uint8_t>& bytes() noexcept {
+    assert(buf_ != nullptr);
+    return buf_->bytes;
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    assert(buf_ != nullptr);
+    return buf_->bytes;
+  }
+
+ private:
+  explicit FrameBufferRef(FrameBuffer* buf) noexcept : buf_(buf) {
+    ++buf_->refs;
+  }
+  FrameBuffer* buf_ = nullptr;
+  friend class FrameBufferPool;
+};
+
+class FrameBufferPool {
+ public:
+  FrameBufferPool() = default;
+  FrameBufferPool(const FrameBufferPool&) = delete;
+  FrameBufferPool& operator=(const FrameBufferPool&) = delete;
+
+  /// Refs may outlive the pool: a Medium can be torn down while delivery
+  /// events capturing its buffers are still queued in the Simulator.
+  /// Still-referenced buffers are orphaned (ownership passes to the
+  /// outstanding refs; the last one deletes the buffer), so teardown
+  /// order between Medium and Simulator does not matter.
+  ~FrameBufferPool() {
+    for (auto& owned : buffers_) {
+      if (owned->refs > 0) {
+        owned->pool = nullptr;
+        owned.release();  // the surviving FrameBufferRefs own it now
+      }
+    }
+  }
+
+  /// Hand out a cleared buffer, recycling a free one when possible.
+  [[nodiscard]] FrameBufferRef acquire() {
+    FrameBuffer* buf;
+    if (free_head_ != nullptr) {
+      buf = free_head_;
+      free_head_ = buf->next_free;
+      buf->next_free = nullptr;
+      buf->bytes.clear();  // keeps capacity
+    } else {
+      buffers_.push_back(std::make_unique<FrameBuffer>());
+      buf = buffers_.back().get();
+      buf->pool = this;
+    }
+    return FrameBufferRef(buf);
+  }
+
+  /// Buffers ever created (pool high-water mark).
+  [[nodiscard]] std::size_t allocated() const noexcept {
+    return buffers_.size();
+  }
+
+ private:
+  void recycle(FrameBuffer* buf) noexcept {
+    buf->next_free = free_head_;
+    free_head_ = buf;
+  }
+
+  std::vector<std::unique_ptr<FrameBuffer>> buffers_;  ///< stable addresses
+  FrameBuffer* free_head_ = nullptr;
+  friend class FrameBufferRef;
+};
+
+inline void FrameBufferRef::reset() noexcept {
+  if (buf_ == nullptr) return;
+  if (--buf_->refs == 0) {
+    if (buf_->pool != nullptr) {
+      buf_->pool->recycle(buf_);
+    } else {
+      delete buf_;  // pool already destroyed: this was the last ref
+    }
+  }
+  buf_ = nullptr;
+}
+
+}  // namespace liteview::phy

@@ -141,12 +141,14 @@ const std::vector<RadioId>& Medium::reachable_set(RadioId from) {
 }
 
 void Medium::transmit(RadioId from, double tx_power_dbm,
-                      std::vector<std::uint8_t> psdu) {
+                      FrameBufferRef psdu) {
   assert(from < radios_.size());
-  assert(!psdu.empty() && psdu.size() <= kMaxPsduBytes);
+  assert(psdu && !psdu.bytes().empty() &&
+         psdu.bytes().size() <= static_cast<std::size_t>(kMaxPsduBytes));
 
   const sim::SimTime start = sim_.now();
-  const sim::SimTime air = frame_airtime(static_cast<int>(psdu.size()));
+  const sim::SimTime air =
+      frame_airtime(static_cast<int>(psdu.bytes().size()));
   const sim::SimTime end = start + air;
   const Channel ch = radios_[from].channel;
   const std::uint64_t seq = next_tx_seq_++;
@@ -162,8 +164,8 @@ void Medium::transmit(RadioId from, double tx_power_dbm,
   radios_[from].tx_until = end;
 
   if (sniffer_) {
-    sniffer_(SniffedFrame{from, ch, psdu.size(), start, air,
-                          std::span<const std::uint8_t>(psdu)});
+    sniffer_(SniffedFrame{from, ch, psdu.bytes().size(), start, air,
+                          std::span<const std::uint8_t>(psdu.bytes())});
   }
 
   // Half-duplex: the transmitter cannot keep receiving; abort any frame
@@ -234,13 +236,14 @@ void Medium::transmit(RadioId from, double tx_power_dbm,
 
   active_.push_back(tx);
 
-  auto shared_psdu =
-      std::make_shared<std::vector<std::uint8_t>>(std::move(psdu));
-  sim_.schedule_at(end, [this, seq, shared_psdu] { deliver(seq, shared_psdu); });
+  // The pooled buffer rides inside the event's inline capture; the last
+  // ref recycles it after delivery.
+  sim_.schedule_at(end, [this, seq, psdu = std::move(psdu)] {
+    deliver(seq, psdu);
+  });
 }
 
-void Medium::deliver(std::uint64_t tx_seq,
-                     std::shared_ptr<std::vector<std::uint8_t>> psdu) {
+void Medium::deliver(std::uint64_t tx_seq, const FrameBufferRef& psdu) {
   // Retire the transmission from the active set.
   std::erase_if(active_, [&](const ActiveTx& t) { return t.seq == tx_seq; });
 
@@ -273,7 +276,7 @@ void Medium::deliver(std::uint64_t tx_seq,
     const double noise_mw = util::dbm_to_mw(kNoiseFloorDbm);
     const double sinr_db =
         rx.prx_dbm - util::mw_to_dbm(noise_mw + rx.interference_mw);
-    const int bits = static_cast<int>(psdu->size()) * 8;
+    const int bits = static_cast<int>(psdu.bytes().size()) * 8;
     // Two corruption mechanisms: thermal-noise bit errors (BER model) and
     // co-channel collision (capture rule, no despreading gain applies).
     const double per = per_oqpsk(sinr_db, bits);
@@ -298,14 +301,16 @@ void Medium::deliver(std::uint64_t tx_seq,
     if (corrupted) {
       ++frames_corrupted_;
       // Flip a byte so upper layers exercise their CRC path on real data.
-      auto damaged = *psdu;
-      const auto idx = static_cast<std::size_t>(
-          corrupt_rng_.uniform_int(0, static_cast<std::int64_t>(damaged.size()) - 1));
-      damaged[idx] ^= 0xa5;
-      radios_[rx.to].client->on_frame(damaged, info);
+      // The damage goes into a reused scratch copy: other receivers of
+      // this transmission still read the pristine pooled buffer.
+      corrupt_scratch_.assign(psdu.bytes().begin(), psdu.bytes().end());
+      const auto idx = static_cast<std::size_t>(corrupt_rng_.uniform_int(
+          0, static_cast<std::int64_t>(corrupt_scratch_.size()) - 1));
+      corrupt_scratch_[idx] ^= 0xa5;
+      radios_[rx.to].client->on_frame(corrupt_scratch_, info);
     } else {
       ++frames_delivered_;
-      radios_[rx.to].client->on_frame(*psdu, info);
+      radios_[rx.to].client->on_frame(psdu.bytes(), info);
     }
   }
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "phy/cc2420.hpp"
+#include "phy/frame_buffer.hpp"
 #include "phy/propagation.hpp"
 #include "phy/spatial_grid.hpp"
 #include "sim/simulator.hpp"
@@ -90,9 +91,28 @@ class Medium {
 
   /// Begin a transmission. The MAC is responsible for CSMA before calling
   /// this; the medium delivers to every same-channel radio in range after
-  /// the frame's airtime.
+  /// the frame's airtime. The allocation-free path: encode the PSDU into a
+  /// buffer from acquire_frame() and hand it back here.
+  void transmit(RadioId from, double tx_power_dbm, FrameBufferRef psdu);
+
+  /// Convenience overload (tests, ad-hoc traffic): copies the bytes into a
+  /// pooled buffer.
   void transmit(RadioId from, double tx_power_dbm,
-                std::vector<std::uint8_t> psdu);
+                std::span<const std::uint8_t> psdu) {
+    FrameBufferRef buf = frame_pool_.acquire();
+    buf.bytes().assign(psdu.begin(), psdu.end());
+    transmit(from, tx_power_dbm, std::move(buf));
+  }
+  void transmit(RadioId from, double tx_power_dbm,
+                std::initializer_list<std::uint8_t> psdu) {
+    transmit(from, tx_power_dbm,
+             std::span<const std::uint8_t>(psdu.begin(), psdu.size()));
+  }
+
+  /// A recycled (or fresh) PSDU buffer from the per-medium pool.
+  [[nodiscard]] FrameBufferRef acquire_frame() {
+    return frame_pool_.acquire();
+  }
 
   /// Clear-channel assessment: total received energy (active same-channel
   /// transmissions) at this radio, in dBm. The threshold is supplied by
@@ -220,7 +240,7 @@ class Medium {
     std::uint64_t seq;
   };
 
-  void deliver(std::uint64_t tx_seq, std::shared_ptr<std::vector<std::uint8_t>> psdu);
+  void deliver(std::uint64_t tx_seq, const FrameBufferRef& psdu);
   [[nodiscard]] double rx_power_dbm_at(const ActiveTx& tx,
                                        RadioId at) const;
   /// Rebuild (if stale) and return the reachable-set cache for `from`.
@@ -230,6 +250,10 @@ class Medium {
   PropagationModel prop_;
   util::RngStream loss_rng_;
   util::RngStream corrupt_rng_;
+  FrameBufferPool frame_pool_;
+  /// Reused per-receiver corruption copy (bit-flips must not damage the
+  /// shared PSDU other receivers still read).
+  std::vector<std::uint8_t> corrupt_scratch_;
 
   std::vector<Radio> radios_;
   std::vector<ActiveTx> active_;

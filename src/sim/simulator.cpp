@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <cassert>
+#include <cstdint>
 
 #include "util/strings.hpp"
 
@@ -16,38 +17,222 @@ std::string SimTime::to_string() const {
   return util::format("%lld ns", static_cast<long long>(ns_));
 }
 
+void Simulator::chain_insert(std::uint32_t idx, detail::EventMeta& m) {
+  Bucket& bk = buckets_[bucket_of(m.when)];
+  if (bk.tail == detail::kNoSlot) {
+    bk.head = bk.tail = idx;
+    m.next = detail::kNoSlot;
+  } else if (!before(m, arena_->meta(bk.tail))) {
+    // Monotone (when, seq) arrival for this bucket — the common case
+    // (same-time events arrive in seq order by construction).
+    arena_->meta(bk.tail).next = idx;
+    bk.tail = idx;
+    m.next = detail::kNoSlot;
+  } else {
+    std::uint32_t prev = detail::kNoSlot;
+    std::uint32_t cur = bk.head;
+    while (cur != detail::kNoSlot && before(arena_->meta(cur), m)) {
+      prev = cur;
+      cur = arena_->meta(cur).next;
+    }
+    m.next = cur;
+    if (prev == detail::kNoSlot) {
+      bk.head = idx;
+    } else {
+      arena_->meta(prev).next = idx;
+    }
+    if (cur == detail::kNoSlot) bk.tail = idx;
+  }
+}
+
+void Simulator::insert_event(std::uint32_t idx, detail::EventMeta& m) {
+  chain_insert(idx, m);
+  ++queued_;
+  const std::uint64_t w = std::uint64_t{1} << shift_;
+  const auto when_u = static_cast<std::uint64_t>(m.when.nanoseconds());
+  if (when_u < cur_end_ - w) {
+    // Landed behind the sweep cursor (possible after a limited step()
+    // parked the sweep on a far-future bucket) — pull the sweep back so
+    // the new event cannot be skipped.
+    cur_bucket_ = bucket_of(m.when);
+    cur_end_ = ((when_u >> shift_) << shift_) + w;
+  }
+  if (peek_valid_ && before(m, arena_->meta(peek_slot_))) {
+    peek_slot_ = idx;
+    peek_bucket_ = bucket_of(m.when);
+  }
+  if (queued_ > 2 * static_cast<std::size_t>(mask_) + 2) {
+    resize_buckets((static_cast<std::size_t>(mask_) + 1) * 4);
+  }
+}
+
+void Simulator::resize_buckets(std::size_t nbuckets) {
+  // Collect every queued slot (chains are about to be rebuilt) and gather
+  // the statistics the width heuristic needs: the span of pending
+  // timestamps and how many *distinct* timestamps there are. Using
+  // distinct timestamps keeps same-time bursts (broadcast fan-out) from
+  // shrinking buckets below the real event spacing.
+  std::int64_t mn = INT64_MAX;
+  std::int64_t mx = INT64_MIN;
+  std::size_t distinct = 0;
+  resize_scratch_.clear();
+  resize_scratch_.reserve(queued_);
+  for (std::size_t b = 0; b <= mask_; ++b) {
+    SimTime prev_when = SimTime::ns(INT64_MIN);
+    for (std::uint32_t cur = buckets_[b].head; cur != detail::kNoSlot;) {
+      const detail::EventMeta& m = arena_->meta(cur);
+      if (m.when != prev_when) {
+        ++distinct;
+        prev_when = m.when;
+      }
+      const std::int64_t ns = m.when.nanoseconds();
+      if (ns < mn) mn = ns;
+      if (ns > mx) mx = ns;
+      resize_scratch_.push_back(cur);
+      cur = m.next;
+    }
+  }
+
+  if (distinct > 0) {
+    const std::int64_t span = mx > mn ? mx - mn : 1;
+    const std::int64_t target_w = span / static_cast<std::int64_t>(distinct) + 1;
+    int sh = 0;
+    while ((std::int64_t{1} << (sh + 1)) <= target_w && sh < kMaxShift) ++sh;
+    shift_ = sh;
+  }
+
+  buckets_.assign(nbuckets, Bucket{});
+  mask_ = static_cast<std::uint32_t>(nbuckets) - 1;
+  for (const std::uint32_t idx : resize_scratch_) {
+    chain_insert(idx, arena_->meta(idx));
+  }
+
+  const std::uint64_t w = std::uint64_t{1} << shift_;
+  const auto now_u = static_cast<std::uint64_t>(now_.nanoseconds());
+  cur_bucket_ = bucket_of(now_);
+  cur_end_ = ((now_u >> shift_) << shift_) + w;
+  if (peek_valid_) peek_bucket_ = bucket_of(arena_->meta(peek_slot_).when);
+}
+
+bool Simulator::find_min() {
+  if (queued_ == 0) return false;
+  if (peek_valid_) return true;
+  const std::size_t nbuckets = static_cast<std::size_t>(mask_) + 1;
+  const std::uint64_t w = std::uint64_t{1} << shift_;
+  for (std::size_t scanned = 0; scanned < nbuckets; ++scanned) {
+    const std::uint32_t head = buckets_[cur_bucket_].head;
+    if (head != detail::kNoSlot &&
+        static_cast<std::uint64_t>(
+            arena_->meta(head).when.nanoseconds()) < cur_end_) {
+      // Within the current year window the head is the global minimum:
+      // any earlier pending event would hash to this same bucket, where
+      // the chain is sorted.
+      peek_slot_ = head;
+      peek_bucket_ = cur_bucket_;
+      peek_valid_ = true;
+      return true;
+    }
+    cur_bucket_ = (cur_bucket_ + 1) & mask_;
+    cur_end_ += w;
+  }
+  rescan_min();
+  return true;
+}
+
+void Simulator::rescan_min() {
+  // Nothing fires within a whole year — the pending set is sparse
+  // relative to the table (e.g. one long timer left after a dense burst
+  // drained). Shrink a badly oversized table first so this direct scan,
+  // and future sweeps, stay proportional to what is actually pending.
+  if (static_cast<std::size_t>(mask_) + 1 > kInitialBuckets &&
+      queued_ < (static_cast<std::size_t>(mask_) + 1) / 8) {
+    std::size_t nbuckets = kInitialBuckets;
+    while (nbuckets < queued_ * 4) nbuckets *= 2;
+    resize_buckets(nbuckets);
+  }
+
+  std::uint32_t best = detail::kNoSlot;
+  std::uint32_t best_bucket = 0;
+  for (std::size_t b = 0; b <= mask_; ++b) {
+    const std::uint32_t h = buckets_[b].head;
+    if (h != detail::kNoSlot &&
+        (best == detail::kNoSlot ||
+         before(arena_->meta(h), arena_->meta(best)))) {
+      best = h;
+      best_bucket = static_cast<std::uint32_t>(b);
+    }
+  }
+  assert(best != detail::kNoSlot && "rescan_min requires queued events");
+
+  const std::uint64_t w = std::uint64_t{1} << shift_;
+  const auto when_u =
+      static_cast<std::uint64_t>(arena_->meta(best).when.nanoseconds());
+  cur_bucket_ = best_bucket;
+  cur_end_ = ((when_u >> shift_) << shift_) + w;
+  peek_slot_ = best;
+  peek_bucket_ = best_bucket;
+  peek_valid_ = true;
+}
+
 EventHandle Simulator::schedule_at(SimTime when, Callback cb) {
   assert(when >= now_ && "cannot schedule into the past");
-  auto flag = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(cb), flag});
-  return EventHandle(std::move(flag));
+  const std::uint32_t slot = arena_->acquire(std::move(cb));
+  detail::EventMeta& m = arena_->meta(slot);
+  m.when = when;
+  m.seq = next_seq_++;
+  insert_event(slot, m);
+  return EventHandle(arena_, slot, m.genflags >> 2);
 }
 
 EventHandle Simulator::schedule_every(SimTime period, Callback cb) {
-  auto flag = std::make_shared<bool>(false);
-  // The repeating wrapper reschedules itself while the shared flag is
-  // clear; cancelling the returned handle stops the chain.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, cb = std::move(cb), flag, tick]() {
-    if (*flag) return;
-    cb();
-    if (*flag) return;
-    auto inner = std::make_shared<bool>(false);
-    queue_.push(Event{now_ + period, next_seq_++, *tick, flag});
-  };
-  queue_.push(Event{now_ + period, next_seq_++, *tick, flag});
-  return EventHandle(std::move(flag));
+  assert(period > SimTime::zero() && "repeating period must be positive");
+  const std::uint32_t slot = arena_->acquire(std::move(cb));
+  detail::EventMeta& m = arena_->meta(slot);
+  m.genflags |= detail::kFlagRepeating;
+  m.period = period;
+  m.when = now_ + period;
+  m.seq = next_seq_++;
+  insert_event(slot, m);
+  return EventHandle(arena_, slot, m.genflags >> 2);
 }
 
 bool Simulator::step(SimTime limit) {
-  while (!queue_.empty()) {
-    if (queue_.top().when > limit) return false;
-    Event ev = queue_.top();
-    queue_.pop();
-    if (ev.cancelled && *ev.cancelled) continue;  // lazily dropped
-    now_ = ev.when;
+  while (find_min()) {
+    const std::uint32_t idx = peek_slot_;
+    detail::EventMeta& m = arena_->meta(idx);
+    if (m.when > limit) return false;  // keep the peek cache for next call
+    Bucket& bk = buckets_[peek_bucket_];
+    bk.head = m.next;
+    if (bk.head == detail::kNoSlot) bk.tail = detail::kNoSlot;
+    --queued_;
+    peek_valid_ = false;
+    if ((m.genflags & detail::kFlagCancelled) != 0) {  // lazily dropped
+      arena_->release(idx);
+      continue;
+    }
+    now_ = m.when;
     ++executed_;
-    ev.cb();
+    if ((m.genflags & detail::kFlagRepeating) != 0) {
+      // Execute in place: the slot survives the firing, so the chain
+      // keeps its identity (and its handle) across ticks with zero
+      // allocations. Slab addresses are stable, so `m` stays valid
+      // however much the callback schedules.
+      arena_->cb(idx)();
+      if ((m.genflags & detail::kFlagCancelled) != 0) {
+        arena_->release(idx);  // cancelled from within the callback
+      } else {
+        m.when = now_ + m.period;
+        m.seq = next_seq_++;
+        insert_event(idx, m);
+      }
+    } else {
+      // One-shots also run in place: the slot is off both the bucket
+      // chain and the free list during the call, so nothing can overwrite
+      // the body, and release() afterwards recycles it (a self-cancel
+      // inside the callback is then erased along with the flags).
+      arena_->cb(idx)();
+      arena_->release(idx);
+    }
     return true;
   }
   return false;

@@ -5,48 +5,214 @@
 // identical event sequences. Parallelism in this codebase happens *across*
 // independent Simulator instances (Monte-Carlo replication), never inside
 // one — the shared-nothing pattern the HPC guides recommend.
+//
+// The event core is allocation-free in steady state (DESIGN.md §9):
+// callbacks live inline in slab-pooled event slots (no per-event
+// shared_ptr or std::function heap capture), pending events are ordered
+// by a calendar queue (Brown 1988 — the structure classical network
+// simulators use) whose buckets are intrusive chains threaded through the
+// pooled slots, and cancellation is a generation compare against the slot
+// — so schedule→fire→reschedule cycles never touch the allocator once the
+// arena and bucket table are warm. Queue operations touch only a 32-byte
+// metadata record per event; the callback body lives in a parallel slab
+// and is read once, at firing.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/inplace_function.hpp"
 #include "util/rng.hpp"
 
 namespace liteview::sim {
 
+/// Event callbacks are stored inline: captures beyond 48 bytes fail to
+/// compile (box cold state in a shared_ptr at the call site instead).
+using EventCallback = util::InplaceFunction<void(), 48>;
+
+namespace detail {
+
+inline constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+/// Queue-facing half of a pooled event: everything ordering, chaining and
+/// cancellation need, in exactly 32 bytes so two records share a cache
+/// line. The callback body lives in a parallel slab (EventArena::cb) that
+/// queue operations never touch.
+struct EventMeta {
+  SimTime when;            ///< firing time (valid while queued)
+  std::uint64_t seq = 0;   ///< tie-break within equal `when` (FIFO)
+  SimTime period;          ///< repeating interval (unused for one-shots)
+  /// Next slot in this bucket's chain while queued; next free slot while
+  /// on the free list. A slot is never both.
+  std::uint32_t next = kNoSlot;
+  /// generation << 2 | cancelled << 1 | repeating. The 30-bit generation
+  /// stales every outstanding handle when the slot is recycled.
+  std::uint32_t genflags = 0;
+};
+static_assert(sizeof(EventMeta) == 32, "metadata must stay cache-compact");
+
+inline constexpr std::uint32_t kFlagRepeating = 1u;
+inline constexpr std::uint32_t kFlagCancelled = 2u;
+inline constexpr std::uint32_t kGenIncrement = 4u;
+
+/// Slab-pooled slot storage. Slabs are fixed-size arrays that are never
+/// relocated or freed while the arena lives, so references into them stay
+/// valid across arbitrary scheduling from inside a running callback. The
+/// arena outlives its Simulator for as long as any EventHandle still
+/// points at it (intrusive, non-atomic refcount — handles must stay on
+/// the Simulator's thread, which the shared-nothing replication design
+/// already guarantees).
+struct EventArena {
+  static constexpr std::uint32_t kSlabBits = 8;
+  static constexpr std::uint32_t kSlabSize = 1u << kSlabBits;
+
+  std::vector<std::unique_ptr<EventMeta[]>> meta_slabs;
+  std::vector<std::unique_ptr<EventCallback[]>> cb_slabs;
+  std::uint32_t free_head = kNoSlot;
+  std::uint32_t slot_count = 0;
+  std::size_t handle_refs = 0;
+  bool sim_alive = true;
+
+  [[nodiscard]] EventMeta& meta(std::uint32_t idx) noexcept {
+    return meta_slabs[idx >> kSlabBits][idx & (kSlabSize - 1)];
+  }
+  [[nodiscard]] EventCallback& cb(std::uint32_t idx) noexcept {
+    return cb_slabs[idx >> kSlabBits][idx & (kSlabSize - 1)];
+  }
+
+  /// Pops a recycled slot (or grows a slab) and installs the callback.
+  /// Taking the callback by reference saves a 48-byte relocation per
+  /// scheduled event versus a by-value chain.
+  [[nodiscard]] std::uint32_t acquire(EventCallback&& f) {
+    std::uint32_t idx;
+    if (free_head != kNoSlot) {
+      idx = free_head;
+      free_head = meta(idx).next;
+    } else {
+      if (slot_count == meta_slabs.size() * kSlabSize) {
+        meta_slabs.push_back(std::make_unique<EventMeta[]>(kSlabSize));
+        cb_slabs.push_back(std::make_unique<EventCallback[]>(kSlabSize));
+      }
+      idx = slot_count++;
+    }
+    meta(idx).genflags &= ~(kFlagRepeating | kFlagCancelled);
+    cb(idx) = std::move(f);
+    return idx;
+  }
+
+  void release(std::uint32_t idx) noexcept {
+    cb(idx).reset();  // drop captures now, not at next reuse
+    EventMeta& m = meta(idx);
+    // Clear flags and advance the generation (wraps modulo 2^30), staling
+    // every outstanding handle to this slot.
+    m.genflags = (m.genflags | kFlagRepeating | kFlagCancelled) + 1u;
+    m.next = free_head;
+    free_head = idx;
+  }
+};
+
+}  // namespace detail
+
 /// Handle for cancelling a scheduled event. Cheap to copy; cancellation is
-/// lazy (the event stays queued but its body is skipped).
+/// lazy (the event stays queued but its body is skipped). A handle may
+/// outlive its Simulator — every operation degrades to a no-op once the
+/// event (or the whole Simulator) is gone. Generations are 30-bit: a
+/// handle could theoretically be resurrected after exactly 2^30 reuses of
+/// its slot, far beyond any simulated horizon.
 class EventHandle {
  public:
-  EventHandle() = default;
-  void cancel() const {
-    if (cancelled_) *cancelled_ = true;
+  EventHandle() noexcept = default;
+  EventHandle(const EventHandle& other) noexcept
+      : arena_(other.arena_), slot_(other.slot_), gen_(other.gen_) {
+    if (arena_ != nullptr) ++arena_->handle_refs;
   }
-  [[nodiscard]] bool valid() const { return cancelled_ != nullptr; }
-  [[nodiscard]] bool cancelled() const {
-    return cancelled_ && *cancelled_;
+  EventHandle(EventHandle&& other) noexcept
+      : arena_(other.arena_), slot_(other.slot_), gen_(other.gen_) {
+    other.arena_ = nullptr;
+  }
+  EventHandle& operator=(const EventHandle& other) noexcept {
+    if (this != &other) {
+      drop();
+      arena_ = other.arena_;
+      slot_ = other.slot_;
+      gen_ = other.gen_;
+      if (arena_ != nullptr) ++arena_->handle_refs;
+    }
+    return *this;
+  }
+  EventHandle& operator=(EventHandle&& other) noexcept {
+    if (this != &other) {
+      drop();
+      arena_ = other.arena_;
+      slot_ = other.slot_;
+      gen_ = other.gen_;
+      other.arena_ = nullptr;
+    }
+    return *this;
+  }
+  ~EventHandle() { drop(); }
+
+  void cancel() const noexcept {
+    if (detail::EventMeta* m = live_meta()) {
+      m->genflags |= detail::kFlagCancelled;
+    }
+  }
+  [[nodiscard]] bool valid() const noexcept { return arena_ != nullptr; }
+  /// True once this handle can no longer cause a firing: after cancel(),
+  /// and after a one-shot event has executed (its slot was recycled).
+  [[nodiscard]] bool cancelled() const noexcept {
+    if (arena_ == nullptr) return false;
+    if (!arena_->sim_alive) return true;  // simulator gone: can never fire
+    const detail::EventMeta* m = live_meta();
+    return m == nullptr || (m->genflags & detail::kFlagCancelled) != 0;
   }
 
  private:
-  explicit EventHandle(std::shared_ptr<bool> flag)
-      : cancelled_(std::move(flag)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(detail::EventArena* arena, std::uint32_t slot,
+              std::uint32_t gen) noexcept
+      : arena_(arena), slot_(slot), gen_(gen) {
+    ++arena_->handle_refs;
+  }
+
+  /// The slot this handle was minted for, or nullptr when it has since
+  /// been cancelled away, fired, or recycled (generation mismatch).
+  [[nodiscard]] detail::EventMeta* live_meta() const noexcept {
+    if (arena_ == nullptr || slot_ >= arena_->slot_count) return nullptr;
+    detail::EventMeta& m = arena_->meta(slot_);
+    return (m.genflags >> 2) == gen_ ? &m : nullptr;
+  }
+
+  void drop() noexcept {
+    if (arena_ == nullptr) return;
+    if (--arena_->handle_refs == 0 && !arena_->sim_alive) delete arena_;
+    arena_ = nullptr;
+  }
+
+  detail::EventArena* arena_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
   friend class Simulator;
 };
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventCallback;
 
   explicit Simulator(std::uint64_t seed = 1)
-      : rng_root_(seed) {}
+      : arena_(new detail::EventArena), rng_root_(seed) {
+    buckets_.assign(kInitialBuckets, Bucket{});
+  }
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  ~Simulator() {
+    arena_->sim_alive = false;
+    if (arena_->handle_refs == 0) delete arena_;
+  }
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
@@ -59,7 +225,8 @@ class Simulator {
   }
 
   /// Repeating event; first firing after `period`. Returns a handle that
-  /// cancels all future firings.
+  /// cancels all future firings. Rescheduling reuses the same pooled slot
+  /// every tick — no per-tick allocation.
   EventHandle schedule_every(SimTime period, Callback cb);
 
   /// Run until the event queue drains or `limit` is reached (whichever is
@@ -76,8 +243,9 @@ class Simulator {
   /// the head is beyond `limit`.
   bool step(SimTime limit = SimTime::max());
 
+  /// Pending events, including lazily cancelled ones not yet reaped.
   [[nodiscard]] std::size_t pending_events() const noexcept {
-    return queue_.size();
+    return queued_;
   }
   [[nodiscard]] std::uint64_t executed_events() const noexcept {
     return executed_;
@@ -89,23 +257,69 @@ class Simulator {
   }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;
-    Callback cb;
-    std::shared_ptr<bool> cancelled;
+  // ---- calendar queue (Brown 1988) ------------------------------------
+  //
+  // Power-of-two bucket count, power-of-two bucket width. An event lands
+  // in bucket (when >> shift) & mask; each bucket is an intrusive chain
+  // of slot indices sorted by (when, seq), so the chain head is the
+  // bucket's minimum. The sweep cursor (cur_bucket_, cur_end_) walks the
+  // table one bucket-year at a time: when the current bucket's head fires
+  // inside the current year window it IS the global minimum (any earlier
+  // event would hash to this very bucket). Inserts append at the tail in
+  // O(1) for monotone (when, seq) arrivals — the common case — and walk
+  // the chain otherwise. The table resizes (and re-estimates the bucket
+  // width from the spacing of *distinct* timestamps) when occupancy
+  // exceeds two events per bucket, so chains stay short at any scale.
+  struct Bucket {
+    std::uint32_t head = detail::kNoSlot;
+    std::uint32_t tail = detail::kNoSlot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;  // FIFO among same-time events
-    }
-  };
+
+  static constexpr std::uint32_t kInitialBuckets = 1024;  // power of two
+  static constexpr int kInitialShift = 10;                // ~1 us buckets
+  static constexpr int kMaxShift = 40;                    // ~18 min buckets
+
+  [[nodiscard]] static bool before(const detail::EventMeta& a,
+                                   const detail::EventMeta& b) noexcept {
+    return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+  }
+  [[nodiscard]] std::uint32_t bucket_of(SimTime when) const noexcept {
+    return static_cast<std::uint32_t>(
+               static_cast<std::uint64_t>(when.nanoseconds()) >> shift_) &
+           mask_;
+  }
+
+  void chain_insert(std::uint32_t idx, detail::EventMeta& m);
+  void insert_event(std::uint32_t idx, detail::EventMeta& m);
+  /// Establishes the peek cache (the exact global minimum) or returns
+  /// false when no events are queued.
+  bool find_min();
+  /// Slow path of find_min: no event fires within a full sweep year —
+  /// scan every chain head directly and re-anchor the sweep there.
+  void rescan_min();
+  void resize_buckets(std::size_t nbuckets);
 
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  detail::EventArena* arena_;
+
+  std::vector<Bucket> buckets_;
+  std::vector<std::uint32_t> resize_scratch_;
+  std::uint32_t mask_ = kInitialBuckets - 1;
+  int shift_ = kInitialShift;
+  std::size_t queued_ = 0;
+  /// Sweep cursor: cur_end_ is the exclusive upper bound (in ns, as
+  /// unsigned so SimTime::max() arithmetic cannot overflow) of
+  /// cur_bucket_'s current year window.
+  std::uint32_t cur_bucket_ = 0;
+  std::uint64_t cur_end_ = std::uint64_t{1} << kInitialShift;
+  /// Memoized minimum so a step(limit) that declines to pop (head beyond
+  /// the limit) doesn't pay the bucket sweep again next call.
+  bool peek_valid_ = false;
+  std::uint32_t peek_slot_ = detail::kNoSlot;
+  std::uint32_t peek_bucket_ = 0;
+
   util::RngRoot rng_root_;
 };
 

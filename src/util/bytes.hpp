@@ -89,6 +89,15 @@ class ByteReader {
   }
   [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
 
+  /// Zero-copy read: a window into the input, valid while the input
+  /// lives. The allocation-free counterpart of bytes().
+  [[nodiscard]] std::span<const std::uint8_t> view(std::size_t n) {
+    if (!ensure(n)) return {};
+    const auto s = in_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
   [[nodiscard]] std::vector<std::uint8_t> bytes(std::size_t n) {
     if (!ensure(n)) return {};
     std::vector<std::uint8_t> out(in_.begin() + static_cast<long>(pos_),

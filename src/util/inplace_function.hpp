@@ -1,0 +1,130 @@
+// Small-buffer-optimized, non-allocating std::function replacement.
+//
+// The event core schedules millions of callbacks per replication; a
+// std::function that heap-allocates its capture would put the allocator on
+// the hottest path in the codebase. InplaceFunction stores the callable
+// inline in a fixed-size buffer and *refuses to compile* when a capture
+// does not fit — growing the buffer (or shrinking the capture) is an
+// explicit decision, never a silent allocation.
+//
+// Differences from std::function, all deliberate:
+//   - move-only: copying a callback is never needed by the simulator and
+//     forbidding it keeps captures free to own move-only resources;
+//   - no target()/target_type(): nothing in this codebase introspects;
+//   - invoking an empty function is undefined (assert in debug) rather
+//     than throwing std::bad_function_call.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace liteview::util {
+
+template <class Signature, std::size_t Capacity,
+          std::size_t Align = alignof(std::max_align_t)>
+class InplaceFunction;  // undefined: only the R(Args...) partial spec exists
+
+template <class R, class... Args, std::size_t Capacity, std::size_t Align>
+class InplaceFunction<R(Args...), Capacity, Align> {
+ public:
+  InplaceFunction() noexcept = default;
+  InplaceFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <class F,
+            class D = std::decay_t<F>,
+            class = std::enable_if_t<
+                !std::is_same_v<D, InplaceFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    static_assert(sizeof(D) <= Capacity,
+                  "capture too large for the inline buffer: shrink the "
+                  "capture (box cold state in a shared_ptr) or grow the "
+                  "InplaceFunction capacity at the declaration site");
+    static_assert(alignof(D) <= Align,
+                  "capture over-aligned for the inline buffer");
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "captures must be nothrow-movable so queue operations "
+                  "cannot throw mid-move");
+    ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+    invoke_ = [](void* s, Args&&... args) -> R {
+      return (*static_cast<D*>(s))(std::forward<Args>(args)...);
+    };
+    if constexpr (std::is_trivially_copyable_v<D> &&
+                  std::is_trivially_destructible_v<D>) {
+      // Trivially relocatable capture (the common case: POD captures or no
+      // capture at all): a null manager means "memcpy to move, nothing to
+      // destroy", which keeps slot recycling free of indirect calls.
+      manage_ = nullptr;
+    } else {
+      manage_ = [](void* dst, void* src) noexcept {
+        if (src != nullptr) {  // move-construct dst from src, then destroy src
+          ::new (dst) D(std::move(*static_cast<D*>(src)));
+          static_cast<D*>(src)->~D();
+        } else {  // destroy dst
+          static_cast<D*>(dst)->~D();
+        }
+      };
+    }
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { move_from(other); }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  R operator()(Args... args) {
+    assert(invoke_ != nullptr && "invoking an empty InplaceFunction");
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return invoke_ != nullptr;
+  }
+
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  using Invoke = R (*)(void*, Args&&...);
+  /// Moves dst←src when src != nullptr, otherwise destroys dst.
+  using Manage = void (*)(void* dst, void* src) noexcept;
+
+  void move_from(InplaceFunction& other) noexcept {
+    if (other.invoke_ != nullptr) {
+      if (other.manage_ != nullptr) {
+        other.manage_(storage_, other.storage_);
+      } else {
+        std::memcpy(storage_, other.storage_, Capacity);
+      }
+    }
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  // Zero-initialized so whole-buffer relocation of a smaller trivial
+  // capture never reads indeterminate bytes.
+  alignas(Align) unsigned char storage_[Capacity] = {};
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace liteview::util

@@ -1,0 +1,217 @@
+// Small-buffer vector for packet-sized byte runs.
+//
+// Every packet hop used to allocate (and free) a std::vector for a payload
+// whose size is bounded by the 64-byte routing budget or the 127-byte MPDU.
+// SmallVec keeps up to N elements inline — sized at the declaration site to
+// the protocol bound — and spills to the heap only for oversized inputs
+// (decoder fuzzing feeds those; real traffic never does).
+//
+// Restricted to trivially copyable, trivially destructible element types:
+// growth is a memcpy and teardown is free, which is exactly the byte/POD
+// use the wire codecs need. The API is the std::vector subset those codecs
+// use, plus conversions from std::vector/std::span so call sites that
+// build payloads with the existing tooling keep compiling unchanged.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace liteview::util {
+
+template <class T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "SmallVec is specialised for POD-ish wire types");
+  static_assert(N > 0, "inline capacity must be nonzero");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() noexcept = default;
+  SmallVec(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+  SmallVec(std::span<const T> s) {  // NOLINT(google-explicit-constructor)
+    assign(s.begin(), s.end());
+  }
+  SmallVec(const std::vector<T>& v) {  // NOLINT(google-explicit-constructor)
+    assign(v.begin(), v.end());
+  }
+  SmallVec(std::size_t count, const T& value) { assign(count, value); }
+
+  SmallVec(const SmallVec& other) { assign(other.begin(), other.end()); }
+  /// Moves never steal heap storage: contents are memcpy-cheap by
+  /// construction and keeping the source's spill buffer would leave a
+  /// moved-from object holding an allocation.
+  SmallVec(SmallVec&& other) noexcept {
+    assign(other.begin(), other.end());
+    other.clear();
+  }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      assign(other.begin(), other.end());
+      other.clear();
+    }
+    return *this;
+  }
+  SmallVec& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+  SmallVec& operator=(const std::vector<T>& v) {
+    assign(v.begin(), v.end());
+    return *this;
+  }
+  SmallVec& operator=(std::span<const T> s) {
+    assign(s.begin(), s.end());
+    return *this;
+  }
+
+  ~SmallVec() {
+    if (data_ != inline_data()) std::free(data_);
+  }
+
+  template <class It, class = std::enable_if_t<!std::is_integral_v<It>>>
+  void assign(It first, It last) {
+    const auto n = static_cast<std::size_t>(std::distance(first, last));
+    reserve(n);
+    std::copy(first, last, data_);
+    size_ = n;
+  }
+  void assign(std::size_t count, const T& value) {
+    reserve(count);
+    std::fill_n(data_, count, value);
+    size_ = count;
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) grow(size_ + 1);
+    data_[size_++] = value;
+  }
+  template <class... A>
+  T& emplace_back(A&&... args) {
+    if (size_ == capacity_) grow(size_ + 1);
+    data_[size_] = T{std::forward<A>(args)...};
+    return data_[size_++];
+  }
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+  }
+
+  /// Inserts [first, last) before pos (the codecs only ever append, but a
+  /// general insert keeps the container honest as a vector stand-in).
+  template <class It, class = std::enable_if_t<!std::is_integral_v<It>>>
+  iterator insert(const_iterator pos, It first, It last) {
+    const auto offset = static_cast<std::size_t>(pos - data_);
+    const auto n = static_cast<std::size_t>(std::distance(first, last));
+    if (size_ + n > capacity_) grow(size_ + n);
+    std::memmove(data_ + offset + n, data_ + offset,
+                 (size_ - offset) * sizeof(T));
+    std::copy(first, last, data_ + offset);
+    size_ += n;
+    return data_ + offset;
+  }
+
+  void clear() noexcept { size_ = 0; }
+  void resize(std::size_t count) {
+    resize(count, T{});
+  }
+  void resize(std::size_t count, const T& value) {
+    if (count > size_) {
+      reserve(count);
+      std::fill_n(data_ + size_, count - size_, value);
+    }
+    size_ = count;
+  }
+  void reserve(std::size_t count) {
+    if (count > capacity_) grow(count);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// True while the elements live in the inline buffer (no heap spill).
+  [[nodiscard]] bool inlined() const noexcept {
+    return data_ == inline_data();
+  }
+  static constexpr std::size_t inline_capacity() noexcept { return N; }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] iterator begin() noexcept { return data_; }
+  [[nodiscard]] const_iterator begin() const noexcept { return data_; }
+  [[nodiscard]] iterator end() noexcept { return data_ + size_; }
+  [[nodiscard]] const_iterator end() const noexcept { return data_ + size_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] T& front() { return (*this)[0]; }
+  [[nodiscard]] const T& front() const { return (*this)[0]; }
+  [[nodiscard]] T& back() { return (*this)[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return (*this)[size_ - 1]; }
+
+  operator std::span<const T>() const noexcept {  // NOLINT
+    return {data_, size_};
+  }
+  operator std::span<T>() noexcept { return {data_, size_}; }  // NOLINT
+  /// Materialize as a std::vector (report structs keep vector fields —
+  /// they are cold-path and API-stable).
+  operator std::vector<T>() const {  // NOLINT(google-explicit-constructor)
+    return std::vector<T>(begin(), end());
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend bool operator==(const SmallVec& a, const std::vector<T>& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend bool operator==(const std::vector<T>& a, const SmallVec& b) {
+    return b == a;
+  }
+
+ private:
+  T* inline_data() noexcept { return reinterpret_cast<T*>(inline_); }
+  const T* inline_data() const noexcept {
+    return reinterpret_cast<const T*>(inline_);
+  }
+
+  void grow(std::size_t needed) {
+    std::size_t cap = capacity_ * 2;
+    if (cap < needed) cap = needed;
+    T* fresh = static_cast<T*>(std::malloc(cap * sizeof(T)));
+    if (fresh == nullptr) throw std::bad_alloc();
+    std::memcpy(fresh, data_, size_ * sizeof(T));
+    if (data_ != inline_data()) std::free(data_);
+    data_ = fresh;
+    capacity_ = cap;
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace liteview::util

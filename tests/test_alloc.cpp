@@ -1,0 +1,182 @@
+// Allocation-count regression tests for the event core and packet path.
+//
+// The tentpole claim of the allocation-free event core is *measurable*:
+// once the arena, bucket table, and frame pool are warm, scheduling and
+// firing events — and pushing packets across a link — must perform zero
+// heap allocations. These tests count every global operator new in the
+// process and fail if the steady-state number is anything but zero, so a
+// stray std::function, vector copy, or shared_ptr sneaking back onto the
+// hot path turns the build red instead of quietly costing microseconds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "mac/csma.hpp"
+#include "net/packet.hpp"
+#include "net/stack.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+
+// ---- global allocation counter ---------------------------------------
+//
+// Replacing the global allocation functions is binary-wide: gtest's own
+// bookkeeping is counted too, which is why every measurement below brackets
+// a region that performs no gtest assertions until after the counter is
+// read. Relaxed atomics keep the hooks safe under any threading without
+// perturbing the single-threaded measurements.
+
+namespace {
+std::atomic<std::uint64_t> g_news{0};
+
+void* counted_alloc(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size == 0 ? align : size) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+
+std::uint64_t alloc_count() {
+  return g_news.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace liteview {
+namespace {
+
+// ---- event core ------------------------------------------------------
+
+TEST(AllocFree, OneShotEventsSteadyState) {
+  sim::Simulator sim;
+  // Warm-up: grow the arena, free list, and bucket table past anything the
+  // measured phase needs (peak pending below is 256).
+  for (int i = 0; i < 2048; ++i) {
+    sim.schedule_in(sim::SimTime::us(i % 97 + 1), [] {});
+  }
+  sim.run();
+
+  const std::uint64_t before = alloc_count();
+  std::uint64_t fired = 0;
+  for (int round = 0; round < 64; ++round) {
+    for (int i = 0; i < 256; ++i) {
+      sim.schedule_in(sim::SimTime::us(i % 31 + 1), [&fired] { ++fired; });
+    }
+    sim.run();
+  }
+  const std::uint64_t delta = alloc_count() - before;
+
+  EXPECT_EQ(delta, 0u) << "schedule+fire of " << fired
+                       << " events hit the heap " << delta << " times";
+  EXPECT_EQ(fired, 64u * 256u);
+}
+
+TEST(AllocFree, CancelAndHandleChurnSteadyState) {
+  sim::Simulator sim;
+  for (int i = 0; i < 1024; ++i) {
+    sim.schedule_in(sim::SimTime::us(i + 1), [] {});
+  }
+  sim.run();
+
+  const std::uint64_t before = alloc_count();
+  for (int round = 0; round < 256; ++round) {
+    auto keep = sim.schedule_in(sim::SimTime::us(5), [] {});
+    auto drop = sim.schedule_in(sim::SimTime::us(6), [] {});
+    drop.cancel();
+    sim::EventHandle copy = keep;  // handle copies must not allocate
+    sim.run();
+    (void)copy.cancelled();
+  }
+  EXPECT_EQ(alloc_count() - before, 0u);
+}
+
+TEST(AllocFree, RepeatingTimerSteadyState) {
+  sim::Simulator sim;
+  std::uint64_t ticks = 0;
+  auto h = sim.schedule_every(sim::SimTime::us(10), [&ticks] { ++ticks; });
+  sim.run_until(sim::SimTime::ms(1));  // warm-up: 100 ticks
+
+  const std::uint64_t before = alloc_count();
+  sim.run_until(sim::SimTime::ms(101));  // 10,000 more ticks
+  const std::uint64_t delta = alloc_count() - before;
+  h.cancel();
+
+  EXPECT_EQ(delta, 0u) << "repeating timer allocated " << delta
+                       << " times across " << ticks << " ticks";
+  EXPECT_EQ(ticks, 10'100u);
+}
+
+// ---- packet hop ------------------------------------------------------
+
+TEST(AllocFree, LinkPacketHopSteadyState) {
+  sim::Simulator sim(23);
+  phy::PropagationConfig prop;
+  prop.shadowing_sigma_db = 0.0;
+  prop.fading_sigma_db = 0.0;  // quiet channel: every frame delivers
+  phy::Medium medium(sim, prop);
+  mac::CsmaMac mac_a(sim, medium, 1, phy::Position{0, 0});
+  mac::CsmaMac mac_b(sim, medium, 2, phy::Position{10, 0});
+  net::CommStack stack_a(sim, mac_a);
+  net::CommStack stack_b(sim, mac_b);
+
+  std::uint64_t received = 0;
+  stack_b.subscribe(5, [&received](const net::NetPacket&,
+                                   const net::LinkContext&) { ++received; });
+
+  const auto send_one = [&](std::uint32_t id) {
+    net::NetPacket p;
+    p.src = 1;
+    p.dst = 2;
+    p.port = 5;
+    p.id = id;
+    p.payload = {0xA5, 0x5A, 0x42, 0x24};
+    stack_a.send_link(2, p);
+    sim.run();
+  };
+
+  // Warm-up: sizes the frame pool, MAC rx slots, medium bookkeeping, and
+  // the event arena for the steady pattern.
+  for (std::uint32_t i = 0; i < 64; ++i) send_one(i);
+  const std::uint64_t warm_received = received;
+
+  const std::uint64_t before = alloc_count();
+  for (std::uint32_t i = 0; i < 256; ++i) send_one(1000 + i);
+  const std::uint64_t delta = alloc_count() - before;
+
+  EXPECT_EQ(delta, 0u) << "forwarding " << (received - warm_received)
+                       << " packets hit the heap " << delta << " times";
+  EXPECT_EQ(received - warm_received, 256u);
+}
+
+}  // namespace
+}  // namespace liteview

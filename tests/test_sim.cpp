@@ -151,5 +151,101 @@ TEST(Simulator, DeterministicAcrossRuns) {
   for (int i = 0; i < 32; ++i) EXPECT_EQ(ra.next_u64(), rb.next_u64());
 }
 
+// ---- handle / cancellation stress ------------------------------------
+
+TEST(SimulatorStress, CancelAnotherEventDuringCallback) {
+  // Event A fires and cancels same-time event B before B executes.
+  Simulator sim;
+  bool b_fired = false;
+  EventHandle hb;
+  sim.schedule_at(SimTime::ms(1), [&] { hb.cancel(); });
+  hb = sim.schedule_at(SimTime::ms(1), [&] { b_fired = true; });
+  sim.run();
+  EXPECT_FALSE(b_fired);
+  EXPECT_TRUE(hb.cancelled());
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(SimulatorStress, CancelAfterFireIsBenignNoOp) {
+  Simulator sim;
+  int fired = 0;
+  auto h = sim.schedule_in(SimTime::ms(1), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  // The slot is recycled; the stale handle reports cancelled and cancel()
+  // must not poison whatever event now occupies the slot.
+  EXPECT_TRUE(h.cancelled());
+  h.cancel();
+  bool reused_fired = false;
+  auto h2 = sim.schedule_in(SimTime::ms(1), [&] { reused_fired = true; });
+  h.cancel();  // stale handle again — must not touch h2's event
+  EXPECT_FALSE(h2.cancelled());
+  sim.run();
+  EXPECT_TRUE(reused_fired);
+}
+
+TEST(SimulatorStress, HandleOutlivesSimulator) {
+  EventHandle h;
+  {
+    Simulator sim;
+    h = sim.schedule_in(SimTime::ms(1), [] {});
+  }  // simulator (and its arena users) destroyed here
+  EXPECT_TRUE(h.cancelled());
+  h.cancel();  // must be a safe no-op with the simulator gone
+  EventHandle copy = h;  // copies keep the arena alive via refcount
+  EXPECT_TRUE(copy.cancelled());
+}
+
+TEST(SimulatorStress, GenerationDistinguishesSlotReuse) {
+  // Recycle one slot many times; every stale handle must stay stale and
+  // never alias the slot's current occupant.
+  Simulator sim;
+  constexpr int kRecycles = 1 << 16;
+  EventHandle first = sim.schedule_in(SimTime::ms(1), [] {});
+  first.cancel();
+  for (int i = 0; i < kRecycles; ++i) {
+    // The freed slot is at the head of the free list, so this reuses it.
+    auto h = sim.schedule_at(sim.now() + SimTime::us(1), [] {});
+    EXPECT_FALSE(h.cancelled());
+    h.cancel();
+    sim.step();  // reap the cancelled event, recycling the slot
+  }
+  EXPECT_TRUE(first.cancelled());
+  first.cancel();  // stale after 2^16 reuses — still a safe no-op
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(SimulatorStress, RepeatingHandleStaysLiveAcrossTicks) {
+  // A schedule_every handle reuses one slot forever; it must stay
+  // cancellable (same generation) after arbitrarily many firings.
+  Simulator sim;
+  int count = 0;
+  auto h = sim.schedule_every(SimTime::us(10), [&] { ++count; });
+  sim.run_until(SimTime::ms(10));  // 1000 firings through the same slot
+  EXPECT_EQ(count, 1000);
+  EXPECT_FALSE(h.cancelled());
+  h.cancel();
+  sim.run_until(SimTime::ms(20));
+  EXPECT_EQ(count, 1000);
+}
+
+TEST(SimulatorStress, ManyInterleavedCancelsKeepOrder) {
+  // Cancel every other event among a large same-time cohort and check the
+  // survivors still fire in seq order.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 200; ++i) {
+    handles.push_back(
+        sim.schedule_at(SimTime::ms(1), [&order, i] { order.push_back(i); }));
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].cancel();
+  sim.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int>(2 * i + 1));
+  }
+}
+
 }  // namespace
 }  // namespace liteview::sim

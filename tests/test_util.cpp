@@ -2,13 +2,20 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstring>
+#include <memory>
 #include <set>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "util/bytes.hpp"
 #include "util/crc16.hpp"
 #include "util/dbm.hpp"
+#include "util/inplace_function.hpp"
 #include "util/rng.hpp"
+#include "util/small_vec.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 
@@ -297,6 +304,222 @@ TEST(Stats, EmptyAccumulatorsAreZero) {
   EXPECT_EQ(s.stddev(), 0.0);
   Percentiles p;
   EXPECT_EQ(p.median(), 0.0);
+}
+
+// ---- inplace_function ------------------------------------------------
+
+TEST(InplaceFunction, EmptyByDefault) {
+  InplaceFunction<int(), 48> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  InplaceFunction<int(), 48> g = nullptr;
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(InplaceFunction, InvokesCaptureLessLambda) {
+  InplaceFunction<int(int), 48> f = [](int x) { return x * 2; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(21), 42);
+}
+
+TEST(InplaceFunction, TrivialCaptureRoundTrips) {
+  int a = 7, b = 35;
+  InplaceFunction<int(), 48> f = [a, b] { return a + b; };
+  EXPECT_EQ(f(), 42);
+  // Trivially copyable capture takes the memcpy-relocation path.
+  InplaceFunction<int(), 48> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(g));
+  EXPECT_EQ(g(), 42);
+}
+
+TEST(InplaceFunction, NonTrivialCaptureMoveAndDestroy) {
+  auto counter = std::make_shared<int>(0);
+  EXPECT_EQ(counter.use_count(), 1);
+  {
+    InplaceFunction<void(), 48> f = [counter] { ++*counter; };
+    EXPECT_EQ(counter.use_count(), 2);
+    f();
+    InplaceFunction<void(), 48> g = std::move(f);
+    // Move transfers (not copies) the shared_ptr capture.
+    EXPECT_EQ(counter.use_count(), 2);
+    g();
+    InplaceFunction<void(), 48> h;
+    h = std::move(g);
+    h();
+  }  // destructor releases the capture
+  EXPECT_EQ(counter.use_count(), 1);
+  EXPECT_EQ(*counter, 3);
+}
+
+TEST(InplaceFunction, ResetReleasesCapture) {
+  auto token = std::make_shared<int>(1);
+  InplaceFunction<void(), 48> f = [token] {};
+  EXPECT_EQ(token.use_count(), 2);
+  f.reset();
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InplaceFunction, MoveAssignDestroysPreviousTarget) {
+  auto old_cap = std::make_shared<int>(0);
+  auto new_cap = std::make_shared<int>(0);
+  InplaceFunction<void(), 48> f = [old_cap] {};
+  InplaceFunction<void(), 48> g = [new_cap] {};
+  EXPECT_EQ(old_cap.use_count(), 2);
+  f = std::move(g);
+  EXPECT_EQ(old_cap.use_count(), 1);  // previous target destroyed
+  EXPECT_EQ(new_cap.use_count(), 2);  // new target moved in, not copied
+}
+
+TEST(InplaceFunction, MoveOnlyCapture) {
+  auto p = std::make_unique<int>(99);
+  InplaceFunction<int(), 48> f = [q = std::move(p)] { return *q; };
+  EXPECT_EQ(f(), 99);
+  InplaceFunction<int(), 48> g = std::move(f);
+  EXPECT_EQ(g(), 99);
+}
+
+TEST(InplaceFunction, MutableStatePersistsAcrossCalls) {
+  InplaceFunction<int(), 48> f = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(f(), 1);
+  EXPECT_EQ(f(), 2);
+  auto g = std::move(f);
+  EXPECT_EQ(g(), 3);  // state relocates with the capture
+}
+
+TEST(InplaceFunction, CapacityBoundaryCompiles) {
+  // Exactly-at-capacity captures must fit (the static_assert is <=).
+  struct Fat {
+    std::uint64_t w[6];  // 48 bytes
+  };
+  static_assert(sizeof(Fat) == 48);
+  Fat fat{{1, 2, 3, 4, 5, 6}};
+  InplaceFunction<std::uint64_t(), 48> f = [fat] { return fat.w[5]; };
+  EXPECT_EQ(f(), 6u);
+}
+
+// ---- small_vec -------------------------------------------------------
+
+TEST(SmallVec, StartsEmptyAndInline) {
+  using V = SmallVec<std::uint8_t, 8>;
+  V v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.inlined());
+  EXPECT_EQ(v.capacity(), 8u);
+  EXPECT_EQ(V::inline_capacity(), 8u);
+}
+
+TEST(SmallVec, PushBackStaysInlineWithinN) {
+  SmallVec<std::uint8_t, 8> v;
+  for (std::uint8_t i = 0; i < 8; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 8u);
+  EXPECT_TRUE(v.inlined());
+  for (std::uint8_t i = 0; i < 8; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVec, SpillsToHeapBeyondN) {
+  SmallVec<std::uint8_t, 4> v;
+  for (std::uint8_t i = 0; i < 16; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 16u);
+  EXPECT_FALSE(v.inlined());
+  EXPECT_GE(v.capacity(), 16u);
+  for (std::uint8_t i = 0; i < 16; ++i) EXPECT_EQ(v[i], i);  // survived growth
+}
+
+TEST(SmallVec, InitializerListAndEquality) {
+  SmallVec<std::uint8_t, 8> v{1, 2, 3};
+  SmallVec<std::uint8_t, 8> w{1, 2, 3};
+  SmallVec<std::uint8_t, 8> x{1, 2, 4};
+  EXPECT_EQ(v, w);
+  EXPECT_FALSE(v == x);
+  EXPECT_EQ(v, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ((std::vector<std::uint8_t>{1, 2, 3}), v);
+}
+
+TEST(SmallVec, VectorAndSpanInterop) {
+  const std::vector<std::uint8_t> src{9, 8, 7};
+  SmallVec<std::uint8_t, 8> v = src;          // from vector
+  EXPECT_EQ(v, src);
+  std::span<const std::uint8_t> s = v;        // to span
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 9);
+  SmallVec<std::uint8_t, 2> w = s;            // from span (spills: 3 > 2)
+  EXPECT_FALSE(w.inlined());
+  std::vector<std::uint8_t> round = w;        // back to vector
+  EXPECT_EQ(round, src);
+}
+
+TEST(SmallVec, CopyAndMoveSemantics) {
+  SmallVec<std::uint8_t, 4> v{1, 2, 3, 4, 5};  // spilled
+  SmallVec<std::uint8_t, 4> c = v;
+  EXPECT_EQ(c, v);
+  SmallVec<std::uint8_t, 4> m = std::move(v);
+  EXPECT_EQ(m, c);
+  EXPECT_TRUE(v.empty());  // NOLINT(bugprone-use-after-move) — documented: move empties
+  v = m;                   // copy-assign back over the moved-from object
+  EXPECT_EQ(v, c);
+  SmallVec<std::uint8_t, 4> a;
+  a = std::move(m);
+  EXPECT_EQ(a, c);
+  EXPECT_TRUE(m.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(SmallVec, AssignResizeClear) {
+  SmallVec<std::uint8_t, 8> v;
+  v.assign(std::size_t{5}, std::uint8_t{0xAB});
+  EXPECT_EQ(v.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], 0xAB);
+  v.resize(8, 0xCD);
+  EXPECT_EQ(v.size(), 8u);
+  EXPECT_EQ(v[4], 0xAB);
+  EXPECT_EQ(v[5], 0xCD);
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 0xAB);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVec, InsertInMiddleAndAppend) {
+  SmallVec<std::uint8_t, 4> v{1, 4};
+  const std::uint8_t mid[] = {2, 3};
+  auto it = v.insert(v.begin() + 1, std::begin(mid), std::end(mid));
+  EXPECT_EQ(*it, 2);
+  EXPECT_EQ(v, (SmallVec<std::uint8_t, 4>{1, 2, 3, 4}));
+  const std::uint8_t tail[] = {5, 6};  // forces the spill during insert
+  v.insert(v.end(), std::begin(tail), std::end(tail));
+  EXPECT_EQ(v, (SmallVec<std::uint8_t, 4>{1, 2, 3, 4, 5, 6}));
+  EXPECT_FALSE(v.inlined());
+}
+
+TEST(SmallVec, FrontBackDataAndIteration) {
+  SmallVec<std::uint16_t, 4> v{10, 20, 30};
+  EXPECT_EQ(v.front(), 10);
+  EXPECT_EQ(v.back(), 30);
+  EXPECT_EQ(v.data()[1], 20);
+  int sum = 0;
+  for (const auto x : v) sum += x;
+  EXPECT_EQ(sum, 60);
+  for (auto& x : v) x += 1;
+  EXPECT_EQ(v.back(), 31);
+}
+
+TEST(SmallVec, ReserveDoesNotChangeSize) {
+  SmallVec<std::uint8_t, 4> v{1, 2};
+  v.reserve(64);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_GE(v.capacity(), 64u);
+  EXPECT_FALSE(v.inlined());
+  EXPECT_EQ(v[1], 2);
+}
+
+TEST(SmallVec, EmplaceBackAndPopBack) {
+  SmallVec<std::uint8_t, 4> v;
+  v.emplace_back(std::uint8_t{42});
+  EXPECT_EQ(v.back(), 42);
+  v.pop_back();
+  EXPECT_TRUE(v.empty());
 }
 
 }  // namespace
