@@ -4,6 +4,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -66,6 +67,111 @@ inline void compare_row(const char* metric, const char* paper,
                         const std::string& measured) {
   std::printf("  %-46s paper: %-18s measured: %s\n", metric, paper,
               measured.c_str());
+}
+
+// ---- JSON result emission --------------------------------------------
+//
+// One writer shared by every bench binary that records machine-readable
+// results (scale_sweep, fault_recovery; micro_core uses google-benchmark's
+// native --benchmark_out instead). Deliberately minimal: objects, arrays,
+// and scalar fields, written as the bench runs — no DOM, no allocation
+// concerns, no third-party dependency. Keys are emitted in call order so
+// checked-in result files diff cleanly run-over-run.
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(const std::string& path)
+      : f_(std::fopen(path.c_str(), "w")) {
+    if (f_ == nullptr) {
+      std::fprintf(stderr, "JsonWriter: cannot open %s\n", path.c_str());
+    }
+  }
+  ~JsonWriter() {
+    if (f_ != nullptr) {
+      std::fputc('\n', f_);
+      std::fclose(f_);
+    }
+  }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  [[nodiscard]] bool ok() const { return f_ != nullptr; }
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array(const char* key) { member(key); open('['); }
+  void end_array() { close(']'); }
+  void begin_object(const char* key) { member(key); open('{'); }
+
+  void field(const char* key, const std::string& v) {
+    member(key);
+    emit_string(v);
+    need_comma_ = true;
+  }
+  void field(const char* key, double v) {
+    member(key);
+    if (f_) std::fprintf(f_, "%.17g", v);
+    need_comma_ = true;
+  }
+  void field(const char* key, std::uint64_t v) {
+    member(key);
+    if (f_) std::fprintf(f_, "%llu", static_cast<unsigned long long>(v));
+    need_comma_ = true;
+  }
+  void field(const char* key, int v) {
+    member(key);
+    if (f_) std::fprintf(f_, "%d", v);
+    need_comma_ = true;
+  }
+  void field(const char* key, bool v) {
+    member(key);
+    if (f_) std::fputs(v ? "true" : "false", f_);
+    need_comma_ = true;
+  }
+
+ private:
+  void open(char c) {
+    separate();
+    if (f_) std::fputc(c, f_);
+    need_comma_ = false;
+  }
+  void close(char c) {
+    if (f_) std::fputc(c, f_);
+    need_comma_ = true;
+  }
+  void member(const char* key) {
+    separate();
+    if (key != nullptr) {
+      emit_string(key);
+      if (f_) std::fputc(':', f_);
+    }
+    need_comma_ = false;
+  }
+  void separate() {
+    if (need_comma_ && f_) std::fputc(',', f_);
+    need_comma_ = true;
+  }
+  void emit_string(const std::string& s) {
+    if (!f_) return;
+    std::fputc('"', f_);
+    for (const char c : s) {
+      if (c == '"' || c == '\\') std::fputc('\\', f_);
+      std::fputc(c, f_);
+    }
+    std::fputc('"', f_);
+  }
+
+  std::FILE* f_;
+  bool need_comma_ = false;
+};
+
+/// Parse the conventional `--json <path>` bench flag; returns the empty
+/// string when absent (bench prints its table and writes nothing).
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return {};
 }
 
 }  // namespace liteview::bench

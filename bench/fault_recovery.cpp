@@ -6,6 +6,8 @@
 // that needed at least one retransmission).
 #include <cstdio>
 #include <functional>
+#include <memory>
+#include <string>
 
 #include "bench/common.hpp"
 #include "fault/fault_plane.hpp"
@@ -90,10 +92,19 @@ Outcome run(std::uint64_t seed, int loss_percent, bool adaptive) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::header(
       "Fault recovery — burst-loss severity vs. batch adaptation "
       "(240-byte reliable commands through a Gilbert–Elliott link)");
+
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  std::unique_ptr<bench::JsonWriter> json;
+  if (!json_path.empty()) {
+    json = std::make_unique<bench::JsonWriter>(json_path);
+    json->begin_object();
+    json->field("bench", std::string("fault_recovery"));
+    json->begin_array("loss_sweep");
+  }
 
   constexpr int kReps = 4;
   std::printf("\n%-8s %-26s %-26s %-10s\n", "loss%", "adaptive",
@@ -112,6 +123,14 @@ int main() {
         rec.add(o.recovery_ms);
         drops += o.injected_drops;
       }
+      if (json) {
+        json->begin_object();
+        json->field("loss_percent", loss);
+        json->field("adaptive", adaptive);
+        json->field("delivered_ratio", ratio.mean());
+        json->field("recovery_ms", rec.mean());
+        json->end_object();
+      }
       return util::format("%5.1f%% / %6.0f", 100.0 * ratio.mean(),
                           rec.mean());
     };
@@ -119,6 +138,11 @@ int main() {
     const auto fixed = cell(false);
     std::printf("%-8d %-26s %-26s %-10.0f\n", loss, adaptive.c_str(),
                 fixed.c_str(), drops);
+  }
+  if (json) {
+    json->end_array();
+    json->end_object();
+    json.reset();
   }
 
   bench::section("reading");

@@ -3,6 +3,8 @@
 // evaluation, padding operations, and a full testbed warm-up.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "mac/csma.hpp"
 #include "mac/frame.hpp"
 #include "net/packet.hpp"
@@ -107,6 +109,81 @@ void BM_PacketHopBufferChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PacketHopBufferChurn);
+
+// ---- PHY hot path ----------------------------------------------------
+//
+// The two shapes that dominate at n=1000: a transmission fanning out to
+// its neighborhood (gain math + interference bookkeeping + delivery) and
+// a CCA sample summing the in-band energy of concurrent transmissions.
+
+/// Constant-density deployment (the scale_sweep regime): ~5 radios in a
+/// mean transmission range regardless of n, so fan-out work per frame is
+/// flat while the candidate/indexing overhead is what scales.
+struct FanoutWorld {
+  explicit FanoutWorld(int n, std::uint64_t seed = 42)
+      : sim(seed), medium(sim, phy::PropagationConfig{}) {
+    const double side = std::sqrt(static_cast<double>(n) / 0.0016);
+    util::RngStream place(seed, "bench.fanout.place");
+    sinks.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      medium.attach(&sinks[static_cast<std::size_t>(i)],
+                    {place.uniform(0.0, side), place.uniform(0.0, side)});
+    }
+  }
+  struct NullSink final : phy::MediumClient {
+    void on_frame(const std::vector<std::uint8_t>& psdu,
+                  const phy::RxInfo& info) override {
+      (void)psdu;
+      received += info.crc_ok ? 1 : 0;
+    }
+    std::uint64_t received = 0;
+  };
+  sim::Simulator sim;
+  phy::Medium medium;
+  std::vector<NullSink> sinks;
+};
+
+void BM_MediumTransmitFanout(benchmark::State& state) {
+  // Four same-instant transmitters per round (interference + collision
+  // paths exercised), rotating through the deployment so every reachable
+  // set and link gets touched. Items = frames put on the air.
+  const int n = static_cast<int>(state.range(0));
+  FanoutWorld w(n);
+  const std::vector<std::uint8_t> frame(30, 0xb5);
+  // Warm-up: one transmission from everyone sizes caches/pools/buckets.
+  for (int i = 0; i < n; ++i) {
+    w.medium.transmit(static_cast<phy::RadioId>(i), -10.0, frame);
+    w.sim.run();
+  }
+  std::uint32_t next = 0;
+  for (auto _ : state) {
+    for (int k = 0; k < 4; ++k) {
+      w.medium.transmit(static_cast<phy::RadioId>(next), -10.0, frame);
+      next = (next + 1) % static_cast<std::uint32_t>(n);
+    }
+    w.sim.run();
+  }
+  benchmark::DoNotOptimize(w.medium.frames_delivered());
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_MediumTransmitFanout)->Arg(50)->Arg(200)->Arg(1000);
+
+void BM_ChannelPowerSample(benchmark::State& state) {
+  // CCA cost with 8 concurrent same-channel transmissions in the air
+  // (sim time frozen mid-frame, so the active set is stable) in a
+  // 200-radio deployment.
+  FanoutWorld w(200, 7);
+  const std::vector<std::uint8_t> frame(127, 0xee);
+  for (int i = 0; i < 8; ++i) {
+    w.medium.transmit(static_cast<phy::RadioId>(i * 20), -10.0, frame);
+  }
+  const phy::RadioId probe = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.medium.channel_power_dbm(probe));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelPowerSample);
 
 void BM_Crc16(benchmark::State& state) {
   std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));

@@ -14,6 +14,7 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -47,6 +48,7 @@ struct ScenarioResult {
   std::uint64_t delivered = 0;
   std::uint64_t corrupted = 0;
   std::uint64_t below_sensitivity = 0;
+  std::uint64_t culled_candidates = 0;
   std::uint64_t rx_checksum = 0;  ///< sum over nodes of Beacon::received
   std::uint64_t events = 0;
   double wall_s = 0;
@@ -98,6 +100,7 @@ ScenarioResult run_scenario(int n, std::uint64_t seed, bool culling,
   r.delivered = medium.frames_delivered();
   r.corrupted = medium.frames_corrupted();
   r.below_sensitivity = medium.frames_below_sensitivity();
+  r.culled_candidates = medium.culled_candidates();
   r.events = sim.executed_events();
   for (const auto& b : nodes) r.rx_checksum += b->received;
   return r;
@@ -105,10 +108,19 @@ ScenarioResult run_scenario(int n, std::uint64_t seed, bool culling,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::header(
       "Scale sweep — spatial culling (events/sec, grid on vs. off) and "
       "shared-nothing replication speedup");
+
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  std::unique_ptr<bench::JsonWriter> json;
+  if (!json_path.empty()) {
+    json = std::make_unique<bench::JsonWriter>(json_path);
+    json->begin_object();
+    json->field("bench", std::string("scale_sweep"));
+    json->begin_array("culling_sweep");
+  }
 
   bench::section("spatial culling, constant density, 2 s of beaconing");
   std::printf("%-8s %-14s %-14s %-9s %-12s\n", "nodes", "culled ev/s",
@@ -116,13 +128,31 @@ int main() {
   for (int n : {50, 200, 1000}) {
     const auto culled = run_scenario(n, 42, /*culling=*/true, 2);
     const auto unculled = run_scenario(n, 42, /*culling=*/false, 2);
-    std::printf("%-8d %-14.0f %-14.0f %-9.2f %s\n", n,
-                static_cast<double>(culled.events) / culled.wall_s,
-                static_cast<double>(unculled.events) / unculled.wall_s,
-                (static_cast<double>(culled.events) / culled.wall_s) /
-                    (static_cast<double>(unculled.events) / unculled.wall_s),
-                culled.same_trace_as(unculled) ? "yes" : "NO — BUG");
+    const double culled_evs = static_cast<double>(culled.events) / culled.wall_s;
+    const double unculled_evs =
+        static_cast<double>(unculled.events) / unculled.wall_s;
+    // The cross-check the determinism suite asserts byte-for-byte: the
+    // culled run must agree on every delivery counter, and candidates it
+    // skipped must be accounted as below-sensitivity *exactly*.
+    const bool identical = culled.same_trace_as(unculled) &&
+                           culled.below_sensitivity ==
+                               unculled.below_sensitivity;
+    std::printf("%-8d %-14.0f %-14.0f %-9.2f %s\n", n, culled_evs,
+                unculled_evs, culled_evs / unculled_evs,
+                identical ? "yes" : "NO — BUG");
+    if (json) {
+      json->begin_object();
+      json->field("nodes", n);
+      json->field("culled_events_per_sec", culled_evs);
+      json->field("unculled_events_per_sec", unculled_evs);
+      json->field("speedup", culled_evs / unculled_evs);
+      json->field("identical_counters", identical);
+      json->field("frames_below_sensitivity", culled.below_sensitivity);
+      json->field("culled_candidates", culled.culled_candidates);
+      json->end_object();
+    }
   }
+  if (json) json->end_array();
 
   bench::section("replication speedup (8 reps of the 200-node deployment)");
   auto sweep = [&](unsigned threads) {
@@ -147,6 +177,14 @@ int main() {
       "(host has %u hardware threads)\n",
       serial_s, parallel_s, serial_s / parallel_s,
       std::thread::hardware_concurrency());
+  if (json) {
+    json->begin_object("replication");
+    json->field("serial_seconds", serial_s);
+    json->field("parallel_seconds", parallel_s);
+    json->field("speedup", serial_s / parallel_s);
+    json->end_object();
+    json->end_object();
+  }
 
   bench::section("reading");
   std::printf(

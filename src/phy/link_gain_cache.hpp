@@ -1,0 +1,146 @@
+// Memoized per-directed-link static gain.
+//
+// Every frame the medium puts on the air needs the deterministic path
+// loss of each (transmitter, candidate-receiver) pair — a sqrt'd
+// distance, a log10, and a Box–Muller shadowing draw per pair. Those
+// inputs only change when an endpoint moves or detaches, which is rare
+// compared to packet timescales (the same stability the paper's per-hop
+// LQI/RSSI padding relies on), so the value is computed once per directed
+// link and served from a flat open-addressed table afterwards.
+//
+// Exactness contract: the cache stores the *identical doubles* the
+// uncached computation produces — same function, same inputs — and the
+// static loss is a pure hash of (seed, from, to, positions), never a draw
+// from a shared RNG stream. Serving a memoized value therefore cannot
+// perturb any RNG state or any downstream bit of the simulation;
+// tests/test_determinism.cpp holds traces byte-identical cache on vs off.
+//
+// Invalidation is O(1) per mutation: each radio carries a 32-bit epoch,
+// bumped on set_position/detach; an entry is valid only while both of its
+// endpoints' epochs match the values stamped at insertion. Stale entries
+// are refreshed in place on the next lookup — no scans, no tombstones.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace liteview::phy {
+
+class LinkGainCache {
+ public:
+  /// Both the dB loss and its linear equivalent (10^(-loss/10)) ride in
+  /// the entry: the dB form feeds the sensitivity/SINR math, the linear
+  /// form lets interference and CCA accumulation skip a pow() per pair.
+  struct Gain {
+    double loss_db;
+    double lin;  ///< multiply by TX mW to get RX mW
+  };
+
+  LinkGainCache() { rehash(kInitialSlots); }
+
+  /// Register radio `id` (ids are dense and never reused). Idempotent.
+  void note_radio(std::uint32_t id) {
+    if (id >= epochs_.size()) epochs_.resize(id + 1, 0);
+  }
+
+  /// Retire every cached gain touching `id` (it moved or detached).
+  void invalidate_radio(std::uint32_t id) {
+    if (id < epochs_.size()) ++epochs_[id];
+  }
+
+  /// Cached gain for the directed link from→to, computing (and caching)
+  /// it via `compute()` on miss or staleness. `compute` must be a pure
+  /// function of the current radio state — the cache simply replays its
+  /// last result while both endpoints' epochs stand still.
+  template <typename Fn>
+  [[nodiscard]] const Gain& get(std::uint32_t from, std::uint32_t to,
+                                Fn&& compute) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(from) << 32) | to;
+    std::size_t i = slot_of(key);
+    while (true) {
+      Entry& e = entries_[i];
+      if (e.key == key) {
+        if (e.from_epoch == epochs_[from] && e.to_epoch == epochs_[to]) {
+          ++hits_;
+          return e.gain;
+        }
+        // Stale: refresh in place (key stays, occupancy unchanged).
+        e.gain = compute();
+        e.from_epoch = epochs_[from];
+        e.to_epoch = epochs_[to];
+        ++misses_;
+        return e.gain;
+      }
+      if (e.key == kEmptyKey) {
+        if ((live_ + 1) * 10 >= entries_.size() * 7) {
+          rehash(entries_.size() * 2);
+          i = slot_of(key);
+          while (entries_[i].key != kEmptyKey) i = next(i);
+        }
+        Entry& fresh = entries_[i];
+        fresh.key = key;
+        fresh.gain = compute();
+        fresh.from_epoch = epochs_[from];
+        fresh.to_epoch = epochs_[to];
+        ++live_;
+        ++misses_;
+        return fresh.gain;
+      }
+      i = next(i);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return entries_.size();
+  }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  static constexpr std::uint64_t kEmptyKey = ~0ULL;  // (2^32-1, 2^32-1):
+  // both halves are kInvalidRadio, which attach() can never hand out.
+  static constexpr std::size_t kInitialSlots = 256;
+
+  struct Entry {
+    std::uint64_t key = kEmptyKey;
+    Gain gain{0.0, 0.0};
+    std::uint32_t from_epoch = 0;
+    std::uint32_t to_epoch = 0;
+  };
+
+  [[nodiscard]] std::size_t slot_of(std::uint64_t key) const noexcept {
+    // splitmix64 finalizer: the packed pair is far from uniform.
+    std::uint64_t h = key;
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return static_cast<std::size_t>(h) & (entries_.size() - 1);
+  }
+  [[nodiscard]] std::size_t next(std::size_t i) const noexcept {
+    return (i + 1) & (entries_.size() - 1);
+  }
+
+  void rehash(std::size_t new_slots) {
+    std::vector<Entry> old = std::move(entries_);
+    entries_.assign(new_slots, Entry{});
+    for (const Entry& e : old) {
+      if (e.key == kEmptyKey) continue;
+      std::size_t i = slot_of(e.key);
+      while (entries_[i].key != kEmptyKey) i = next(i);
+      entries_[i] = e;
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> epochs_;
+  std::size_t live_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace liteview::phy

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
 
 #include "phy/ber.hpp"
 #include "util/dbm.hpp"
@@ -30,119 +29,197 @@ Medium::Medium(sim::Simulator& sim, const PropagationConfig& prop_cfg)
       grid_(grid_cell_for(prop_)),
       culling_possible_(std::isfinite(
           prop_.max_range_m(pa_level_to_dbm(kMaxPaLevel), kSensitivityDbm))),
-      max_tx_power_seen_dbm_(-std::numeric_limits<double>::infinity()) {}
+      budget_power_dbm_(-std::numeric_limits<double>::infinity()),
+      fading_headroom_db_(prop_.max_fading_gain_db()) {}
 
 RadioId Medium::attach(MediumClient* client, Position pos, Channel channel) {
   assert(client != nullptr);
-  Radio r;
-  r.client = client;
-  r.pos = pos;
-  r.channel = channel;
-  r.attached = true;
-  radios_.push_back(std::move(r));
-  const auto id = static_cast<RadioId>(radios_.size() - 1);
+  const auto id = static_cast<RadioId>(radio_count());
+  clients_.push_back(client);
+  positions_.push_back(pos);
+  channels_.push_back(channel);
+  attached_.push_back(1);
+  tx_until_.emplace_back();
+  reach_.emplace_back();
+  rx_inflight_.emplace_back();
+  last_tx_power_.push_back(std::numeric_limits<double>::quiet_NaN());
+  gain_cache_.note_radio(id);
   grid_.insert(id, pos);
-  ++channel_counts_[channel];
+  ++chan_[channel].attached;
   ++topo_epoch_;
   return id;
 }
 
 void Medium::detach(RadioId id) {
-  assert(id < radios_.size());
-  if (!radios_[id].attached) return;
-  grid_.remove(id, radios_[id].pos);
-  --channel_counts_[radios_[id].channel];
+  assert(id < radio_count());
+  if (!attached_[id]) return;
+  grid_.remove(id, positions_[id]);
+  --chan_[channels_[id]].attached;
   ++topo_epoch_;
-  radios_[id].attached = false;
-  radios_[id].client = nullptr;
+  attached_[id] = 0;
+  clients_[id] = nullptr;
+  gain_cache_.invalidate_radio(id);
+  // Its TX power leaves the histogram; the budget may shrink (the epoch
+  // bump above already retires the reachable sets sized for it).
+  double& last = last_tx_power_[id];
+  if (!std::isnan(last)) {
+    const auto it = power_hist_.find(last);
+    if (--it->second == 0) power_hist_.erase(it);
+    last = std::numeric_limits<double>::quiet_NaN();
+    budget_power_dbm_ = power_hist_.empty()
+                            ? -std::numeric_limits<double>::infinity()
+                            : power_hist_.rbegin()->first;
+  }
 }
 
 void Medium::set_position(RadioId id, Position pos) {
-  assert(id < radios_.size());
-  if (radios_[id].attached) {
-    grid_.move(id, radios_[id].pos, pos);
+  assert(id < radio_count());
+  if (attached_[id]) {
+    grid_.move(id, positions_[id], pos);
     ++topo_epoch_;
   }
-  radios_[id].pos = pos;
+  positions_[id] = pos;
+  gain_cache_.invalidate_radio(id);
 }
 
 Position Medium::position(RadioId id) const {
-  assert(id < radios_.size());
-  return radios_[id].pos;
+  assert(id < radio_count());
+  return positions_[id];
 }
 
 void Medium::set_channel(RadioId id, Channel channel) {
-  assert(id < radios_.size());
-  if (radios_[id].attached && radios_[id].channel != channel) {
-    --channel_counts_[radios_[id].channel];
-    ++channel_counts_[channel];
+  assert(id < radio_count());
+  if (attached_[id] && channels_[id] != channel) {
+    --chan_[channels_[id]].attached;
+    ++chan_[channel].attached;
     ++topo_epoch_;
+    // Retune mid-frame: the radio loses any frame it was receiving —
+    // even if it retunes back before the frame ends — and its stale
+    // reception records stop being interference-accumulation targets
+    // right now, not at delivery time.
+    abort_inflight_rx(id, frames_missed_retune_);
   }
-  radios_[id].channel = channel;
+  channels_[id] = channel;
 }
 
 Channel Medium::channel(RadioId id) const {
-  assert(id < radios_.size());
-  return radios_[id].channel;
+  assert(id < radio_count());
+  return channels_[id];
 }
 
 bool Medium::transmitting(RadioId id) const {
-  assert(id < radios_.size());
-  return radios_[id].tx_until > sim_.now();
+  assert(id < radio_count());
+  return tx_until_[id] > sim_.now();
 }
 
-double Medium::rx_power_dbm_at(const ActiveTx& tx, RadioId at) const {
-  const double pl = prop_.static_path_loss_db(tx.from, at,
-                                              radios_[tx.from].pos,
-                                              radios_[at].pos);
-  return tx.tx_power_dbm - pl;
+LinkGainCache::Gain Medium::link_gain(RadioId from, RadioId to) const {
+  const auto compute = [&]() -> LinkGainCache::Gain {
+    const double loss = prop_.static_path_loss_db(from, to, positions_[from],
+                                                  positions_[to]);
+    // The linear form rides along so interference/CCA accumulation can
+    // multiply instead of re-deriving a pow() per pair per frame.
+    return {loss, util::dbm_to_mw(-loss)};
+  };
+  if (!gain_cache_enabled_) return compute();
+  return gain_cache_.get(from, to, compute);
 }
 
 double Medium::mean_rx_power_dbm(RadioId from, RadioId to,
                                  double tx_power_dbm) const {
-  const double pl = prop_.static_path_loss_db(from, to, radios_[from].pos,
-                                              radios_[to].pos);
-  return tx_power_dbm - pl;
+  return tx_power_dbm - link_gain(from, to).loss_db;
 }
 
 double Medium::channel_power_dbm(RadioId at) const {
-  assert(at < radios_.size());
-  const Channel ch = radios_[at].channel;
+  assert(at < radio_count());
+  const ChannelState& cs = chan_[channels_[at]];
   double total_mw = 0.0;
   const sim::SimTime now = sim_.now();
-  for (const auto& tx : active_) {
-    if (tx.channel != ch || tx.from == at) continue;
-    if (tx.end <= now) continue;
-    total_mw += util::dbm_to_mw(rx_power_dbm_at(tx, at));
+  for (const std::uint32_t s : cs.active) {
+    const TxSlot& tx = tx_slots_[s];
+    if (tx.from == at || tx.end <= now) continue;
+    total_mw += tx.tx_mw * link_gain(tx.from, at).lin;
   }
   return total_mw > 0.0 ? util::mw_to_dbm(total_mw) : -300.0;
 }
 
-const std::vector<RadioId>& Medium::reachable_set(RadioId from) {
-  Radio& r = radios_[from];
-  if (r.cache_epoch == topo_epoch_) return r.reachable;
+bool Medium::cca_clear(RadioId at, double threshold_dbm) const {
+  assert(at < radio_count());
+  const ChannelState& cs = chan_[channels_[at]];
+  const double threshold_mw = util::dbm_to_mw(threshold_dbm);
+  double total_mw = 0.0;
+  const sim::SimTime now = sim_.now();
+  // Same accumulation (and order) as channel_power_dbm, compared in
+  // linear space so a busy verdict can return before visiting every
+  // transmitter still on the air.
+  for (const std::uint32_t s : cs.active) {
+    const TxSlot& tx = tx_slots_[s];
+    if (tx.from == at || tx.end <= now) continue;
+    total_mw += tx.tx_mw * link_gain(tx.from, at).lin;
+    if (total_mw >= threshold_mw) return false;
+  }
+  return total_mw < threshold_mw;
+}
 
-  const double range =
-      prop_.max_range_m(max_tx_power_seen_dbm_, kSensitivityDbm);
-  r.reachable.clear();
+const Medium::ReachCache& Medium::reachable_set(RadioId from) {
+  ReachCache& rc = reach_[from];
+  if (rc.epoch == topo_epoch_) return rc;
+
+  const double range = prop_.max_range_m(budget_power_dbm_, kSensitivityDbm);
+  rc.ids.clear();
   query_scratch_.clear();
-  grid_.query(r.pos, range, query_scratch_);
+  grid_.query(positions_[from], range, query_scratch_);
   for (const RadioId id : query_scratch_) {
     if (id == from) continue;
-    if (radios_[id].pos.distance_to(r.pos) <= range) {
-      r.reachable.push_back(id);
+    if (positions_[id].distance_to(positions_[from]) <= range) {
+      rc.ids.push_back(id);
     }
   }
   // Ascending id order keeps the candidate walk — and therefore every
   // downstream RNG draw — identical to the unculled 0..n scan.
-  std::sort(r.reachable.begin(), r.reachable.end());
-  r.cache_epoch = topo_epoch_;
-  return r.reachable;
+  std::sort(rc.ids.begin(), rc.ids.end());
+  // Materialize the candidates' static gains as one sequential array so
+  // the hot walk streams it (any stale cache entries refresh here).
+  rc.has_gains = gain_cache_enabled_;
+  rc.gains.clear();
+  if (rc.has_gains) {
+    rc.gains.reserve(rc.ids.size());
+    for (const RadioId id : rc.ids) rc.gains.push_back(link_gain(from, id));
+  }
+  rc.epoch = topo_epoch_;
+  return rc;
+}
+
+void Medium::note_tx_power(RadioId from, double power) {
+  double& last = last_tx_power_[from];
+  if (last == power) return;  // NaN compares false: first TX falls through
+  if (!std::isnan(last)) {
+    const auto it = power_hist_.find(last);
+    if (--it->second == 0) power_hist_.erase(it);
+  }
+  ++power_hist_[power];
+  last = power;
+  // Reachable sets are sized for the histogram maximum. Unlike the old
+  // monotone max-ever-seen, the budget shrinks again once the last loud
+  // transmitter re-registers at a lower level.
+  const double budget = power_hist_.rbegin()->first;
+  if (budget != budget_power_dbm_) {
+    budget_power_dbm_ = budget;
+    ++topo_epoch_;
+  }
+}
+
+void Medium::abort_inflight_rx(RadioId at, std::uint64_t& counter) {
+  auto& refs = rx_inflight_[at];
+  for (const RxRef& ref : refs) {
+    tx_slots_[ref.slot].rxs[ref.idx].aborted = true;
+    ++counter;
+  }
+  refs.clear();
 }
 
 void Medium::transmit(RadioId from, double tx_power_dbm,
                       FrameBufferRef psdu) {
-  assert(from < radios_.size());
+  assert(from < radio_count());
   assert(psdu && !psdu.bytes().empty() &&
          psdu.bytes().size() <= static_cast<std::size_t>(kMaxPsduBytes));
 
@@ -150,18 +227,13 @@ void Medium::transmit(RadioId from, double tx_power_dbm,
   const sim::SimTime air =
       frame_airtime(static_cast<int>(psdu.bytes().size()));
   const sim::SimTime end = start + air;
-  const Channel ch = radios_[from].channel;
+  const Channel ch = channels_[from];
   const std::uint64_t seq = next_tx_seq_++;
 
-  if (tx_power_dbm > max_tx_power_seen_dbm_) {
-    // A louder transmitter than any before: cached reachable sets were
-    // sized for a smaller budget, so retire them all.
-    max_tx_power_seen_dbm_ = tx_power_dbm;
-    ++topo_epoch_;
-  }
+  note_tx_power(from, tx_power_dbm);
 
   ++frames_sent_;
-  radios_[from].tx_until = end;
+  tx_until_[from] = end;
 
   if (sniffer_) {
     sniffer_(SniffedFrame{from, ch, psdu.bytes().size(), start, air,
@@ -169,22 +241,42 @@ void Medium::transmit(RadioId from, double tx_power_dbm,
   }
 
   // Half-duplex: the transmitter cannot keep receiving; abort any frame
-  // it was in the middle of receiving.
-  for (auto& rx : receptions_) {
-    if (rx.to == from && !rx.aborted) {
-      rx.aborted = true;
-      ++frames_missed_busy_rx_;
-    }
+  // it was in the middle of receiving (O(1) via the in-flight index).
+  abort_inflight_rx(from, frames_missed_busy_rx_);
+
+  // Claim a pooled transmission slot.
+  std::uint32_t slot_idx;
+  if (!free_slots_.empty()) {
+    slot_idx = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    tx_slots_.emplace_back();
+    slot_idx = static_cast<std::uint32_t>(tx_slots_.size() - 1);
   }
+  TxSlot& slot = tx_slots_[slot_idx];
+  slot.from = from;
+  slot.channel = ch;
+  slot.tx_power_dbm = tx_power_dbm;
+  slot.tx_mw = util::dbm_to_mw(tx_power_dbm);
+  slot.start = start;
+  slot.end = end;
+  slot.seq = seq;
+  slot.rxs.clear();  // capacity survives recycling
+
+  ChannelState& cs = chan_[ch];
 
   // The new transmission raises the interference floor of every reception
-  // already in flight on this channel.
-  ActiveTx tx{from, ch, tx_power_dbm, start, end, seq};
-  for (auto& rx : receptions_) {
-    if (rx.channel != ch || rx.aborted || rx.to == from) continue;
-    // Conservative accumulation: once an interferer overlaps a reception,
-    // its energy counts for the whole frame (no per-segment integration).
-    rx.interference_mw += util::dbm_to_mw(rx_power_dbm_at(tx, rx.to));
+  // already in flight on this channel (receptions targeting `from` were
+  // just aborted above, so the aborted check covers them).
+  for (const std::uint32_t s : cs.active) {
+    TxSlot& other = tx_slots_[s];
+    for (Reception& rx : other.rxs) {
+      if (rx.aborted) continue;
+      // Conservative accumulation: once an interferer overlaps a
+      // reception, its energy counts for the whole frame (no per-segment
+      // integration).
+      rx.interference_mw += slot.tx_mw * link_gain(from, rx.to).lin;
+    }
   }
 
   // Start a reception record at every other attached same-channel radio
@@ -194,86 +286,124 @@ void Medium::transmit(RadioId from, double tx_power_dbm,
   // the below-sensitivity counter (they can't clear sensitivity for any
   // fading draw — that is the culling invariant).
   std::uint32_t visited = 0;
-  auto consider = [&](RadioId to) {
-    if (to == from || !radios_[to].attached) return;
-    if (radios_[to].channel != ch) return;
+  // `g` carries the candidate's static gain when the caller already holds
+  // it (the culled walk streams the reachable set's gain array); null
+  // falls back to a cache probe / direct computation — same doubles.
+  auto consider = [&](RadioId to, const LinkGainCache::Gain* g) {
+    if (to == from || !attached_[to]) return;
+    if (channels_[to] != ch) return;
     ++visited;
 
+    // Hopeless-link fast path: fading can raise received power by at most
+    // fading_headroom_db_ (the tail clamp), so when even that best draw
+    // cannot clear sensitivity the verdict is already known and the
+    // Box–Muller fading hash — the bulk of the per-candidate math once
+    // the static gain is cached — can be skipped. Exact: fading is hashed
+    // per (transmission, receiver), not drawn from a stream, so skipping
+    // it perturbs nothing, and both culling paths apply the same test.
+    const double loss_db = g ? g->loss_db : link_gain(from, to).loss_db;
+    if (tx_power_dbm - loss_db + fading_headroom_db_ < kSensitivityDbm) {
+      ++frames_below_sensitivity_;
+      return;
+    }
+
     const double fading = prop_.packet_fading_db(seq, to);
-    const double prx = rx_power_dbm_at(tx, to) - fading;
+    const double prx = tx_power_dbm - loss_db - fading;
     if (prx < kSensitivityDbm) {
       ++frames_below_sensitivity_;
       return;
     }
-    if (radios_[to].tx_until > start) {
+    if (tx_until_[to] > start) {
       // Receiver is mid-transmission: deaf.
       ++frames_missed_busy_rx_;
       return;
     }
 
     // Initial interference: every other already-active transmission on
-    // this channel as heard at `to`.
+    // this channel as heard at `to`, in transmission order (the same
+    // order either culling path visits, so the float sum is exact).
     double interference_mw = 0.0;
-    for (const auto& other : active_) {
-      if (other.channel != ch || other.from == to || other.end <= start)
-        continue;
-      interference_mw += util::dbm_to_mw(rx_power_dbm_at(other, to));
+    for (const std::uint32_t s : cs.active) {
+      const TxSlot& other = tx_slots_[s];
+      if (other.from == to || other.end <= start) continue;
+      interference_mw += other.tx_mw * link_gain(other.from, to).lin;
     }
 
-    receptions_.push_back(
-        Reception{from, to, ch, prx, interference_mw, start, end,
-                  /*aborted=*/false, seq});
+    rx_inflight_[to].push_back(
+        RxRef{slot_idx, static_cast<std::uint32_t>(slot.rxs.size())});
+    slot.rxs.push_back(Reception{to, prx, interference_mw,
+                                 /*aborted=*/false});
   };
 
   if (culling_enabled_ && culling_possible_) {
-    for (const RadioId to : reachable_set(from)) consider(to);
-    const std::uint32_t on_channel = channel_counts_[ch] - 1;  // minus from
+    const ReachCache& rc = reachable_set(from);
+    if (rc.has_gains) {
+      for (std::size_t i = 0; i < rc.ids.size(); ++i) {
+        consider(rc.ids[i], &rc.gains[i]);
+      }
+    } else {
+      for (const RadioId to : rc.ids) consider(to, nullptr);
+    }
+    const std::uint32_t on_channel = cs.attached - 1;  // minus from
     frames_below_sensitivity_ += on_channel - visited;
     culled_candidates_ += on_channel - visited;
   } else {
-    for (RadioId to = 0; to < radios_.size(); ++to) consider(to);
+    for (RadioId to = 0; to < radio_count(); ++to) consider(to, nullptr);
   }
 
-  active_.push_back(tx);
+  cs.active.push_back(slot_idx);
 
   // The pooled buffer rides inside the event's inline capture; the last
   // ref recycles it after delivery.
-  sim_.schedule_at(end, [this, seq, psdu = std::move(psdu)] {
-    deliver(seq, psdu);
+  sim_.schedule_at(end, [this, slot_idx, psdu = std::move(psdu)] {
+    deliver(slot_idx, psdu);
   });
 }
 
-void Medium::deliver(std::uint64_t tx_seq, const FrameBufferRef& psdu) {
-  // Retire the transmission from the active set.
-  std::erase_if(active_, [&](const ActiveTx& t) { return t.seq == tx_seq; });
+void Medium::deliver(std::uint32_t slot_idx, const FrameBufferRef& psdu) {
+  // Retire the transmission from its channel bucket. Order-preserving:
+  // interference sums visit the remaining transmissions in TX order, the
+  // same order both culling paths produce.
+  const Channel tx_ch = tx_slots_[slot_idx].channel;
+  const RadioId tx_from = tx_slots_[slot_idx].from;
+  std::erase(chan_[tx_ch].active, slot_idx);
 
-  // Complete every reception belonging to this transmission.
-  for (auto it = receptions_.begin(); it != receptions_.end();) {
-    if (it->tx_seq != tx_seq) {
-      ++it;
-      continue;
-    }
-    Reception rx = *it;
-    it = receptions_.erase(it);
+  // Complete every reception belonging to this transmission. A client
+  // callback may re-enter the Medium (transmit, retune, detach), which
+  // can grow tx_slots_ or abort receptions of *this* slot that have not
+  // been processed yet — so the loop re-indexes tx_slots_ every
+  // iteration, copies the Reception before calling out, and unlinks each
+  // in-flight reference only when its reception is reached.
+  const std::size_t n_rx = tx_slots_[slot_idx].rxs.size();
+  for (std::size_t i = 0; i < n_rx; ++i) {
+    const Reception rx = tx_slots_[slot_idx].rxs[i];
+    if (rx.aborted) continue;
 
-    if (rx.aborted || !radios_[rx.to].attached ||
-        radios_[rx.to].client == nullptr) {
-      continue;
+    auto& refs = rx_inflight_[rx.to];
+    for (std::size_t r = 0; r < refs.size(); ++r) {
+      if (refs[r].slot == slot_idx && refs[r].idx == i) {
+        refs[r] = refs.back();
+        refs.pop_back();
+        break;
+      }
     }
-    // A radio that retuned mid-frame loses the frame.
-    if (radios_[rx.to].channel != rx.channel) continue;
+
+    if (!attached_[rx.to] || clients_[rx.to] == nullptr) continue;
+    // Defense in depth: a retuned radio's receptions are aborted by
+    // set_channel, so this mismatch should be unreachable.
+    if (channels_[rx.to] != tx_ch) continue;
     // Injected failures: the test drop filter and the fault plane.
-    if (drop_filter_ && drop_filter_(rx.from, rx.to)) {
+    if (drop_filter_ && drop_filter_(tx_from, rx.to)) {
       ++frames_dropped_fault_;
       continue;
     }
-    if (interceptor_ &&
-        interceptor_->should_drop(rx.from, rx.to, rx.channel)) {
+    if (interceptor_ && interceptor_->should_drop(tx_from, rx.to, tx_ch)) {
       ++frames_dropped_fault_;
       continue;
     }
 
-    const double noise_mw = util::dbm_to_mw(kNoiseFloorDbm);
+    // Constant conversion, hoisted off the per-reception path.
+    static const double noise_mw = util::dbm_to_mw(kNoiseFloorDbm);
     const double sinr_db =
         rx.prx_dbm - util::mw_to_dbm(noise_mw + rx.interference_mw);
     const int bits = static_cast<int>(psdu.bytes().size()) * 8;
@@ -296,7 +426,7 @@ void Medium::deliver(std::uint64_t tx_seq, const FrameBufferRef& psdu) {
         util::mw_to_dbm(util::dbm_to_mw(rx.prx_dbm) + rx.interference_mw));
     info.lqi = lqi_from_snr(sinr_db);
     info.crc_ok = !corrupted;
-    info.from = rx.from;
+    info.from = tx_from;
 
     if (corrupted) {
       ++frames_corrupted_;
@@ -307,12 +437,15 @@ void Medium::deliver(std::uint64_t tx_seq, const FrameBufferRef& psdu) {
       const auto idx = static_cast<std::size_t>(corrupt_rng_.uniform_int(
           0, static_cast<std::int64_t>(corrupt_scratch_.size()) - 1));
       corrupt_scratch_[idx] ^= 0xa5;
-      radios_[rx.to].client->on_frame(corrupt_scratch_, info);
+      clients_[rx.to]->on_frame(corrupt_scratch_, info);
     } else {
       ++frames_delivered_;
-      radios_[rx.to].client->on_frame(psdu.bytes(), info);
+      clients_[rx.to]->on_frame(psdu.bytes(), info);
     }
   }
+
+  tx_slots_[slot_idx].rxs.clear();  // capacity survives for the next TX
+  free_slots_.push_back(slot_idx);
 }
 
 }  // namespace liteview::phy

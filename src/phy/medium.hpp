@@ -5,18 +5,30 @@
 // capture-style SINR computation, and PER-driven frame corruption. All
 // randomness flows from the owning Simulator's RNG root, so runs are
 // reproducible.
+//
+// Hot-path memory model (DESIGN.md §10): radio state is stored SoA so the
+// candidate walk touches dense position/channel/busy arrays instead of
+// whole structs; deterministic per-link gain is memoized in a flat
+// open-addressed LinkGainCache; in-flight transmissions live in
+// per-channel buckets and their receptions in per-transmission slots with
+// a per-radio in-flight index — so interference accumulation, CCA, the
+// half-duplex abort scan, and delivery all cost O(same-channel) or O(1)
+// instead of O(everything in the air).
 #pragma once
 
+#include <array>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <map>
 #include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "phy/cc2420.hpp"
 #include "phy/frame_buffer.hpp"
+#include "phy/link_gain_cache.hpp"
 #include "phy/propagation.hpp"
 #include "phy/spatial_grid.hpp"
 #include "sim/simulator.hpp"
@@ -119,10 +131,11 @@ class Medium {
   /// the MAC — sensitive stacks (B-MAC and kin) set it near the noise
   /// floor, far below the CC2420's -77 dBm register default.
   [[nodiscard]] double channel_power_dbm(RadioId at) const;
+  /// CCA decision without the final log10: accumulates in linear space
+  /// and bails out as soon as the threshold is exceeded. Exactly
+  /// equivalent to channel_power_dbm(at) < threshold_dbm.
   [[nodiscard]] bool cca_clear(RadioId at,
-                               double threshold_dbm = kCcaThresholdDbm) const {
-    return channel_power_dbm(at) < threshold_dbm;
-  }
+                               double threshold_dbm = kCcaThresholdDbm) const;
 
   /// True while `id` itself is transmitting.
   [[nodiscard]] bool transmitting(RadioId id) const;
@@ -169,6 +182,34 @@ class Medium {
     return culling_enabled_ && culling_possible_;
   }
 
+  /// Link gain memoization: when enabled (the default), the deterministic
+  /// per-directed-link path loss is computed once and served from the
+  /// LinkGainCache until an endpoint moves or detaches. Exact
+  /// memoization — the cached doubles are the ones the direct computation
+  /// produces, and no RNG stream is involved — so traces are
+  /// byte-identical with the cache on or off (tests/test_determinism.cpp
+  /// holds this too). Off forces recomputation per use, for audits.
+  void set_gain_cache(bool enabled) noexcept {
+    if (enabled != gain_cache_enabled_) {
+      gain_cache_enabled_ = enabled;
+      // Reachable-set caches materialize gains only while the cache is
+      // on; retire them so the walk switches representation.
+      ++topo_epoch_;
+    }
+  }
+  [[nodiscard]] bool gain_cache_active() const noexcept {
+    return gain_cache_enabled_;
+  }
+  [[nodiscard]] std::uint64_t gain_cache_hits() const noexcept {
+    return gain_cache_.hits();
+  }
+  [[nodiscard]] std::uint64_t gain_cache_misses() const noexcept {
+    return gain_cache_.misses();
+  }
+  [[nodiscard]] std::size_t gain_cache_links() const noexcept {
+    return gain_cache_.size();
+  }
+
   /// Candidate-loop iterations skipped thanks to the grid (perf probe for
   /// benches; not part of the delivery semantics).
   [[nodiscard]] std::uint64_t culled_candidates() const noexcept {
@@ -191,60 +232,91 @@ class Medium {
   [[nodiscard]] std::uint64_t frames_missed_busy_rx() const noexcept {
     return frames_missed_busy_rx_;
   }
+  /// Receptions aborted because the receiver retuned to another channel
+  /// mid-frame (it loses the frame even if it retunes back — and its
+  /// stale reception stops being an interference target immediately).
+  [[nodiscard]] std::uint64_t frames_missed_retune() const noexcept {
+    return frames_missed_retune_;
+  }
   /// Receptions suppressed by the drop filter or the fault interceptor.
   [[nodiscard]] std::uint64_t frames_dropped_fault() const noexcept {
     return frames_dropped_fault_;
   }
 
   /// Deterministic received power (no fading) for a directed pair — used
-  /// by topology builders to check connectivity before running.
+  /// by topology builders to check connectivity before running. Served
+  /// through the gain cache when it is enabled (same doubles either way).
   [[nodiscard]] double mean_rx_power_dbm(RadioId from, RadioId to,
                                          double tx_power_dbm) const;
 
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
 
  private:
-  struct Radio {
-    MediumClient* client = nullptr;
-    Position pos;
-    Channel channel = kDefaultChannel;
-    bool attached = false;
-    sim::SimTime tx_until;  ///< busy transmitting until this time
-    /// Cached ids (ascending) of every attached radio within the link
-    /// budget's max range of this one; valid while cache_epoch matches
-    /// the medium's topology epoch.
-    std::vector<RadioId> reachable;
-    std::uint64_t cache_epoch = 0;
-  };
-
-  /// One (transmission, receiver) pair currently in the air.
+  /// One receiver of an in-flight transmission. Sender/channel/timing
+  /// live in the owning TxSlot.
   struct Reception {
-    RadioId from;
     RadioId to;
-    Channel channel;
     double prx_dbm;
     double interference_mw;  ///< max concurrent interference seen
-    sim::SimTime start;
-    sim::SimTime end;
-    bool aborted = false;  ///< receiver turned to TX mid-frame
-    std::uint64_t tx_seq;  ///< which transmission this belongs to
+    bool aborted = false;    ///< receiver turned to TX / retuned mid-frame
   };
 
-  /// An active transmission on the air (for CCA and interference).
-  struct ActiveTx {
-    RadioId from;
-    Channel channel;
-    double tx_power_dbm;
+  /// An in-flight transmission plus all of its reception records. Slots
+  /// are pooled: delivery returns the slot (and its receptions vector's
+  /// capacity) to a free list, so steady-state traffic never allocates.
+  struct TxSlot {
+    RadioId from = kInvalidRadio;
+    Channel channel = 0;
+    double tx_power_dbm = 0.0;
+    double tx_mw = 0.0;  ///< dbm_to_mw(tx_power_dbm), computed once
     sim::SimTime start;
     sim::SimTime end;
-    std::uint64_t seq;
+    std::uint64_t seq = 0;
+    std::vector<Reception> rxs;
   };
 
-  void deliver(std::uint64_t tx_seq, const FrameBufferRef& psdu);
-  [[nodiscard]] double rx_power_dbm_at(const ActiveTx& tx,
-                                       RadioId at) const;
+  /// Reference to one Reception: (slot index, index within the slot).
+  struct RxRef {
+    std::uint32_t slot;
+    std::uint32_t idx;
+  };
+
+  /// Cached ids (ascending) of every attached radio within the link
+  /// budget's max range; valid while epoch matches topo_epoch_. When the
+  /// gain cache is enabled the rebuild also pulls each candidate's static
+  /// gain through it into `gains` (parallel to `ids`): the candidate walk
+  /// then streams one sequential array per transmitter instead of probing
+  /// a deployment-wide hash table per pair — the probe locality is what
+  /// dominates at n=1000.
+  struct ReachCache {
+    std::vector<RadioId> ids;
+    std::vector<LinkGainCache::Gain> gains;
+    bool has_gains = false;
+    std::uint64_t epoch = 0;
+  };
+
+  /// Per-channel index over in-flight transmissions. `active` holds slot
+  /// indices in transmission order (interference sums must accumulate in
+  /// a culling-independent order); `attached` counts radios tuned here so
+  /// the culled path can credit skipped radios without visiting them.
+  struct ChannelState {
+    std::vector<std::uint32_t> active;
+    std::uint32_t attached = 0;
+  };
+
+  void deliver(std::uint32_t slot_idx, const FrameBufferRef& psdu);
+  /// Memoized (or direct, when the cache is off) static gain from→to.
+  [[nodiscard]] LinkGainCache::Gain link_gain(RadioId from, RadioId to) const;
   /// Rebuild (if stale) and return the reachable-set cache for `from`.
-  const std::vector<RadioId>& reachable_set(RadioId from);
+  const ReachCache& reachable_set(RadioId from);
+  /// Record `power` as radio `from`'s current TX level in the histogram;
+  /// retires reachable sets when the deployment-wide maximum changes.
+  void note_tx_power(RadioId from, double power);
+  void abort_inflight_rx(RadioId at, std::uint64_t& counter);
+
+  [[nodiscard]] std::size_t radio_count() const noexcept {
+    return clients_.size();
+  }
 
   sim::Simulator& sim_;
   PropagationModel prop_;
@@ -255,28 +327,55 @@ class Medium {
   /// shared PSDU other receivers still read).
   std::vector<std::uint8_t> corrupt_scratch_;
 
-  std::vector<Radio> radios_;
-  std::vector<ActiveTx> active_;
-  std::vector<Reception> receptions_;
+  // ---- radio state, SoA ----------------------------------------------
+  // The candidate walk in transmit() reads channel/attached/position/busy
+  // for long runs of ids; parallel arrays keep those reads on a handful
+  // of cache lines instead of striding over whole Radio structs.
+  std::vector<MediumClient*> clients_;
+  std::vector<Position> positions_;
+  std::vector<Channel> channels_;
+  std::vector<std::uint8_t> attached_;
+  std::vector<sim::SimTime> tx_until_;  ///< busy transmitting until this
+  std::vector<ReachCache> reach_;
+  /// Non-aborted in-flight receptions targeting each radio — the O(1)
+  /// half-duplex/retune abort index.
+  std::vector<std::vector<RxRef>> rx_inflight_;
+  /// TX power of each radio's most recent transmission (NaN until the
+  /// first one); backs the power histogram.
+  std::vector<double> last_tx_power_;
+
+  // ---- in-flight transmissions ---------------------------------------
+  std::vector<TxSlot> tx_slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::array<ChannelState, 256> chan_{};
   std::uint64_t next_tx_seq_ = 0;
+
+  mutable LinkGainCache gain_cache_;
+  bool gain_cache_enabled_ = true;
 
   // ---- spatial culling state ----------------------------------------
   SpatialGrid grid_;
   /// Bumped on any attach/detach/position/channel change and whenever the
-  /// observed max TX power grows; reachable caches lazily rebuild on
-  /// mismatch.
+  /// link-budget power (histogram maximum) changes; reachable caches
+  /// lazily rebuild on mismatch.
   std::uint64_t topo_epoch_ = 1;
   bool culling_enabled_ = true;
   /// False when the propagation config leaves the link budget unbounded
   /// (tail_clamp_sigma <= 0 or exponent <= 0): culling would be lossy, so
   /// the O(n) path is forced.
   bool culling_possible_ = true;
-  /// Highest TX power seen so far; reachable sets are sized for it, so a
-  /// louder transmitter than any before invalidates them.
-  double max_tx_power_seen_dbm_;
-  /// Attached radios per channel — lets the culled path credit the radios
-  /// it skipped to frames_below_sensitivity_ without visiting them.
-  std::unordered_map<Channel, std::uint32_t> channel_counts_;
+  /// Histogram of each radio's *current* TX power: reachable sets are
+  /// sized for the maximum key, and — unlike the old monotone
+  /// max-ever-seen — the budget shrinks again once no radio still
+  /// transmits at the old maximum.
+  std::map<double, std::uint32_t> power_hist_;
+  /// The histogram maximum the current reachable sets were sized for.
+  double budget_power_dbm_;
+  /// prop_.max_fading_gain_db(), frozen at construction: the per-link
+  /// below-sensitivity fast path in transmit() compares against the
+  /// cached static loss plus this headroom before touching the fading
+  /// hash.
+  double fading_headroom_db_;
   std::vector<RadioId> query_scratch_;
 
   std::function<void(const SniffedFrame&)> sniffer_;
@@ -288,6 +387,7 @@ class Medium {
   std::uint64_t frames_corrupted_ = 0;
   std::uint64_t frames_below_sensitivity_ = 0;
   std::uint64_t frames_missed_busy_rx_ = 0;
+  std::uint64_t frames_missed_retune_ = 0;
   std::uint64_t frames_dropped_fault_ = 0;
   std::uint64_t culled_candidates_ = 0;
 };

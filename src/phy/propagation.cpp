@@ -56,6 +56,14 @@ double PropagationModel::max_random_gain_db() const noexcept {
          (cfg_.shadowing_sigma_db + cfg_.fading_sigma_db);
 }
 
+double PropagationModel::max_fading_gain_db() const noexcept {
+  if (cfg_.fading_sigma_db <= 0.0) return 0.0;  // packet_fading_db == 0
+  if (cfg_.tail_clamp_sigma <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return cfg_.tail_clamp_sigma * cfg_.fading_sigma_db;
+}
+
 double PropagationModel::max_range_m(double tx_power_dbm,
                                      double sensitivity_dbm) const noexcept {
   const double gain = max_random_gain_db();
@@ -74,8 +82,13 @@ double PropagationModel::max_range_m(double tx_power_dbm,
 double PropagationModel::static_path_loss_db(
     std::uint32_t from_id, std::uint32_t to_id, const Position& from,
     const Position& to) const noexcept {
+  // Pure in (seed, ids, positions): no RNG stream is consumed, so the
+  // result can be memoized (phy/link_gain_cache.hpp) without perturbing
+  // any other random draw in the simulation. The precomputed coefficient
+  // must multiply exactly like the inline product did — it is stored, not
+  // re-derived, so cached and direct computations agree bit-for-bit.
   const double d = std::max(from.distance_to(to), 0.1);
-  const double pl = cfg_.pl0_db + 10.0 * cfg_.exponent * std::log10(d);
+  const double pl = cfg_.pl0_db + loss_per_decade_db_ * std::log10(d);
   return pl + shadowing_db(from_id, to_id);
 }
 

@@ -53,10 +53,12 @@ struct PropagationConfig {
 class PropagationModel {
  public:
   PropagationModel(const PropagationConfig& cfg, std::uint64_t seed)
-      : cfg_(cfg), seed_(seed) {}
+      : cfg_(cfg), seed_(seed), loss_per_decade_db_(10.0 * cfg.exponent) {}
 
   /// Deterministic path loss (dB) for directed link a→b, *excluding*
-  /// per-packet fading: log-distance term + frozen shadowing.
+  /// per-packet fading: log-distance term + frozen shadowing. A pure
+  /// function of (seed, ids, positions) — the memoizability contract the
+  /// medium's LinkGainCache depends on.
   [[nodiscard]] double static_path_loss_db(std::uint32_t from_id,
                                            std::uint32_t to_id,
                                            const Position& from,
@@ -75,6 +77,12 @@ class PropagationModel {
   /// over the deterministic log-distance loss. +inf when the clamp is off.
   [[nodiscard]] double max_random_gain_db() const noexcept;
 
+  /// Largest gain (dB) the per-packet fading draw alone can contribute:
+  /// clamp·σ_fade, 0 when fading is disabled, +inf when the clamp is off.
+  /// Lets the medium rule a candidate below sensitivity from the cached
+  /// static loss alone, without evaluating the fading hash.
+  [[nodiscard]] double max_fading_gain_db() const noexcept;
+
   /// Hard upper bound on the distance at which a frame sent at
   /// `tx_power_dbm` can arrive at or above `sensitivity_dbm`, for *any*
   /// shadowing/fading draw. +inf when the clamp is off (culling must then
@@ -92,6 +100,9 @@ class PropagationModel {
 
   PropagationConfig cfg_;
   std::uint64_t seed_;
+  /// 10·n, hoisted out of the per-link loss formula (called for every
+  /// cache miss and every uncached audit run).
+  double loss_per_decade_db_;
 };
 
 }  // namespace liteview::phy

@@ -1,32 +1,96 @@
 #include "phy/spatial_grid.hpp"
 
-#include <algorithm>
 #include <cassert>
 #include <cmath>
 
 namespace liteview::phy {
 
+namespace {
+constexpr std::size_t kInitialSlots = 64;  // power of two
+}  // namespace
+
 SpatialGrid::SpatialGrid(double cell_size_m)
     : cell_(std::isfinite(cell_size_m) && cell_size_m > 0.0 ? cell_size_m
-                                                            : 1.0) {}
+                                                            : 1.0),
+      slots_(kInitialSlots) {}
 
 std::int32_t SpatialGrid::coord(double v) const noexcept {
   return static_cast<std::int32_t>(std::floor(v / cell_));
 }
 
+std::size_t SpatialGrid::hash(CellKey key) noexcept {
+  // splitmix64 finalizer: packed (cx, cy) pairs are far from uniform.
+  std::uint64_t h = key;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t SpatialGrid::find_slot(CellKey key) const noexcept {
+  std::size_t i = hash(key) & (slots_.size() - 1);
+  while (slots_[i].head != kFreeSlot && slots_[i].key != key) {
+    i = (i + 1) & (slots_.size() - 1);
+  }
+  return i;
+}
+
+std::size_t SpatialGrid::claim_slot(CellKey key) {
+  std::size_t i = find_slot(key);
+  if (slots_[i].head == kFreeSlot) {
+    if ((used_slots_ + 1) * 10 >= slots_.size() * 7) {
+      rehash(slots_.size() * 2);
+      i = find_slot(key);
+      if (slots_[i].head != kFreeSlot) return i;  // keyed by the rehash
+    }
+    slots_[i].key = key;
+    slots_[i].head = kChainEnd;
+    ++used_slots_;
+  }
+  return i;
+}
+
+void SpatialGrid::rehash(std::size_t new_slots) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_slots, Slot{});
+  used_slots_ = 0;
+  for (const Slot& s : old) {
+    // Open addressing cannot tombstone-free individual slots, so emptied
+    // cells linger keyed until a rehash drops them here.
+    if (s.head == kFreeSlot || s.head == kChainEnd) continue;
+    std::size_t i = hash(s.key) & (slots_.size() - 1);
+    while (slots_[i].head != kFreeSlot) i = (i + 1) & (slots_.size() - 1);
+    slots_[i] = s;
+    ++used_slots_;
+  }
+}
+
 void SpatialGrid::insert(RadioId id, Position pos) {
-  cells_[pack(coord(pos.x), coord(pos.y))].push_back(id);
+  if (id >= next_.size()) next_.resize(id + 1, kChainEnd);
+  Slot& s = slots_[claim_slot(pack(coord(pos.x), coord(pos.y)))];
+  if (s.head == kChainEnd) ++live_cells_;
+  next_[id] = s.head;
+  s.head = static_cast<std::int32_t>(id);
   ++count_;
 }
 
 void SpatialGrid::remove(RadioId id, Position pos) {
-  const auto it = cells_.find(pack(coord(pos.x), coord(pos.y)));
-  assert(it != cells_.end() && "remove() with a stale position");
-  auto& bucket = it->second;
-  const auto pos_it = std::find(bucket.begin(), bucket.end(), id);
-  assert(pos_it != bucket.end() && "remove() of an id not in the grid");
-  bucket.erase(pos_it);
-  if (bucket.empty()) cells_.erase(it);
+  const std::size_t i = find_slot(pack(coord(pos.x), coord(pos.y)));
+  Slot& s = slots_[i];
+  assert(s.head != kFreeSlot && "remove() with a stale position");
+  // Unlink from the cell chain (O(cell occupancy), same as the caller's
+  // exact-distance pass over the cell).
+  std::int32_t* link = &s.head;
+  while (*link != kChainEnd &&
+         *link != static_cast<std::int32_t>(id)) {
+    link = &next_[static_cast<std::size_t>(*link)];
+  }
+  assert(*link != kChainEnd && "remove() of an id not in the grid");
+  *link = next_[id];
+  next_[id] = kChainEnd;
+  if (s.head == kChainEnd) --live_cells_;
   --count_;
 }
 
@@ -35,15 +99,26 @@ void SpatialGrid::move(RadioId id, Position from, Position to) {
   const CellKey b = pack(coord(to.x), coord(to.y));
   if (a == b) return;
   remove(id, from);
-  cells_[b].push_back(id);
+  Slot& s = slots_[claim_slot(b)];
+  if (s.head == kChainEnd) ++live_cells_;
+  next_[id] = s.head;
+  s.head = static_cast<std::int32_t>(id);
   ++count_;
+}
+
+void SpatialGrid::append_chain(std::int32_t head,
+                               std::vector<RadioId>& out) const {
+  for (std::int32_t id = head; id != kChainEnd;
+       id = next_[static_cast<std::size_t>(id)]) {
+    out.push_back(static_cast<RadioId>(id));
+  }
 }
 
 void SpatialGrid::query(Position center, double radius_m,
                         std::vector<RadioId>& out) const {
   if (!std::isfinite(radius_m)) {
-    for (const auto& [key, bucket] : cells_) {
-      out.insert(out.end(), bucket.begin(), bucket.end());
+    for (const Slot& s : slots_) {
+      if (s.head >= 0) append_chain(s.head, out);
     }
     return;
   }
@@ -56,22 +131,22 @@ void SpatialGrid::query(Position center, double radius_m,
   const std::uint64_t window =
       (static_cast<std::uint64_t>(x1 - x0) + 1) *
       (static_cast<std::uint64_t>(y1 - y0) + 1);
-  if (window >= cells_.size()) {
-    for (const auto& [key, bucket] : cells_) {
-      const auto cx = static_cast<std::int32_t>(
-          static_cast<std::uint32_t>(key >> 32));
+  if (window >= live_cells_) {
+    for (const Slot& s : slots_) {
+      if (s.head < 0) continue;
+      const auto cx =
+          static_cast<std::int32_t>(static_cast<std::uint32_t>(s.key >> 32));
       const auto cy = static_cast<std::int32_t>(
-          static_cast<std::uint32_t>(key & 0xffffffffULL));
+          static_cast<std::uint32_t>(s.key & 0xffffffffULL));
       if (cx < x0 || cx > x1 || cy < y0 || cy > y1) continue;
-      out.insert(out.end(), bucket.begin(), bucket.end());
+      append_chain(s.head, out);
     }
     return;
   }
   for (std::int32_t cx = x0; cx <= x1; ++cx) {
     for (std::int32_t cy = y0; cy <= y1; ++cy) {
-      const auto it = cells_.find(pack(cx, cy));
-      if (it == cells_.end()) continue;
-      out.insert(out.end(), it->second.begin(), it->second.end());
+      const Slot& s = slots_[find_slot(pack(cx, cy))];
+      if (s.head >= 0) append_chain(s.head, out);
     }
   }
 }

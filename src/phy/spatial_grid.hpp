@@ -6,11 +6,15 @@
 // return every radio in any cell that intersects the disc (possibly a few
 // outside it), never missing one inside — the caller applies the exact
 // distance test. Purely geometric; all delivery semantics stay in Medium.
+//
+// Storage is a flat open-addressed cell table (linear probing) whose slots
+// head intrusive singly-linked membership chains threaded through a dense
+// per-radio next[] array — no per-cell vectors, no node allocations: once
+// the deployment is placed, insert/move/remove touch only existing arrays.
 #pragma once
 
 #include <cstdint>
 #include <limits>
-#include <unordered_map>
 #include <vector>
 
 #include "phy/propagation.hpp"
@@ -44,16 +48,39 @@ class SpatialGrid {
  private:
   using CellKey = std::uint64_t;
 
+  /// Chain/head sentinels. pack() can produce any 64-bit value (negative
+  /// coordinates), so slot occupancy is encoded in `head`, not the key.
+  static constexpr std::int32_t kFreeSlot = -2;  ///< never keyed
+  static constexpr std::int32_t kChainEnd = -1;  ///< keyed, empty chain OK
+
+  struct Slot {
+    CellKey key = 0;
+    std::int32_t head = kFreeSlot;  ///< first radio in the cell's chain
+  };
+
   [[nodiscard]] std::int32_t coord(double v) const noexcept;
   [[nodiscard]] static CellKey pack(std::int32_t cx,
                                     std::int32_t cy) noexcept {
     return (static_cast<CellKey>(static_cast<std::uint32_t>(cx)) << 32) |
            static_cast<std::uint32_t>(cy);
   }
+  [[nodiscard]] static std::size_t hash(CellKey key) noexcept;
+
+  /// Slot index holding `key`, or the free slot where it would go.
+  [[nodiscard]] std::size_t find_slot(CellKey key) const noexcept;
+  /// Slot for `key`, keying a free slot (and rehashing) as needed.
+  std::size_t claim_slot(CellKey key);
+  void rehash(std::size_t new_slots);
+  void append_chain(std::int32_t head, std::vector<RadioId>& out) const;
 
   double cell_;
-  std::size_t count_ = 0;
-  std::unordered_map<CellKey, std::vector<RadioId>> cells_;
+  std::size_t count_ = 0;       ///< radios in the grid
+  std::size_t used_slots_ = 0;  ///< keyed slots (live or emptied cells)
+  std::size_t live_cells_ = 0;  ///< keyed slots with a non-empty chain
+  std::vector<Slot> slots_;     ///< power-of-two open-addressed table
+  /// next_[id]: the next radio in id's cell chain (kChainEnd terminates);
+  /// dense over every id ever inserted.
+  std::vector<std::int32_t> next_;
 };
 
 }  // namespace liteview::phy

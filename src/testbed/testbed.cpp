@@ -187,6 +187,7 @@ Testbed::Testbed(const TestbedConfig& cfg,
       sim_(std::make_unique<sim::Simulator>(cfg.seed)),
       medium_(std::make_unique<phy::Medium>(*sim_, cfg.propagation)) {
   medium_->set_spatial_culling(cfg.spatial_culling);
+  medium_->set_gain_cache(cfg.link_gain_cache);
   accounting_ = std::make_unique<PacketAccounting>(*medium_);
   fault_ = std::make_unique<fault::FaultPlane>(*sim_, *medium_);
 

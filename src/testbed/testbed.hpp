@@ -45,6 +45,11 @@ struct TestbedConfig {
   /// determinism audits and scaling benchmarks.
   bool spatial_culling = true;
 
+  /// Per-link gain memoization in the medium (see phy::Medium::
+  /// set_gain_cache). Exact memoization — byte-identical traces either
+  /// way; off forces recomputation per use for determinism audits.
+  bool link_gain_cache = true;
+
   phy::PaLevel initial_power = phy::kDefaultPaLevel;
   phy::Channel initial_channel = phy::kDefaultChannel;
   /// The workstation stands ~1 m from the managed node; it whispers at

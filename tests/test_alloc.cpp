@@ -178,5 +178,68 @@ TEST(AllocFree, LinkPacketHopSteadyState) {
   EXPECT_EQ(received - warm_received, 256u);
 }
 
+// ---- PHY hot path ----------------------------------------------------
+
+TEST(AllocFree, MediumMultiChannelStormSteadyState) {
+  // Concurrent same-instant transmissions across two channels: exercises
+  // the per-channel active buckets, the pooled TxSlots (reception vectors
+  // recycled with their capacity), the per-radio in-flight index, the
+  // reachable-set caches, and the link gain cache. After one warm-up
+  // sweep has sized all of them, a sustained storm must never allocate.
+  struct NullSink final : phy::MediumClient {
+    void on_frame(const std::vector<std::uint8_t>&,
+                  const phy::RxInfo&) override {}
+  };
+
+  sim::Simulator sim(31);
+  // Shadowing stays on (static per-link, so reach sets are stable across
+  // rounds); per-packet fading must be off, because a rare fade-up could
+  // enlarge a reception set past any warm-up's high-water mark and force
+  // a vector to grow mid-measurement.
+  phy::PropagationConfig prop;
+  prop.fading_sigma_db = 0.0;
+  phy::Medium medium(sim, prop);
+  std::vector<NullSink> sinks(24);
+  std::vector<phy::RadioId> ids;
+  for (int i = 0; i < 24; ++i) {
+    // Two interleaved channels, radios 15 m apart on a line: plenty of
+    // same-channel interference and concurrent receptions.
+    ids.push_back(medium.attach(&sinks[static_cast<std::size_t>(i)],
+                                {static_cast<double>(i) * 15.0, 0.0},
+                                i % 2 == 0 ? 17 : 26));
+  }
+
+  auto storm = [&](int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      phy::FrameBufferRef buf = medium.acquire_frame();
+      buf.bytes().assign(40, static_cast<std::uint8_t>(r));
+      medium.transmit(ids[static_cast<std::size_t>(r) % ids.size()], -10.0,
+                      std::move(buf));
+      if (r % 3 == 0) {
+        // A second frame in the same instant on the same channel.
+        phy::FrameBufferRef buf2 = medium.acquire_frame();
+        buf2.bytes().assign(40, 0xee);
+        medium.transmit(ids[(static_cast<std::size_t>(r) + 2) % ids.size()],
+                        -10.0, std::move(buf2));
+      }
+      (void)medium.channel_power_dbm(ids[(static_cast<std::size_t>(r) + 1) %
+                                         ids.size()]);
+      (void)medium.cca_clear(ids[(static_cast<std::size_t>(r) + 3) %
+                                 ids.size()]);
+      sim.run();
+    }
+  };
+
+  storm(96);  // warm-up: pools, buckets, caches, corruption scratch
+
+  const std::uint64_t before = alloc_count();
+  storm(512);
+  const std::uint64_t delta = alloc_count() - before;
+  EXPECT_EQ(delta, 0u) << "multi-channel PHY storm hit the heap " << delta
+                       << " times";
+  EXPECT_GT(medium.frames_delivered() + medium.frames_corrupted(), 0u);
+  EXPECT_GT(medium.gain_cache_hits(), 0u);
+}
+
 }  // namespace
 }  // namespace liteview

@@ -43,10 +43,12 @@ churn 2,3,11,23,31 period=1500ms down=500ms until=11s
 )";
 
 std::vector<std::uint8_t> run_scenario(std::uint64_t seed,
-                                       bool spatial_culling) {
+                                       bool spatial_culling,
+                                       bool gain_cache = true) {
   testbed::TestbedConfig cfg;
   cfg.seed = seed;
   cfg.spatial_culling = spatial_culling;
+  cfg.link_gain_cache = gain_cache;
   auto tb = testbed::Testbed::random_square(kNodes, kSideM, kMinSpacingM, cfg);
 
   std::vector<std::uint8_t> trace;
@@ -78,6 +80,7 @@ std::vector<std::uint8_t> run_scenario(std::uint64_t seed,
   append_u64(trace, tb->medium().frames_corrupted());
   append_u64(trace, tb->medium().frames_below_sensitivity());
   append_u64(trace, tb->medium().frames_missed_busy_rx());
+  append_u64(trace, tb->medium().frames_missed_retune());
   append_u64(trace, tb->medium().frames_dropped_fault());
   append_u64(trace, tb->sim().executed_events());
   return trace;
@@ -95,6 +98,30 @@ TEST(Determinism, SpatialCullingIsInvisible) {
   const auto unculled = run_scenario(1234, /*spatial_culling=*/false);
   ASSERT_FALSE(culled.empty());
   EXPECT_EQ(culled, unculled);
+}
+
+TEST(Determinism, GainCacheIsInvisible) {
+  // The memoized per-link gain plane must be exact: cached and directly
+  // recomputed path loss are the same doubles, and no RNG stream is
+  // involved in serving a hit — so the full multi-fault trace, counters
+  // included, is byte-identical with the cache on vs. forced off.
+  const auto cached = run_scenario(1234, /*spatial_culling=*/true,
+                                   /*gain_cache=*/true);
+  const auto direct = run_scenario(1234, /*spatial_culling=*/true,
+                                   /*gain_cache=*/false);
+  ASSERT_FALSE(cached.empty());
+  EXPECT_EQ(cached, direct);
+}
+
+TEST(Determinism, GainCacheAndCullingComposeInvisibly) {
+  // Both optimizations off together — the fully naive O(n) recomputing
+  // medium — against both on (the production configuration).
+  const auto fast = run_scenario(1234, /*spatial_culling=*/true,
+                                 /*gain_cache=*/true);
+  const auto naive = run_scenario(1234, /*spatial_culling=*/false,
+                                  /*gain_cache=*/false);
+  ASSERT_FALSE(fast.empty());
+  EXPECT_EQ(fast, naive);
 }
 
 TEST(Determinism, DifferentSeedDifferentTrace) {

@@ -529,6 +529,267 @@ TEST_F(MediumFixture, CullingCacheInvalidatesOnPowerGrowth) {
   EXPECT_EQ(b.frames.size(), 1u);
 }
 
+// ---- retune-mid-frame accounting (regression) -------------------------------
+
+TEST_F(MediumFixture, RetuneMidFrameAbortsReceptionImmediately) {
+  // The retune must abort the in-flight reception *at retune time*: the
+  // dedicated counter fires right away, not at the frame's delivery.
+  Sink a, b;
+  const auto t1 = medium.attach(&a, {0, 0});
+  const auto r = medium.attach(&b, {10, 0});
+  medium.transmit(t1, 0.0, std::vector<std::uint8_t>(30, 2));
+  sim.run_until(sim::SimTime::us(200));
+  EXPECT_EQ(medium.frames_missed_retune(), 0u);
+  medium.set_channel(r, 26);
+  EXPECT_EQ(medium.frames_missed_retune(), 1u);
+  sim.run();
+  EXPECT_TRUE(b.frames.empty());
+  EXPECT_EQ(medium.frames_missed_retune(), 1u);
+}
+
+TEST_F(MediumFixture, RetuneAwayAndBackStillLosesFrame) {
+  // Regression: the old implementation kept the stale Reception record
+  // alive until delivery and only then compared channels — so a radio
+  // that hopped away and back during the frame was handed a frame it had
+  // not listened to for part of its airtime. The abort-at-retune fix
+  // loses it regardless of where the radio ends up.
+  Sink a, b;
+  const auto t1 = medium.attach(&a, {0, 0});
+  const auto r = medium.attach(&b, {10, 0});
+  medium.transmit(t1, 0.0, std::vector<std::uint8_t>(30, 2));
+  sim.run_until(sim::SimTime::us(200));
+  medium.set_channel(r, 26);
+  sim.run_until(sim::SimTime::us(400));
+  medium.set_channel(r, kDefaultChannel);  // back before delivery
+  sim.run();
+  EXPECT_TRUE(b.frames.empty());
+  EXPECT_EQ(medium.frames_missed_retune(), 1u);
+}
+
+TEST_F(MediumFixture, RetuneToSameChannelIsANoOp) {
+  Sink a, b;
+  const auto t1 = medium.attach(&a, {0, 0});
+  const auto r = medium.attach(&b, {10, 0});
+  medium.transmit(t1, 0.0, std::vector<std::uint8_t>(30, 2));
+  sim.run_until(sim::SimTime::us(200));
+  medium.set_channel(r, kDefaultChannel);  // already there
+  sim.run();
+  EXPECT_EQ(b.frames.size(), 1u);
+  EXPECT_EQ(medium.frames_missed_retune(), 0u);
+}
+
+// ---- CCA / channel power under concurrent interferers -----------------------
+
+TEST_F(MediumFixture, ChannelPowerSumsThreeConcurrentInterferers) {
+  // Three same-channel transmitters at known distances from the probe;
+  // with zero sigmas the expected total is an exact mW sum.
+  Sink s1, s2, s3, probe_sink;
+  const auto t1 = medium.attach(&s1, {10, 0});
+  const auto t2 = medium.attach(&s2, {20, 0});
+  const auto t3 = medium.attach(&s3, {0, 30});
+  const auto probe = medium.attach(&probe_sink, {0, 0});
+
+  auto loss_at = [](double d) { return 40.0 + 30.0 * std::log10(d); };
+  const std::vector<std::uint8_t> frame(60, 0xaa);
+
+  EXPECT_TRUE(medium.cca_clear(probe, kCcaThresholdDbm));
+  medium.transmit(t1, 0.0, frame);
+  medium.transmit(t2, 0.0, frame);
+  medium.transmit(t3, -5.0, frame);
+
+  const double expect_mw = std::pow(10.0, (0.0 - loss_at(10.0)) / 10.0) +
+                           std::pow(10.0, (0.0 - loss_at(20.0)) / 10.0) +
+                           std::pow(10.0, (-5.0 - loss_at(30.0)) / 10.0);
+  const double expect_dbm = 10.0 * std::log10(expect_mw);
+  EXPECT_NEAR(medium.channel_power_dbm(probe), expect_dbm, 1e-9);
+
+  // cca_clear's early-exit linear accumulation must agree with the dBm
+  // reading on both sides of the decision for a sweep of thresholds.
+  for (double thr = -110.0; thr <= -40.0; thr += 1.0) {
+    EXPECT_EQ(medium.cca_clear(probe, thr),
+              medium.channel_power_dbm(probe) < thr)
+        << "threshold " << thr;
+  }
+  sim.run();
+  EXPECT_TRUE(medium.cca_clear(probe, kCcaThresholdDbm));
+}
+
+TEST_F(MediumFixture, ChannelPowerIgnoresOtherChannels) {
+  Sink s1, s2, probe_sink;
+  const auto near_other = medium.attach(&s1, {5, 0}, 26);
+  const auto far_same = medium.attach(&s2, {40, 0}, kDefaultChannel);
+  const auto probe = medium.attach(&probe_sink, {0, 0}, kDefaultChannel);
+  medium.transmit(near_other, 0.0, {1, 2, 3});
+  medium.transmit(far_same, 0.0, {1, 2, 3});
+  // Only the same-channel transmitter counts: loss(40 m) ≈ 88.1 dB.
+  EXPECT_NEAR(medium.channel_power_dbm(probe),
+              0.0 - (40.0 + 30.0 * std::log10(40.0)), 1e-9);
+  sim.run();
+}
+
+// ---- RSSI register bounds through the medium --------------------------------
+
+TEST_F(MediumFixture, RssiRegisterSaturatesHighOnAbsurdPower) {
+  // A 100 dBm transmit at the 0.1 m distance clamp loses only 10 dB and
+  // lands at +90 dBm received power — the register must pin at its int8
+  // ceiling instead of wrapping.
+  Sink a, b;
+  const auto tx = medium.attach(&a, {0, 0});
+  medium.attach(&b, {0.05, 0});
+  medium.transmit(tx, 100.0, {7});
+  sim.run();
+  ASSERT_EQ(b.frames.size(), 1u);
+  EXPECT_EQ(b.frames[0].second.rssi_reg, 127);
+}
+
+TEST_F(MediumFixture, RssiRegisterBoundedAtSensitivityEdge) {
+  // Deliverable frames sit at or above -95 dBm, so the register of any
+  // delivered frame stays ≥ round(-95 + 45) = -50 — far from the -128
+  // floor (which Cc2420.RssiRegisterSaturates covers directly).
+  Sink a, b;
+  const auto tx = medium.attach(&a, {0, 0});
+  medium.attach(&b, {67, 0});  // loss ≈ 94.8 dB: just inside sensitivity
+  medium.transmit(tx, 0.0, {7});
+  sim.run();
+  ASSERT_EQ(b.frames.size(), 1u);
+  EXPECT_GE(b.frames[0].second.rssi_reg, -50);
+  EXPECT_LE(b.frames[0].second.rssi_reg, 127);
+}
+
+TEST_F(MediumFixture, RssiIncludesInterferenceFloor) {
+  // The register reads total in-band energy: a concurrent transmission
+  // must raise the reported RSSI above the clean reading.
+  Sink a, b, victim;
+  const auto strong = medium.attach(&a, {2, 0});
+  const auto weak = medium.attach(&b, {60, 0});
+  medium.attach(&victim, {0, 0});
+  const std::vector<std::uint8_t> frame(40, 1);
+  medium.transmit(strong, 0.0, frame);
+  sim.run();
+  ASSERT_EQ(victim.frames.size(), 1u);
+  const auto clean = victim.frames[0].second.rssi_reg;
+  victim.frames.clear();
+  medium.transmit(weak, 0.0, frame);
+  medium.transmit(strong, 0.0, frame);
+  sim.run();
+  std::int8_t strongest = -128;
+  for (const auto& [bytes, info] : victim.frames) {
+    if (info.rssi_reg > strongest) strongest = info.rssi_reg;
+  }
+  EXPECT_GE(strongest, clean);
+}
+
+// ---- link gain cache --------------------------------------------------------
+
+TEST_F(MediumFixture, GainCacheRefreshesOnMove) {
+  // Cached gain must be retired the moment an endpoint moves: the next
+  // delivery reports the received power of the *new* geometry, exactly.
+  Sink a, b;
+  const auto tx = medium.attach(&a, {0, 0});
+  const auto rx = medium.attach(&b, {10, 0});
+  medium.transmit(tx, 0.0, {1});
+  sim.run();
+  ASSERT_EQ(b.frames.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.frames[0].second.rx_power_dbm,
+                   0.0 - (40.0 + 30.0 * std::log10(10.0)));
+
+  medium.set_position(rx, {20, 0});
+  medium.transmit(tx, 0.0, {2});
+  sim.run();
+  ASSERT_EQ(b.frames.size(), 2u);
+  EXPECT_DOUBLE_EQ(b.frames[1].second.rx_power_dbm,
+                   0.0 - (40.0 + 30.0 * std::log10(20.0)));
+  EXPECT_GT(medium.gain_cache_misses(), 0u);
+}
+
+TEST(GainCache, PropertyMatchesUncachedOracleUnderMutation) {
+  // Two media over the same seed — one serving gains through the cache,
+  // one recomputing every time — driven through a random move/retune/
+  // detach mutation storm. Every queried pair must agree bit-for-bit at
+  // every step: a single stale cache entry fails EXPECT_DOUBLE_EQ.
+  sim::Simulator sim_cached(99);
+  sim::Simulator sim_direct(99);
+  const PropagationConfig cfg;  // default: shadowing + fading on
+  Medium cached(sim_cached, cfg);
+  Medium direct(sim_direct, cfg);
+  direct.set_gain_cache(false);
+  ASSERT_TRUE(cached.gain_cache_active());
+  ASSERT_FALSE(direct.gain_cache_active());
+
+  constexpr int kRadios = 30;
+  std::vector<std::unique_ptr<Sink>> sinks;
+  util::RngStream rng(4242, "gaincache.prop");
+  for (int i = 0; i < kRadios; ++i) {
+    const Position p{rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)};
+    sinks.push_back(std::make_unique<Sink>());
+    const auto id_c = cached.attach(sinks.back().get(), p);
+    sinks.push_back(std::make_unique<Sink>());
+    const auto id_d = direct.attach(sinks.back().get(), p);
+    ASSERT_EQ(id_c, id_d);
+  }
+
+  for (int step = 0; step < 150; ++step) {
+    // Interleave queries (populating and re-validating cache entries)...
+    for (int q = 0; q < 8; ++q) {
+      const auto from = static_cast<RadioId>(rng.uniform_int(0, kRadios - 1));
+      const auto to = static_cast<RadioId>(rng.uniform_int(0, kRadios - 1));
+      if (from == to) continue;
+      EXPECT_DOUBLE_EQ(cached.mean_rx_power_dbm(from, to, 0.0),
+                       direct.mean_rx_power_dbm(from, to, 0.0))
+          << "step " << step << " link " << from << "->" << to;
+    }
+    // ...with mutations that must each retire exactly the right entries.
+    const auto id = static_cast<RadioId>(rng.uniform_int(0, kRadios - 1));
+    switch (rng.uniform_int(0, 2)) {
+      case 0: {
+        const Position p{rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)};
+        cached.set_position(id, p);
+        direct.set_position(id, p);
+        break;
+      }
+      case 1: {
+        const auto ch = static_cast<Channel>(11 + rng.uniform_int(0, 15));
+        cached.set_channel(id, ch);  // must not disturb gains
+        direct.set_channel(id, ch);
+        break;
+      }
+      default:
+        cached.detach(id);  // idempotent; positions stay queryable
+        direct.detach(id);
+        break;
+    }
+  }
+  EXPECT_GT(cached.gain_cache_hits(), 0u);
+  EXPECT_GT(cached.gain_cache_links(), 0u);
+  EXPECT_EQ(direct.gain_cache_hits(), 0u);
+}
+
+TEST(MediumCulling, PowerBudgetShrinksWhenLoudTransmitterQuiets) {
+  // Regression for the monotone max-power budget: after the only loud
+  // radio re-registers at a lower level, new reachable sets must shrink
+  // back — observable through the culled-candidates counter.
+  sim::Simulator sim(5);
+  PropagationConfig cfg;
+  cfg.shadowing_sigma_db = 0.0;
+  cfg.fading_sigma_db = 0.0;
+  Medium medium(sim, cfg);
+  Sink a, b;
+  const auto tx = medium.attach(&a, {0, 0});
+  medium.attach(&b, {40, 0});
+  // Loud first: 0 dBm reaches 40 m (loss ≈ 88.1 dB → rx ≈ -88 dBm).
+  medium.transmit(tx, 0.0, {1});
+  sim.run();
+  EXPECT_EQ(b.frames.size(), 1u);
+  const auto culled_before = medium.culled_candidates();
+  // Quiet now: -25 dBm tops out at ~10 m for any draw, so the far radio
+  // must drop out of the rebuilt reachable set and be culled, not visited.
+  medium.transmit(tx, -25.0, {2});
+  sim.run();
+  EXPECT_EQ(b.frames.size(), 1u);
+  EXPECT_EQ(medium.culled_candidates(), culled_before + 1);
+  EXPECT_EQ(medium.frames_below_sensitivity(), 1u);
+}
+
 TEST(MediumCulling, InfiniteRangeDisablesCulling) {
   // With tail clamping off the link budget is unbounded, so culling must
   // deactivate itself (correctness over speed) — and delivery still works.

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Bench smoke gate: fail CI when the PHY hot-path benches regress.
+
+Runs (or is handed) a google-benchmark JSON result for the fan-out /
+channel-power benches and compares items/sec against the checked-in
+aggregates in BENCH_phy_hotpath.json. Raw throughput is meaningless
+across heterogeneous CI hosts, so both sides are first normalized by the
+BM_PerEvaluation anchor — a pure-math kernel untouched by the PHY rework
+— which cancels host-speed differences and leaves only the shape of the
+hot path. A bench is a regression when its normalized throughput drops
+more than --threshold (default 30%) below the recorded baseline.
+
+Usage:
+  check_bench_regression.py --current out.json [--baseline BENCH_phy_hotpath.json]
+  check_bench_regression.py --run ./build/bench/micro_core   # runs the bench itself
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_phy_hotpath.json"
+BENCH_FILTER = "BM_MediumTransmitFanout|BM_ChannelPowerSample|BM_PerEvaluation"
+
+
+def run_bench(binary: str) -> dict:
+    """Invoke micro_core with the smoke filter and return its parsed JSON."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    cmd = [
+        binary,
+        f"--benchmark_filter={BENCH_FILTER}",
+        "--benchmark_min_time=1",
+        "--benchmark_repetitions=3",
+        "--benchmark_report_aggregates_only=true",
+        "--benchmark_format=json",
+        f"--benchmark_out={out_path}",
+        "--benchmark_out_format=json",
+    ]
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    with open(out_path) as f:
+        return json.load(f)
+
+
+def current_means(result: dict) -> tuple[dict[str, float], float]:
+    """(bench -> items/sec mean, anchor real_time ns mean) from a run."""
+    items: dict[str, float] = {}
+    anchor_ns = None
+    for b in result.get("benchmarks", []):
+        if b.get("aggregate_name") != "mean":
+            continue
+        name = b["run_name"]
+        if name == "BM_PerEvaluation":
+            anchor_ns = float(b["real_time"])
+        elif "items_per_second" in b:
+            items[name] = float(b["items_per_second"])
+    if anchor_ns is None:
+        sys.exit("error: run is missing the BM_PerEvaluation anchor")
+    return items, anchor_ns
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    src = ap.add_mutually_exclusive_group(required=True)
+    src.add_argument("--current", help="google-benchmark JSON from a fresh run")
+    src.add_argument("--run", help="micro_core binary to execute for the run")
+    ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                    help="checked-in BENCH_phy_hotpath.json")
+    ap.add_argument("--threshold", type=float, default=0.30,
+                    help="max tolerated normalized drop (fraction)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    base_anchor_ns = float(baseline["anchor"]["real_time_ns_mean"])
+    base_after = baseline["after"]
+
+    if args.run:
+        result = run_bench(args.run)
+    else:
+        with open(args.current) as f:
+            result = json.load(f)
+    cur_items, cur_anchor_ns = current_means(result)
+
+    # Anchor normalization: a host that runs BM_PerEvaluation 2x faster is
+    # expected to run the PHY benches ~2x faster too; dividing both sides
+    # by their anchor throughput (1/anchor_ns) compares shapes, not hosts.
+    host_scale = base_anchor_ns / cur_anchor_ns
+    print(f"anchor: baseline {base_anchor_ns:.1f} ns, current "
+          f"{cur_anchor_ns:.1f} ns -> host scale {host_scale:.3f}")
+
+    failures = []
+    for name, entry in sorted(base_after.items()):
+        base_ips = float(entry["items_per_second_mean"])
+        if name not in cur_items:
+            failures.append(f"{name}: missing from current run")
+            continue
+        norm_ips = cur_items[name] / host_scale
+        ratio = norm_ips / base_ips
+        status = "OK" if ratio >= 1.0 - args.threshold else "REGRESSION"
+        print(f"  {name:35s} baseline {base_ips:12.0f}/s  "
+              f"normalized {norm_ips:12.0f}/s  ratio {ratio:5.2f}  {status}")
+        if status != "OK":
+            failures.append(f"{name}: normalized ratio {ratio:.2f} < "
+                            f"{1.0 - args.threshold:.2f}")
+
+    if failures:
+        print("\nbench regression gate FAILED:")
+        for f_ in failures:
+            print(f"  - {f_}")
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
