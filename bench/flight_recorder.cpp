@@ -1,0 +1,156 @@
+// Flight-recorder overhead at scale — what does always-on observability
+// cost? Three configurations of the same 1000-node beaconing deployment:
+//
+//   off            LV_NO_FLIGHT_RECORDER-equivalent: no recorder attached
+//                  (hooks compiled in but nullptr-gated — the shipping
+//                  default).
+//   ring           a FlightRecorder wired through every layer (simulator
+//                  dispatch, PHY tx/rx/drop, MAC, net, routing, faults).
+//   ring+sniffers  the recorder plus 8 promiscuous sniffer radios
+//                  overhearing mid-deployment traffic.
+//
+// The paper's diagnosis workflow assumes observation is cheap enough to
+// leave on; the overhead ratios printed (and checked in CI against
+// BENCH_flight_recorder.json) keep that claim true. The bench also
+// cross-checks the invisibility contract the determinism suite asserts
+// byte-for-byte: all three runs must agree on every delivery counter.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench/common.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace liteview;
+
+constexpr int kNodes = 1000;
+constexpr double kDensityPerM2 = 0.0016;  // ~5 neighbors in mean range
+constexpr std::int64_t kSimSeconds = 2;
+constexpr int kSniffers = 8;
+
+struct ModeResult {
+  double wall_s = 0;
+  std::uint64_t events = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_corrupted = 0;
+  std::uint64_t records = 0;        ///< records appended across all rings
+  std::uint64_t capture_bytes = 0;  ///< serialized LVTR size after the run
+  std::uint64_t frames_sniffed = 0;
+
+  [[nodiscard]] double events_per_sec() const {
+    return wall_s > 0 ? static_cast<double>(events) / wall_s : 0;
+  }
+  [[nodiscard]] bool same_counters_as(const ModeResult& o) const {
+    return frames_sent == o.frames_sent &&
+           frames_delivered == o.frames_delivered &&
+           frames_corrupted == o.frames_corrupted && events == o.events;
+  }
+};
+
+ModeResult run_mode(bool recorder, int sniffers) {
+  testbed::TestbedConfig cfg;
+  cfg.seed = 42;
+  cfg.beacon_period = sim::SimTime::ms(250);
+  cfg.flight_recorder = recorder;
+  const double side =
+      std::sqrt(static_cast<double>(kNodes) / kDensityPerM2);
+  auto tb = testbed::Testbed::random_square(kNodes, side, 3.0, cfg);
+  for (int s = 0; s < sniffers; ++s) {
+    const double frac = (s + 1.0) / (sniffers + 1.0);
+    tb->add_sniffer(phy::Position{side * frac, side * frac},
+                    cfg.initial_channel);
+  }
+
+  ModeResult r;
+  r.wall_s = bench::wall_seconds(
+      [&] { tb->sim().run_for(sim::SimTime::sec(kSimSeconds)); });
+  r.events = tb->sim().executed_events();
+  r.frames_sent = tb->medium().frames_sent();
+  r.frames_delivered = tb->medium().frames_delivered();
+  r.frames_corrupted = tb->medium().frames_corrupted();
+  if (tb->recorder() != nullptr) {
+    r.records = tb->recorder()->records_appended();
+    r.capture_bytes = tb->recorder()->serialize().size();
+  }
+  for (std::size_t s = 0; s < tb->sniffer_count(); ++s) {
+    r.frames_sniffed += tb->sniffer_log(s).frames;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::header(
+      "Flight recorder — observability overhead on the 1000-node "
+      "deployment (off / ring / ring+sniffers)");
+
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+
+  const auto off = run_mode(/*recorder=*/false, /*sniffers=*/0);
+  const auto ring = run_mode(/*recorder=*/true, /*sniffers=*/0);
+  const auto sniff = run_mode(/*recorder=*/true, kSniffers);
+
+  // Overhead ratio: wall time relative to the unobserved run (1.00 =
+  // free). Ratios are host-independent, so CI can gate on them directly.
+  const double ring_ratio = ring.wall_s / off.wall_s;
+  const double sniff_ratio = sniff.wall_s / off.wall_s;
+  const bool invisible =
+      off.same_counters_as(ring) && off.same_counters_as(sniff);
+
+  bench::section("overhead (n=1000, 250 ms beacons, 2 s simulated)");
+  std::printf("%-16s %-12s %-12s %-10s %-12s %-12s\n", "mode", "wall s",
+              "events/s", "overhead", "records", "capture KiB");
+  const auto row = [](const char* name, const ModeResult& m, double ratio) {
+    std::printf("%-16s %-12.3f %-12.0f %-10.2f %-12llu %-12.1f\n", name,
+                m.wall_s, m.events_per_sec(), ratio,
+                static_cast<unsigned long long>(m.records),
+                static_cast<double>(m.capture_bytes) / 1024.0);
+  };
+  row("off", off, 1.0);
+  row("ring", ring, ring_ratio);
+  row("ring+sniffers", sniff, sniff_ratio);
+  std::printf("  sniffed frames: %llu    counters identical: %s\n",
+              static_cast<unsigned long long>(sniff.frames_sniffed),
+              invisible ? "yes" : "NO — BUG");
+
+  if (!json_path.empty()) {
+    bench::JsonWriter json(json_path);
+    json.begin_object();
+    json.field("bench", std::string("flight_recorder"));
+    json.field("nodes", kNodes);
+    json.field("sim_seconds", static_cast<std::uint64_t>(kSimSeconds));
+    json.begin_array("modes");
+    const auto mode = [&json](const char* name, const ModeResult& m) {
+      json.begin_object();
+      json.field("mode", std::string(name));
+      json.field("wall_seconds", m.wall_s);
+      json.field("events_per_sec", m.events_per_sec());
+      json.field("records_appended", m.records);
+      json.field("capture_bytes", m.capture_bytes);
+      json.field("frames_sniffed", m.frames_sniffed);
+      json.end_object();
+    };
+    mode("off", off);
+    mode("ring", ring);
+    mode("ring_sniffers", sniff);
+    json.end_array();
+    json.field("ring_overhead_ratio", ring_ratio);
+    json.field("ring_sniffers_overhead_ratio", sniff_ratio);
+    json.field("identical_counters", invisible);
+    json.end_object();
+  }
+
+  bench::section("reading");
+  std::printf(
+      "The ring rows buy a complete per-layer record of the run (every\n"
+      "dispatch, transmission, drop reason, routing decision, and fault)\n"
+      "for the overhead shown; rings overwrite from the head, so memory\n"
+      "stays fixed no matter how long the run. Counters identical = the\n"
+      "observer changed nothing, the property the determinism suite\n"
+      "asserts byte-for-byte.\n");
+  return invisible ? 0 : 1;
+}

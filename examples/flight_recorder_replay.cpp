@@ -1,0 +1,121 @@
+// Flight-recorder replay — time-travel debugging for a sensor network.
+//
+// A 7-node line deployment is about to suffer a node crash. The operator
+// (or a CI gate) wants to study the failure window without re-running the
+// whole experiment, and to prove a "fixed" build behaves identically up
+// to the intended change. The workflow:
+//   1. run with the flight recorder on, checkpoint just before the fault,
+//   2. live through the crash window while every layer records,
+//   3. restore the checkpoint — rebuild + deterministic fast-forward,
+//      byte-verified section by section — and replay the same window,
+//   4. diff the two captures: byte-identical, record for record,
+//   5. replay once more with a *different* fault injected and let the
+//      trace diff name the first record where history changed.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "fault/scenario.hpp"
+#include "testbed/testbed.hpp"
+#include "trace/checkpoint.hpp"
+#include "trace/diff.hpp"
+#include "trace/flight_recorder.hpp"
+
+using namespace liteview;
+
+namespace {
+
+void shell_cmd(lv::CommandInterpreter& shell, const std::string& line) {
+  std::printf("$ %s\n%s\n", line.c_str(), shell.execute(line).c_str());
+}
+
+/// The reproducible world: same topology, same seed, same scripted crash.
+/// Restore replays this from t=0, so everything the run depends on must
+/// be captured here.
+std::unique_ptr<testbed::Testbed> build_world() {
+  testbed::TestbedConfig cfg = testbed::Testbed::paper_config(77);
+  cfg.flight_recorder = true;
+  auto tb = testbed::Testbed::surveyed_line(7, cfg);
+  tb->sim().install_log_time_source();  // log lines carry t=<sim time>
+  const auto scenario = fault::parse_scenario("crash 4 at=8s for=2s");
+  tb->fault().load(*scenario);
+  return tb;
+}
+
+void print_first_lines(const std::string& text, int n) {
+  std::size_t pos = 0;
+  for (int i = 0; i < n && pos < text.size(); ++i) {
+    const std::size_t nl = text.find('\n', pos);
+    std::printf("  %s\n", text.substr(pos, nl - pos).c_str());
+    if (nl == std::string::npos) break;
+    pos = nl + 1;
+  }
+  std::printf("  ...\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("LiteView flight-recorder replay — checkpoint, crash, rewind\n");
+  std::printf("===========================================================\n\n");
+
+  std::printf("step 1 — run to t=6s and checkpoint (the crash hits at 8s):\n\n");
+  auto live = build_world();
+  live->sim().run_for(sim::SimTime::sec(6));
+  shell_cmd(live->shell(), "trace");
+  shell_cmd(live->shell(), "snapshot before crash window");
+  const trace::Checkpoint cp = live->checkpoint("before crash window");
+
+  std::printf("step 2 — live through the crash window [6s, 12s), recording:\n\n");
+  live->recorder()->reset();  // capture the window, not the warm-up
+  live->sim().run_for(sim::SimTime::sec(6));
+  const auto live_capture = live->recorder()->serialize();
+  std::printf("  crashes seen: %llu, capture: %zu bytes\n",
+              static_cast<unsigned long long>(live->fault().totals().crashes),
+              live_capture.size());
+  if (const auto tf = trace::FlightRecorder::parse(live_capture)) {
+    std::printf("  first records of the window:\n");
+    print_first_lines(trace::FlightRecorder::dump(*tf), 6);
+  }
+
+  std::printf("\nstep 3 — restore the checkpoint (rebuild + fast-forward,\n");
+  std::printf("every section byte-verified) and replay the same window:\n\n");
+  std::string err;
+  auto replay = testbed::Testbed::restore(cp, build_world, &err);
+  if (replay == nullptr) {
+    std::printf("  restore FAILED: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("  restored to t=%.3fs (%s)\n",
+              static_cast<double>(cp.t_ns) / 1e9, cp.meta.c_str());
+  replay->recorder()->reset();
+  replay->sim().run_for(sim::SimTime::sec(6));
+  const auto replay_capture = replay->recorder()->serialize();
+
+  std::printf("\nstep 4 — diff live window vs. replayed window:\n\n");
+  const auto same = trace::diff_bytes(live_capture, replay_capture);
+  std::printf("  %s\n", same.summary.c_str());
+  if (!same.identical) return 1;
+
+  std::printf("\nstep 5 — what if the window had gone differently? Replay\n");
+  std::printf("again with a jam injected mid-window and diff against the\n");
+  std::printf("recorded history:\n\n");
+  auto altered = testbed::Testbed::restore(cp, build_world, &err);
+  if (altered == nullptr) {
+    std::printf("  restore FAILED: %s\n", err.c_str());
+    return 1;
+  }
+  const auto jam = fault::parse_scenario("jam ch=26 at=9s for=300ms");
+  altered->fault().load(*jam);
+  altered->recorder()->reset();
+  altered->sim().run_for(sim::SimTime::sec(6));
+  const auto d = trace::diff_bytes(live_capture,
+                                   altered->recorder()->serialize());
+  std::printf("  %s\n", d.summary.c_str());
+
+  std::printf(
+      "\nThe diff names the exact record where the alternate history\n"
+      "forked — the same report a red CI determinism gate produces via\n"
+      "tools/trace_diff on the dumped .lvtr pair.\n");
+  return d.identical ? 1 : 0;
+}

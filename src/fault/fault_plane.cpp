@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/flight_recorder.hpp"
 #include "util/bytes.hpp"
 
 namespace liteview::fault {
@@ -30,7 +31,20 @@ kernel::Node* FaultPlane::find_node(net::Addr addr) const {
 }
 
 void FaultPlane::record(FaultKind kind, std::uint32_t a, std::uint32_t b) {
-  trace_.push_back(FaultEvent{sim_.now().nanoseconds(), kind, a, b});
+  const std::int64_t t_ns = sim_.now().nanoseconds();
+  trace_.push_back(FaultEvent{t_ns, kind, a, b});
+  if (trace::kEnabled && recorder_ != nullptr) {
+    recorder_->append(trace_ring_, trace::RecKind::kFault, t_ns,
+                      static_cast<std::uint64_t>(kind), a, b);
+  }
+}
+
+void FaultPlane::set_flight_recorder(trace::FlightRecorder* rec) {
+  recorder_ = rec;
+  if (rec != nullptr) {
+    trace_ring_ =
+        rec->register_source(trace::source_id(trace::Domain::kFault, 0));
+  }
 }
 
 FaultPlane::LinkState& FaultPlane::link_state(phy::RadioId from,
@@ -229,16 +243,41 @@ bool FaultPlane::should_drop(phy::RadioId from, phy::RadioId to,
 }
 
 std::vector<std::uint8_t> FaultPlane::trace_bytes() const {
-  util::ByteWriter w;
+  // One format, one reader: emit the trace through the flight-recorder
+  // codec (kFault records, seq = position) so trace::decode_record /
+  // trace::dump / the diff tool all read fault traces directly.
+  std::vector<std::uint8_t> out;
+  out.reserve(trace_.size() * 8);
+  std::uint64_t seq = 0;
   for (const auto& e : trace_) {
-    w.u32(static_cast<std::uint32_t>(e.t_ns & 0xffffffff));
-    w.u32(static_cast<std::uint32_t>(
-        static_cast<std::uint64_t>(e.t_ns) >> 32));
-    w.u8(static_cast<std::uint8_t>(e.kind));
-    w.u32(e.a);
-    w.u32(e.b);
+    std::uint8_t buf[trace::kMaxRecordBytes];
+    const std::size_t len = trace::encode_record(
+        buf, trace::RecKind::kFault, e.t_ns, seq++,
+        static_cast<std::uint64_t>(e.kind), e.a, e.b);
+    out.insert(out.end(), buf, buf + len);
   }
-  return std::move(w).take();
+  return out;
+}
+
+void FaultPlane::snapshot(util::ByteWriter& w) const {
+  const auto bytes = trace_bytes();
+  w.u32(static_cast<std::uint32_t>(trace_.size()));
+  w.bytes(bytes);
+  // Link chains in key order: GE/down state plus the full RNG stream, so
+  // two runs that agree here take identical loss decisions afterwards.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(links_.size());
+  for (const auto& [key, ls] : links_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  w.u32(static_cast<std::uint32_t>(keys.size()));
+  for (const std::uint64_t key : keys) {
+    const LinkState& ls = links_.at(key);
+    w.u64(key);
+    w.u8(static_cast<std::uint8_t>((ls.bad ? 1 : 0) | (ls.down ? 2 : 0) |
+                                   (ls.has_ge ? 4 : 0)));
+    if (ls.has_ge) w.str8(ls.rng.state_string());
+  }
+  w.str8(churn_rng_.state_string());
 }
 
 const FaultStats& FaultPlane::stats(net::Addr node) const {

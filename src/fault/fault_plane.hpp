@@ -23,6 +23,14 @@
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
+namespace liteview::trace {
+class FlightRecorder;
+}
+
+namespace liteview::util {
+class ByteWriter;
+}
+
 namespace liteview::fault {
 
 enum class FaultKind : std::uint8_t {
@@ -105,7 +113,19 @@ class FaultPlane final : public phy::FaultInterceptor {
     return trace_;
   }
   /// Canonical serialization of trace() for determinism comparison.
+  /// Each FaultEvent is emitted as one lv::trace kFault record (seq =
+  /// index in trace()), so the flight-recorder codec/dump/diff tooling
+  /// reads fault traces with no second format.
   [[nodiscard]] std::vector<std::uint8_t> trace_bytes() const;
+
+  /// Attach (or detach with nullptr) a flight recorder: every fault
+  /// decision is mirrored into the fault plane's ring as a kFault record.
+  void set_flight_recorder(trace::FlightRecorder* rec);
+
+  /// Append the fault-plane state a checkpoint verifies: the event trace
+  /// (codec bytes), every link chain's GE/down state + RNG stream, and
+  /// the churn stream.
+  void snapshot(util::ByteWriter& w) const;
 
   [[nodiscard]] const FaultStats& stats(net::Addr node) const;
   [[nodiscard]] FaultStats totals() const;
@@ -148,6 +168,8 @@ class FaultPlane final : public phy::FaultInterceptor {
 
   std::vector<FaultEvent> trace_;
   mutable std::map<net::Addr, FaultStats> stats_;
+  trace::FlightRecorder* recorder_ = nullptr;
+  std::uint32_t trace_ring_ = 0;
 };
 
 }  // namespace liteview::fault

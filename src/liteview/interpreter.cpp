@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "trace/diff.hpp"
+#include "trace/flight_recorder.hpp"
+
 namespace liteview::lv {
 namespace {
 
@@ -276,6 +279,9 @@ std::string CommandInterpreter::execute(const std::string& line) {
     neighbor_mode_ = false;
     return "";
   }
+  // Workstation-local diagnostics: usable without logging into a node.
+  if (cl.command == "trace") return cmd_trace(cl);
+  if (cl.command == "snapshot") return cmd_snapshot(cl);
 
   if (!current_) return "not logged into a node (use cd)\n";
 
@@ -300,7 +306,8 @@ std::string CommandInterpreter::execute(const std::string& line) {
            "  neighborsetup -> list | blacklist add|remove <node> | "
            "update period=<ms> | exit\n"
            "  power [0..31] | channel [11..26]\n"
-           "  log | energy | netstat | scan [dwell=<ms>]\n";
+           "  log | energy | netstat | scan [dwell=<ms>]\n"
+           "  trace [status|dump|save|diff|reset] | snapshot [meta]\n";
   }
   return util::format("%s: command not found\n", cl.command.c_str());
 }
@@ -571,6 +578,65 @@ std::string CommandInterpreter::cmd_ps() {
                         p.ram_bytes);
   }
   return out;
+}
+
+void CommandInterpreter::set_diagnostics(
+    trace::FlightRecorder* recorder,
+    std::function<trace::Checkpoint(std::string)> checkpointer) {
+  recorder_ = recorder;
+  checkpointer_ = std::move(checkpointer);
+}
+
+std::string CommandInterpreter::cmd_trace(const util::CommandLine& cl) {
+  if (recorder_ == nullptr) {
+    return "trace: no flight recorder attached to this deployment\n";
+  }
+  const std::string sub =
+      cl.positional.empty() ? std::string("status") : cl.positional[0];
+  if (sub == "status") {
+    return util::format(
+        "flight recorder: %s, %zu sources, %llu records appended\n",
+        recorder_->enabled() ? "recording" : "paused",
+        recorder_->source_count(),
+        static_cast<unsigned long long>(recorder_->records_appended()));
+  }
+  if (sub == "dump") {
+    const auto tf = trace::FlightRecorder::parse(recorder_->serialize());
+    if (!tf) return "trace: capture failed to parse\n";
+    return trace::FlightRecorder::dump(*tf);
+  }
+  if (sub == "save") {
+    saved_trace_ = recorder_->serialize();
+    return util::format("trace: saved baseline capture (%zu bytes)\n",
+                        saved_trace_.size());
+  }
+  if (sub == "diff") {
+    if (saved_trace_.empty()) {
+      return "trace diff: no baseline (use `trace save` first)\n";
+    }
+    const auto r = trace::diff_bytes(saved_trace_, recorder_->serialize());
+    return r.summary + "\n";
+  }
+  if (sub == "reset") {
+    recorder_->reset();
+    return "trace: rings cleared, sequence restarted\n";
+  }
+  return "usage: trace [status|dump|save|diff|reset]\n";
+}
+
+std::string CommandInterpreter::cmd_snapshot(const util::CommandLine& cl) {
+  if (!checkpointer_) {
+    return "snapshot: not supported on this deployment\n";
+  }
+  std::string meta;
+  for (const auto& p : cl.positional) {
+    if (!meta.empty()) meta += ' ';
+    meta += p;
+  }
+  const trace::Checkpoint cp = checkpointer_(std::move(meta));
+  const auto bytes = trace::serialize(cp);
+  return trace::describe(cp) +
+         util::format(" (%zu bytes serialized)\n", bytes.size());
 }
 
 }  // namespace liteview::lv

@@ -25,7 +25,12 @@
 #include "kernel/node.hpp"
 #include "liteview/messages.hpp"
 #include "liteview/reliable.hpp"
+#include "trace/checkpoint.hpp"
 #include "util/strings.hpp"
+
+namespace liteview::trace {
+class FlightRecorder;
+}
 
 namespace liteview::lv {
 
@@ -145,6 +150,14 @@ class CommandInterpreter {
   [[nodiscard]] std::optional<net::Addr> current() const { return current_; }
   bool cd(const std::string& target);
 
+  /// Wire the testbed-side diagnostic taps: the deployment's flight
+  /// recorder (behind the `trace` command) and a checkpoint factory
+  /// (behind `snapshot`). Either may be null/empty; the commands then
+  /// report that the facility is unavailable.
+  void set_diagnostics(
+      trace::FlightRecorder* recorder,
+      std::function<trace::Checkpoint(std::string)> checkpointer);
+
  private:
   std::string cmd_ls() const;
   std::string cmd_ping(const util::CommandLine& cl);
@@ -160,12 +173,17 @@ class CommandInterpreter {
   std::string cmd_energy();
   std::string cmd_netstat();
   std::string cmd_scan(const util::CommandLine& cl);
+  std::string cmd_trace(const util::CommandLine& cl);
+  std::string cmd_snapshot(const util::CommandLine& cl);
   [[nodiscard]] std::string name_of(net::Addr a) const;
 
   Workstation& ws_;
   Locator locator_;
   std::optional<net::Addr> current_;
   bool neighbor_mode_ = false;
+  trace::FlightRecorder* recorder_ = nullptr;
+  std::function<trace::Checkpoint(std::string)> checkpointer_;
+  std::vector<std::uint8_t> saved_trace_;  ///< `trace save` baseline
 };
 
 }  // namespace liteview::lv

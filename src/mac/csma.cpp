@@ -2,7 +2,24 @@
 
 #include <cassert>
 
+#include "trace/flight_recorder.hpp"
+#include "util/bytes.hpp"
+
 namespace liteview::mac {
+
+namespace {
+
+/// Shorthand for the recorder hook: compiles out entirely under
+/// LV_NO_FLIGHT_RECORDER, costs one predictable branch otherwise.
+inline void record_drop(trace::FlightRecorder* rec, std::uint32_t ring,
+                        std::int64_t t_ns, trace::MacDropReason reason) {
+  if (trace::kEnabled && rec != nullptr) {
+    rec->append(ring, trace::RecKind::kMacDrop, t_ns,
+                static_cast<std::uint64_t>(reason));
+  }
+}
+
+}  // namespace
 
 CsmaMac::CsmaMac(sim::Simulator& sim, phy::Medium& medium, ShortAddr address,
                  phy::Position pos, const MacConfig& cfg)
@@ -38,6 +55,8 @@ void CsmaMac::set_radio_enabled(bool enabled) {
       Pending p = std::move(queue_.back());
       queue_.pop_back();
       ++stats_.dropped_radio_off;
+      record_drop(recorder_, trace_ring_, sim_.now().nanoseconds(),
+                  trace::MacDropReason::kRadioOff);
       if (p.cb) p.cb(false);
     }
     return;
@@ -49,11 +68,15 @@ bool CsmaMac::send(ShortAddr dst, FramePayload payload, SendCallback cb) {
   assert(payload.size() <= kMaxMacPayload);
   if (!enabled_) {
     ++stats_.dropped_radio_off;
+    record_drop(recorder_, trace_ring_, sim_.now().nanoseconds(),
+                trace::MacDropReason::kRadioOff);
     if (cb) cb(false);
     return false;
   }
   if (queue_.size() >= cfg_.queue_capacity) {
     ++stats_.dropped_queue_full;
+    record_drop(recorder_, trace_ring_, sim_.now().nanoseconds(),
+                trace::MacDropReason::kQueueFull);
     if (cb) cb(false);
     return false;
   }
@@ -78,16 +101,25 @@ void CsmaMac::maybe_start() {
 void CsmaMac::csma_attempt(std::uint8_t nb, std::uint8_t be) {
   if (!enabled_) {
     ++stats_.dropped_radio_off;
+    record_drop(recorder_, trace_ring_, sim_.now().nanoseconds(),
+                trace::MacDropReason::kRadioOff);
     finish_head(false);
     return;
   }
   // Random backoff of [0, 2^BE - 1] unit periods, then an 8-symbol CCA.
   const auto slots = backoff_rng_.uniform_int(0, (1 << be) - 1);
+  if (trace::kEnabled && recorder_ != nullptr) {
+    recorder_->append(trace_ring_, trace::RecKind::kMacBackoff,
+                      sim_.now().nanoseconds(), nb, be,
+                      static_cast<std::uint64_t>(slots));
+  }
   const auto backoff =
       sim::SimTime::us_f(static_cast<double>(slots) * phy::kBackoffUnitUs);
   sim_.schedule_in(backoff + sim::SimTime::us_f(phy::kCcaUs), [this, nb, be] {
     if (!enabled_) {
       ++stats_.dropped_radio_off;
+      record_drop(recorder_, trace_ring_, sim_.now().nanoseconds(),
+                  trace::MacDropReason::kRadioOff);
       finish_head(false);
       return;
     }
@@ -103,6 +135,8 @@ void CsmaMac::csma_attempt(std::uint8_t nb, std::uint8_t be) {
     const std::uint8_t next_nb = static_cast<std::uint8_t>(nb + 1);
     if (next_nb > cfg_.max_csma_backoffs) {
       ++stats_.dropped_channel_busy;
+      record_drop(recorder_, trace_ring_, sim_.now().nanoseconds(),
+                  trace::MacDropReason::kChannelBusy);
       finish_head(false);
       return;
     }
@@ -116,6 +150,8 @@ void CsmaMac::transmit_head() {
   assert(!queue_.empty());
   if (!enabled_) {
     ++stats_.dropped_radio_off;
+    record_drop(recorder_, trace_ring_, sim_.now().nanoseconds(),
+                trace::MacDropReason::kRadioOff);
     finish_head(false);
     return;
   }
@@ -123,6 +159,12 @@ void CsmaMac::transmit_head() {
   // hop reuses recycled storage instead of allocating per frame.
   phy::FrameBufferRef mpdu = medium_.acquire_frame();
   encode_frame_into(queue_.front().frame, mpdu.bytes());
+  if (trace::kEnabled && recorder_ != nullptr) {
+    const MacFrame& f = queue_.front().frame;
+    recorder_->append(trace_ring_, trace::RecKind::kMacTx,
+                      sim_.now().nanoseconds(), f.dst, f.seq,
+                      f.payload.size());
+  }
   const auto air = phy::frame_airtime(static_cast<int>(mpdu.bytes().size()));
   medium_.transmit(radio_, phy::pa_level_to_dbm(pa_level_), std::move(mpdu));
   energy_.add_tx(air, pa_level_);
@@ -175,6 +217,34 @@ void CsmaMac::on_frame(const std::vector<std::uint8_t>& psdu,
     if (rx_handler_ && enabled_) rx_handler_(p.frame, p.rx);
     rx_free_.push_back(idx);
   });
+}
+
+void CsmaMac::set_flight_recorder(trace::FlightRecorder* rec) {
+  recorder_ = rec;
+  if (rec != nullptr) {
+    trace_ring_ =
+        rec->register_source(trace::source_id(trace::Domain::kMac, address_));
+  }
+}
+
+void CsmaMac::snapshot(util::ByteWriter& w) const {
+  w.u64(stats_.enqueued);
+  w.u64(stats_.sent);
+  w.u64(stats_.dropped_queue_full);
+  w.u64(stats_.dropped_channel_busy);
+  w.u64(stats_.rx_crc_failures);
+  w.u64(stats_.rx_delivered);
+  w.u64(stats_.rx_filtered);
+  w.u64(stats_.cca_busy);
+  w.u64(stats_.dropped_radio_off);
+  w.u32(static_cast<std::uint32_t>(queue_.size()));
+  w.u8(busy_ ? 1 : 0);
+  w.u8(enabled_ ? 1 : 0);
+  w.u8(next_seq_);
+  w.u8(pa_level_);
+  // The backoff stream's full engine state: two runs that agree here will
+  // draw identical backoffs forever after.
+  w.str8(backoff_rng_.state_string());
 }
 
 }  // namespace liteview::mac

@@ -18,6 +18,10 @@
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
+namespace liteview::trace {
+class FlightRecorder;
+}
+
 namespace liteview::mac {
 
 struct MacConfig {
@@ -111,6 +115,14 @@ class CsmaMac final : public phy::MediumClient {
   }
   [[nodiscard]] const MacStats& stats() const noexcept { return stats_; }
 
+  /// Attach (or detach with nullptr) a flight recorder: backoff draws,
+  /// transmissions, and drops flow into this MAC's ring.
+  void set_flight_recorder(trace::FlightRecorder* rec);
+
+  /// Append the MAC state a checkpoint verifies: stats, queue/radio
+  /// state, and the backoff RNG stream.
+  void snapshot(util::ByteWriter& w) const;
+
   // MediumClient:
   void on_frame(const std::vector<std::uint8_t>& psdu,
                 const phy::RxInfo& info) override;
@@ -179,6 +191,8 @@ class CsmaMac final : public phy::MediumClient {
   RxHandler rx_handler_;
   RxHandler promiscuous_;
   MacStats stats_;
+  trace::FlightRecorder* recorder_ = nullptr;
+  std::uint32_t trace_ring_ = 0;
 };
 
 }  // namespace liteview::mac

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <memory>
 
+#include "trace/flight_recorder.hpp"
+#include "util/bytes.hpp"
+
 namespace liteview::net {
 
 CommStack::CommStack(sim::Simulator& sim, mac::CsmaMac& mac)
@@ -23,6 +26,11 @@ void CommStack::unsubscribe(Port port) { handlers_.erase(port); }
 
 bool CommStack::send_link(mac::ShortAddr next_hop, const NetPacket& packet,
                           SendCallback cb) {
+  if (trace::kEnabled && recorder_ != nullptr) {
+    recorder_->append(trace_ring_, trace::RecKind::kNetSend,
+                      sim_.now().nanoseconds(), packet.port, packet.dst,
+                      next_hop);
+  }
   // Encode straight into the frame's inline payload — no per-hop vector.
   mac::FramePayload bytes;
   encode_packet_into(packet, bytes);
@@ -60,10 +68,30 @@ void CommStack::on_mac_frame(const mac::MacFrame& frame,
     return;
   }
   ++stats_.delivered;
+  if (trace::kEnabled && recorder_ != nullptr) {
+    recorder_->append(trace_ring_, trace::RecKind::kNetRecv,
+                      sim_.now().nanoseconds(), packet->port, packet->src,
+                      frame.src);
+  }
   LinkContext ctx;
   ctx.link_src = frame.src;
   ctx.rx = info;
   it->second(*packet, ctx);
+}
+
+void CommStack::set_flight_recorder(trace::FlightRecorder* rec) {
+  recorder_ = rec;
+  if (rec != nullptr) {
+    trace_ring_ = rec->register_source(
+        trace::source_id(trace::Domain::kNet, mac_.address()));
+  }
+}
+
+void CommStack::snapshot(util::ByteWriter& w) const {
+  w.u64(stats_.delivered);
+  w.u64(stats_.local_delivered);
+  w.u64(stats_.no_subscriber);
+  w.u64(stats_.malformed);
 }
 
 }  // namespace liteview::net

@@ -17,6 +17,10 @@
 #include "mac/csma.hpp"
 #include "net/packet.hpp"
 
+namespace liteview::trace {
+class FlightRecorder;
+}
+
 namespace liteview::net {
 
 /// Link-layer context delivered with each packet: who relayed it to us
@@ -68,6 +72,13 @@ class CommStack {
     return mac_.address();
   }
 
+  /// Attach (or detach with nullptr) a flight recorder: port sends and
+  /// deliveries flow into this node's net ring.
+  void set_flight_recorder(trace::FlightRecorder* rec);
+
+  /// Append the stack state a checkpoint verifies.
+  void snapshot(util::ByteWriter& w) const;
+
  private:
   void on_mac_frame(const mac::MacFrame& frame, const phy::RxInfo& info);
 
@@ -75,6 +86,8 @@ class CommStack {
   mac::CsmaMac& mac_;
   std::unordered_map<Port, Handler> handlers_;
   StackStats stats_;
+  trace::FlightRecorder* recorder_ = nullptr;
+  std::uint32_t trace_ring_ = 0;
 };
 
 }  // namespace liteview::net

@@ -1,9 +1,12 @@
 #include "phy/medium.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "phy/ber.hpp"
+#include "trace/flight_recorder.hpp"
+#include "util/bytes.hpp"
 #include "util/dbm.hpp"
 
 namespace liteview::phy {
@@ -30,29 +33,64 @@ Medium::Medium(sim::Simulator& sim, const PropagationConfig& prop_cfg)
       culling_possible_(std::isfinite(
           prop_.max_range_m(pa_level_to_dbm(kMaxPaLevel), kSensitivityDbm))),
       budget_power_dbm_(-std::numeric_limits<double>::infinity()),
-      fading_headroom_db_(prop_.max_fading_gain_db()) {}
+      fading_headroom_db_(prop_.max_fading_gain_db()),
+      sniff_seed_(util::splitmix64(sim.rng_root().root_seed() ^
+                                   util::fnv1a("phy.sniff"))) {}
 
-RadioId Medium::attach(MediumClient* client, Position pos, Channel channel) {
+RadioId Medium::attach_impl(MediumClient* client, Position pos,
+                            Channel channel, bool sniffer) {
   assert(client != nullptr);
   const auto id = static_cast<RadioId>(radio_count());
   clients_.push_back(client);
   positions_.push_back(pos);
   channels_.push_back(channel);
   attached_.push_back(1);
+  is_sniffer_.push_back(sniffer ? 1 : 0);
   tx_until_.emplace_back();
   reach_.emplace_back();
   rx_inflight_.emplace_back();
   last_tx_power_.push_back(std::numeric_limits<double>::quiet_NaN());
   gain_cache_.note_radio(id);
-  grid_.insert(id, pos);
-  ++chan_[channel].attached;
-  ++topo_epoch_;
+  trace_ring_.push_back(0);
+  if (recorder_ != nullptr) {
+    trace_ring_[id] = recorder_->register_source(
+        trace::source_id(trace::Domain::kPhy, id));
+  }
+  if (sniffer) {
+    // A sniffer stays out of the spatial grid, the per-channel attached
+    // counts, and the topology epoch: the candidate walk, culling credit,
+    // and reachable-set caches must be bit-for-bit what they are without
+    // it.
+    sniffers_.push_back(id);
+  } else {
+    grid_.insert(id, pos);
+    ++chan_[channel].attached;
+    ++topo_epoch_;
+  }
   return id;
+}
+
+RadioId Medium::attach(MediumClient* client, Position pos, Channel channel) {
+  return attach_impl(client, pos, channel, /*sniffer=*/false);
+}
+
+RadioId Medium::attach_sniffer(MediumClient* client, Position pos,
+                               Channel channel) {
+  return attach_impl(client, pos, channel, /*sniffer=*/true);
 }
 
 void Medium::detach(RadioId id) {
   assert(id < radio_count());
   if (!attached_[id]) return;
+  if (is_sniffer_[id]) {
+    abort_inflight_rx(id, sniffs_aborted_,
+                      static_cast<std::uint8_t>(trace::PhyDropReason::kRetune));
+    std::erase(sniffers_, id);
+    attached_[id] = 0;
+    clients_[id] = nullptr;
+    gain_cache_.invalidate_radio(id);
+    return;
+  }
   grid_.remove(id, positions_[id]);
   --chan_[channels_[id]].attached;
   ++topo_epoch_;
@@ -74,7 +112,7 @@ void Medium::detach(RadioId id) {
 
 void Medium::set_position(RadioId id, Position pos) {
   assert(id < radio_count());
-  if (attached_[id]) {
+  if (attached_[id] && !is_sniffer_[id]) {
     grid_.move(id, positions_[id], pos);
     ++topo_epoch_;
   }
@@ -90,14 +128,24 @@ Position Medium::position(RadioId id) const {
 void Medium::set_channel(RadioId id, Channel channel) {
   assert(id < radio_count());
   if (attached_[id] && channels_[id] != channel) {
-    --chan_[channels_[id]].attached;
-    ++chan_[channel].attached;
-    ++topo_epoch_;
-    // Retune mid-frame: the radio loses any frame it was receiving —
-    // even if it retunes back before the frame ends — and its stale
-    // reception records stop being interference-accumulation targets
-    // right now, not at delivery time.
-    abort_inflight_rx(id, frames_missed_retune_);
+    if (is_sniffer_[id]) {
+      // A retuning sniffer loses its in-flight overhears like any radio,
+      // but the loss lands in the sniffer-only counter.
+      abort_inflight_rx(
+          id, sniffs_aborted_,
+          static_cast<std::uint8_t>(trace::PhyDropReason::kRetune));
+    } else {
+      --chan_[channels_[id]].attached;
+      ++chan_[channel].attached;
+      ++topo_epoch_;
+      // Retune mid-frame: the radio loses any frame it was receiving —
+      // even if it retunes back before the frame ends — and its stale
+      // reception records stop being interference-accumulation targets
+      // right now, not at delivery time.
+      abort_inflight_rx(
+          id, frames_missed_retune_,
+          static_cast<std::uint8_t>(trace::PhyDropReason::kRetune));
+    }
   }
   channels_[id] = channel;
 }
@@ -208,11 +256,21 @@ void Medium::note_tx_power(RadioId from, double power) {
   }
 }
 
-void Medium::abort_inflight_rx(RadioId at, std::uint64_t& counter) {
+void Medium::abort_inflight_rx(RadioId at, std::uint64_t& counter,
+                               std::uint8_t drop_reason) {
   auto& refs = rx_inflight_[at];
   for (const RxRef& ref : refs) {
-    tx_slots_[ref.slot].rxs[ref.idx].aborted = true;
+    TxSlot& slot = tx_slots_[ref.slot];
+    if ((ref.idx & kSnifferRef) != 0) {
+      slot.snf_rxs[ref.idx & ~kSnifferRef].aborted = true;
+    } else {
+      slot.rxs[ref.idx].aborted = true;
+    }
     ++counter;
+    if (trace::kEnabled && recorder_ != nullptr) {
+      recorder_->append(trace_ring_[at], trace::RecKind::kPhyDrop,
+                        sim_.now().nanoseconds(), slot.from, drop_reason);
+    }
   }
   refs.clear();
 }
@@ -220,6 +278,7 @@ void Medium::abort_inflight_rx(RadioId at, std::uint64_t& counter) {
 void Medium::transmit(RadioId from, double tx_power_dbm,
                       FrameBufferRef psdu) {
   assert(from < radio_count());
+  assert(!is_sniffer_[from] && "sniffer radios are receive-only");
   assert(psdu && !psdu.bytes().empty() &&
          psdu.bytes().size() <= static_cast<std::size_t>(kMaxPsduBytes));
 
@@ -239,10 +298,16 @@ void Medium::transmit(RadioId from, double tx_power_dbm,
     sniffer_(SniffedFrame{from, ch, psdu.bytes().size(), start, air,
                           std::span<const std::uint8_t>(psdu.bytes())});
   }
+  if (trace::kEnabled && recorder_ != nullptr) {
+    recorder_->append(trace_ring_[from], trace::RecKind::kPhyTx,
+                      start.nanoseconds(), ch, psdu.bytes().size(),
+                      static_cast<std::uint64_t>(air.nanoseconds()), seq);
+  }
 
   // Half-duplex: the transmitter cannot keep receiving; abort any frame
   // it was in the middle of receiving (O(1) via the in-flight index).
-  abort_inflight_rx(from, frames_missed_busy_rx_);
+  abort_inflight_rx(from, frames_missed_busy_rx_,
+                    static_cast<std::uint8_t>(trace::PhyDropReason::kBusyRx));
 
   // Claim a pooled transmission slot.
   std::uint32_t slot_idx;
@@ -262,12 +327,15 @@ void Medium::transmit(RadioId from, double tx_power_dbm,
   slot.end = end;
   slot.seq = seq;
   slot.rxs.clear();  // capacity survives recycling
+  slot.snf_rxs.clear();
 
   ChannelState& cs = chan_[ch];
 
   // The new transmission raises the interference floor of every reception
   // already in flight on this channel (receptions targeting `from` were
-  // just aborted above, so the aborted check covers them).
+  // just aborted above, so the aborted check covers them). Sniffer
+  // receptions accumulate the same physics — pure arithmetic on
+  // sniffer-only records, invisible to everything else.
   for (const std::uint32_t s : cs.active) {
     TxSlot& other = tx_slots_[s];
     for (Reception& rx : other.rxs) {
@@ -275,6 +343,10 @@ void Medium::transmit(RadioId from, double tx_power_dbm,
       // Conservative accumulation: once an interferer overlaps a
       // reception, its energy counts for the whole frame (no per-segment
       // integration).
+      rx.interference_mw += slot.tx_mw * link_gain(from, rx.to).lin;
+    }
+    for (Reception& rx : other.snf_rxs) {
+      if (rx.aborted) continue;
       rx.interference_mw += slot.tx_mw * link_gain(from, rx.to).lin;
     }
   }
@@ -314,8 +386,16 @@ void Medium::transmit(RadioId from, double tx_power_dbm,
       return;
     }
     if (tx_until_[to] > start) {
-      // Receiver is mid-transmission: deaf.
+      // Receiver is mid-transmission: deaf. Recording here is culling-
+      // invariant: only above-sensitivity candidates reach this check,
+      // and culling never skips those.
       ++frames_missed_busy_rx_;
+      if (trace::kEnabled && recorder_ != nullptr) {
+        recorder_->append(
+            trace_ring_[to], trace::RecKind::kPhyDrop, start.nanoseconds(),
+            from,
+            static_cast<std::uint64_t>(trace::PhyDropReason::kBusyRx));
+      }
       return;
     }
 
@@ -348,7 +428,36 @@ void Medium::transmit(RadioId from, double tx_power_dbm,
     frames_below_sensitivity_ += on_channel - visited;
     culled_candidates_ += on_channel - visited;
   } else {
-    for (RadioId to = 0; to < radio_count(); ++to) consider(to, nullptr);
+    for (RadioId to = 0; to < radio_count(); ++to) {
+      if (is_sniffer_[to]) continue;  // handled by the promiscuous walk
+      consider(to, nullptr);
+    }
+  }
+
+  // Promiscuous walk: sniffers overhear the frame under the same physics
+  // (static gain, hashed per-packet fading, sensitivity floor) but touch
+  // none of the simulation-visible counters and draw from no shared RNG.
+  for (const RadioId sn : sniffers_) {
+    if (!attached_[sn] || channels_[sn] != ch) continue;
+    const double loss_db = link_gain(from, sn).loss_db;
+    if (tx_power_dbm - loss_db + fading_headroom_db_ < kSensitivityDbm)
+      continue;
+    const double fading = prop_.packet_fading_db(seq, sn);
+    const double prx = tx_power_dbm - loss_db - fading;
+    if (prx < kSensitivityDbm) continue;
+
+    double interference_mw = 0.0;
+    for (const std::uint32_t s : cs.active) {
+      const TxSlot& other = tx_slots_[s];
+      if (other.end <= start) continue;
+      interference_mw += other.tx_mw * link_gain(other.from, sn).lin;
+    }
+
+    rx_inflight_[sn].push_back(RxRef{
+        slot_idx,
+        kSnifferRef | static_cast<std::uint32_t>(slot.snf_rxs.size())});
+    slot.snf_rxs.push_back(Reception{sn, prx, interference_mw,
+                                     /*aborted=*/false});
   }
 
   cs.active.push_back(slot_idx);
@@ -393,12 +502,15 @@ void Medium::deliver(std::uint32_t slot_idx, const FrameBufferRef& psdu) {
     // set_channel, so this mismatch should be unreachable.
     if (channels_[rx.to] != tx_ch) continue;
     // Injected failures: the test drop filter and the fault plane.
-    if (drop_filter_ && drop_filter_(tx_from, rx.to)) {
+    if ((drop_filter_ && drop_filter_(tx_from, rx.to)) ||
+        (interceptor_ && interceptor_->should_drop(tx_from, rx.to, tx_ch))) {
       ++frames_dropped_fault_;
-      continue;
-    }
-    if (interceptor_ && interceptor_->should_drop(tx_from, rx.to, tx_ch)) {
-      ++frames_dropped_fault_;
+      if (trace::kEnabled && recorder_ != nullptr) {
+        recorder_->append(
+            trace_ring_[rx.to], trace::RecKind::kPhyDrop,
+            sim_.now().nanoseconds(), tx_from,
+            static_cast<std::uint64_t>(trace::PhyDropReason::kFault));
+      }
       continue;
     }
 
@@ -428,6 +540,14 @@ void Medium::deliver(std::uint32_t slot_idx, const FrameBufferRef& psdu) {
     info.crc_ok = !corrupted;
     info.from = tx_from;
 
+    if (trace::kEnabled && recorder_ != nullptr) {
+      recorder_->append(trace_ring_[rx.to], trace::RecKind::kPhyRx,
+                        sim_.now().nanoseconds(), tx_from, corrupted ? 0 : 1,
+                        static_cast<std::uint64_t>(
+                            static_cast<int>(info.rssi_reg) + 128),
+                        info.lqi);
+    }
+
     if (corrupted) {
       ++frames_corrupted_;
       // Flip a byte so upper layers exercise their CRC path on real data.
@@ -444,8 +564,111 @@ void Medium::deliver(std::uint32_t slot_idx, const FrameBufferRef& psdu) {
     }
   }
 
+  // Complete sniffer overhears. Same physics as the loop above, but the
+  // corruption draw comes from a private hash over (run seed, tx seq,
+  // sniffer id) — the shared loss/corrupt streams never advance — and all
+  // accounting goes to the sniffer-only counters. The fault plane is
+  // deliberately not consulted: it models the *network's* pathologies,
+  // and asking it would both record spurious fault events and advance its
+  // per-link RNG streams.
+  const std::size_t n_snf = tx_slots_[slot_idx].snf_rxs.size();
+  for (std::size_t i = 0; i < n_snf; ++i) {
+    const Reception rx = tx_slots_[slot_idx].snf_rxs[i];
+    if (rx.aborted) continue;
+
+    auto& refs = rx_inflight_[rx.to];
+    const std::uint32_t want =
+        kSnifferRef | static_cast<std::uint32_t>(i);
+    for (std::size_t r = 0; r < refs.size(); ++r) {
+      if (refs[r].slot == slot_idx && refs[r].idx == want) {
+        refs[r] = refs.back();
+        refs.pop_back();
+        break;
+      }
+    }
+
+    if (!attached_[rx.to] || clients_[rx.to] == nullptr) continue;
+    if (channels_[rx.to] != tx_ch) continue;
+
+    static const double noise_mw = util::dbm_to_mw(kNoiseFloorDbm);
+    const double sinr_db =
+        rx.prx_dbm - util::mw_to_dbm(noise_mw + rx.interference_mw);
+    const int bits = static_cast<int>(psdu.bytes().size()) * 8;
+    const double per = per_oqpsk(sinr_db, bits);
+    const std::uint64_t h = util::splitmix64(
+        util::splitmix64(sniff_seed_ ^ tx_slots_[slot_idx].seq) + rx.to);
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    bool corrupted = per > 0.0 && (per >= 1.0 || u < per);
+    if (rx.interference_mw > 0.0) {
+      const double sir_db = rx.prx_dbm - util::mw_to_dbm(rx.interference_mw);
+      if (sir_db < kCaptureThresholdDb) corrupted = true;
+    }
+
+    RxInfo info;
+    info.rx_power_dbm = rx.prx_dbm;
+    info.sinr_db = sinr_db;
+    info.rssi_reg = rssi_register(
+        util::mw_to_dbm(util::dbm_to_mw(rx.prx_dbm) + rx.interference_mw));
+    info.lqi = lqi_from_snr(sinr_db);
+    info.crc_ok = !corrupted;
+    info.from = tx_from;
+
+    ++frames_sniffed_;
+    if (trace::kEnabled && recorder_ != nullptr) {
+      recorder_->append(trace_ring_[rx.to], trace::RecKind::kSniffRx,
+                        sim_.now().nanoseconds(), tx_from, tx_ch,
+                        psdu.bytes().size(), corrupted ? 0 : 1);
+    }
+    if (corrupted) {
+      ++frames_sniffed_corrupted_;
+      corrupt_scratch_.assign(psdu.bytes().begin(), psdu.bytes().end());
+      const auto idx = static_cast<std::size_t>(
+          util::splitmix64(h) %
+          static_cast<std::uint64_t>(corrupt_scratch_.size()));
+      corrupt_scratch_[idx] ^= 0xa5;
+      clients_[rx.to]->on_frame(corrupt_scratch_, info);
+    } else {
+      clients_[rx.to]->on_frame(psdu.bytes(), info);
+    }
+  }
+
   tx_slots_[slot_idx].rxs.clear();  // capacity survives for the next TX
+  tx_slots_[slot_idx].snf_rxs.clear();
   free_slots_.push_back(slot_idx);
+}
+
+void Medium::set_flight_recorder(trace::FlightRecorder* rec) {
+  recorder_ = rec;
+  if (rec == nullptr) return;
+  for (RadioId id = 0; id < radio_count(); ++id) {
+    trace_ring_[id] =
+        rec->register_source(trace::source_id(trace::Domain::kPhy, id));
+  }
+}
+
+void Medium::snapshot(util::ByteWriter& w) const {
+  w.u64(frames_sent_);
+  w.u64(frames_delivered_);
+  w.u64(frames_corrupted_);
+  w.u64(frames_below_sensitivity_);
+  w.u64(frames_missed_busy_rx_);
+  w.u64(frames_missed_retune_);
+  w.u64(frames_dropped_fault_);
+  w.u64(frames_sniffed_);
+  w.u64(frames_sniffed_corrupted_);
+  w.u64(next_tx_seq_);
+  w.u32(static_cast<std::uint32_t>(radio_count()));
+  for (RadioId id = 0; id < radio_count(); ++id) {
+    w.u8(attached_[id]);
+    w.u8(is_sniffer_[id]);
+    w.u8(channels_[id]);
+    w.i64(tx_until_[id].nanoseconds());
+    // Positions and powers by bit pattern: verification compares exact
+    // doubles, not formatted approximations.
+    w.u64(std::bit_cast<std::uint64_t>(positions_[id].x));
+    w.u64(std::bit_cast<std::uint64_t>(positions_[id].y));
+    w.u64(std::bit_cast<std::uint64_t>(last_tx_power_[id]));
+  }
 }
 
 }  // namespace liteview::phy

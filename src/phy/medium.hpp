@@ -17,6 +17,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <functional>
@@ -32,6 +33,10 @@
 #include "phy/propagation.hpp"
 #include "phy/spatial_grid.hpp"
 #include "sim/simulator.hpp"
+
+namespace liteview::trace {
+class FlightRecorder;
+}
 
 namespace liteview::phy {
 
@@ -94,6 +99,26 @@ class Medium {
   /// detached); position/channel may change later.
   RadioId attach(MediumClient* client, Position pos,
                  Channel channel = kDefaultChannel);
+
+  /// Attach a promiscuous, receive-only sniffer radio (EyeSec-style
+  /// retrofittable observation). A sniffer overhears every same-channel
+  /// frame that clears sensitivity at its position — including corrupted
+  /// ones — but is *byte-invisible* to the simulation it watches: it is
+  /// never counted among a channel's attached radios, never visited by
+  /// the candidate walk (so culling credit and the below-sensitivity
+  /// counter are untouched), never consulted by the fault plane, and its
+  /// corruption draws come from a private hash keyed on (seed, tx seq,
+  /// radio id) rather than the shared loss/corrupt RNG streams — so the
+  /// determinism traces are identical with sniffers on or off
+  /// (tests/test_determinism.cpp holds this). Calling transmit() on a
+  /// sniffer id is a contract violation.
+  RadioId attach_sniffer(MediumClient* client, Position pos,
+                         Channel channel = kDefaultChannel);
+  [[nodiscard]] bool is_sniffer(RadioId id) const {
+    assert(id < radio_count());
+    return is_sniffer_[id] != 0;
+  }
+
   void detach(RadioId id);
 
   void set_position(RadioId id, Position pos);
@@ -143,6 +168,15 @@ class Medium {
   void set_sniffer(std::function<void(const SniffedFrame&)> sniffer) {
     sniffer_ = std::move(sniffer);
   }
+
+  /// Attach (or detach with nullptr) a flight recorder. Each attached
+  /// radio gets its own ring; tx/rx/drop/sniff records flow into it.
+  /// Recording draws no randomness and never perturbs delivery.
+  void set_flight_recorder(trace::FlightRecorder* rec);
+
+  /// Append the PHY state a checkpoint verifies: counters, the
+  /// transmission sequence, and each radio's registers.
+  void snapshot(util::ByteWriter& w) const;
 
   /// Failure injection for tests: when set, receptions for which the
   /// filter returns true are silently dropped (as if faded out). Applied
@@ -242,6 +276,14 @@ class Medium {
   [[nodiscard]] std::uint64_t frames_dropped_fault() const noexcept {
     return frames_dropped_fault_;
   }
+  /// Frames overheard by sniffer radios (accounted separately — sniffer
+  /// activity must never leak into the simulation's own counters).
+  [[nodiscard]] std::uint64_t frames_sniffed() const noexcept {
+    return frames_sniffed_;
+  }
+  [[nodiscard]] std::uint64_t frames_sniffed_corrupted() const noexcept {
+    return frames_sniffed_corrupted_;
+  }
 
   /// Deterministic received power (no fading) for a directed pair — used
   /// by topology builders to check connectivity before running. Served
@@ -273,7 +315,14 @@ class Medium {
     sim::SimTime end;
     std::uint64_t seq = 0;
     std::vector<Reception> rxs;
+    /// Receptions at sniffer radios, kept apart from `rxs` so nothing on
+    /// the normal path (abort scans, delivery, interference raising over
+    /// rxs) changes shape when sniffers are present.
+    std::vector<Reception> snf_rxs;
   };
+
+  /// High bit of RxRef::idx marks a reference into snf_rxs instead of rxs.
+  static constexpr std::uint32_t kSnifferRef = 0x80000000u;
 
   /// Reference to one Reception: (slot index, index within the slot).
   struct RxRef {
@@ -304,6 +353,8 @@ class Medium {
     std::uint32_t attached = 0;
   };
 
+  RadioId attach_impl(MediumClient* client, Position pos, Channel channel,
+                      bool sniffer);
   void deliver(std::uint32_t slot_idx, const FrameBufferRef& psdu);
   /// Memoized (or direct, when the cache is off) static gain from→to.
   [[nodiscard]] LinkGainCache::Gain link_gain(RadioId from, RadioId to) const;
@@ -312,7 +363,10 @@ class Medium {
   /// Record `power` as radio `from`'s current TX level in the histogram;
   /// retires reachable sets when the deployment-wide maximum changes.
   void note_tx_power(RadioId from, double power);
-  void abort_inflight_rx(RadioId at, std::uint64_t& counter);
+  /// Abort every in-flight reception at `at`, bumping `counter` and
+  /// recording a kPhyDrop with `drop_reason` (a trace::PhyDropReason).
+  void abort_inflight_rx(RadioId at, std::uint64_t& counter,
+                         std::uint8_t drop_reason);
 
   [[nodiscard]] std::size_t radio_count() const noexcept {
     return clients_.size();
@@ -335,6 +389,10 @@ class Medium {
   std::vector<Position> positions_;
   std::vector<Channel> channels_;
   std::vector<std::uint8_t> attached_;
+  std::vector<std::uint8_t> is_sniffer_;
+  /// Dense list of sniffer ids — the promiscuous walk in transmit()
+  /// iterates this, never the reachable set or the 0..n scan.
+  std::vector<RadioId> sniffers_;
   std::vector<sim::SimTime> tx_until_;  ///< busy transmitting until this
   std::vector<ReachCache> reach_;
   /// Non-aborted in-flight receptions targeting each radio — the O(1)
@@ -382,6 +440,14 @@ class Medium {
   std::function<bool(RadioId, RadioId)> drop_filter_;
   FaultInterceptor* interceptor_ = nullptr;
 
+  // ---- flight recorder ------------------------------------------------
+  trace::FlightRecorder* recorder_ = nullptr;
+  std::vector<std::uint32_t> trace_ring_;  ///< parallel to radios
+  /// Private hash seed for sniffer corruption draws; derived from the run
+  /// seed so sniffer observations are reproducible, yet no shared RNG
+  /// stream ever advances on their behalf.
+  std::uint64_t sniff_seed_ = 0;
+
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_delivered_ = 0;
   std::uint64_t frames_corrupted_ = 0;
@@ -390,6 +456,11 @@ class Medium {
   std::uint64_t frames_missed_retune_ = 0;
   std::uint64_t frames_dropped_fault_ = 0;
   std::uint64_t culled_candidates_ = 0;
+  std::uint64_t frames_sniffed_ = 0;
+  std::uint64_t frames_sniffed_corrupted_ = 0;
+  /// Sniffer receptions lost to the sniffer's own retune; kept out of
+  /// frames_missed_retune_ (a simulation-visible counter).
+  std::uint64_t sniffs_aborted_ = 0;
 };
 
 }  // namespace liteview::phy

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "trace/flight_recorder.hpp"
+
 namespace liteview::routing {
 
 std::vector<std::uint8_t> make_data_envelope(
@@ -95,8 +97,26 @@ bool RoutingProtocol::send(net::Addr dst, net::Port inner_port,
   return send_first_hop(pkt);
 }
 
+void RoutingProtocol::set_flight_recorder(trace::FlightRecorder* rec) {
+  recorder_ = rec;
+  if (rec != nullptr) {
+    trace_ring_ = rec->register_source(
+        trace::source_id(trace::Domain::kRoute, node().address()));
+  }
+}
+
+void RoutingProtocol::record_route(const net::NetPacket& pkt,
+                                   const std::optional<net::Addr>& next) {
+  if (trace::kEnabled && recorder_ != nullptr) {
+    recorder_->append(trace_ring_, trace::RecKind::kRoute,
+                      node().simulator().now().nanoseconds(), pkt.dst,
+                      next ? *next : 0, pkt.id);
+  }
+}
+
 bool RoutingProtocol::send_first_hop(const net::NetPacket& pkt) {
   const auto next = next_hop(pkt.dst);
+  record_route(pkt, next);
   if (!next) {
     ++stats_.dropped_no_route;
     return false;
@@ -157,6 +177,7 @@ void RoutingProtocol::forward(net::NetPacket pkt, const net::LinkContext&) {
   }
   --pkt.ttl;
   const auto next = next_hop(pkt.dst);
+  record_route(pkt, next);
   if (!next || !node().neighbors().usable(*next)) {
     ++stats_.dropped_no_route;
     node().log_event(kernel::EventCode::kRouteDropNoRoute, pkt.dst);

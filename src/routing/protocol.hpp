@@ -18,6 +18,10 @@
 #include "kernel/process.hpp"
 #include "net/packet.hpp"
 
+namespace liteview::trace {
+class FlightRecorder;
+}
+
 namespace liteview::routing {
 
 struct RoutingStats {
@@ -55,6 +59,11 @@ class RoutingProtocol : public kernel::Process {
   [[nodiscard]] net::Port port() const noexcept { return port_; }
   [[nodiscard]] const RoutingStats& stats() const noexcept { return stats_; }
 
+  /// Attach (or detach with nullptr) a flight recorder: every forwarding
+  /// decision (next hop chosen, or 0 for no route) is recorded. Lives on
+  /// the base class so every concrete protocol inherits the hook.
+  void set_flight_recorder(trace::FlightRecorder* rec);
+
   void start() override;
   void stop() override;
 
@@ -84,11 +93,17 @@ class RoutingProtocol : public kernel::Process {
 
   RoutingStats stats_;
 
+  /// Record one routing decision for `pkt`: the hop chosen, or no route.
+  void record_route(const net::NetPacket& pkt,
+                    const std::optional<net::Addr>& next);
+
  private:
   void on_packet(const net::NetPacket& pkt, const net::LinkContext& ctx);
 
   net::Port port_;
   std::uint16_t next_packet_id_ = 1;
+  trace::FlightRecorder* recorder_ = nullptr;
+  std::uint32_t trace_ring_ = 0;
 };
 
 // ---- envelope --------------------------------------------------------

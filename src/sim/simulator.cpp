@@ -3,9 +3,23 @@
 #include <cassert>
 #include <cstdint>
 
+#include "trace/flight_recorder.hpp"
+#include "util/bytes.hpp"
+#include "util/log.hpp"
 #include "util/strings.hpp"
 
 namespace liteview::sim {
+
+namespace {
+
+/// The simulator currently stamping the global Logger (at most one; a
+/// dying installer must not clear a successor's source).
+Simulator*& log_time_owner() noexcept {
+  static Simulator* owner = nullptr;
+  return owner;
+}
+
+}  // namespace
 
 std::string SimTime::to_string() const {
   if (ns_ >= 1'000'000'000 || ns_ <= -1'000'000'000)
@@ -212,6 +226,10 @@ bool Simulator::step(SimTime limit) {
     }
     now_ = m.when;
     ++executed_;
+    if (trace::kEnabled && recorder_ != nullptr) {
+      recorder_->append(trace_ring_, trace::RecKind::kEventDispatch,
+                        now_.nanoseconds(), m.seq);
+    }
     if ((m.genflags & detail::kFlagRepeating) != 0) {
       // Execute in place: the slot survives the firing, so the chain
       // keeps its identity (and its handle) across ticks with zero
@@ -238,12 +256,42 @@ bool Simulator::step(SimTime limit) {
   return false;
 }
 
+void Simulator::set_flight_recorder(trace::FlightRecorder* rec) {
+  recorder_ = rec;
+  if (rec != nullptr) {
+    trace_ring_ =
+        rec->register_source(trace::source_id(trace::Domain::kSim, 0));
+  }
+}
+
+void Simulator::snapshot(util::ByteWriter& w) const {
+  w.i64(now_.nanoseconds());
+  w.u64(next_seq_);
+  w.u64(executed_);
+  w.u64(queued_);
+}
+
 void Simulator::run_until(SimTime limit) {
   while (step(limit)) {
   }
   // If we stopped because the queue head is beyond the limit (or empty),
   // the clock still advances to the limit so run_for() composes.
   if (limit != SimTime::max() && limit > now_) now_ = limit;
+}
+
+void Simulator::install_log_time_source() {
+  log_time_owner() = this;
+  log_time_installed_ = true;
+  util::Logger::instance().set_time_source(
+      [this] { return now_.nanoseconds(); });
+}
+
+void Simulator::uninstall_log_time_source() noexcept {
+  log_time_installed_ = false;
+  if (log_time_owner() == this) {
+    log_time_owner() = nullptr;
+    util::Logger::instance().set_time_source({});
+  }
 }
 
 }  // namespace liteview::sim

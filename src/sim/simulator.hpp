@@ -27,6 +27,13 @@
 #include "util/inplace_function.hpp"
 #include "util/rng.hpp"
 
+namespace liteview::trace {
+class FlightRecorder;
+}
+namespace liteview::util {
+class ByteWriter;
+}
+
 namespace liteview::sim {
 
 /// Event callbacks are stored inline: captures beyond 48 bytes fail to
@@ -210,6 +217,7 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   ~Simulator() {
+    if (log_time_installed_) uninstall_log_time_source();
     arena_->sim_alive = false;
     if (arena_->handle_refs == 0) delete arena_;
   }
@@ -256,6 +264,23 @@ class Simulator {
     return rng_root_;
   }
 
+  /// Attach (or detach with nullptr) a flight recorder; every event
+  /// dispatch is then recorded to the sim ring. Recording is observational
+  /// only — it draws no randomness and schedules nothing.
+  void set_flight_recorder(trace::FlightRecorder* rec);
+  [[nodiscard]] trace::FlightRecorder* flight_recorder() const noexcept {
+    return recorder_;
+  }
+
+  /// Append the event-loop state a checkpoint verifies: clock, dispatch
+  /// counters, and the scheduling sequence.
+  void snapshot(util::ByteWriter& w) const;
+
+  /// Stamp util::Logger lines with this simulator's clock for the rest
+  /// of its lifetime (the destructor uninstalls). One simulator at a
+  /// time: installing from a second simulator replaces the first.
+  void install_log_time_source();
+
  private:
   // ---- calendar queue (Brown 1988) ------------------------------------
   //
@@ -289,6 +314,7 @@ class Simulator {
            mask_;
   }
 
+  void uninstall_log_time_source() noexcept;
   void chain_insert(std::uint32_t idx, detail::EventMeta& m);
   void insert_event(std::uint32_t idx, detail::EventMeta& m);
   /// Establishes the peek cache (the exact global minimum) or returns
@@ -303,6 +329,9 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   detail::EventArena* arena_;
+  trace::FlightRecorder* recorder_ = nullptr;
+  std::uint32_t trace_ring_ = 0;
+  bool log_time_installed_ = false;
 
   std::vector<Bucket> buckets_;
   std::vector<std::uint32_t> resize_scratch_;

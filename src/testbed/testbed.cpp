@@ -3,7 +3,24 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/bytes.hpp"
+#include "util/strings.hpp"
+
 namespace liteview::testbed {
+
+/// Receive-only overhearing radio: counts everything it hears. Per-frame
+/// detail lands in the flight recorder (kSniffRx) when one is attached.
+struct Testbed::Sniffer final : phy::MediumClient {
+  SnifferLog log;
+  phy::RadioId radio = 0;
+
+  void on_frame(const std::vector<std::uint8_t>& psdu,
+                const phy::RxInfo& info) override {
+    ++log.frames;
+    if (!info.crc_ok) ++log.crc_failures;
+    log.bytes += psdu.size();
+  }
+};
 
 double adjacency_spacing_m(const phy::PropagationConfig& prop,
                            phy::PaLevel level, double margin_db) {
@@ -260,6 +277,17 @@ Testbed::Testbed(const TestbedConfig& cfg,
         if (a == 0 || a > nodes_.size()) return std::nullopt;
         return nodes_[a - 1]->position();
       });
+
+  if (cfg.flight_recorder) {
+    recorder_ = std::make_unique<trace::FlightRecorder>(
+        cfg.flight_recorder_ring_bytes != 0
+            ? cfg.flight_recorder_ring_bytes
+            : trace::FlightRecorder::kDefaultRingBytes);
+    set_flight_recorder(recorder_.get());
+  }
+  shell_->set_diagnostics(recorder(), [this](std::string meta) {
+    return checkpoint(std::move(meta));
+  });
 }
 
 Testbed::~Testbed() = default;
@@ -279,6 +307,111 @@ void Testbed::set_all_power(phy::PaLevel level) {
   for (auto& node : nodes_) node->set_pa_level(level);
   // The workstation keeps whispering: its 1 m management link doesn't
   // need deployment power, and raising it would pollute the mesh.
+}
+
+void Testbed::set_flight_recorder(trace::FlightRecorder* rec) {
+  external_recorder_ = (rec == recorder_.get()) ? nullptr : rec;
+  sim_->set_flight_recorder(rec);
+  medium_->set_flight_recorder(rec);
+  fault_->set_flight_recorder(rec);
+  for (auto& node : nodes_) {
+    node->mac().set_flight_recorder(rec);
+    node->stack().set_flight_recorder(rec);
+  }
+  for (auto& p : geo_) p->set_flight_recorder(rec);
+  for (auto& p : flood_) p->set_flight_recorder(rec);
+  for (auto& p : tree_) p->set_flight_recorder(rec);
+  ws_->node().mac().set_flight_recorder(rec);
+  ws_->node().stack().set_flight_recorder(rec);
+  if (shell_ != nullptr) {
+    shell_->set_diagnostics(rec, [this](std::string meta) {
+      return checkpoint(std::move(meta));
+    });
+  }
+}
+
+std::size_t Testbed::add_sniffer(phy::Position pos, phy::Channel channel) {
+  auto sn = std::make_unique<Sniffer>();
+  sn->radio = medium_->attach_sniffer(sn.get(), pos, channel);
+  sniffers_.push_back(std::move(sn));
+  return sniffers_.size() - 1;
+}
+
+std::size_t Testbed::sniffer_count() const noexcept {
+  return sniffers_.size();
+}
+
+const Testbed::SnifferLog& Testbed::sniffer_log(std::size_t i) const {
+  return sniffers_.at(i)->log;
+}
+
+trace::Checkpoint Testbed::checkpoint(std::string meta) const {
+  trace::Checkpoint cp;
+  cp.seed = cfg_.seed;
+  cp.t_ns = sim_->now().nanoseconds();
+  cp.executed_events = sim_->executed_events();
+  cp.meta = std::move(meta);
+  const auto section = [&cp](std::string name, auto&& fill) {
+    util::ByteWriter w;
+    fill(w);
+    cp.sections.push_back(
+        trace::Section{std::move(name), std::move(w).take()});
+  };
+  section("sim", [&](util::ByteWriter& w) { sim_->snapshot(w); });
+  section("medium", [&](util::ByteWriter& w) { medium_->snapshot(w); });
+  section("fault", [&](util::ByteWriter& w) { fault_->snapshot(w); });
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    section(util::format("node.%u", static_cast<unsigned>(i + 1)),
+            [&](util::ByteWriter& w) {
+              w.u8(nodes_[i]->powered() ? 1 : 0);
+              nodes_[i]->mac().snapshot(w);
+              nodes_[i]->stack().snapshot(w);
+            });
+  }
+  section("workstation", [&](util::ByteWriter& w) {
+    ws_->node().mac().snapshot(w);
+    ws_->node().stack().snapshot(w);
+  });
+  return cp;
+}
+
+std::unique_ptr<Testbed> Testbed::restore(
+    const trace::Checkpoint& cp,
+    const std::function<std::unique_ptr<Testbed>()>& rebuild,
+    std::string* error) {
+  const auto fail = [&](std::string msg) -> std::unique_ptr<Testbed> {
+    if (error != nullptr) *error = std::move(msg);
+    return nullptr;
+  };
+  auto tb = rebuild();
+  if (tb == nullptr) return fail("rebuild factory returned null");
+  if (tb->config().seed != cp.seed) {
+    return fail(util::format("seed mismatch: checkpoint %llu, rebuilt %llu",
+                             static_cast<unsigned long long>(cp.seed),
+                             static_cast<unsigned long long>(
+                                 tb->config().seed)));
+  }
+  // Deterministic fast-forward: with the same seed and scripted faults,
+  // replaying to t lands on the original run's state bit-for-bit. The
+  // section compare below is what makes that a checked claim.
+  tb->sim().run_until(sim::SimTime::ns(cp.t_ns));
+  const trace::Checkpoint check = tb->checkpoint(cp.meta);
+  if (check.executed_events != cp.executed_events) {
+    return fail(util::format(
+        "event count diverged: checkpoint %llu, replay %llu",
+        static_cast<unsigned long long>(cp.executed_events),
+        static_cast<unsigned long long>(check.executed_events)));
+  }
+  for (const auto& s : cp.sections) {
+    const trace::Section* got = check.find(s.name);
+    if (got == nullptr) {
+      return fail("replay is missing section '" + s.name + "'");
+    }
+    if (got->bytes != s.bytes) {
+      return fail("section '" + s.name + "' diverged after replay");
+    }
+  }
+  return tb;
 }
 
 }  // namespace liteview::testbed

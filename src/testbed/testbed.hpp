@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "fault/fault_plane.hpp"
@@ -22,6 +24,8 @@
 #include "routing/tree.hpp"
 #include "sim/simulator.hpp"
 #include "testbed/accounting.hpp"
+#include "trace/checkpoint.hpp"
+#include "trace/flight_recorder.hpp"
 
 namespace liteview::testbed {
 
@@ -49,6 +53,13 @@ struct TestbedConfig {
   /// set_gain_cache). Exact memoization — byte-identical traces either
   /// way; off forces recomputation per use for determinism audits.
   bool link_gain_cache = true;
+
+  /// Attach a flight recorder at construction and wire every layer's
+  /// recording hooks into it (event loop, radios, MACs, stacks, routing,
+  /// fault plane). Off = hooks stay null checks; no rings are allocated.
+  bool flight_recorder = false;
+  /// Per-source ring capacity (0 = FlightRecorder::kDefaultRingBytes).
+  std::size_t flight_recorder_ring_bytes = 0;
 
   phy::PaLevel initial_power = phy::kDefaultPaLevel;
   phy::Channel initial_channel = phy::kDefaultChannel;
@@ -166,6 +177,49 @@ class Testbed {
 
   [[nodiscard]] const TestbedConfig& config() const noexcept { return cfg_; }
 
+  // ---- flight recorder -------------------------------------------------
+  /// The deployment's recorder (null unless cfg.flight_recorder or a
+  /// caller attached one via set_flight_recorder).
+  [[nodiscard]] trace::FlightRecorder* recorder() noexcept {
+    return recorder_ != nullptr ? recorder_.get() : external_recorder_;
+  }
+  /// Wire `rec` (or nullptr to detach) through every layer: the event
+  /// loop, each radio/MAC/stack, every routing protocol, the fault plane
+  /// and the workstation. Sniffers added later self-register.
+  void set_flight_recorder(trace::FlightRecorder* rec);
+
+  // ---- sniffer radios --------------------------------------------------
+  /// What a sniffer overheard (aggregates; per-frame detail goes to the
+  /// flight recorder's kSniffRx records when one is attached).
+  struct SnifferLog {
+    std::uint64_t frames = 0;
+    std::uint64_t crc_failures = 0;
+    std::uint64_t bytes = 0;
+  };
+  /// Attach a promiscuous receive-only radio at `pos`. Byte-invisible to
+  /// the simulation (phy::Medium::attach_sniffer); returns its index.
+  std::size_t add_sniffer(phy::Position pos,
+                          phy::Channel channel = phy::kDefaultChannel);
+  [[nodiscard]] std::size_t sniffer_count() const noexcept;
+  [[nodiscard]] const SnifferLog& sniffer_log(std::size_t i) const;
+
+  // ---- checkpoint / restore --------------------------------------------
+  /// Snapshot the whole deployment: seed, clock, event counters, and one
+  /// verification section per component (sim, medium, fault plane, each
+  /// node's MAC+stack+power, the workstation). `meta` should describe how
+  /// to rebuild the deployment (scenario text, builder call).
+  [[nodiscard]] trace::Checkpoint checkpoint(std::string meta = {}) const;
+
+  /// Rebuild the world with `rebuild` (which must reconstruct the same
+  /// deployment + scripted faults the checkpoint came from), fast-forward
+  /// deterministically to cp.t_ns, and byte-verify every section. Returns
+  /// the restored testbed, or nullptr with `error` naming the first
+  /// diverged section.
+  static std::unique_ptr<Testbed> restore(
+      const trace::Checkpoint& cp,
+      const std::function<std::unique_ptr<Testbed>()>& rebuild,
+      std::string* error = nullptr);
+
  private:
   Testbed(const TestbedConfig& cfg, std::vector<phy::Position> positions);
 
@@ -182,6 +236,11 @@ class Testbed {
   std::vector<std::unique_ptr<lv::NodeSuite>> suites_;
   std::unique_ptr<lv::Workstation> ws_;
   std::unique_ptr<lv::CommandInterpreter> shell_;
+
+  struct Sniffer;
+  std::vector<std::unique_ptr<Sniffer>> sniffers_;
+  std::unique_ptr<trace::FlightRecorder> recorder_;  ///< owned (config on)
+  trace::FlightRecorder* external_recorder_ = nullptr;
 };
 
 }  // namespace liteview::testbed

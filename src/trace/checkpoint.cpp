@@ -1,0 +1,102 @@
+#include "trace/checkpoint.hpp"
+
+#include <cinttypes>
+#include <cstring>
+
+#include "trace/record.hpp"
+#include "util/strings.hpp"
+
+namespace liteview::trace {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'L', 'V', 'C', 'P'};
+constexpr std::uint8_t kVersion = 1;
+
+void append_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  std::uint8_t buf[kMaxVarintBytes];
+  const std::size_t n = put_varint(buf, v);
+  out.insert(out.end(), buf, buf + n);
+}
+
+void append_blob(std::vector<std::uint8_t>& out,
+                 std::span<const std::uint8_t> blob) {
+  append_varint(out, blob.size());
+  out.insert(out.end(), blob.begin(), blob.end());
+}
+
+bool read_blob(std::span<const std::uint8_t> in, std::size_t& pos,
+               std::vector<std::uint8_t>& blob) {
+  std::uint64_t len = 0;
+  if (!get_varint(in, pos, len)) return false;
+  if (len > in.size() - pos) return false;
+  blob.assign(in.begin() + static_cast<std::ptrdiff_t>(pos),
+              in.begin() + static_cast<std::ptrdiff_t>(pos + len));
+  pos += static_cast<std::size_t>(len);
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const Checkpoint& cp) {
+  std::vector<std::uint8_t> out;
+  for (std::uint8_t m : kMagic) out.push_back(m);
+  out.push_back(kVersion);
+  append_varint(out, cp.seed);
+  append_varint(out, static_cast<std::uint64_t>(cp.t_ns));
+  append_varint(out, cp.executed_events);
+  append_blob(out, {reinterpret_cast<const std::uint8_t*>(cp.meta.data()),
+                    cp.meta.size()});
+  append_varint(out, cp.sections.size());
+  for (const auto& s : cp.sections) {
+    append_blob(out, {reinterpret_cast<const std::uint8_t*>(s.name.data()),
+                      s.name.size()});
+    append_blob(out, s.bytes);
+  }
+  return out;
+}
+
+std::optional<Checkpoint> parse_checkpoint(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 5 || std::memcmp(bytes.data(), kMagic, 4) != 0)
+    return std::nullopt;
+  if (bytes[4] != kVersion) return std::nullopt;
+  std::size_t pos = 5;
+
+  Checkpoint cp;
+  std::uint64_t t = 0;
+  if (!get_varint(bytes, pos, cp.seed) || !get_varint(bytes, pos, t) ||
+      !get_varint(bytes, pos, cp.executed_events)) {
+    return std::nullopt;
+  }
+  cp.t_ns = static_cast<std::int64_t>(t);
+
+  std::vector<std::uint8_t> blob;
+  if (!read_blob(bytes, pos, blob)) return std::nullopt;
+  cp.meta.assign(blob.begin(), blob.end());
+
+  std::uint64_t n_sections = 0;
+  if (!get_varint(bytes, pos, n_sections)) return std::nullopt;
+  if (n_sections > bytes.size()) return std::nullopt;
+  cp.sections.reserve(static_cast<std::size_t>(n_sections));
+  for (std::uint64_t i = 0; i < n_sections; ++i) {
+    Section s;
+    if (!read_blob(bytes, pos, blob)) return std::nullopt;
+    s.name.assign(blob.begin(), blob.end());
+    if (!read_blob(bytes, pos, s.bytes)) return std::nullopt;
+    cp.sections.push_back(std::move(s));
+  }
+  if (pos != bytes.size()) return std::nullopt;
+  return cp;
+}
+
+std::string describe(const Checkpoint& cp) {
+  std::size_t section_bytes = 0;
+  for (const auto& s : cp.sections) section_bytes += s.bytes.size();
+  return util::format("seed=%" PRIu64 " t=%.9fs events=%" PRIu64
+                      " sections=%zu (%zu bytes)",
+                      cp.seed, cp.t_ns / 1e9, cp.executed_events,
+                      cp.sections.size(), section_bytes);
+}
+
+}  // namespace liteview::trace

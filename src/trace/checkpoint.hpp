@@ -1,0 +1,60 @@
+// Whole-simulation checkpoint format ("LVCP").
+//
+// The event queue holds type-erased closures capturing raw pointers into
+// live components, so a checkpoint cannot serialize the queue itself and
+// expect to rebuild it in a fresh process. What *can* be made portable is
+// everything needed to re-reach the same state deterministically: the
+// seed, the scenario that was loaded (carried verbatim in `meta`), and
+// the target time. Restore therefore means "rebuild the identical world
+// and run it forward to t" — and because every simulator in this codebase
+// is bit-deterministic under (seed, scenario), that lands on the same
+// state the original run had at t.
+//
+// To keep that claim honest rather than assumed, a checkpoint also
+// carries named verification *sections*: opaque byte snapshots of
+// component state (clock, counters, RNG engine streams, radio registers)
+// captured at snapshot time. Restore re-captures the same sections after
+// fast-forwarding and byte-compares; any mismatch names the section that
+// broke, turning a silent drift into a diagnosable failure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace liteview::trace {
+
+struct Section {
+  std::string name;
+  std::vector<std::uint8_t> bytes;
+
+  [[nodiscard]] bool operator==(const Section&) const = default;
+};
+
+struct Checkpoint {
+  std::uint64_t seed = 0;
+  std::int64_t t_ns = 0;               ///< sim-time of the snapshot
+  std::uint64_t executed_events = 0;   ///< events dispatched by then
+  std::string meta;                    ///< scenario text / builder notes
+  std::vector<Section> sections;       ///< verification snapshots
+
+  [[nodiscard]] const Section* find(std::string_view name) const {
+    for (const auto& s : sections)
+      if (s.name == name) return &s;
+    return nullptr;
+  }
+};
+
+/// Serialize to the "LVCP" container (varints + length-prefixed blobs).
+[[nodiscard]] std::vector<std::uint8_t> serialize(const Checkpoint& cp);
+
+/// Parse a serialize() blob; nullopt on malformation.
+[[nodiscard]] std::optional<Checkpoint> parse_checkpoint(
+    std::span<const std::uint8_t> bytes);
+
+/// One-line human summary ("seed=42 t=8.000s events=12345 sections=43").
+[[nodiscard]] std::string describe(const Checkpoint& cp);
+
+}  // namespace liteview::trace

@@ -1,0 +1,97 @@
+#include "trace/diff.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "util/strings.hpp"
+
+namespace liteview::trace {
+
+std::vector<Record> merged_records(const TraceFile& tf) {
+  std::size_t total = 0;
+  for (const auto& st : tf.sources) total += st.records.size();
+  std::vector<Record> out;
+  out.reserve(total);
+  for (const auto& st : tf.sources) {
+    out.insert(out.end(), st.records.begin(), st.records.end());
+  }
+  // The recorder's global counter makes seq unique across rings, so a
+  // stable sort on seq alone reconstructs emission order exactly.
+  std::sort(out.begin(), out.end(),
+            [](const Record& x, const Record& y) { return x.seq < y.seq; });
+  return out;
+}
+
+namespace {
+
+std::string render_side(const char* name, const std::optional<Record>& r) {
+  if (!r) return util::format("  %s: <end of trace>\n", name);
+  return util::format("  %s: %s\n", name, to_string(*r).c_str());
+}
+
+}  // namespace
+
+DiffResult diff(const TraceFile& a, const TraceFile& b) {
+  DiffResult res;
+  const auto ra = merged_records(a);
+  const auto rb = merged_records(b);
+  const std::size_t n = std::min(ra.size(), rb.size());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ra[i] == rb[i]) continue;
+    res.compared = i;
+    res.divergence = Divergence{i, ra[i], rb[i]};
+    res.summary = util::format(
+        "traces diverge at merged record %zu (after %zu identical "
+        "records):\n",
+        i, i);
+    res.summary += render_side("A", res.divergence->a);
+    res.summary += render_side("B", res.divergence->b);
+    return res;
+  }
+
+  if (ra.size() != rb.size()) {
+    res.compared = n;
+    res.divergence =
+        Divergence{n, n < ra.size() ? std::optional(ra[n]) : std::nullopt,
+                   n < rb.size() ? std::optional(rb[n]) : std::nullopt};
+    res.summary = util::format(
+        "traces match for %zu records, then one ends early (A has %zu, B "
+        "has %zu):\n",
+        n, ra.size(), rb.size());
+    res.summary += render_side("A", res.divergence->a);
+    res.summary += render_side("B", res.divergence->b);
+    return res;
+  }
+
+  res.identical = true;
+  res.compared = n;
+  res.summary = util::format("traces identical: %zu records", n);
+
+  // Identical records can still hide a disagreement in ring structure
+  // (e.g. a source registered in one run only). Flag it without claiming
+  // record-level divergence.
+  if (a.sources.size() != b.sources.size()) {
+    res.identical = false;
+    res.summary += util::format(
+        "\nWARNING: ring sets differ (A has %zu rings, B has %zu)",
+        a.sources.size(), b.sources.size());
+  }
+  return res;
+}
+
+DiffResult diff_bytes(std::span<const std::uint8_t> a,
+                      std::span<const std::uint8_t> b) {
+  const auto ta = FlightRecorder::parse(a);
+  const auto tb = FlightRecorder::parse(b);
+  if (!ta || !tb) {
+    DiffResult res;
+    res.summary = util::format("parse failure: A %s, B %s",
+                               ta ? "ok" : "malformed",
+                               tb ? "ok" : "malformed");
+    return res;
+  }
+  return diff(*ta, *tb);
+}
+
+}  // namespace liteview::trace

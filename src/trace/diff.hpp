@@ -1,0 +1,44 @@
+// Time-travel trace diff: compare two flight-recorder captures and name
+// the first record where they diverge.
+//
+// The determinism gates used to answer only "byte-identical or not"; this
+// turns a red gate into a pointer at the first event that differed —
+// which source emitted it, at what sim-time, with which arguments — by
+// merging each capture's rings into one globally seq-ordered stream and
+// walking the two streams in lockstep.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/flight_recorder.hpp"
+
+namespace liteview::trace {
+
+struct Divergence {
+  std::uint64_t index = 0;  ///< position in the merged, seq-ordered stream
+  std::optional<Record> a;  ///< nullopt: stream A ended here
+  std::optional<Record> b;  ///< nullopt: stream B ended here
+};
+
+struct DiffResult {
+  bool identical = false;
+  std::uint64_t compared = 0;  ///< records walked before diverging (or total)
+  std::optional<Divergence> divergence;
+  std::string summary;  ///< human-readable report, multi-line
+};
+
+/// Flatten a parsed trace into one stream ordered by global sequence.
+[[nodiscard]] std::vector<Record> merged_records(const TraceFile& tf);
+
+/// Compare two parsed captures record-for-record.
+[[nodiscard]] DiffResult diff(const TraceFile& a, const TraceFile& b);
+
+/// Convenience: parse two serialized blobs and diff them. Parse failures
+/// are reported in the summary with identical=false.
+[[nodiscard]] DiffResult diff_bytes(std::span<const std::uint8_t> a,
+                                    std::span<const std::uint8_t> b);
+
+}  // namespace liteview::trace

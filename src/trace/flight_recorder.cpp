@@ -1,0 +1,164 @@
+#include "trace/flight_recorder.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace liteview::trace {
+
+std::uint32_t FlightRecorder::register_source(std::uint32_t source) {
+  if (auto it = index_.find(source); it != index_.end()) return it->second;
+  const auto idx = static_cast<std::uint32_t>(rings_.size());
+  rings_.push_back(SourceRing{source, Ring(ring_bytes_)});
+  index_.emplace(source, idx);
+  return idx;
+}
+
+void FlightRecorder::reset() {
+  next_seq_ = 0;
+  for (auto& sr : rings_) sr.ring.clear();
+}
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'L', 'V', 'T', 'R'};
+constexpr std::uint8_t kVersion = 1;
+
+void append_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  std::uint8_t buf[kMaxVarintBytes];
+  const std::size_t n = put_varint(buf, v);
+  out.insert(out.end(), buf, buf + n);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> FlightRecorder::serialize() const {
+  std::vector<std::uint8_t> out;
+  for (std::uint8_t m : kMagic) out.push_back(m);
+  out.push_back(kVersion);
+  append_varint(out, rings_.size());
+  for (const auto& sr : rings_) {
+    const auto payload = sr.ring.linearize();
+    append_varint(out, sr.source);
+    append_varint(out, sr.ring.count());
+    append_varint(out, sr.ring.dropped());
+    append_varint(out, payload.size());
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+std::optional<TraceFile> FlightRecorder::parse(
+    std::span<const std::uint8_t> bytes) {
+  std::size_t pos = 0;
+  if (bytes.size() < 5 || std::memcmp(bytes.data(), kMagic, 4) != 0)
+    return std::nullopt;
+  if (bytes[4] != kVersion) return std::nullopt;
+  pos = 5;
+
+  std::uint64_t n_rings = 0;
+  if (!get_varint(bytes, pos, n_rings)) return std::nullopt;
+  // A blob can't describe more rings than it has bytes.
+  if (n_rings > bytes.size()) return std::nullopt;
+
+  TraceFile tf;
+  tf.sources.reserve(static_cast<std::size_t>(n_rings));
+  for (std::uint64_t r = 0; r < n_rings; ++r) {
+    std::uint64_t source = 0;
+    std::uint64_t count = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t payload_len = 0;
+    if (!get_varint(bytes, pos, source) || !get_varint(bytes, pos, count) ||
+        !get_varint(bytes, pos, dropped) ||
+        !get_varint(bytes, pos, payload_len)) {
+      return std::nullopt;
+    }
+    if (source > 0xffffffffu) return std::nullopt;
+    if (payload_len > bytes.size() - pos) return std::nullopt;
+
+    SourceTrace st;
+    st.source = static_cast<std::uint32_t>(source);
+    st.dropped = dropped;
+    st.records.reserve(static_cast<std::size_t>(count));
+    const auto payload = bytes.subspan(pos, static_cast<std::size_t>(payload_len));
+    std::size_t p = 0;
+    while (p < payload.size()) {
+      Record rec;
+      if (!decode_record(payload, p, rec)) return std::nullopt;
+      rec.source = st.source;
+      st.records.push_back(rec);
+    }
+    if (st.records.size() != count) return std::nullopt;
+    pos += static_cast<std::size_t>(payload_len);
+    tf.sources.push_back(std::move(st));
+  }
+  if (pos != bytes.size()) return std::nullopt;  // trailing garbage
+  return tf;
+}
+
+std::string FlightRecorder::dump(const TraceFile& tf) {
+  std::string out;
+  for (const auto& st : tf.sources) {
+    out += util::format("ring %s/%u: %zu records, %" PRIu64 " overwritten\n",
+                        to_string(source_domain(st.source)).c_str(),
+                        source_index(st.source), st.records.size(),
+                        st.dropped);
+    for (const auto& rec : st.records) {
+      out += "  ";
+      out += to_string(rec);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+// ---- renderers --------------------------------------------------------
+
+std::string to_string(RecKind kind) {
+  switch (kind) {
+    case RecKind::kEventDispatch: return "dispatch";
+    case RecKind::kPhyTx: return "phy-tx";
+    case RecKind::kPhyRx: return "phy-rx";
+    case RecKind::kPhyDrop: return "phy-drop";
+    case RecKind::kMacBackoff: return "mac-backoff";
+    case RecKind::kMacDrop: return "mac-drop";
+    case RecKind::kMacTx: return "mac-tx";
+    case RecKind::kNetSend: return "net-send";
+    case RecKind::kNetRecv: return "net-recv";
+    case RecKind::kRoute: return "route";
+    case RecKind::kFault: return "fault";
+    case RecKind::kSniffRx: return "sniff-rx";
+    case RecKind::kCounter: return "counter";
+    case RecKind::kUser: return "user";
+  }
+  return "?";
+}
+
+std::string to_string(Domain d) {
+  switch (d) {
+    case Domain::kSim: return "sim";
+    case Domain::kPhy: return "phy";
+    case Domain::kMac: return "mac";
+    case Domain::kNet: return "net";
+    case Domain::kRoute: return "route";
+    case Domain::kFault: return "fault";
+    case Domain::kTest: return "test";
+  }
+  return "?";
+}
+
+std::string to_string(const Record& rec) {
+  std::string out = util::format(
+      "t=%.9fs seq=%" PRIu64 " %s/%u %s", rec.t_ns / 1e9, rec.seq,
+      to_string(source_domain(rec.source)).c_str(), source_index(rec.source),
+      to_string(rec.kind).c_str());
+  const std::uint8_t argc = kArgc[static_cast<std::size_t>(rec.kind)];
+  static constexpr char kArgNames[] = "abcd";
+  for (std::uint8_t i = 0; i < argc; ++i) {
+    out += util::format(" %c=%" PRIu64, kArgNames[i], rec.args[i]);
+  }
+  return out;
+}
+
+}  // namespace liteview::trace

@@ -1,0 +1,173 @@
+// Per-source fixed-size binary ring buffers behind one recorder facade.
+//
+// Every instrumented component (the event loop, each radio, each MAC,
+// each network stack, the fault plane) registers a *source* once at setup
+// and gets back a dense ring index; the hot path then appends records
+// through that index with zero hashing, zero allocation, and one shared
+// monotone sequence counter that totally orders records across all rings.
+//
+// A ring holds raw encoded records (record.hpp) in a contiguous byte
+// array. When full it evicts whole records from its head — the length
+// prefix makes that a two-line loop — so a long run always keeps the most
+// *recent* window per source, which is exactly what post-mortem diagnosis
+// wants. `serialize()` snapshots every ring into one self-describing blob
+// ("LVTR") that the reader, the diff tool, and the determinism gates all
+// share.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace liteview::trace {
+
+/// Fixed-capacity byte ring holding length-prefixed encoded records.
+/// Steady-state push never allocates: records are encoded to a stack
+/// buffer and memcpy'd (possibly wrapping), and eviction only moves the
+/// head index.
+class Ring {
+ public:
+  explicit Ring(std::size_t capacity_bytes)
+      : buf_(capacity_bytes < kMaxRecordBytes ? kMaxRecordBytes
+                                              : capacity_bytes) {}
+
+  /// Append `len` encoded bytes, evicting oldest records as needed.
+  void push(const std::uint8_t* rec, std::size_t len) noexcept {
+    while (size_ + len > buf_.size()) evict_one();
+    std::size_t tail = wrap(head_ + size_);
+    const std::size_t first = std::min(len, buf_.size() - tail);
+    std::memcpy(buf_.data() + tail, rec, first);
+    std::memcpy(buf_.data(), rec + first, len - first);
+    size_ += len;
+    ++count_;
+  }
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return buf_.size();
+  }
+  /// Records currently held.
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  /// Records evicted (overwritten) over the ring's lifetime.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Copy the ring's records, oldest first, into a flat byte vector.
+  [[nodiscard]] std::vector<std::uint8_t> linearize() const {
+    std::vector<std::uint8_t> out(size_);
+    const std::size_t first = std::min(size_, buf_.size() - head_);
+    std::memcpy(out.data(), buf_.data() + head_, first);
+    std::memcpy(out.data() + first, buf_.data(), size_ - first);
+    return out;
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t wrap(std::size_t i) const noexcept {
+    return i >= buf_.size() ? i - buf_.size() : i;
+  }
+
+  void evict_one() noexcept {
+    const std::size_t len = buf_[head_];  // records start with their length
+    head_ = wrap(head_ + len);
+    size_ -= len;
+    --count_;
+    ++dropped_;
+  }
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_ = 0;  ///< offset of the oldest record
+  std::size_t size_ = 0;  ///< bytes in use
+  std::uint64_t count_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// The decoded form of one serialized ring (reader side).
+struct SourceTrace {
+  std::uint32_t source = 0;
+  std::uint64_t dropped = 0;
+  std::vector<Record> records;  ///< oldest first, `source` filled in
+};
+
+/// A fully parsed "LVTR" blob.
+struct TraceFile {
+  std::vector<SourceTrace> sources;  ///< in recorder registration order
+};
+
+class FlightRecorder {
+ public:
+  /// `ring_bytes` is the per-source ring capacity.
+  explicit FlightRecorder(std::size_t ring_bytes = kDefaultRingBytes)
+      : ring_bytes_(ring_bytes) {}
+
+  static constexpr std::size_t kDefaultRingBytes = 64 * 1024;
+
+  /// Cold path: register (or look up) the ring for `source`. Idempotent —
+  /// calling twice with the same source returns the same index.
+  [[nodiscard]] std::uint32_t register_source(std::uint32_t source);
+
+  /// Hot path: encode and append one record. `ring_idx` must come from
+  /// register_source. Never allocates.
+  void append(std::uint32_t ring_idx, RecKind kind, std::int64_t t_ns,
+              std::uint64_t a = 0, std::uint64_t b = 0, std::uint64_t c = 0,
+              std::uint64_t d = 0) noexcept {
+    if (!enabled_) return;
+    std::uint8_t buf[kMaxRecordBytes];
+    const std::size_t len =
+        encode_record(buf, kind, t_ns, next_seq_++, a, b, c, d);
+    rings_[ring_idx].ring.push(buf, len);
+  }
+
+  /// Runtime pause/resume — registration stays, appends become no-ops.
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  [[nodiscard]] std::uint64_t records_appended() const noexcept {
+    return next_seq_;
+  }
+  [[nodiscard]] std::size_t source_count() const noexcept {
+    return rings_.size();
+  }
+
+  /// Drop all recorded bytes and restart the global sequence at zero;
+  /// registered sources are kept. Used when recording should start "now"
+  /// (e.g. after a checkpoint restore) so two captures are comparable.
+  void reset();
+
+  /// Snapshot every ring into one self-describing blob:
+  ///   "LVTR" u8 version  varint n_rings
+  ///   then per ring: varint source  varint count  varint dropped
+  ///                  varint payload_len  payload bytes
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parse a serialize() blob. nullopt on any malformation.
+  [[nodiscard]] static std::optional<TraceFile> parse(
+      std::span<const std::uint8_t> bytes);
+
+  /// Render a parsed trace as one record per line (diagnostics, diffs).
+  [[nodiscard]] static std::string dump(const TraceFile& tf);
+
+ private:
+  struct SourceRing {
+    std::uint32_t source;
+    Ring ring;
+  };
+
+  std::size_t ring_bytes_;
+  bool enabled_ = true;
+  std::uint64_t next_seq_ = 0;
+  std::vector<SourceRing> rings_;
+  std::unordered_map<std::uint32_t, std::uint32_t> index_;  // source → idx
+};
+
+}  // namespace liteview::trace

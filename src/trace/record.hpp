@@ -1,0 +1,217 @@
+// The flight-recorder record format — one binary codec for every trace
+// this codebase emits.
+//
+// A record is a compact varint-encoded tuple:
+//
+//   len:u8  kind:u8  t_ns:varint  seq:varint  args[argc(kind)]:varint...
+//
+// `len` is the total encoded size (including itself), so a reader — or a
+// ring buffer evicting from its head — can skip a record without decoding
+// it. `t_ns` is absolute simulated time and `seq` an absolute recorder-wide
+// monotone sequence: both survive arbitrary ring overwrite, unlike delta
+// chains. Every kind has a fixed argument count (kArgc), so the format is
+// self-describing enough for a generic reader, diff tool, and fuzzer.
+//
+// The codec deliberately depends on nothing but <cstdint>: the sim, phy,
+// mac, net, fault and routing layers all record through it, and the trace
+// library must sit *below* all of them in the link graph.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+
+namespace liteview::trace {
+
+/// Compile-time kill switch: building with -DLV_NO_FLIGHT_RECORDER makes
+/// every recording hook (`if (trace::kEnabled && rec_) ...`) dead code the
+/// optimizer deletes outright. The default build keeps the hooks as a
+/// single predictable null-pointer branch.
+#ifdef LV_NO_FLIGHT_RECORDER
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+enum class RecKind : std::uint8_t {
+  kEventDispatch = 1,  ///< a=simulator event seq
+  kPhyTx = 2,          ///< a=channel b=psdu bytes c=airtime ns d=tx seq
+  kPhyRx = 3,          ///< a=from b=crc_ok c=rssi_reg+128 d=lqi
+  kPhyDrop = 4,        ///< a=from b=reason (PhyDropReason)
+  kMacBackoff = 5,     ///< a=attempt (nb) b=backoff exponent c=slots drawn
+  kMacDrop = 6,        ///< a=reason (MacDropReason)
+  kMacTx = 7,          ///< a=dst b=mac seq c=payload bytes
+  kNetSend = 8,        ///< a=port b=final dst c=link next hop
+  kNetRecv = 9,        ///< a=port b=origin c=link src
+  kRoute = 10,         ///< a=final dst b=next hop (0 = no route) c=packet id
+  kFault = 11,         ///< a=fault kind b=arg a c=arg b
+  kSniffRx = 12,       ///< a=from b=channel c=psdu bytes d=crc_ok
+  kCounter = 13,       ///< a=counter id b=value (run summaries, test gates)
+  kUser = 14,          ///< a..d free-form
+  kMaxKind = kUser,
+};
+
+/// Reasons carried by kPhyDrop.
+enum class PhyDropReason : std::uint8_t {
+  kBusyRx = 1,   ///< receiver was (or turned) transmitter mid-frame
+  kRetune = 2,   ///< receiver changed channel mid-frame
+  kFault = 3,    ///< suppressed by the fault plane / drop filter
+};
+
+/// Reasons carried by kMacDrop.
+enum class MacDropReason : std::uint8_t {
+  kQueueFull = 1,
+  kChannelBusy = 2,
+  kRadioOff = 3,
+};
+
+/// Fixed argument count per kind; index by static_cast<size_t>(kind).
+inline constexpr std::array<std::uint8_t, 15> kArgc = {
+    0,  // (unused)
+    1,  // kEventDispatch
+    4,  // kPhyTx
+    4,  // kPhyRx
+    2,  // kPhyDrop
+    3,  // kMacBackoff
+    1,  // kMacDrop
+    3,  // kMacTx
+    3,  // kNetSend
+    3,  // kNetRecv
+    3,  // kRoute
+    3,  // kFault
+    4,  // kSniffRx
+    2,  // kCounter
+    4,  // kUser
+};
+
+[[nodiscard]] constexpr bool valid_kind(std::uint8_t k) noexcept {
+  return k >= 1 && k <= static_cast<std::uint8_t>(RecKind::kMaxKind);
+}
+
+/// Source identifiers: (domain << 24) | per-domain id. Domains keep the
+/// simulator core, per-radio PHY, per-node MAC/NET/ROUTE, and the fault
+/// plane from colliding in one 32-bit namespace.
+enum class Domain : std::uint8_t {
+  kSim = 0,    ///< id 0: the event loop itself
+  kPhy = 1,    ///< id = RadioId
+  kMac = 2,    ///< id = ShortAddr
+  kNet = 3,    ///< id = node address
+  kRoute = 4,  ///< id = node address
+  kFault = 5,  ///< id 0: the fault plane
+  kTest = 7,   ///< test/bench-owned streams (determinism blobs)
+};
+
+[[nodiscard]] constexpr std::uint32_t source_id(Domain d,
+                                                std::uint32_t id) noexcept {
+  return (static_cast<std::uint32_t>(d) << 24) | (id & 0xffffff);
+}
+[[nodiscard]] constexpr Domain source_domain(std::uint32_t source) noexcept {
+  return static_cast<Domain>(source >> 24);
+}
+[[nodiscard]] constexpr std::uint32_t source_index(
+    std::uint32_t source) noexcept {
+  return source & 0xffffff;
+}
+
+/// A decoded record. `source` is filled in by readers that know which
+/// ring the bytes came from; the in-ring encoding omits it.
+struct Record {
+  std::uint32_t source = 0;
+  RecKind kind = RecKind::kUser;
+  std::int64_t t_ns = 0;
+  std::uint64_t seq = 0;
+  std::array<std::uint64_t, 4> args{};
+
+  [[nodiscard]] bool operator==(const Record&) const = default;
+};
+
+// ---- varint (LEB128) --------------------------------------------------
+
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Append `v` to `out`; returns bytes written (1..10). `out` must have
+/// room for kMaxVarintBytes.
+inline std::size_t put_varint(std::uint8_t* out, std::uint64_t v) noexcept {
+  std::size_t n = 0;
+  while (v >= 0x80) {
+    out[n++] = static_cast<std::uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  out[n++] = static_cast<std::uint8_t>(v);
+  return n;
+}
+
+/// Decode a varint from in[pos..); advances pos. Returns false on
+/// truncation or a varint longer than 10 bytes (which no writer emits).
+inline bool get_varint(std::span<const std::uint8_t> in, std::size_t& pos,
+                       std::uint64_t& v) noexcept {
+  v = 0;
+  for (std::size_t i = 0; i < kMaxVarintBytes; ++i) {
+    if (pos >= in.size()) return false;
+    const std::uint8_t b = in[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7f) << (7 * i);
+    if ((b & 0x80) == 0) return true;
+  }
+  return false;
+}
+
+// ---- single-record codec ---------------------------------------------
+
+/// Worst case: len + kind + 6 varints of 10 bytes.
+inline constexpr std::size_t kMaxRecordBytes = 2 + 6 * kMaxVarintBytes;
+
+/// Encode one record (sans source) into `out`, which must hold at least
+/// kMaxRecordBytes. Returns the encoded length.
+inline std::size_t encode_record(std::uint8_t* out, RecKind kind,
+                                 std::int64_t t_ns, std::uint64_t seq,
+                                 std::uint64_t a = 0, std::uint64_t b = 0,
+                                 std::uint64_t c = 0,
+                                 std::uint64_t d = 0) noexcept {
+  std::size_t n = 1;  // len byte patched last
+  out[n++] = static_cast<std::uint8_t>(kind);
+  n += put_varint(out + n, static_cast<std::uint64_t>(t_ns));
+  n += put_varint(out + n, seq);
+  const std::uint8_t argc = kArgc[static_cast<std::size_t>(kind)];
+  const std::uint64_t args[4] = {a, b, c, d};
+  for (std::uint8_t i = 0; i < argc; ++i) n += put_varint(out + n, args[i]);
+  out[0] = static_cast<std::uint8_t>(n);
+  return n;
+}
+
+/// Decode one record starting at in[pos]; advances pos past it (using the
+/// length prefix, so a partially-understood record still advances
+/// correctly). Returns false — without advancing — on any malformation.
+inline bool decode_record(std::span<const std::uint8_t> in, std::size_t& pos,
+                          Record& rec) noexcept {
+  if (pos >= in.size()) return false;
+  const std::size_t start = pos;
+  const std::size_t len = in[pos];
+  if (len < 2 || start + len > in.size()) return false;
+  std::size_t p = start + 1;
+  const std::uint8_t kind = in[p++];
+  if (!valid_kind(kind)) return false;
+  std::uint64_t t = 0;
+  std::uint64_t seq = 0;
+  if (!get_varint(in, p, t) || !get_varint(in, p, seq)) return false;
+  rec.kind = static_cast<RecKind>(kind);
+  rec.t_ns = static_cast<std::int64_t>(t);
+  rec.seq = seq;
+  rec.args = {};
+  const std::uint8_t argc = kArgc[kind];
+  for (std::uint8_t i = 0; i < argc; ++i) {
+    if (!get_varint(in, p, rec.args[i])) return false;
+  }
+  if (p != start + len) return false;  // length prefix must be exact
+  pos = start + len;
+  return true;
+}
+
+[[nodiscard]] std::string to_string(RecKind kind);
+[[nodiscard]] std::string to_string(Domain d);
+/// Human-readable one-line rendering ("t=4.021s seq=1182 phy/7 rx from=3
+/// crc=1 ...") used by the diff tool and CI failure dumps.
+[[nodiscard]] std::string to_string(const Record& rec);
+
+}  // namespace liteview::trace

@@ -30,8 +30,27 @@ Logger& Logger::instance() {
 
 void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
 
+void Logger::set_time_source(TimeSource source) {
+  time_source_ = std::move(source);
+}
+
 void Logger::log(LogLevel level, std::string_view msg) {
-  if (enabled(level) && sink_) sink_(level, msg);
+  if (!enabled(level) || !sink_) return;
+  if (time_source_) {
+    const std::int64_t t = time_source_();
+    char stamp[48];
+    const int n = std::snprintf(
+        stamp, sizeof stamp, "t=%lld.%09llds ",
+        static_cast<long long>(t / 1'000'000'000),
+        static_cast<long long>(t % 1'000'000'000));
+    std::string line;
+    line.reserve(static_cast<std::size_t>(n) + msg.size());
+    line.append(stamp, static_cast<std::size_t>(n));
+    line.append(msg);
+    sink_(level, line);
+    return;
+  }
+  sink_(level, msg);
 }
 
 void log_trace(std::string_view msg) {

@@ -19,6 +19,8 @@ enum class LogLevel : std::uint8_t { kTrace, kDebug, kInfo, kWarn, kError, kOff 
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, std::string_view)>;
+  /// Returns the current simulated time in nanoseconds.
+  using TimeSource = std::function<std::int64_t()>;
 
   static Logger& instance();
 
@@ -27,6 +29,14 @@ class Logger {
 
   /// Replace the output sink (default writes to stderr).
   void set_sink(Sink sink);
+
+  /// Install the simulated clock: every line is then prefixed with
+  /// "t=<sec>.<ns>s" read at log time, so logs line up with flight
+  /// recorder records and are reproducible across runs. Pass an empty
+  /// function to return to unstamped lines; the installer must clear it
+  /// before its simulator dies (sim::Simulator::install_log_time_source
+  /// handles both ends).
+  void set_time_source(TimeSource source);
 
   void log(LogLevel level, std::string_view msg);
 
@@ -38,6 +48,7 @@ class Logger {
   Logger();
   LogLevel level_ = LogLevel::kWarn;
   Sink sink_;
+  TimeSource time_source_;
 };
 
 void log_trace(std::string_view msg);

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 #include <string_view>
 
 namespace liteview::util {
@@ -84,6 +86,16 @@ class RngStream {
   }
 
   std::mt19937_64& engine() noexcept { return engine_; }
+
+  /// Full engine state rendered via the standard stream operator — two
+  /// streams that will produce identical draw sequences render identically.
+  /// Used by checkpoint verification sections; distribution carry-over
+  /// (normal_'s cached spare) is deliberately included.
+  [[nodiscard]] std::string state_string() const {
+    std::ostringstream os;
+    os << engine_ << '|' << normal_;
+    return os.str();
+  }
 
  private:
   std::mt19937_64 engine_;

@@ -19,6 +19,7 @@
 #include "net/stack.hpp"
 #include "phy/medium.hpp"
 #include "sim/simulator.hpp"
+#include "trace/flight_recorder.hpp"
 
 // ---- global allocation counter ---------------------------------------
 //
@@ -239,6 +240,80 @@ TEST(AllocFree, MediumMultiChannelStormSteadyState) {
                        << " times";
   EXPECT_GT(medium.frames_delivered() + medium.frames_corrupted(), 0u);
   EXPECT_GT(medium.gain_cache_hits(), 0u);
+}
+
+// ---- flight recorder -------------------------------------------------
+
+TEST(AllocFree, FlightRecorderAppendSteadyState) {
+  // The recorder's whole life after construction is supposed to be
+  // allocation-free: rings are preallocated, records encode to a stack
+  // buffer, and eviction reuses the ring in place — including sustained
+  // wrap-around far past each ring's capacity.
+  trace::FlightRecorder rec(8 * 1024);
+  const auto r1 =
+      rec.register_source(trace::source_id(trace::Domain::kPhy, 1));
+  const auto r2 =
+      rec.register_source(trace::source_id(trace::Domain::kMac, 1));
+
+  const std::uint64_t before = alloc_count();
+  for (std::uint64_t i = 0; i < 200'000; ++i) {
+    rec.append((i & 1) != 0 ? r1 : r2, trace::RecKind::kPhyTx,
+               static_cast<std::int64_t>(i) * 1000, i, 40, 1408000, 1);
+  }
+  const std::uint64_t delta = alloc_count() - before;
+  EXPECT_EQ(delta, 0u) << "appending 200k records hit the heap " << delta
+                       << " times";
+  EXPECT_EQ(rec.records_appended(), 200'000u);
+}
+
+TEST(AllocFree, RecordedPacketHopSteadyState) {
+  // The packet-hop steady state must stay allocation-free with a full
+  // flight recorder attached to every layer: the recording hooks ride the
+  // hot path, so a stray allocation in one would un-win the event core.
+  sim::Simulator sim(23);
+  phy::PropagationConfig prop;
+  prop.shadowing_sigma_db = 0.0;
+  prop.fading_sigma_db = 0.0;
+  phy::Medium medium(sim, prop);
+  mac::CsmaMac mac_a(sim, medium, 1, phy::Position{0, 0});
+  mac::CsmaMac mac_b(sim, medium, 2, phy::Position{10, 0});
+  net::CommStack stack_a(sim, mac_a);
+  net::CommStack stack_b(sim, mac_b);
+
+  trace::FlightRecorder rec;
+  sim.set_flight_recorder(&rec);
+  medium.set_flight_recorder(&rec);
+  mac_a.set_flight_recorder(&rec);
+  mac_b.set_flight_recorder(&rec);
+  stack_a.set_flight_recorder(&rec);
+  stack_b.set_flight_recorder(&rec);
+
+  std::uint64_t received = 0;
+  stack_b.subscribe(5, [&received](const net::NetPacket&,
+                                   const net::LinkContext&) { ++received; });
+  const auto send_one = [&](std::uint32_t id) {
+    net::NetPacket p;
+    p.src = 1;
+    p.dst = 2;
+    p.port = 5;
+    p.id = id;
+    p.payload = {0xA5, 0x5A, 0x42, 0x24};
+    stack_a.send_link(2, p);
+    sim.run();
+  };
+
+  for (std::uint32_t i = 0; i < 64; ++i) send_one(i);
+  const std::uint64_t recorded_warm = rec.records_appended();
+
+  const std::uint64_t before = alloc_count();
+  for (std::uint32_t i = 0; i < 256; ++i) send_one(1000 + i);
+  const std::uint64_t delta = alloc_count() - before;
+
+  EXPECT_EQ(delta, 0u) << "recording the packet hop hit the heap " << delta
+                       << " times";
+  EXPECT_EQ(received, 64u + 256u);
+  // Every layer actually recorded during the measured phase.
+  EXPECT_GT(rec.records_appended(), recorded_warm);
 }
 
 }  // namespace

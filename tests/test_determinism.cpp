@@ -1,31 +1,34 @@
 // Golden-trace determinism regression — the gate that keeps spatial
-// culling honest.
+// culling, the gain cache, the flight recorder, and sniffer radios
+// honest.
 //
 // A 40-node random deployment under a multi-fault scenario (deployment-
 // wide burst loss, crashes, a jamming window, churn) is run while
-// capturing a byte trace of everything observable: every transmission the
-// sniffer sees (sender, channel, size, timing, payload CRC), every fault
-// decision, and the medium's final counters. The suite then asserts the
-// trace is byte-identical across (a) two runs with the same seed and (b)
-// spatial culling on vs. force-disabled — i.e. the grid is a pure
-// optimization with zero semantic surface.
+// capturing a *behavior trace*: every transmission (sender, channel,
+// size, timing, payload CRC), every fault decision, and the medium's
+// final counters — all encoded as lv::trace records inside a real "LVTR"
+// capture, so a red gate can be dumped to disk and fed to
+// tools/trace_diff, which names the first divergent record instead of a
+// bare "traces differ".
+//
+// The suite asserts the capture is byte-identical across (a) two runs
+// with the same seed, (b) each optimization toggled (culling, gain
+// cache), and (c) each *observer* toggled: flight recording on/off and
+// promiscuous sniffer radios attached/absent must be invisible to the
+// simulation, byte for byte.
 #include <gtest/gtest.h>
 
-#include <cstring>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "fault/scenario.hpp"
 #include "testbed/testbed.hpp"
+#include "trace/diff.hpp"
 #include "util/crc16.hpp"
 
 namespace liteview {
 namespace {
-
-void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-}
 
 constexpr int kNodes = 40;
 constexpr double kSideM = 55.0;       // dense: every node hears many others
@@ -42,23 +45,54 @@ jam ch=17 at=8s for=400ms
 churn 2,3,11,23,31 period=1500ms down=500ms until=11s
 )";
 
-std::vector<std::uint8_t> run_scenario(std::uint64_t seed,
-                                       bool spatial_culling,
-                                       bool gain_cache = true) {
+struct RunOptions {
+  bool spatial_culling = true;
+  bool gain_cache = true;
+  /// Attach a full flight recorder to every layer. Must not perturb the
+  /// behavior trace by a single byte.
+  bool flight_recorder = false;
+  /// Promiscuous receive-only radios dropped into the deployment. Must
+  /// not perturb the behavior trace by a single byte.
+  int sniffers = 0;
+};
+
+struct RunResult {
+  std::vector<std::uint8_t> behavior;  ///< "LVTR" capture (see above)
+  std::vector<std::uint8_t> recorder;  ///< full recorder capture (or empty)
+  std::uint64_t frames_sniffed = 0;
+};
+
+RunResult run_scenario(std::uint64_t seed, const RunOptions& opt) {
   testbed::TestbedConfig cfg;
   cfg.seed = seed;
-  cfg.spatial_culling = spatial_culling;
-  cfg.link_gain_cache = gain_cache;
+  cfg.spatial_culling = opt.spatial_culling;
+  cfg.link_gain_cache = opt.gain_cache;
+  cfg.flight_recorder = opt.flight_recorder;
   auto tb = testbed::Testbed::random_square(kNodes, kSideM, kMinSpacingM, cfg);
 
-  std::vector<std::uint8_t> trace;
-  tb->medium().set_sniffer([&trace](const phy::SniffedFrame& f) {
-    append_u64(trace, f.from);
-    trace.push_back(f.channel);
-    append_u64(trace, f.psdu_bytes);
-    append_u64(trace, static_cast<std::uint64_t>(f.start.nanoseconds()));
-    append_u64(trace, static_cast<std::uint64_t>(f.airtime.nanoseconds()));
-    append_u64(trace, util::crc16_ccitt(f.psdu));
+  for (int s = 0; s < opt.sniffers; ++s) {
+    // Spread sniffers across the square so they overhear real traffic.
+    const double frac = (s + 1.0) / (opt.sniffers + 1.0);
+    tb->add_sniffer(phy::Position{kSideM * frac, kSideM * frac},
+                    cfg.initial_channel);
+  }
+
+  // Behavior capture: one kTest ring for transmissions + counters, one
+  // kFault ring mirroring the fault plane's decisions. Rings are large
+  // enough that nothing is ever evicted.
+  trace::FlightRecorder behavior(4u << 20);
+  const auto tx_ring = behavior.register_source(
+      trace::source_id(trace::Domain::kTest, 0));
+  const auto fault_ring = behavior.register_source(
+      trace::source_id(trace::Domain::kFault, 0));
+
+  tb->medium().set_sniffer([&](const phy::SniffedFrame& f) {
+    // (airtime << 16) | crc folds the last two observables into arg d.
+    behavior.append(
+        tx_ring, trace::RecKind::kUser, f.start.nanoseconds(), f.from,
+        f.channel, f.psdu_bytes,
+        (static_cast<std::uint64_t>(f.airtime.nanoseconds()) << 16) |
+            util::crc16_ccitt(f.psdu));
   });
 
   const auto scenario = fault::parse_scenario(kScenario);
@@ -71,33 +105,82 @@ std::vector<std::uint8_t> run_scenario(std::uint64_t seed,
   EXPECT_GT(tb->medium().frames_sent(), 100u);
   EXPECT_GT(tb->fault().totals().frames_dropped, 0u);
 
-  // Fault decisions and the medium's full counter block ride at the end;
-  // a culling bug that only shifted statistics would still flip these.
+  // Fault decisions ride in their own ring: trace_bytes() is already
+  // codec records, re-append them so they carry the capture's sequence.
   const auto faults = tb->fault().trace_bytes();
-  trace.insert(trace.end(), faults.begin(), faults.end());
-  append_u64(trace, tb->medium().frames_sent());
-  append_u64(trace, tb->medium().frames_delivered());
-  append_u64(trace, tb->medium().frames_corrupted());
-  append_u64(trace, tb->medium().frames_below_sensitivity());
-  append_u64(trace, tb->medium().frames_missed_busy_rx());
-  append_u64(trace, tb->medium().frames_missed_retune());
-  append_u64(trace, tb->medium().frames_dropped_fault());
-  append_u64(trace, tb->sim().executed_events());
-  return trace;
+  std::size_t pos = 0;
+  trace::Record rec;
+  while (pos < faults.size() &&
+         trace::decode_record(faults, pos, rec)) {
+    behavior.append(fault_ring, trace::RecKind::kFault, rec.t_ns,
+                    rec.args[0], rec.args[1], rec.args[2]);
+  }
+  EXPECT_EQ(pos, faults.size());
+
+  // The medium's full counter block: a bug that only shifted statistics
+  // would still flip these records.
+  const std::uint64_t counters[] = {
+      tb->medium().frames_sent(),
+      tb->medium().frames_delivered(),
+      tb->medium().frames_corrupted(),
+      tb->medium().frames_below_sensitivity(),
+      tb->medium().frames_missed_busy_rx(),
+      tb->medium().frames_missed_retune(),
+      tb->medium().frames_dropped_fault(),
+      tb->sim().executed_events(),
+  };
+  const std::int64_t end_ns = tb->sim().now().nanoseconds();
+  for (std::size_t i = 0; i < std::size(counters); ++i) {
+    behavior.append(tx_ring, trace::RecKind::kCounter, end_ns, i,
+                    counters[i]);
+  }
+
+  RunResult r;
+  r.behavior = behavior.serialize();
+  if (tb->recorder() != nullptr) r.recorder = tb->recorder()->serialize();
+  for (std::size_t s = 0; s < tb->sniffer_count(); ++s) {
+    r.frames_sniffed += tb->sniffer_log(s).frames;
+  }
+  return r;
+}
+
+void write_capture(const std::string& path,
+                   const std::vector<std::uint8_t>& bytes) {
+  if (std::FILE* f = std::fopen(path.c_str(), "wb")) {
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+  }
+}
+
+/// Byte-compare two captures; on mismatch dump both to disk and report
+/// the first divergent record, tools/trace_diff style.
+void expect_identical(const std::vector<std::uint8_t>& a,
+                      const std::vector<std::uint8_t>& b, const char* tag) {
+  if (a == b) return;
+  const std::string fa = std::string(tag) + "_a.lvtr";
+  const std::string fb = std::string(tag) + "_b.lvtr";
+  write_capture(fa, a);
+  write_capture(fb, b);
+  const auto d = trace::diff_bytes(a, b);
+  ADD_FAILURE() << "captures diverge (dumped " << fa << " and " << fb
+                << "; inspect with tools/trace_diff):\n"
+                << d.summary;
 }
 
 TEST(Determinism, SameSeedSameTrace) {
-  const auto t1 = run_scenario(1234, /*spatial_culling=*/true);
-  const auto t2 = run_scenario(1234, /*spatial_culling=*/true);
-  ASSERT_FALSE(t1.empty());
-  EXPECT_EQ(t1, t2);
+  const auto t1 = run_scenario(1234, {});
+  const auto t2 = run_scenario(1234, {});
+  ASSERT_FALSE(t1.behavior.empty());
+  expect_identical(t1.behavior, t2.behavior, "det_same_seed");
 }
 
 TEST(Determinism, SpatialCullingIsInvisible) {
-  const auto culled = run_scenario(1234, /*spatial_culling=*/true);
-  const auto unculled = run_scenario(1234, /*spatial_culling=*/false);
-  ASSERT_FALSE(culled.empty());
-  EXPECT_EQ(culled, unculled);
+  RunOptions unculled;
+  unculled.spatial_culling = false;
+  const auto culled = run_scenario(1234, {});
+  const auto naive = run_scenario(1234, unculled);
+  ASSERT_FALSE(culled.behavior.empty());
+  expect_identical(culled.behavior, naive.behavior, "det_culling");
 }
 
 TEST(Determinism, GainCacheIsInvisible) {
@@ -105,31 +188,74 @@ TEST(Determinism, GainCacheIsInvisible) {
   // recomputed path loss are the same doubles, and no RNG stream is
   // involved in serving a hit — so the full multi-fault trace, counters
   // included, is byte-identical with the cache on vs. forced off.
-  const auto cached = run_scenario(1234, /*spatial_culling=*/true,
-                                   /*gain_cache=*/true);
-  const auto direct = run_scenario(1234, /*spatial_culling=*/true,
-                                   /*gain_cache=*/false);
-  ASSERT_FALSE(cached.empty());
-  EXPECT_EQ(cached, direct);
+  RunOptions direct;
+  direct.gain_cache = false;
+  const auto cached = run_scenario(1234, {});
+  const auto recomputed = run_scenario(1234, direct);
+  ASSERT_FALSE(cached.behavior.empty());
+  expect_identical(cached.behavior, recomputed.behavior, "det_gain_cache");
 }
 
 TEST(Determinism, GainCacheAndCullingComposeInvisibly) {
   // Both optimizations off together — the fully naive O(n) recomputing
   // medium — against both on (the production configuration).
-  const auto fast = run_scenario(1234, /*spatial_culling=*/true,
-                                 /*gain_cache=*/true);
-  const auto naive = run_scenario(1234, /*spatial_culling=*/false,
-                                  /*gain_cache=*/false);
-  ASSERT_FALSE(fast.empty());
-  EXPECT_EQ(fast, naive);
+  RunOptions naive;
+  naive.spatial_culling = false;
+  naive.gain_cache = false;
+  const auto fast = run_scenario(1234, {});
+  const auto slow = run_scenario(1234, naive);
+  ASSERT_FALSE(fast.behavior.empty());
+  expect_identical(fast.behavior, slow.behavior, "det_naive");
+}
+
+TEST(Determinism, FlightRecorderIsInvisible) {
+  // Recording is observational only: no RNG draws, no scheduling, no
+  // allocation on any decision path. The behavior capture must not move
+  // by one byte when every layer records into rings.
+  RunOptions recording;
+  recording.flight_recorder = true;
+  const auto off = run_scenario(1234, {});
+  const auto on = run_scenario(1234, recording);
+  ASSERT_FALSE(on.recorder.empty());
+  expect_identical(off.behavior, on.behavior, "det_recorder");
+}
+
+TEST(Determinism, SnifferRadiosAreInvisible) {
+  // Promiscuous sniffers overhear real frames under the real physics but
+  // sit outside the spatial grid, the channel population counts, the
+  // shared RNG streams, and the fault plane. With three of them planted
+  // mid-deployment, the behavior capture — transmissions, fault
+  // decisions, every counter — must stay byte-identical.
+  RunOptions sniffed;
+  sniffed.sniffers = 3;
+  const auto without = run_scenario(1234, {});
+  const auto with = run_scenario(1234, sniffed);
+  EXPECT_GT(with.frames_sniffed, 0u);  // they actually heard traffic
+  expect_identical(without.behavior, with.behavior, "det_sniffers");
+}
+
+TEST(Determinism, RecorderCaptureIsCullingInvariant) {
+  // Stronger than the behavior gate: the *full recorder capture* — every
+  // dispatch, PHY, MAC, routing, and fault record from every ring — is
+  // identical with spatial culling on vs. off. Holds because the culled
+  // walk only skips below-sensitivity receptions, which are never
+  // recorded.
+  RunOptions fast;
+  fast.flight_recorder = true;
+  RunOptions naive = fast;
+  naive.spatial_culling = false;
+  const auto a = run_scenario(1234, fast);
+  const auto b = run_scenario(1234, naive);
+  ASSERT_FALSE(a.recorder.empty());
+  expect_identical(a.recorder, b.recorder, "det_recorder_culling");
 }
 
 TEST(Determinism, DifferentSeedDifferentTrace) {
   // Sanity: the trace actually depends on the randomness it claims to
-  // capture (otherwise the two tests above would pass vacuously).
-  const auto t1 = run_scenario(1234, /*spatial_culling=*/true);
-  const auto t2 = run_scenario(5678, /*spatial_culling=*/true);
-  EXPECT_NE(t1, t2);
+  // capture (otherwise the gates above would pass vacuously).
+  const auto t1 = run_scenario(1234, {});
+  const auto t2 = run_scenario(5678, {});
+  EXPECT_NE(t1.behavior, t2.behavior);
 }
 
 }  // namespace

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "liteview/messages.hpp"
+#include "trace/flight_recorder.hpp"
+#include "trace/record.hpp"
 #include "util/rng.hpp"
 
 namespace liteview::lv {
@@ -426,6 +428,88 @@ TEST(MessagesFuzz, DecodersSurviveMutatedValidMessages) {
       tw.resize(rng() % (tw.size() + 1));
     }
     (void)decode_nbr_table(tw);
+  }
+}
+
+// -- flight-recorder trace codec ----------------------------------------
+
+/// Round-trip every record kind with randomized timestamps, sequence
+/// numbers, and arguments (biased toward varint boundaries).
+TEST(MessagesFuzz, RoundTripTraceRecords) {
+  std::mt19937_64 rng(300);
+  const auto arg = [&rng]() -> std::uint64_t {
+    switch (rng() % 4) {
+      case 0: return rng() % 2;                       // tiny
+      case 1: return (1ull << (7 * (rng() % 10))) - 1;  // varint edge
+      case 2: return rng() & 0xffffffffull;
+      default: return rng();                          // full 64-bit
+    }
+  };
+  for (int i = 0; i < kRoundTrips * 10; ++i) {
+    const auto kind = static_cast<trace::RecKind>(
+        1 + rng() % static_cast<unsigned>(trace::RecKind::kMaxKind));
+    const auto t_ns = static_cast<std::int64_t>(rng() >> 1);
+    const std::uint64_t seq = arg();
+    const std::uint64_t a = arg(), b = arg(), c = arg(), d = arg();
+
+    std::uint8_t buf[trace::kMaxRecordBytes];
+    const std::size_t len =
+        trace::encode_record(buf, kind, t_ns, seq, a, b, c, d);
+    ASSERT_LE(len, trace::kMaxRecordBytes);
+
+    std::size_t pos = 0;
+    trace::Record rec;
+    ASSERT_TRUE(trace::decode_record({buf, len}, pos, rec));
+    ASSERT_EQ(pos, len);
+    EXPECT_EQ(rec.kind, kind);
+    EXPECT_EQ(rec.t_ns, t_ns);
+    EXPECT_EQ(rec.seq, seq);
+    const std::uint64_t args[] = {a, b, c, d};
+    const int argc = trace::kArgc[static_cast<std::size_t>(kind)];
+    for (int k = 0; k < argc; ++k) EXPECT_EQ(rec.args[k], args[k]);
+  }
+}
+
+/// The streaming record decoder and the LVTR container parser survive
+/// arbitrary byte soup: nullopt/false is fine, crashes and sanitizer
+/// reports are not.
+TEST(MessagesFuzz, TraceDecodersSurviveByteSoup) {
+  soup(310, [](auto s) {
+    std::size_t pos = 0;
+    trace::Record rec;
+    // Walk the buffer like Ring::linearize consumers do.
+    while (pos < s.size() && trace::decode_record(s, pos, rec)) {
+    }
+    return pos;
+  });
+  soup(311, [](auto s) { return trace::FlightRecorder::parse(s).has_value(); });
+}
+
+/// Mutated valid captures: serialize a real multi-ring recorder, then
+/// flip a byte and truncate. Reaches the container parser's deeper states
+/// (source directory, ring payload walks) that pure noise rarely finds.
+TEST(MessagesFuzz, TraceParserSurvivesMutatedCaptures) {
+  std::mt19937_64 rng(320);
+  for (int i = 0; i < 2000; ++i) {
+    trace::FlightRecorder rec(512);
+    const auto r1 = rec.register_source(
+        trace::source_id(trace::Domain::kPhy, static_cast<std::uint32_t>(i)));
+    const auto r2 = rec.register_source(
+        trace::source_id(trace::Domain::kTest, 0));
+    const int n = static_cast<int>(rng() % 40);
+    for (int k = 0; k < n; ++k) {
+      rec.append((k & 1) != 0 ? r1 : r2,
+                 static_cast<trace::RecKind>(
+                     1 + rng() % static_cast<unsigned>(trace::RecKind::kMaxKind)),
+                 static_cast<std::int64_t>(rng() >> 1), rng(), rng(), rng(),
+                 rng());
+    }
+    auto wire = rec.serialize();
+    if (!wire.empty()) {
+      wire[rng() % wire.size()] ^= static_cast<std::uint8_t>(1 + rng() % 255);
+      wire.resize(rng() % (wire.size() + 1));
+    }
+    (void)trace::FlightRecorder::parse(wire);
   }
 }
 

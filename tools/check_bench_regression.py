@@ -10,9 +10,18 @@ BM_PerEvaluation anchor — a pure-math kernel untouched by the PHY rework
 hot path. A bench is a regression when its normalized throughput drops
 more than --threshold (default 30%) below the recorded baseline.
 
+Also gates the flight-recorder observability overhead: bench/flight_recorder
+emits host-independent wall-time ratios (recording on vs. off on the same
+machine), so those anchors need no normalization — the gate fails when the
+overhead ratio drifts more than --fr-slack above the checked-in
+BENCH_flight_recorder.json, or when the bench reports that the observer
+perturbed the simulation counters.
+
 Usage:
   check_bench_regression.py --current out.json [--baseline BENCH_phy_hotpath.json]
   check_bench_regression.py --run ./build/bench/micro_core   # runs the bench itself
+  check_bench_regression.py --fr-run ./build/bench/flight_recorder
+  check_bench_regression.py --fr-current fr.json [--fr-baseline BENCH_flight_recorder.json]
 """
 
 from __future__ import annotations
@@ -26,7 +35,9 @@ import tempfile
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_phy_hotpath.json"
+DEFAULT_FR_BASELINE = REPO_ROOT / "BENCH_flight_recorder.json"
 BENCH_FILTER = "BM_MediumTransmitFanout|BM_ChannelPowerSample|BM_PerEvaluation"
+FR_ANCHORS = ("ring_overhead_ratio", "ring_sniffers_overhead_ratio")
 
 
 def run_bench(binary: str) -> dict:
@@ -65,16 +76,79 @@ def current_means(result: dict) -> tuple[dict[str, float], float]:
     return items, anchor_ns
 
 
+def run_flight_recorder(binary: str) -> dict:
+    """Invoke bench/flight_recorder --json and return its parsed output."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    subprocess.run([binary, "--json", out_path], check=True,
+                   stdout=subprocess.DEVNULL)
+    with open(out_path) as f:
+        return json.load(f)
+
+
+def check_flight_recorder(current: dict, baseline_path: str,
+                          slack: float) -> list[str]:
+    """Compare overhead-ratio anchors against the checked-in baseline.
+
+    Ratios compare two runs on the same host, so they transfer across
+    machines; `slack` is additive headroom over the baseline ratio (noise
+    on a loaded CI runner easily moves a ~1.05 ratio by a few points).
+    """
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    failures = []
+    for anchor in FR_ANCHORS:
+        base = float(baseline[anchor])
+        if anchor not in current:
+            failures.append(f"{anchor}: missing from current run")
+            continue
+        cur = float(current[anchor])
+        limit = base + slack
+        status = "OK" if cur <= limit else "REGRESSION"
+        print(f"  {anchor:32s} baseline {base:5.2f}  current {cur:5.2f}  "
+              f"limit {limit:5.2f}  {status}")
+        if status != "OK":
+            failures.append(f"{anchor}: overhead {cur:.2f} > limit {limit:.2f}")
+    if not current.get("identical_counters", False):
+        failures.append("identical_counters: the observer perturbed the "
+                        "simulation (determinism contract broken)")
+    return failures
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     src = ap.add_mutually_exclusive_group(required=True)
     src.add_argument("--current", help="google-benchmark JSON from a fresh run")
     src.add_argument("--run", help="micro_core binary to execute for the run")
+    src.add_argument("--fr-current",
+                     help="bench/flight_recorder --json output to check")
+    src.add_argument("--fr-run",
+                     help="flight_recorder binary to execute for the run")
     ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
                     help="checked-in BENCH_phy_hotpath.json")
     ap.add_argument("--threshold", type=float, default=0.30,
                     help="max tolerated normalized drop (fraction)")
+    ap.add_argument("--fr-baseline", default=str(DEFAULT_FR_BASELINE),
+                    help="checked-in BENCH_flight_recorder.json")
+    ap.add_argument("--fr-slack", type=float, default=0.40,
+                    help="additive headroom over the baseline overhead ratio")
     args = ap.parse_args()
+
+    if args.fr_run or args.fr_current:
+        if args.fr_run:
+            current = run_flight_recorder(args.fr_run)
+        else:
+            with open(args.fr_current) as f:
+                current = json.load(f)
+        failures = check_flight_recorder(current, args.fr_baseline,
+                                         args.fr_slack)
+        if failures:
+            print("\nflight-recorder overhead gate FAILED:")
+            for f_ in failures:
+                print(f"  - {f_}")
+            return 1
+        print("\nflight-recorder overhead gate passed")
+        return 0
 
     with open(args.baseline) as f:
         baseline = json.load(f)

@@ -1,0 +1,109 @@
+// trace_diff — offline reader for flight-recorder captures ("LVTR") and
+// checkpoints ("LVCP").
+//
+//   trace_diff dump <capture>            print every record, seq-ordered
+//   trace_diff diff <a> <b>              first divergent record; exit 1
+//   trace_diff describe <checkpoint>     one-line checkpoint summary
+//
+// This is the CI half of the determinism gate: when two runs that should
+// be byte-identical are not, the gate dumps both captures and this tool
+// names the first event that differed instead of leaving a bare
+// "traces differ" failure.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/checkpoint.hpp"
+#include "trace/diff.hpp"
+#include "trace/flight_recorder.hpp"
+
+namespace {
+
+using liteview::trace::Checkpoint;
+using liteview::trace::FlightRecorder;
+using liteview::trace::TraceFile;
+
+std::optional<std::vector<std::uint8_t>> read_file(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return std::nullopt;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+int cmd_dump(const char* path) {
+  const auto bytes = read_file(path);
+  if (!bytes) {
+    std::fprintf(stderr, "trace_diff: cannot read %s\n", path);
+    return 2;
+  }
+  const auto tf = FlightRecorder::parse(*bytes);
+  if (!tf) {
+    std::fprintf(stderr, "trace_diff: %s is not a valid LVTR capture\n",
+                 path);
+    return 2;
+  }
+  std::fputs(FlightRecorder::dump(*tf).c_str(), stdout);
+  return 0;
+}
+
+int cmd_diff(const char* path_a, const char* path_b) {
+  const auto a = read_file(path_a);
+  const auto b = read_file(path_b);
+  if (!a || !b) {
+    std::fprintf(stderr, "trace_diff: cannot read %s\n",
+                 !a ? path_a : path_b);
+    return 2;
+  }
+  const auto r = liteview::trace::diff_bytes(*a, *b);
+  std::fputs(r.summary.c_str(), stdout);
+  std::fputc('\n', stdout);
+  return r.identical ? 0 : 1;
+}
+
+int cmd_describe(const char* path) {
+  const auto bytes = read_file(path);
+  if (!bytes) {
+    std::fprintf(stderr, "trace_diff: cannot read %s\n", path);
+    return 2;
+  }
+  const auto cp = liteview::trace::parse_checkpoint(*bytes);
+  if (!cp) {
+    std::fprintf(stderr, "trace_diff: %s is not a valid LVCP checkpoint\n",
+                 path);
+    return 2;
+  }
+  std::fprintf(stdout, "%s\n", liteview::trace::describe(*cp).c_str());
+  for (const auto& s : cp->sections) {
+    std::fprintf(stdout, "  section %-16s %zu bytes\n", s.name.c_str(),
+                 s.bytes.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 4 && std::strcmp(argv[1], "diff") == 0) {
+    return cmd_diff(argv[2], argv[3]);
+  }
+  if (argc == 3 && std::strcmp(argv[1], "dump") == 0) {
+    return cmd_dump(argv[2]);
+  }
+  if (argc == 3 && std::strcmp(argv[1], "describe") == 0) {
+    return cmd_describe(argv[2]);
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  trace_diff dump <capture.lvtr>\n"
+               "  trace_diff diff <a.lvtr> <b.lvtr>\n"
+               "  trace_diff describe <checkpoint.lvcp>\n");
+  return 2;
+}
