@@ -1,0 +1,185 @@
+// Chaos campaign throughput and oracle overhead.
+//
+// Two questions this bench answers, both recorded in
+// BENCH_chaos_campaign.json and gated by tools/check_bench_regression.py
+// (--chaos-run mode):
+//
+//   1. Campaign throughput: cells/minute for randomized fault campaigns
+//      of n = 50 and n = 200 cells (paper-line deployments, full oracle
+//      set, determinism probe every 16th cell). Raw cells/min is host-
+//      dependent; the 200/50 ratio is the host-independent shape the gate
+//      watches — it collapses when per-cell cost stops amortizing.
+//
+//   2. Oracle overhead: the inline invariant probe (sampled every 500 ms
+//      of sim time) on a scale_sweep-style 200-node beaconing world, with
+//      vs. without the probe installed. The ratio must stay within a few
+//      percent of 1.0 — oracles read counters, they don't touch the
+//      simulation — and the delivery counters must be bit-identical.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "chaos/campaign.hpp"
+#include "chaos/oracle.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace liteview;
+
+struct CountingClient final : phy::MediumClient {
+  void on_frame(const std::vector<std::uint8_t>& psdu,
+                const phy::RxInfo& info) override {
+    (void)psdu;
+    received += 1 + (info.crc_ok ? 1 : 0);
+  }
+  std::uint64_t received = 0;
+};
+
+struct BeaconRun {
+  std::uint64_t delivered = 0;
+  std::uint64_t rx_checksum = 0;
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
+};
+
+/// scale_sweep's beaconing world, optionally with the chaos inline probe
+/// sampling the medium/arena bounds every 500 ms.
+BeaconRun run_beacon_world(int n, std::uint64_t seed, bool with_oracles,
+                           std::int64_t sim_seconds) {
+  sim::Simulator sim(seed);
+  phy::Medium medium(sim, phy::PropagationConfig{});
+
+  const double density = 0.0016;  // ~5 neighbors in mean range
+  const double side = std::sqrt(static_cast<double>(n) / density);
+  util::RngStream place(seed, "scale.placement");
+  std::vector<std::unique_ptr<CountingClient>> nodes;
+  nodes.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<CountingClient>());
+    medium.attach(nodes.back().get(),
+                  {place.uniform(0.0, side), place.uniform(0.0, side)});
+  }
+
+  const std::vector<std::uint8_t> frame(30, 0xb5);
+  const sim::SimTime period = sim::SimTime::ms(200);
+  for (int i = 0; i < n; ++i) {
+    const auto id = static_cast<phy::RadioId>(i);
+    sim.schedule_at(sim::SimTime::ms(i % 200), [&sim, &medium, &frame, id,
+                                                period] {
+      medium.transmit(id, -10.0, frame);
+      sim.schedule_every(period, [&medium, &frame, id] {
+        medium.transmit(id, -10.0, frame);
+      });
+    });
+  }
+
+  chaos::OracleSet oracles;
+  sim::EventHandle probe;
+  if (with_oracles) {
+    chaos::install_medium_oracles(sim, medium,
+                                  static_cast<std::size_t>(n), oracles);
+    probe = oracles.install_inline_probe(sim, sim::SimTime::ms(500));
+  }
+
+  BeaconRun r;
+  r.wall_s = bench::wall_seconds(
+      [&] { sim.run_until(sim::SimTime::sec(sim_seconds)); });
+  r.delivered = medium.frames_delivered();
+  r.events = sim.executed_events();
+  for (const auto& b : nodes) r.rx_checksum += b->received;
+  if (with_oracles && !oracles.clean()) {
+    std::fprintf(stderr, "inline oracle fired on a healthy world:\n");
+    for (const auto& f : oracles.failures()) {
+      std::fprintf(stderr, "  %s\n", f.to_string().c_str());
+    }
+  }
+  return r;
+}
+
+chaos::CampaignResult run_sized_campaign(std::size_t cells) {
+  chaos::CampaignConfig cfg;
+  cfg.cells = cells;
+  cfg.base_seed = 42;
+  return chaos::run_campaign(cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::header(
+      "Chaos campaign — cells/min at n=50 and n=200, inline-oracle "
+      "overhead on the 200-node beacon world");
+
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+
+  bench::section("campaign throughput (5-node cells, full oracle set)");
+  const auto c50 = run_sized_campaign(50);
+  const auto c200 = run_sized_campaign(200);
+  std::printf("  n=50:  %8.1f cells/min  (%zu failed, %.2f s)\n",
+              c50.cells_per_minute(), c50.failed_cells(), c50.wall_seconds);
+  std::printf("  n=200: %8.1f cells/min  (%zu failed, %.2f s)\n",
+              c200.cells_per_minute(), c200.failed_cells(),
+              c200.wall_seconds);
+  const double cpm_ratio = c50.cells_per_minute() > 0.0
+                               ? c200.cells_per_minute() /
+                                     c50.cells_per_minute()
+                               : 0.0;
+
+  bench::section("inline oracle overhead (200 nodes, 4 s of beaconing)");
+  // Interleave on/off pairs and keep the best of 3 to shed scheduler
+  // noise — the ratio is the contract, not the absolute time.
+  double best_off = 1e100;
+  double best_on = 1e100;
+  BeaconRun off{};
+  BeaconRun on{};
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto o = run_beacon_world(200, 42, /*with_oracles=*/false, 4);
+    const auto w = run_beacon_world(200, 42, /*with_oracles=*/true, 4);
+    if (o.wall_s < best_off) {
+      best_off = o.wall_s;
+      off = o;
+    }
+    if (w.wall_s < best_on) {
+      best_on = w.wall_s;
+      on = w;
+    }
+  }
+  const double overhead = best_on / best_off;
+  // The probe adds timer events but must not perturb a single delivery.
+  const bool identical = off.delivered == on.delivered &&
+                         off.rx_checksum == on.rx_checksum;
+  std::printf("  off: %.3f s   on: %.3f s   overhead ratio %.3f   "
+              "counters identical: %s\n",
+              best_off, best_on, overhead, identical ? "yes" : "NO — BUG");
+
+  if (!json_path.empty()) {
+    bench::JsonWriter json(json_path);
+    json.begin_object();
+    json.field("bench", std::string("chaos_campaign"));
+    json.field("cells_per_min_50", c50.cells_per_minute());
+    json.field("cells_per_min_200", c200.cells_per_minute());
+    json.field("failed_cells_50",
+               static_cast<std::uint64_t>(c50.failed_cells()));
+    json.field("failed_cells_200",
+               static_cast<std::uint64_t>(c200.failed_cells()));
+    json.field("cpm_ratio_200_over_50", cpm_ratio);
+    json.field("oracle_overhead_ratio", overhead);
+    json.field("identical_counters", identical);
+    json.end_object();
+  }
+
+  bench::section("reading");
+  std::printf(
+      "Each cell is a whole deployment (survey, warm-up, workload, "
+      "quiesce);\nthroughput is dominated by simulated-time volume, so "
+      "cells/min holds\nflat as the campaign grows — the 200/50 ratio "
+      "near 1.0 is the gate.\nThe inline probe reads pool/arena counters "
+      "only: no RNG draws, no\npackets, so its overhead stays within "
+      "noise of 1.0 and the delivery\ncounters match bit-for-bit.\n");
+  return 0;
+}

@@ -1,0 +1,267 @@
+#include "chaos/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "kernel/naming.hpp"
+#include "sim/replication.hpp"
+#include "testbed/testbed.hpp"
+#include "trace/diff.hpp"
+#include "util/strings.hpp"
+
+namespace liteview::chaos {
+namespace {
+
+/// Deployment tuned for fast chaos cells: short neighbor aging and a
+/// tight retry ladder so every recovery path fits inside the quiesce
+/// grace, without touching the protocol logic under test.
+testbed::TestbedConfig cell_config(std::uint64_t seed,
+                                   const CellOptions& opt) {
+  testbed::TestbedConfig cfg = testbed::Testbed::paper_config(seed);
+  cfg.seed = seed;
+  cfg.flight_recorder = opt.record;
+  cfg.neighbors.max_age = sim::SimTime::sec(10);
+  for (lv::ReliableConfig* rc :
+       {&cfg.controller.reliable, &cfg.workstation.reliable}) {
+    rc->max_retries = 5;
+    rc->max_backoff = sim::SimTime::sec(1);
+    rc->dead_peer_cooldown = sim::SimTime::sec(2);
+    rc->incoming_ttl = sim::SimTime::sec(5);
+    rc->chaos_swallow_exhausted = opt.inject_termination_bug;
+  }
+  return cfg;
+}
+
+}  // namespace
+
+CellOutcome run_cell(std::uint64_t seed, const fault::Scenario& sc,
+                     const CellOptions& opt) {
+  auto tb = testbed::Testbed::surveyed_line(opt.nodes, cell_config(seed, opt));
+
+  std::string load_error;
+  if (!tb->fault().load(sc, &load_error)) {
+    throw std::runtime_error("scenario rejected: " + load_error);
+  }
+
+  OracleSet quiesce_oracles;
+  OracleSet inline_oracles;
+  install_testbed_oracles(*tb, quiesce_oracles, inline_oracles);
+  sim::EventHandle probe;
+  if (opt.inline_oracles) {
+    probe = inline_oracles.install_inline_probe(tb->sim(),
+                                                sim::SimTime::ms(500));
+  }
+
+  tb->warm_up();
+
+  // The operator's management session: walk to a random node, interrogate
+  // it, occasionally traceroute across the line. Every draw comes from
+  // one named stream so the workload is a pure function of the seed.
+  util::RngStream wl(seed, "chaos.workload");
+  CellOutcome out;
+  auto& shell = tb->shell();
+  for (int c = 0; c < opt.commands; ++c) {
+    const auto at = static_cast<net::Addr>(wl.uniform_int(1, opt.nodes));
+    const auto target = static_cast<net::Addr>(wl.uniform_int(1, opt.nodes));
+    shell.execute("cd " + kernel::ip_style_name(
+                              static_cast<std::uint16_t>(at)));
+    switch (wl.uniform_int(0, 3)) {
+      case 0:
+        (void)shell.execute("ping " + kernel::ip_style_name(
+                                          static_cast<std::uint16_t>(target)));
+        break;
+      case 1: {
+        const auto run = tb->workstation().traceroute(
+            at, kernel::ip_style_name(static_cast<std::uint16_t>(target)), 1);
+        if (auto bad = check_traceroute_run(run)) {
+          out.failures.push_back(OracleFailure{
+              "traceroute-partial-path", "inline", std::move(*bad)});
+        }
+        break;
+      }
+      case 2:
+        (void)shell.execute("neighborsetup");
+        (void)shell.execute("list");
+        (void)shell.execute("exit");
+        break;
+      default:
+        (void)shell.execute("netstat");
+        break;
+    }
+    ++out.commands_run;
+  }
+
+  // Quiesce: past all scripted fault activity, then one neighbor aging
+  // horizon plus slack for in-flight recoveries to settle.
+  const sim::SimTime grace =
+      tb->config().neighbors.max_age + sim::SimTime::sec(4);
+  const sim::SimTime quiesce_at =
+      std::max(tb->sim().now(), last_fault_activity(sc)) + grace;
+  tb->sim().run_until(quiesce_at);
+
+  // Reliable termination is a liveness property: with four commands
+  // serialized behind one in-flight slot, worst-case drain is several
+  // full retry ladders plus dead-peer cooldown probes, which can
+  // legitimately outlast the fixed grace (a 3000-cell campaign found
+  // exactly that). Wait it out in bounded, deterministic steps; an
+  // endpoint that never drains still hits the cap and fails the oracle.
+  for (int step = 0; step < 60 && !reliable_endpoints_idle(*tb); ++step) {
+    tb->sim().run_for(sim::SimTime::sec(2));
+  }
+  probe.cancel();
+
+  quiesce_oracles.run("quiesce");
+  inline_oracles.run("quiesce");
+
+  for (const auto& f : quiesce_oracles.failures()) out.failures.push_back(f);
+  for (const auto& f : inline_oracles.failures()) out.failures.push_back(f);
+  if (opt.record && tb->recorder() != nullptr) {
+    out.trace = tb->recorder()->serialize();
+  }
+  return out;
+}
+
+std::size_t CampaignResult::failed_cells() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(cells.begin(), cells.end(),
+                    [](const CellResult& c) { return !c.ok(); }));
+}
+
+double CampaignResult::cells_per_minute() const noexcept {
+  if (wall_seconds <= 0.0) return 0.0;
+  return static_cast<double>(cells.size()) / wall_seconds * 60.0;
+}
+
+CampaignResult run_campaign(const CampaignConfig& cfg) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  sim::ReplicationConfig rep;
+  rep.replications = cfg.cells;
+  rep.threads = cfg.threads;
+  rep.base_seed = cfg.base_seed;
+
+  struct CellValue {
+    std::string scenario;
+    std::vector<OracleFailure> failures;
+    int commands_run = 0;
+  };
+
+  auto reps = sim::run_replications(
+      rep, [&cfg](std::size_t index, std::uint64_t seed) -> CellValue {
+        const fault::Scenario sc = generate_scenario(seed, cfg.generator);
+        CellValue v;
+        v.scenario = fault::serialize_scenario(sc);
+
+        const bool probe_determinism =
+            cfg.determinism_every != 0 && index % cfg.determinism_every == 0;
+        CellOptions opt = cfg.cell;
+        opt.record = probe_determinism;
+
+        CellOutcome first = run_cell(seed, sc, opt);
+        v.failures = std::move(first.failures);
+        v.commands_run = first.commands_run;
+        if (probe_determinism) {
+          const CellOutcome second = run_cell(seed, sc, opt);
+          if (first.trace != second.trace) {
+            const auto d = trace::diff_bytes(first.trace, second.trace);
+            v.failures.push_back(OracleFailure{
+                "determinism", "quiesce",
+                "same seed+scenario produced different traces: " +
+                    d.summary});
+          }
+        }
+        return v;
+      });
+
+  CampaignResult out;
+  out.config = cfg;
+  out.cells.reserve(reps.size());
+  for (auto& r : reps) {
+    CellResult c;
+    c.index = r.index;
+    c.seed = r.seed;
+    if (r.ok) {
+      c.scenario = std::move(r.value->scenario);
+      c.failures = std::move(r.value->failures);
+      c.commands_run = r.value->commands_run;
+    } else {
+      c.error = std::move(r.error);
+      c.scenario = fault::serialize_scenario(
+          generate_scenario(c.seed, cfg.generator));
+    }
+    out.cells.push_back(std::move(c));
+  }
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+namespace {
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += util::format("\\u%04x", ch);
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+std::string jstr(const std::string& s) {
+  std::string out = "\"";
+  json_escape_into(out, s);
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string campaign_report_json(const CampaignResult& r) {
+  std::string j = "{\n";
+  j += util::format("  \"cells\": %zu,\n", r.cells.size());
+  j += util::format("  \"base_seed\": %llu,\n",
+                    static_cast<unsigned long long>(r.config.base_seed));
+  j += util::format("  \"nodes\": %d,\n", r.config.cell.nodes);
+  j += util::format("  \"commands_per_cell\": %d,\n", r.config.cell.commands);
+  j += util::format("  \"determinism_every\": %zu,\n",
+                    r.config.determinism_every);
+  j += util::format("  \"failed_cells\": %zu,\n", r.failed_cells());
+  j += util::format("  \"wall_seconds\": %.3f,\n", r.wall_seconds);
+  j += util::format("  \"cells_per_minute\": %.1f,\n", r.cells_per_minute());
+  j += "  \"failures\": [";
+  bool first = true;
+  for (const auto& c : r.cells) {
+    if (c.ok()) continue;
+    if (!first) j += ',';
+    first = false;
+    j += "\n    {";
+    j += util::format("\"index\": %zu, \"seed\": %llu, ", c.index,
+                      static_cast<unsigned long long>(c.seed));
+    if (!c.error.empty()) {
+      j += "\"exception\": " + jstr(c.error) + ", ";
+    }
+    j += "\"oracles\": [";
+    for (std::size_t i = 0; i < c.failures.size(); ++i) {
+      if (i > 0) j += ", ";
+      j += "{\"oracle\": " + jstr(c.failures[i].oracle) +
+           ", \"when\": " + jstr(c.failures[i].when) +
+           ", \"detail\": " + jstr(c.failures[i].detail) + "}";
+    }
+    j += "], \"scenario\": " + jstr(c.scenario) + "}";
+  }
+  j += first ? "]\n" : "\n  ]\n";
+  j += "}\n";
+  return j;
+}
+
+}  // namespace liteview::chaos

@@ -1,0 +1,94 @@
+// Randomized chaos campaigns over the paper testbed.
+//
+// A campaign cell is fully named by one 64-bit seed: the seed generates
+// the fault scenario (chaos::generate_scenario), seeds the deployment
+// (site survey, MAC backoff, fault RNG streams), and drives the
+// management workload the operator runs against it. The campaign fans
+// cells out across worker threads with sim::run_replications — shared-
+// nothing worlds, per-cell exception isolation, thread-count-independent
+// results — and checks every invariant oracle inline and at quiesce.
+// Every k-th cell is additionally executed twice with the flight
+// recorder attached and the two captures compared byte-for-byte; a
+// mismatch is reported through trace::diff as a first-divergence pointer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/generator.hpp"
+#include "chaos/oracle.hpp"
+#include "fault/scenario.hpp"
+
+namespace liteview::chaos {
+
+/// How one cell's world is built and exercised (shared by the campaign
+/// runner and the shrinker, which must re-run cells identically).
+struct CellOptions {
+  int nodes = 5;
+  /// Management commands the workload issues after warm-up.
+  int commands = 4;
+  /// Sample the cheap invariant bounds every 500 ms during the run.
+  bool inline_oracles = true;
+  /// Attach a flight recorder and return its serialized capture.
+  bool record = false;
+  /// Acceptance hook: plant the deliberate reliable-termination
+  /// regression (ReliableConfig::chaos_swallow_exhausted) so the
+  /// campaign's detection power is itself testable.
+  bool inject_termination_bug = false;
+  /// Scenario horizon; quiesce waits past all scripted activity plus the
+  /// neighbor max_age grace before the quiesce oracles run.
+  sim::SimTime horizon = sim::SimTime::sec(20);
+};
+
+struct CellOutcome {
+  std::vector<OracleFailure> failures;
+  std::vector<std::uint8_t> trace;  ///< recorder capture when recording
+  int commands_run = 0;
+};
+
+/// Build the cell's world, load `sc`, run the seeded workload, drive to
+/// quiesce, and check every oracle. Deterministic in (seed, sc, opt).
+[[nodiscard]] CellOutcome run_cell(std::uint64_t seed,
+                                   const fault::Scenario& sc,
+                                   const CellOptions& opt);
+
+struct CampaignConfig {
+  std::size_t cells = 100;
+  unsigned threads = 0;  ///< 0 = one per hardware thread
+  std::uint64_t base_seed = 1;
+  GeneratorConfig generator;
+  CellOptions cell;
+  /// Every k-th cell runs twice for the byte-identity determinism oracle
+  /// (0 disables — the double run is the campaign's most expensive probe).
+  std::size_t determinism_every = 16;
+};
+
+struct CellResult {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  std::string scenario;  ///< serialized scenario text
+  std::vector<OracleFailure> failures;
+  std::string error;  ///< exception text when the cell threw
+  int commands_run = 0;
+  [[nodiscard]] bool ok() const noexcept {
+    return error.empty() && failures.empty();
+  }
+};
+
+struct CampaignResult {
+  CampaignConfig config;
+  std::vector<CellResult> cells;
+  double wall_seconds = 0.0;
+  [[nodiscard]] std::size_t failed_cells() const noexcept;
+  [[nodiscard]] double cells_per_minute() const noexcept;
+};
+
+[[nodiscard]] CampaignResult run_campaign(const CampaignConfig& cfg);
+
+/// Campaign report as a self-contained JSON document: config, aggregate
+/// counts, throughput, and one entry per failing cell (oracle, detail,
+/// scenario text). Healthy cells are summarized, not listed.
+[[nodiscard]] std::string campaign_report_json(const CampaignResult& r);
+
+}  // namespace liteview::chaos

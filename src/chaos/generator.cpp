@@ -1,0 +1,146 @@
+#include "chaos/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "phy/cc2420.hpp"
+#include "util/rng.hpp"
+
+namespace liteview::chaos {
+namespace {
+
+/// Round to 3 decimals: keeps generated probabilities short in the .scn
+/// text while staying exactly representable through parse/serialize.
+double q3(double v) { return std::round(v * 1000.0) / 1000.0; }
+
+/// Uniform millisecond-quantized time in [lo, hi].
+sim::SimTime ms_between(util::RngStream& rng, sim::SimTime lo,
+                        sim::SimTime hi) {
+  const std::int64_t lo_ms = lo.nanoseconds() / 1'000'000;
+  const std::int64_t hi_ms = std::max(lo_ms, hi.nanoseconds() / 1'000'000);
+  return sim::SimTime::ms(rng.uniform_int(lo_ms, hi_ms));
+}
+
+net::Addr pick_node(util::RngStream& rng, int nodes) {
+  return static_cast<net::Addr>(rng.uniform_int(1, nodes));
+}
+
+std::pair<net::Addr, net::Addr> pick_link(util::RngStream& rng, int nodes) {
+  const net::Addr a = pick_node(rng, nodes);
+  net::Addr b = pick_node(rng, nodes);
+  while (b == a) b = pick_node(rng, nodes);
+  return {a, b};
+}
+
+}  // namespace
+
+fault::Scenario generate_scenario(std::uint64_t seed,
+                                  const GeneratorConfig& cfg) {
+  util::RngStream rng(seed, "chaos.generator");
+  const double hot = std::clamp(cfg.intensity, 0.0, 1.0);
+  const int nodes = std::max(cfg.nodes, 2);
+  // Scripted activity lives in [1s, active_end]; the tail of the horizon
+  // is convergence grace the campaign relies on.
+  const sim::SimTime start = sim::SimTime::sec(1);
+  const sim::SimTime active_end =
+      sim::SimTime::ms((cfg.horizon.nanoseconds() / 1'000'000) * 6 / 10);
+
+  std::vector<int> kinds;
+  if (cfg.with_bursts) kinds.push_back(0);
+  if (cfg.with_crashes) kinds.push_back(1);
+  if (cfg.with_jams) kinds.push_back(2);
+  if (cfg.with_linkdowns) kinds.push_back(3);
+  if (cfg.with_churn) kinds.push_back(4);
+
+  fault::Scenario sc;
+  if (kinds.empty()) return sc;
+  const auto n_clauses = static_cast<std::size_t>(rng.uniform_int(
+      1, static_cast<std::int64_t>(std::max<std::size_t>(cfg.max_clauses, 1))));
+
+  for (std::size_t c = 0; c < n_clauses; ++c) {
+    switch (kinds[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kinds.size()) - 1))]) {
+      case 0: {  // Gilbert–Elliott burst loss on one link or all links
+        fault::BurstDirective d;
+        if (rng.chance(0.25)) {
+          d.all_links = true;
+        } else {
+          const auto [a, b] = pick_link(rng, nodes);
+          d.from = a;
+          d.to = b;
+        }
+        d.ge.p_good_to_bad = q3(rng.uniform(0.002, 0.02 + 0.08 * hot));
+        d.ge.p_bad_to_good = q3(rng.uniform(0.05, 0.4));
+        d.ge.loss_bad = q3(rng.uniform(0.5, 0.7 + 0.3 * hot));
+        d.ge.loss_good = q3(rng.uniform(0.0, 0.05 * hot));
+        sc.bursts.push_back(d);
+        break;
+      }
+      case 1: {  // crash, usually with a reboot
+        fault::CrashDirective d;
+        d.node = pick_node(rng, nodes);
+        d.at = ms_between(rng, start, active_end);
+        d.downtime = rng.chance(0.2)
+                         ? sim::SimTime::zero()  // stays down
+                         : ms_between(rng, sim::SimTime::ms(200),
+                                      sim::SimTime::ms(
+                                          1000 + static_cast<std::int64_t>(
+                                                     2000 * hot)));
+        sc.crashes.push_back(d);
+        break;
+      }
+      case 2: {  // jam window; usually the channel the mesh is on
+        fault::JamDirective d;
+        d.channel = rng.chance(0.8)
+                        ? phy::kDefaultChannel
+                        : static_cast<phy::Channel>(rng.uniform_int(
+                              phy::kMinChannel, phy::kMaxChannel));
+        d.at = ms_between(rng, start, active_end);
+        d.duration = ms_between(
+            rng, sim::SimTime::ms(100),
+            sim::SimTime::ms(500 + static_cast<std::int64_t>(1500 * hot)));
+        sc.jams.push_back(d);
+        break;
+      }
+      case 3: {  // permanent one-directional blackout
+        const auto [a, b] = pick_link(rng, nodes);
+        sc.link_downs.push_back({a, b});
+        break;
+      }
+      case 4: {  // crash/reboot churn over a random pool
+        fault::ChurnDirective d;
+        const int pool_size = static_cast<int>(
+            rng.uniform_int(1, std::min(nodes, 3)));
+        while (static_cast<int>(d.pool.size()) < pool_size) {
+          const net::Addr a = pick_node(rng, nodes);
+          if (std::find(d.pool.begin(), d.pool.end(), a) == d.pool.end()) {
+            d.pool.push_back(a);
+          }
+        }
+        std::sort(d.pool.begin(), d.pool.end());
+        d.period = ms_between(rng, sim::SimTime::ms(500), sim::SimTime::sec(3));
+        d.downtime = ms_between(
+            rng, sim::SimTime::ms(200),
+            sim::SimTime::ms(500 + static_cast<std::int64_t>(1000 * hot)));
+        d.until = ms_between(rng, start + d.period, active_end);
+        sc.churns.push_back(std::move(d));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return sc;
+}
+
+sim::SimTime last_fault_activity(const fault::Scenario& sc) {
+  sim::SimTime last = sim::SimTime::zero();
+  const auto bump = [&](sim::SimTime t) { last = std::max(last, t); };
+  for (const auto& d : sc.crashes) bump(d.at + d.downtime);
+  for (const auto& d : sc.jams) bump(d.at + d.duration);
+  for (const auto& d : sc.churns) bump(d.until + d.downtime);
+  return last;
+}
+
+}  // namespace liteview::chaos

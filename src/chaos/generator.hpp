@@ -1,0 +1,50 @@
+// Seeded random fault-scenario generation for chaos campaigns.
+//
+// A generated scenario is an ordinary fault::Scenario — it composes the
+// fault plane's primitives (Gilbert–Elliott bursts, crash/reboot,
+// jamming, link asymmetry, churn) into a directive list that serializes
+// to the .scn text format, parses back to an equal value, and loads onto
+// any deployment with at least `nodes` nodes. The same (seed, config)
+// pair always yields the same scenario, so a campaign cell is fully named
+// by its seed: reproducing a failure needs no stored artifact beyond the
+// seed, and the shrinker can re-run candidates at will.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/scenario.hpp"
+
+namespace liteview::chaos {
+
+struct GeneratorConfig {
+  /// Deployment size the scenario must be valid for (addresses 1..nodes).
+  int nodes = 5;
+  /// Scenario end-of-life: all scripted fault activity (crash windows,
+  /// jams, churn) finishes by ~60% of the horizon, leaving the remainder
+  /// as convergence grace before quiesce oracles run.
+  sim::SimTime horizon = sim::SimTime::sec(20);
+  /// Directives per scenario: uniform in [1, max_clauses].
+  std::size_t max_clauses = 6;
+  /// 0..1 knob scaling how hostile each clause is (loss probabilities,
+  /// burst dwell, downtime lengths). 0.5 is survivable; 1.0 is brutal.
+  double intensity = 0.5;
+
+  // Per-primitive toggles (all on by default).
+  bool with_bursts = true;
+  bool with_crashes = true;
+  bool with_jams = true;
+  bool with_linkdowns = true;
+  bool with_churn = true;
+};
+
+/// Deterministically generate one scenario from (seed, cfg). All times
+/// are quantized to milliseconds and all probabilities to 1e-3, so the
+/// serialized text stays short and round-trips exactly.
+[[nodiscard]] fault::Scenario generate_scenario(std::uint64_t seed,
+                                                const GeneratorConfig& cfg);
+
+/// Latest instant at which `sc` can still inject a fault (crash reboots,
+/// jam ends, churn downtime tails). Campaign quiesce waits past this.
+[[nodiscard]] sim::SimTime last_fault_activity(const fault::Scenario& sc);
+
+}  // namespace liteview::chaos

@@ -1,0 +1,182 @@
+#include "chaos/oracle.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "phy/medium.hpp"
+#include "testbed/testbed.hpp"
+#include "util/strings.hpp"
+
+namespace liteview::chaos {
+
+std::string OracleFailure::to_string() const {
+  return util::format("[%s@%s] %s", oracle.c_str(), when.c_str(),
+                      detail.c_str());
+}
+
+void OracleSet::add(std::string name, Check check) {
+  checks_.push_back(Named{std::move(name), std::move(check)});
+}
+
+void OracleSet::run(const std::string& when) {
+  for (const auto& c : checks_) {
+    const bool already =
+        std::any_of(failures_.begin(), failures_.end(),
+                    [&](const OracleFailure& f) {
+                      return f.oracle == c.name && f.when == when;
+                    });
+    if (already) continue;
+    if (auto detail = c.check()) {
+      failures_.push_back(OracleFailure{c.name, when, std::move(*detail)});
+    }
+  }
+}
+
+sim::EventHandle OracleSet::install_inline_probe(sim::Simulator& sim,
+                                                sim::SimTime period) {
+  return sim.schedule_every(period, [this] { run("inline"); });
+}
+
+namespace {
+
+/// Size-scaled leak bounds. Deliberately generous: they must clear every
+/// legitimate high-water mark across thousands of randomized cells, while
+/// still tripping on genuine leaks, which grow without bound over a run.
+std::size_t pool_bound(std::size_t nodes) { return 128 + 32 * nodes; }
+std::size_t event_bound(std::size_t nodes) { return 256 + 64 * nodes; }
+
+}  // namespace
+
+bool reliable_endpoints_idle(testbed::Testbed& tb) {
+  const auto idle = [](const lv::ReliableEndpoint& ep) {
+    return !ep.in_flight() && ep.queue_depth() == 0;
+  };
+  if (!idle(tb.workstation().endpoint())) return false;
+  for (std::size_t i = 0; i < tb.size(); ++i) {
+    if (!idle(tb.suite(i).controller().endpoint())) return false;
+  }
+  return true;
+}
+
+void install_testbed_oracles(testbed::Testbed& tb, OracleSet& quiesce,
+                             OracleSet& inlineable) {
+  quiesce.add("reliable-termination", [&tb]() -> std::optional<std::string> {
+    const auto report = [](const char* who, const lv::ReliableEndpoint& ep)
+        -> std::optional<std::string> {
+      const auto& s = ep.stats();
+      if (ep.in_flight() || ep.queue_depth() != 0 ||
+          s.messages_sent != s.messages_delivered + s.messages_failed) {
+        return util::format(
+            "%s: sent=%llu delivered=%llu failed=%llu queue=%zu "
+            "in_flight=%d",
+            who, static_cast<unsigned long long>(s.messages_sent),
+            static_cast<unsigned long long>(s.messages_delivered),
+            static_cast<unsigned long long>(s.messages_failed),
+            ep.queue_depth(), ep.in_flight() ? 1 : 0);
+      }
+      return std::nullopt;
+    };
+    if (auto f = report("workstation", tb.workstation().endpoint())) return f;
+    for (std::size_t i = 0; i < tb.size(); ++i) {
+      const auto who = util::format("node %u", tb.addr(i));
+      if (auto f = report(who.c_str(), tb.suite(i).controller().endpoint())) {
+        return f;
+      }
+    }
+    return std::nullopt;
+  });
+
+  quiesce.add("neighbor-convergence", [&tb]() -> std::optional<std::string> {
+    for (std::size_t i = 0; i < tb.size(); ++i) {
+      if (!tb.node(i).powered()) continue;
+      for (const auto& e : tb.node(i).neighbors().entries()) {
+        if (e.addr < 1 || e.addr > tb.size()) continue;
+        if (!tb.node_by_addr(e.addr).powered() &&
+            tb.node(i).neighbors().usable(e.addr)) {
+          return util::format(
+              "node %u still lists crashed node %u as a usable neighbor",
+              tb.addr(i), e.addr);
+        }
+      }
+    }
+    return std::nullopt;
+  });
+
+  quiesce.add("pool-steady-state", [&tb]() -> std::optional<std::string> {
+    for (std::size_t i = 0; i < tb.size(); ++i) {
+      const auto pending =
+          tb.suite(i).controller().endpoint().pending_reassemblies();
+      if (pending != 0) {
+        return util::format(
+            "node %u holds %zu incomplete reassembly buffers after the TTL "
+            "horizon",
+            tb.addr(i), pending);
+      }
+    }
+    return std::nullopt;
+  });
+
+  install_medium_oracles(tb.sim(), tb.medium(), tb.size(), inlineable);
+}
+
+void install_medium_oracles(sim::Simulator& sim, phy::Medium& medium,
+                            std::size_t nodes, OracleSet& set) {
+  set.add("pool-steady-state", [&medium, nodes]()
+              -> std::optional<std::string> {
+    const std::size_t allocated = medium.frame_pool_allocated();
+    if (allocated > pool_bound(nodes)) {
+      return util::format(
+          "frame pool high-water %zu exceeds bound %zu for %zu nodes",
+          allocated, pool_bound(nodes), nodes);
+    }
+    return std::nullopt;
+  });
+  set.add("event-arena-bound", [&sim, nodes]() -> std::optional<std::string> {
+    const std::size_t pending = sim.pending_events();
+    if (pending > event_bound(nodes)) {
+      return util::format(
+          "%zu pending events exceeds bound %zu for %zu nodes", pending,
+          event_bound(nodes), nodes);
+    }
+    return std::nullopt;
+  });
+}
+
+std::optional<std::string> check_traceroute_run(const lv::TraceRun& run) {
+  // Reports are grouped per task: rounds restart hop numbering. Only a
+  // *hard* failure (kNoRoute — the prober knows the trace cannot go on)
+  // forbids deeper reports. A kNoReply hop is ambiguous by design: the
+  // forward probe may well have arrived and only the reply been lost, in
+  // which case the probed node autonomously continues the trace (Fig. 4
+  // step 5) and deeper reports are legitimate. A genuinely crashed hop
+  // cannot continue, so the crashed-hop partial-path invariant is still
+  // fully checked: its report must carry the typed reason, and nothing
+  // real can follow it.
+  std::map<std::uint16_t, std::uint32_t> first_hard_fail;  // task -> hop
+  for (const auto& tr : run.reports) {
+    const auto& r = tr.report;
+    if (!r.reached && r.fail_reason == lv::TrFailReason::kNone) {
+      return util::format(
+          "task %u hop %u unreached but carries no failure reason",
+          r.task_id, r.hop_index);
+    }
+    if (!r.reached && r.fail_reason == lv::TrFailReason::kNoRoute) {
+      const auto it = first_hard_fail.find(r.task_id);
+      if (it == first_hard_fail.end() || r.hop_index < it->second) {
+        first_hard_fail[r.task_id] = r.hop_index;
+      }
+    }
+  }
+  for (const auto& tr : run.reports) {
+    const auto& r = tr.report;
+    const auto it = first_hard_fail.find(r.task_id);
+    if (it != first_hard_fail.end() && r.hop_index > it->second) {
+      return util::format(
+          "task %u reports hop %u beyond the dead-end hop %u",
+          r.task_id, r.hop_index, it->second);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace liteview::chaos

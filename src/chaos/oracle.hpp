@@ -1,0 +1,115 @@
+// Invariant oracles for chaos campaigns.
+//
+// An oracle is a named predicate over live simulation state that must
+// hold whenever it is asked — either inline (sampled periodically while
+// the scenario is still injecting faults) or at quiesce (after the last
+// scripted fault plus a convergence grace period). Oracles draw no
+// randomness and schedule no network traffic, so installing them never
+// perturbs the simulation's RNG streams or packet timeline; the inline
+// probe does add timer events, which is why determinism comparisons are
+// always made between two runs with identical probe configuration.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "liteview/interpreter.hpp"
+#include "sim/simulator.hpp"
+
+namespace liteview::phy {
+class Medium;
+}
+namespace liteview::testbed {
+class Testbed;
+}
+
+namespace liteview::chaos {
+
+/// One oracle violation: which invariant, when it was checked, and a
+/// human-readable account of the offending state.
+struct OracleFailure {
+  std::string oracle;  ///< registered invariant name
+  std::string when;    ///< "inline" or "quiesce"
+  std::string detail;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A named set of invariant checks. A check returns nullopt when the
+/// invariant holds, or a detail string when it is violated. Failures
+/// accumulate; re-checking an already-violated invariant records only
+/// the first violation per (oracle, when) pair to keep reports readable.
+class OracleSet {
+ public:
+  using Check = std::function<std::optional<std::string>()>;
+
+  void add(std::string name, Check check);
+
+  /// Run every check, tagging violations with `when`.
+  void run(const std::string& when);
+
+  [[nodiscard]] const std::vector<OracleFailure>& failures() const noexcept {
+    return failures_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return checks_.size(); }
+  [[nodiscard]] bool clean() const noexcept { return failures_.empty(); }
+  void clear_failures() { failures_.clear(); }
+
+  /// Sample `run("inline")` every `period` until the simulation stops
+  /// driving events. Returns the recurring timer's handle (cancel to
+  /// detach). The set must outlive the simulator or the handle.
+  sim::EventHandle install_inline_probe(sim::Simulator& sim,
+                                        sim::SimTime period);
+
+ private:
+  struct Named {
+    std::string name;
+    Check check;
+  };
+  std::vector<Named> checks_;
+  std::vector<OracleFailure> failures_;
+};
+
+/// Install the deployment-wide safety/liveness invariants on `set`:
+///
+///   reliable-termination  every reliable endpoint (workstation + each
+///                         node controller) has completed every message it
+///                         ever accepted: sent == delivered + failed, no
+///                         queued work, nothing in flight.
+///   neighbor-convergence  no powered node still lists a currently
+///                         unpowered node as a usable neighbor (valid
+///                         only after churn quiesces + max_age grace).
+///   pool-steady-state     frame-buffer pool high-water and the event
+///                         arena's pending count stay within deployment-
+///                         size bounds (leak / runaway-timer detector).
+///
+/// Quiesce-only invariants (the first two) are registered on `quiesce`;
+/// bounds safe to sample mid-chaos go to `inlineable`. Pass the same set
+/// twice to check everything at quiesce only.
+void install_testbed_oracles(testbed::Testbed& tb, OracleSet& quiesce,
+                             OracleSet& inlineable);
+
+/// True when no reliable endpoint (workstation or node controller) has
+/// queued or in-flight work. The campaign's quiesce drains on this before
+/// running the reliable-termination oracle: termination is a liveness
+/// property, so the harness waits a *bounded* extra window for serialized
+/// retry ladders to finish rather than checking at a fixed instant.
+[[nodiscard]] bool reliable_endpoints_idle(testbed::Testbed& tb);
+
+/// The pool-bound subset for a bare sim+medium world (no testbed) — what
+/// bench/scale_sweep uses to price the inline probe's overhead.
+void install_medium_oracles(sim::Simulator& sim, phy::Medium& medium,
+                            std::size_t nodes, OracleSet& set);
+
+/// Traceroute structural invariant (checked per command by the campaign
+/// workload): a hop report that failed must carry a typed reason, and no
+/// report may continue past a hard dead-end (kNoRoute). A kNoReply hop
+/// does not forbid deeper reports — the probed node continues the trace
+/// autonomously, so a lost reply alone leaves the downstream half alive
+/// (a chaos-campaign finding; see DESIGN.md §12). Returns a detail
+/// string on violation.
+[[nodiscard]] std::optional<std::string> check_traceroute_run(
+    const lv::TraceRun& run);
+
+}  // namespace liteview::chaos

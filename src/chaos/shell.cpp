@@ -1,0 +1,117 @@
+#include "chaos/shell.hpp"
+
+#include <algorithm>
+
+#include "chaos/campaign.hpp"
+#include "chaos/generator.hpp"
+#include "chaos/shrink.hpp"
+#include "util/strings.hpp"
+
+namespace liteview::chaos {
+namespace {
+
+std::string cmd_gen(const util::CommandLine& cl) {
+  GeneratorConfig gen;
+  const auto seed = cl.option_int_or("seed", 1);
+  const auto nodes = cl.option_int_or("nodes", gen.nodes);
+  const auto clauses = cl.option_int_or(
+      "clauses", static_cast<std::int64_t>(gen.max_clauses));
+  if (!seed || !nodes || *nodes < 2 || !clauses || *clauses < 1) {
+    return "usage: chaos gen [seed=N nodes=K clauses=M]\n";
+  }
+  gen.nodes = static_cast<int>(*nodes);
+  gen.max_clauses = static_cast<std::size_t>(*clauses);
+  return fault::serialize_scenario(
+      generate_scenario(static_cast<std::uint64_t>(*seed), gen));
+}
+
+std::string cmd_run(const util::CommandLine& cl) {
+  CampaignConfig cfg;
+  const auto cells = cl.option_int_or("cells", 20);
+  const auto seed = cl.option_int_or("seed", 1);
+  const auto nodes = cl.option_int_or("nodes", cfg.cell.nodes);
+  if (!cells || *cells < 1 || !seed || !nodes || *nodes < 2) {
+    return "usage: chaos run [cells=N seed=S nodes=K]\n";
+  }
+  cfg.cells = static_cast<std::size_t>(*cells);
+  cfg.base_seed = static_cast<std::uint64_t>(*seed);
+  cfg.cell.nodes = static_cast<int>(*nodes);
+  cfg.generator.nodes = cfg.cell.nodes;
+
+  const CampaignResult r = run_campaign(cfg);
+  std::string out = util::format(
+      "campaign: %zu cells, %zu failed, %.1f cells/min\n", r.cells.size(),
+      r.failed_cells(), r.cells_per_minute());
+  for (const auto& c : r.cells) {
+    if (c.ok()) continue;
+    out += util::format("  cell %zu seed=%llu: ", c.index,
+                        static_cast<unsigned long long>(c.seed));
+    if (!c.error.empty()) {
+      out += "exception: " + c.error + "\n";
+    } else {
+      out += c.failures.front().to_string() + "\n";
+    }
+  }
+  return out;
+}
+
+std::string cmd_shrink(const util::CommandLine& cl) {
+  CellOptions opt;
+  const auto seed_opt = cl.option_int_or("seed", -1);
+  const auto nodes = cl.option_int_or("nodes", opt.nodes);
+  if (!seed_opt || *seed_opt < 0 || !nodes || *nodes < 2) {
+    return "usage: chaos shrink seed=N [nodes=K]\n";
+  }
+  opt.nodes = static_cast<int>(*nodes);
+  GeneratorConfig gen;
+  gen.nodes = opt.nodes;
+  const auto s = static_cast<std::uint64_t>(*seed_opt);
+  const fault::Scenario sc = generate_scenario(s, gen);
+
+  const ShrinkResult res = shrink_scenario(s, sc, opt);
+  if (!res.reproduced) {
+    return util::format("chaos shrink: seed %llu does not fail (%zu-clause "
+                        "scenario ran clean)\n",
+                        static_cast<unsigned long long>(s),
+                        res.original_clauses);
+  }
+  return util::format("oracle: %s\nclauses: %zu -> %zu (%zu runs)\n",
+                      res.oracle.c_str(), res.original_clauses,
+                      res.final_clauses, res.runs) +
+         res.scenario_text;
+}
+
+}  // namespace
+
+void install_shell_commands(testbed::Testbed& tb) {
+  tb.shell().register_command(
+      "chaos", [&tb](const util::CommandLine& cl) -> std::string {
+        const std::string sub =
+            cl.positional.empty() ? "" : cl.positional[0];
+        if (sub == "gen") return cmd_gen(cl);
+        if (sub == "run") return cmd_run(cl);
+        if (sub == "shrink") return cmd_shrink(cl);
+        if (sub == "check") {
+          OracleSet quiesce;
+          OracleSet inlineable;
+          install_testbed_oracles(tb, quiesce, inlineable);
+          quiesce.run("quiesce");
+          inlineable.run("quiesce");
+          if (quiesce.clean() && inlineable.clean()) {
+            return util::format("chaos check: %zu oracles clean\n",
+                                quiesce.size() + inlineable.size());
+          }
+          std::string out;
+          for (const auto& f : quiesce.failures()) {
+            out += f.to_string() + "\n";
+          }
+          for (const auto& f : inlineable.failures()) {
+            out += f.to_string() + "\n";
+          }
+          return out;
+        }
+        return "usage: chaos gen|run|shrink|check ...\n";
+      });
+}
+
+}  // namespace liteview::chaos

@@ -1,0 +1,23 @@
+// Shell verbs for the chaos engine, hooked into a deployment's
+// CommandInterpreter through its extension-command registry (the chaos
+// library links the testbed, so the interpreter cannot link chaos — the
+// dependency points up, and the hook keeps it that way).
+#pragma once
+
+#include "testbed/testbed.hpp"
+
+namespace liteview::chaos {
+
+/// Register the `chaos` command family on `tb`'s shell:
+///
+///   chaos gen   [seed= nodes= clauses=]   print a generated scenario
+///   chaos run   [cells= seed= nodes=]     run a campaign, print summary
+///   chaos shrink seed= [nodes=]           shrink that seed's failure
+///   chaos check                           run quiesce oracles on the
+///                                         live deployment right now
+///
+/// `gen`/`run`/`shrink` build their own shared-nothing worlds; only
+/// `check` inspects `tb` itself. `tb` must outlive its shell.
+void install_shell_commands(testbed::Testbed& tb);
+
+}  // namespace liteview::chaos

@@ -1,0 +1,43 @@
+// Automatic scenario shrinking: delta-debug a failing chaos cell down to
+// a minimal reproducing scenario.
+//
+// A failing cell is (seed, scenario, oracle-that-fired). The shrinker
+// treats the scenario as a flat clause list and runs ddmin over it:
+// repeatedly try dropping clause subsets, keep any candidate that still
+// makes the *same* oracle fire under the same seed and workload, until
+// the scenario is 1-minimal (no single clause can be removed). A second
+// pass then narrows the surviving clauses — halving churn pools and
+// shortening jam/churn windows — while the failure keeps reproducing.
+// Every candidate is verified by actually re-running the cell, so the
+// output is a true reproducer, not a guess.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chaos/campaign.hpp"
+#include "fault/scenario.hpp"
+
+namespace liteview::chaos {
+
+struct ShrinkResult {
+  /// Did the full scenario reproduce any oracle failure at all? When
+  /// false the remaining fields echo the input.
+  bool reproduced = false;
+  /// The oracle the original run fired (shrinking preserves it).
+  std::string oracle;
+  fault::Scenario minimal;
+  std::string scenario_text;  ///< serialize_scenario(minimal)
+  std::size_t original_clauses = 0;
+  std::size_t final_clauses = 0;
+  std::size_t runs = 0;  ///< cell re-executions spent
+};
+
+/// Shrink `sc` for the cell named by (seed, opt). `max_runs` bounds the
+/// total number of cell re-executions (ddmin + narrowing).
+[[nodiscard]] ShrinkResult shrink_scenario(std::uint64_t seed,
+                                           const fault::Scenario& sc,
+                                           const CellOptions& opt,
+                                           std::size_t max_runs = 200);
+
+}  // namespace liteview::chaos

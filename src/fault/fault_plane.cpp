@@ -4,6 +4,7 @@
 
 #include "trace/flight_recorder.hpp"
 #include "util/bytes.hpp"
+#include "util/strings.hpp"
 
 namespace liteview::fault {
 
@@ -162,20 +163,29 @@ void FaultPlane::churn(std::vector<net::Addr> pool, sim::SimTime period,
                    });
 }
 
-bool FaultPlane::load(const Scenario& scenario) {
+bool FaultPlane::load(const Scenario& scenario, std::string* error) {
   const auto known = [&](net::Addr a) { return find_node(a) != nullptr; };
+  const auto reject = [&](const char* directive, net::Addr a) {
+    if (error != nullptr) {
+      *error = util::format("%s: unknown node %u", directive, a);
+    }
+    return false;
+  };
   for (const auto& d : scenario.bursts) {
-    if (!d.all_links && (!known(d.from) || !known(d.to))) return false;
+    if (d.all_links) continue;
+    if (!known(d.from)) return reject("burst", d.from);
+    if (!known(d.to)) return reject("burst", d.to);
   }
   for (const auto& d : scenario.crashes) {
-    if (!known(d.node)) return false;
+    if (!known(d.node)) return reject("crash", d.node);
   }
   for (const auto& d : scenario.link_downs) {
-    if (!known(d.from) || !known(d.to)) return false;
+    if (!known(d.from)) return reject("linkdown", d.from);
+    if (!known(d.to)) return reject("linkdown", d.to);
   }
   for (const auto& d : scenario.churns) {
     for (net::Addr a : d.pool) {
-      if (!known(a)) return false;
+      if (!known(a)) return reject("churn", a);
     }
   }
 

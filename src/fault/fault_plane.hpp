@@ -99,8 +99,9 @@ class FaultPlane final : public phy::FaultInterceptor {
              sim::SimTime downtime, sim::SimTime until);
 
   /// Apply a whole scenario (see scenario.hpp). Returns false when a
-  /// directive names an unregistered node.
-  bool load(const Scenario& scenario);
+  /// directive names an unregistered node; `error` (when non-null) then
+  /// names the directive and the offending address.
+  bool load(const Scenario& scenario, std::string* error = nullptr);
 
   // ---- phy::FaultInterceptor ------------------------------------------
   bool should_drop(phy::RadioId from, phy::RadioId to,

@@ -1,5 +1,7 @@
 #include "fault/scenario.hpp"
 
+#include <cstdio>
+
 #include "util/strings.hpp"
 
 namespace liteview::fault {
@@ -34,7 +36,56 @@ std::optional<sim::SimTime> option_duration(const util::CommandLine& cl,
   return parse_duration(*s);
 }
 
+/// Parse-failure bookkeeping for one scenario text. `fail` records the
+/// first problem (line/column/token) into the caller's error slot and
+/// always returns nullopt, so directive parsers can bail in one line.
+struct ErrorSink {
+  ScenarioParseError* out = nullptr;
+  std::size_t line_no = 0;        ///< 1-based, advanced per line
+  const std::string* raw = nullptr;  ///< current raw line for columns
+
+  std::nullopt_t fail(const std::string& token, std::string message) {
+    if (out != nullptr && out->line == 0) {
+      out->line = line_no;
+      std::size_t col = 1;
+      if (raw != nullptr && !token.empty()) {
+        const auto at = raw->find(token);
+        if (at != std::string::npos) col = at + 1;
+      }
+      out->column = col;
+      out->token = token;
+      out->message = std::move(message);
+    }
+    return std::nullopt;
+  }
+};
+
+/// The option value for `key` as it appeared in the text (for error
+/// reporting), or the bare key when absent.
+std::string option_token(const util::CommandLine& cl, std::string_view key) {
+  const auto s = cl.option_str(key);
+  return s ? std::string(key) + "=" + *s : std::string(key);
+}
+
+/// Shortest printf format that round-trips the double through
+/// util::parse_double (strtod). %.15g covers almost everything; the rare
+/// remainder gets the full 17 significant digits.
+std::string format_double_exact(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.15g", v);
+  if (const auto back = util::parse_double(buf); back && *back == v) {
+    return buf;
+  }
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
 }  // namespace
+
+std::string ScenarioParseError::to_string() const {
+  return util::format("line %zu:%zu: %s '%s'", line, column, message.c_str(),
+                      token.c_str());
+}
 
 std::optional<sim::SimTime> parse_duration(const std::string& token) {
   std::size_t unit_at = token.size();
@@ -52,9 +103,29 @@ std::optional<sim::SimTime> parse_duration(const std::string& token) {
   return std::nullopt;
 }
 
-std::optional<Scenario> parse_scenario(const std::string& text) {
+std::string format_duration(sim::SimTime t) {
+  const std::int64_t ns = t.nanoseconds();
+  if (ns % 1'000'000'000 == 0) {
+    return util::format("%llds", static_cast<long long>(ns / 1'000'000'000));
+  }
+  if (ns % 1'000'000 == 0) {
+    return util::format("%lldms", static_cast<long long>(ns / 1'000'000));
+  }
+  if (ns % 1'000 == 0) {
+    return util::format("%lldus", static_cast<long long>(ns / 1'000));
+  }
+  return util::format("%lldns", static_cast<long long>(ns));
+}
+
+std::optional<Scenario> parse_scenario(const std::string& text,
+                                       ScenarioParseError* error) {
+  if (error != nullptr) *error = ScenarioParseError{};
+  ErrorSink err{error, 0, nullptr};
+
   Scenario sc;
   for (const auto& raw_line : util::split(text, '\n')) {
+    ++err.line_no;
+    err.raw = &raw_line;
     std::string line = raw_line;
     if (const auto hash = line.find('#'); hash != std::string::npos) {
       line.erase(hash);
@@ -63,7 +134,9 @@ std::optional<Scenario> parse_scenario(const std::string& text) {
     const auto cl = util::parse_command_line(line);
 
     if (cl.command == "burst") {
-      if (cl.positional.size() != 1) return std::nullopt;
+      if (cl.positional.size() != 1) {
+        return err.fail(cl.command, "burst needs exactly one link (or '*')");
+      }
       BurstDirective d;
       if (cl.positional[0] == "*") {
         d.all_links = true;
@@ -71,24 +144,32 @@ std::optional<Scenario> parse_scenario(const std::string& text) {
         d.from = link->first;
         d.to = link->second;
       } else {
-        return std::nullopt;
+        return err.fail(cl.positional[0], "bad link (expected 'a->b' or '*')");
       }
       const auto pgb = option_double(cl, "pgb", 0.0);
       const auto pbg = option_double(cl, "pbg", 1.0);
       const auto lossb = option_double(cl, "lossb", 1.0);
       const auto lossg = option_double(cl, "lossg", 0.0);
-      if (!pgb || !pbg || !lossb || !lossg) return std::nullopt;
+      if (!pgb) return err.fail(option_token(cl, "pgb"), "bad probability");
+      if (!pbg) return err.fail(option_token(cl, "pbg"), "bad probability");
+      if (!lossb) return err.fail(option_token(cl, "lossb"), "bad probability");
+      if (!lossg) return err.fail(option_token(cl, "lossg"), "bad probability");
       d.ge = {*pgb, *pbg, *lossg, *lossb};
       sc.bursts.push_back(d);
     } else if (cl.command == "crash") {
-      if (cl.positional.size() != 1) return std::nullopt;
+      if (cl.positional.size() != 1) {
+        return err.fail(cl.command, "crash needs exactly one node");
+      }
       const auto node = util::parse_int(cl.positional[0]);
-      if (!node || *node < 1 || *node > 0xffff) return std::nullopt;
+      if (!node || *node < 1 || *node > 0xffff) {
+        return err.fail(cl.positional[0], "bad node address");
+      }
       CrashDirective d;
       d.node = static_cast<net::Addr>(*node);
       const auto at = option_duration(cl, "at", sim::SimTime::zero());
       const auto dur = option_duration(cl, "for", sim::SimTime::zero());
-      if (!at || !dur) return std::nullopt;
+      if (!at) return err.fail(option_token(cl, "at"), "bad duration");
+      if (!dur) return err.fail(option_token(cl, "for"), "bad duration");
       d.at = *at;
       d.downtime = *dur;
       sc.crashes.push_back(d);
@@ -96,45 +177,104 @@ std::optional<Scenario> parse_scenario(const std::string& text) {
       JamDirective d;
       const auto ch = cl.option_int_or("ch", phy::kDefaultChannel);
       if (!ch || *ch < phy::kMinChannel || *ch > phy::kMaxChannel) {
-        return std::nullopt;
+        return err.fail(option_token(cl, "ch"),
+                        "bad channel (expected 11..26)");
       }
       d.channel = static_cast<phy::Channel>(*ch);
       const auto at = option_duration(cl, "at", sim::SimTime::zero());
       const auto dur = option_duration(cl, "for", sim::SimTime::zero());
-      if (!at || !dur || *dur <= sim::SimTime::zero()) return std::nullopt;
+      if (!at) return err.fail(option_token(cl, "at"), "bad duration");
+      if (!dur || *dur <= sim::SimTime::zero()) {
+        return err.fail(option_token(cl, "for"),
+                        "bad duration (jam needs for > 0)");
+      }
       d.at = *at;
       d.duration = *dur;
       sc.jams.push_back(d);
     } else if (cl.command == "linkdown") {
-      if (cl.positional.size() != 1) return std::nullopt;
+      if (cl.positional.size() != 1) {
+        return err.fail(cl.command, "linkdown needs exactly one link");
+      }
       const auto link = parse_link(cl.positional[0]);
-      if (!link) return std::nullopt;
+      if (!link) {
+        return err.fail(cl.positional[0], "bad link (expected 'a->b')");
+      }
       sc.link_downs.push_back({link->first, link->second});
     } else if (cl.command == "churn") {
-      if (cl.positional.size() != 1) return std::nullopt;
+      if (cl.positional.size() != 1) {
+        return err.fail(cl.command, "churn needs exactly one node pool");
+      }
       ChurnDirective d;
       for (const auto& tok : util::split(cl.positional[0], ',')) {
         const auto node = util::parse_int(tok);
-        if (!node || *node < 1 || *node > 0xffff) return std::nullopt;
+        if (!node || *node < 1 || *node > 0xffff) {
+          return err.fail(cl.positional[0], "bad node pool");
+        }
         d.pool.push_back(static_cast<net::Addr>(*node));
       }
-      if (d.pool.empty()) return std::nullopt;
+      if (d.pool.empty()) {
+        return err.fail(cl.positional[0], "bad node pool");
+      }
       const auto period = option_duration(cl, "period", sim::SimTime::sec(10));
       const auto down = option_duration(cl, "down", sim::SimTime::sec(1));
       const auto until = option_duration(cl, "until", sim::SimTime::sec(60));
-      if (!period || !down || !until ||
-          *period <= sim::SimTime::zero()) {
-        return std::nullopt;
+      if (!period) return err.fail(option_token(cl, "period"), "bad duration");
+      if (!down) return err.fail(option_token(cl, "down"), "bad duration");
+      if (!until) return err.fail(option_token(cl, "until"), "bad duration");
+      if (*period <= sim::SimTime::zero()) {
+        return err.fail(option_token(cl, "period"),
+                        "bad duration (churn needs period > 0)");
       }
       d.period = *period;
       d.downtime = *down;
       d.until = *until;
       sc.churns.push_back(std::move(d));
     } else {
-      return std::nullopt;
+      return err.fail(cl.command, "unknown directive");
     }
   }
   return sc;
+}
+
+std::string serialize_scenario(const Scenario& sc) {
+  std::string out;
+  for (const auto& d : sc.bursts) {
+    out += "burst ";
+    out += d.all_links ? "*" : util::format("%u->%u", d.from, d.to);
+    out += " pgb=" + format_double_exact(d.ge.p_good_to_bad);
+    out += " pbg=" + format_double_exact(d.ge.p_bad_to_good);
+    out += " lossb=" + format_double_exact(d.ge.loss_bad);
+    out += " lossg=" + format_double_exact(d.ge.loss_good);
+    out += '\n';
+  }
+  for (const auto& d : sc.crashes) {
+    out += util::format("crash %u at=%s", d.node,
+                        format_duration(d.at).c_str());
+    if (d.downtime > sim::SimTime::zero()) {
+      out += " for=" + format_duration(d.downtime);
+    }
+    out += '\n';
+  }
+  for (const auto& d : sc.jams) {
+    out += util::format("jam ch=%u at=%s for=%s\n", d.channel,
+                        format_duration(d.at).c_str(),
+                        format_duration(d.duration).c_str());
+  }
+  for (const auto& d : sc.link_downs) {
+    out += util::format("linkdown %u->%u\n", d.from, d.to);
+  }
+  for (const auto& d : sc.churns) {
+    out += "churn ";
+    for (std::size_t i = 0; i < d.pool.size(); ++i) {
+      if (i > 0) out += ',';
+      out += util::format("%u", d.pool[i]);
+    }
+    out += util::format(" period=%s down=%s until=%s\n",
+                        format_duration(d.period).c_str(),
+                        format_duration(d.downtime).c_str(),
+                        format_duration(d.until).c_str());
+  }
+  return out;
 }
 
 }  // namespace liteview::fault

@@ -51,6 +51,8 @@ struct GilbertElliottConfig {
     const double pi_bad = p_good_to_bad / denom;
     return (1.0 - pi_bad) * loss_good + pi_bad * loss_bad;
   }
+
+  [[nodiscard]] bool operator==(const GilbertElliottConfig&) const = default;
 };
 
 struct BurstDirective {
@@ -58,6 +60,8 @@ struct BurstDirective {
   net::Addr from = 0;
   net::Addr to = 0;
   GilbertElliottConfig ge;
+
+  [[nodiscard]] bool operator==(const BurstDirective&) const = default;
 };
 
 struct CrashDirective {
@@ -65,17 +69,23 @@ struct CrashDirective {
   sim::SimTime at;
   /// Zero = never reboots.
   sim::SimTime downtime;
+
+  [[nodiscard]] bool operator==(const CrashDirective&) const = default;
 };
 
 struct JamDirective {
   phy::Channel channel = phy::kDefaultChannel;
   sim::SimTime at;
   sim::SimTime duration;
+
+  [[nodiscard]] bool operator==(const JamDirective&) const = default;
 };
 
 struct LinkDownDirective {
   net::Addr from = 0;
   net::Addr to = 0;
+
+  [[nodiscard]] bool operator==(const LinkDownDirective&) const = default;
 };
 
 struct ChurnDirective {
@@ -83,6 +93,8 @@ struct ChurnDirective {
   sim::SimTime period;
   sim::SimTime downtime;
   sim::SimTime until;
+
+  [[nodiscard]] bool operator==(const ChurnDirective&) const = default;
 };
 
 struct Scenario {
@@ -96,13 +108,49 @@ struct Scenario {
     return bursts.empty() && crashes.empty() && jams.empty() &&
            link_downs.empty() && churns.empty();
   }
+
+  /// Total directive count (the "size" the chaos shrinker minimizes).
+  [[nodiscard]] std::size_t clause_count() const noexcept {
+    return bursts.size() + crashes.size() + jams.size() + link_downs.size() +
+           churns.size();
+  }
+
+  [[nodiscard]] bool operator==(const Scenario&) const = default;
 };
 
-/// Parse the text format above; nullopt on any malformed line.
-[[nodiscard]] std::optional<Scenario> parse_scenario(const std::string& text);
+/// Where and why a scenario failed to parse. `line` is 1-based; `column`
+/// is the 1-based position of the offending token's first character in
+/// that line (best-effort: the first occurrence of the token text).
+struct ScenarioParseError {
+  std::size_t line = 0;
+  std::size_t column = 0;
+  std::string token;    ///< offending token (empty when a line is short)
+  std::string message;  ///< what was expected
+
+  /// "line 3:9: bad duration '5parsecs' (expected ns/us/ms/s suffix)"
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parse the text format above; nullopt on any malformed line. When
+/// `error` is non-null it receives the first problem's location and token,
+/// so shrunk / machine-generated scenarios fail loudly instead of as a
+/// bare nullopt.
+[[nodiscard]] std::optional<Scenario> parse_scenario(
+    const std::string& text, ScenarioParseError* error = nullptr);
+
+/// Render a Scenario back into the text format, canonically (one
+/// directive per line, options in fixed order, durations in the largest
+/// exact unit). Guaranteed to round-trip:
+///   parse_scenario(serialize_scenario(s)) == s
+/// which is what lets the chaos shrinker emit reloadable `.scn` files.
+[[nodiscard]] std::string serialize_scenario(const Scenario& sc);
 
 /// Parse a duration token like "250ms", "2s", "800us", "100" (= ns).
 [[nodiscard]] std::optional<sim::SimTime> parse_duration(
     const std::string& token);
+
+/// Render a duration in the largest unit that divides it exactly
+/// ("250ms", "2s", "800us", "7ns"); inverse of parse_duration.
+[[nodiscard]] std::string format_duration(sim::SimTime t);
 
 }  // namespace liteview::fault

@@ -282,6 +282,10 @@ std::string CommandInterpreter::execute(const std::string& line) {
   // Workstation-local diagnostics: usable without logging into a node.
   if (cl.command == "trace") return cmd_trace(cl);
   if (cl.command == "snapshot") return cmd_snapshot(cl);
+  if (const auto ext = extensions_.find(cl.command);
+      ext != extensions_.end()) {
+    return ext->second(cl);
+  }
 
   if (!current_) return "not logged into a node (use cd)\n";
 
@@ -585,6 +589,10 @@ void CommandInterpreter::set_diagnostics(
     std::function<trace::Checkpoint(std::string)> checkpointer) {
   recorder_ = recorder;
   checkpointer_ = std::move(checkpointer);
+}
+
+void CommandInterpreter::register_command(std::string name, CommandFn fn) {
+  extensions_[std::move(name)] = std::move(fn);
 }
 
 std::string CommandInterpreter::cmd_trace(const util::CommandLine& cl) {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -158,6 +159,15 @@ class CommandInterpreter {
       trace::FlightRecorder* recorder,
       std::function<trace::Checkpoint(std::string)> checkpointer);
 
+  /// Extension command: `fn` receives the parsed command line and returns
+  /// the transcript. Registered names are workstation-local (dispatched
+  /// before the logged-in check) and shadow neither built-ins nor each
+  /// other — re-registering a name replaces the handler. Layers above the
+  /// liteview library (chaos, testbed tooling) hook their shell verbs in
+  /// here without this library linking them.
+  using CommandFn = std::function<std::string(const util::CommandLine&)>;
+  void register_command(std::string name, CommandFn fn);
+
  private:
   std::string cmd_ls() const;
   std::string cmd_ping(const util::CommandLine& cl);
@@ -184,6 +194,7 @@ class CommandInterpreter {
   trace::FlightRecorder* recorder_ = nullptr;
   std::function<trace::Checkpoint(std::string)> checkpointer_;
   std::vector<std::uint8_t> saved_trace_;  ///< `trace save` baseline
+  std::map<std::string, CommandFn> extensions_;
 };
 
 }  // namespace liteview::lv

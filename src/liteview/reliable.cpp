@@ -225,6 +225,13 @@ void ReliableEndpoint::on_ack_timeout(std::uint16_t msg_id) {
         std::max(cfg_.min_batch, batch_size(msg.dst) / 2);
   }
   if (++msg.retries > cfg_.max_retries) {
+    if (cfg_.chaos_swallow_exhausted) {
+      // Deliberate regression (see ReliableConfig): drop the message on
+      // the floor without completing it — the queue head stays in flight
+      // forever and no typed failure is ever reported.
+      timeout_.cancel();
+      return;
+    }
     declare_peer_dead(msg.dst);
     finish_current(false);
     return;

@@ -71,6 +71,12 @@ struct ReliableConfig {
   /// would silently eat the first fresh message whose id collides with
   /// an ancient completion.
   sim::SimTime dedup_window = sim::SimTime::sec(60);
+  /// TEST HOOK (chaos acceptance): deliberately regress the retry ladder —
+  /// a message that exhausts max_retries is silently dropped instead of
+  /// completing with a typed failure, so the queue head stays "in flight"
+  /// forever. The chaos reliable-termination oracle must catch this; it
+  /// exists so the campaign's detection power is itself under test.
+  bool chaos_swallow_exhausted = false;
 };
 
 struct ReliableStats {
@@ -125,6 +131,13 @@ class ReliableEndpoint {
   /// Incomplete reassembly buffers currently held (TTL sweep observability).
   [[nodiscard]] std::size_t pending_reassemblies() const noexcept {
     return incoming_.size();
+  }
+  /// True while a message occupies the head of the send queue (chaos
+  /// oracles assert this clears once the network quiesces).
+  [[nodiscard]] bool in_flight() const noexcept { return in_flight_; }
+  /// Messages queued toward any peer, including the one in flight.
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return queue_.size();
   }
   /// Test hook: force the next outgoing msg_id toward `peer` (simulates
   /// the id space wrapping without sending 65536 messages).

@@ -285,6 +285,19 @@ class Medium {
     return frames_sniffed_corrupted_;
   }
 
+  /// Pool high-water mark: PSDU buffers ever created. Bounded by peak
+  /// reception concurrency — not by total traffic — when nothing leaks,
+  /// which is exactly what the chaos pool-steady-state oracle asserts.
+  [[nodiscard]] std::size_t frame_pool_allocated() const noexcept {
+    return frame_pool_.allocated();
+  }
+  /// Non-aborted receptions currently in flight across all radios.
+  [[nodiscard]] std::size_t inflight_receptions() const noexcept {
+    std::size_t n = 0;
+    for (const auto& v : rx_inflight_) n += v.size();
+    return n;
+  }
+
   /// Deterministic received power (no fading) for a directed pair — used
   /// by topology builders to check connectivity before running. Served
   /// through the gain cache when it is enabled (same doubles either way).

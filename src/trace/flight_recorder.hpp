@@ -59,6 +59,7 @@ class Ring {
   /// Copy the ring's records, oldest first, into a flat byte vector.
   [[nodiscard]] std::vector<std::uint8_t> linearize() const {
     std::vector<std::uint8_t> out(size_);
+    if (size_ == 0) return out;  // empty ring: no bytes to copy
     const std::size_t first = std::min(size_, buf_.size() - head_);
     std::memcpy(out.data(), buf_.data() + head_, first);
     std::memcpy(out.data() + first, buf_.data(), size_ - first);

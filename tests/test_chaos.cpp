@@ -1,0 +1,341 @@
+// Chaos campaign engine: generator validity, oracle semantics, campaign
+// determinism, and — the acceptance loop — a deliberately planted
+// regression that the oracles must catch and the shrinker must reduce to
+// a handful of clauses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "chaos/campaign.hpp"
+#include "chaos/generator.hpp"
+#include "chaos/oracle.hpp"
+#include "chaos/shell.hpp"
+#include "chaos/shrink.hpp"
+#include "fault/fault_plane.hpp"
+#include "fault/scenario.hpp"
+#include "testbed/testbed.hpp"
+#include "trace/diff.hpp"
+
+namespace liteview {
+namespace {
+
+// ---- generator ---------------------------------------------------------
+
+TEST(ChaosGenerator, ScenariosAreValidAndRoundTrip) {
+  chaos::GeneratorConfig cfg;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const fault::Scenario sc = chaos::generate_scenario(seed, cfg);
+    ASSERT_FALSE(sc.empty()) << "seed " << seed;
+    ASSERT_LE(sc.clause_count(), cfg.max_clauses) << "seed " << seed;
+
+    // Serialized text parses back to the identical value (what lets the
+    // campaign store cells as text and the shrinker emit .scn files).
+    const std::string text = fault::serialize_scenario(sc);
+    fault::ScenarioParseError err;
+    const auto back = fault::parse_scenario(text, &err);
+    ASSERT_TRUE(back.has_value())
+        << "seed " << seed << ": " << err.to_string() << "\n" << text;
+    EXPECT_EQ(*back, sc) << "seed " << seed;
+  }
+}
+
+TEST(ChaosGenerator, SameSeedSameScenario) {
+  const chaos::GeneratorConfig cfg;
+  for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    EXPECT_EQ(chaos::generate_scenario(seed, cfg),
+              chaos::generate_scenario(seed, cfg));
+  }
+}
+
+TEST(ChaosGenerator, ScenariosLoadOntoMatchingDeployment) {
+  chaos::GeneratorConfig cfg;
+  cfg.nodes = 4;
+  auto tb = testbed::Testbed::surveyed_line(cfg.nodes,
+                                            testbed::Testbed::paper_config(3));
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const fault::Scenario sc = chaos::generate_scenario(seed, cfg);
+    std::string err;
+    EXPECT_TRUE(tb->fault().load(sc, &err))
+        << "seed " << seed << ": " << err << "\n"
+        << fault::serialize_scenario(sc);
+  }
+}
+
+TEST(ChaosGenerator, ActivityEndsInsideTheHorizon) {
+  chaos::GeneratorConfig cfg;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const fault::Scenario sc = chaos::generate_scenario(seed, cfg);
+    // Quiesce waits for last_fault_activity + grace; a scenario whose
+    // tail runs past the horizon would starve the quiesce oracles.
+    EXPECT_LE(chaos::last_fault_activity(sc).nanoseconds(),
+              cfg.horizon.nanoseconds())
+        << "seed " << seed << "\n" << fault::serialize_scenario(sc);
+  }
+}
+
+TEST(ChaosGenerator, TogglesRestrictClauseKinds) {
+  chaos::GeneratorConfig cfg;
+  cfg.with_bursts = false;
+  cfg.with_jams = false;
+  cfg.with_linkdowns = false;
+  cfg.with_churn = false;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const fault::Scenario sc = chaos::generate_scenario(seed, cfg);
+    EXPECT_TRUE(sc.bursts.empty() && sc.jams.empty() &&
+                sc.link_downs.empty() && sc.churns.empty());
+    EXPECT_FALSE(sc.crashes.empty());
+  }
+}
+
+// ---- oracle framework --------------------------------------------------
+
+TEST(ChaosOracle, RecordsFirstViolationPerOracleAndPhase) {
+  chaos::OracleSet set;
+  int calls = 0;
+  set.add("always-bad", [&calls]() -> std::optional<std::string> {
+    ++calls;
+    return "violation " + std::to_string(calls);
+  });
+  set.add("always-good", []() -> std::optional<std::string> {
+    return std::nullopt;
+  });
+
+  set.run("inline");
+  set.run("inline");   // same (oracle, phase): violated check not re-run
+  set.run("quiesce");  // new phase: checked and recorded once more
+  EXPECT_EQ(calls, 2);
+  ASSERT_EQ(set.failures().size(), 2u);
+  EXPECT_EQ(set.failures()[0].oracle, "always-bad");
+  EXPECT_EQ(set.failures()[0].when, "inline");
+  EXPECT_EQ(set.failures()[0].detail, "violation 1");
+  EXPECT_EQ(set.failures()[1].when, "quiesce");
+  EXPECT_FALSE(set.clean());
+
+  set.clear_failures();
+  EXPECT_TRUE(set.clean());
+}
+
+TEST(ChaosOracle, TracerouteChecksRejectUntypedAndPhantomHops) {
+  lv::TraceRun run;
+  const auto report = [](std::uint8_t hop, bool reached,
+                         lv::TrFailReason why) {
+    lv::TimedReport tr;
+    tr.report.task_id = 9;
+    tr.report.hop_index = hop;
+    tr.report.reached = reached;
+    tr.report.fail_reason = why;
+    return tr;
+  };
+
+  // Healthy run: two reached hops then a typed failure.
+  run.reports = {report(0, true, lv::TrFailReason::kNone),
+                 report(1, true, lv::TrFailReason::kNone),
+                 report(2, false, lv::TrFailReason::kNoReply)};
+  EXPECT_FALSE(chaos::check_traceroute_run(run).has_value());
+
+  // Unreached hop without a typed reason: the exact symptom the paper's
+  // partial-path reporting exists to prevent.
+  run.reports = {report(0, false, lv::TrFailReason::kNone)};
+  const auto untyped = chaos::check_traceroute_run(run);
+  ASSERT_TRUE(untyped.has_value());
+
+  // A report past a hard dead-end (kNoRoute): the prober knew the trace
+  // could not continue, so anything deeper is a phantom hop.
+  run.reports = {report(0, true, lv::TrFailReason::kNone),
+                 report(1, false, lv::TrFailReason::kNoRoute),
+                 report(2, true, lv::TrFailReason::kNone)};
+  const auto phantom = chaos::check_traceroute_run(run);
+  ASSERT_TRUE(phantom.has_value());
+
+  // Past a kNoReply hop, deeper reports are allowed: the probe may have
+  // arrived with only the reply lost, in which case the probed node
+  // continues the trace on its own (found by the 1000-cell campaign,
+  // reproduced by tests/scenarios/traceroute_reply_loss.scn).
+  run.reports = {report(0, false, lv::TrFailReason::kNoReply),
+                 report(1, true, lv::TrFailReason::kNone)};
+  EXPECT_FALSE(chaos::check_traceroute_run(run).has_value());
+}
+
+TEST(ChaosOracle, HealthyDeploymentPassesEveryOracle) {
+  auto tb = testbed::Testbed::surveyed_line(
+      4, testbed::Testbed::paper_config(11));
+  tb->warm_up();
+  chaos::OracleSet quiesce;
+  chaos::OracleSet inlineable;
+  chaos::install_testbed_oracles(*tb, quiesce, inlineable);
+  EXPECT_GE(quiesce.size() + inlineable.size(), 3u);
+  quiesce.run("quiesce");
+  inlineable.run("quiesce");
+  EXPECT_TRUE(quiesce.clean()) << quiesce.failures().front().to_string();
+  EXPECT_TRUE(inlineable.clean())
+      << inlineable.failures().front().to_string();
+}
+
+// ---- cells and campaigns ----------------------------------------------
+
+TEST(ChaosCampaign, CleanCampaignHasNoFailures) {
+  chaos::CampaignConfig cfg;
+  cfg.cells = 24;
+  cfg.base_seed = 7;
+  cfg.determinism_every = 8;
+  const auto r = chaos::run_campaign(cfg);
+  ASSERT_EQ(r.cells.size(), cfg.cells);
+  for (const auto& c : r.cells) {
+    EXPECT_TRUE(c.ok()) << "cell " << c.index << " seed " << c.seed << ": "
+                        << (c.error.empty()
+                                ? c.failures.front().to_string()
+                                : c.error)
+                        << "\n" << c.scenario;
+    EXPECT_GT(c.commands_run, 0);
+    EXPECT_FALSE(c.scenario.empty());
+  }
+  EXPECT_EQ(r.failed_cells(), 0u);
+  EXPECT_GT(r.cells_per_minute(), 0.0);
+
+  const std::string json = chaos::campaign_report_json(r);
+  EXPECT_NE(json.find("\"cells\": 24"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"failed_cells\": 0"), std::string::npos) << json;
+}
+
+TEST(ChaosCampaign, CellRerunsAreByteIdentical) {
+  const std::uint64_t seed = 12345;
+  const fault::Scenario sc =
+      chaos::generate_scenario(seed, chaos::GeneratorConfig{});
+  chaos::CellOptions opt;
+  opt.record = true;
+  const auto a = chaos::run_cell(seed, sc, opt);
+  const auto b = chaos::run_cell(seed, sc, opt);
+  ASSERT_FALSE(a.trace.empty());
+  const auto d = trace::diff_bytes(a.trace, b.trace);
+  EXPECT_TRUE(d.identical) << d.summary;
+  EXPECT_EQ(a.commands_run, b.commands_run);
+}
+
+TEST(ChaosCampaign, ThreadCountDoesNotChangeResults) {
+  chaos::CampaignConfig cfg;
+  cfg.cells = 12;
+  cfg.base_seed = 99;
+  cfg.determinism_every = 0;  // keep the comparison to the cells proper
+  cfg.threads = 1;
+  const auto serial = chaos::run_campaign(cfg);
+  cfg.threads = 4;
+  const auto parallel = chaos::run_campaign(cfg);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].seed, parallel.cells[i].seed);
+    EXPECT_EQ(serial.cells[i].scenario, parallel.cells[i].scenario);
+    EXPECT_EQ(serial.cells[i].ok(), parallel.cells[i].ok());
+  }
+}
+
+// ---- the acceptance loop: plant a bug, catch it, shrink it -------------
+
+TEST(ChaosCampaign, PlantedRegressionIsCaughtAndShrunkSmall) {
+  // Plant the deliberate reliable-termination regression (retry-exhausted
+  // messages silently swallowed) and run a small campaign. The oracle
+  // must catch it in at least one cell…
+  chaos::CampaignConfig cfg;
+  cfg.cells = 40;
+  cfg.base_seed = 1;
+  cfg.determinism_every = 0;
+  cfg.cell.inject_termination_bug = true;
+  const auto r = chaos::run_campaign(cfg);
+
+  const chaos::CellResult* failing = nullptr;
+  for (const auto& c : r.cells) {
+    if (c.error.empty() && !c.failures.empty()) {
+      failing = &c;
+      break;
+    }
+  }
+  ASSERT_NE(failing, nullptr)
+      << "planted regression escaped a 40-cell campaign";
+  EXPECT_EQ(failing->failures.front().oracle, "reliable-termination")
+      << failing->failures.front().to_string();
+
+  // …and the shrinker must reduce the failing cell to a small scenario
+  // that still reproduces the same oracle failure.
+  const auto sc = fault::parse_scenario(failing->scenario);
+  ASSERT_TRUE(sc.has_value());
+  const auto shrunk =
+      chaos::shrink_scenario(failing->seed, *sc, cfg.cell);
+  ASSERT_TRUE(shrunk.reproduced);
+  EXPECT_EQ(shrunk.oracle, "reliable-termination");
+  EXPECT_LE(shrunk.final_clauses, 5u);
+  EXPECT_LE(shrunk.final_clauses, shrunk.original_clauses);
+
+  // The emitted text is a loadable reproducer.
+  const auto reparsed = fault::parse_scenario(shrunk.scenario_text);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(*reparsed, shrunk.minimal);
+  const auto again =
+      chaos::run_cell(failing->seed, shrunk.minimal, cfg.cell);
+  ASSERT_FALSE(again.failures.empty());
+  EXPECT_EQ(again.failures.front().oracle, "reliable-termination");
+}
+
+TEST(ChaosShrink, CleanScenarioReportsNotReproduced) {
+  const std::uint64_t seed = 7;
+  const fault::Scenario sc =
+      chaos::generate_scenario(seed, chaos::GeneratorConfig{});
+  const auto res = chaos::shrink_scenario(seed, sc, chaos::CellOptions{});
+  EXPECT_FALSE(res.reproduced);
+  EXPECT_EQ(res.final_clauses, res.original_clauses);
+}
+
+// ---- checked-in reproducer artifacts -----------------------------------
+
+TEST(ChaosScenarioFixtures, EveryCheckedInScnParses) {
+  // tests/scenarios/ promises every shrunk artifact loads cleanly.
+  std::size_t seen = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(LV_SCENARIO_DIR)) {
+    if (entry.path().extension() != ".scn") continue;
+    ++seen;
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in.good()) << entry.path();
+    std::stringstream text;
+    text << in.rdbuf();
+    fault::ScenarioParseError err;
+    const auto sc = fault::parse_scenario(text.str(), &err);
+    ASSERT_TRUE(sc.has_value())
+        << entry.path() << ": " << err.to_string();
+    EXPECT_FALSE(sc->empty()) << entry.path();
+  }
+  EXPECT_GE(seen, 2u);  // the two PR-era reproducers at minimum
+}
+
+// ---- shell surface -----------------------------------------------------
+
+TEST(ChaosShell, GenRunAndCheckCommands) {
+  auto tb = testbed::Testbed::surveyed_line(
+      3, testbed::Testbed::paper_config(5));
+  tb->warm_up();
+  chaos::install_shell_commands(*tb);
+
+  // gen prints a scenario that parses; same seed twice is identical.
+  const std::string scn = tb->shell().execute("chaos gen seed=5");
+  EXPECT_TRUE(fault::parse_scenario(scn).has_value()) << scn;
+  EXPECT_EQ(scn, tb->shell().execute("chaos gen seed=5"));
+
+  // check runs the quiesce oracles against the live (healthy) testbed.
+  const std::string check = tb->shell().execute("chaos check");
+  EXPECT_NE(check.find("oracles clean"), std::string::npos) << check;
+
+  // run executes a miniature campaign inline.
+  const std::string run = tb->shell().execute("chaos run cells=4 seed=3");
+  EXPECT_NE(run.find("campaign: 4 cells, 0 failed"), std::string::npos)
+      << run;
+
+  // Unknown subcommands produce usage, not an interpreter error.
+  EXPECT_NE(tb->shell().execute("chaos bogus").find("usage:"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace liteview

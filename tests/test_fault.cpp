@@ -58,6 +58,62 @@ TEST(Scenario, RejectsMalformedLines) {
   EXPECT_FALSE(parse_scenario("crash 3 at=5parsecs").has_value());
 }
 
+TEST(Scenario, ParseErrorsCarryLineColumnAndToken) {
+  ScenarioParseError err;
+
+  // Bad token on line 3 (1-based), column of the offending token.
+  const std::string text =
+      "# comment\n"
+      "crash 2 at=1s\n"
+      "crash 3 at=5parsecs\n";
+  EXPECT_FALSE(parse_scenario(text, &err).has_value());
+  EXPECT_EQ(err.line, 3u);
+  EXPECT_EQ(err.column, 9u);  // "at=5parsecs" starts at column 9
+  EXPECT_EQ(err.token, "at=5parsecs");
+  EXPECT_NE(err.message.find("bad duration"), std::string::npos);
+  EXPECT_EQ(err.to_string(), "line 3:9: bad duration 'at=5parsecs'");
+
+  EXPECT_FALSE(parse_scenario("burst 1-2 pgb=0.1", &err).has_value());
+  EXPECT_EQ(err.line, 1u);
+  EXPECT_EQ(err.column, 7u);
+  EXPECT_EQ(err.token, "1-2");
+
+  EXPECT_FALSE(parse_scenario("frobnicate 3", &err).has_value());
+  EXPECT_EQ(err.token, "frobnicate");
+  EXPECT_NE(err.message.find("unknown directive"), std::string::npos);
+
+  EXPECT_FALSE(parse_scenario("jam ch=5 at=0s for=1s", &err).has_value());
+  EXPECT_EQ(err.token, "ch=5");
+  EXPECT_EQ(err.column, 5u);
+
+  // A successful parse resets any stale error.
+  err.line = 99;
+  EXPECT_TRUE(parse_scenario("crash 2 at=1s", &err).has_value());
+  EXPECT_EQ(err.line, 0u);
+}
+
+TEST(Scenario, SerializeParseRoundTripIsExact) {
+  const std::string text =
+      "burst 1->2 pgb=0.15 pbg=0.35 lossb=1 lossg=0\n"
+      "burst * pgb=0.05 pbg=0.5 lossb=1 lossg=0\n"
+      "crash 3 at=5s for=10s\n"
+      "crash 4 at=2s\n"
+      "jam ch=26 at=2s for=500ms\n"
+      "linkdown 2->3\n"
+      "churn 1,2,3 period=10s down=2s until=60s\n";
+  const auto sc = parse_scenario(text);
+  ASSERT_TRUE(sc.has_value());
+
+  // Canonical serialization round-trips to an equal value, and is itself
+  // a fixed point of parse∘serialize.
+  const std::string canon = serialize_scenario(*sc);
+  const auto back = parse_scenario(canon);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, *sc);
+  EXPECT_EQ(serialize_scenario(*back), canon);
+  EXPECT_EQ(canon, text);  // the input above is already canonical
+}
+
 TEST(Scenario, ParseDuration) {
   EXPECT_EQ(parse_duration("250ms"), sim::SimTime::ms(250));
   EXPECT_EQ(parse_duration("2s"), sim::SimTime::sec(2));

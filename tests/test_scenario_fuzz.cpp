@@ -1,0 +1,200 @@
+// Fuzzing for the fault-scenario text parser. Three properties:
+//
+//   1. parse(serialize(s)) == s for randomized scenarios, including
+//      arbitrary (non-quantized) probabilities and ns-granular durations.
+//   2. The parser survives arbitrary byte soup and token soup — nullopt
+//      or a value, never a crash or out-of-bounds read. Run under the
+//      `asan` preset (ASan+UBSan) this is the parser's memory-safety
+//      gate, mirroring test_messages_fuzz for the binary codecs.
+//   3. When parsing fails, the reported error location is sane: a real
+//      1-based line within the input, a column inside that line, and a
+//      token that actually occurs there.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fault/scenario.hpp"
+
+namespace liteview::fault {
+namespace {
+
+struct Gen {
+  explicit Gen(std::uint64_t seed) : rng(seed) {}
+  std::mt19937_64 rng;
+
+  double prob() {
+    // Full-precision doubles in [0, 1] — serialization must round-trip
+    // them exactly (format_double_exact), not just pretty 1e-3 values.
+    return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+  }
+  sim::SimTime duration() {
+    switch (rng() % 4) {
+      case 0: return sim::SimTime::ns(static_cast<std::int64_t>(rng() % 1000));
+      case 1: return sim::SimTime::us(static_cast<std::int64_t>(rng() % 1000));
+      case 2: return sim::SimTime::ms(static_cast<std::int64_t>(rng() % 60000));
+      default: return sim::SimTime::sec(static_cast<std::int64_t>(rng() % 120));
+    }
+  }
+  net::Addr addr() { return static_cast<net::Addr>(1 + rng() % 0xfffe); }
+  std::size_t count(std::size_t max) { return rng() % (max + 1); }
+
+  Scenario scenario() {
+    Scenario sc;
+    sc.bursts.resize(count(3));
+    for (auto& d : sc.bursts) {
+      d.all_links = (rng() % 4) == 0;
+      if (!d.all_links) {
+        d.from = addr();
+        d.to = addr();
+      }
+      d.ge = {prob(), prob(), prob(), prob()};
+    }
+    sc.crashes.resize(count(3));
+    for (auto& d : sc.crashes) {
+      d.node = addr();
+      d.at = duration();
+      d.downtime = (rng() % 5 == 0) ? sim::SimTime::zero() : duration();
+    }
+    sc.jams.resize(count(2));
+    for (auto& d : sc.jams) {
+      d.channel = static_cast<phy::Channel>(
+          phy::kMinChannel + rng() % (phy::kMaxChannel - phy::kMinChannel + 1));
+      d.at = duration();
+      d.duration = duration() + sim::SimTime::ns(1);  // jam needs for > 0
+    }
+    sc.link_downs.resize(count(3));
+    for (auto& d : sc.link_downs) d = {addr(), addr()};
+    sc.churns.resize(count(2));
+    for (auto& d : sc.churns) {
+      d.pool.resize(1 + count(4));
+      for (auto& n : d.pool) n = addr();
+      d.period = duration() + sim::SimTime::ns(1);  // churn needs period > 0
+      d.downtime = duration();
+      d.until = duration();
+    }
+    return sc;
+  }
+};
+
+// -- round trip ----------------------------------------------------------
+
+TEST(ScenarioFuzz, RandomScenariosRoundTripExactly) {
+  Gen g(1);
+  for (int i = 0; i < 2000; ++i) {
+    const Scenario sc = g.scenario();
+    const std::string text = serialize_scenario(sc);
+    ScenarioParseError err;
+    const auto back = parse_scenario(text, &err);
+    ASSERT_TRUE(back.has_value()) << err.to_string() << "\n" << text;
+    EXPECT_EQ(*back, sc) << text;
+    // Canonical form is a fixed point: serializing the reparse is
+    // byte-identical (what makes shrunk .scn artifacts diffable).
+    EXPECT_EQ(serialize_scenario(*back), text);
+  }
+}
+
+TEST(ScenarioFuzz, DurationsRoundTripAtEveryGranularity) {
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const auto t = sim::SimTime::ns(static_cast<std::int64_t>(rng() >> 1));
+    const auto back = parse_duration(format_duration(t));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->nanoseconds(), t.nanoseconds());
+  }
+}
+
+// -- adversarial input ---------------------------------------------------
+
+/// Error locations must point into the input: 1-based line within range,
+/// column within that line, and the reported token present at/after the
+/// column (column is best-effort first-occurrence).
+void check_error_sanity(const std::string& text,
+                        const ScenarioParseError& err) {
+  std::vector<std::string> lines{""};
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.emplace_back();
+    } else {
+      lines.back() += c;
+    }
+  }
+  ASSERT_GE(err.line, 1u) << text;
+  ASSERT_LE(err.line, lines.size()) << text;
+  EXPECT_FALSE(err.message.empty());
+  const std::string& at = lines[err.line - 1];
+  ASSERT_LE(err.column, at.size() + 1) << err.to_string() << "\n" << text;
+  if (!err.token.empty()) {
+    if (at.find(err.token) != std::string::npos) {
+      // Token present in the line: column points at an occurrence.
+      EXPECT_EQ(at.compare(err.column - 1, err.token.size(), err.token), 0)
+          << err.to_string() << "\n" << text;
+    } else {
+      // Token reconstructed (e.g. from quoted input): column falls back
+      // to the start of the line rather than pointing anywhere wild.
+      EXPECT_EQ(err.column, 1u) << err.to_string() << "\n" << text;
+    }
+  }
+}
+
+TEST(ScenarioFuzz, ParserSurvivesByteSoup) {
+  std::mt19937_64 rng(100);
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t len = (i % 2 == 0) ? rng() % 17 : rng() % 300;
+    std::string text(len, '\0');
+    for (auto& c : text) c = static_cast<char>(rng());
+    ScenarioParseError err;
+    if (!parse_scenario(text, &err).has_value()) {
+      check_error_sanity(text, err);
+    }
+  }
+}
+
+/// Token soup: random sequences of plausible scenario vocabulary, which
+/// reaches far deeper parser states (option parsing, link syntax, pools)
+/// than uniform bytes ever do.
+TEST(ScenarioFuzz, ParserSurvivesTokenSoup) {
+  static const char* kTokens[] = {
+      "burst", "crash",  "jam",   "linkdown", "churn",  "*",     "1->2",
+      "3",     "1,2,3",  "pgb=",  "pbg=0.5",  "lossb=", "at=5s", "for=",
+      "ch=26", "ch=99",  "-1",    "at=5parsecs", "period=0s", "until=1s",
+      "down=500ms", "#", "->",    "0x10",     "1e308",  "nan",   "=",
+  };
+  std::mt19937_64 rng(200);
+  for (int i = 0; i < 5000; ++i) {
+    std::string text;
+    const int toks = static_cast<int>(rng() % 24);
+    for (int k = 0; k < toks; ++k) {
+      text += kTokens[rng() % std::size(kTokens)];
+      text += (rng() % 5 == 0) ? '\n' : ' ';
+    }
+    ScenarioParseError err;
+    if (!parse_scenario(text, &err).has_value()) {
+      check_error_sanity(text, err);
+    }
+  }
+}
+
+/// Mutated valid scenarios: serialize a real scenario, flip a byte,
+/// truncate at a random point. Either outcome is fine; crashes and
+/// nonsense error locations are not.
+TEST(ScenarioFuzz, ParserSurvivesMutatedValidScenarios) {
+  Gen g(3);
+  std::mt19937_64 rng(300);
+  for (int i = 0; i < 3000; ++i) {
+    std::string text = serialize_scenario(g.scenario());
+    if (!text.empty()) {
+      text[rng() % text.size()] ^= static_cast<char>(1 + rng() % 255);
+      text.resize(rng() % (text.size() + 1));
+    }
+    ScenarioParseError err;
+    if (!parse_scenario(text, &err).has_value()) {
+      check_error_sanity(text, err);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace liteview::fault

@@ -293,6 +293,59 @@ TEST(CheckpointRestore, ReplayWindowIsByteIdentical) {
   EXPECT_EQ(restored->fault().totals().crashes, 1u);
 }
 
+std::unique_ptr<testbed::Testbed> build_midburst_world() {
+  testbed::TestbedConfig cfg = testbed::Testbed::paper_config(13);
+  cfg.flight_recorder = true;
+  auto tb = testbed::Testbed::surveyed_line(5, cfg);
+  // Stateful fault machinery live across the checkpoint instant (t=6s):
+  // every Gilbert–Elliott chain is mid-walk, node 2's crash window is
+  // open (reboot timer pending), and the churn timer has ticks both
+  // behind and ahead of it.
+  const auto sc = fault::parse_scenario(
+      "burst * pgb=0.2 pbg=0.3 lossb=1 lossg=0\n"
+      "crash 2 at=5s for=3s\n"
+      "churn 4,5 period=2s down=500ms until=11s\n");
+  EXPECT_TRUE(sc.has_value());
+  EXPECT_TRUE(tb->fault().load(*sc));
+  return tb;
+}
+
+TEST(CheckpointRestore, MidFaultBurstWindowIsByteIdentical) {
+  // Checkpoint in the thick of the scenario rather than before it: GE
+  // chains, an in-flight crash, and churn timers must all survive the
+  // rebuild + fast-forward so the replayed window stays byte-identical.
+  auto original = build_midburst_world();
+  original->sim().run_for(sim::SimTime::sec(6));
+
+  // The checkpoint instant really is mid-fault: at least node 2's
+  // scripted crash has fired and it has not yet rebooted.
+  EXPECT_GE(original->fault().totals().crashes, 1u);
+
+  const trace::Checkpoint cp = original->checkpoint("midburst@6s");
+  std::string err;
+  auto restored =
+      testbed::Testbed::restore(cp, build_midburst_world, &err);
+  ASSERT_NE(restored, nullptr) << err;
+  EXPECT_EQ(restored->sim().now().nanoseconds(), cp.t_ns);
+
+  ASSERT_NE(original->recorder(), nullptr);
+  ASSERT_NE(restored->recorder(), nullptr);
+  original->recorder()->reset();
+  restored->recorder()->reset();
+  // The replayed window covers node 2's reboot (t=8s) and the rest of
+  // the churn schedule, all downstream of state captured mid-flight.
+  original->sim().run_for(sim::SimTime::sec(8));
+  restored->sim().run_for(sim::SimTime::sec(8));
+
+  const auto a = original->recorder()->serialize();
+  const auto b = restored->recorder()->serialize();
+  ASSERT_FALSE(a.empty());
+  const auto d = trace::diff_bytes(a, b);
+  EXPECT_TRUE(d.identical) << d.summary;
+  EXPECT_EQ(original->fault().totals().crashes,
+            restored->fault().totals().crashes);
+}
+
 TEST(CheckpointRestore, TamperedSectionIsDetected) {
   auto original = build_checkpoint_world();
   original->sim().run_for(sim::SimTime::sec(3));

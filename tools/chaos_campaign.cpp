@@ -1,0 +1,229 @@
+// Chaos campaign driver: run randomized fault campaigns, shrink failing
+// cells to minimal reproducers, and emit machine-readable reports.
+//
+//   chaos_campaign run [--cells N] [--seed S] [--nodes K] [--threads T]
+//                      [--json report.json] [--artifacts DIR]
+//                      [--inject-termination-bug]
+//     Runs the campaign; exit 1 when any cell fails. Failing cells are
+//     shrunk; with --artifacts each gets <dir>/cell<i>.scn (the minimal
+//     scenario), .lvtr (flight-recorder capture of the shrunk repro) and
+//     .divergence.txt for determinism failures.
+//
+//   chaos_campaign shrink --seed S [--nodes K]
+//     Generates seed S's scenario, runs the cell, and if an oracle fires
+//     prints the minimal scenario to stdout.
+//
+//   chaos_campaign gen [--seed S] [--nodes K] [--clauses M]
+//     Prints the generated scenario text for one seed.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "chaos/campaign.hpp"
+#include "chaos/generator.hpp"
+#include "chaos/shrink.hpp"
+#include "trace/diff.hpp"
+
+namespace {
+
+using namespace liteview;
+
+struct Args {
+  std::string mode;
+  std::size_t cells = 200;
+  std::uint64_t seed = 1;
+  int nodes = 5;
+  unsigned threads = 0;
+  int clauses = 6;
+  std::string json_path;
+  std::string artifacts_dir;
+  bool inject_termination_bug = false;
+};
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args a;
+  a.mode = argv[1];
+  if (a.mode != "run" && a.mode != "shrink" && a.mode != "gen") {
+    return std::nullopt;
+  }
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto need_value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--inject-termination-bug") {
+      a.inject_termination_bug = true;
+      continue;
+    }
+    const char* v = need_value();
+    if (v == nullptr) return std::nullopt;
+    if (flag == "--cells") {
+      a.cells = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (flag == "--seed") {
+      a.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--nodes") {
+      a.nodes = std::atoi(v);
+    } else if (flag == "--threads") {
+      a.threads = static_cast<unsigned>(std::atoi(v));
+    } else if (flag == "--clauses") {
+      a.clauses = std::atoi(v);
+    } else if (flag == "--json") {
+      a.json_path = v;
+    } else if (flag == "--artifacts") {
+      a.artifacts_dir = v;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (a.nodes < 2 || a.cells < 1 || a.clauses < 1) return std::nullopt;
+  return a;
+}
+
+bool write_file(const std::string& path, const void* data, std::size_t len) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f.write(static_cast<const char*>(data), static_cast<std::streamsize>(len));
+  return static_cast<bool>(f);
+}
+
+bool write_text(const std::string& path, const std::string& text) {
+  return write_file(path, text.data(), text.size());
+}
+
+chaos::CampaignConfig campaign_config(const Args& a) {
+  chaos::CampaignConfig cfg;
+  cfg.cells = a.cells;
+  cfg.threads = a.threads;
+  cfg.base_seed = a.seed;
+  cfg.cell.nodes = a.nodes;
+  cfg.cell.inject_termination_bug = a.inject_termination_bug;
+  cfg.generator.nodes = a.nodes;
+  cfg.generator.max_clauses = static_cast<std::size_t>(a.clauses);
+  return cfg;
+}
+
+/// Shrink one failing cell and drop its reproducer artifacts.
+void emit_artifacts(const chaos::CellResult& cell,
+                    const chaos::CampaignConfig& cfg,
+                    const std::string& dir) {
+  const auto sc = chaos::generate_scenario(cell.seed, cfg.generator);
+  const auto shrunk = chaos::shrink_scenario(cell.seed, sc, cfg.cell);
+  const std::string base = dir + "/cell" + std::to_string(cell.index);
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+
+  std::string scn = "# chaos reproducer: seed " + std::to_string(cell.seed) +
+                    ", oracle " + (shrunk.reproduced ? shrunk.oracle : "?") +
+                    "\n" + shrunk.scenario_text;
+  if (!write_text(base + ".scn", scn)) {
+    std::fprintf(stderr, "  cell %zu: cannot write %s.scn\n", cell.index,
+                 base.c_str());
+  }
+
+  // Flight-recorder capture of the minimal repro (and, for determinism
+  // failures, the first divergence between two identically-seeded runs).
+  chaos::CellOptions rec = cfg.cell;
+  rec.record = true;
+  try {
+    const auto run1 = chaos::run_cell(cell.seed, shrunk.minimal, rec);
+    write_file(base + ".lvtr", run1.trace.data(), run1.trace.size());
+    if (shrunk.reproduced && shrunk.oracle == "determinism") {
+      const auto run2 = chaos::run_cell(cell.seed, shrunk.minimal, rec);
+      const auto d = trace::diff_bytes(run1.trace, run2.trace);
+      write_text(base + ".divergence.txt", d.summary + "\n");
+    }
+  } catch (const std::exception& e) {
+    write_text(base + ".error.txt", std::string(e.what()) + "\n");
+  }
+
+  std::fprintf(stderr,
+               "  cell %zu: shrunk %zu -> %zu clauses (%zu runs), "
+               "artifacts at %s.*\n",
+               cell.index, shrunk.original_clauses, shrunk.final_clauses,
+               shrunk.runs, base.c_str());
+}
+
+int mode_run(const Args& a) {
+  const auto cfg = campaign_config(a);
+  const auto result = chaos::run_campaign(cfg);
+
+  if (!a.json_path.empty()) {
+    if (!write_text(a.json_path, chaos::campaign_report_json(result))) {
+      std::fprintf(stderr, "chaos_campaign: cannot write %s\n",
+                   a.json_path.c_str());
+      return 2;
+    }
+  }
+
+  const std::size_t failed = result.failed_cells();
+  std::printf("campaign: %zu cells, %zu failed, %.1f cells/min (%.1fs)\n",
+              result.cells.size(), failed, result.cells_per_minute(),
+              result.wall_seconds);
+  for (const auto& c : result.cells) {
+    if (c.ok()) continue;
+    std::printf("cell %zu seed=%llu FAILED\n", c.index,
+                static_cast<unsigned long long>(c.seed));
+    if (!c.error.empty()) std::printf("  exception: %s\n", c.error.c_str());
+    for (const auto& f : c.failures) {
+      std::printf("  %s\n", f.to_string().c_str());
+    }
+    if (!a.artifacts_dir.empty()) emit_artifacts(c, cfg, a.artifacts_dir);
+  }
+  return failed == 0 ? 0 : 1;
+}
+
+int mode_shrink(const Args& a) {
+  chaos::GeneratorConfig gen;
+  gen.nodes = a.nodes;
+  gen.max_clauses = static_cast<std::size_t>(a.clauses);
+  chaos::CellOptions opt;
+  opt.nodes = a.nodes;
+  opt.inject_termination_bug = a.inject_termination_bug;
+
+  const auto sc = chaos::generate_scenario(a.seed, gen);
+  const auto res = chaos::shrink_scenario(a.seed, sc, opt);
+  if (!res.reproduced) {
+    std::printf("seed %llu runs clean (%zu clauses)\n",
+                static_cast<unsigned long long>(a.seed),
+                res.original_clauses);
+    return 0;
+  }
+  std::printf("oracle: %s\nclauses: %zu -> %zu (%zu cell runs)\n%s",
+              res.oracle.c_str(), res.original_clauses, res.final_clauses,
+              res.runs, res.scenario_text.c_str());
+  return 1;
+}
+
+int mode_gen(const Args& a) {
+  chaos::GeneratorConfig gen;
+  gen.nodes = a.nodes;
+  gen.max_clauses = static_cast<std::size_t>(a.clauses);
+  std::printf("%s", fault::serialize_scenario(
+                        chaos::generate_scenario(a.seed, gen))
+                        .c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+  if (!args) {
+    std::fprintf(
+        stderr,
+        "usage: chaos_campaign run [--cells N] [--seed S] [--nodes K]\n"
+        "                          [--threads T] [--json F] [--artifacts D]\n"
+        "                          [--inject-termination-bug]\n"
+        "       chaos_campaign shrink --seed S [--nodes K]\n"
+        "       chaos_campaign gen [--seed S] [--nodes K] [--clauses M]\n");
+    return 2;
+  }
+  if (args->mode == "run") return mode_run(*args);
+  if (args->mode == "shrink") return mode_shrink(*args);
+  return mode_gen(*args);
+}

@@ -17,11 +17,18 @@ overhead ratio drifts more than --fr-slack above the checked-in
 BENCH_flight_recorder.json, or when the bench reports that the observer
 perturbed the simulation counters.
 
+Also gates the chaos campaign bench (bench/chaos_campaign): campaigns must
+complete with zero failed cells, the inline-oracle overhead ratio must stay
+within --chaos-slack of the checked-in BENCH_chaos_campaign.json, and the
+200/50-cell throughput ratio (host-independent shape) must not collapse.
+
 Usage:
   check_bench_regression.py --current out.json [--baseline BENCH_phy_hotpath.json]
   check_bench_regression.py --run ./build/bench/micro_core   # runs the bench itself
   check_bench_regression.py --fr-run ./build/bench/flight_recorder
   check_bench_regression.py --fr-current fr.json [--fr-baseline BENCH_flight_recorder.json]
+  check_bench_regression.py --chaos-run ./build/bench/chaos_campaign
+  check_bench_regression.py --chaos-current chaos.json [--chaos-baseline BENCH_chaos_campaign.json]
 """
 
 from __future__ import annotations
@@ -36,8 +43,29 @@ import tempfile
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_phy_hotpath.json"
 DEFAULT_FR_BASELINE = REPO_ROOT / "BENCH_flight_recorder.json"
+DEFAULT_CHAOS_BASELINE = REPO_ROOT / "BENCH_chaos_campaign.json"
 BENCH_FILTER = "BM_MediumTransmitFanout|BM_ChannelPowerSample|BM_PerEvaluation"
 FR_ANCHORS = ("ring_overhead_ratio", "ring_sniffers_overhead_ratio")
+CHAOS_RATIO_ANCHORS = ("oracle_overhead_ratio", "cpm_ratio_200_over_50")
+
+
+def baseline_key(baseline: dict, key: str, path: str) -> float:
+    """A required anchor from a baseline file, or a clear failure.
+
+    A hand-edited or stale baseline missing an anchor used to surface as a
+    bare KeyError traceback; name the file, the key, and the fix instead.
+    """
+    if key not in baseline:
+        sys.exit(
+            f"error: baseline {path} is missing required key '{key}' — "
+            f"regenerate it from the matching bench binary (--json) or "
+            f"restore the checked-in file")
+    try:
+        return float(baseline[key])
+    except (TypeError, ValueError):
+        sys.exit(
+            f"error: baseline {path} key '{key}' is not numeric "
+            f"({baseline[key]!r}) — regenerate the baseline")
 
 
 def run_bench(binary: str) -> dict:
@@ -98,7 +126,7 @@ def check_flight_recorder(current: dict, baseline_path: str,
         baseline = json.load(f)
     failures = []
     for anchor in FR_ANCHORS:
-        base = float(baseline[anchor])
+        base = baseline_key(baseline, anchor, baseline_path)
         if anchor not in current:
             failures.append(f"{anchor}: missing from current run")
             continue
@@ -115,6 +143,52 @@ def check_flight_recorder(current: dict, baseline_path: str,
     return failures
 
 
+def run_chaos(binary: str) -> dict:
+    """Invoke bench/chaos_campaign --json and return its parsed output."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    subprocess.run([binary, "--json", out_path], check=True,
+                   stdout=subprocess.DEVNULL)
+    with open(out_path) as f:
+        return json.load(f)
+
+
+def check_chaos(current: dict, baseline_path: str, slack: float) -> list[str]:
+    """Gate the chaos campaign bench.
+
+    Hard requirements first: every campaign cell must pass (a failed cell
+    is a found bug or a flaky oracle, either of which blocks), and the
+    inline probe must not perturb the beacon world's delivery counters.
+    The overhead and throughput-shape ratios compare two runs on the same
+    host, so they transfer across machines; `slack` is additive headroom.
+    """
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    failures = []
+    for key in ("failed_cells_50", "failed_cells_200"):
+        if key not in current:
+            failures.append(f"{key}: missing from current run")
+        elif int(current[key]) != 0:
+            failures.append(f"{key}: {current[key]} campaign cells failed")
+    for anchor in CHAOS_RATIO_ANCHORS:
+        base = baseline_key(baseline, anchor, baseline_path)
+        if anchor not in current:
+            failures.append(f"{anchor}: missing from current run")
+            continue
+        cur = float(current[anchor])
+        limit = base + slack
+        status = "OK" if cur <= limit else "REGRESSION"
+        print(f"  {anchor:32s} baseline {base:5.2f}  current {cur:5.2f}  "
+              f"limit {limit:5.2f}  {status}")
+        if status != "OK":
+            failures.append(f"{anchor}: ratio {cur:.2f} > limit {limit:.2f}")
+    if not current.get("identical_counters", False):
+        failures.append("identical_counters: the inline oracle probe "
+                        "perturbed the simulation (determinism contract "
+                        "broken)")
+    return failures
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     src = ap.add_mutually_exclusive_group(required=True)
@@ -124,6 +198,10 @@ def main() -> int:
                      help="bench/flight_recorder --json output to check")
     src.add_argument("--fr-run",
                      help="flight_recorder binary to execute for the run")
+    src.add_argument("--chaos-current",
+                     help="bench/chaos_campaign --json output to check")
+    src.add_argument("--chaos-run",
+                     help="chaos_campaign bench binary to execute for the run")
     ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
                     help="checked-in BENCH_phy_hotpath.json")
     ap.add_argument("--threshold", type=float, default=0.30,
@@ -132,7 +210,26 @@ def main() -> int:
                     help="checked-in BENCH_flight_recorder.json")
     ap.add_argument("--fr-slack", type=float, default=0.40,
                     help="additive headroom over the baseline overhead ratio")
+    ap.add_argument("--chaos-baseline", default=str(DEFAULT_CHAOS_BASELINE),
+                    help="checked-in BENCH_chaos_campaign.json")
+    ap.add_argument("--chaos-slack", type=float, default=0.25,
+                    help="additive headroom over the baseline chaos ratios")
     args = ap.parse_args()
+
+    if args.chaos_run or args.chaos_current:
+        if args.chaos_run:
+            current = run_chaos(args.chaos_run)
+        else:
+            with open(args.chaos_current) as f:
+                current = json.load(f)
+        failures = check_chaos(current, args.chaos_baseline, args.chaos_slack)
+        if failures:
+            print("\nchaos campaign gate FAILED:")
+            for f_ in failures:
+                print(f"  - {f_}")
+            return 1
+        print("\nchaos campaign gate passed")
+        return 0
 
     if args.fr_run or args.fr_current:
         if args.fr_run:
@@ -152,7 +249,14 @@ def main() -> int:
 
     with open(args.baseline) as f:
         baseline = json.load(f)
-    base_anchor_ns = float(baseline["anchor"]["real_time_ns_mean"])
+    if "anchor" not in baseline or "after" not in baseline:
+        missing = "anchor" if "anchor" not in baseline else "after"
+        sys.exit(
+            f"error: baseline {args.baseline} is missing required key "
+            f"'{missing}' — regenerate it from bench/micro_core or restore "
+            f"the checked-in file")
+    base_anchor_ns = baseline_key(baseline["anchor"], "real_time_ns_mean",
+                                  args.baseline)
     base_after = baseline["after"]
 
     if args.run:
@@ -171,7 +275,8 @@ def main() -> int:
 
     failures = []
     for name, entry in sorted(base_after.items()):
-        base_ips = float(entry["items_per_second_mean"])
+        base_ips = baseline_key(entry, "items_per_second_mean",
+                                f"{args.baseline} ('after'/{name})")
         if name not in cur_items:
             failures.append(f"{name}: missing from current run")
             continue
