@@ -1,0 +1,255 @@
+// Control-plane load generator: how many concurrent diagnosis sessions
+// can one shared simulated deployment sustain?
+//
+// Phase 1 (join storm): client threads create --sessions sessions as
+// fast as the server accepts them; all stay live simultaneously (the
+// `concurrent_sessions` figure is read back from the server, not
+// assumed).
+// Phase 2 (command churn): the same threads sweep their sessions
+// issuing diagnosis commands over keep-alive connections; per-command
+// wall latency feeds the p50/p99 figures.
+//
+// The CI gate (tools/check_bench_regression.py --cp-run) checks the
+// host-independent facts: every session joined, zero errors, and the
+// p99/p50 latency tail ratio — raw throughput is host-dependent noise.
+//
+//   load_gen [--sessions N] [--nodes K] [--workers W] [--threads T]
+//            [--commands-per-session C] [--json out.json]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/client.hpp"
+#include "api/server.hpp"
+#include "bench/common.hpp"
+#include "kernel/naming.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace liteview;
+
+struct Args {
+  int sessions = 1000;
+  int nodes = 1000;
+  int workers = 4;
+  int threads = 8;
+  int commands_per_session = 2;
+  std::string json_path;
+};
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* v = i + 1 < argc ? argv[++i] : nullptr;
+    if (!v) return std::nullopt;
+    if (flag == "--sessions") {
+      a.sessions = std::atoi(v);
+    } else if (flag == "--nodes") {
+      a.nodes = std::atoi(v);
+    } else if (flag == "--workers") {
+      a.workers = std::atoi(v);
+    } else if (flag == "--threads") {
+      a.threads = std::atoi(v);
+    } else if (flag == "--commands-per-session") {
+      a.commands_per_session = std::atoi(v);
+    } else if (flag == "--json") {
+      a.json_path = v;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (a.sessions < 1 || a.nodes < 2 || a.workers < 1 || a.threads < 1 ||
+      a.commands_per_session < 1) {
+    return std::nullopt;
+  }
+  return a;
+}
+
+struct SessionSlot {
+  std::uint32_t id = 0;
+  std::string token;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+  if (!args) {
+    std::fprintf(stderr,
+                 "usage: load_gen [--sessions N] [--nodes K] [--workers W]"
+                 " [--threads T] [--commands-per-session C] [--json out]\n");
+    return 2;
+  }
+
+  bench::header("control-plane load generator");
+  std::printf("sessions=%d nodes=%d workers=%d client-threads=%d\n",
+              args->sessions, args->nodes, args->workers, args->threads);
+
+  // One shared deployment. The line is surveyed so adjacent nodes are in
+  // range; the churn phase pings neighbors (1-hop) to keep per-command
+  // sim cost flat as the session count scales.
+  std::unique_ptr<api::SimCore> core;
+  const double warm_s = bench::wall_seconds([&] {
+    core = std::make_unique<api::SimCore>([&args] {
+      auto tb = testbed::Testbed::paper_line(args->nodes, /*seed=*/1);
+      tb->warm_up();
+      return tb;
+    });
+  });
+  std::printf("deployment: %zu nodes warmed in %.2f s\n", core->node_count(),
+              warm_s);
+
+  api::ServerConfig cfg;
+  cfg.worker_threads = args->workers;
+  cfg.sessions.max_sessions = static_cast<std::size_t>(args->sessions) + 8;
+  cfg.sessions.rate.enabled = false;  // measuring the server, not the limiter
+  cfg.sessions.idle_ttl = std::chrono::minutes(10);
+  cfg.sessions.token_seed = 20260808;
+  api::ControlPlaneServer server(*core, cfg);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "load_gen: %s\n", err.c_str());
+    return 1;
+  }
+
+  const int total = args->sessions;
+  std::vector<SessionSlot> slots(static_cast<std::size_t>(total));
+  std::atomic<std::uint64_t> errors{0};
+
+  // Slot ownership: thread t drives slots t, t+T, t+2T, ...
+  const auto per_thread = [&](int t, auto&& fn) {
+    for (int slot = t; slot < total; slot += args->threads) fn(slot);
+  };
+
+  // ---- phase 1: join storm -------------------------------------------
+  const double join_s = bench::wall_seconds([&] {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < args->threads; ++t) {
+      threads.emplace_back([&, t] {
+        api::HttpClient c("127.0.0.1", server.port());
+        per_thread(t, [&](int slot) {
+          const auto resp = c.request("POST", "/v1/sessions");
+          if (!resp || resp->status != 201) {
+            ++errors;
+            return;
+          }
+          const auto at = resp->body.find("\"token\":\"");
+          if (at == std::string::npos) {
+            ++errors;
+            return;
+          }
+          auto& s = slots[static_cast<std::size_t>(slot)];
+          s.token = resp->body.substr(at + 9, api::kTokenLength);
+          const auto parsed = api::parse_token(s.token);
+          if (!parsed) {
+            ++errors;
+            return;
+          }
+          s.id = parsed->session_id;
+        });
+      });
+    }
+    for (auto& th : threads) th.join();
+  });
+  const std::size_t live = server.sessions().size();
+  const double sessions_per_sec =
+      join_s > 0 ? static_cast<double>(total) / join_s : 0;
+  std::printf("join storm: %d sessions in %.2f s (%.0f/s), %zu live\n",
+              total, join_s, sessions_per_sec, live);
+
+  // ---- phase 2: command churn ----------------------------------------
+  std::vector<std::vector<double>> lat_us_by_thread(
+      static_cast<std::size_t>(args->threads));
+  std::atomic<std::uint64_t> commands_done{0};
+
+  const double churn_s = bench::wall_seconds([&] {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < args->threads; ++t) {
+      threads.emplace_back([&, t] {
+        api::HttpClient c("127.0.0.1", server.port());
+        auto& lat = lat_us_by_thread[static_cast<std::size_t>(t)];
+        const auto timed = [&](const SessionSlot& s,
+                               const std::string& line) {
+          const auto t0 = std::chrono::steady_clock::now();
+          const auto stream = api::post_command(c, s.id, s.token, line);
+          const auto t1 = std::chrono::steady_clock::now();
+          if (!stream) {
+            ++errors;
+            return;
+          }
+          ++commands_done;
+          lat.push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+        };
+        per_thread(t, [&](int slot) {
+          const auto& s = slots[static_cast<std::size_t>(slot)];
+          if (s.id == 0) return;  // join failed; already counted
+          const int i = slot % (args->nodes - 1);  // home node index
+          timed(s, "cd " + kernel::ip_style_name(
+                               static_cast<std::uint16_t>(i + 1)));
+          for (int k = 1; k < args->commands_per_session; ++k) {
+            timed(s, "ping " +
+                         kernel::ip_style_name(
+                             static_cast<std::uint16_t>(i + 2)) +
+                         " round=1 length=16");
+          }
+        });
+      });
+    }
+    for (auto& th : threads) th.join();
+  });
+
+  util::Percentiles lat;
+  for (const auto& part : lat_us_by_thread) {
+    for (const double us : part) lat.add(us);
+  }
+  const std::uint64_t done = commands_done.load();
+  const double commands_per_sec =
+      churn_s > 0 ? static_cast<double>(done) / churn_s : 0;
+  const double p50 = lat.percentile(50.0);
+  const double p99 = lat.percentile(99.0);
+  const double tail = p50 > 0 ? p99 / p50 : 0;
+  std::printf("command churn: %llu commands in %.2f s (%.0f/s)\n",
+              static_cast<unsigned long long>(done), churn_s,
+              commands_per_sec);
+  std::printf("latency: p50 %.0f us, p99 %.0f us (tail ratio %.2f)\n", p50,
+              p99, tail);
+  std::printf("errors: %llu\n",
+              static_cast<unsigned long long>(errors.load()));
+
+  const auto stats = server.stats();
+  std::printf("server: %llu connections, %llu requests, %llu commands\n",
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.commands));
+  server.stop();
+
+  if (!args->json_path.empty()) {
+    std::ofstream out(args->json_path);
+    out << "{\"bench\":\"control_plane\""
+        << ",\"nodes\":" << args->nodes
+        << ",\"workers\":" << args->workers
+        << ",\"client_threads\":" << args->threads
+        << ",\"sessions_requested\":" << total
+        << ",\"concurrent_sessions\":" << live
+        << ",\"sessions_per_sec\":" << sessions_per_sec
+        << ",\"commands\":" << done
+        << ",\"commands_per_sec\":" << commands_per_sec
+        << ",\"cmd_latency_p50_us\":" << p50
+        << ",\"cmd_latency_p99_us\":" << p99
+        << ",\"p99_over_p50\":" << tail
+        << ",\"errors\":" << errors.load() << "}\n";
+    std::printf("wrote %s\n", args->json_path.c_str());
+  }
+  return errors.load() == 0 && live == static_cast<std::size_t>(total) ? 0
+                                                                       : 1;
+}

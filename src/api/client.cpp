@@ -1,0 +1,289 @@
+#include "api/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "util/strings.hpp"
+
+namespace liteview::api {
+namespace {
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+[[nodiscard]] std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+std::string_view ClientResponse::header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return v;
+  }
+  return {};
+}
+
+HttpClient::HttpClient(std::string host, std::uint16_t port,
+                       std::chrono::milliseconds timeout)
+    : host_(std::move(host)), port_(port), timeout_(timeout) {}
+
+HttpClient::~HttpClient() { disconnect(); }
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : host_(std::move(other.host_)),
+      port_(other.port_),
+      timeout_(other.timeout_),
+      fd_(other.fd_),
+      pending_(std::move(other.pending_)) {
+  other.fd_ = -1;
+}
+
+void HttpClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  pending_.clear();
+}
+
+bool HttpClient::connect_if_needed() {
+  if (fd_ >= 0) return true;
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_.count() % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    disconnect();
+    return false;
+  }
+  return true;
+}
+
+std::optional<ClientResponse> HttpClient::read_response() {
+  // Head first.
+  std::string head = std::move(pending_);
+  pending_.clear();
+  std::size_t head_end = std::string::npos;
+  char buf[8192];
+  for (;;) {
+    head_end = head.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    if (head.size() > (1u << 20)) return std::nullopt;
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      disconnect();
+      return std::nullopt;
+    }
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+
+  ClientResponse resp;
+  std::string_view hv = std::string_view(head).substr(0, head_end);
+  const auto line_end = hv.find("\r\n");
+  std::string_view status_line = hv.substr(0, line_end);
+  if (status_line.size() < 12 || status_line.rfind("HTTP/1.", 0) != 0)
+    return std::nullopt;
+  resp.status = std::atoi(std::string(status_line.substr(9, 3)).c_str());
+  hv = line_end == std::string_view::npos ? std::string_view{}
+                                          : hv.substr(line_end + 2);
+  while (!hv.empty()) {
+    const auto nl = hv.find("\r\n");
+    std::string_view line = hv.substr(0, nl);
+    hv = nl == std::string_view::npos ? std::string_view{} : hv.substr(nl + 2);
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+    resp.headers.emplace_back(lower(line.substr(0, colon)),
+                              std::string(value));
+  }
+
+  std::string rest = head.substr(head_end + 4);
+  if (lower(std::string(resp.header("transfer-encoding"))) == "chunked") {
+    resp.chunked = true;
+    ChunkedDecoder dec;
+    ChunkStatus st = dec.feed(rest, resp.body);
+    while (st == ChunkStatus::kIncomplete) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        disconnect();
+        return std::nullopt;
+      }
+      st = dec.feed(std::string_view(buf, static_cast<std::size_t>(n)),
+                    resp.body);
+    }
+    if (st != ChunkStatus::kDone) {
+      disconnect();
+      return std::nullopt;
+    }
+    pending_ = std::string(dec.leftover());
+  } else {
+    const std::string_view cl = resp.header("content-length");
+    std::size_t want = 0;
+    for (const char c : cl) {
+      if (c < '0' || c > '9') return std::nullopt;
+      want = want * 10 + static_cast<std::size_t>(c - '0');
+    }
+    while (rest.size() < want) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        disconnect();
+        return std::nullopt;
+      }
+      rest.append(buf, static_cast<std::size_t>(n));
+    }
+    resp.body = rest.substr(0, want);
+    pending_ = rest.substr(want);
+  }
+
+  if (lower(std::string(resp.header("connection"))) == "close") disconnect();
+  return resp;
+}
+
+std::optional<ClientResponse> HttpClient::request(std::string_view method,
+                                                  std::string_view target,
+                                                  std::string_view bearer_token,
+                                                  std::string_view body,
+                                                  bool keep_alive) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const bool fresh = fd_ < 0;
+    if (!connect_if_needed()) return std::nullopt;
+    std::string req;
+    req += method;
+    req += " ";
+    req += target;
+    req += " HTTP/1.1\r\nHost: ";
+    req += host_;
+    req += "\r\n";
+    if (!bearer_token.empty()) {
+      req += "Authorization: Bearer ";
+      req += bearer_token;
+      req += "\r\n";
+    }
+    if (!body.empty() || method == "POST") {
+      req += util::format("Content-Length: %zu\r\n", body.size());
+    }
+    if (!keep_alive) req += "Connection: close\r\n";
+    req += "\r\n";
+    req += body;
+    if (!send_all(fd_, req)) {
+      disconnect();
+      if (fresh) return std::nullopt;
+      continue;  // stale keep-alive connection: retry once on a new one
+    }
+    auto resp = read_response();
+    if (resp) return resp;
+    if (fresh) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<ClientResponse> HttpClient::request_half_close(
+    std::string_view method, std::string_view target,
+    std::string_view bearer_token, std::string_view body) {
+  disconnect();
+  if (!connect_if_needed()) return std::nullopt;
+  std::string req;
+  req += method;
+  req += " ";
+  req += target;
+  req += " HTTP/1.1\r\nHost: ";
+  req += host_;
+  req += "\r\n";
+  if (!bearer_token.empty()) {
+    req += "Authorization: Bearer ";
+    req += bearer_token;
+    req += "\r\n";
+  }
+  req += util::format("Content-Length: %zu\r\n\r\n", body.size());
+  req += body;
+  if (!send_all(fd_, req)) {
+    disconnect();
+    return std::nullopt;
+  }
+  ::shutdown(fd_, SHUT_WR);  // we are done sending; the response must still flow
+  auto resp = read_response();
+  disconnect();
+  return resp;
+}
+
+std::optional<std::string> HttpClient::raw(std::string_view bytes,
+                                           std::size_t max_bytes) {
+  disconnect();
+  if (!connect_if_needed()) return std::nullopt;
+  if (!send_all(fd_, bytes)) {
+    disconnect();
+    return std::nullopt;
+  }
+  ::shutdown(fd_, SHUT_WR);
+  std::string out;
+  char buf[8192];
+  while (out.size() < max_bytes) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  disconnect();
+  return out;
+}
+
+std::string CommandStream::transcript() const {
+  for (const auto& ev : events) {
+    if (ev.event == "transcript") return ev.data;
+  }
+  return {};
+}
+
+std::optional<CommandStream> post_command(HttpClient& client,
+                                          std::uint32_t session_id,
+                                          std::string_view token,
+                                          std::string_view line,
+                                          int* status_out) {
+  const auto resp = client.request(
+      "POST", util::format("/v1/sessions/%u/command", session_id), token,
+      line);
+  if (!resp) return std::nullopt;
+  if (status_out != nullptr) *status_out = resp->status;
+  if (resp->status != 200) return std::nullopt;
+  CommandStream out;
+  out.bytes = resp->body;
+  if (!sse_decode(out.bytes, out.events)) return std::nullopt;
+  return out;
+}
+
+}  // namespace liteview::api

@@ -1,0 +1,85 @@
+// Minimal blocking HTTP/1.1 client for the control plane — the test
+// suite's and load generator's view of the wire. Keep-alive by default;
+// understands Content-Length and chunked bodies (the SSE framing the
+// server streams command results with).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/http.hpp"
+
+namespace liteview::api {
+
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  ///< keys lowered
+  std::string body;  ///< de-chunked when the response was chunked
+  bool chunked = false;
+
+  [[nodiscard]] std::string_view header(std::string_view name) const;
+};
+
+/// One connection to the server. Not thread-safe; each client thread
+/// owns its own.
+class HttpClient {
+ public:
+  HttpClient(std::string host, std::uint16_t port,
+             std::chrono::milliseconds timeout = std::chrono::seconds(30));
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept;
+
+  /// Sends `method target` with optional bearer token and body, then
+  /// reads one full response (reconnecting first if needed). nullopt on
+  /// connect/IO/parse failure (the connection is dropped).
+  std::optional<ClientResponse> request(
+      std::string_view method, std::string_view target,
+      std::string_view bearer_token = {}, std::string_view body = {},
+      bool keep_alive = true);
+
+  /// Sends the request bytes, then half-closes the write side before
+  /// reading the response (the conformance suite's half-closed-socket
+  /// probe). Always uses a fresh connection.
+  std::optional<ClientResponse> request_half_close(
+      std::string_view method, std::string_view target,
+      std::string_view bearer_token = {}, std::string_view body = {});
+
+  /// Raw exchange on a fresh connection: send exactly `bytes`, read
+  /// until EOF (up to `max_bytes`). For malformed-request probes.
+  std::optional<std::string> raw(std::string_view bytes,
+                                 std::size_t max_bytes = 1 << 20);
+
+  void disconnect();
+
+ private:
+  bool connect_if_needed();
+  std::optional<ClientResponse> read_response();
+
+  std::string host_;
+  std::uint16_t port_;
+  std::chrono::milliseconds timeout_;
+  int fd_ = -1;
+  std::string pending_;  ///< bytes read past the previous response
+};
+
+/// Convenience: POST a command line, return the parsed SSE events and
+/// the raw (de-chunked) stream bytes. nullopt on transport failure or
+/// non-200; `status_out` reports the HTTP status when non-null.
+struct CommandStream {
+  std::vector<SseEvent> events;
+  std::string bytes;
+  [[nodiscard]] std::string transcript() const;
+};
+std::optional<CommandStream> post_command(HttpClient& client,
+                                          std::uint32_t session_id,
+                                          std::string_view token,
+                                          std::string_view line,
+                                          int* status_out = nullptr);
+
+}  // namespace liteview::api

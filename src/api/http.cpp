@@ -1,0 +1,405 @@
+#include "api/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace liteview::api {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+[[nodiscard]] int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+[[nodiscard]] std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Strict non-negative decimal; rejects empty, signs, and overflow.
+[[nodiscard]] std::optional<std::size_t> parse_size(std::string_view s) {
+  if (s.empty() || s.size() > 12) return std::nullopt;
+  std::size_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return v;
+}
+
+/// HTTP token characters (method, header names). Conservative subset.
+[[nodiscard]] bool is_token(std::string_view s) {
+  if (s.empty()) return false;
+  for (const unsigned char c : s) {
+    const bool ok = std::isalnum(c) != 0 || c == '-' || c == '_' ||
+                    c == '.' || c == '!' || c == '#' || c == '$' ||
+                    c == '%' || c == '&' || c == '\'' || c == '*' ||
+                    c == '+' || c == '^' || c == '`' || c == '|' || c == '~';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---- hex --------------------------------------------------------------
+
+std::string to_hex(const std::uint8_t* data, std::size_t n) {
+  std::string out;
+  out.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(kHexDigits[data[i] >> 4]);
+    out.push_back(kHexDigits[data[i] & 0xf]);
+  }
+  return out;
+}
+
+std::string to_hex(const std::vector<std::uint8_t>& bytes) {
+  return to_hex(bytes.data(), bytes.size());
+}
+
+std::optional<std::vector<std::uint8_t>> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_val(hex[i]);
+    const int lo = hex_val(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+// ---- HttpRequest ------------------------------------------------------
+
+std::string_view HttpRequest::header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return v;
+  }
+  return {};
+}
+
+std::string_view HttpRequest::path() const {
+  const auto q = target.find('?');
+  return std::string_view(target).substr(0, q);
+}
+
+std::optional<std::string_view> HttpRequest::query(
+    std::string_view key) const {
+  const auto q = target.find('?');
+  if (q == std::string::npos) return std::nullopt;
+  std::string_view rest = std::string_view(target).substr(q + 1);
+  while (!rest.empty()) {
+    const auto amp = rest.find('&');
+    const std::string_view pair = rest.substr(0, amp);
+    const auto eq = pair.find('=');
+    if (pair.substr(0, eq) == key) {
+      return eq == std::string_view::npos ? std::string_view{}
+                                          : pair.substr(eq + 1);
+    }
+    if (amp == std::string_view::npos) break;
+    rest.remove_prefix(amp + 1);
+  }
+  return std::nullopt;
+}
+
+// ---- HttpRequestParser ------------------------------------------------
+
+void HttpRequestParser::reset() {
+  // Keep pipelined bytes beyond the request just parsed.
+  if (state_ == ParseStatus::kOk && consumed_ <= buf_.size()) {
+    buf_.erase(0, consumed_);
+  } else {
+    buf_.clear();
+  }
+  req_ = HttpRequest{};
+  body_needed_ = 0;
+  consumed_ = 0;
+  head_done_ = false;
+  state_ = ParseStatus::kIncomplete;
+}
+
+std::string_view HttpRequestParser::leftover() const {
+  if (state_ != ParseStatus::kOk || consumed_ > buf_.size()) return {};
+  return std::string_view(buf_).substr(consumed_);
+}
+
+ParseStatus HttpRequestParser::feed(std::string_view bytes) {
+  if (state_ != ParseStatus::kIncomplete) return state_;
+  buf_.append(bytes);
+  state_ = parse();
+  return state_;
+}
+
+ParseStatus HttpRequestParser::parse() {
+  if (!head_done_) {
+    // Find end of head: CRLFCRLF (tolerating bare LF line endings).
+    std::size_t head_end = std::string::npos;
+    std::size_t body_start = 0;
+    if (const auto p = buf_.find("\r\n\r\n"); p != std::string::npos) {
+      head_end = p;
+      body_start = p + 4;
+    }
+    if (const auto p = buf_.find("\n\n");
+        p != std::string::npos &&
+        (head_end == std::string::npos || p < head_end)) {
+      head_end = p;
+      body_start = p + 2;
+    }
+    if (head_end == std::string::npos) {
+      if (buf_.size() > limits_.max_head_bytes) return ParseStatus::kTooLarge;
+      return ParseStatus::kIncomplete;
+    }
+    if (head_end > limits_.max_head_bytes) return ParseStatus::kTooLarge;
+    const ParseStatus hs = parse_head(std::string_view(buf_).substr(0, head_end));
+    if (hs != ParseStatus::kOk) return hs;
+    head_done_ = true;
+    consumed_ = body_start;
+  }
+  if (body_needed_ > 0) {
+    if (buf_.size() - consumed_ < body_needed_) return ParseStatus::kIncomplete;
+    req_.body = buf_.substr(consumed_, body_needed_);
+    consumed_ += body_needed_;
+    body_needed_ = 0;
+  }
+  return ParseStatus::kOk;
+}
+
+ParseStatus HttpRequestParser::parse_head(std::string_view head) {
+  // Request line.
+  auto line_end = head.find('\n');
+  std::string_view line = head.substr(0, line_end);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  const auto sp1 = line.find(' ');
+  const auto sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1)
+    return ParseStatus::kBadRequest;
+  req_.method = std::string(line.substr(0, sp1));
+  req_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  req_.version = std::string(line.substr(sp2 + 1));
+  if (!is_token(req_.method) || req_.target.empty() ||
+      req_.target.find(' ') != std::string::npos) {
+    return ParseStatus::kBadRequest;
+  }
+  if (req_.version != "HTTP/1.1" && req_.version != "HTTP/1.0")
+    return ParseStatus::kBadRequest;
+
+  // Header lines.
+  std::string_view rest =
+      line_end == std::string_view::npos ? std::string_view{}
+                                         : head.substr(line_end + 1);
+  while (!rest.empty()) {
+    const auto nl = rest.find('\n');
+    std::string_view hline = rest.substr(0, nl);
+    rest = nl == std::string_view::npos ? std::string_view{}
+                                        : rest.substr(nl + 1);
+    if (!hline.empty() && hline.back() == '\r') hline.remove_suffix(1);
+    if (hline.empty()) continue;
+    const auto colon = hline.find(':');
+    if (colon == std::string_view::npos || colon == 0)
+      return ParseStatus::kBadRequest;
+    const std::string_view name = hline.substr(0, colon);
+    if (!is_token(name)) return ParseStatus::kBadRequest;
+    if (req_.headers.size() >= limits_.max_headers)
+      return ParseStatus::kTooLarge;
+    req_.headers.emplace_back(lower(name),
+                              std::string(trim(hline.substr(colon + 1))));
+  }
+
+  const std::string_view cl = req_.header("content-length");
+  if (!cl.empty()) {
+    const auto n = parse_size(cl);
+    if (!n) return ParseStatus::kBadRequest;
+    if (*n > limits_.max_body_bytes) return ParseStatus::kTooLarge;
+    body_needed_ = *n;
+  }
+  // Request bodies with chunked coding are not accepted on this API.
+  if (!req_.header("transfer-encoding").empty())
+    return ParseStatus::kBadRequest;
+  return ParseStatus::kOk;
+}
+
+// ---- responses --------------------------------------------------------
+
+std::string_view status_text(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string http_response(int code, std::string_view content_type,
+                          std::string_view body, bool keep_alive,
+                          const std::vector<std::string>& extra_headers) {
+  std::string out = util::format("HTTP/1.1 %d ", code);
+  out += status_text(code);
+  out += "\r\n";
+  if (!content_type.empty()) {
+    out += "Content-Type: ";
+    out += content_type;
+    out += "\r\n";
+  }
+  out += util::format("Content-Length: %zu\r\n", body.size());
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& h : extra_headers) {
+    out += h;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::string sse_response_head(bool keep_alive) {
+  std::string out = "HTTP/1.1 200 OK\r\n";
+  out += "Content-Type: text/event-stream\r\n";
+  out += "Cache-Control: no-store\r\n";
+  out += "Transfer-Encoding: chunked\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  return out;
+}
+
+// ---- chunked ----------------------------------------------------------
+
+std::string chunk(std::string_view payload) {
+  if (payload.empty()) return {};  // a 0-length chunk would terminate
+  std::string out = util::format("%zx\r\n", payload.size());
+  out += payload;
+  out += "\r\n";
+  return out;
+}
+
+std::string chunk_last() { return "0\r\n\r\n"; }
+
+ChunkStatus ChunkedDecoder::feed(std::string_view bytes, std::string& out) {
+  buf_.append(bytes);
+  while (!done_) {
+    const auto nl = buf_.find("\r\n", consumed_);
+    if (nl == std::string::npos) {
+      if (buf_.size() - consumed_ > 18) return ChunkStatus::kError;
+      return ChunkStatus::kIncomplete;
+    }
+    const std::string_view size_line =
+        std::string_view(buf_).substr(consumed_, nl - consumed_);
+    if (size_line.empty() || size_line.size() > 16)
+      return ChunkStatus::kError;
+    std::size_t n = 0;
+    for (const char c : size_line) {
+      const int v = hex_val(c);
+      if (v < 0) return ChunkStatus::kError;
+      n = (n << 4) | static_cast<std::size_t>(v);
+    }
+    const std::size_t data_start = nl + 2;
+    if (buf_.size() < data_start + n + 2) return ChunkStatus::kIncomplete;
+    if (buf_[data_start + n] != '\r' || buf_[data_start + n + 1] != '\n')
+      return ChunkStatus::kError;
+    if (n == 0) {
+      done_ = true;
+      consumed_ = data_start + 2;
+      return ChunkStatus::kDone;
+    }
+    out.append(buf_, data_start, n);
+    consumed_ = data_start + n + 2;
+  }
+  return ChunkStatus::kDone;
+}
+
+std::string_view ChunkedDecoder::leftover() const {
+  return std::string_view(buf_).substr(std::min(consumed_, buf_.size()));
+}
+
+// ---- SSE --------------------------------------------------------------
+
+std::string sse_encode(const SseEvent& ev) {
+  std::string out = util::format("id: %llu\n",
+                                 static_cast<unsigned long long>(ev.id));
+  out += "event: ";
+  out += ev.event;
+  out += "\n";
+  std::string_view data = ev.data;
+  for (;;) {
+    const auto nl = data.find('\n');
+    out += "data: ";
+    out += data.substr(0, nl);
+    out += "\n";
+    if (nl == std::string_view::npos) break;
+    data.remove_prefix(nl + 1);
+  }
+  out += "\n";
+  return out;
+}
+
+bool sse_decode(std::string_view text, std::vector<SseEvent>& out) {
+  while (!text.empty()) {
+    SseEvent ev;
+    bool saw_id = false;
+    bool saw_event = false;
+    bool saw_data = false;
+    bool frame_closed = false;
+    std::string data;
+    while (!text.empty()) {
+      const auto nl = text.find('\n');
+      if (nl == std::string_view::npos) return false;  // partial frame
+      const std::string_view line = text.substr(0, nl);
+      text.remove_prefix(nl + 1);
+      if (line.empty()) {  // frame terminator
+        frame_closed = true;
+        break;
+      }
+      if (line.rfind("id: ", 0) == 0) {
+        if (saw_id || saw_event || saw_data) return false;
+        const auto v = parse_size(line.substr(4));
+        if (!v) return false;
+        ev.id = *v;
+        saw_id = true;
+      } else if (line.rfind("event: ", 0) == 0) {
+        if (!saw_id || saw_event || saw_data) return false;
+        ev.event = std::string(line.substr(7));
+        saw_event = true;
+      } else if (line.rfind("data: ", 0) == 0) {
+        if (!saw_event) return false;
+        if (saw_data) data += '\n';
+        data += line.substr(6);
+        saw_data = true;
+      } else {
+        return false;
+      }
+    }
+    if (!frame_closed || !saw_id || !saw_event || !saw_data) return false;
+    ev.data = std::move(data);
+    out.push_back(std::move(ev));
+  }
+  return true;
+}
+
+}  // namespace liteview::api

@@ -1,0 +1,141 @@
+// Minimal HTTP/1.1 + SSE wire layer for the diagnosis control plane.
+//
+// Everything here is a pure, incrementally-fed codec with explicit
+// limits — no sockets, no threads — so the fuzz suite can drive the
+// exact bytes a hostile client could send (test_api_fuzz.cpp) and the
+// server loop stays a thin shell around it. Responses are built as
+// plain strings; SSE event payloads carry lv:: codec bytes hex-encoded
+// so binary per-hop reports survive a line-oriented framing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace liteview::api {
+
+// ---- hex (binary bodies inside line-oriented SSE frames) -------------
+
+[[nodiscard]] std::string to_hex(const std::vector<std::uint8_t>& bytes);
+[[nodiscard]] std::string to_hex(const std::uint8_t* data, std::size_t n);
+/// Strict decode: even length, lowercase/uppercase hex only.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> from_hex(
+    std::string_view hex);
+
+// ---- request parsing --------------------------------------------------
+
+struct HttpLimits {
+  std::size_t max_head_bytes = 8 * 1024;   ///< request line + headers
+  std::size_t max_body_bytes = 64 * 1024;  ///< Content-Length ceiling
+  std::size_t max_headers = 64;
+};
+
+struct HttpRequest {
+  std::string method;
+  std::string target;   ///< path + optional ?query, as sent
+  std::string version;  ///< "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;  ///< keys lowered
+  std::string body;
+
+  /// First header value by (lowercase) name, or "" when absent.
+  [[nodiscard]] std::string_view header(std::string_view name) const;
+  /// Path with the query string stripped.
+  [[nodiscard]] std::string_view path() const;
+  /// Value of a query-string key (`?a=1&b=2`), or nullopt.
+  [[nodiscard]] std::optional<std::string_view> query(
+      std::string_view key) const;
+};
+
+enum class ParseStatus {
+  kIncomplete,  ///< need more bytes
+  kOk,          ///< request() is complete and valid
+  kBadRequest,  ///< malformed — respond 400 and close
+  kTooLarge,    ///< head or body limit exceeded — respond 413 and close
+};
+
+/// Incremental HTTP/1.1 request parser. Feed bytes as they arrive; once
+/// kOk is returned, request() is valid and leftover() holds any
+/// pipelined bytes past the request. reset() re-arms for the next
+/// request on a keep-alive connection (carrying leftover bytes over).
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  ParseStatus feed(std::string_view bytes);
+  [[nodiscard]] const HttpRequest& request() const noexcept { return req_; }
+  /// Bytes past the parsed request (only meaningful after kOk).
+  [[nodiscard]] std::string_view leftover() const;
+  void reset();
+
+ private:
+  ParseStatus parse();
+  ParseStatus parse_head(std::string_view head);
+
+  HttpLimits limits_;
+  std::string buf_;
+  HttpRequest req_;
+  std::size_t body_needed_ = 0;
+  std::size_t consumed_ = 0;
+  bool head_done_ = false;
+  ParseStatus state_ = ParseStatus::kIncomplete;
+};
+
+// ---- response building ------------------------------------------------
+
+[[nodiscard]] std::string_view status_text(int code);
+
+/// A complete fixed-length response (status line, standard headers,
+/// Content-Length, body). `extra_headers` lines must be "Key: value"
+/// without trailing CRLF.
+[[nodiscard]] std::string http_response(
+    int code, std::string_view content_type, std::string_view body,
+    bool keep_alive, const std::vector<std::string>& extra_headers = {});
+
+/// Response head for a chunked SSE stream (no body; follow with
+/// chunk()ed sse_encode() frames and chunk_last()).
+[[nodiscard]] std::string sse_response_head(bool keep_alive);
+
+// ---- chunked transfer coding ------------------------------------------
+
+[[nodiscard]] std::string chunk(std::string_view payload);
+[[nodiscard]] std::string chunk_last();
+
+enum class ChunkStatus { kIncomplete, kDone, kError };
+
+/// Incremental chunked-body decoder (client side: tests + load_gen).
+class ChunkedDecoder {
+ public:
+  /// Appends decoded payload bytes to `out`. kDone after the 0-chunk.
+  ChunkStatus feed(std::string_view bytes, std::string& out);
+  [[nodiscard]] std::string_view leftover() const;
+
+ private:
+  std::string buf_;
+  bool done_ = false;
+  std::size_t consumed_ = 0;
+};
+
+// ---- server-sent events -----------------------------------------------
+
+struct SseEvent {
+  std::uint64_t id = 0;
+  std::string event;  ///< event name (token chars only when encoded by us)
+  std::string data;   ///< may be multi-line; split across data: lines
+
+  bool operator==(const SseEvent&) const = default;
+};
+
+/// Canonical encoding: "id: N\nevent: name\ndata: ...\n\n" with one
+/// data: line per '\n'-separated line of `data`.
+[[nodiscard]] std::string sse_encode(const SseEvent& ev);
+
+/// Parse a stream of encoded events. Returns false when the text is not
+/// a whole number of well-formed frames (trailing partial frames or
+/// unknown field names fail the parse — the encoder never emits them).
+[[nodiscard]] bool sse_decode(std::string_view text,
+                              std::vector<SseEvent>& out);
+
+}  // namespace liteview::api

@@ -1,0 +1,363 @@
+#include "api/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/strings.hpp"
+
+namespace liteview::api {
+namespace {
+
+/// Write all of `data`, tolerating short writes; false on error/timeout.
+/// MSG_NOSIGNAL: a peer that closed mid-stream must surface as EPIPE,
+/// not kill the server process with SIGPIPE.
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+void set_timeouts(int fd, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// "/v1/sessions/<id>[/command]" → id; nullopt when not that shape.
+std::optional<std::uint32_t> session_id_from_path(std::string_view path,
+                                                  std::string_view* tail) {
+  constexpr std::string_view kPrefix = "/v1/sessions/";
+  if (path.rfind(kPrefix, 0) != 0) return std::nullopt;
+  path.remove_prefix(kPrefix.size());
+  const auto slash = path.find('/');
+  const std::string_view digits = path.substr(0, slash);
+  if (digits.empty() || digits.size() > 9) return std::nullopt;
+  std::uint32_t id = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    id = id * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  *tail = slash == std::string_view::npos ? std::string_view{}
+                                          : path.substr(slash);
+  return id;
+}
+
+}  // namespace
+
+ControlPlaneServer::ControlPlaneServer(SimCore& core, ServerConfig cfg)
+    : core_(core), cfg_(std::move(cfg)), manager_(core_, cfg_.sessions) {}
+
+ControlPlaneServer::~ControlPlaneServer() { stop(); }
+
+bool ControlPlaneServer::start(std::string* err) {
+  auto fail = [&](const std::string& what) {
+    if (err != nullptr) *err = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (::inet_pton(AF_INET, cfg_.bind_address.c_str(), &addr.sin_addr) != 1)
+    return fail("inet_pton");
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0)
+    return fail("bind");
+  if (::listen(listen_fd_, cfg_.listen_backlog) != 0) return fail("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0)
+    return fail("getsockname");
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  const int n = cfg_.worker_threads > 0 ? cfg_.worker_threads : 1;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  if (cfg_.sweep_interval.count() > 0) {
+    sweeper_ = std::thread([this] { sweeper_loop(); });
+  }
+  return true;
+}
+
+void ControlPlaneServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  if (sweeper_.joinable()) sweeper_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+ControlPlaneServer::Stats ControlPlaneServer::stats() const {
+  Stats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.commands = commands_.load(std::memory_order_relaxed);
+  s.rate_limited = rate_limited_.load(std::memory_order_relaxed);
+  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ControlPlaneServer::sweeper_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    manager_.evict_idle(Clock::now());
+    // Sleep in short slices so stop() never waits a full interval.
+    auto remaining = cfg_.sweep_interval;
+    while (remaining.count() > 0 &&
+           running_.load(std::memory_order_acquire)) {
+      const auto slice = std::min<std::chrono::milliseconds>(
+          remaining, std::chrono::milliseconds(50));
+      std::this_thread::sleep_for(slice);
+      remaining -= slice;
+    }
+  }
+}
+
+void ControlPlaneServer::worker_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr <= 0) continue;  // timeout or EINTR: re-check running_
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;  // raced with another worker
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    set_timeouts(fd, cfg_.io_timeout);
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void ControlPlaneServer::serve_connection(int fd) {
+  HttpRequestParser parser(cfg_.limits);
+  char buf[4096];
+  bool reading = true;
+  while (running_.load(std::memory_order_acquire)) {
+    // Parse whatever is buffered first (pipelined bytes carried across
+    // reset()), then top up from the socket as needed.
+    ParseStatus st = parser.feed({});
+    if (st == ParseStatus::kIncomplete) {
+      if (!reading) return;  // half-closed and no complete request left
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;  // timeout or reset
+      }
+      if (n == 0) {
+        // Half-close: the peer is done sending. Whatever is buffered is
+        // the final request — try to finish it, then answer it.
+        reading = false;
+        continue;
+      }
+      st = parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+
+    switch (st) {
+      case ParseStatus::kIncomplete:
+        continue;
+      case ParseStatus::kBadRequest:
+        parse_errors_.fetch_add(1, std::memory_order_relaxed);
+        respond(fd, 400, "malformed request\n", false);
+        return;
+      case ParseStatus::kTooLarge:
+        parse_errors_.fetch_add(1, std::memory_order_relaxed);
+        respond(fd, 413, "request too large\n", false);
+        return;
+      case ParseStatus::kOk:
+        break;
+    }
+
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    const bool keep = handle_request(fd, parser.request());
+    if (!keep) return;
+    parser.reset();
+  }
+}
+
+bool ControlPlaneServer::respond(
+    int fd, int code, std::string_view body, bool keep_alive,
+    const std::vector<std::string>& extra_headers) {
+  return send_all(fd, http_response(code, "text/plain", body, keep_alive,
+                                    extra_headers)) &&
+         keep_alive;
+}
+
+bool ControlPlaneServer::handle_request(int fd, const HttpRequest& req) {
+  const bool keep_alive = req.version == "HTTP/1.1" &&
+                          req.header("connection") != "close";
+  const std::string_view path = req.path();
+
+  if (path == "/healthz") {
+    if (req.method != "GET") return respond(fd, 405, "GET only\n", keep_alive);
+    return respond(fd, 200, "ok\n", keep_alive);
+  }
+
+  if (path == "/v1/sessions") {
+    if (req.method != "POST")
+      return respond(fd, 405, "POST only\n", keep_alive);
+    if (!cfg_.join_token.empty() &&
+        req.header("authorization") != "Bearer " + cfg_.join_token) {
+      return respond(fd, 401, "join token required\n", keep_alive);
+    }
+    const auto created = manager_.create();
+    if (!created) return respond(fd, 503, "session table full\n", keep_alive);
+    const std::string body =
+        util::format("{\"session\":%u,\"token\":\"%s\"}\n",
+                     created->session->id, created->token.c_str());
+    return send_all(fd, http_response(201, "application/json", body,
+                                      keep_alive)) &&
+           keep_alive;
+  }
+
+  if (path == "/v1/snapshot" || path == "/v1/topology") {
+    if (req.method != "GET") return respond(fd, 405, "GET only\n", keep_alive);
+    const auto token = parse_bearer(req.header("authorization"));
+    if (!token) return respond(fd, 401, "session token required\n", keep_alive);
+    std::shared_ptr<Session> s;
+    switch (manager_.access(*token, /*count_command=*/true, s)) {
+      case SessionManager::Access::kNotFound:
+        return respond(fd, 404, "no such session\n", keep_alive);
+      case SessionManager::Access::kBadToken:
+        return respond(fd, 401, "bad session token\n", keep_alive);
+      case SessionManager::Access::kRateLimited:
+        rate_limited_.fetch_add(1, std::memory_order_relaxed);
+        return respond(fd, 429, "rate limit exceeded\n", keep_alive,
+                       {"Retry-After: 1"});
+      case SessionManager::Access::kOk:
+        break;
+    }
+    if (path == "/v1/topology") {
+      return respond(fd, 200, core_.topology_text(), keep_alive);
+    }
+    if (req.query("meta")) {
+      return respond(fd, 200, core_.snapshot_describe("api snapshot") + "\n",
+                     keep_alive);
+    }
+    const std::vector<std::uint8_t> bytes =
+        core_.snapshot_bytes("api snapshot");
+    const std::string_view body(reinterpret_cast<const char*>(bytes.data()),
+                                bytes.size());
+    return send_all(fd, http_response(200, "application/octet-stream", body,
+                                      keep_alive)) &&
+           keep_alive;
+  }
+
+  std::string_view tail;
+  const auto sid = session_id_from_path(path, &tail);
+  if (sid) {
+    const auto token = parse_bearer(req.header("authorization"));
+    if (!token || token->session_id != *sid)
+      return respond(fd, 401, "session token required\n", keep_alive);
+
+    if (tail.empty()) {
+      std::shared_ptr<Session> s;
+      switch (manager_.access(*token, /*count_command=*/false, s)) {
+        case SessionManager::Access::kNotFound:
+          return respond(fd, 404, "no such session\n", keep_alive);
+        case SessionManager::Access::kBadToken:
+          return respond(fd, 401, "bad session token\n", keep_alive);
+        default:
+          break;
+      }
+      if (req.method == "DELETE") {
+        manager_.close(*sid);
+        return respond(fd, 204, "", keep_alive);
+      }
+      if (req.method != "GET")
+        return respond(fd, 405, "GET or DELETE\n", keep_alive);
+      std::uint64_t cmds = 0;
+      std::uint64_t limited = 0;
+      {
+        std::lock_guard<std::mutex> lock(s->mu);
+        cmds = s->commands;
+        limited = s->rate_limited;
+      }
+      return respond(
+          fd, 200,
+          util::format("{\"session\":%u,\"commands\":%llu,"
+                       "\"rate_limited\":%llu}\n",
+                       *sid, static_cast<unsigned long long>(cmds),
+                       static_cast<unsigned long long>(limited)),
+          keep_alive);
+    }
+    if (tail == "/command") {
+      if (req.method != "POST")
+        return respond(fd, 405, "POST only\n", keep_alive);
+      return handle_command(fd, *sid, req, keep_alive);
+    }
+  }
+
+  return respond(fd, 404, "not found\n", keep_alive);
+}
+
+bool ControlPlaneServer::handle_command(int fd, std::uint32_t sid,
+                                        const HttpRequest& req,
+                                        bool keep_alive) {
+  const auto token = parse_bearer(req.header("authorization"));
+  std::shared_ptr<Session> s;
+  switch (manager_.access(*token, /*count_command=*/true, s)) {
+    case SessionManager::Access::kNotFound:
+      return respond(fd, 404, "no such session\n", keep_alive);
+    case SessionManager::Access::kBadToken:
+      return respond(fd, 401, "bad session token\n", keep_alive);
+    case SessionManager::Access::kRateLimited:
+      rate_limited_.fetch_add(1, std::memory_order_relaxed);
+      return respond(fd, 429, "rate limit exceeded\n", keep_alive,
+                     {"Retry-After: 1"});
+    case SessionManager::Access::kOk:
+      break;
+  }
+
+  // Strip one trailing newline: `curl -d 'ping ...'` convenience.
+  std::string line = req.body;
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+    line.pop_back();
+
+  commands_.fetch_add(1, std::memory_order_relaxed);
+  // Execute under the core lock (results buffered), then stream after
+  // release — the locking discipline's no-I/O-under-lock rule.
+  const ExecResult result = core_.execute(sid, line);
+
+  if (!send_all(fd, sse_response_head(keep_alive))) return false;
+  for (const auto& frame : result.frames) {
+    if (!send_all(fd, chunk(frame))) return false;
+  }
+  if (!send_all(fd, chunk_last())) return false;
+  return keep_alive;
+}
+
+}  // namespace liteview::api

@@ -1,0 +1,110 @@
+// The diagnosis-as-a-service control plane server: HTTP/1.1 + SSE over
+// a lock-protected SimCore.
+//
+// Threading model: N worker threads all poll/accept on one listening
+// socket and serve their connection to completion (keep-alive loop) —
+// no shared connection state, so the only cross-thread edges are the
+// SessionManager map, per-session state, and the SimCore mutex. One
+// sweeper thread evicts idle sessions. Command results are computed
+// under the core lock but written to the socket after it is released
+// (one chunked write per SSE frame), so a slow or stalled client can
+// never hold the simulation hostage.
+//
+// Routes (auth = `Authorization: Bearer lvs-...` unless noted):
+//   GET    /healthz                      liveness, no auth
+//   POST   /v1/sessions                  create session (join token if
+//                                        configured); 201 + token
+//   GET    /v1/sessions/<id>             session info
+//   DELETE /v1/sessions/<id>             close session
+//   POST   /v1/sessions/<id>/command     body = one shell command line;
+//                                        200 text/event-stream (chunked):
+//                                        per-hop mgmt events, transcript,
+//                                        done  |  429 when rate-limited
+//   GET    /v1/snapshot                  serialized whole-sim checkpoint
+//                                        (?meta=1 → text description)
+//   GET    /v1/topology                  node/link-state text
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/http.hpp"
+#include "api/session.hpp"
+#include "api/sim_core.hpp"
+
+namespace liteview::api {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+  int worker_threads = 4;
+  int listen_backlog = 512;
+  /// Required (as the Bearer token) to create sessions when non-empty.
+  std::string join_token;
+  SessionManagerConfig sessions;
+  HttpLimits limits;
+  /// Per-socket receive/send timeout; a dead peer can stall one worker
+  /// at most this long.
+  std::chrono::milliseconds io_timeout{10'000};
+  /// Idle-eviction sweep cadence (0 disables the sweeper thread).
+  std::chrono::milliseconds sweep_interval{1'000};
+};
+
+class ControlPlaneServer {
+ public:
+  ControlPlaneServer(SimCore& core, ServerConfig cfg);
+  ~ControlPlaneServer();
+  ControlPlaneServer(const ControlPlaneServer&) = delete;
+  ControlPlaneServer& operator=(const ControlPlaneServer&) = delete;
+
+  /// Bind + listen + spawn workers. False (with *err set) on failure.
+  bool start(std::string* err = nullptr);
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] SessionManager& sessions() noexcept { return manager_; }
+  [[nodiscard]] SimCore& core() noexcept { return core_; }
+  [[nodiscard]] const ServerConfig& config() const noexcept { return cfg_; }
+
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t commands = 0;
+    std::uint64_t rate_limited = 0;
+    std::uint64_t parse_errors = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  void worker_loop();
+  void sweeper_loop();
+  void serve_connection(int fd);
+  /// Handles one parsed request. Writes the whole response (possibly
+  /// several chunked writes for SSE) to `fd`; returns false when the
+  /// connection must close afterwards.
+  bool handle_request(int fd, const HttpRequest& req);
+  bool respond(int fd, int code, std::string_view body, bool keep_alive,
+               const std::vector<std::string>& extra_headers = {});
+  bool handle_command(int fd, std::uint32_t sid, const HttpRequest& req,
+                      bool keep_alive);
+
+  SimCore& core_;
+  ServerConfig cfg_;
+  SessionManager manager_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<std::thread> workers_;
+  std::thread sweeper_;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> commands_{0};
+  std::atomic<std::uint64_t> rate_limited_{0};
+  std::atomic<std::uint64_t> parse_errors_{0};
+};
+
+}  // namespace liteview::api

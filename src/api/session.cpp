@@ -1,0 +1,119 @@
+#include "api/session.hpp"
+
+#include <algorithm>
+#include <random>
+
+namespace liteview::api {
+
+bool RateLimiter::allow(Clock::time_point now) {
+  if (!cfg_.enabled) return true;
+  if (!primed_) {
+    last_ = now;
+    primed_ = true;
+  }
+  const double dt =
+      std::chrono::duration<double>(now - last_).count();
+  last_ = now;
+  tokens_ = std::min(cfg_.burst, tokens_ + dt * cfg_.commands_per_sec);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+namespace {
+
+[[nodiscard]] std::uint64_t seed_or_random(std::uint64_t seed) {
+  if (seed != 0) return seed;
+  std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) | rd();
+}
+
+}  // namespace
+
+SessionManager::SessionManager(SimCore& core, SessionManagerConfig cfg)
+    : core_(core),
+      cfg_(cfg),
+      secrets_(seed_or_random(cfg.token_seed), "api.session.secrets") {}
+
+std::optional<SessionManager::Created> SessionManager::create() {
+  const auto now = Clock::now();
+  std::shared_ptr<Session> s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.size() >= cfg_.max_sessions) return std::nullopt;
+    const std::uint32_t id = next_id_++;
+    s = std::make_shared<Session>(id, secrets_.next_u64(), cfg_.rate, now);
+    sessions_.emplace(id, s);
+    ++created_;
+  }
+  Created out;
+  out.session = s;
+  out.token = format_token(SessionToken{s->id, s->secret});
+  return out;
+}
+
+SessionManager::Access SessionManager::access(const SessionToken& token,
+                                              bool count_command,
+                                              std::shared_ptr<Session>& out) {
+  std::shared_ptr<Session> s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(token.session_id);
+    if (it == sessions_.end()) return Access::kNotFound;
+    s = it->second;
+  }
+  if (s->secret != token.secret) return Access::kBadToken;
+  out = s;
+  const auto now = Clock::now();
+  std::lock_guard<std::mutex> lock(s->mu);
+  s->last_active = now;
+  if (count_command) {
+    if (!s->limiter.allow(now)) {
+      ++s->rate_limited;
+      return Access::kRateLimited;
+    }
+    ++s->commands;
+  }
+  return Access::kOk;
+}
+
+bool SessionManager::close(std::uint32_t id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.erase(id) == 0) return false;
+  }
+  core_.close_session(id);
+  return true;
+}
+
+std::size_t SessionManager::evict_idle(Clock::time_point now) {
+  std::vector<std::uint32_t> expired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, s] : sessions_) {
+      std::lock_guard<std::mutex> slock(s->mu);
+      if (now - s->last_active >= cfg_.idle_ttl) expired.push_back(id);
+    }
+    for (const std::uint32_t id : expired) sessions_.erase(id);
+    evicted_ += expired.size();
+  }
+  for (const std::uint32_t id : expired) core_.close_session(id);
+  return expired.size();
+}
+
+std::size_t SessionManager::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+std::uint64_t SessionManager::created_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return created_;
+}
+
+std::uint64_t SessionManager::evicted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+}  // namespace liteview::api

@@ -1,0 +1,115 @@
+// Session bookkeeping for the control plane: token auth, per-session
+// rate limits, idle eviction.
+//
+// Locking discipline (outer to inner): SessionManager::mu_ guards the
+// id→session map and is held only for map operations — never across a
+// SimCore call or socket I/O. Session::mu guards one session's mutable
+// state (rate bucket, idle clock). SimCore::mu_ is innermost and is
+// never acquired while either of these is held *except* through the
+// fixed manager→core edge in create/close/evict (SimCore never calls
+// back into the manager, so the ordering cannot cycle).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/sim_core.hpp"
+#include "api/token.hpp"
+#include "util/rng.hpp"
+
+namespace liteview::api {
+
+using Clock = std::chrono::steady_clock;
+
+struct RateLimitConfig {
+  bool enabled = true;
+  double commands_per_sec = 50.0;  ///< sustained refill rate
+  double burst = 16.0;             ///< bucket capacity
+};
+
+/// Token bucket over a caller-supplied clock. Callers hold Session::mu.
+class RateLimiter {
+ public:
+  explicit RateLimiter(const RateLimitConfig& cfg)
+      : cfg_(cfg), tokens_(cfg.burst) {}
+
+  [[nodiscard]] bool allow(Clock::time_point now);
+
+ private:
+  RateLimitConfig cfg_;
+  double tokens_;
+  Clock::time_point last_{};
+  bool primed_ = false;
+};
+
+struct Session {
+  std::uint32_t id = 0;
+  std::uint64_t secret = 0;
+
+  std::mutex mu;  ///< guards the fields below
+  RateLimiter limiter;
+  Clock::time_point last_active;
+  std::uint64_t commands = 0;
+  std::uint64_t rate_limited = 0;
+
+  Session(std::uint32_t id_, std::uint64_t secret_,
+          const RateLimitConfig& rate, Clock::time_point now)
+      : id(id_), secret(secret_), limiter(rate), last_active(now) {}
+};
+
+struct SessionManagerConfig {
+  RateLimitConfig rate;
+  std::chrono::milliseconds idle_ttl{60'000};
+  std::size_t max_sessions = 4096;
+  /// Seed for secret generation; 0 draws one from std::random_device
+  /// (tests pin it for reproducible tokens).
+  std::uint64_t token_seed = 0;
+};
+
+class SessionManager {
+ public:
+  SessionManager(SimCore& core, SessionManagerConfig cfg);
+
+  struct Created {
+    std::shared_ptr<Session> session;
+    std::string token;
+  };
+  /// nullopt when the session table is full.
+  [[nodiscard]] std::optional<Created> create();
+
+  enum class Access { kOk, kNotFound, kBadToken, kRateLimited };
+
+  /// Authenticate + touch + rate-check in one step. On kOk (and
+  /// kRateLimited) `out` is the session. Rate checking applies only
+  /// when `count_command` (command submission, not status reads).
+  Access access(const SessionToken& token, bool count_command,
+                std::shared_ptr<Session>& out);
+
+  /// Close + drop the session (and its SimCore shell state).
+  bool close(std::uint32_t id);
+
+  /// Evict sessions idle longer than idle_ttl; returns how many.
+  std::size_t evict_idle(Clock::time_point now);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t created_total() const;
+  [[nodiscard]] std::uint64_t evicted_total() const;
+
+ private:
+  SimCore& core_;
+  SessionManagerConfig cfg_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint32_t, std::shared_ptr<Session>> sessions_;
+  util::RngStream secrets_;
+  std::uint32_t next_id_ = 1;
+  std::uint64_t created_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace liteview::api

@@ -1,0 +1,172 @@
+#include "api/sim_core.hpp"
+
+#include "api/http.hpp"
+#include "chaos/shell.hpp"
+#include "util/strings.hpp"
+
+namespace liteview::api {
+namespace {
+
+/// Stable event names for the SSE stream. New message types fall back
+/// to a numeric name, so the stream stays decodable (and deterministic)
+/// across protocol growth.
+[[nodiscard]] std::string event_name(lv::MsgType type) {
+  switch (type) {
+    case lv::MsgType::kStatus: return "status";
+    case lv::MsgType::kRadioConfig: return "radio-config";
+    case lv::MsgType::kNbrTable: return "neighbor-table";
+    case lv::MsgType::kPingResult: return "ping-result";
+    case lv::MsgType::kTracerouteReport: return "hop";
+    case lv::MsgType::kTracerouteDone: return "traceroute-done";
+    case lv::MsgType::kProcessList: return "process-list";
+    case lv::MsgType::kLogData: return "log-data";
+    case lv::MsgType::kEnergy: return "energy";
+    case lv::MsgType::kNetstatData: return "netstat";
+    case lv::MsgType::kScanData: return "scan-data";
+    default:
+      return util::format("mgmt-%02x", static_cast<unsigned>(type));
+  }
+}
+
+}  // namespace
+
+std::string ExecResult::concat() const {
+  std::string out;
+  for (const auto& f : frames) out += f;
+  return out;
+}
+
+SimCore::SimCore(Factory factory) : factory_(std::move(factory)) {
+  tb_ = factory_();
+}
+
+SimCore::~SimCore() = default;
+
+SimCore::SessionState& SimCore::state_for(std::uint32_t session_id) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    SessionState st;
+    testbed::Testbed& tb = *tb_;
+    st.interpreter = std::make_unique<lv::CommandInterpreter>(
+        tb.workstation(), [&tb](net::Addr a) -> std::optional<phy::Position> {
+          if (a == 0 || a > tb.size()) return std::nullopt;
+          return tb.node(a - 1).position();
+        });
+    st.interpreter->set_diagnostics(tb.recorder(), [&tb](std::string meta) {
+      return tb.checkpoint(std::move(meta));
+    });
+    chaos::install_shell_commands(tb, *st.interpreter);
+    it = sessions_.emplace(session_id, std::move(st)).first;
+  }
+  return it->second;
+}
+
+ExecResult SimCore::execute(std::uint32_t session_id,
+                            const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return execute_locked(session_id, line);
+}
+
+ExecResult SimCore::execute_locked(std::uint32_t session_id,
+                                   const std::string& line) {
+  SessionState& st = state_for(session_id);
+  log_.push_back(CommandLogEntry{session_id, line});
+
+  ExecResult result;
+  // Tap every management response that reaches the workstation while
+  // this command runs: each becomes one SSE frame carrying the lv::
+  // codec bytes (hex) stamped with its sim-time arrival.
+  lv::Workstation& ws = tb_->workstation();
+  ws.set_mgmt_observer([&result, &st](lv::MsgType type,
+                                      const std::vector<std::uint8_t>& body,
+                                      sim::SimTime arrival) {
+    SseEvent ev;
+    ev.id = st.next_event_id++;
+    ev.event = event_name(type);
+    ev.data = util::format("%lld ", static_cast<long long>(arrival.nanoseconds())) +
+              to_hex(body);
+    result.frames.push_back(sse_encode(ev));
+  });
+  std::string transcript;
+  try {
+    transcript = st.interpreter->execute(line);
+  } catch (const std::exception& e) {
+    transcript = util::format("error: %s\n", e.what());
+  }
+  ws.set_mgmt_observer(nullptr);
+
+  SseEvent tr;
+  tr.id = st.next_event_id++;
+  tr.event = "transcript";
+  tr.data = transcript;
+  result.frames.push_back(sse_encode(tr));
+  SseEvent done;
+  done.id = st.next_event_id++;
+  done.event = "done";
+  done.data = util::format("%lld", static_cast<long long>(tb_->sim().now().nanoseconds()));
+  result.frames.push_back(sse_encode(done));
+  return result;
+}
+
+void SimCore::close_session(std::uint32_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(session_id);
+}
+
+std::vector<CommandLogEntry> SimCore::command_log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+std::vector<std::uint8_t> SimCore::snapshot_bytes(std::string meta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace::serialize(tb_->checkpoint(std::move(meta)));
+}
+
+std::string SimCore::snapshot_describe(std::string meta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace::describe(tb_->checkpoint(std::move(meta)));
+}
+
+std::string SimCore::topology_text() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = util::format("network %s nodes %zu t %lld\n",
+                                 tb_->book().network().c_str(), tb_->size(),
+                                 static_cast<long long>(tb_->sim().now().nanoseconds()));
+  for (std::size_t i = 0; i < tb_->size(); ++i) {
+    const kernel::Node& n = tb_->node(i);
+    const auto name = tb_->book().name_of(tb_->addr(i));
+    out += util::format("node %u %s %.2f %.2f\n", tb_->addr(i),
+                        name ? name->c_str() : "?", n.position().x,
+                        n.position().y);
+    for (const auto& e : n.neighbors().entries()) {
+      out += util::format("  link %u -> %u lqi %.1f/%.1f rssi %.1f%s\n",
+                          tb_->addr(i), e.addr, e.lqi_ewma, e.lqi_out,
+                          e.rssi_ewma, e.blacklisted ? " [blacklisted]" : "");
+    }
+  }
+  return out;
+}
+
+std::size_t SimCore::node_count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tb_->size();
+}
+
+std::uint64_t SimCore::commands_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.size();
+}
+
+std::map<std::uint32_t, std::string> SimCore::replay(
+    const Factory& factory, const std::vector<CommandLogEntry>& log) {
+  SimCore core(factory);
+  std::map<std::uint32_t, std::string> streams;
+  for (const auto& entry : log) {
+    streams[entry.session_id] += core.execute(entry.session_id, entry.line)
+                                     .concat();
+  }
+  return streams;
+}
+
+}  // namespace liteview::api

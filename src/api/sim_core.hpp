@@ -1,0 +1,114 @@
+// The lock-protected simulation core of the diagnosis control plane.
+//
+// One deployment (testbed::Testbed), many remote sessions. Each session
+// gets a private CommandInterpreter over the shared workstation — its
+// own `cd` context — while every command executes under one core mutex,
+// so the deterministic simulator only ever advances from one thread at
+// a time and each command runs start-to-finish without interleaving.
+//
+// Equivalence contract (the concurrency test hinges on this): the core
+// appends every executed command to a global log *inside the same
+// critical section that executes it*. Replaying that log serially on an
+// identically-built core therefore reproduces every session's result
+// stream byte-for-byte, at any server thread count. ExecResult frames
+// are fully deterministic: per-session event ids, sim-time stamps, and
+// lv:: codec payloads — no wall-clock anywhere.
+//
+// Locking discipline: SimCore::mu_ is the innermost lock in the server
+// (SessionManager::mu_ and Session::mu are never acquired while it is
+// held, and it is never held across socket I/O — results are buffered
+// under the lock and streamed after release, so a slow client can never
+// stall the simulation for other sessions).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "testbed/testbed.hpp"
+
+namespace liteview::api {
+
+/// One executed command, as appended to the global serialization log.
+struct CommandLogEntry {
+  std::uint32_t session_id = 0;
+  std::string line;
+};
+
+/// Result of one command: the SSE frames to stream to the session, in
+/// order (zero or more `MsgType` events — per-hop traceroute reports,
+/// ping results, neighbor tables — then `transcript`, then `done`).
+struct ExecResult {
+  std::vector<std::string> frames;
+
+  /// The byte stream a client observes for this command.
+  [[nodiscard]] std::string concat() const;
+};
+
+class SimCore {
+ public:
+  using Factory = std::function<std::unique_ptr<testbed::Testbed>()>;
+
+  /// Builds the deployment via `factory` (which should warm it up —
+  /// construction is deterministic, so two cores built from the same
+  /// factory are byte-identical worlds).
+  explicit SimCore(Factory factory);
+  ~SimCore();
+  SimCore(const SimCore&) = delete;
+  SimCore& operator=(const SimCore&) = delete;
+
+  /// Execute one command line on behalf of `session_id`, creating the
+  /// session's interpreter state on first use. Appends to the command
+  /// log and returns the session's SSE frames for this command.
+  ExecResult execute(std::uint32_t session_id, const std::string& line);
+
+  /// Drop a session's interpreter state (its shell context). Not
+  /// logged: replay only needs the commands that ran.
+  void close_session(std::uint32_t session_id);
+
+  /// Copy of the global serialization log.
+  [[nodiscard]] std::vector<CommandLogEntry> command_log() const;
+
+  /// Whole-deployment checkpoint via the flight-recorder snapshot
+  /// machinery, serialized (binary .lvcp bytes).
+  [[nodiscard]] std::vector<std::uint8_t> snapshot_bytes(std::string meta);
+  /// Human-readable one-line description of a fresh checkpoint.
+  [[nodiscard]] std::string snapshot_describe(std::string meta);
+
+  /// Topology + link-state text: one line per node (name, address,
+  /// position) and one per neighbor-table entry.
+  [[nodiscard]] std::string topology_text();
+
+  [[nodiscard]] std::size_t node_count();
+  [[nodiscard]] std::uint64_t commands_executed() const;
+
+  /// Serial replay: build a fresh core from `factory` and run `log` in
+  /// order, returning each session's concatenated result stream. The
+  /// equivalence test compares these bytes against what the live
+  /// concurrent server streamed to each session.
+  static std::map<std::uint32_t, std::string> replay(
+      const Factory& factory, const std::vector<CommandLogEntry>& log);
+
+ private:
+  struct SessionState {
+    std::unique_ptr<lv::CommandInterpreter> interpreter;
+    std::uint64_t next_event_id = 0;
+  };
+
+  /// Callers hold mu_.
+  SessionState& state_for(std::uint32_t session_id);
+  ExecResult execute_locked(std::uint32_t session_id,
+                            const std::string& line);
+
+  Factory factory_;
+  mutable std::mutex mu_;
+  std::unique_ptr<testbed::Testbed> tb_;
+  std::map<std::uint32_t, SessionState> sessions_;
+  std::vector<CommandLogEntry> log_;
+};
+
+}  // namespace liteview::api

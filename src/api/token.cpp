@@ -1,0 +1,49 @@
+#include "api/token.hpp"
+
+#include "util/strings.hpp"
+
+namespace liteview::api {
+namespace {
+
+[[nodiscard]] int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;  // uppercase rejected: we only ever emit lowercase
+}
+
+template <typename T>
+[[nodiscard]] bool parse_fixed_hex(std::string_view s, T& out) {
+  T v = 0;
+  for (const char c : s) {
+    const int d = hex_val(c);
+    if (d < 0) return false;
+    v = static_cast<T>((v << 4) | static_cast<T>(d));
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string format_token(const SessionToken& t) {
+  return util::format("lvs-%08x-%016llx", t.session_id,
+                      static_cast<unsigned long long>(t.secret));
+}
+
+std::optional<SessionToken> parse_token(std::string_view s) {
+  if (s.size() != kTokenLength) return std::nullopt;
+  if (s.substr(0, 4) != "lvs-" || s[12] != '-') return std::nullopt;
+  SessionToken t;
+  if (!parse_fixed_hex(s.substr(4, 8), t.session_id)) return std::nullopt;
+  if (!parse_fixed_hex(s.substr(13, 16), t.secret)) return std::nullopt;
+  return t;
+}
+
+std::optional<SessionToken> parse_bearer(std::string_view header) {
+  constexpr std::string_view kPrefix = "Bearer ";
+  if (header.size() != kPrefix.size() + kTokenLength) return std::nullopt;
+  if (header.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  return parse_token(header.substr(kPrefix.size()));
+}
+
+}  // namespace liteview::api

@@ -1,0 +1,35 @@
+// Session token format for the control plane.
+//
+//   lvs-<8 hex session id>-<16 hex secret>
+//
+// The token is the whole credential: the id routes the request to its
+// session, the secret authenticates it. Parsing is strict (exact
+// length, exact delimiters, lowercase hex) so a fuzzer can only ever
+// produce "valid token" or "reject", never a partially-initialized
+// credential.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace liteview::api {
+
+struct SessionToken {
+  std::uint32_t session_id = 0;
+  std::uint64_t secret = 0;
+
+  bool operator==(const SessionToken&) const = default;
+};
+
+inline constexpr std::size_t kTokenLength = 4 + 8 + 1 + 16;  // "lvs-" id '-' secret
+
+[[nodiscard]] std::string format_token(const SessionToken& t);
+[[nodiscard]] std::optional<SessionToken> parse_token(std::string_view s);
+
+/// "Bearer <token>" → token, per the Authorization header. Strict: one
+/// space, nothing trailing.
+[[nodiscard]] std::optional<SessionToken> parse_bearer(std::string_view header);
+
+}  // namespace liteview::api

@@ -84,7 +84,12 @@ std::string cmd_shrink(const util::CommandLine& cl) {
 }  // namespace
 
 void install_shell_commands(testbed::Testbed& tb) {
-  tb.shell().register_command(
+  install_shell_commands(tb, tb.shell());
+}
+
+void install_shell_commands(testbed::Testbed& tb,
+                            lv::CommandInterpreter& shell) {
+  shell.register_command(
       "chaos", [&tb](const util::CommandLine& cl) -> std::string {
         const std::string sub =
             cl.positional.empty() ? "" : cl.positional[0];

@@ -20,4 +20,11 @@ namespace liteview::chaos {
 /// `check` inspects `tb` itself. `tb` must outlive its shell.
 void install_shell_commands(testbed::Testbed& tb);
 
+/// Same verbs on an interpreter other than `tb`'s own shell — the
+/// control plane gives every remote session a private interpreter over
+/// the shared deployment, and each needs the chaos verbs hooked in.
+/// `tb` must outlive `shell`.
+void install_shell_commands(testbed::Testbed& tb,
+                            lv::CommandInterpreter& shell);
+
 }  // namespace liteview::chaos

@@ -36,6 +36,7 @@ Workstation::Workstation(sim::Simulator& sim, phy::Medium& medium,
     const auto msg = decode_mgmt(m);
     if (!msg) return;
     inbox_.push_back(Collected{msg->type, msg->body, sim_.now()});
+    if (observer_) observer_(msg->type, inbox_.back().body, sim_.now());
   });
 }
 
@@ -280,6 +281,7 @@ std::string CommandInterpreter::execute(const std::string& line) {
     return "";
   }
   // Workstation-local diagnostics: usable without logging into a node.
+  if (cl.command == "help") return cmd_help();
   if (cl.command == "trace") return cmd_trace(cl);
   if (cl.command == "snapshot") return cmd_snapshot(cl);
   if (const auto ext = extensions_.find(cl.command);
@@ -302,18 +304,31 @@ std::string CommandInterpreter::execute(const std::string& line) {
   if (cl.command == "energy") return cmd_energy();
   if (cl.command == "netstat") return cmd_netstat();
   if (cl.command == "scan") return cmd_scan(cl);
-  if (cl.command == "help") {
-    return "commands:\n"
-           "  pwd | cd <node> | ls | ps | help\n"
-           "  ping <node> [round= length= port=]\n"
-           "  traceroute <node> [round= length= port=]\n"
-           "  neighborsetup -> list | blacklist add|remove <node> | "
-           "update period=<ms> | exit\n"
-           "  power [0..31] | channel [11..26]\n"
-           "  log | energy | netstat | scan [dwell=<ms>]\n"
-           "  trace [status|dump|save|diff|reset] | snapshot [meta]\n";
-  }
   return util::format("%s: command not found\n", cl.command.c_str());
+}
+
+std::string CommandInterpreter::cmd_help() const {
+  std::string out =
+      "commands:\n"
+      "  pwd | cd <node> | ls | ps | help\n"
+      "  ping <node> [round= length= port=]\n"
+      "  traceroute <node> [round= length= port=]\n"
+      "  neighborsetup -> list | blacklist add|remove <node> | "
+      "update period=<ms> | exit\n"
+      "  power [0..31] | channel [11..26]\n"
+      "  log | energy | netstat | scan [dwell=<ms>]\n"
+      "  trace [status|dump|save|diff|reset] | snapshot [meta]\n";
+  // Extension verbs hooked in by layers above (chaos, testbed tooling)
+  // used to be invisible here; list them so users can discover them.
+  if (!extensions_.empty()) {
+    out += "extensions:\n ";
+    for (const auto& [name, fn] : extensions_) {
+      (void)fn;
+      out += " " + name;
+    }
+    out += "\n";
+  }
+  return out;
 }
 
 std::string CommandInterpreter::cmd_neighborsetup() {

@@ -112,6 +112,16 @@ class Workstation {
     return cfg_;
   }
 
+  /// Observer for every decoded management response as it reaches the
+  /// workstation (per-hop traceroute reports, ping results, neighbor
+  /// tables, ...). `body` is the message's lv:: codec encoding exactly
+  /// as received. The control plane taps this to stream per-hop results
+  /// while a command is still running; null disables (the default).
+  using MgmtObserver = std::function<void(
+      MsgType type, const std::vector<std::uint8_t>& body,
+      sim::SimTime arrival)>;
+  void set_mgmt_observer(MgmtObserver obs) { observer_ = std::move(obs); }
+
  private:
   /// Send a request and wait exactly the response budget; returns the
   /// first matching response body.
@@ -132,6 +142,7 @@ class Workstation {
     sim::SimTime arrival;
   };
   std::vector<Collected> inbox_;
+  MgmtObserver observer_;
 };
 
 /// Shell-style front end producing the paper's transcript format.
@@ -185,6 +196,7 @@ class CommandInterpreter {
   std::string cmd_scan(const util::CommandLine& cl);
   std::string cmd_trace(const util::CommandLine& cl);
   std::string cmd_snapshot(const util::CommandLine& cl);
+  std::string cmd_help() const;
   [[nodiscard]] std::string name_of(net::Addr a) const;
 
   Workstation& ws_;

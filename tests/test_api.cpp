@@ -1,0 +1,508 @@
+// Control-plane conformance + concurrency tests: protocol behavior over
+// real sockets (handshake, auth rejection, rate limiting, SSE framing,
+// half-closed sockets, oversized requests) and the headline equivalence
+// property — per-session result streams from the concurrent server are
+// byte-identical to a serial replay of the core's command log, at any
+// worker-thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/client.hpp"
+#include "api/server.hpp"
+#include "testbed/testbed.hpp"
+#include "trace/checkpoint.hpp"
+
+namespace liteview::api {
+namespace {
+
+/// Small deterministic deployment shared by every test; `seed` makes two
+/// factories build byte-identical worlds (the equivalence test's lever).
+SimCore::Factory line_factory(int n, std::uint64_t seed) {
+  return [n, seed] {
+    auto tb = testbed::Testbed::paper_line(n, seed);
+    tb->warm_up();
+    return tb;
+  };
+}
+
+struct ApiServerFixture : ::testing::Test {
+  void start(ServerConfig cfg = {}, int nodes = 5, std::uint64_t seed = 7) {
+    core = std::make_unique<SimCore>(line_factory(nodes, seed));
+    cfg.sessions.token_seed = 99;  // reproducible tokens
+    server = std::make_unique<ControlPlaneServer>(*core, cfg);
+    std::string err;
+    ASSERT_TRUE(server->start(&err)) << err;
+  }
+
+  [[nodiscard]] HttpClient client() const {
+    return HttpClient("127.0.0.1", server->port());
+  }
+
+  struct Joined {
+    std::uint32_t id = 0;
+    std::string token;
+  };
+  Joined join(HttpClient& c, std::string_view join_token = {}) {
+    const auto resp = c.request("POST", "/v1/sessions", join_token);
+    EXPECT_TRUE(resp && resp->status == 201) << (resp ? resp->status : -1);
+    Joined j;
+    if (!resp) return j;
+    // Body: {"session":N,"token":"lvs-..."}
+    const auto tok = resp->body.find("\"token\":\"");
+    EXPECT_NE(tok, std::string::npos) << resp->body;
+    j.token = resp->body.substr(tok + 9, kTokenLength);
+    const auto parsed = parse_token(j.token);
+    EXPECT_TRUE(parsed.has_value()) << j.token;
+    if (parsed) j.id = parsed->session_id;
+    return j;
+  }
+
+  std::unique_ptr<SimCore> core;
+  std::unique_ptr<ControlPlaneServer> server;
+};
+
+// ---- conformance ------------------------------------------------------
+
+TEST_F(ApiServerFixture, HealthzAndUnknownRoutes) {
+  start();
+  auto c = client();
+  auto r = c.request("GET", "/healthz");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->status, 200);
+  EXPECT_EQ(r->body, "ok\n");
+
+  r = c.request("GET", "/nope");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->status, 404);
+
+  r = c.request("POST", "/healthz");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->status, 405);
+}
+
+TEST_F(ApiServerFixture, SessionHandshake) {
+  start();
+  auto c = client();
+  const auto j = join(c);
+  ASSERT_NE(j.id, 0u);
+
+  // Session info round-trips over the issued token.
+  auto r = c.request("GET", "/v1/sessions/1", j.token);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->status, 200);
+  EXPECT_NE(r->body.find("\"session\":1"), std::string::npos) << r->body;
+
+  // Sessions number up from 1 in creation order.
+  const auto j2 = join(c);
+  EXPECT_EQ(j2.id, 2u);
+  EXPECT_NE(j2.token, j.token);
+}
+
+TEST_F(ApiServerFixture, JoinTokenGate) {
+  ServerConfig cfg;
+  cfg.join_token = "lab-secret";
+  start(cfg);
+  auto c = client();
+  auto r = c.request("POST", "/v1/sessions");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->status, 401);
+  r = c.request("POST", "/v1/sessions", "wrong");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->status, 401);
+  const auto j = join(c, "lab-secret");
+  EXPECT_NE(j.id, 0u);
+}
+
+TEST_F(ApiServerFixture, AuthRejection) {
+  start();
+  auto c = client();
+  const auto j = join(c);
+
+  // Bad secret for a live session.
+  auto r = c.request("GET", "/v1/sessions/1",
+                     "lvs-00000001-0000000000000000");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->status, 401);
+
+  // Token whose id does not match the path.
+  r = c.request("GET", "/v1/sessions/7", j.token);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->status, 401);
+
+  // Well-formed token for a session that never existed.
+  r = c.request("GET", "/v1/sessions/7", "lvs-00000007-0000000000000000");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->status, 404);
+
+  // Garbage token shapes.
+  for (const char* bad : {"", "Bearer", "lvs-xx", "lvs-00000001-short"}) {
+    r = c.request("POST", "/v1/sessions/1/command", bad, "help");
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->status, 401) << bad;
+  }
+}
+
+TEST_F(ApiServerFixture, RateLimit429WithRetryAfter) {
+  ServerConfig cfg;
+  cfg.sessions.rate.burst = 2.0;
+  cfg.sessions.rate.commands_per_sec = 0.001;  // no meaningful refill
+  start(cfg);
+  auto c = client();
+  const auto j = join(c);
+
+  int status = 0;
+  ASSERT_TRUE(post_command(c, j.id, j.token, "help", &status));
+  EXPECT_EQ(status, 200);
+  ASSERT_TRUE(post_command(c, j.id, j.token, "help", &status));
+
+  const auto r = c.request("POST", "/v1/sessions/1/command", j.token, "help");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->status, 429);
+  EXPECT_EQ(r->header("retry-after"), "1");
+
+  // Status reads are not commands and still work while limited.
+  const auto info = c.request("GET", "/v1/sessions/1", j.token);
+  ASSERT_TRUE(info);
+  EXPECT_EQ(info->status, 200);
+  EXPECT_NE(info->body.find("\"rate_limited\":1"), std::string::npos)
+      << info->body;
+}
+
+TEST_F(ApiServerFixture, SseFramingStreamsPerHopEvents) {
+  start();
+  auto c = client();
+  const auto j = join(c);
+
+  ASSERT_TRUE(post_command(c, j.id, j.token, "cd 192.168.0.1"));
+  const auto stream = post_command(
+      c, j.id, j.token, "traceroute 192.168.0.5 round=1 length=32 port=10");
+  ASSERT_TRUE(stream);
+
+  // The response is chunked SSE; decoded events are per-hop reports,
+  // the traceroute completion, then transcript and done.
+  ASSERT_GE(stream->events.size(), 6u);
+  std::size_t hops = 0;
+  for (const auto& ev : stream->events) hops += ev.event == "hop";
+  EXPECT_GE(hops, 4u);  // 5-node line: one report per relay + target
+  EXPECT_EQ(stream->events[stream->events.size() - 2].event, "transcript");
+  EXPECT_EQ(stream->events.back().event, "done");
+  EXPECT_NE(stream->transcript().find("Traceroute statistics"),
+            std::string::npos);
+
+  // Event ids are strictly increasing across the session's commands.
+  std::uint64_t last_id = 0;
+  bool first = true;
+  for (const auto& ev : stream->events) {
+    if (!first) {
+      EXPECT_GT(ev.id, last_id);
+    }
+    last_id = ev.id;
+    first = false;
+  }
+
+  // Hop payloads are "<sim-ns> <hex lv codec bytes>" — decodable.
+  for (const auto& ev : stream->events) {
+    if (ev.event != "hop") continue;
+    const auto space = ev.data.find(' ');
+    ASSERT_NE(space, std::string::npos);
+    EXPECT_GT(std::stoll(ev.data.substr(0, space)), 0);
+    EXPECT_TRUE(from_hex(ev.data.substr(space + 1)).has_value()) << ev.data;
+  }
+}
+
+TEST_F(ApiServerFixture, HalfClosedSocketStillGetsResponse) {
+  start();
+  auto c = client();
+  const auto j = join(c);
+  // Client shuts down its write side right after the request: the server
+  // must treat that as end-of-requests, not a dead peer, and answer.
+  const auto r = c.request_half_close(
+      "POST", "/v1/sessions/1/command", j.token, "help");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->status, 200);
+  std::vector<SseEvent> events;
+  ASSERT_TRUE(sse_decode(r->body, events));
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events[events.size() - 2].event, "transcript");
+  EXPECT_NE(events[events.size() - 2].data.find("commands:"),
+            std::string::npos);
+}
+
+TEST_F(ApiServerFixture, OversizedAndMalformedRequests) {
+  start();
+  auto c = client();
+  const auto j = join(c);
+
+  // Body over the 64 KiB ceiling → 413.
+  auto r = c.request("POST", "/v1/sessions/1/command", j.token,
+                     std::string(65 * 1024, 'x'));
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->status, 413);
+
+  // Head over the 8 KiB ceiling → 413.
+  auto raw = c.raw("GET /healthz HTTP/1.1\r\nX-Pad: " +
+                   std::string(9 * 1024, 'p') + "\r\n\r\n");
+  ASSERT_TRUE(raw);
+  EXPECT_NE(raw->find("413"), std::string::npos);
+
+  // Byte soup → 400, connection closed.
+  raw = c.raw("GARBAGE\r\n\r\n");
+  ASSERT_TRUE(raw);
+  EXPECT_NE(raw->find("400 Bad Request"), std::string::npos);
+
+  const auto stats = server->stats();
+  EXPECT_GE(stats.parse_errors, 3u);
+}
+
+TEST_F(ApiServerFixture, KeepAliveAndPipelining) {
+  start();
+  auto c = client();
+  // Two requests in one write on one connection; both must be answered
+  // in order even though the second is buffered before the first is
+  // parsed.
+  const auto raw = c.raw(
+      "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+      "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  ASSERT_TRUE(raw);
+  std::size_t count = 0;
+  for (std::size_t pos = 0;
+       (pos = raw->find("HTTP/1.1 200 OK", pos)) != std::string::npos;
+       pos += 1)
+    ++count;
+  EXPECT_EQ(count, 2u);
+}
+
+TEST_F(ApiServerFixture, DeleteAndIdleEviction) {
+  ServerConfig cfg;
+  cfg.sessions.idle_ttl = std::chrono::milliseconds(100);
+  cfg.sweep_interval = std::chrono::milliseconds(20);
+  start(cfg);
+  auto c = client();
+  const auto j = join(c);
+
+  // Explicit close.
+  auto r = c.request("DELETE", "/v1/sessions/1", j.token);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->status, 204);
+  r = c.request("GET", "/v1/sessions/1", j.token);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->status, 404);
+
+  // Idle eviction: a session left alone past the TTL disappears.
+  const auto j2 = join(c);
+  ASSERT_NE(j2.id, 0u);
+  for (int i = 0; i < 100 && server->sessions().size() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server->sessions().size(), 0u);
+  EXPECT_GE(server->sessions().evicted_total(), 1u);
+  r = c.request("GET", "/v1/sessions/2", j2.token);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->status, 404);
+}
+
+TEST_F(ApiServerFixture, SnapshotAndTopology) {
+  start();
+  auto c = client();
+  const auto j = join(c);
+
+  auto r = c.request("GET", "/v1/topology", j.token);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->status, 200);
+  EXPECT_NE(r->body.find("nodes 5"), std::string::npos) << r->body;
+  EXPECT_NE(r->body.find("link 1 -> 2"), std::string::npos) << r->body;
+
+  r = c.request("GET", "/v1/snapshot?meta=1", j.token);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->status, 200);
+  EXPECT_NE(r->body.find("sections"), std::string::npos) << r->body;
+
+  // The binary snapshot is a parseable flight-recorder checkpoint.
+  r = c.request("GET", "/v1/snapshot", j.token);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->status, 200);
+  EXPECT_EQ(r->header("content-type"), "application/octet-stream");
+  const std::vector<std::uint8_t> bytes(r->body.begin(), r->body.end());
+  const auto cp = trace::parse_checkpoint(bytes);
+  ASSERT_TRUE(cp.has_value());
+
+  // Unauthenticated snapshot access is rejected.
+  r = c.request("GET", "/v1/snapshot");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->status, 401);
+}
+
+TEST_F(ApiServerFixture, SessionTableFull) {
+  ServerConfig cfg;
+  cfg.sessions.max_sessions = 2;
+  start(cfg);
+  auto c = client();
+  join(c);
+  join(c);
+  const auto r = c.request("POST", "/v1/sessions");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->status, 503);
+}
+
+// ---- serial-vs-concurrent equivalence ---------------------------------
+
+// The headline concurrency property: run many interleaved sessions
+// against the live multi-threaded server, then serially replay the
+// core's global command log on an identically-built core. Every
+// session's concatenated SSE byte stream must match exactly — proof
+// that the locking discipline serializes commands without corrupting
+// per-session state, at any worker count.
+void run_equivalence(int worker_threads, int client_threads,
+                     int sessions_per_thread, std::uint64_t seed) {
+  const int nodes = 5;
+  SimCore core(line_factory(nodes, seed));
+  ServerConfig cfg;
+  cfg.worker_threads = worker_threads;
+  cfg.sessions.rate.enabled = false;  // no 429s mid-property
+  cfg.sweep_interval = std::chrono::milliseconds(0);  // no eviction
+  cfg.sessions.token_seed = 5;
+  ControlPlaneServer server(core, cfg);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  const int total = client_threads * sessions_per_thread;
+  std::vector<std::uint32_t> ids(static_cast<std::size_t>(total), 0);
+  std::vector<std::string> streamed(static_cast<std::size_t>(total));
+  std::atomic<int> failures{0};
+
+  auto worker = [&](int t) {
+    HttpClient c("127.0.0.1", server.port());
+    for (int k = 0; k < sessions_per_thread; ++k) {
+      const int slot = t * sessions_per_thread + k;
+      const auto resp = c.request("POST", "/v1/sessions");
+      if (!resp || resp->status != 201) {
+        ++failures;
+        return;
+      }
+      const auto tok = resp->body.find("\"token\":\"");
+      const std::string token = resp->body.substr(tok + 9, kTokenLength);
+      const auto parsed = parse_token(token);
+      if (!parsed) {
+        ++failures;
+        return;
+      }
+      ids[static_cast<std::size_t>(slot)] = parsed->session_id;
+
+      // A per-slot command mix: shell context, diagnosis traffic, and
+      // local reads, all deterministic under global serialization.
+      const std::string target =
+          "192.168.0." + std::to_string(1 + slot % nodes);
+      const std::vector<std::string> lines = {
+          "cd " + target,
+          "ping 192.168.0." + std::to_string(1 + (slot + 2) % nodes) +
+              " round=1 length=16",
+          slot % 3 == 0 ? "neighborsetup" : "pwd",
+          slot % 3 == 0 ? "list" : "help",
+          slot % 3 == 0 ? "exit" : "ls",
+      };
+      for (const auto& line : lines) {
+        const auto stream = post_command(c, parsed->session_id, token, line);
+        if (!stream) {
+          ++failures;
+          return;
+        }
+        streamed[static_cast<std::size_t>(slot)] += stream->bytes;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(client_threads));
+  for (int t = 0; t < client_threads; ++t) threads.emplace_back(worker, t);
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  const auto log = core.command_log();
+  ASSERT_EQ(log.size(), static_cast<std::size_t>(total) * 5);
+  server.stop();
+
+  // Serial replay on a fresh, identically-seeded world.
+  const auto replayed = SimCore::replay(line_factory(nodes, seed), log);
+  ASSERT_EQ(replayed.size(), static_cast<std::size_t>(total));
+  for (int slot = 0; slot < total; ++slot) {
+    const std::uint32_t sid = ids[static_cast<std::size_t>(slot)];
+    const auto it = replayed.find(sid);
+    ASSERT_NE(it, replayed.end()) << "session " << sid;
+    EXPECT_EQ(streamed[static_cast<std::size_t>(slot)], it->second)
+        << "session " << sid << " diverged from serial replay";
+  }
+}
+
+TEST(ApiEquivalence, SingleWorkerMatchesSerialReplay) {
+  run_equivalence(/*worker_threads=*/1, /*client_threads=*/4,
+                  /*sessions_per_thread=*/4, /*seed=*/11);
+}
+
+TEST(ApiEquivalence, FourWorkersMatchSerialReplay) {
+  run_equivalence(/*worker_threads=*/4, /*client_threads=*/8,
+                  /*sessions_per_thread=*/8, /*seed=*/12);
+}
+
+TEST(ApiEquivalence, SixteenWorkersMatchSerialReplay) {
+  run_equivalence(/*worker_threads=*/16, /*client_threads=*/8,
+                  /*sessions_per_thread=*/8, /*seed=*/13);
+}
+
+// ---- session bookkeeping (no sockets) ---------------------------------
+
+TEST(ApiSession, RateLimiterRefillsOverTime) {
+  RateLimitConfig cfg;
+  cfg.burst = 2.0;
+  cfg.commands_per_sec = 10.0;
+  RateLimiter rl(cfg);
+  const auto t0 = Clock::now();
+  EXPECT_TRUE(rl.allow(t0));
+  EXPECT_TRUE(rl.allow(t0));
+  EXPECT_FALSE(rl.allow(t0));  // bucket drained
+  // 100 ms at 10/s refills exactly one token.
+  EXPECT_TRUE(rl.allow(t0 + std::chrono::milliseconds(100)));
+  EXPECT_FALSE(rl.allow(t0 + std::chrono::milliseconds(100)));
+  // Refill saturates at burst, not beyond.
+  const auto later = t0 + std::chrono::seconds(10);
+  EXPECT_TRUE(rl.allow(later));
+  EXPECT_TRUE(rl.allow(later));
+  EXPECT_FALSE(rl.allow(later));
+}
+
+TEST(ApiSession, ManagerCreateAccessEvict) {
+  SimCore core(line_factory(2, 3));
+  SessionManagerConfig cfg;
+  cfg.max_sessions = 2;
+  cfg.idle_ttl = std::chrono::milliseconds(50);
+  cfg.token_seed = 42;
+  SessionManager mgr(core, cfg);
+
+  const auto a = mgr.create();
+  const auto b = mgr.create();
+  ASSERT_TRUE(a && b);
+  EXPECT_FALSE(mgr.create());  // table full
+  EXPECT_EQ(mgr.size(), 2u);
+
+  const auto tok = parse_token(a->token);
+  ASSERT_TRUE(tok);
+  std::shared_ptr<Session> s;
+  EXPECT_EQ(mgr.access(*tok, false, s), SessionManager::Access::kOk);
+  SessionToken bad = *tok;
+  bad.secret ^= 1;
+  EXPECT_EQ(mgr.access(bad, false, s), SessionManager::Access::kBadToken);
+
+  // Everything past the TTL is evicted in one sweep.
+  EXPECT_EQ(mgr.evict_idle(Clock::now() + std::chrono::seconds(1)), 2u);
+  EXPECT_EQ(mgr.size(), 0u);
+  EXPECT_EQ(mgr.access(*tok, false, s), SessionManager::Access::kNotFound);
+  EXPECT_EQ(mgr.evicted_total(), 2u);
+}
+
+}  // namespace
+}  // namespace liteview::api

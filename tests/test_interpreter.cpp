@@ -187,6 +187,28 @@ TEST_F(ShellFixture, ScanCommandListsAllChannels) {
   EXPECT_NE(sh.execute("scan dwell=3").find("usage"), std::string::npos);
 }
 
+TEST_F(ShellFixture, HelpListsRegisteredExtensions) {
+  make(2);
+  auto& sh = tb->shell();
+  // No extensions registered: the builtin list only.
+  EXPECT_EQ(sh.execute("help").find("extensions:"), std::string::npos);
+
+  sh.register_command("blink", [](const util::CommandLine&) {
+    return std::string("blinking\n");
+  });
+  sh.register_command("survey", [](const util::CommandLine&) {
+    return std::string("surveying\n");
+  });
+  const auto out = sh.execute("help");
+  SCOPED_TRACE(out);
+  EXPECT_NE(out.find("extensions:"), std::string::npos);
+  EXPECT_NE(out.find("blink"), std::string::npos);
+  EXPECT_NE(out.find("survey"), std::string::npos);
+  // help works from any context, logged in or not.
+  sh.cd("192.168.0.1");
+  EXPECT_NE(sh.execute("help").find("blink"), std::string::npos);
+}
+
 TEST_F(ShellFixture, MultiHopPingPrintsPath) {
   make(4);
   auto& sh = tb->shell();

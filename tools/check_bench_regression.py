@@ -22,6 +22,12 @@ complete with zero failed cells, the inline-oracle overhead ratio must stay
 within --chaos-slack of the checked-in BENCH_chaos_campaign.json, and the
 200/50-cell throughput ratio (host-independent shape) must not collapse.
 
+Also gates the control-plane load generator (bench/load_gen): every
+requested session must join and stay live concurrently, zero transport or
+command errors, and the p99/p50 command-latency tail ratio must stay within
+--cp-slack of the checked-in BENCH_control_plane.json. Raw sessions/s and
+commands/s are host-dependent and only reported, never gated.
+
 Usage:
   check_bench_regression.py --current out.json [--baseline BENCH_phy_hotpath.json]
   check_bench_regression.py --run ./build/bench/micro_core   # runs the bench itself
@@ -29,6 +35,8 @@ Usage:
   check_bench_regression.py --fr-current fr.json [--fr-baseline BENCH_flight_recorder.json]
   check_bench_regression.py --chaos-run ./build/bench/chaos_campaign
   check_bench_regression.py --chaos-current chaos.json [--chaos-baseline BENCH_chaos_campaign.json]
+  check_bench_regression.py --cp-run ./build/bench/load_gen
+  check_bench_regression.py --cp-current cp.json [--cp-baseline BENCH_control_plane.json]
 """
 
 from __future__ import annotations
@@ -44,6 +52,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_phy_hotpath.json"
 DEFAULT_FR_BASELINE = REPO_ROOT / "BENCH_flight_recorder.json"
 DEFAULT_CHAOS_BASELINE = REPO_ROOT / "BENCH_chaos_campaign.json"
+DEFAULT_CP_BASELINE = REPO_ROOT / "BENCH_control_plane.json"
 BENCH_FILTER = "BM_MediumTransmitFanout|BM_ChannelPowerSample|BM_PerEvaluation"
 FR_ANCHORS = ("ring_overhead_ratio", "ring_sniffers_overhead_ratio")
 CHAOS_RATIO_ANCHORS = ("oracle_overhead_ratio", "cpm_ratio_200_over_50")
@@ -189,6 +198,73 @@ def check_chaos(current: dict, baseline_path: str, slack: float) -> list[str]:
     return failures
 
 
+def run_load_gen(binary: str) -> dict:
+    """Invoke bench/load_gen --json and return its parsed output."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    subprocess.run([binary, "--json", out_path], check=True,
+                   stdout=subprocess.DEVNULL)
+    with open(out_path) as f:
+        return json.load(f)
+
+
+def check_control_plane(current: dict, baseline_path: str,
+                        slack: float) -> list[str]:
+    """Gate the control-plane load generator.
+
+    Hard requirements first: the server must carry at least as many live
+    concurrent sessions as the baseline run did (the paper-scale claim is
+    1000 sessions over one n=1000 deployment) with zero errors. The only
+    performance anchor is the p99/p50 latency tail ratio — it compares two
+    quantiles of the same run on the same host, so it transfers across
+    machines; `slack` is additive headroom over the baseline ratio.
+    """
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    failures = []
+
+    base_sessions = baseline_key(baseline, "concurrent_sessions",
+                                 baseline_path)
+    cur_sessions = float(current.get("concurrent_sessions", 0))
+    requested = float(current.get("sessions_requested", 0))
+    status = "OK" if cur_sessions >= base_sessions else "REGRESSION"
+    print(f"  {'concurrent_sessions':32s} baseline {base_sessions:5.0f}  "
+          f"current {cur_sessions:5.0f}  {status}")
+    if status != "OK":
+        failures.append(f"concurrent_sessions: {cur_sessions:.0f} < "
+                        f"baseline {base_sessions:.0f}")
+    if requested and cur_sessions < requested:
+        failures.append(f"concurrent_sessions: only {cur_sessions:.0f} of "
+                        f"{requested:.0f} requested sessions stayed live")
+
+    errors = current.get("errors")
+    if errors is None:
+        failures.append("errors: missing from current run")
+    elif int(errors) != 0:
+        failures.append(f"errors: {errors} transport/command errors")
+
+    base_tail = baseline_key(baseline, "p99_over_p50", baseline_path)
+    if "p99_over_p50" not in current:
+        failures.append("p99_over_p50: missing from current run")
+    else:
+        cur_tail = float(current["p99_over_p50"])
+        limit = base_tail + slack
+        status = "OK" if cur_tail <= limit else "REGRESSION"
+        print(f"  {'p99_over_p50':32s} baseline {base_tail:5.2f}  "
+              f"current {cur_tail:5.2f}  limit {limit:5.2f}  {status}")
+        if status != "OK":
+            failures.append(f"p99_over_p50: tail ratio {cur_tail:.2f} > "
+                            f"limit {limit:.2f}")
+
+    # Reported for humans; host-dependent, never gated.
+    for key in ("sessions_per_sec", "commands_per_sec",
+                "cmd_latency_p50_us", "cmd_latency_p99_us"):
+        if key in current:
+            print(f"  {key:32s} current {float(current[key]):12.0f}  "
+                  f"(informational)")
+    return failures
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     src = ap.add_mutually_exclusive_group(required=True)
@@ -202,6 +278,10 @@ def main() -> int:
                      help="bench/chaos_campaign --json output to check")
     src.add_argument("--chaos-run",
                      help="chaos_campaign bench binary to execute for the run")
+    src.add_argument("--cp-current",
+                     help="bench/load_gen --json output to check")
+    src.add_argument("--cp-run",
+                     help="load_gen binary to execute for the run")
     ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
                     help="checked-in BENCH_phy_hotpath.json")
     ap.add_argument("--threshold", type=float, default=0.30,
@@ -214,7 +294,28 @@ def main() -> int:
                     help="checked-in BENCH_chaos_campaign.json")
     ap.add_argument("--chaos-slack", type=float, default=0.25,
                     help="additive headroom over the baseline chaos ratios")
+    ap.add_argument("--cp-baseline", default=str(DEFAULT_CP_BASELINE),
+                    help="checked-in BENCH_control_plane.json")
+    ap.add_argument("--cp-slack", type=float, default=3.0,
+                    help="additive headroom over the baseline latency tail "
+                         "ratio (quantile tails are noisy on shared runners)")
     args = ap.parse_args()
+
+    if args.cp_run or args.cp_current:
+        if args.cp_run:
+            current = run_load_gen(args.cp_run)
+        else:
+            with open(args.cp_current) as f:
+                current = json.load(f)
+        failures = check_control_plane(current, args.cp_baseline,
+                                       args.cp_slack)
+        if failures:
+            print("\ncontrol-plane load gate FAILED:")
+            for f_ in failures:
+                print(f"  - {f_}")
+            return 1
+        print("\ncontrol-plane load gate passed")
+        return 0
 
     if args.chaos_run or args.chaos_current:
         if args.chaos_run:

@@ -1,0 +1,157 @@
+// Diagnosis-as-a-service control plane daemon: hosts one shared
+// simulated deployment and serves concurrent diagnosis sessions over
+// HTTP + SSE (see src/api/server.hpp for the routes).
+//
+//   lv_server [--nodes N] [--grid ROWSxCOLS] [--seed S] [--port P]
+//             [--workers W] [--join-token T] [--rate-limit CPS]
+//             [--idle-ttl SECONDS] [--flight-recorder]
+//
+// Quickstart:
+//   lv_server --nodes 20 --port 8080 &
+//   curl -s -X POST http://127.0.0.1:8080/v1/sessions
+//     -> {"session":1,"token":"lvs-..."}
+//   curl -s -N -H "Authorization: Bearer lvs-..."
+//        -d 'traceroute node20' http://127.0.0.1:8080/v1/sessions/1/command
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "api/server.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+struct Args {
+  int nodes = 20;
+  int grid_rows = 0;
+  int grid_cols = 0;
+  std::uint64_t seed = 1;
+  std::uint16_t port = 8080;
+  int workers = 4;
+  std::string join_token;
+  double rate_limit = 50.0;
+  int idle_ttl_s = 60;
+  bool flight_recorder = false;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: lv_server [--nodes N] [--grid ROWSxCOLS] [--seed S]\n"
+      "                 [--port P] [--workers W] [--join-token T]\n"
+      "                 [--rate-limit CPS] [--idle-ttl SECONDS]\n"
+      "                 [--flight-recorder]\n");
+}
+
+bool parse_args(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--flight-recorder") {
+      a.flight_recorder = true;
+    } else if (flag == "--nodes") {
+      const char* v = value();
+      if (!v) return false;
+      a.nodes = std::atoi(v);
+    } else if (flag == "--grid") {
+      const char* v = value();
+      if (!v || std::sscanf(v, "%dx%d", &a.grid_rows, &a.grid_cols) != 2)
+        return false;
+    } else if (flag == "--seed") {
+      const char* v = value();
+      if (!v) return false;
+      a.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--port") {
+      const char* v = value();
+      if (!v) return false;
+      a.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (flag == "--workers") {
+      const char* v = value();
+      if (!v) return false;
+      a.workers = std::atoi(v);
+    } else if (flag == "--join-token") {
+      const char* v = value();
+      if (!v) return false;
+      a.join_token = v;
+    } else if (flag == "--rate-limit") {
+      const char* v = value();
+      if (!v) return false;
+      a.rate_limit = std::atof(v);
+    } else if (flag == "--idle-ttl") {
+      const char* v = value();
+      if (!v) return false;
+      a.idle_ttl_s = std::atoi(v);
+    } else {
+      usage();
+      return false;
+    }
+  }
+  return a.nodes > 0 && a.workers > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace liteview;
+
+  Args args;
+  if (!parse_args(argc, argv, args)) return 2;
+
+  api::SimCore core([&args] {
+    auto cfg = testbed::Testbed::paper_config(args.seed);
+    cfg.flight_recorder = args.flight_recorder;
+    std::unique_ptr<testbed::Testbed> tb;
+    if (args.grid_rows > 0 && args.grid_cols > 0) {
+      tb = testbed::Testbed::surveyed_grid(args.grid_rows, args.grid_cols,
+                                           cfg);
+    } else {
+      tb = testbed::Testbed::surveyed_line(args.nodes, cfg);
+    }
+    tb->warm_up();
+    return tb;
+  });
+
+  api::ServerConfig cfg;
+  cfg.port = args.port;
+  cfg.worker_threads = args.workers;
+  cfg.join_token = args.join_token;
+  cfg.sessions.rate.commands_per_sec = args.rate_limit;
+  cfg.sessions.idle_ttl = std::chrono::seconds(args.idle_ttl_s);
+
+  api::ControlPlaneServer server(core, cfg);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "lv_server: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("lv_server: %zu nodes, %d workers, listening on %s:%u\n",
+              core.node_count(), args.workers, cfg.bind_address.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_stop == 0) {
+    struct timespec ts {0, 100'000'000};
+    nanosleep(&ts, nullptr);
+  }
+
+  server.stop();
+  const auto stats = server.stats();
+  std::printf(
+      "lv_server: shutting down — %llu connections, %llu requests, "
+      "%llu commands (%llu rate-limited), %llu parse errors\n",
+      static_cast<unsigned long long>(stats.connections),
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.commands),
+      static_cast<unsigned long long>(stats.rate_limited),
+      static_cast<unsigned long long>(stats.parse_errors));
+  return 0;
+}
