@@ -72,8 +72,9 @@ inline void compare_row(const char* metric, const char* paper,
 // ---- JSON result emission --------------------------------------------
 //
 // One writer shared by every bench binary that records machine-readable
-// results (scale_sweep, fault_recovery; micro_core uses google-benchmark's
-// native --benchmark_out instead). Deliberately minimal: objects, arrays,
+// results (scale_sweep, fault_recovery, and micro_core's `--json` flag,
+// which emits google-benchmark-shaped mean aggregates through this
+// writer). Deliberately minimal: objects, arrays,
 // and scalar fields, written as the bench runs — no DOM, no allocation
 // concerns, no third-party dependency. Keys are emitted in call order so
 // checked-in result files diff cleanly run-over-run.

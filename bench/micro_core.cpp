@@ -4,7 +4,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
 
+#include "bench/common.hpp"
 #include "mac/csma.hpp"
 #include "mac/frame.hpp"
 #include "net/packet.hpp"
@@ -275,6 +279,148 @@ void BM_SingleHopPing(benchmark::State& state) {
 }
 BENCHMARK(BM_SingleHopPing)->Unit(benchmark::kMicrosecond);
 
+// Collects every run google-benchmark reports (on top of the normal
+// console output) so `--json <path>` can emit machine-readable results
+// through the shared bench::JsonWriter. Rows keep google-benchmark's
+// JSON field names — run_name / aggregate_name / real_time /
+// items_per_second — so tools/check_bench_regression.py parses either
+// this writer's output or the native --benchmark_out format unchanged.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string run_name;
+    std::string aggregate_name;  // empty for a plain repetition
+    std::string time_unit;
+    std::uint64_t iterations = 0;
+    double real_time = 0.0;
+    double cpu_time = 0.0;
+    double items_per_second = 0.0;
+    bool has_items = false;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.error_occurred) continue;
+      Row row;
+      row.run_name = r.run_name.str();
+      row.aggregate_name = r.aggregate_name;
+      row.time_unit = benchmark::GetTimeUnitString(r.time_unit);
+      row.iterations = static_cast<std::uint64_t>(r.iterations);
+      row.real_time = r.GetAdjustedRealTime();
+      row.cpu_time = r.GetAdjustedCPUTime();
+      const auto it = r.counters.find("items_per_second");
+      if (it != r.counters.end()) {
+        row.items_per_second = it->second.value;
+        row.has_items = true;
+      }
+      rows.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  /// One "mean" row per run_name: google-benchmark's own mean aggregates
+  /// when repetitions were requested, otherwise the arithmetic mean of
+  /// the plain repetition rows (the mean of one run is that run).
+  [[nodiscard]] std::vector<Row> mean_rows() const {
+    std::vector<Row> out;
+    auto find = [&out](const std::string& name) -> Row* {
+      for (Row& r : out) {
+        if (r.run_name == name) return &r;
+      }
+      return nullptr;
+    };
+    for (const Row& r : rows) {
+      if (r.aggregate_name == "mean") {
+        if (Row* existing = find(r.run_name)) {
+          *existing = r;  // native aggregate wins over a computed mean
+        } else {
+          out.push_back(r);
+        }
+      }
+    }
+    // Accumulate plain repetitions for benchmarks with no native mean.
+    std::vector<Row> sums;
+    std::vector<std::uint64_t> counts;
+    for (const Row& r : rows) {
+      if (!r.aggregate_name.empty() || find(r.run_name) != nullptr) continue;
+      std::size_t slot = sums.size();
+      for (std::size_t i = 0; i < sums.size(); ++i) {
+        if (sums[i].run_name == r.run_name) slot = i;
+      }
+      if (slot == sums.size()) {
+        sums.push_back(r);
+        counts.push_back(1);
+        continue;
+      }
+      sums[slot].real_time += r.real_time;
+      sums[slot].cpu_time += r.cpu_time;
+      sums[slot].items_per_second += r.items_per_second;
+      sums[slot].iterations += r.iterations;
+      ++counts[slot];
+    }
+    for (std::size_t i = 0; i < sums.size(); ++i) {
+      Row m = sums[i];
+      const double k = static_cast<double>(counts[i]);
+      m.aggregate_name = "mean";
+      m.real_time /= k;
+      m.cpu_time /= k;
+      m.items_per_second /= k;
+      out.push_back(std::move(m));
+    }
+    return out;
+  }
+
+  std::vector<Row> rows;
+};
+
+void write_json(const std::string& path, const CollectingReporter& rep) {
+  liteview::bench::JsonWriter w(path);
+  if (!w.ok()) return;
+  w.begin_object();
+  w.field("description",
+          std::string("micro_core mean aggregates (google-benchmark field "
+                      "names; consumed by tools/check_bench_regression.py)"));
+  w.begin_array("benchmarks");
+  for (const auto& row : rep.mean_rows()) {
+    w.begin_object();
+    w.field("name", row.run_name + "_mean");
+    w.field("run_name", row.run_name);
+    w.field("run_type", std::string("aggregate"));
+    w.field("aggregate_name", std::string("mean"));
+    w.field("iterations", row.iterations);
+    w.field("real_time", row.real_time);
+    w.field("cpu_time", row.cpu_time);
+    w.field("time_unit", row.time_unit);
+    if (row.has_items) w.field("items_per_second", row.items_per_second);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip `--json <path>` before benchmark::Initialize sees the argv —
+  // google-benchmark rejects flags it does not own.
+  const std::string json_path =
+      liteview::bench::json_path_from_args(argc, argv);
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      ++i;  // skip the flag and its value
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty()) write_json(json_path, reporter);
+  benchmark::Shutdown();
+  return 0;
+}

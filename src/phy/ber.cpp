@@ -1,15 +1,31 @@
 #include "phy/ber.hpp"
 
+#include <algorithm>
 #include <cmath>
+
+#include "phy/units.hpp"
+#include "util/simd.hpp"
 
 namespace liteview::phy {
 
+// The dB and linear entry points carry the same 16-ary orthogonal
+// modulation sum. They are deliberately separate function bodies — not a
+// wrapper — so the dB path's codegen (the BM_PerEvaluation host anchor
+// that benchmark normalization divides by) stays exactly what it has
+// always been. Keep the two loops in lockstep; the Ber suite pins
+// per_oqpsk(db, b) == per_oqpsk_lin(db_to_linear(db), b) bit-for-bit.
+
+namespace {
+
+/// Binomial coefficients C(16, k) for k = 2..16.
+constexpr double kBinom[15] = {120,   560,  1820, 4368, 8008,
+                               11440, 12870, 11440, 8008, 4368,
+                               1820,  560,  120,  16,   1};
+
+}  // namespace
+
 double ber_oqpsk(double sinr_db) noexcept {
-  const double sinr = std::pow(10.0, sinr_db / 10.0);
-  // Binomial coefficients C(16, k) for k = 2..16.
-  static constexpr double kBinom[15] = {
-      120,  560,  1820, 4368, 8008, 11440, 12870, 11440,
-      8008, 4368, 1820, 560,  120,  16,    1};
+  const double sinr = units::db_to_linear(sinr_db);
   double acc = 0.0;
   for (int k = 2; k <= 16; ++k) {
     const double sign = (k % 2 == 0) ? 1.0 : -1.0;
@@ -28,6 +44,89 @@ double per_oqpsk(double sinr_db, int bits) noexcept {
   // log1p for numerical stability at tiny BER.
   const double log_success = static_cast<double>(bits) * std::log1p(-ber);
   return 1.0 - std::exp(log_success);
+}
+
+double ber_oqpsk_lin(double sinr_lin) noexcept {
+  double acc = 0.0;
+  for (int k = 2; k <= 16; ++k) {
+    const double sign = (k % 2 == 0) ? 1.0 : -1.0;
+    acc += sign * kBinom[k - 2] * std::exp(20.0 * sinr_lin * (1.0 / k - 1.0));
+  }
+  const double ber = (8.0 / 15.0) * (1.0 / 16.0) * acc;
+  if (ber < 0.0) return 0.0;
+  if (ber > 0.5) return 0.5;
+  return ber;
+}
+
+double per_oqpsk_lin(double sinr_lin, int bits) noexcept {
+  if (bits <= 0) return 0.0;
+  const double ber = ber_oqpsk_lin(sinr_lin);
+  if (ber <= 0.0) return 0.0;
+  const double log_success = static_cast<double>(bits) * std::log1p(-ber);
+  return 1.0 - std::exp(log_success);
+}
+
+namespace {
+
+/// (-1)^k C(16, k) for k = 2..16 — the binomial weights with their
+/// alternating signs folded in (sign * C is an exact integer product).
+constexpr double kSignedBinom[15] = {120,   -560,  1820,  -4368, 8008,
+                                     -11440, 12870, -11440, 8008,  -4368,
+                                     1820,  -560,  120,   -16,   1};
+
+/// exp(20·s·(1/k - 1)) routed through the 10^(x/10) kernel:
+/// e^y = 10^((y·10/ln10)/10), so the per-term argument is
+/// s · [20·(1/k - 1)·(10/ln10)], with the bracket folded at compile time.
+constexpr double kTenOverLn10 = 4.342944819032518;
+constexpr double exp_slope(int k) {
+  return 20.0 * (1.0 / k - 1.0) * kTenOverLn10;
+}
+constexpr double kExpSlopeDb[15] = {
+    exp_slope(2),  exp_slope(3),  exp_slope(4),  exp_slope(5),  exp_slope(6),
+    exp_slope(7),  exp_slope(8),  exp_slope(9),  exp_slope(10), exp_slope(11),
+    exp_slope(12), exp_slope(13), exp_slope(14), exp_slope(15), exp_slope(16)};
+
+}  // namespace
+
+void per_oqpsk_lin_batch(const double* sinr_lin, int bits, double* per,
+                         std::size_t n, bool vec) noexcept {
+  if (bits <= 0) {
+    for (std::size_t i = 0; i < n; ++i) per[i] = 0.0;
+    return;
+  }
+  // Stack chunks keep the path allocation-free; the exponential kernel is
+  // element-wise, so chunking cannot change any value. 8 receptions x 15
+  // terms vectorizes the batch kernel at full width.
+  constexpr std::size_t kChunk = 8;
+  constexpr std::size_t kTerms = 15;
+  double args[kChunk * kTerms];
+  for (std::size_t base = 0; base < n; base += kChunk) {
+    const std::size_t m = std::min(kChunk, n - base);
+    for (std::size_t e = 0; e < m; ++e) {
+      const double s = sinr_lin[base + e];
+      for (std::size_t j = 0; j < kTerms; ++j) {
+        args[e * kTerms + j] = s * kExpSlopeDb[j];
+      }
+    }
+    util::simd::db_to_linear_batch(args, args, m * kTerms, vec);
+    for (std::size_t e = 0; e < m; ++e) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < kTerms; ++j) {
+        acc += kSignedBinom[j] * args[e * kTerms + j];
+      }
+      double ber = (8.0 / 15.0) * (1.0 / 16.0) * acc;
+      if (ber > 0.5) ber = 0.5;
+      if (ber <= 0.0) {
+        per[base + e] = 0.0;
+        continue;
+      }
+      // libm finish on both paths — scalar code either way, so it keeps
+      // the scalar/SIMD bit-exactness of the batch.
+      const double log_success =
+          static_cast<double>(bits) * std::log1p(-ber);
+      per[base + e] = 1.0 - std::exp(log_success);
+    }
+  }
 }
 
 }  // namespace liteview::phy

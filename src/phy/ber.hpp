@@ -1,6 +1,8 @@
 // Bit/packet error model for the IEEE 802.15.4 2.4 GHz O-QPSK DSSS PHY.
 #pragma once
 
+#include <cstddef>
+
 namespace liteview::phy {
 
 /// Bit error rate at a given post-despreading SINR (dB), using the
@@ -13,5 +15,33 @@ namespace liteview::phy {
 /// Packet error rate for a frame of `bits` payload bits at the given SINR,
 /// assuming independent bit errors: PER = 1 - (1 - BER)^bits.
 [[nodiscard]] double per_oqpsk(double sinr_db, int bits) noexcept;
+
+/// The same models with the SINR already in linear scale — the batched
+/// delivery plane carries linear SINR (one pow per reception instead of a
+/// dB round-trip per model call). per_oqpsk(db, b) is exactly
+/// per_oqpsk_lin(units::db_to_linear(db), b).
+[[nodiscard]] double ber_oqpsk_lin(double sinr_lin) noexcept;
+[[nodiscard]] double per_oqpsk_lin(double sinr_lin, int bits) noexcept;
+
+/// Batched PER over same-length frames: per[i] = PER at linear SINR
+/// sinr_lin[i] for `bits`-bit frames. The 15 exponentials per element run
+/// through the batched fixed-polynomial kernel (util/simd.hpp) instead of
+/// libm, so values track per_oqpsk_lin to ~1e-9 relative (far inside the
+/// model's own approximation error) rather than matching it bit-for-bit —
+/// but the scalar and SIMD paths of *this* function are bit-identical,
+/// which is the property the determinism gate needs. In-place
+/// (per == sinr_lin) is allowed. Precondition: sinr_lin[i] in (0,
+/// kPerNegligibleSinrLin] — callers shed the negligible band first.
+void per_oqpsk_lin_batch(const double* sinr_lin, int bits, double* per,
+                         std::size_t n, bool vec) noexcept;
+
+/// Linear SINR (≈ 6.02 dB) above which the PER is negligible for any
+/// 802.15.4 frame: the k = 2 term dominates the BER sum, so
+/// BER < 4·exp(-10·sinr) = 4·exp(-40) < 1.7e-17 and PER < bits·BER
+/// < 1.8e-14 even at the 127-byte maximum. The delivery plane treats such
+/// receptions as loss-free without evaluating the 15-term sum (and without
+/// burning an RNG draw on a < 2^-45 event); the Ber test suite pins the
+/// bound against the exact evaluation.
+inline constexpr double kPerNegligibleSinrLin = 4.0;
 
 }  // namespace liteview::phy

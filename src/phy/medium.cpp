@@ -5,9 +5,9 @@
 #include <cassert>
 
 #include "phy/ber.hpp"
+#include "phy/units.hpp"
 #include "trace/flight_recorder.hpp"
 #include "util/bytes.hpp"
-#include "util/dbm.hpp"
 
 namespace liteview::phy {
 
@@ -21,6 +21,9 @@ double grid_cell_for(const PropagationModel& prop) {
       prop.max_range_m(pa_level_to_dbm(kMaxPaLevel), kSensitivityDbm);
   return std::isfinite(r) ? std::clamp(r, 1.0, 1.0e6) : 1.0;
 }
+
+/// "No delivery group claimed yet" sentinel for the transmit join scan.
+constexpr std::uint32_t kNoGroup = 0xffffffffu;
 
 }  // namespace
 
@@ -166,7 +169,7 @@ LinkGainCache::Gain Medium::link_gain(RadioId from, RadioId to) const {
                                                   positions_[to]);
     // The linear form rides along so interference/CCA accumulation can
     // multiply instead of re-deriving a pow() per pair per frame.
-    return {loss, util::dbm_to_mw(-loss)};
+    return {loss, units::dbm_to_mw(-loss)};
   };
   if (!gain_cache_enabled_) return compute();
   return gain_cache_.get(from, to, compute);
@@ -180,44 +183,80 @@ double Medium::mean_rx_power_dbm(RadioId from, RadioId to,
 double Medium::channel_power_dbm(RadioId at) const {
   assert(at < radio_count());
   const ChannelState& cs = chan_[channels_[at]];
-  double total_mw = 0.0;
   const sim::SimTime now = sim_.now();
+  const bool vec = simd_active();
+  // Gather (tx power, gain) pairs into stack chunks, then lane-blocked
+  // accumulation — the same lanes cca_clear accumulates, so the two agree
+  // bit-for-bit. Chunks are a multiple of simd::kLanes, so the split-call
+  // lane assignment matches a one-shot sum over the whole sequence; stack
+  // buffers keep the common few-transmitter case free of heap traffic.
+  constexpr std::size_t kChunk = 64;
+  static_assert(kChunk % util::simd::kLanes == 0);
+  double w[kChunk];
+  double g[kChunk];
+  double lanes[util::simd::kLanes] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t k = 0;
   for (const std::uint32_t s : cs.active) {
     const TxSlot& tx = tx_slots_[s];
     if (tx.from == at || tx.end <= now) continue;
-    total_mw += tx.tx_mw * link_gain(tx.from, at).lin;
+    w[k] = tx.tx_mw;
+    g[k] = link_gain(tx.from, at).lin;
+    if (++k == kChunk) {
+      util::simd::accumulate(lanes, w, g, kChunk, vec);
+      k = 0;
+    }
   }
-  return total_mw > 0.0 ? util::mw_to_dbm(total_mw) : -300.0;
+  util::simd::accumulate(lanes, w, g, k, vec);
+  const double total_mw = util::simd::reduce(lanes);
+  return total_mw > 0.0 ? units::mw_to_dbm(total_mw) : -300.0;
 }
 
 bool Medium::cca_clear(RadioId at, double threshold_dbm) const {
   assert(at < radio_count());
   const ChannelState& cs = chan_[channels_[at]];
-  const double threshold_mw = util::dbm_to_mw(threshold_dbm);
-  double total_mw = 0.0;
+  const double threshold_mw = units::dbm_to_mw(threshold_dbm);
   const sim::SimTime now = sim_.now();
-  // Same accumulation (and order) as channel_power_dbm, compared in
-  // linear space so a busy verdict can return before visiting every
-  // transmitter still on the air.
+  const bool vec = simd_active();
+  // Same gather and lane accumulation as channel_power_dbm, compared in
+  // linear space with an early exit at chunk granularity: every term is
+  // nonnegative and fp accumulation is monotone, so once a partial lane
+  // total crosses the threshold the final total must too. Exactly
+  // equivalent to channel_power_dbm(at) < threshold_dbm.
+  constexpr std::size_t kChunk = 64;
+  static_assert(kChunk % util::simd::kLanes == 0);
+  double w[kChunk];
+  double g[kChunk];
+  double lanes[util::simd::kLanes] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t k = 0;
   for (const std::uint32_t s : cs.active) {
     const TxSlot& tx = tx_slots_[s];
     if (tx.from == at || tx.end <= now) continue;
-    total_mw += tx.tx_mw * link_gain(tx.from, at).lin;
-    if (total_mw >= threshold_mw) return false;
+    w[k] = tx.tx_mw;
+    g[k] = link_gain(tx.from, at).lin;
+    if (++k == kChunk) {
+      util::simd::accumulate(lanes, w, g, kChunk, vec);
+      k = 0;
+      if (util::simd::reduce(lanes) >= threshold_mw) return false;
+    }
   }
-  return total_mw < threshold_mw;
+  util::simd::accumulate(lanes, w, g, k, vec);
+  return util::simd::reduce(lanes) < threshold_mw;
 }
 
-const Medium::ReachCache& Medium::reachable_set(RadioId from) {
+Medium::ReachCache& Medium::reachable_set(RadioId from) {
   ReachCache& rc = reach_[from];
   if (rc.epoch == topo_epoch_) return rc;
 
   const double range = prop_.max_range_m(budget_power_dbm_, kSensitivityDbm);
+  const Channel ch = channels_[from];
   rc.ids.clear();
   query_scratch_.clear();
   grid_.query(positions_[from], range, query_scratch_);
   for (const RadioId id : query_scratch_) {
-    if (id == from) continue;
+    // Same-channel filter at rebuild time: every retune bumps
+    // topo_epoch_, so the candidate channels are frozen while this cache
+    // is valid. The grid holds only attached non-sniffer radios.
+    if (id == from || channels_[id] != ch) continue;
     if (positions_[id].distance_to(positions_[from]) <= range) {
       rc.ids.push_back(id);
     }
@@ -225,14 +264,21 @@ const Medium::ReachCache& Medium::reachable_set(RadioId from) {
   // Ascending id order keeps the candidate walk — and therefore every
   // downstream RNG draw — identical to the unculled 0..n scan.
   std::sort(rc.ids.begin(), rc.ids.end());
-  // Materialize the candidates' static gains as one sequential array so
-  // the hot walk streams it (any stale cache entries refresh here).
+  // Materialize the candidates' static losses as one sequential double
+  // array: the hot walk streams it through the SIMD pre-filter (any
+  // stale cache entries refresh here).
   rc.has_gains = gain_cache_enabled_;
-  rc.gains.clear();
+  rc.loss_db.clear();
   if (rc.has_gains) {
-    rc.gains.reserve(rc.ids.size());
-    for (const RadioId id : rc.ids) rc.gains.push_back(link_gain(from, id));
+    rc.loss_db.reserve(rc.ids.size());
+    for (const RadioId id : rc.ids) {
+      rc.loss_db.push_back(link_gain(from, id).loss_db);
+    }
   }
+  // The memoized pre-filter sweep is over the arrays just rebuilt; NaN
+  // compares unequal to every power, forcing the next transmit to redo it.
+  rc.filtered.clear();
+  rc.filter_power = std::numeric_limits<double>::quiet_NaN();
   rc.epoch = topo_epoch_;
   return rc;
 }
@@ -262,9 +308,9 @@ void Medium::abort_inflight_rx(RadioId at, std::uint64_t& counter,
   for (const RxRef& ref : refs) {
     TxSlot& slot = tx_slots_[ref.slot];
     if ((ref.idx & kSnifferRef) != 0) {
-      slot.snf_rxs[ref.idx & ~kSnifferRef].aborted = true;
+      slot.snf_rxs.aborted[ref.idx & ~kSnifferRef] = 1;
     } else {
-      slot.rxs[ref.idx].aborted = true;
+      slot.rxs.aborted[ref.idx] = 1;
     }
     ++counter;
     if (trace::kEnabled && recorder_ != nullptr) {
@@ -273,6 +319,29 @@ void Medium::abort_inflight_rx(RadioId at, std::uint64_t& counter,
     }
   }
   refs.clear();
+}
+
+void Medium::raise_interference(RadioId from, double tx_mw, RxBatch& batch,
+                                bool vec) {
+  const std::size_t n = batch.size();
+  if (n == 0) return;
+  // Gather the gains toward every reception target, aborted ones
+  // included — their interference values are never read again, and a
+  // branch-free sweep beats a per-element abort test. Then one
+  // element-wise fused multiply-add pass over the whole batch.
+  raise_g_.resize(n);
+  if (gain_cache_enabled_) {
+    // The probes jump across the whole cache table; issuing the line
+    // fetches up front overlaps the misses instead of serializing them.
+    for (std::size_t i = 0; i < n; ++i) {
+      gain_cache_.prefetch(from, batch.to[i]);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    raise_g_[i] = link_gain(from, batch.to[i]).lin;
+  }
+  util::simd::fma_axpy(batch.interference_mw.data(), tx_mw, raise_g_.data(),
+                       n, vec);
 }
 
 void Medium::transmit(RadioId from, double tx_power_dbm,
@@ -288,6 +357,7 @@ void Medium::transmit(RadioId from, double tx_power_dbm,
   const sim::SimTime end = start + air;
   const Channel ch = channels_[from];
   const std::uint64_t seq = next_tx_seq_++;
+  const bool vec = simd_active();
 
   note_tx_power(from, tx_power_dbm);
 
@@ -322,7 +392,7 @@ void Medium::transmit(RadioId from, double tx_power_dbm,
   slot.from = from;
   slot.channel = ch;
   slot.tx_power_dbm = tx_power_dbm;
-  slot.tx_mw = util::dbm_to_mw(tx_power_dbm);
+  slot.tx_mw = units::dbm_to_mw(tx_power_dbm);
   slot.start = start;
   slot.end = end;
   slot.seq = seq;
@@ -332,54 +402,44 @@ void Medium::transmit(RadioId from, double tx_power_dbm,
   ChannelState& cs = chan_[ch];
 
   // The new transmission raises the interference floor of every reception
-  // already in flight on this channel (receptions targeting `from` were
-  // just aborted above, so the aborted check covers them). Sniffer
-  // receptions accumulate the same physics — pure arithmetic on
+  // already in flight on this channel: one fused multiply-add sweep per
+  // slot's batch. Receptions targeting `from` were just aborted above.
+  // Sniffer receptions accumulate the same physics — pure arithmetic on
   // sniffer-only records, invisible to everything else.
   for (const std::uint32_t s : cs.active) {
     TxSlot& other = tx_slots_[s];
-    for (Reception& rx : other.rxs) {
-      if (rx.aborted) continue;
-      // Conservative accumulation: once an interferer overlaps a
-      // reception, its energy counts for the whole frame (no per-segment
-      // integration).
-      rx.interference_mw += slot.tx_mw * link_gain(from, rx.to).lin;
-    }
-    for (Reception& rx : other.snf_rxs) {
-      if (rx.aborted) continue;
-      rx.interference_mw += slot.tx_mw * link_gain(from, rx.to).lin;
-    }
+    raise_interference(from, slot.tx_mw, other.rxs, vec);
+    raise_interference(from, slot.tx_mw, other.snf_rxs, vec);
   }
 
-  // Start a reception record at every other attached same-channel radio
-  // whose received power exceeds sensitivity and that is not itself
-  // transmitting. `visited` counts the same-channel radios the loop
-  // actually evaluated, so the culled path can credit the skipped rest to
-  // the below-sensitivity counter (they can't clear sensitivity for any
-  // fading draw — that is the culling invariant).
-  std::uint32_t visited = 0;
-  // `g` carries the candidate's static gain when the caller already holds
-  // it (the culled walk streams the reachable set's gain array); null
-  // falls back to a cache probe / direct computation — same doubles.
-  auto consider = [&](RadioId to, const LinkGainCache::Gain* g) {
-    if (to == from || !attached_[to]) return;
-    if (channels_[to] != ch) return;
-    ++visited;
+  // Hoist the still-on-the-air filter out of the per-candidate
+  // interference sums: the active transmitters (and their powers) are
+  // frozen for the rest of this call, in transmission order.
+  act_from_.clear();
+  act_w_.clear();
+  for (const std::uint32_t s : cs.active) {
+    const TxSlot& other = tx_slots_[s];
+    if (other.end <= start) continue;
+    act_from_.push_back(other.from);
+    act_w_.push_back(other.tx_mw);
+  }
 
-    // Hopeless-link fast path: fading can raise received power by at most
-    // fading_headroom_db_ (the tail clamp), so when even that best draw
-    // cannot clear sensitivity the verdict is already known and the
-    // Box–Muller fading hash — the bulk of the per-candidate math once
-    // the static gain is cached — can be skipped. Exact: fading is hashed
-    // per (transmission, receiver), not drawn from a stream, so skipping
-    // it perturbs nothing, and both culling paths apply the same test.
-    const double loss_db = g ? g->loss_db : link_gain(from, to).loss_db;
-    if (tx_power_dbm - loss_db + fading_headroom_db_ < kSensitivityDbm) {
-      ++frames_below_sensitivity_;
-      return;
+  // Start a reception record at a candidate that cleared the hopeless-
+  // link pre-filter (its fading already drawn — batched where the caller
+  // has the whole survivor list, per-candidate elsewhere; both paths run
+  // the same kernel bit-for-bit): test sensitivity for real, then
+  // accumulate initial interference from every active transmitter (minus
+  // itself) as one lane-blocked weighted sum.
+  auto consider_survivor = [&](RadioId to, double loss_db, double fading) {
+    // Warm the gain-cache lines the interference gather below will probe:
+    // the prefetches issue before the sensitivity/busy branches, which
+    // gives the fetches a head start on the misses.
+    const std::size_t n_act = act_from_.size();
+    if (gain_cache_enabled_ && n_act != 0) {
+      for (std::size_t i = 0; i < n_act; ++i) {
+        if (act_from_[i] != to) gain_cache_.prefetch(act_from_[i], to);
+      }
     }
-
-    const double fading = prop_.packet_fading_db(seq, to);
     const double prx = tx_power_dbm - loss_db - fading;
     if (prx < kSensitivityDbm) {
       ++frames_below_sensitivity_;
@@ -401,42 +461,109 @@ void Medium::transmit(RadioId from, double tx_power_dbm,
 
     // Initial interference: every other already-active transmission on
     // this channel as heard at `to`, in transmission order (the same
-    // order either culling path visits, so the float sum is exact).
-    double interference_mw = 0.0;
-    for (const std::uint32_t s : cs.active) {
-      const TxSlot& other = tx_slots_[s];
-      if (other.from == to || other.end <= start) continue;
-      interference_mw += other.tx_mw * link_gain(other.from, to).lin;
+    // order either culling path visits), gathered into stack chunks and
+    // lane-block accumulated — bit-identical to a one-shot weighted sum
+    // over the compacted sequence.
+    constexpr std::size_t kChunk = 64;
+    static_assert(kChunk % util::simd::kLanes == 0);
+    double w[kChunk];
+    double g[kChunk];
+    double lanes[util::simd::kLanes] = {0.0, 0.0, 0.0, 0.0};
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < n_act; ++i) {
+      if (act_from_[i] == to) continue;
+      w[k] = act_w_[i];
+      g[k] = link_gain(act_from_[i], to).lin;
+      if (++k == kChunk) {
+        util::simd::accumulate(lanes, w, g, kChunk, vec);
+        k = 0;
+      }
     }
+    util::simd::accumulate(lanes, w, g, k, vec);
+    const double interference_mw = util::simd::reduce(lanes);
 
     rx_inflight_[to].push_back(
         RxRef{slot_idx, static_cast<std::uint32_t>(slot.rxs.size())});
-    slot.rxs.push_back(Reception{to, prx, interference_mw,
-                                 /*aborted=*/false});
+    slot.rxs.push(to, prx, interference_mw);
   };
 
+  // Hopeless-link pre-filter: fading can raise received power by at most
+  // fading_headroom_db_ (the tail clamp), so a candidate whose best draw
+  // cannot clear sensitivity is decided without touching the Box–Muller
+  // fading hash — the bulk of the per-candidate math once the static
+  // gain is cached. Exact: fading is hashed per (transmission, receiver),
+  // not drawn from a stream, so skipping it perturbs nothing, and every
+  // path applies the same comparison (the SIMD kernel lane-parallelizes
+  // the identical expression).
   if (culling_enabled_ && culling_possible_) {
-    const ReachCache& rc = reachable_set(from);
+    ReachCache& rc = reachable_set(from);
+    const std::size_t n_cand = rc.ids.size();
     if (rc.has_gains) {
-      for (std::size_t i = 0; i < rc.ids.size(); ++i) {
-        consider(rc.ids[i], &rc.gains[i]);
+      // The batched walk: one vectorized filter pass over the cached
+      // loss array, then the (few) survivors get the full treatment. The
+      // pass is memoized per (reachable set, tx power): a radio that
+      // keeps transmitting at one level replays its survivor list.
+      if (!(rc.filter_power == tx_power_dbm)) {
+        filter_idx_.resize(n_cand);
+        const std::size_t kept = util::simd::filter_reachable(
+            rc.loss_db.data(), n_cand, tx_power_dbm, fading_headroom_db_,
+            kSensitivityDbm, filter_idx_.data(), vec);
+        rc.filtered.assign(filter_idx_.begin(), filter_idx_.begin() + kept);
+        rc.filter_power = tx_power_dbm;
+      }
+      frames_below_sensitivity_ += n_cand - rc.filtered.size();
+      // One batched fading draw for the whole survivor list: the hash
+      // prefix and the quantile kernel run once per transmission instead
+      // of once per candidate.
+      const std::size_t n_kept = rc.filtered.size();
+      fade_ids_.resize(n_kept);
+      fade_db_.resize(n_kept);
+      for (std::size_t j = 0; j < n_kept; ++j) {
+        fade_ids_[j] = rc.ids[rc.filtered[j]];
+      }
+      prop_.packet_fading_db_batch(seq, fade_ids_.data(), n_kept,
+                                   fade_db_.data(), vec);
+      for (std::size_t j = 0; j < n_kept; ++j) {
+        const std::uint32_t i = rc.filtered[j];
+        consider_survivor(rc.ids[i], rc.loss_db[i], fade_db_[j]);
       }
     } else {
-      for (const RadioId to : rc.ids) consider(to, nullptr);
+      for (const RadioId to : rc.ids) {
+        const double loss_db = link_gain(from, to).loss_db;
+        if (tx_power_dbm - loss_db + fading_headroom_db_ < kSensitivityDbm) {
+          ++frames_below_sensitivity_;
+          continue;
+        }
+        consider_survivor(to, loss_db, prop_.packet_fading_db(seq, to));
+      }
     }
-    const std::uint32_t on_channel = cs.attached - 1;  // minus from
-    frames_below_sensitivity_ += on_channel - visited;
-    culled_candidates_ += on_channel - visited;
+    // The reachable set is exactly the same-channel radios within the
+    // link budget (the channel filter is applied at rebuild), so the
+    // skipped rest of the channel can't clear sensitivity for any fading
+    // draw — credit them without visiting them, exactly as the unculled
+    // scan would have recorded them.
+    const auto on_channel = static_cast<std::uint32_t>(cs.attached - 1);
+    frames_below_sensitivity_ +=
+        on_channel - static_cast<std::uint32_t>(n_cand);
+    culled_candidates_ += on_channel - static_cast<std::uint32_t>(n_cand);
   } else {
     for (RadioId to = 0; to < radio_count(); ++to) {
+      if (to == from || !attached_[to] || channels_[to] != ch) continue;
       if (is_sniffer_[to]) continue;  // handled by the promiscuous walk
-      consider(to, nullptr);
+      const double loss_db = link_gain(from, to).loss_db;
+      if (tx_power_dbm - loss_db + fading_headroom_db_ < kSensitivityDbm) {
+        ++frames_below_sensitivity_;
+        continue;
+      }
+      consider_survivor(to, loss_db, prop_.packet_fading_db(seq, to));
     }
   }
 
   // Promiscuous walk: sniffers overhear the frame under the same physics
   // (static gain, hashed per-packet fading, sensitivity floor) but touch
   // none of the simulation-visible counters and draw from no shared RNG.
+  // A sniffer never transmits, so its interference sum takes every active
+  // transmitter — the act arrays verbatim.
   for (const RadioId sn : sniffers_) {
     if (!attached_[sn] || channels_[sn] != ch) continue;
     const double loss_db = link_gain(from, sn).loss_db;
@@ -446,27 +573,78 @@ void Medium::transmit(RadioId from, double tx_power_dbm,
     const double prx = tx_power_dbm - loss_db - fading;
     if (prx < kSensitivityDbm) continue;
 
-    double interference_mw = 0.0;
-    for (const std::uint32_t s : cs.active) {
-      const TxSlot& other = tx_slots_[s];
-      if (other.end <= start) continue;
-      interference_mw += other.tx_mw * link_gain(other.from, sn).lin;
+    constexpr std::size_t kChunk = 64;
+    static_assert(kChunk % util::simd::kLanes == 0);
+    double g[kChunk];
+    double lanes[util::simd::kLanes] = {0.0, 0.0, 0.0, 0.0};
+    const std::size_t n_act = act_from_.size();
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < n_act; ++i) {
+      g[k] = link_gain(act_from_[i], sn).lin;
+      if (++k == kChunk) {
+        util::simd::accumulate(lanes, act_w_.data() + (i + 1 - kChunk), g,
+                               kChunk, vec);
+        k = 0;
+      }
     }
+    util::simd::accumulate(lanes, act_w_.data() + (n_act - k), g, k, vec);
+    const double interference_mw = util::simd::reduce(lanes);
 
     rx_inflight_[sn].push_back(RxRef{
         slot_idx,
         kSnifferRef | static_cast<std::uint32_t>(slot.snf_rxs.size())});
-    slot.snf_rxs.push_back(Reception{sn, prx, interference_mw,
-                                     /*aborted=*/false});
+    slot.snf_rxs.push(sn, prx, interference_mw);
   }
 
   cs.active.push_back(slot_idx);
 
-  // The pooled buffer rides inside the event's inline capture; the last
-  // ref recycles it after delivery.
-  sim_.schedule_at(end, [this, slot_idx, psdu = std::move(psdu)] {
-    deliver(slot_idx, psdu);
-  });
+  // Join (or open) the delivery group for this end time: same-end-time
+  // transmissions share one calendar event instead of paying per-slot
+  // queue traffic, and their receptions evaluate as one batch. The first
+  // joiner schedules; the pooled PSDU buffers ride in the group.
+  std::uint32_t gidx = kNoGroup;
+  for (const std::uint32_t gi : pending_groups_) {
+    if (groups_[gi].end == end) {
+      gidx = gi;
+      break;
+    }
+  }
+  if (gidx == kNoGroup) {
+    if (!free_groups_.empty()) {
+      gidx = free_groups_.back();
+      free_groups_.pop_back();
+    } else {
+      groups_.emplace_back();
+      gidx = static_cast<std::uint32_t>(groups_.size() - 1);
+    }
+    groups_[gidx].end = end;
+    pending_groups_.push_back(gidx);
+    sim_.schedule_at(end, [this, gidx] { deliver_group(gidx); });
+  }
+  groups_[gidx].slots.push_back(slot_idx);
+  groups_[gidx].psdus.push_back(std::move(psdu));
+}
+
+void Medium::deliver_group(std::uint32_t gidx) {
+  // Swap the group's contents into member scratch before running any
+  // callback: a re-entrant transmit may claim this group (and grow
+  // groups_), so nothing may hold a reference into it. Slots fire in push
+  // order — the order their individual events would have fired in.
+  std::erase(pending_groups_, gidx);
+  assert(delivering_slots_.empty() && delivering_psdus_.empty());
+  delivering_slots_.swap(groups_[gidx].slots);
+  delivering_psdus_.swap(groups_[gidx].psdus);
+  free_groups_.push_back(gidx);
+
+  const std::size_t n = delivering_slots_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    deliver(delivering_slots_[i], delivering_psdus_[i]);
+    // Release this PSDU's pool ref now (assignment recycles in place);
+    // holding all of them to the end would inflate pool high-water marks.
+    delivering_psdus_[i] = FrameBufferRef{};
+  }
+  delivering_slots_.clear();
+  delivering_psdus_.clear();
 }
 
 void Medium::deliver(std::uint32_t slot_idx, const FrameBufferRef& psdu) {
@@ -477,18 +655,97 @@ void Medium::deliver(std::uint32_t slot_idx, const FrameBufferRef& psdu) {
   const RadioId tx_from = tx_slots_[slot_idx].from;
   std::erase(chan_[tx_ch].active, slot_idx);
 
+  // Constant conversion, hoisted off the per-reception path.
+  static const double noise_mw = units::dbm_to_mw(kNoiseFloorDbm);
+  const int bits = static_cast<int>(psdu.bytes().size()) * 8;
+
+  // Batched BER→PER: the SINR, RSSI and PER of every reception in this
+  // batch are pure math over values frozen the moment the slot left the
+  // channel bucket (re-entrant transmits can no longer raise them), so
+  // they are evaluated in one pass before any client callback runs.
+  // Entries a callback aborts later simply leave their precomputed values
+  // unread — the per-iteration abort check below stays authoritative.
+  //
+  // The pass works in linear power: one dBm→mW conversion per reception,
+  // then the SINR ratio, the capture test (folded into the PER as a
+  // certain loss: chance(1.0) corrupts without an RNG draw) and the
+  // negligible-PER cutoff are ratio compares — the 15-term BER sum runs
+  // only for the marginal SINR band in between.
+  static const double kCaptureLin = units::db_to_linear(kCaptureThresholdDb);
+  {
+    const RxBatch& rxs = tx_slots_[slot_idx].rxs;
+    const std::size_t n = rxs.size();
+    const bool vec = simd_active();
+    sinr_scratch_.resize(n);
+    per_scratch_.resize(n);
+    rssi_scratch_.resize(n);
+    prx_mw_scratch_.resize(n);
+    sinr_lin_scratch_.resize(n);
+    // Whole-batch passes, aborted entries included: their inputs are
+    // finite reception records, the math is defined, and the values are
+    // simply never read — cheaper than a branch per lane. The batch
+    // kernels are bit-identical scalar vs SIMD, so everything derived
+    // here (RSSI register, LQI, the PER compare) is toggle-invariant.
+    util::simd::db_to_linear_batch(rxs.prx_dbm.data(), prx_mw_scratch_.data(),
+                                   n, vec);
+    for (std::size_t i = 0; i < n; ++i) {
+      sinr_lin_scratch_[i] =
+          prx_mw_scratch_[i] / (noise_mw + rxs.interference_mw[i]);
+    }
+    util::simd::linear_to_db_batch(sinr_lin_scratch_.data(),
+                                   sinr_scratch_.data(), n, vec);
+    per_idx_.clear();
+    per_in_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rxs.aborted[i]) {
+        per_scratch_[i] = 0.0;
+        continue;
+      }
+      const double prx_mw = prx_mw_scratch_[i];
+      const double interference_mw = rxs.interference_mw[i];
+      if (interference_mw > 0.0 && prx_mw < kCaptureLin * interference_mw) {
+        // Co-channel collision below the capture margin: corrupted no
+        // matter what the bit-error draw would have said (PER 1.0
+        // corrupts without an RNG draw).
+        per_scratch_[i] = 1.0;
+      } else if (sinr_lin_scratch_[i] >= kPerNegligibleSinrLin) {
+        per_scratch_[i] = 0.0;
+      } else {
+        // Mid-band: needs the 15-term BER sum — gathered and evaluated
+        // as one batch below.
+        per_idx_.push_back(static_cast<std::uint32_t>(i));
+        per_in_.push_back(sinr_lin_scratch_[i]);
+      }
+    }
+    if (!per_idx_.empty()) {
+      per_oqpsk_lin_batch(per_in_.data(), bits, per_in_.data(),
+                          per_in_.size(), vec);
+      for (std::size_t j = 0; j < per_idx_.size(); ++j) {
+        per_scratch_[per_idx_[j]] = per_in_[j];
+      }
+    }
+    // The RSSI register measures total in-band energy; include the
+    // interference floor the receiver saw.
+    for (std::size_t i = 0; i < n; ++i) {
+      prx_mw_scratch_[i] += rxs.interference_mw[i];
+    }
+    util::simd::linear_to_db_batch(prx_mw_scratch_.data(),
+                                   rssi_scratch_.data(), n, vec);
+  }
+
   // Complete every reception belonging to this transmission. A client
   // callback may re-enter the Medium (transmit, retune, detach), which
   // can grow tx_slots_ or abort receptions of *this* slot that have not
   // been processed yet — so the loop re-indexes tx_slots_ every
-  // iteration, copies the Reception before calling out, and unlinks each
-  // in-flight reference only when its reception is reached.
+  // iteration, copies the reception's scalars before calling out, and
+  // unlinks each in-flight reference only when its reception is reached.
   const std::size_t n_rx = tx_slots_[slot_idx].rxs.size();
   for (std::size_t i = 0; i < n_rx; ++i) {
-    const Reception rx = tx_slots_[slot_idx].rxs[i];
-    if (rx.aborted) continue;
+    if (tx_slots_[slot_idx].rxs.aborted[i]) continue;
+    const RadioId to = tx_slots_[slot_idx].rxs.to[i];
+    const double prx_dbm = tx_slots_[slot_idx].rxs.prx_dbm[i];
 
-    auto& refs = rx_inflight_[rx.to];
+    auto& refs = rx_inflight_[to];
     for (std::size_t r = 0; r < refs.size(); ++r) {
       if (refs[r].slot == slot_idx && refs[r].idx == i) {
         refs[r] = refs.back();
@@ -497,51 +754,40 @@ void Medium::deliver(std::uint32_t slot_idx, const FrameBufferRef& psdu) {
       }
     }
 
-    if (!attached_[rx.to] || clients_[rx.to] == nullptr) continue;
+    if (!attached_[to] || clients_[to] == nullptr) continue;
     // Defense in depth: a retuned radio's receptions are aborted by
     // set_channel, so this mismatch should be unreachable.
-    if (channels_[rx.to] != tx_ch) continue;
+    if (channels_[to] != tx_ch) continue;
     // Injected failures: the test drop filter and the fault plane.
-    if ((drop_filter_ && drop_filter_(tx_from, rx.to)) ||
-        (interceptor_ && interceptor_->should_drop(tx_from, rx.to, tx_ch))) {
+    if ((drop_filter_ && drop_filter_(tx_from, to)) ||
+        (interceptor_ && interceptor_->should_drop(tx_from, to, tx_ch))) {
       ++frames_dropped_fault_;
       if (trace::kEnabled && recorder_ != nullptr) {
         recorder_->append(
-            trace_ring_[rx.to], trace::RecKind::kPhyDrop,
+            trace_ring_[to], trace::RecKind::kPhyDrop,
             sim_.now().nanoseconds(), tx_from,
             static_cast<std::uint64_t>(trace::PhyDropReason::kFault));
       }
       continue;
     }
 
-    // Constant conversion, hoisted off the per-reception path.
-    static const double noise_mw = util::dbm_to_mw(kNoiseFloorDbm);
-    const double sinr_db =
-        rx.prx_dbm - util::mw_to_dbm(noise_mw + rx.interference_mw);
-    const int bits = static_cast<int>(psdu.bytes().size()) * 8;
-    // Two corruption mechanisms: thermal-noise bit errors (BER model) and
-    // co-channel collision (capture rule, no despreading gain applies).
-    const double per = per_oqpsk(sinr_db, bits);
-    bool corrupted = loss_rng_.chance(per);
-    if (rx.interference_mw > 0.0) {
-      const double sir_db =
-          rx.prx_dbm - util::mw_to_dbm(rx.interference_mw);
-      if (sir_db < kCaptureThresholdDb) corrupted = true;
-    }
+    const double sinr_db = sinr_scratch_[i];
+    // Both corruption mechanisms — thermal-noise bit errors (BER model)
+    // and co-channel collision (capture rule, no despreading gain
+    // applies) — were folded into the precomputed PER above; a captured
+    // frame carries PER 1.0 and corrupts without an RNG draw.
+    const bool corrupted = loss_rng_.chance(per_scratch_[i]);
 
     RxInfo info;
-    info.rx_power_dbm = rx.prx_dbm;
+    info.rx_power_dbm = prx_dbm;
     info.sinr_db = sinr_db;
-    // The RSSI register measures total in-band energy; include the
-    // interference floor the receiver saw.
-    info.rssi_reg = rssi_register(
-        util::mw_to_dbm(util::dbm_to_mw(rx.prx_dbm) + rx.interference_mw));
+    info.rssi_reg = rssi_register(rssi_scratch_[i]);
     info.lqi = lqi_from_snr(sinr_db);
     info.crc_ok = !corrupted;
     info.from = tx_from;
 
     if (trace::kEnabled && recorder_ != nullptr) {
-      recorder_->append(trace_ring_[rx.to], trace::RecKind::kPhyRx,
+      recorder_->append(trace_ring_[to], trace::RecKind::kPhyRx,
                         sim_.now().nanoseconds(), tx_from, corrupted ? 0 : 1,
                         static_cast<std::uint64_t>(
                             static_cast<int>(info.rssi_reg) + 128),
@@ -557,26 +803,29 @@ void Medium::deliver(std::uint32_t slot_idx, const FrameBufferRef& psdu) {
       const auto idx = static_cast<std::size_t>(corrupt_rng_.uniform_int(
           0, static_cast<std::int64_t>(corrupt_scratch_.size()) - 1));
       corrupt_scratch_[idx] ^= 0xa5;
-      clients_[rx.to]->on_frame(corrupt_scratch_, info);
+      clients_[to]->on_frame(corrupt_scratch_, info);
     } else {
       ++frames_delivered_;
-      clients_[rx.to]->on_frame(psdu.bytes(), info);
+      clients_[to]->on_frame(psdu.bytes(), info);
     }
   }
 
-  // Complete sniffer overhears. Same physics as the loop above, but the
-  // corruption draw comes from a private hash over (run seed, tx seq,
-  // sniffer id) — the shared loss/corrupt streams never advance — and all
-  // accounting goes to the sniffer-only counters. The fault plane is
-  // deliberately not consulted: it models the *network's* pathologies,
-  // and asking it would both record spurious fault events and advance its
-  // per-link RNG streams.
+  // Complete sniffer overhears. Same physics as the loop above — kept
+  // inline (this path is rare) — but the corruption draw comes from a
+  // private hash over (run seed, tx seq, sniffer id): the shared
+  // loss/corrupt streams never advance, and all accounting goes to the
+  // sniffer-only counters. The fault plane is deliberately not consulted:
+  // it models the *network's* pathologies, and asking it would both
+  // record spurious fault events and advance its per-link RNG streams.
   const std::size_t n_snf = tx_slots_[slot_idx].snf_rxs.size();
   for (std::size_t i = 0; i < n_snf; ++i) {
-    const Reception rx = tx_slots_[slot_idx].snf_rxs[i];
-    if (rx.aborted) continue;
+    if (tx_slots_[slot_idx].snf_rxs.aborted[i]) continue;
+    const RadioId to = tx_slots_[slot_idx].snf_rxs.to[i];
+    const double prx_dbm = tx_slots_[slot_idx].snf_rxs.prx_dbm[i];
+    const double interference_mw =
+        tx_slots_[slot_idx].snf_rxs.interference_mw[i];
 
-    auto& refs = rx_inflight_[rx.to];
+    auto& refs = rx_inflight_[to];
     const std::uint32_t want =
         kSnifferRef | static_cast<std::uint32_t>(i);
     for (std::size_t r = 0; r < refs.size(); ++r) {
@@ -587,35 +836,33 @@ void Medium::deliver(std::uint32_t slot_idx, const FrameBufferRef& psdu) {
       }
     }
 
-    if (!attached_[rx.to] || clients_[rx.to] == nullptr) continue;
-    if (channels_[rx.to] != tx_ch) continue;
+    if (!attached_[to] || clients_[to] == nullptr) continue;
+    if (channels_[to] != tx_ch) continue;
 
-    static const double noise_mw = util::dbm_to_mw(kNoiseFloorDbm);
     const double sinr_db =
-        rx.prx_dbm - util::mw_to_dbm(noise_mw + rx.interference_mw);
-    const int bits = static_cast<int>(psdu.bytes().size()) * 8;
+        prx_dbm - units::mw_to_dbm(noise_mw + interference_mw);
     const double per = per_oqpsk(sinr_db, bits);
     const std::uint64_t h = util::splitmix64(
-        util::splitmix64(sniff_seed_ ^ tx_slots_[slot_idx].seq) + rx.to);
+        util::splitmix64(sniff_seed_ ^ tx_slots_[slot_idx].seq) + to);
     const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
     bool corrupted = per > 0.0 && (per >= 1.0 || u < per);
-    if (rx.interference_mw > 0.0) {
-      const double sir_db = rx.prx_dbm - util::mw_to_dbm(rx.interference_mw);
+    if (interference_mw > 0.0) {
+      const double sir_db = prx_dbm - units::mw_to_dbm(interference_mw);
       if (sir_db < kCaptureThresholdDb) corrupted = true;
     }
 
     RxInfo info;
-    info.rx_power_dbm = rx.prx_dbm;
+    info.rx_power_dbm = prx_dbm;
     info.sinr_db = sinr_db;
     info.rssi_reg = rssi_register(
-        util::mw_to_dbm(util::dbm_to_mw(rx.prx_dbm) + rx.interference_mw));
+        units::mw_to_dbm(units::dbm_to_mw(prx_dbm) + interference_mw));
     info.lqi = lqi_from_snr(sinr_db);
     info.crc_ok = !corrupted;
     info.from = tx_from;
 
     ++frames_sniffed_;
     if (trace::kEnabled && recorder_ != nullptr) {
-      recorder_->append(trace_ring_[rx.to], trace::RecKind::kSniffRx,
+      recorder_->append(trace_ring_[to], trace::RecKind::kSniffRx,
                         sim_.now().nanoseconds(), tx_from, tx_ch,
                         psdu.bytes().size(), corrupted ? 0 : 1);
     }
@@ -626,9 +873,9 @@ void Medium::deliver(std::uint32_t slot_idx, const FrameBufferRef& psdu) {
           util::splitmix64(h) %
           static_cast<std::uint64_t>(corrupt_scratch_.size()));
       corrupt_scratch_[idx] ^= 0xa5;
-      clients_[rx.to]->on_frame(corrupt_scratch_, info);
+      clients_[to]->on_frame(corrupt_scratch_, info);
     } else {
-      clients_[rx.to]->on_frame(psdu.bytes(), info);
+      clients_[to]->on_frame(psdu.bytes(), info);
     }
   }
 

@@ -14,6 +14,13 @@
 // a per-radio in-flight index — so interference accumulation, CCA, the
 // half-duplex abort scan, and delivery all cost O(same-channel) or O(1)
 // instead of O(everything in the air).
+//
+// Batched plane (DESIGN.md §14): on top of that layout, the hot loops run
+// through the lane-blocked kernels in util/simd.hpp — the candidate
+// pre-filter, interference sums, and CCA sweeps go four lanes at a time
+// (AVX2 when the CPU has it, a bit-exact scalar emulation otherwise), and
+// same-end-time transmissions deliver as one grouped calendar event with
+// their BER→PER math evaluated in a batch.
 #pragma once
 
 #include <array>
@@ -33,6 +40,7 @@
 #include "phy/propagation.hpp"
 #include "phy/spatial_grid.hpp"
 #include "sim/simulator.hpp"
+#include "util/simd.hpp"
 
 namespace liteview::trace {
 class FlightRecorder;
@@ -244,6 +252,19 @@ class Medium {
     return gain_cache_.size();
   }
 
+  /// Batched SIMD kernels for the PHY hot loops: when enabled (the
+  /// default) and the CPU supports AVX2+FMA, the candidate pre-filter,
+  /// interference sums, and CCA sweeps run four lanes at a time. The
+  /// scalar fallback emulates the exact lane-blocked accumulation order
+  /// with per-element fused multiply-adds, so results — and the
+  /// determinism traces — are byte-identical either way
+  /// (tests/test_simd.cpp and tests/test_determinism.cpp hold this).
+  /// Off forces the scalar path, for audits and the parity suite.
+  void set_simd(bool enabled) noexcept { simd_enabled_ = enabled; }
+  [[nodiscard]] bool simd_active() const noexcept {
+    return simd_enabled_ && util::simd::cpu_supported();
+  }
+
   /// Candidate-loop iterations skipped thanks to the grid (perf probe for
   /// benches; not part of the delivery semantics).
   [[nodiscard]] std::uint64_t culled_candidates() const noexcept {
@@ -307,31 +328,59 @@ class Medium {
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
 
  private:
-  /// One receiver of an in-flight transmission. Sender/channel/timing
-  /// live in the owning TxSlot.
-  struct Reception {
-    RadioId to;
-    double prx_dbm;
-    double interference_mw;  ///< max concurrent interference seen
-    bool aborted = false;    ///< receiver turned to TX / retuned mid-frame
+  /// The receivers of one in-flight transmission, stored SoA: entry i
+  /// across the four parallel arrays is one reception. The layout lets
+  /// the batched kernels stream plain double arrays — the interference
+  /// raise is one fused multiply-add sweep over `interference_mw`, and
+  /// delivery's BER→PER pass reads `prx_dbm`/`interference_mw`
+  /// sequentially. Sender/channel/timing live in the owning TxSlot.
+  struct RxBatch {
+    std::vector<RadioId> to;
+    std::vector<double> prx_dbm;
+    std::vector<double> interference_mw;  ///< max concurrent interference
+    std::vector<std::uint8_t> aborted;  ///< receiver TXed / retuned mid-frame
+    [[nodiscard]] std::size_t size() const noexcept { return to.size(); }
+    void push(RadioId t, double prx, double interf) {
+      to.push_back(t);
+      prx_dbm.push_back(prx);
+      interference_mw.push_back(interf);
+      aborted.push_back(0);
+    }
+    void clear() noexcept {  // capacity survives (slots are pooled)
+      to.clear();
+      prx_dbm.clear();
+      interference_mw.clear();
+      aborted.clear();
+    }
   };
 
   /// An in-flight transmission plus all of its reception records. Slots
-  /// are pooled: delivery returns the slot (and its receptions vector's
+  /// are pooled: delivery returns the slot (and its reception arrays'
   /// capacity) to a free list, so steady-state traffic never allocates.
   struct TxSlot {
     RadioId from = kInvalidRadio;
     Channel channel = 0;
     double tx_power_dbm = 0.0;
-    double tx_mw = 0.0;  ///< dbm_to_mw(tx_power_dbm), computed once
+    double tx_mw = 0.0;  ///< units::dbm_to_mw(tx_power_dbm), computed once
     sim::SimTime start;
     sim::SimTime end;
     std::uint64_t seq = 0;
-    std::vector<Reception> rxs;
+    RxBatch rxs;
     /// Receptions at sniffer radios, kept apart from `rxs` so nothing on
     /// the normal path (abort scans, delivery, interference raising over
     /// rxs) changes shape when sniffers are present.
-    std::vector<Reception> snf_rxs;
+    RxBatch snf_rxs;
+  };
+
+  /// Same-end-time transmissions share ONE calendar event: the first
+  /// transmit ending at `end` claims a pooled group and schedules it;
+  /// later transmits with the same end join the group instead of paying
+  /// their own queue traffic. Slots deliver in push order — the order
+  /// their individual events would have fired in.
+  struct DeliveryGroup {
+    sim::SimTime end;
+    std::vector<std::uint32_t> slots;
+    std::vector<FrameBufferRef> psdus;
   };
 
   /// High bit of RxRef::idx marks a reference into snf_rxs instead of rxs.
@@ -343,16 +392,26 @@ class Medium {
     std::uint32_t idx;
   };
 
-  /// Cached ids (ascending) of every attached radio within the link
-  /// budget's max range; valid while epoch matches topo_epoch_. When the
-  /// gain cache is enabled the rebuild also pulls each candidate's static
-  /// gain through it into `gains` (parallel to `ids`): the candidate walk
-  /// then streams one sequential array per transmitter instead of probing
-  /// a deployment-wide hash table per pair — the probe locality is what
-  /// dominates at n=1000.
+  /// Cached ids (ascending) of every attached same-channel radio within
+  /// the link budget's max range; valid while epoch matches topo_epoch_.
+  /// The channel filter is safe because topo_epoch_ bumps on every
+  /// retune. When the gain cache is enabled the rebuild also pulls each
+  /// candidate's static gain through it into the SoA arrays (parallel to
+  /// `ids`): the candidate walk then streams sequential arrays per
+  /// transmitter instead of probing a deployment-wide hash table per
+  /// pair — the probe locality is what dominates at n=1000.
   struct ReachCache {
     std::vector<RadioId> ids;
-    std::vector<LinkGainCache::Gain> gains;
+    /// Parallel static losses (filled only when has_gains), stored as a
+    /// bare double array so the SIMD pre-filter streams it directly.
+    std::vector<double> loss_db;
+    /// Memoized pre-filter result: indices into ids/loss_db that survive
+    /// the sensitivity filter at filter_power. The filter is a pure
+    /// function of (loss_db, tx power) — and bit-identical across the
+    /// SIMD toggle — so replaying it is exact; radios that keep
+    /// transmitting at one power level skip the sweep entirely.
+    std::vector<std::uint32_t> filtered;
+    double filter_power = std::numeric_limits<double>::quiet_NaN();
     bool has_gains = false;
     std::uint64_t epoch = 0;
   };
@@ -369,10 +428,18 @@ class Medium {
   RadioId attach_impl(MediumClient* client, Position pos, Channel channel,
                       bool sniffer);
   void deliver(std::uint32_t slot_idx, const FrameBufferRef& psdu);
+  /// Fire every slot in group `gidx` (push order), then recycle it.
+  void deliver_group(std::uint32_t gidx);
+  /// Batched interference raise: interference_mw[i] += tx_mw · gain(from →
+  /// batch.to[i]) for every entry, aborted ones included (their values are
+  /// never read again, and skipping them would cost a branch per lane).
+  void raise_interference(RadioId from, double tx_mw, RxBatch& batch,
+                          bool vec);
   /// Memoized (or direct, when the cache is off) static gain from→to.
   [[nodiscard]] LinkGainCache::Gain link_gain(RadioId from, RadioId to) const;
-  /// Rebuild (if stale) and return the reachable-set cache for `from`.
-  const ReachCache& reachable_set(RadioId from);
+  /// Rebuild (if stale) and return the reachable-set cache for `from`
+  /// (mutable: the transmit path memoizes its pre-filter result into it).
+  ReachCache& reachable_set(RadioId from);
   /// Record `power` as radio `from`'s current TX level in the histogram;
   /// retires reachable sets when the deployment-wide maximum changes.
   void note_tx_power(RadioId from, double power);
@@ -420,6 +487,37 @@ class Medium {
   std::vector<std::uint32_t> free_slots_;
   std::array<ChannelState, 256> chan_{};
   std::uint64_t next_tx_seq_ = 0;
+
+  // ---- grouped delivery ----------------------------------------------
+  // Same-end-time slots share one calendar event (DESIGN.md §14). Groups
+  // are pooled like TxSlots; `pending_groups_` is a linear index (end →
+  // group) over the handful of distinct end times in flight at once.
+  std::vector<DeliveryGroup> groups_;
+  std::vector<std::uint32_t> free_groups_;
+  std::vector<std::uint32_t> pending_groups_;
+  /// deliver_group swaps the firing group's contents here before running
+  /// callbacks, so re-entrant transmits can claim the group (and the
+  /// slots' pool entries) without invalidating the iteration.
+  std::vector<std::uint32_t> delivering_slots_;
+  std::vector<FrameBufferRef> delivering_psdus_;
+
+  // ---- batched-kernel scratch ----------------------------------------
+  // Reused gather buffers for the SIMD kernels (util/simd.hpp); all warm
+  // to steady capacity, keeping the hot path allocation-free.
+  bool simd_enabled_ = true;
+  std::vector<RadioId> act_from_;       ///< live same-channel transmitters
+  std::vector<double> act_w_;           ///< ... and their tx_mw
+  std::vector<double> raise_g_;         ///< gains for the interference raise
+  std::vector<std::uint32_t> filter_idx_;  ///< survivors of the pre-filter
+  std::vector<RadioId> fade_ids_;       ///< gathered receiver ids for fading
+  std::vector<double> fade_db_;         ///< batched per-packet fading (dB)
+  std::vector<double> sinr_scratch_;    ///< batched SINR (dB) at delivery
+  std::vector<double> per_scratch_;     ///< batched PER at delivery
+  std::vector<double> rssi_scratch_;    ///< batched RSSI (dBm) at delivery
+  std::vector<double> prx_mw_scratch_;  ///< batched RX power (mW) / total
+  std::vector<double> sinr_lin_scratch_;  ///< batched linear SINR
+  std::vector<std::uint32_t> per_idx_;  ///< mid-band receptions (batch PER)
+  std::vector<double> per_in_;          ///< ... their linear SINR / PER
 
   mutable LinkGainCache gain_cache_;
   bool gain_cache_enabled_ = true;

@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <limits>
 
+#include "phy/units.hpp"
+#include "util/simd.hpp"
+
 namespace liteview::phy {
 
 namespace {
 
 /// Box–Muller over a splitmix64 chain seeded by `h1`: one standard-normal
-/// variate, deterministic in the key. Shared by the frozen shadowing and
-/// the per-packet fading so both obey the same tail clamp.
+/// variate, deterministic in the key. Used by the frozen shadowing (cold:
+/// computed once per directed link, then memoized inside the static
+/// loss), so deployments keep their exact topologies.
 double unit_normal_from_key(std::uint64_t h1) noexcept {
   const std::uint64_t h2 = util::splitmix64(h1);
   // Map to (0,1]; avoid log(0).
@@ -18,6 +22,20 @@ double unit_normal_from_key(std::uint64_t h1) noexcept {
   const double u2 = static_cast<double>(h2 >> 11) / 9007199254740992.0;
   return std::sqrt(-2.0 * std::log(u1)) *
          std::cos(6.283185307179586 * u2);
+}
+
+/// Fading hash prefix: everything that does not depend on the receiver,
+/// mixed once per transmission.
+std::uint64_t fading_prefix(std::uint64_t seed, std::uint64_t tx_seq) noexcept {
+  return util::splitmix64(util::splitmix64(seed ^ 0x0fad1f4d1f4dfadeULL) ^
+                          tx_seq);
+}
+
+/// Receiver-dependent step: hash → u strictly inside (0, 1) off the top
+/// 53 bits.
+double fading_u(std::uint64_t prefix, std::uint32_t rx_id) noexcept {
+  const std::uint64_t h = util::splitmix64(prefix ^ rx_id);
+  return (static_cast<double>(h >> 11) + 0.5) * 0x1.0p-53;
 }
 
 }  // namespace
@@ -38,14 +56,40 @@ double PropagationModel::shadowing_db(std::uint32_t from_id,
 double PropagationModel::packet_fading_db(std::uint64_t tx_seq,
                                           std::uint32_t rx_id) const noexcept {
   if (cfg_.fading_sigma_db <= 0.0) return 0.0;
-  std::uint64_t h = util::splitmix64(seed_ ^ 0x0fad1f4d1f4dfadeULL);
-  h = util::splitmix64(h ^ tx_seq);
-  h = util::splitmix64(h ^ rx_id);
-  double z = unit_normal_from_key(h);
+  // Acklam quantile instead of Box–Muller on the hot per-packet path: the
+  // central ~95% of draws needs no transcendental at all. The shared
+  // kernel is what packet_fading_db_batch replays, so the two entry
+  // points agree bit-for-bit.
+  double z = util::simd::normal_quantile(fading_u(fading_prefix(seed_, tx_seq),
+                                                  rx_id));
   if (cfg_.tail_clamp_sigma > 0.0) {
     z = std::clamp(z, -cfg_.tail_clamp_sigma, cfg_.tail_clamp_sigma);
   }
   return cfg_.fading_sigma_db * z;
+}
+
+void PropagationModel::packet_fading_db_batch(std::uint64_t tx_seq,
+                                              const std::uint32_t* rx_ids,
+                                              std::size_t n, double* out,
+                                              bool vec) const noexcept {
+  if (cfg_.fading_sigma_db <= 0.0) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0.0;
+    return;
+  }
+  const std::uint64_t prefix = fading_prefix(seed_, tx_seq);
+  for (std::size_t i = 0; i < n; ++i) out[i] = fading_u(prefix, rx_ids[i]);
+  util::simd::normal_quantile_batch(out, out, n, vec);
+  // Clamp and scale element-wise — single-operation steps with no
+  // accumulation, identical in any evaluation order.
+  if (cfg_.tail_clamp_sigma > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = cfg_.fading_sigma_db *
+               std::clamp(out[i], -cfg_.tail_clamp_sigma,
+                          cfg_.tail_clamp_sigma);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) out[i] *= cfg_.fading_sigma_db;
+  }
 }
 
 double PropagationModel::max_random_gain_db() const noexcept {
@@ -75,7 +119,7 @@ double PropagationModel::max_range_m(double tx_power_dbm,
   // bound never drops under 0.1 m. The 1e-6 relative headroom absorbs
   // floating-point disagreement with the per-pair loss computation.
   const double budget = tx_power_dbm - sensitivity_dbm + gain - cfg_.pl0_db;
-  const double d = std::pow(10.0, budget / (10.0 * cfg_.exponent));
+  const double d = units::range_for_budget_m(budget, cfg_.exponent);
   return std::max(d, 0.1) * (1.0 + 1e-6);
 }
 

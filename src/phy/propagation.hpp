@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 
 #include "util/rng.hpp"
@@ -72,6 +73,15 @@ class PropagationModel {
   /// Clamped to ±tail_clamp_sigma·σ (unbounded when the clamp is off).
   [[nodiscard]] double packet_fading_db(std::uint64_t tx_seq,
                                         std::uint32_t rx_id) const noexcept;
+
+  /// out[i] = packet_fading_db(tx_seq, rx_ids[i]), bit-for-bit. The
+  /// per-transmission hash prefix is computed once and the normal
+  /// quantile is evaluated through the batched kernel, whose scalar and
+  /// SIMD paths are bit-identical (`vec` selects, util/simd.hpp) — so a
+  /// batched caller and a per-candidate caller always agree.
+  void packet_fading_db_batch(std::uint64_t tx_seq,
+                              const std::uint32_t* rx_ids, std::size_t n,
+                              double* out, bool vec) const noexcept;
 
   /// Largest possible gain (dB) the bounded random terms can contribute
   /// over the deterministic log-distance loss. +inf when the clamp is off.

@@ -1,0 +1,51 @@
+// Canonical dB / dBm / milliwatt conversions for the PHY plane.
+//
+// One definition serves the scalar model code and the batched SIMD
+// kernels: every conversion in medium.cpp, propagation.cpp, and ber.cpp
+// routes through these helpers so the two code paths cannot drift by an
+// ULP. The round-trip behavior is pinned by the Units suite in
+// tests/test_simd.cpp.
+#pragma once
+
+#include <cmath>
+
+namespace liteview::phy::units {
+
+/// dB → linear power ratio.
+[[nodiscard]] inline double db_to_linear(double db) noexcept {
+  return std::pow(10.0, db / 10.0);
+}
+
+/// Linear power ratio → dB. Requires lin > 0.
+[[nodiscard]] inline double linear_to_db(double lin) noexcept {
+  return 10.0 * std::log10(lin);
+}
+
+/// dBm → milliwatts (the same mapping as db_to_linear, spelled for
+/// intent at call sites that carry absolute powers).
+[[nodiscard]] inline double dbm_to_mw(double dbm) noexcept {
+  return db_to_linear(dbm);
+}
+
+/// Milliwatts → dBm. Requires mw > 0.
+[[nodiscard]] inline double mw_to_dbm(double mw) noexcept {
+  return linear_to_db(mw);
+}
+
+/// Sum two powers expressed in dBm (accumulate in linear space; -inf
+/// inputs — zero power — collapse to the -300 dBm floor).
+[[nodiscard]] inline double dbm_add(double a_dbm, double b_dbm) noexcept {
+  const double s = dbm_to_mw(a_dbm) + dbm_to_mw(b_dbm);
+  return s > 0.0 ? mw_to_dbm(s) : -300.0;
+}
+
+/// Distance (meters) at which a log-distance model with the given path
+/// loss exponent spends `budget_db`: solves 10·n·log10(d) = budget_db.
+/// Used by the culling radius and topology builders; the expression must
+/// stay byte-for-byte this one so both agree.
+[[nodiscard]] inline double range_for_budget_m(double budget_db,
+                                               double exponent) noexcept {
+  return std::pow(10.0, budget_db / (10.0 * exponent));
+}
+
+}  // namespace liteview::phy::units

@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <bit>
 #include <cassert>
 #include <cstdint>
 
@@ -32,10 +33,12 @@ std::string SimTime::to_string() const {
 }
 
 void Simulator::chain_insert(std::uint32_t idx, detail::EventMeta& m) {
-  Bucket& bk = buckets_[bucket_of(m.when)];
+  const std::uint32_t b = bucket_of(m.when);
+  Bucket& bk = buckets_[b];
   if (bk.tail == detail::kNoSlot) {
     bk.head = bk.tail = idx;
     m.next = detail::kNoSlot;
+    occupancy_[b >> 6] |= std::uint64_t{1} << (b & 63);
   } else if (!before(m, arena_->meta(bk.tail))) {
     // Monotone (when, seq) arrival for this bucket — the common case
     // (same-time events arrive in seq order by construction).
@@ -116,6 +119,7 @@ void Simulator::resize_buckets(std::size_t nbuckets) {
   }
 
   buckets_.assign(nbuckets, Bucket{});
+  occupancy_.assign(nbuckets / 64, 0);  // nbuckets >= kInitialBuckets = 1024
   mask_ = static_cast<std::uint32_t>(nbuckets) - 1;
   for (const std::uint32_t idx : resize_scratch_) {
     chain_insert(idx, arena_->meta(idx));
@@ -133,10 +137,39 @@ bool Simulator::find_min() {
   if (peek_valid_) return true;
   const std::size_t nbuckets = static_cast<std::size_t>(mask_) + 1;
   const std::uint64_t w = std::uint64_t{1} << shift_;
-  for (std::size_t scanned = 0; scanned < nbuckets; ++scanned) {
+  // One lap over the table, but empty stretches are skipped through the
+  // occupancy bitmap: the cursor and its year window advance
+  // arithmetically by however many unoccupied buckets the current word
+  // rules out, so a sparse pending set costs one probe per 64 buckets
+  // instead of one chain-head load per bucket. Skipping an empty bucket
+  // is exactly what the plain sweep would have done to it — nothing
+  // there to compare — so the cursor state after the jump is identical.
+  std::size_t scanned = 0;
+  while (scanned < nbuckets) {
+    const std::uint32_t b = cur_bucket_;
+    const std::uint64_t word =
+        occupancy_[b >> 6] & (~std::uint64_t{0} << (b & 63));
+    if (word == 0) {
+      // Rest of this 64-bucket word is empty — jump to the next word
+      // boundary (the table size is a multiple of 64, so the boundary
+      // wraps cleanly through the mask).
+      const std::uint32_t skip = 64 - (b & 63);
+      cur_bucket_ = (b + skip) & mask_;
+      cur_end_ += w * skip;
+      scanned += skip;
+      continue;
+    }
+    const std::uint32_t next =
+        (b & ~std::uint32_t{63}) +
+        static_cast<std::uint32_t>(std::countr_zero(word));
+    if (const std::uint32_t skip = next - b; skip != 0) {
+      if (scanned + skip >= nbuckets) break;  // lap ends inside the gap
+      cur_bucket_ = next;  // same word, no wrap possible
+      cur_end_ += w * skip;
+      scanned += skip;
+    }
     const std::uint32_t head = buckets_[cur_bucket_].head;
-    if (head != detail::kNoSlot &&
-        static_cast<std::uint64_t>(
+    if (static_cast<std::uint64_t>(
             arena_->meta(head).when.nanoseconds()) < cur_end_) {
       // Within the current year window the head is the global minimum:
       // any earlier pending event would hash to this same bucket, where
@@ -148,6 +181,7 @@ bool Simulator::find_min() {
     }
     cur_bucket_ = (cur_bucket_ + 1) & mask_;
     cur_end_ += w;
+    ++scanned;
   }
   rescan_min();
   return true;
@@ -165,15 +199,23 @@ void Simulator::rescan_min() {
     resize_buckets(nbuckets);
   }
 
+  // Direct minimum over the occupied buckets only, in ascending bucket
+  // order (the same visit order as a full scan, so equal-time heads
+  // resolve to the same bucket).
   std::uint32_t best = detail::kNoSlot;
   std::uint32_t best_bucket = 0;
-  for (std::size_t b = 0; b <= mask_; ++b) {
-    const std::uint32_t h = buckets_[b].head;
-    if (h != detail::kNoSlot &&
-        (best == detail::kNoSlot ||
-         before(arena_->meta(h), arena_->meta(best)))) {
-      best = h;
-      best_bucket = static_cast<std::uint32_t>(b);
+  for (std::size_t wi = 0; wi < occupancy_.size(); ++wi) {
+    std::uint64_t word = occupancy_[wi];
+    while (word != 0) {
+      const auto b = static_cast<std::uint32_t>(
+          wi * 64 + static_cast<std::size_t>(std::countr_zero(word)));
+      word &= word - 1;
+      const std::uint32_t h = buckets_[b].head;
+      if (best == detail::kNoSlot ||
+          before(arena_->meta(h), arena_->meta(best))) {
+        best = h;
+        best_bucket = b;
+      }
     }
   }
   assert(best != detail::kNoSlot && "rescan_min requires queued events");
@@ -217,7 +259,11 @@ bool Simulator::step(SimTime limit) {
     if (m.when > limit) return false;  // keep the peek cache for next call
     Bucket& bk = buckets_[peek_bucket_];
     bk.head = m.next;
-    if (bk.head == detail::kNoSlot) bk.tail = detail::kNoSlot;
+    if (bk.head == detail::kNoSlot) {
+      bk.tail = detail::kNoSlot;
+      occupancy_[peek_bucket_ >> 6] &=
+          ~(std::uint64_t{1} << (peek_bucket_ & 63));
+    }
     --queued_;
     peek_valid_ = false;
     if ((m.genflags & detail::kFlagCancelled) != 0) {  // lazily dropped

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "phy/units.hpp"
 #include "util/bytes.hpp"
 #include "util/strings.hpp"
 
@@ -27,7 +28,7 @@ double adjacency_spacing_m(const phy::PropagationConfig& prop,
   // Solve tx - (pl0 + 10 n log10(d)) = sensitivity + margin for d.
   const double tx = phy::pa_level_to_dbm(level);
   const double budget = tx - (phy::kSensitivityDbm + margin_db) - prop.pl0_db;
-  return std::pow(10.0, budget / (10.0 * prop.exponent));
+  return phy::units::range_for_budget_m(budget, prop.exponent);
 }
 
 std::unique_ptr<Testbed> Testbed::line(int n, double spacing_m,
@@ -205,6 +206,7 @@ Testbed::Testbed(const TestbedConfig& cfg,
       medium_(std::make_unique<phy::Medium>(*sim_, cfg.propagation)) {
   medium_->set_spatial_culling(cfg.spatial_culling);
   medium_->set_gain_cache(cfg.link_gain_cache);
+  medium_->set_simd(cfg.simd);
   accounting_ = std::make_unique<PacketAccounting>(*medium_);
   fault_ = std::make_unique<fault::FaultPlane>(*sim_, *medium_);
 

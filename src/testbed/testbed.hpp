@@ -54,6 +54,11 @@ struct TestbedConfig {
   /// way; off forces recomputation per use for determinism audits.
   bool link_gain_cache = true;
 
+  /// Batched SIMD kernels in the medium (see phy::Medium::set_simd).
+  /// Bit-exact scalar fallback — byte-identical traces either way; off
+  /// forces the scalar path for determinism audits and the parity suite.
+  bool simd = true;
+
   /// Attach a flight recorder at construction and wire every layer's
   /// recording hooks into it (event loop, radios, MACs, stacks, routing,
   /// fault plane). Off = hooks stay null checks; no rings are allocated.

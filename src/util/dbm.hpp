@@ -1,22 +1,9 @@
-// Decibel arithmetic helpers shared by the PHY model and benches.
+// Interpolation/clamp helpers shared by the PHY register tables and
+// routing metrics. The dB/dBm power conversions that used to live here
+// moved to phy/units.hpp — the PHY plane's single canonical definition.
 #pragma once
 
-#include <cmath>
-
 namespace liteview::util {
-
-/// dBm → milliwatts.
-[[nodiscard]] inline double dbm_to_mw(double dbm) noexcept {
-  return std::pow(10.0, dbm / 10.0);
-}
-
-/// milliwatts → dBm. Requires mw > 0.
-[[nodiscard]] inline double mw_to_dbm(double mw) noexcept {
-  return 10.0 * std::log10(mw);
-}
-
-/// Sum two powers expressed in dBm (used when accumulating interference).
-[[nodiscard]] double dbm_add(double a_dbm, double b_dbm) noexcept;
 
 /// Linear interpolation.
 [[nodiscard]] inline double lerp(double a, double b, double t) noexcept {

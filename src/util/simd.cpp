@@ -1,0 +1,448 @@
+#include "util/simd.hpp"
+
+#include <bit>
+#include <cmath>
+
+// The AVX2 kernels are compiled with per-function target attributes and
+// selected at runtime, so the build flags (and every other translation
+// unit) stay baseline x86-64 and the same binary runs on hosts without
+// AVX2. LV_DISABLE_SIMD compiles them out for the forced-scalar CI lane.
+#if defined(__x86_64__) && !defined(LV_DISABLE_SIMD) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define LV_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define LV_SIMD_X86 0
+#endif
+
+namespace liteview::util::simd {
+
+namespace {
+
+void accumulate_scalar(double lanes[kLanes], const double* w,
+                       const double* g, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    lanes[i & (kLanes - 1)] = std::fma(w[i], g[i], lanes[i & (kLanes - 1)]);
+  }
+}
+
+void fma_axpy_scalar(double* acc, double w, const double* g,
+                     std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) acc[i] = std::fma(w, g[i], acc[i]);
+}
+
+std::size_t filter_scalar(const double* loss_db, std::size_t n, double tx,
+                          double headroom, double floor_dbm,
+                          std::uint32_t* out) noexcept {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!((tx - loss_db[i]) + headroom < floor_dbm)) {
+      out[kept++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return kept;
+}
+
+// ---- batched dB conversions ------------------------------------------------
+//
+// Shared coefficient tables: both code paths evaluate the *same*
+// polynomial with the same operation sequence, which is what makes the
+// scalar fallback bit-exact against the AVX2 lanes.
+
+/// 2^f on |f| <= 0.5 as exp(f·ln2): Taylor 1/i! through degree 10
+/// (truncation < 3e-13 relative).
+constexpr double kExpC[11] = {1.0,
+                              1.0,
+                              1.0 / 2.0,
+                              1.0 / 6.0,
+                              1.0 / 24.0,
+                              1.0 / 120.0,
+                              1.0 / 720.0,
+                              1.0 / 5040.0,
+                              1.0 / 40320.0,
+                              1.0 / 362880.0,
+                              1.0 / 3628800.0};
+
+/// atanh(s)/s = sum s^(2k)/(2k+1) through k = 7 (|s| <= sqrt2-1 / sqrt2+1
+/// after mantissa centering; truncation < 4e-14 relative).
+constexpr double kAtanhC[8] = {1.0,       1.0 / 3.0,  1.0 / 5.0,  1.0 / 7.0,
+                               1.0 / 9.0, 1.0 / 11.0, 1.0 / 13.0, 1.0 / 15.0};
+
+constexpr double kLog2Ten10th = 0.33219280948873623;  // log2(10)/10
+constexpr double kLn2 = 0.6931471805599453;
+constexpr double kTenOverLn10 = 4.342944819032518;    // 10/ln(10)
+constexpr double kSqrt2 = 1.4142135623730951;
+
+/// One element of db_to_linear_batch. noinline: the AVX2 tail calls this
+/// too, and inlining it into a fma-target function would let the compiler
+/// contract the explicit mul/add sequence into fused forms the plain
+/// scalar build does not emit — shearing the bit-exactness contract.
+__attribute__((noinline)) double db_to_linear_one(double db) noexcept {
+  const double t = db * kLog2Ten10th;
+  const double k = std::nearbyint(t);  // ties-to-even, like the vector round
+  const double y = (t - k) * kLn2;
+  double p = kExpC[10];
+  for (int i = 9; i >= 0; --i) p = std::fma(p, y, kExpC[i]);
+  const auto ki = static_cast<long long>(k);
+  const double scale =
+      std::bit_cast<double>(static_cast<std::uint64_t>(ki + 1023) << 52);
+  return p * scale;
+}
+
+/// One element of linear_to_db_batch (same noinline rationale).
+__attribute__((noinline)) double linear_to_db_one(double lin) noexcept {
+  const auto bits = std::bit_cast<std::uint64_t>(lin);
+  double e = static_cast<double>(static_cast<std::int64_t>(bits >> 52)) -
+             1023.0;
+  double m = std::bit_cast<double>((bits & 0x000fffffffffffffULL) |
+                                   0x3ff0000000000000ULL);
+  if (m > kSqrt2) {
+    m *= 0.5;
+    e += 1.0;
+  }
+  const double s = (m - 1.0) / (m + 1.0);
+  const double z = s * s;
+  double p = kAtanhC[7];
+  for (int i = 6; i >= 0; --i) p = std::fma(p, z, kAtanhC[i]);
+  const double sp = s * p;
+  const double ln_x = std::fma(e, kLn2, sp + sp);
+  return kTenOverLn10 * ln_x;
+}
+
+// ---- standard-normal quantile (Acklam) -------------------------------------
+
+/// Acklam's rational-approximation coefficients: central branch num/den
+/// in r = (u - 1/2)^2, tail branches num/den in q = sqrt(-2 log p).
+constexpr double kInvNormA[6] = {
+    -3.969683028665376e+01, 2.209460984245205e+02,  -2.759285104469687e+02,
+    1.383577518672690e+02,  -3.066479806614716e+01, 2.506628277459239e+00};
+constexpr double kInvNormB[5] = {
+    -5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+    6.680131188771972e+01,  -1.328068155288572e+01};
+constexpr double kInvNormC[6] = {
+    -7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+    -2.549732539343734e+00, 4.374664141464968e+00,  2.938163982698783e+00};
+constexpr double kInvNormD[4] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+constexpr double kInvNormPLow = 0.02425;
+
+/// One element of normal_quantile_batch (same noinline rationale as the
+/// conversion kernels: the AVX2 path calls this for tail lanes and the
+/// loop remainder, and it must not get re-contracted when inlined there).
+__attribute__((noinline)) double normal_quantile_one(double u) noexcept {
+  if (u < kInvNormPLow) {
+    const double q = std::sqrt(-2.0 * std::log(u));
+    double num = kInvNormC[0];
+    for (int i = 1; i < 6; ++i) num = std::fma(num, q, kInvNormC[i]);
+    double den = kInvNormD[0];
+    for (int i = 1; i < 4; ++i) den = std::fma(den, q, kInvNormD[i]);
+    den = std::fma(den, q, 1.0);
+    return num / den;
+  }
+  if (u > 1.0 - kInvNormPLow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - u));
+    double num = kInvNormC[0];
+    for (int i = 1; i < 6; ++i) num = std::fma(num, q, kInvNormC[i]);
+    double den = kInvNormD[0];
+    for (int i = 1; i < 4; ++i) den = std::fma(den, q, kInvNormD[i]);
+    den = std::fma(den, q, 1.0);
+    return -num / den;
+  }
+  const double q = u - 0.5;
+  const double r = q * q;
+  double num = kInvNormA[0];
+  for (int i = 1; i < 6; ++i) num = std::fma(num, r, kInvNormA[i]);
+  double den = kInvNormB[0];
+  for (int i = 1; i < 5; ++i) den = std::fma(den, r, kInvNormB[i]);
+  den = std::fma(den, r, 1.0);
+  return (num * q) / den;
+}
+
+void normal_quantile_scalar(const double* u, double* out,
+                            std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = normal_quantile_one(u[i]);
+}
+
+void db_to_linear_scalar(const double* db, double* out,
+                         std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = db_to_linear_one(db[i]);
+}
+
+void linear_to_db_scalar(const double* lin, double* out,
+                         std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = linear_to_db_one(lin[i]);
+}
+
+#if LV_SIMD_X86
+
+__attribute__((target("avx2,fma"))) void accumulate_avx2(
+    double lanes[kLanes], const double* w, const double* g,
+    std::size_t n) noexcept {
+  __m256d acc = _mm256_loadu_pd(lanes);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    acc = _mm256_fmadd_pd(_mm256_loadu_pd(w + i), _mm256_loadu_pd(g + i),
+                          acc);
+  }
+  _mm256_storeu_pd(lanes, acc);
+  // Tail starts 4-aligned, so i & 3 walks lanes 0.. just like the scalar
+  // emulation; vfmadd and std::fma round identically (one rounding each).
+  for (; i < n; ++i) {
+    lanes[i & (kLanes - 1)] = std::fma(w[i], g[i], lanes[i & (kLanes - 1)]);
+  }
+}
+
+__attribute__((target("avx2,fma"))) void fma_axpy_avx2(
+    double* acc, double w, const double* g, std::size_t n) noexcept {
+  const __m256d vw = _mm256_set1_pd(w);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm256_storeu_pd(
+        acc + i,
+        _mm256_fmadd_pd(vw, _mm256_loadu_pd(g + i), _mm256_loadu_pd(acc + i)));
+  }
+  for (; i < n; ++i) acc[i] = std::fma(w, g[i], acc[i]);
+}
+
+__attribute__((target("avx2"))) std::size_t filter_avx2(
+    const double* loss_db, std::size_t n, double tx, double headroom,
+    double floor_dbm, std::uint32_t* out) noexcept {
+  const __m256d vtx = _mm256_set1_pd(tx);
+  const __m256d vh = _mm256_set1_pd(headroom);
+  const __m256d vf = _mm256_set1_pd(floor_dbm);
+  std::size_t kept = 0;
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256d best = _mm256_add_pd(
+        _mm256_sub_pd(vtx, _mm256_loadu_pd(loss_db + i)), vh);
+    const int below =
+        _mm256_movemask_pd(_mm256_cmp_pd(best, vf, _CMP_LT_OQ));
+    if (below == 0xf) continue;  // whole block hopeless — the common case
+    for (int b = 0; b < static_cast<int>(kLanes); ++b) {
+      if ((below & (1 << b)) == 0) {
+        out[kept++] = static_cast<std::uint32_t>(i) +
+                      static_cast<std::uint32_t>(b);
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    if (!((tx - loss_db[i]) + headroom < floor_dbm)) {
+      out[kept++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return kept;
+}
+
+__attribute__((target("avx2,fma"))) void db_to_linear_avx2(
+    const double* db, double* out, std::size_t n) noexcept {
+  const __m256d vk10 = _mm256_set1_pd(kLog2Ten10th);
+  const __m256d vln2 = _mm256_set1_pd(kLn2);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256d t = _mm256_mul_pd(_mm256_loadu_pd(db + i), vk10);
+    const __m256d k =
+        _mm256_round_pd(t, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    const __m256d y = _mm256_mul_pd(_mm256_sub_pd(t, k), vln2);
+    __m256d p = _mm256_set1_pd(kExpC[10]);
+    for (int c = 9; c >= 0; --c) {
+      p = _mm256_fmadd_pd(p, y, _mm256_set1_pd(kExpC[c]));
+    }
+    // 2^k by exponent-field construction; k is exactly integral here.
+    const __m256i ki = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(k));
+    const __m256d scale = _mm256_castsi256_pd(_mm256_slli_epi64(
+        _mm256_add_epi64(ki, _mm256_set1_epi64x(1023)), 52));
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(p, scale));
+  }
+  for (; i < n; ++i) out[i] = db_to_linear_one(db[i]);
+}
+
+__attribute__((target("avx2,fma"))) void linear_to_db_avx2(
+    const double* lin, double* out, std::size_t n) noexcept {
+  const __m256i vmant = _mm256_set1_epi64x(0x000fffffffffffffLL);
+  const __m256i vone_bits = _mm256_set1_epi64x(0x3ff0000000000000LL);
+  const __m256i vmagic_bits = _mm256_set1_epi64x(0x4330000000000000LL);
+  const __m256d vmagic = _mm256_set1_pd(0x1.0p52);
+  const __m256d vbias = _mm256_set1_pd(1023.0);
+  const __m256d vsqrt2 = _mm256_set1_pd(kSqrt2);
+  const __m256d vhalf = _mm256_set1_pd(0.5);
+  const __m256d vone = _mm256_set1_pd(1.0);
+  const __m256d vln2 = _mm256_set1_pd(kLn2);
+  const __m256d vscale = _mm256_set1_pd(kTenOverLn10);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256i bits =
+        _mm256_castpd_si256(_mm256_loadu_pd(lin + i));
+    // Exponent field to double via the 2^52 bias trick (exact integers).
+    const __m256d e_raw = _mm256_sub_pd(
+        _mm256_castsi256_pd(
+            _mm256_or_si256(_mm256_srli_epi64(bits, 52), vmagic_bits)),
+        vmagic);
+    __m256d e = _mm256_sub_pd(e_raw, vbias);
+    __m256d m = _mm256_castsi256_pd(
+        _mm256_or_si256(_mm256_and_si256(bits, vmant), vone_bits));
+    const __m256d gt = _mm256_cmp_pd(m, vsqrt2, _CMP_GT_OQ);
+    m = _mm256_blendv_pd(m, _mm256_mul_pd(m, vhalf), gt);
+    e = _mm256_add_pd(e, _mm256_and_pd(gt, vone));
+    const __m256d s = _mm256_div_pd(_mm256_sub_pd(m, vone),
+                                    _mm256_add_pd(m, vone));
+    const __m256d z = _mm256_mul_pd(s, s);
+    __m256d p = _mm256_set1_pd(kAtanhC[7]);
+    for (int c = 6; c >= 0; --c) {
+      p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(kAtanhC[c]));
+    }
+    const __m256d sp = _mm256_mul_pd(s, p);
+    const __m256d ln_x = _mm256_fmadd_pd(e, vln2, _mm256_add_pd(sp, sp));
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(vscale, ln_x));
+  }
+  for (; i < n; ++i) out[i] = linear_to_db_one(lin[i]);
+}
+
+__attribute__((target("avx2,fma"))) void normal_quantile_avx2(
+    const double* u, double* out, std::size_t n) noexcept {
+  const __m256d vhalf = _mm256_set1_pd(0.5);
+  const __m256d vone = _mm256_set1_pd(1.0);
+  const __m256d vplow = _mm256_set1_pd(kInvNormPLow);
+  const __m256d vphigh = _mm256_set1_pd(1.0 - kInvNormPLow);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256d vu = _mm256_loadu_pd(u + i);
+    // Central branch for all four lanes (safe on tail inputs — q stays
+    // near +-1/2, nothing overflows), identical FMA sequence to the
+    // scalar reference.
+    const __m256d q = _mm256_sub_pd(vu, vhalf);
+    const __m256d r = _mm256_mul_pd(q, q);
+    __m256d num = _mm256_set1_pd(kInvNormA[0]);
+    for (int c = 1; c < 6; ++c) {
+      num = _mm256_fmadd_pd(num, r, _mm256_set1_pd(kInvNormA[c]));
+    }
+    __m256d den = _mm256_set1_pd(kInvNormB[0]);
+    for (int c = 1; c < 5; ++c) {
+      den = _mm256_fmadd_pd(den, r, _mm256_set1_pd(kInvNormB[c]));
+    }
+    den = _mm256_fmadd_pd(den, r, vone);
+    __m256d z = _mm256_div_pd(_mm256_mul_pd(num, q), den);
+    // Lanes whose u falls in a tail (~4.85% of uniform draws) are
+    // patched through the scalar function — bit-identical by
+    // construction, and the log+sqrt stays off the common path.
+    const int tails = _mm256_movemask_pd(
+        _mm256_or_pd(_mm256_cmp_pd(vu, vplow, _CMP_LT_OQ),
+                     _mm256_cmp_pd(vu, vphigh, _CMP_GT_OQ)));
+    if (tails != 0) [[unlikely]] {
+      alignas(32) double zz[kLanes];
+      _mm256_store_pd(zz, z);
+      for (std::size_t b = 0; b < kLanes; ++b) {
+        if ((tails & (1 << b)) != 0) zz[b] = normal_quantile_one(u[i + b]);
+      }
+      z = _mm256_load_pd(zz);
+    }
+    _mm256_storeu_pd(out + i, z);
+  }
+  for (; i < n; ++i) out[i] = normal_quantile_one(u[i]);
+}
+
+bool detect_cpu() noexcept {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+#else
+
+bool detect_cpu() noexcept { return false; }
+
+#endif  // LV_SIMD_X86
+
+}  // namespace
+
+bool cpu_supported() noexcept {
+  static const bool ok = detect_cpu();
+  return ok;
+}
+
+void accumulate(double lanes[kLanes], const double* w, const double* g,
+                std::size_t n, bool vec) noexcept {
+#if LV_SIMD_X86
+  if (vec) {
+    accumulate_avx2(lanes, w, g, n);
+    return;
+  }
+#endif
+  (void)vec;
+  accumulate_scalar(lanes, w, g, n);
+}
+
+double reduce(const double lanes[kLanes]) noexcept {
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+double weighted_sum(const double* w, const double* g, std::size_t n,
+                    bool vec) noexcept {
+  double lanes[kLanes] = {0.0, 0.0, 0.0, 0.0};
+  accumulate(lanes, w, g, n, vec);
+  return reduce(lanes);
+}
+
+void fma_axpy(double* acc, double w, const double* g, std::size_t n,
+              bool vec) noexcept {
+#if LV_SIMD_X86
+  if (vec) {
+    fma_axpy_avx2(acc, w, g, n);
+    return;
+  }
+#endif
+  (void)vec;
+  fma_axpy_scalar(acc, w, g, n);
+}
+
+std::size_t filter_reachable(const double* loss_db, std::size_t n,
+                             double tx_power_dbm, double headroom_db,
+                             double floor_dbm, std::uint32_t* out,
+                             bool vec) noexcept {
+#if LV_SIMD_X86
+  if (vec) {
+    return filter_avx2(loss_db, n, tx_power_dbm, headroom_db, floor_dbm,
+                       out);
+  }
+#endif
+  (void)vec;
+  return filter_scalar(loss_db, n, tx_power_dbm, headroom_db, floor_dbm,
+                       out);
+}
+
+void db_to_linear_batch(const double* db, double* out, std::size_t n,
+                        bool vec) noexcept {
+#if LV_SIMD_X86
+  if (vec) {
+    db_to_linear_avx2(db, out, n);
+    return;
+  }
+#endif
+  (void)vec;
+  db_to_linear_scalar(db, out, n);
+}
+
+void linear_to_db_batch(const double* lin, double* out, std::size_t n,
+                        bool vec) noexcept {
+#if LV_SIMD_X86
+  if (vec) {
+    linear_to_db_avx2(lin, out, n);
+    return;
+  }
+#endif
+  (void)vec;
+  linear_to_db_scalar(lin, out, n);
+}
+
+double normal_quantile(double u) noexcept { return normal_quantile_one(u); }
+
+void normal_quantile_batch(const double* u, double* out, std::size_t n,
+                           bool vec) noexcept {
+#if LV_SIMD_X86
+  if (vec) {
+    normal_quantile_avx2(u, out, n);
+    return;
+  }
+#endif
+  (void)vec;
+  normal_quantile_scalar(u, out, n);
+}
+
+}  // namespace liteview::util::simd

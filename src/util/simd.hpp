@@ -1,0 +1,101 @@
+// Batched double-precision kernels for the PHY hot loops, with a
+// bit-exact scalar fallback.
+//
+// The contract that makes SIMD safe under the determinism gate is a
+// *fixed accumulation order*: every kernel is specified in terms of
+// kLanes (= 4) independent accumulator lanes — element i always lands in
+// lane i & 3, each lane update is a single-rounding fused multiply-add,
+// and the final total is the fixed tree (l0 + l1) + (l2 + l3). The AVX2
+// path computes exactly that with one vfmadd per 4 elements; the scalar
+// path emulates the same lanes with std::fma. Both produce identical
+// bits, so traces are byte-identical with SIMD on or off
+// (tests/test_simd.cpp holds this element-by-element, and the medium
+// parity property holds it end to end).
+//
+// Callers may split one logical accumulation across several accumulate()
+// calls (the CCA early-exit path does, to peek at the partial total)
+// provided every call but the last covers a multiple of kLanes elements —
+// otherwise the lane assignment would shear between the split and
+// one-shot forms.
+//
+// Dispatch is per call: pass `vec = <your toggle> && cpu_supported()`.
+// There is no global state; compiling with LV_DISABLE_SIMD removes the
+// AVX2 path entirely (cpu_supported() returns false) so a forced-scalar
+// CI lane exercises the fallback on any host.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace liteview::util::simd {
+
+inline constexpr std::size_t kLanes = 4;
+
+/// True when the AVX2+FMA path was compiled in and this CPU supports it.
+[[nodiscard]] bool cpu_supported() noexcept;
+
+/// lanes[i & 3] = fma(w[i], g[i], lanes[i & 3]) for i in [0, n).
+void accumulate(double lanes[kLanes], const double* w, const double* g,
+                std::size_t n, bool vec) noexcept;
+
+/// The canonical lane reduction: (l0 + l1) + (l2 + l3).
+[[nodiscard]] double reduce(const double lanes[kLanes]) noexcept;
+
+/// Sum of w[i] * g[i] under the lane contract (fresh lanes + reduce).
+[[nodiscard]] double weighted_sum(const double* w, const double* g,
+                                  std::size_t n, bool vec) noexcept;
+
+/// acc[i] = fma(w, g[i], acc[i]) for i in [0, n). Element-wise (no
+/// cross-element accumulation), so it is exact in any order.
+void fma_axpy(double* acc, double w, const double* g, std::size_t n,
+              bool vec) noexcept;
+
+/// Candidate pre-filter for the transmit walk: keep index i unless
+/// (tx_power_dbm - loss_db[i]) + headroom_db < floor_dbm — i.e. unless
+/// even the best fading draw cannot clear the sensitivity floor. Writes
+/// surviving indices (ascending) to `out` (capacity >= n) and returns how
+/// many survived. The comparison is the exact scalar expression, lane
+/// parallel.
+[[nodiscard]] std::size_t filter_reachable(const double* loss_db,
+                                           std::size_t n,
+                                           double tx_power_dbm,
+                                           double headroom_db,
+                                           double floor_dbm,
+                                           std::uint32_t* out,
+                                           bool vec) noexcept;
+
+/// Batched dB→linear conversion: out[i] = 10^(db[i] / 10), the same
+/// mapping as phy::units::db_to_linear but via a fixed polynomial kernel
+/// (2^t split into integer exponent + degree-10 Taylor on the fraction,
+/// relative error < 1e-12) instead of libm pow. Element-wise, and the
+/// scalar fallback replays the identical operation sequence with
+/// std::fma, so the result is bit-identical with SIMD on or off —
+/// which libm could not promise across builds, let alone lanes.
+/// Precondition: |db[i]| <= 3000 and finite (exponent range).
+void db_to_linear_batch(const double* db, double* out, std::size_t n,
+                        bool vec) noexcept;
+
+/// Batched linear→dB conversion: out[i] = 10 * log10(lin[i]) via
+/// exponent/mantissa split + atanh series (relative error < 1e-12 on the
+/// log), same bit-exactness contract as db_to_linear_batch.
+/// Precondition: lin[i] positive, finite and normal (no denormals).
+void linear_to_db_batch(const double* lin, double* out, std::size_t n,
+                        bool vec) noexcept;
+
+/// Standard-normal quantile (inverse CDF) by Acklam's rational
+/// approximation, |relative error| < 1.2e-9 across (0, 1). The central
+/// region (u within [0.02425, 0.97575], ~95% of uniform draws) is two
+/// FMA Horner chains and one division; only the tails pay a libm
+/// log+sqrt. This per-element form is the bit-exact reference the batch
+/// replays. Precondition: 0 < u < 1.
+[[nodiscard]] double normal_quantile(double u) noexcept;
+
+/// out[i] = normal_quantile(u[i]). Element-wise; the AVX2 path computes
+/// the central branch four lanes at a time with the identical FMA
+/// sequence and patches tail lanes through the scalar function, so the
+/// result is bit-identical with SIMD on or off. In-place (out == u) is
+/// allowed.
+void normal_quantile_batch(const double* u, double* out, std::size_t n,
+                           bool vec) noexcept;
+
+}  // namespace liteview::util::simd

@@ -48,6 +48,10 @@ churn 2,3,11,23,31 period=1500ms down=500ms until=11s
 struct RunOptions {
   bool spatial_culling = true;
   bool gain_cache = true;
+  /// Batched SIMD kernels in the medium. The scalar fallback replays the
+  /// exact lane-blocked accumulation order, so toggling this must not
+  /// perturb the behavior trace by a single byte.
+  bool simd = true;
   /// Attach a full flight recorder to every layer. Must not perturb the
   /// behavior trace by a single byte.
   bool flight_recorder = false;
@@ -67,6 +71,7 @@ RunResult run_scenario(std::uint64_t seed, const RunOptions& opt) {
   cfg.seed = seed;
   cfg.spatial_culling = opt.spatial_culling;
   cfg.link_gain_cache = opt.gain_cache;
+  cfg.simd = opt.simd;
   cfg.flight_recorder = opt.flight_recorder;
   auto tb = testbed::Testbed::random_square(kNodes, kSideM, kMinSpacingM, cfg);
 
@@ -196,12 +201,29 @@ TEST(Determinism, GainCacheIsInvisible) {
   expect_identical(cached.behavior, recomputed.behavior, "det_gain_cache");
 }
 
+TEST(Determinism, SimdKernelsAreInvisible) {
+  // The batched AVX2 plane vs. the forced-scalar fallback, end to end:
+  // identical lane-blocked accumulation order, identical RNG stream
+  // consumption (the fast paths shed the same receptions), so the full
+  // multi-fault trace is byte-identical with SIMD on vs. off. On a host
+  // without AVX2 (or under LV_DISABLE_SIMD) both runs take the scalar
+  // path and this degenerates to SameSeedSameTrace — still a valid gate.
+  RunOptions scalar;
+  scalar.simd = false;
+  const auto vec = run_scenario(1234, {});
+  const auto plain = run_scenario(1234, scalar);
+  ASSERT_FALSE(vec.behavior.empty());
+  expect_identical(vec.behavior, plain.behavior, "det_simd");
+}
+
 TEST(Determinism, GainCacheAndCullingComposeInvisibly) {
-  // Both optimizations off together — the fully naive O(n) recomputing
-  // medium — against both on (the production configuration).
+  // All the medium's optimizations off together — the fully naive O(n)
+  // recomputing scalar medium — against all on (the production
+  // configuration).
   RunOptions naive;
   naive.spatial_culling = false;
   naive.gain_cache = false;
+  naive.simd = false;
   const auto fast = run_scenario(1234, {});
   const auto slow = run_scenario(1234, naive);
   ASSERT_FALSE(fast.behavior.empty());

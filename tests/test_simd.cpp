@@ -1,0 +1,585 @@
+// Parity and accuracy suite for the batched PHY plane.
+//
+// Three layers of the same contract:
+//   * SimdKernels — every kernel in util/simd.hpp produces bit-identical
+//     results with `vec` on and off (the AVX2 path vs. the scalar
+//     fma-lane emulation), across sizes that cover every tail shape, and
+//     matches a hand-written lane reference.
+//   * Units / Ber — the dedup'd dB/dBm helpers and the batched BER→PER
+//     kernel track their scalar definitions (bit-for-bit where promised,
+//     within stated tolerance where the batch uses the polynomial
+//     exponential kernel instead of libm).
+//   * MediumSimdParity — a 500-radio multi-channel deployment driven
+//     through a 200-step randomized mutation script, simulated twice with
+//     only the SIMD toggle different: every probed channel power, every
+//     delivered RxInfo, every counter, and the checkpoint snapshot bytes
+//     must be identical.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "phy/ber.hpp"
+#include "phy/medium.hpp"
+#include "phy/propagation.hpp"
+#include "phy/units.hpp"
+#include "sim/simulator.hpp"
+#include "util/bytes.hpp"
+#include "util/simd.hpp"
+
+namespace liteview {
+namespace {
+
+namespace simd = util::simd;
+
+/// Bit pattern of a double — the currency of every parity assertion here.
+std::uint64_t bits(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+#define EXPECT_BIT_EQ(a, b) EXPECT_EQ(bits(a), bits(b))
+#define ASSERT_BIT_EQ(a, b) ASSERT_EQ(bits(a), bits(b))
+
+// ---- util/simd kernels -------------------------------------------------
+
+TEST(SimdKernels, ReduceIsTheFixedTree) {
+  // (l0 + l1) + (l2 + l3) — NOT left-to-right. The catastrophic-
+  // cancellation lanes make any other association produce different bits.
+  const double lanes[simd::kLanes] = {1e16, 1.0, -1e16, 2.0};
+  EXPECT_BIT_EQ(simd::reduce(lanes), (1e16 + 1.0) + (-1e16 + 2.0));
+}
+
+TEST(SimdKernels, AccumulateMatchesLaneReferenceAllSizes) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  for (std::size_t n = 0; n <= 67; ++n) {
+    std::vector<double> w(n), g(n);
+    for (auto& v : w) v = dist(rng);
+    for (auto& v : g) v = dist(rng);
+    // The specification, literally: lane i&3, one fma per element.
+    double ref[simd::kLanes] = {0.0, 0.0, 0.0, 0.0};
+    for (std::size_t i = 0; i < n; ++i) {
+      ref[i & 3] = std::fma(w[i], g[i], ref[i & 3]);
+    }
+    for (const bool vec : {false, true}) {
+      double lanes[simd::kLanes] = {0.0, 0.0, 0.0, 0.0};
+      simd::accumulate(lanes, w.data(), g.data(), n, vec);
+      for (std::size_t l = 0; l < simd::kLanes; ++l) {
+        ASSERT_BIT_EQ(lanes[l], ref[l]) << "n=" << n << " vec=" << vec;
+      }
+      ASSERT_BIT_EQ(simd::weighted_sum(w.data(), g.data(), n, vec),
+                    simd::reduce(ref))
+          << "n=" << n << " vec=" << vec;
+    }
+  }
+}
+
+TEST(SimdKernels, SplitAccumulateEqualsOneShot) {
+  // The CCA early-exit path peeks at partial sums: any split where every
+  // call but the last covers a multiple of kLanes must land on the same
+  // lanes as the one-shot call.
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  constexpr std::size_t kN = 23;
+  double w[kN], g[kN];
+  for (auto& v : w) v = dist(rng);
+  for (auto& v : g) v = dist(rng);
+  for (const bool vec : {false, true}) {
+    double oneshot[simd::kLanes] = {0.0, 0.0, 0.0, 0.0};
+    simd::accumulate(oneshot, w, g, kN, vec);
+    for (const std::size_t cut : {std::size_t{0}, std::size_t{4},
+                                  std::size_t{8}, std::size_t{20}}) {
+      double split[simd::kLanes] = {0.0, 0.0, 0.0, 0.0};
+      simd::accumulate(split, w, g, cut, vec);
+      simd::accumulate(split, w + cut, g + cut, kN - cut, vec);
+      for (std::size_t l = 0; l < simd::kLanes; ++l) {
+        ASSERT_BIT_EQ(split[l], oneshot[l]) << "cut=" << cut << " vec=" << vec;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, FmaAxpyMatchesScalarFma) {
+  std::mt19937_64 rng(13);
+  std::uniform_real_distribution<double> dist(-3.0, 3.0);
+  for (std::size_t n = 0; n <= 19; ++n) {
+    std::vector<double> g(n), base(n);
+    for (auto& v : g) v = dist(rng);
+    for (auto& v : base) v = dist(rng);
+    const double w = dist(rng);
+    std::vector<double> ref(base);
+    for (std::size_t i = 0; i < n; ++i) ref[i] = std::fma(w, g[i], ref[i]);
+    for (const bool vec : {false, true}) {
+      std::vector<double> acc(base);
+      simd::fma_axpy(acc.data(), w, g.data(), n, vec);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_BIT_EQ(acc[i], ref[i]) << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, FilterReachableMatchesScalarPredicate) {
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> loss(40.0, 140.0);
+  constexpr double kPower = -10.0, kHeadroom = 4.0, kFloor = -94.0;
+  for (std::size_t n = 0; n <= 67; ++n) {
+    std::vector<double> loss_db(n);
+    for (auto& v : loss_db) v = loss(rng);
+    std::vector<std::uint32_t> expect;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!((kPower - loss_db[i]) + kHeadroom < kFloor)) {
+        expect.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    for (const bool vec : {false, true}) {
+      std::vector<std::uint32_t> out(n + 1, 0xdeadbeef);
+      const std::size_t kept = simd::filter_reachable(
+          loss_db.data(), n, kPower, kHeadroom, kFloor, out.data(), vec);
+      ASSERT_EQ(kept, expect.size()) << "n=" << n << " vec=" << vec;
+      for (std::size_t i = 0; i < kept; ++i) ASSERT_EQ(out[i], expect[i]);
+    }
+  }
+}
+
+TEST(SimdKernels, DbToLinearBatchToggleAndAccuracy) {
+  std::mt19937_64 rng(19);
+  std::uniform_real_distribution<double> db(-250.0, 250.0);
+  std::vector<double> in;
+  for (int i = 0; i < 257; ++i) in.push_back(db(rng));
+  for (const double edge : {0.0, 10.0, -10.0, 3.0103, -96.7, 300.0, -300.0}) {
+    in.push_back(edge);
+  }
+  std::vector<double> scalar(in.size()), vec(in.size());
+  simd::db_to_linear_batch(in.data(), scalar.data(), in.size(), false);
+  simd::db_to_linear_batch(in.data(), vec.data(), in.size(), true);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    ASSERT_BIT_EQ(scalar[i], vec[i]) << "db=" << in[i];
+    const double ref = phy::units::db_to_linear(in[i]);
+    ASSERT_NEAR(scalar[i] / ref, 1.0, 1e-11) << "db=" << in[i];
+  }
+}
+
+TEST(SimdKernels, LinearToDbBatchToggleAccuracyAndRoundTrip) {
+  std::mt19937_64 rng(23);
+  std::uniform_real_distribution<double> db(-250.0, 250.0);
+  std::vector<double> lin;
+  for (int i = 0; i < 257; ++i) lin.push_back(std::pow(10.0, db(rng) / 10.0));
+  for (const double edge : {1.0, 2.0, 0.5, 1e-30, 1e30}) lin.push_back(edge);
+  std::vector<double> scalar(lin.size()), vec(lin.size());
+  simd::linear_to_db_batch(lin.data(), scalar.data(), lin.size(), false);
+  simd::linear_to_db_batch(lin.data(), vec.data(), lin.size(), true);
+  std::vector<double> back(lin.size());
+  simd::db_to_linear_batch(scalar.data(), back.data(), lin.size(), false);
+  for (std::size_t i = 0; i < lin.size(); ++i) {
+    ASSERT_BIT_EQ(scalar[i], vec[i]) << "lin=" << lin[i];
+    const double ref = phy::units::linear_to_db(lin[i]);
+    ASSERT_NEAR(scalar[i], ref, 1e-9 * std::max(1.0, std::fabs(ref)))
+        << "lin=" << lin[i];
+    // Kernel-internal round trip: dB → linear → dB.
+    ASSERT_NEAR(back[i] / lin[i], 1.0, 1e-10) << "lin=" << lin[i];
+  }
+}
+
+TEST(SimdKernels, NormalQuantileToggleParityIncludingTails) {
+  std::mt19937_64 rng(29);
+  std::uniform_real_distribution<double> uni(
+      std::numeric_limits<double>::min(), 1.0);
+  std::vector<double> u;
+  for (int i = 0; i < 509; ++i) u.push_back(uni(rng));
+  // Force both tails (the AVX2 path patches those lanes through the
+  // scalar function — make sure patched and unpatched lanes mix).
+  for (const double t : {1e-12, 1e-3, 0.0242, 0.0243, 0.5, 0.9757, 0.9758,
+                         0.999, 1.0 - 1e-12}) {
+    u.push_back(t);
+  }
+  std::vector<double> scalar(u.size()), vec(u.size());
+  simd::normal_quantile_batch(u.data(), scalar.data(), u.size(), false);
+  simd::normal_quantile_batch(u.data(), vec.data(), u.size(), true);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    ASSERT_BIT_EQ(scalar[i], vec[i]) << "u=" << u[i];
+    ASSERT_BIT_EQ(scalar[i], simd::normal_quantile(u[i])) << "u=" << u[i];
+  }
+}
+
+TEST(SimdKernels, NormalQuantileAccuracyAgainstNormalCdf) {
+  // Φ(normal_quantile(u)) == u within Acklam's stated error. Φ via erfc
+  // is accurate to a few ULP, so this pins the quantile end to end.
+  EXPECT_NEAR(simd::normal_quantile(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(simd::normal_quantile(0.5), 0.0, 1e-15);
+  std::mt19937_64 rng(31);
+  std::uniform_real_distribution<double> uni(1e-9, 1.0 - 1e-9);
+  for (int i = 0; i < 2000; ++i) {
+    const double u = uni(rng);
+    const double z = simd::normal_quantile(u);
+    const double phi = 0.5 * std::erfc(-z / std::sqrt(2.0));
+    ASSERT_NEAR(phi, u, 2e-9 * std::max(u, 1.0 - u) + 1e-15) << "u=" << u;
+  }
+}
+
+TEST(SimdKernels, NormalQuantileBatchInPlace) {
+  std::vector<double> u = {0.01, 0.2, 0.5, 0.8, 0.99, 0.3, 0.7};
+  std::vector<double> ref(u.size());
+  simd::normal_quantile_batch(u.data(), ref.data(), u.size(), true);
+  simd::normal_quantile_batch(u.data(), u.data(), u.size(), true);
+  for (std::size_t i = 0; i < u.size(); ++i) ASSERT_BIT_EQ(u[i], ref[i]);
+}
+
+// ---- phy/units ---------------------------------------------------------
+
+TEST(Units, ExhaustiveDbRoundTrip) {
+  // Every tenth of a dB across the simulator's entire dynamic range:
+  // dB → linear → dB must come back to within an ULP-scale tolerance,
+  // and the linear value must match libm pow exactly (the helpers ARE
+  // pow/log10 — this pins them against accidental "optimization").
+  for (int i = -3000; i <= 3000; ++i) {
+    const double db = static_cast<double>(i) / 10.0;
+    const double lin = phy::units::db_to_linear(db);
+    ASSERT_BIT_EQ(lin, std::pow(10.0, db / 10.0));
+    ASSERT_NEAR(phy::units::linear_to_db(lin), db,
+                1e-10 * std::max(1.0, std::fabs(db)));
+  }
+}
+
+TEST(Units, DbmMwAliasesAreTheSameMapping) {
+  for (const double v : {-135.0, -77.0, -10.0, 0.0, 3.0, 30.0}) {
+    ASSERT_BIT_EQ(phy::units::dbm_to_mw(v), phy::units::db_to_linear(v));
+  }
+  for (const double v : {1e-12, 1.0, 42.0}) {
+    ASSERT_BIT_EQ(phy::units::mw_to_dbm(v), phy::units::linear_to_db(v));
+  }
+  EXPECT_DOUBLE_EQ(phy::units::dbm_to_mw(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(phy::units::dbm_to_mw(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(phy::units::mw_to_dbm(100.0), 20.0);
+}
+
+TEST(Units, DbmAddProperties) {
+  // Equal powers: +3.0103 dB. Commutative bitwise. Dominant term wins.
+  EXPECT_NEAR(phy::units::dbm_add(-50.0, -50.0), -50.0 + 10.0 * std::log10(2.0),
+              1e-12);
+  std::mt19937_64 rng(37);
+  std::uniform_real_distribution<double> dbm(-130.0, 10.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = dbm(rng), b = dbm(rng);
+    const double s = phy::units::dbm_add(a, b);
+    ASSERT_BIT_EQ(s, phy::units::dbm_add(b, a));
+    ASSERT_GE(s, std::max(a, b) - 1e-9);
+    ASSERT_LE(s, std::max(a, b) + 10.0 * std::log10(2.0) + 1e-9);
+  }
+  // Zero power (-inf dBm) collapses to the -300 floor, not NaN.
+  const double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(phy::units::dbm_add(ninf, ninf), -300.0);
+  EXPECT_NEAR(phy::units::dbm_add(-60.0, ninf), -60.0, 1e-12);
+}
+
+TEST(Units, RangeForBudgetInvertsLogDistance) {
+  EXPECT_DOUBLE_EQ(phy::units::range_for_budget_m(30.0, 3.0), 10.0);
+  EXPECT_DOUBLE_EQ(phy::units::range_for_budget_m(40.0, 2.0), 100.0);
+  // Round trip through the path-loss expression it inverts.
+  for (const double budget : {13.0, 55.5, 92.0}) {
+    const double d = phy::units::range_for_budget_m(budget, 3.0);
+    ASSERT_NEAR(10.0 * 3.0 * std::log10(d), budget, 1e-9);
+  }
+}
+
+// ---- phy/ber batch -----------------------------------------------------
+
+TEST(Ber, DbAndLinearEntryPointsBitIdentical) {
+  // The two hand-kept loop bodies in ber.cpp must never drift: the dB
+  // entry point (the benchmark anchor) is the linear one composed with
+  // db_to_linear, bit for bit.
+  for (int i = -1000; i <= 1200; ++i) {
+    const double db = static_cast<double>(i) / 100.0;
+    ASSERT_BIT_EQ(phy::per_oqpsk(db, 1016),
+                  phy::per_oqpsk_lin(phy::units::db_to_linear(db), 1016))
+        << "db=" << db;
+    ASSERT_BIT_EQ(phy::ber_oqpsk(db),
+                  phy::ber_oqpsk_lin(phy::units::db_to_linear(db)))
+        << "db=" << db;
+  }
+}
+
+TEST(Ber, BatchToggleParityAndLibmTracking) {
+  // The batch kernel routes e^x through the polynomial 10^(d/10) kernel:
+  // bit-identical across the SIMD toggle (the contract the determinism
+  // gate needs), and within ~1e-9 of the libm scalar (the accuracy the
+  // physics needs). Inputs span the mid band the medium actually sends.
+  std::mt19937_64 rng(41);
+  std::uniform_real_distribution<double> sinr(1e-6, phy::kPerNegligibleSinrLin);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{8},
+                              std::size_t{17}, std::size_t{64}}) {
+    std::vector<double> in(n);
+    for (auto& v : in) v = sinr(rng);
+    std::vector<double> scalar(n), vec(n);
+    phy::per_oqpsk_lin_batch(in.data(), 1016, scalar.data(), n, false);
+    phy::per_oqpsk_lin_batch(in.data(), 1016, vec.data(), n, true);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_BIT_EQ(scalar[i], vec[i]) << "sinr=" << in[i];
+      const double ref = phy::per_oqpsk_lin(in[i], 1016);
+      ASSERT_NEAR(scalar[i], ref, 5e-8 * std::max(ref, 1e-3))
+          << "sinr=" << in[i];
+      ASSERT_GE(scalar[i], 0.0);
+      ASSERT_LE(scalar[i], 1.0);
+    }
+  }
+}
+
+TEST(Ber, BatchInPlaceAndZeroBits) {
+  std::vector<double> v = {0.5, 1.0, 2.0, 3.5};
+  std::vector<double> ref(v.size());
+  phy::per_oqpsk_lin_batch(v.data(), 1016, ref.data(), v.size(), true);
+  phy::per_oqpsk_lin_batch(v.data(), 1016, v.data(), v.size(), true);
+  for (std::size_t i = 0; i < v.size(); ++i) ASSERT_BIT_EQ(v[i], ref[i]);
+  std::vector<double> z = {0.5, 1.0};
+  phy::per_oqpsk_lin_batch(z.data(), 0, z.data(), z.size(), true);
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+  EXPECT_DOUBLE_EQ(z[1], 0.0);
+}
+
+TEST(Ber, NegligibleSinrCutoffIsActuallyNegligible) {
+  // The delivery fast path skips the PER draw above this linear SINR; the
+  // skipped probability must be far below anything a simulation of any
+  // realistic length could observe.
+  EXPECT_LT(phy::per_oqpsk_lin(phy::kPerNegligibleSinrLin, 1016), 1e-13);
+  EXPECT_LT(phy::per_oqpsk(phy::units::linear_to_db(phy::kPerNegligibleSinrLin),
+                           8 * 127),
+            1e-13);
+}
+
+// ---- end-to-end medium parity -----------------------------------------
+
+/// Records every delivery as plain numbers (bit patterns for the doubles)
+/// so two worlds' logs compare exactly.
+class LogSink : public phy::MediumClient {
+ public:
+  void on_frame(const std::vector<std::uint8_t>& psdu,
+                const phy::RxInfo& info) override {
+    log.push_back(psdu.size());
+    log.push_back(bits(info.rx_power_dbm));
+    log.push_back(bits(info.sinr_db));
+    log.push_back(static_cast<std::uint64_t>(
+        static_cast<std::uint8_t>(info.rssi_reg)));
+    log.push_back(info.lqi);
+    log.push_back(info.crc_ok ? 1 : 0);
+    log.push_back(info.from);
+  }
+  std::vector<std::uint64_t> log;
+};
+
+/// One mutation script step. Generated once, applied to both worlds.
+struct Op {
+  enum Kind : std::uint8_t {
+    kMove,
+    kRetune,
+    kAttach,
+    kDetach,
+    kTransmit,
+    kRun,
+    kProbe
+  } kind;
+  std::uint32_t radio = 0;  // victim index into the (growing) radio list
+  double a = 0.0, b = 0.0;  // position / power
+  std::uint8_t channel = 0;
+  std::uint32_t len = 0;  // PSDU bytes / run microseconds
+};
+
+constexpr std::size_t kParityRadios = 500;
+constexpr int kParityMutations = 200;
+constexpr std::uint8_t kParityChannels[4] = {15, 17, 19, 21};
+
+/// Deterministic script: every random decision happens HERE, once —
+/// applying the script is then pure mechanics, identical for both worlds.
+std::vector<Op> make_script() {
+  std::mt19937_64 rng(0xa11ce5);
+  std::uniform_real_distribution<double> pos(0.0, 600.0);
+  std::uniform_int_distribution<int> pick_chan(0, 3);
+  std::uniform_int_distribution<int> pick_kind(0, 99);
+  std::uniform_int_distribution<std::uint32_t> len(4, 120);
+  const double powers[3] = {0.0, -5.0, -10.0};
+  std::vector<Op> script;
+  std::uint32_t radios = kParityRadios;
+  std::vector<std::uint8_t> alive(radios, 1);
+  std::uniform_int_distribution<std::uint32_t> pick_radio(0, radios - 1);
+  auto pick_alive = [&]() -> std::uint32_t {
+    for (;;) {
+      const std::uint32_t r =
+          std::uniform_int_distribution<std::uint32_t>(0, radios - 1)(rng);
+      if (alive[r]) return r;
+    }
+  };
+  for (int m = 0; m < kParityMutations; ++m) {
+    const int k = pick_kind(rng);
+    Op op;
+    if (k < 15) {
+      op = {Op::kMove, pick_alive(), pos(rng), pos(rng), 0, 0};
+    } else if (k < 27) {
+      op = {Op::kRetune, pick_alive(), 0, 0,
+            kParityChannels[pick_chan(rng)], 0};
+    } else if (k < 32) {
+      op = {Op::kAttach, 0, pos(rng), pos(rng),
+            kParityChannels[pick_chan(rng)], 0};
+      alive.push_back(1);
+      ++radios;
+    } else if (k < 37) {
+      op = {Op::kDetach, pick_alive(), 0, 0, 0, 0};
+      alive[op.radio] = 0;
+    } else if (k < 75) {
+      op = {Op::kTransmit, pick_alive(),
+            powers[std::uniform_int_distribution<int>(0, 2)(rng)], 0, 0,
+            len(rng)};
+    } else if (k < 90) {
+      // Partial airtimes on purpose: probes then see mid-flight energy.
+      op = {Op::kRun, 0, 0, 0, 0,
+            std::uniform_int_distribution<std::uint32_t>(100, 4000)(rng)};
+    } else {
+      op = {Op::kProbe, 0, 0, 0, 0, 0};
+    }
+    script.push_back(op);
+  }
+  script.push_back({Op::kRun, 0, 0, 0, 0, 20000});  // drain the air
+  script.push_back({Op::kProbe, 0, 0, 0, 0, 0});
+  return script;
+}
+
+/// Everything observable from one world's run, as exact integers.
+struct Digest {
+  std::vector<std::uint64_t> probes;    // channel power bits + CCA verdicts
+  std::vector<std::uint64_t> rx;        // concatenated sink logs
+  std::vector<std::uint64_t> counters;
+  std::vector<std::uint8_t> snapshot;
+};
+
+Digest run_world(const std::vector<Op>& script, bool simd_on) {
+  sim::Simulator sim(20260808);
+  phy::PropagationConfig prop;  // all sigmas on: fading + shadowing live
+  phy::Medium medium(sim, prop);
+  medium.set_simd(simd_on);
+
+  std::deque<LogSink> sinks;  // deque: stable addresses across growth
+  std::vector<phy::RadioId> ids;
+  std::vector<std::uint8_t> alive;
+  // Same base deployment in both worlds (script rng never touches this).
+  std::mt19937_64 rng(0xdeaf);
+  std::uniform_real_distribution<double> pos(0.0, 600.0);
+  std::uniform_int_distribution<int> pick_chan(0, 3);
+  for (std::size_t i = 0; i < kParityRadios; ++i) {
+    sinks.emplace_back();
+    ids.push_back(medium.attach(&sinks.back(), {pos(rng), pos(rng)},
+                                kParityChannels[pick_chan(rng)]));
+    alive.push_back(1);
+  }
+
+  Digest d;
+  auto probe = [&] {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (!alive[i]) continue;
+      const double p = medium.channel_power_dbm(ids[i]);
+      d.probes.push_back(bits(p));
+      d.probes.push_back(medium.cca_clear(ids[i]) ? 1 : 0);
+      d.probes.push_back(medium.cca_clear(ids[i], -95.0) ? 1 : 0);
+    }
+  };
+
+  std::uint32_t payload_tag = 0;
+  for (const Op& op : script) {
+    switch (op.kind) {
+      case Op::kMove:
+        medium.set_position(ids[op.radio], {op.a, op.b});
+        break;
+      case Op::kRetune:
+        medium.set_channel(ids[op.radio], op.channel);
+        break;
+      case Op::kAttach:
+        sinks.emplace_back();
+        ids.push_back(
+            medium.attach(&sinks.back(), {op.a, op.b}, op.channel));
+        alive.push_back(1);
+        break;
+      case Op::kDetach:
+        medium.detach(ids[op.radio]);
+        alive[op.radio] = 0;
+        break;
+      case Op::kTransmit: {
+        if (medium.transmitting(ids[op.radio])) break;  // MAC would defer
+        std::vector<std::uint8_t> psdu(op.len);
+        for (std::uint32_t j = 0; j < op.len; ++j) {
+          psdu[j] = static_cast<std::uint8_t>(payload_tag + j);
+        }
+        ++payload_tag;
+        medium.transmit(ids[op.radio], op.a,
+                        std::span<const std::uint8_t>(psdu));
+        break;
+      }
+      case Op::kRun:
+        sim.run_for(sim::SimTime::us(op.len));
+        break;
+      case Op::kProbe:
+        probe();
+        break;
+    }
+  }
+  sim.run();  // everything lands
+
+  for (const auto& s : sinks) {
+    d.rx.insert(d.rx.end(), s.log.begin(), s.log.end());
+  }
+  d.counters = {medium.frames_sent(),
+                medium.frames_delivered(),
+                medium.frames_corrupted(),
+                medium.frames_below_sensitivity(),
+                medium.frames_missed_busy_rx(),
+                medium.frames_missed_retune(),
+                medium.frames_dropped_fault(),
+                sim.executed_events()};
+  util::ByteWriter w;
+  medium.snapshot(w);
+  d.snapshot = w.data();
+  return d;
+}
+
+TEST(MediumSimdParity, FiveHundredRadioMutationScriptIsToggleInvariant) {
+  // The end-to-end form of the whole suite: if ANY batched kernel, gather
+  // order, fast path, or RNG-stream interaction differs between the SIMD
+  // and scalar planes, some probed power bit, RxInfo bit, counter, or
+  // snapshot byte diverges here.
+  const auto script = make_script();
+  const Digest with_simd = run_world(script, true);
+  const Digest scalar = run_world(script, false);
+
+  ASSERT_EQ(with_simd.counters.size(), scalar.counters.size());
+  for (std::size_t i = 0; i < scalar.counters.size(); ++i) {
+    EXPECT_EQ(with_simd.counters[i], scalar.counters[i]) << "counter " << i;
+  }
+  ASSERT_EQ(with_simd.probes.size(), scalar.probes.size());
+  for (std::size_t i = 0; i < scalar.probes.size(); ++i) {
+    ASSERT_EQ(with_simd.probes[i], scalar.probes[i]) << "probe word " << i;
+  }
+  ASSERT_EQ(with_simd.rx.size(), scalar.rx.size());
+  for (std::size_t i = 0; i < scalar.rx.size(); ++i) {
+    ASSERT_EQ(with_simd.rx[i], scalar.rx[i]) << "rx word " << i;
+  }
+  ASSERT_EQ(with_simd.snapshot, scalar.snapshot);
+  // Sanity: the script actually exercised the medium.
+  EXPECT_GT(scalar.counters[0], 50u);  // frames sent
+  EXPECT_GT(scalar.counters[1], 0u);   // frames delivered
+}
+
+TEST(MediumSimdParity, ToggleReportsCompiledState) {
+  sim::Simulator sim(1);
+  phy::Medium medium(sim, phy::PropagationConfig{});
+  medium.set_simd(true);
+  EXPECT_EQ(medium.simd_active(), simd::cpu_supported());
+  medium.set_simd(false);
+  EXPECT_FALSE(medium.simd_active());
+}
+
+}  // namespace
+}  // namespace liteview

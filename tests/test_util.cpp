@@ -249,19 +249,15 @@ TEST(Strings, FormatBasic) {
 }
 
 // ---- dbm ----------------------------------------------------------------
+// The dB/dBm conversions moved to phy/units.hpp; their round-trip and
+// dbm_add properties are pinned by the Units suite in tests/test_simd.cpp.
 
-TEST(Dbm, RoundTrip) {
-  for (double dbm : {-95.0, -45.0, 0.0, 10.0}) {
-    EXPECT_NEAR(mw_to_dbm(dbm_to_mw(dbm)), dbm, 1e-9);
-  }
-}
-
-TEST(Dbm, AddEqualPowersGainsThreeDb) {
-  EXPECT_NEAR(dbm_add(-90.0, -90.0), -86.99, 0.02);
-}
-
-TEST(Dbm, AddDominatedByStronger) {
-  EXPECT_NEAR(dbm_add(-50.0, -90.0), -50.0, 0.01);
+TEST(Dbm, LerpAndClamp) {
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(clampd(5.0, 0.0, 4.0), 4.0);
+  EXPECT_DOUBLE_EQ(clampd(-1.0, 0.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(clampd(2.5, 0.0, 4.0), 2.5);
 }
 
 // ---- stats ---------------------------------------------------------------

@@ -8,7 +8,10 @@ across heterogeneous CI hosts, so both sides are first normalized by the
 BM_PerEvaluation anchor — a pure-math kernel untouched by the PHY rework
 — which cancels host-speed differences and leaves only the shape of the
 hot path. A bench is a regression when its normalized throughput drops
-more than --threshold (default 30%) below the recorded baseline.
+more than --threshold (default 30%) below the recorded baseline. The run
+is checked against two baselines: BENCH_phy_hotpath.json (the pre-SIMD
+hot-path shape) and BENCH_simd_phy.json (the batched-kernel speedup —
+this one catches a silent fall-back to the scalar plane).
 
 Also gates the flight-recorder observability overhead: bench/flight_recorder
 emits host-independent wall-time ratios (recording on vs. off on the same
@@ -50,6 +53,7 @@ import tempfile
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_phy_hotpath.json"
+DEFAULT_SIMD_BASELINE = REPO_ROOT / "BENCH_simd_phy.json"
 DEFAULT_FR_BASELINE = REPO_ROOT / "BENCH_flight_recorder.json"
 DEFAULT_CHAOS_BASELINE = REPO_ROOT / "BENCH_chaos_campaign.json"
 DEFAULT_CP_BASELINE = REPO_ROOT / "BENCH_control_plane.json"
@@ -284,6 +288,9 @@ def main() -> int:
                      help="load_gen binary to execute for the run")
     ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
                     help="checked-in BENCH_phy_hotpath.json")
+    ap.add_argument("--simd-baseline", default=str(DEFAULT_SIMD_BASELINE),
+                    help="checked-in BENCH_simd_phy.json (batched-kernel "
+                         "speedup baseline, gated alongside --baseline)")
     ap.add_argument("--threshold", type=float, default=0.30,
                     help="max tolerated normalized drop (fraction)")
     ap.add_argument("--fr-baseline", default=str(DEFAULT_FR_BASELINE),
@@ -348,18 +355,6 @@ def main() -> int:
         print("\nflight-recorder overhead gate passed")
         return 0
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    if "anchor" not in baseline or "after" not in baseline:
-        missing = "anchor" if "anchor" not in baseline else "after"
-        sys.exit(
-            f"error: baseline {args.baseline} is missing required key "
-            f"'{missing}' — regenerate it from bench/micro_core or restore "
-            f"the checked-in file")
-    base_anchor_ns = baseline_key(baseline["anchor"], "real_time_ns_mean",
-                                  args.baseline)
-    base_after = baseline["after"]
-
     if args.run:
         result = run_bench(args.run)
     else:
@@ -367,28 +362,51 @@ def main() -> int:
             result = json.load(f)
     cur_items, cur_anchor_ns = current_means(result)
 
-    # Anchor normalization: a host that runs BM_PerEvaluation 2x faster is
-    # expected to run the PHY benches ~2x faster too; dividing both sides
-    # by their anchor throughput (1/anchor_ns) compares shapes, not hosts.
-    host_scale = base_anchor_ns / cur_anchor_ns
-    print(f"anchor: baseline {base_anchor_ns:.1f} ns, current "
-          f"{cur_anchor_ns:.1f} ns -> host scale {host_scale:.3f}")
-
+    # Two baselines guard different things: BENCH_phy_hotpath.json is the
+    # pre-SIMD hot-path shape (a deep architectural regression trips it),
+    # while BENCH_simd_phy.json records the batched-kernel speedup — a
+    # change that quietly falls back to scalar or unwinds the batching
+    # would still clear the old baseline but not this one.
     failures = []
-    for name, entry in sorted(base_after.items()):
-        base_ips = baseline_key(entry, "items_per_second_mean",
-                                f"{args.baseline} ('after'/{name})")
-        if name not in cur_items:
-            failures.append(f"{name}: missing from current run")
-            continue
-        norm_ips = cur_items[name] / host_scale
-        ratio = norm_ips / base_ips
-        status = "OK" if ratio >= 1.0 - args.threshold else "REGRESSION"
-        print(f"  {name:35s} baseline {base_ips:12.0f}/s  "
-              f"normalized {norm_ips:12.0f}/s  ratio {ratio:5.2f}  {status}")
-        if status != "OK":
-            failures.append(f"{name}: normalized ratio {ratio:.2f} < "
-                            f"{1.0 - args.threshold:.2f}")
+    for baseline_path in (args.baseline, args.simd_baseline):
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        if "anchor" not in baseline or "after" not in baseline:
+            missing = "anchor" if "anchor" not in baseline else "after"
+            sys.exit(
+                f"error: baseline {baseline_path} is missing required key "
+                f"'{missing}' — regenerate it from bench/micro_core or "
+                f"restore the checked-in file")
+        base_anchor_ns = baseline_key(baseline["anchor"], "real_time_ns_mean",
+                                      baseline_path)
+        base_after = baseline["after"]
+
+        # Anchor normalization: a host that runs BM_PerEvaluation 2x faster
+        # is expected to run the PHY benches ~2x faster too; dividing both
+        # sides by their anchor throughput (1/anchor_ns) compares shapes,
+        # not hosts.
+        host_scale = base_anchor_ns / cur_anchor_ns
+        print(f"[{pathlib.Path(baseline_path).name}] anchor: baseline "
+              f"{base_anchor_ns:.1f} ns, current {cur_anchor_ns:.1f} ns -> "
+              f"host scale {host_scale:.3f}")
+
+        for name, entry in sorted(base_after.items()):
+            base_ips = baseline_key(entry, "items_per_second_mean",
+                                    f"{baseline_path} ('after'/{name})")
+            if name not in cur_items:
+                failures.append(f"{name}: missing from current run")
+                continue
+            norm_ips = cur_items[name] / host_scale
+            ratio = norm_ips / base_ips
+            status = "OK" if ratio >= 1.0 - args.threshold else "REGRESSION"
+            print(f"  {name:35s} baseline {base_ips:12.0f}/s  "
+                  f"normalized {norm_ips:12.0f}/s  ratio {ratio:5.2f}  "
+                  f"{status}")
+            if status != "OK":
+                failures.append(
+                    f"{name} (vs {pathlib.Path(baseline_path).name}): "
+                    f"normalized ratio {ratio:.2f} < "
+                    f"{1.0 - args.threshold:.2f}")
 
     if failures:
         print("\nbench regression gate FAILED:")
