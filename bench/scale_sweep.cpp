@@ -11,8 +11,10 @@
 // Node density is held constant across n, so the culled candidate count
 // stays flat while the unculled scan grows linearly — the gap IS the
 // quadratic term this sweep exists to kill.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -22,7 +24,9 @@
 #include "phy/cc2420.hpp"
 #include "phy/medium.hpp"
 #include "sim/replication.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
+#include "util/bytes.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -60,8 +64,28 @@ struct ScenarioResult {
   }
 };
 
+/// One run of the beaconing deployment through the ShardEngine. Sharded
+/// execution hashes its delivery draws per transmission instead of
+/// consuming the serial RNG streams, so sharded results compare against
+/// sharded results only — the byte-identity column below holds the
+/// shards=1 run against shards=K, counters AND the full PHY snapshot.
+struct ShardedResult {
+  ScenarioResult base;
+  std::vector<std::uint8_t> snapshot;
+  std::uint64_t threaded_batches = 0;
+  std::uint64_t boundary_tx = 0;
+
+  [[nodiscard]] bool identical_to(const ShardedResult& o) const {
+    return base.delivered == o.base.delivered &&
+           base.corrupted == o.base.corrupted &&
+           base.below_sensitivity == o.base.below_sensitivity &&
+           base.rx_checksum == o.base.rx_checksum && snapshot == o.snapshot;
+  }
+};
+
 ScenarioResult run_scenario(int n, std::uint64_t seed, bool culling,
-                            std::int64_t sim_seconds) {
+                            std::int64_t sim_seconds,
+                            ShardedResult* sharded = nullptr, int shards = 0) {
   sim::Simulator sim(seed);
   phy::Medium medium(sim, phy::PropagationConfig{});
   medium.set_spatial_culling(culling);
@@ -74,6 +98,15 @@ ScenarioResult run_scenario(int n, std::uint64_t seed, bool culling,
     nodes.push_back(std::make_unique<Beacon>());
     medium.attach(nodes.back().get(),
                   {place.uniform(0.0, side), place.uniform(0.0, side)});
+  }
+
+  std::unique_ptr<sim::ShardEngine> engine;
+  if (sharded != nullptr && shards >= 1) {
+    engine = std::make_unique<sim::ShardEngine>(
+        sim, static_cast<unsigned>(shards),
+        static_cast<std::uint16_t>(std::min<int>(
+            shards, static_cast<int>(sim::ShardEngine::kMaxCells))));
+    medium.enable_sharding(*engine);
   }
 
   // Staggered periodic beacons: node i first fires at (i mod period) ms,
@@ -103,7 +136,50 @@ ScenarioResult run_scenario(int n, std::uint64_t seed, bool culling,
   r.culled_candidates = medium.culled_candidates();
   r.events = sim.executed_events();
   for (const auto& b : nodes) r.rx_checksum += b->received;
+  if (sharded != nullptr && engine != nullptr) {
+    sharded->base = r;
+    util::ByteWriter w(1 << 16);
+    medium.snapshot(w);
+    sharded->snapshot = std::move(w).take();
+    sharded->threaded_batches = engine->stats().threaded_batches;
+    sharded->boundary_tx = engine->stats().boundary_tx;
+  }
   return r;
+}
+
+ShardedResult run_sharded(int n, std::uint64_t seed, int shards,
+                          std::int64_t sim_seconds) {
+  ShardedResult r;
+  run_scenario(n, seed, /*culling=*/true, sim_seconds, &r, shards);
+  return r;
+}
+
+/// Parse `--shards N`; 0 when absent, -1 on an invalid value (after
+/// printing a usable error).
+int shards_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) != "--shards") continue;
+    char* end = nullptr;
+    const long v = std::strtol(argv[i + 1], &end, 10);
+    const unsigned hc = std::max(1u, std::thread::hardware_concurrency());
+    const long max_shards = static_cast<long>(hc) * 4;
+    if (end == argv[i + 1] || *end != '\0' || v < 1) {
+      std::fprintf(stderr,
+                   "scale_sweep: --shards expects an integer >= 1 "
+                   "(got '%s')\n",
+                   argv[i + 1]);
+      return -1;
+    }
+    if (v > max_shards) {
+      std::fprintf(stderr,
+                   "scale_sweep: --shards %ld exceeds 4x the host's %u "
+                   "hardware threads (max %ld)\n",
+                   v, hc, max_shards);
+      return -1;
+    }
+    return static_cast<int>(v);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -114,11 +190,15 @@ int main(int argc, char** argv) {
       "shared-nothing replication speedup");
 
   const std::string json_path = bench::json_path_from_args(argc, argv);
+  int shard_count = shards_from_args(argc, argv);
+  if (shard_count < 0) return 2;
+  if (shard_count == 0) shard_count = 4;  // default sweep width
   std::unique_ptr<bench::JsonWriter> json;
   if (!json_path.empty()) {
     json = std::make_unique<bench::JsonWriter>(json_path);
     json->begin_object();
     json->field("bench", std::string("scale_sweep"));
+    json->field("shards", shard_count);
     json->begin_array("culling_sweep");
   }
 
@@ -183,7 +263,58 @@ int main(int argc, char** argv) {
     json->field("parallel_seconds", parallel_s);
     json->field("speedup", serial_s / parallel_s);
     json->end_object();
+  }
+
+  bench::section("sharded mega-topology (epoch-synchronized shard engine)");
+  std::printf(
+      "%-8s %-8s %-14s %-9s %-12s %-10s %-10s\n", "nodes", "shards",
+      "ev/s", "speedup", "identical?", "thr.batch", "boundary");
+  if (json) json->begin_array("sharded_sweep");
+  double ratio_1000 = 0.0, ratio_10000 = 0.0;
+  bool identity_all = true;
+  for (const int n : {1000, 10000}) {
+    const std::int64_t secs = n >= 10000 ? 1 : 2;
+    const auto serial = run_sharded(n, 42, 1, secs);
+    for (const int k : {1, shard_count}) {
+      const auto run = k == 1 ? serial : run_sharded(n, 42, k, secs);
+      const double evs = static_cast<double>(run.base.events) / run.base.wall_s;
+      const bool identical = run.identical_to(serial);
+      identity_all = identity_all && identical;
+      // Wall-time ratio, not ev/s ratio: splitting delivery groups per
+      // cell adds calendar events, so ev/s flatters high shard counts.
+      // Same seed + same sim horizon = same physical workload, so wall
+      // time is the honest denominator.
+      const double speedup = serial.base.wall_s / run.base.wall_s;
+      if (k != 1) (n >= 10000 ? ratio_10000 : ratio_1000) = speedup;
+      std::printf("%-8d %-8d %-14.0f %-9.2f %-12s %-10llu %-10llu\n", n, k,
+                  evs, speedup, identical ? "yes" : "NO — BUG",
+                  static_cast<unsigned long long>(run.threaded_batches),
+                  static_cast<unsigned long long>(run.boundary_tx));
+      if (json) {
+        json->begin_object();
+        json->field("nodes", n);
+        json->field("shards", k);
+        json->field("events_per_sec", evs);
+        json->field("speedup_vs_1shard", speedup);
+        json->field("byte_identity", identical);
+        json->field("threaded_batches",
+                    static_cast<double>(run.threaded_batches));
+        json->field("boundary_tx", static_cast<double>(run.boundary_tx));
+        json->end_object();
+      }
+    }
+  }
+  if (json) {
+    json->end_array();
+    json->begin_object("sharded");
+    json->field("shards", shard_count);
+    json->field("byte_identity", identity_all);
+    json->field("sharded_over_serial_1000", ratio_1000);
+    json->field("sharded_over_serial_10000", ratio_10000);
+    json->field("hardware_threads",
+                static_cast<int>(std::thread::hardware_concurrency()));
     json->end_object();
+    json->end_object();  // top-level
   }
 
   bench::section("reading");

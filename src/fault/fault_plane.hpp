@@ -106,6 +106,15 @@ class FaultPlane final : public phy::FaultInterceptor {
   // ---- phy::FaultInterceptor ------------------------------------------
   bool should_drop(phy::RadioId from, phy::RadioId to,
                    phy::Channel channel) override;
+  /// An inert plane (no jam windows, no per-link states) answers
+  /// should_drop from const reads alone — no RNG advance, no fault
+  /// event recorded — so the shard engine may run delivery bins on
+  /// worker threads. The moment a scenario loads faults, this turns
+  /// false and tagged batches execute inline (byte-identical either
+  /// way; DESIGN.md §15).
+  [[nodiscard]] bool parallel_pure() const override {
+    return jams_.empty() && links_.empty();
+  }
 
   // ---- observability ---------------------------------------------------
   /// Every fault decision, in simulator order. Byte-identical across two

@@ -37,6 +37,8 @@ Medium::Medium(sim::Simulator& sim, const PropagationConfig& prop_cfg)
           prop_.max_range_m(pa_level_to_dbm(kMaxPaLevel), kSensitivityDbm))),
       budget_power_dbm_(-std::numeric_limits<double>::infinity()),
       fading_headroom_db_(prop_.max_fading_gain_db()),
+      shard_seed_(util::splitmix64(sim.rng_root().root_seed() ^
+                                   util::fnv1a("phy.shard"))),
       sniff_seed_(util::splitmix64(sim.rng_root().root_seed() ^
                                    util::fnv1a("phy.sniff"))) {}
 
@@ -85,6 +87,9 @@ RadioId Medium::attach_sniffer(MediumClient* client, Position pos,
 void Medium::detach(RadioId id) {
   assert(id < radio_count());
   if (!attached_[id]) return;
+  // Pending delivery groups may have been tagged against this radio's
+  // current cell; keep new groups serial until they drain.
+  if (shard_engine_ != nullptr) shard_dirty_ = true;
   if (is_sniffer_[id]) {
     abort_inflight_rx(id, sniffs_aborted_,
                       static_cast<std::uint8_t>(trace::PhyDropReason::kRetune));
@@ -115,6 +120,9 @@ void Medium::detach(RadioId id) {
 
 void Medium::set_position(RadioId id, Position pos) {
   assert(id < radio_count());
+  // Crossing a stripe boundary invalidates pending cell-local tags; the
+  // dirty flag forces serial grouping until the pending set drains.
+  if (shard_engine_ != nullptr) shard_dirty_ = true;
   if (attached_[id] && !is_sniffer_[id]) {
     grid_.move(id, positions_[id], pos);
     ++topo_epoch_;
@@ -130,6 +138,7 @@ Position Medium::position(RadioId id) const {
 
 void Medium::set_channel(RadioId id, Channel channel) {
   assert(id < radio_count());
+  if (shard_engine_ != nullptr) shard_dirty_ = true;
   if (attached_[id] && channels_[id] != channel) {
     if (is_sniffer_[id]) {
       // A retuning sniffer loses its in-flight overhears like any radio,
@@ -598,16 +607,53 @@ void Medium::transmit(RadioId from, double tx_power_dbm,
 
   cs.active.push_back(slot_idx);
 
+  // Sharded classification (DESIGN.md §15): a transmission whose every
+  // reception lands in the transmitter's own stripe — and that no
+  // sniffer overhears — joins a cell-local group the engine may execute
+  // as a batched bin; anything else joins the serial group for this end
+  // time and is posted into the cross-shard mailbox ledger. The
+  // classification is a pure function of simulation state, never of the
+  // worker count. A transmit issued from inside a cell bin (possible
+  // only on the inline path) always classifies serial: its delivery
+  // event is deferred through the barrier, so its seq is not known here.
+  std::uint16_t gcell = kSerialCell;
+  if (shard_engine_ != nullptr && sim::shard_exec_ctx() == nullptr) {
+    if (shard_dirty_ && pending_groups_.empty()) shard_dirty_ = false;
+    const std::uint16_t c = cell_of(from);
+    std::uint64_t dst_mask = 0;  // receiver stripes (cells_ <= 64)
+    for (std::size_t i = 0; i < slot.rxs.size(); ++i) {
+      dst_mask |= std::uint64_t{1} << cell_of(slot.rxs.to[i]);
+    }
+    const bool local = !shard_dirty_ && slot.snf_rxs.size() == 0 &&
+                       (dst_mask == 0 || dst_mask == std::uint64_t{1} << c);
+    if (local) {
+      gcell = c;
+    } else {
+      shard_engine_->post_boundary_tx(c, start.nanoseconds(), seq, from,
+                                      dst_mask, psdu.bytes().size());
+    }
+  }
+
   // Join (or open) the delivery group for this end time: same-end-time
   // transmissions share one calendar event instead of paying per-slot
   // queue traffic, and their receptions evaluate as one batch. The first
-  // joiner schedules; the pooled PSDU buffers ride in the group.
+  // joiner schedules; the pooled PSDU buffers ride in the group. Under
+  // sharding the key is (end, cell), so a cell-local group never has to
+  // absorb a boundary-crossing slot after being tagged — and only the
+  // *latest-opened* group for an end time may accept joins. The back-scan
+  // keeps same-end group membership a contiguous run of transmit order,
+  // so a receiver shared between a serial and a cell-local group still
+  // hears frames in exact transmit order: groups execute in scheduling-seq
+  // order (= open order) and slots within a group in join order, at every
+  // partition. Without sharding at most one group per end exists, so the
+  // scan direction is immaterial there.
   std::uint32_t gidx = kNoGroup;
-  for (const std::uint32_t gi : pending_groups_) {
-    if (groups_[gi].end == end) {
-      gidx = gi;
-      break;
-    }
+  for (auto it = pending_groups_.rbegin(); it != pending_groups_.rend();
+       ++it) {
+    const std::uint32_t gi = *it;
+    if (groups_[gi].end != end) continue;
+    if (shard_engine_ == nullptr || groups_[gi].cell == gcell) gidx = gi;
+    break;  // first same-end group from the back is the only joinable one
   }
   if (gidx == kNoGroup) {
     if (!free_groups_.empty()) {
@@ -618,42 +664,81 @@ void Medium::transmit(RadioId from, double tx_power_dbm,
       gidx = static_cast<std::uint32_t>(groups_.size() - 1);
     }
     groups_[gidx].end = end;
+    groups_[gidx].cell = gcell;
     pending_groups_.push_back(gidx);
     sim_.schedule_at(end, [this, gidx] { deliver_group(gidx); });
+    groups_[gidx].ev_seq = sim_.last_scheduled_seq();
+    if (shard_engine_ != nullptr && gcell != kSerialCell) {
+      shard_engine_->tag_cell_local(groups_[gidx].ev_seq, gcell);
+    }
   }
   groups_[gidx].slots.push_back(slot_idx);
   groups_[gidx].psdus.push_back(std::move(psdu));
 }
 
 void Medium::deliver_group(std::uint32_t gidx) {
-  // Swap the group's contents into member scratch before running any
-  // callback: a re-entrant transmit may claim this group (and grow
-  // groups_), so nothing may hold a reference into it. Slots fire in push
-  // order — the order their individual events would have fired in.
-  std::erase(pending_groups_, gidx);
-  assert(delivering_slots_.empty() && delivering_psdus_.empty());
-  delivering_slots_.swap(groups_[gidx].slots);
-  delivering_psdus_.swap(groups_[gidx].psdus);
-  free_groups_.push_back(gidx);
-
-  const std::size_t n = delivering_slots_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    deliver(delivering_slots_[i], delivering_psdus_[i]);
-    // Release this PSDU's pool ref now (assignment recycles in place);
-    // holding all of them to the end would inflate pool high-water marks.
-    delivering_psdus_[i] = FrameBufferRef{};
+  // Swap the group's contents into scratch before running any callback: a
+  // re-entrant transmit may claim this group (and grow groups_), so
+  // nothing may hold a reference into it. Slots fire in push order — the
+  // order their individual events would have fired in. Inside a sharded
+  // cell bin the swap target is the worker's private scratch, and every
+  // release that touches a shared pool or list is deferred to the
+  // barrier (shard_flush_cell).
+  sim::ShardExecCtx* const cx = sim::shard_exec_ctx();
+  PhyScratch& s = (cx != nullptr) ? shard_scratch_[cx->worker] : scratch_;
+  if (cx == nullptr) {
+    if (shard_engine_ != nullptr && groups_[gidx].cell != kSerialCell) {
+      // A tagged group firing outside the engine's batch loop (a raw
+      // step() driver) must still release its tag, or the map leaks.
+      shard_engine_->consume_tag(groups_[gidx].ev_seq);
+    }
+    std::erase(pending_groups_, gidx);
+    free_groups_.push_back(gidx);
+  } else {
+    shard_fx_[cx->cell].freed_groups.push_back(gidx);
   }
-  delivering_slots_.clear();
-  delivering_psdus_.clear();
+  assert(s.slots.empty() && s.psdus.empty());
+  s.slots.swap(groups_[gidx].slots);
+  s.psdus.swap(groups_[gidx].psdus);
+
+  const std::size_t n = s.slots.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    deliver(s.slots[i], s.psdus[i]);
+    if (cx != nullptr) {
+      // The frame pool is coordinator-owned: park the ref until the
+      // barrier instead of recycling it from a worker thread.
+      shard_fx_[cx->cell].held_psdus.push_back(std::move(s.psdus[i]));
+    } else {
+      // Release this PSDU's pool ref now (assignment recycles in place);
+      // holding all of them to the end would inflate pool high-water
+      // marks.
+      s.psdus[i] = FrameBufferRef{};
+    }
+  }
+  s.slots.clear();
+  s.psdus.clear();
 }
 
 void Medium::deliver(std::uint32_t slot_idx, const FrameBufferRef& psdu) {
+  // Inside a sharded cell bin: private scratch, and every effect that
+  // touches cross-cell state (channel active lists, shared counters, the
+  // slot free list) goes into the cell's out-buffer for the barrier.
+  sim::ShardExecCtx* const cx = sim::shard_exec_ctx();
+  PhyScratch& s = (cx != nullptr) ? shard_scratch_[cx->worker] : scratch_;
+  CellEffects* const fx = (cx != nullptr) ? &shard_fx_[cx->cell] : nullptr;
+
   // Retire the transmission from its channel bucket. Order-preserving:
   // interference sums visit the remaining transmissions in TX order, the
-  // same order both culling paths produce.
+  // same order both culling paths produce. Deferring the erase to the
+  // barrier is exact: no transmit can interleave before it applies (the
+  // serial plane is parked during a batch).
   const Channel tx_ch = tx_slots_[slot_idx].channel;
   const RadioId tx_from = tx_slots_[slot_idx].from;
-  std::erase(chan_[tx_ch].active, slot_idx);
+  if (fx != nullptr) {
+    fx->chan_erase.emplace_back(tx_ch, slot_idx);
+  } else {
+    std::erase(chan_[tx_ch].active, slot_idx);
+  }
 
   // Constant conversion, hoisted off the per-reception path.
   static const double noise_mw = units::dbm_to_mw(kNoiseFloorDbm);
@@ -676,61 +761,58 @@ void Medium::deliver(std::uint32_t slot_idx, const FrameBufferRef& psdu) {
     const RxBatch& rxs = tx_slots_[slot_idx].rxs;
     const std::size_t n = rxs.size();
     const bool vec = simd_active();
-    sinr_scratch_.resize(n);
-    per_scratch_.resize(n);
-    rssi_scratch_.resize(n);
-    prx_mw_scratch_.resize(n);
-    sinr_lin_scratch_.resize(n);
+    s.sinr.resize(n);
+    s.per.resize(n);
+    s.rssi.resize(n);
+    s.prx_mw.resize(n);
+    s.sinr_lin.resize(n);
     // Whole-batch passes, aborted entries included: their inputs are
     // finite reception records, the math is defined, and the values are
     // simply never read — cheaper than a branch per lane. The batch
     // kernels are bit-identical scalar vs SIMD, so everything derived
     // here (RSSI register, LQI, the PER compare) is toggle-invariant.
-    util::simd::db_to_linear_batch(rxs.prx_dbm.data(), prx_mw_scratch_.data(),
-                                   n, vec);
+    util::simd::db_to_linear_batch(rxs.prx_dbm.data(), s.prx_mw.data(), n,
+                                   vec);
     for (std::size_t i = 0; i < n; ++i) {
-      sinr_lin_scratch_[i] =
-          prx_mw_scratch_[i] / (noise_mw + rxs.interference_mw[i]);
+      s.sinr_lin[i] = s.prx_mw[i] / (noise_mw + rxs.interference_mw[i]);
     }
-    util::simd::linear_to_db_batch(sinr_lin_scratch_.data(),
-                                   sinr_scratch_.data(), n, vec);
-    per_idx_.clear();
-    per_in_.clear();
+    util::simd::linear_to_db_batch(s.sinr_lin.data(), s.sinr.data(), n, vec);
+    s.per_idx.clear();
+    s.per_in.clear();
     for (std::size_t i = 0; i < n; ++i) {
       if (rxs.aborted[i]) {
-        per_scratch_[i] = 0.0;
+        s.per[i] = 0.0;
         continue;
       }
-      const double prx_mw = prx_mw_scratch_[i];
+      const double prx_mw = s.prx_mw[i];
       const double interference_mw = rxs.interference_mw[i];
       if (interference_mw > 0.0 && prx_mw < kCaptureLin * interference_mw) {
         // Co-channel collision below the capture margin: corrupted no
         // matter what the bit-error draw would have said (PER 1.0
         // corrupts without an RNG draw).
-        per_scratch_[i] = 1.0;
-      } else if (sinr_lin_scratch_[i] >= kPerNegligibleSinrLin) {
-        per_scratch_[i] = 0.0;
+        s.per[i] = 1.0;
+      } else if (s.sinr_lin[i] >= kPerNegligibleSinrLin) {
+        s.per[i] = 0.0;
       } else {
         // Mid-band: needs the 15-term BER sum — gathered and evaluated
         // as one batch below.
-        per_idx_.push_back(static_cast<std::uint32_t>(i));
-        per_in_.push_back(sinr_lin_scratch_[i]);
+        s.per_idx.push_back(static_cast<std::uint32_t>(i));
+        s.per_in.push_back(s.sinr_lin[i]);
       }
     }
-    if (!per_idx_.empty()) {
-      per_oqpsk_lin_batch(per_in_.data(), bits, per_in_.data(),
-                          per_in_.size(), vec);
-      for (std::size_t j = 0; j < per_idx_.size(); ++j) {
-        per_scratch_[per_idx_[j]] = per_in_[j];
+    if (!s.per_idx.empty()) {
+      per_oqpsk_lin_batch(s.per_in.data(), bits, s.per_in.data(),
+                          s.per_in.size(), vec);
+      for (std::size_t j = 0; j < s.per_idx.size(); ++j) {
+        s.per[s.per_idx[j]] = s.per_in[j];
       }
     }
     // The RSSI register measures total in-band energy; include the
     // interference floor the receiver saw.
     for (std::size_t i = 0; i < n; ++i) {
-      prx_mw_scratch_[i] += rxs.interference_mw[i];
+      s.prx_mw[i] += rxs.interference_mw[i];
     }
-    util::simd::linear_to_db_batch(prx_mw_scratch_.data(),
-                                   rssi_scratch_.data(), n, vec);
+    util::simd::linear_to_db_batch(s.prx_mw.data(), s.rssi.data(), n, vec);
   }
 
   // Complete every reception belonging to this transmission. A client
@@ -761,7 +843,11 @@ void Medium::deliver(std::uint32_t slot_idx, const FrameBufferRef& psdu) {
     // Injected failures: the test drop filter and the fault plane.
     if ((drop_filter_ && drop_filter_(tx_from, to)) ||
         (interceptor_ && interceptor_->should_drop(tx_from, to, tx_ch))) {
-      ++frames_dropped_fault_;
+      if (fx != nullptr) {
+        ++fx->dropped_fault;
+      } else {
+        ++frames_dropped_fault_;
+      }
       if (trace::kEnabled && recorder_ != nullptr) {
         recorder_->append(
             trace_ring_[to], trace::RecKind::kPhyDrop,
@@ -771,17 +857,31 @@ void Medium::deliver(std::uint32_t slot_idx, const FrameBufferRef& psdu) {
       continue;
     }
 
-    const double sinr_db = sinr_scratch_[i];
+    const double sinr_db = s.sinr[i];
     // Both corruption mechanisms — thermal-noise bit errors (BER model)
     // and co-channel collision (capture rule, no despreading gain
     // applies) — were folded into the precomputed PER above; a captured
-    // frame carries PER 1.0 and corrupts without an RNG draw.
-    const bool corrupted = loss_rng_.chance(per_scratch_[i]);
+    // frame carries PER 1.0 and corrupts without an RNG draw. Sharded
+    // mode swaps the shared RNG streams for the sniffer hash scheme: the
+    // draw is a pure function of (run seed, tx seq, receiver), so its
+    // outcome cannot depend on delivery order, worker count, or the
+    // batch/serial classification.
+    bool corrupted;
+    std::uint64_t shard_hash = 0;
+    if (shard_engine_ != nullptr) {
+      const double per = s.per[i];
+      shard_hash = util::splitmix64(
+          util::splitmix64(shard_seed_ ^ tx_slots_[slot_idx].seq) + to);
+      const double u = static_cast<double>(shard_hash >> 11) * 0x1.0p-53;
+      corrupted = per > 0.0 && (per >= 1.0 || u < per);
+    } else {
+      corrupted = loss_rng_.chance(s.per[i]);
+    }
 
     RxInfo info;
     info.rx_power_dbm = prx_dbm;
     info.sinr_db = sinr_db;
-    info.rssi_reg = rssi_register(rssi_scratch_[i]);
+    info.rssi_reg = rssi_register(s.rssi[i]);
     info.lqi = lqi_from_snr(sinr_db);
     info.crc_ok = !corrupted;
     info.from = tx_from;
@@ -795,17 +895,30 @@ void Medium::deliver(std::uint32_t slot_idx, const FrameBufferRef& psdu) {
     }
 
     if (corrupted) {
-      ++frames_corrupted_;
+      if (fx != nullptr) {
+        ++fx->corrupted;
+      } else {
+        ++frames_corrupted_;
+      }
       // Flip a byte so upper layers exercise their CRC path on real data.
       // The damage goes into a reused scratch copy: other receivers of
       // this transmission still read the pristine pooled buffer.
-      corrupt_scratch_.assign(psdu.bytes().begin(), psdu.bytes().end());
-      const auto idx = static_cast<std::size_t>(corrupt_rng_.uniform_int(
-          0, static_cast<std::int64_t>(corrupt_scratch_.size()) - 1));
-      corrupt_scratch_[idx] ^= 0xa5;
-      clients_[to]->on_frame(corrupt_scratch_, info);
+      s.corrupt.assign(psdu.bytes().begin(), psdu.bytes().end());
+      const auto idx =
+          (shard_engine_ != nullptr)
+              ? static_cast<std::size_t>(
+                    util::splitmix64(shard_hash) %
+                    static_cast<std::uint64_t>(s.corrupt.size()))
+              : static_cast<std::size_t>(corrupt_rng_.uniform_int(
+                    0, static_cast<std::int64_t>(s.corrupt.size()) - 1));
+      s.corrupt[idx] ^= 0xa5;
+      clients_[to]->on_frame(s.corrupt, info);
     } else {
-      ++frames_delivered_;
+      if (fx != nullptr) {
+        ++fx->delivered;
+      } else {
+        ++frames_delivered_;
+      }
       clients_[to]->on_frame(psdu.bytes(), info);
     }
   }
@@ -868,12 +981,12 @@ void Medium::deliver(std::uint32_t slot_idx, const FrameBufferRef& psdu) {
     }
     if (corrupted) {
       ++frames_sniffed_corrupted_;
-      corrupt_scratch_.assign(psdu.bytes().begin(), psdu.bytes().end());
+      s.corrupt.assign(psdu.bytes().begin(), psdu.bytes().end());
       const auto idx = static_cast<std::size_t>(
           util::splitmix64(h) %
-          static_cast<std::uint64_t>(corrupt_scratch_.size()));
-      corrupt_scratch_[idx] ^= 0xa5;
-      clients_[to]->on_frame(corrupt_scratch_, info);
+          static_cast<std::uint64_t>(s.corrupt.size()));
+      s.corrupt[idx] ^= 0xa5;
+      clients_[to]->on_frame(s.corrupt, info);
     } else {
       clients_[to]->on_frame(psdu.bytes(), info);
     }
@@ -881,7 +994,89 @@ void Medium::deliver(std::uint32_t slot_idx, const FrameBufferRef& psdu) {
 
   tx_slots_[slot_idx].rxs.clear();  // capacity survives for the next TX
   tx_slots_[slot_idx].snf_rxs.clear();
-  free_slots_.push_back(slot_idx);
+  if (fx != nullptr) {
+    fx->freed_slots.push_back(slot_idx);  // the pool waits for the barrier
+  } else {
+    free_slots_.push_back(slot_idx);
+  }
+}
+
+void Medium::enable_sharding(sim::ShardEngine& engine) {
+  shard_engine_ = &engine;
+  shard_cells_ = engine.cells();
+  engine.set_participant(this);
+  // Conservative cross-shard lookahead: no transmission can complete —
+  // and therefore no cell can influence another — in less than the
+  // shortest frame's airtime (the boundary propagation delay is zero).
+  engine.set_lookahead(frame_airtime(1));
+  // Equal-width x-stripes over the attached deployment's extent, frozen
+  // now so the partition is a pure function of enable-time state. Radios
+  // attached or moved outside the extent later clamp into the edge
+  // stripes.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (RadioId id = 0; id < radio_count(); ++id) {
+    if (!attached_[id] || is_sniffer_[id]) continue;
+    lo = std::min(lo, positions_[id].x);
+    hi = std::max(hi, positions_[id].x);
+  }
+  shard_origin_x_ = (lo < hi) ? lo : 0.0;
+  shard_cells_per_m_ = (lo < hi && shard_cells_ > 1)
+                           ? static_cast<double>(shard_cells_) / (hi - lo)
+                           : 0.0;
+  shard_scratch_.resize(engine.workers());
+  shard_fx_.resize(shard_cells_);
+  // Groups opened before sharding predate the (end, cell) key; force
+  // them serial so the join scan can never tag one retroactively.
+  for (const std::uint32_t gi : pending_groups_) {
+    groups_[gi].cell = kSerialCell;
+  }
+  shard_dirty_ = false;
+}
+
+std::uint16_t Medium::cell_of(RadioId id) const noexcept {
+  assert(id < radio_count());
+  if (shard_cells_per_m_ <= 0.0) return 0;
+  const double off =
+      (positions_[id].x - shard_origin_x_) * shard_cells_per_m_;
+  if (!(off > 0.0)) return 0;  // clamps the low edge and NaN
+  const auto c = static_cast<std::uint32_t>(off);
+  return static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(c, static_cast<std::uint32_t>(shard_cells_) - 1));
+}
+
+bool Medium::shard_parallel_allowed() const noexcept {
+  // Threading must not change what a delivery does — so any stateful
+  // delivery-path hook closes the envelope: the flight recorder appends
+  // to shared rings, the test drop filter is arbitrary code, and a fault
+  // interceptor may advance per-link RNG streams unless it declares
+  // itself pure (an inert fault plane does). Bins then run inline on the
+  // coordinator through the identical per-cell machinery.
+  return recorder_ == nullptr && !drop_filter_ &&
+         (interceptor_ == nullptr || interceptor_->parallel_pure());
+}
+
+void Medium::shard_flush_cell(std::uint16_t cell) {
+  if (cell >= shard_fx_.size()) return;
+  CellEffects& fx = shard_fx_[cell];
+  frames_delivered_ += fx.delivered;
+  frames_corrupted_ += fx.corrupted;
+  frames_dropped_fault_ += fx.dropped_fault;
+  fx.delivered = 0;
+  fx.corrupted = 0;
+  fx.dropped_fault = 0;
+  for (const auto& [ch, slot] : fx.chan_erase) {
+    std::erase(chan_[ch].active, slot);
+  }
+  fx.chan_erase.clear();
+  for (const std::uint32_t g : fx.freed_groups) {
+    std::erase(pending_groups_, g);
+    free_groups_.push_back(g);
+  }
+  fx.freed_groups.clear();
+  for (const std::uint32_t slot : fx.freed_slots) free_slots_.push_back(slot);
+  fx.freed_slots.clear();
+  fx.held_psdus.clear();  // recycles the PSDU refs on the coordinator
 }
 
 void Medium::set_flight_recorder(trace::FlightRecorder* rec) {

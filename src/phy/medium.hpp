@@ -32,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "phy/cc2420.hpp"
@@ -39,6 +40,7 @@
 #include "phy/link_gain_cache.hpp"
 #include "phy/propagation.hpp"
 #include "phy/spatial_grid.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 #include "util/simd.hpp"
 
@@ -94,9 +96,16 @@ class FaultInterceptor {
   virtual ~FaultInterceptor() = default;
   /// Return true to silently drop this reception (as if faded out).
   virtual bool should_drop(RadioId from, RadioId to, Channel channel) = 0;
+  /// True when should_drop is a pure function of (from, to, channel) and
+  /// const state — no RNG advance, no event recording, no mutation. The
+  /// shard engine consults this for its threading envelope (DESIGN.md
+  /// §15): an impure interceptor forces tagged batches inline on the
+  /// coordinator — byte-identical results, just single-threaded. The
+  /// default is the conservative answer.
+  [[nodiscard]] virtual bool parallel_pure() const { return false; }
 };
 
-class Medium {
+class Medium : public sim::ShardParticipant {
  public:
   Medium(sim::Simulator& sim, const PropagationConfig& prop_cfg);
 
@@ -265,6 +274,37 @@ class Medium {
     return simd_enabled_ && util::simd::cpu_supported();
   }
 
+  // ---- sharded execution (DESIGN.md §15) ------------------------------
+  /// Join `engine` as its spatial plane. Radios are partitioned into
+  /// engine.cells() equal-width x-stripes over the attached deployment's
+  /// extent (frozen here, so the partition is a pure function of
+  /// enable-time state); delivery groups become keyed (end, cell);
+  /// cell-confined groups are tagged for batched per-cell execution; and
+  /// every boundary-crossing transmission is serialized into the engine's
+  /// cross-shard mailbox ledger. While sharding is enabled the corruption
+  /// draws switch from the shared loss/corrupt RNG streams to a private
+  /// per-(transmission, receiver) hash — the sniffer scheme — so every
+  /// delivery outcome is independent of execution order, worker count,
+  /// and the batch/serial classification. Sharded runs are their own
+  /// determinism domain: byte-identical across shard and worker counts
+  /// (tests/test_determinism.cpp, tests/test_shard.cpp), not with
+  /// unsharded runs.
+  void enable_sharding(sim::ShardEngine& engine);
+  [[nodiscard]] bool sharding_active() const noexcept {
+    return shard_engine_ != nullptr;
+  }
+  /// Stripe index of a radio's current position (0 when unsharded).
+  [[nodiscard]] std::uint16_t cell_of(RadioId id) const noexcept;
+  /// ShardParticipant: worker threads may run tagged bins only when
+  /// delivery runs no stateful hooks — no flight recorder, no drop
+  /// filter, no impure fault interceptor. Never changes semantics, only
+  /// which thread executes a bin.
+  [[nodiscard]] bool shard_parallel_allowed() const noexcept override;
+  /// ShardParticipant: apply one cell's deferred delivery effects
+  /// (counter deltas, pool frees, channel active-list erases) on the
+  /// coordinator at the batch barrier.
+  void shard_flush_cell(std::uint16_t cell) override;
+
   /// Candidate-loop iterations skipped thanks to the grid (perf probe for
   /// benches; not part of the delivery semantics).
   [[nodiscard]] std::uint64_t culled_candidates() const noexcept {
@@ -381,6 +421,14 @@ class Medium {
     sim::SimTime end;
     std::vector<std::uint32_t> slots;
     std::vector<FrameBufferRef> psdus;
+    /// Owning stripe under sharding: groups are keyed (end, cell), and
+    /// kSerialCell marks the serial group (a reception crosses a cell
+    /// boundary, a sniffer overhears, or the partition is dirty).
+    std::uint16_t cell = 0;
+    /// Scheduling seq of the group's calendar event (tag bookkeeping —
+    /// lets a tagged group that fires outside the engine loop release
+    /// its tag).
+    std::uint64_t ev_seq = 0;
   };
 
   /// High bit of RxRef::idx marks a reference into snf_rxs instead of rxs.
@@ -457,9 +505,44 @@ class Medium {
   util::RngStream loss_rng_;
   util::RngStream corrupt_rng_;
   FrameBufferPool frame_pool_;
-  /// Reused per-receiver corruption copy (bit-flips must not damage the
-  /// shared PSDU other receivers still read).
-  std::vector<std::uint8_t> corrupt_scratch_;
+
+  /// Delivery-path scratch, bundled so sharding can hand each worker a
+  /// private copy (concurrent cell bins must never share a buffer). One
+  /// instance (`scratch_`) backs the serial path — exactly the buffers
+  /// that used to live as loose members.
+  struct PhyScratch {
+    /// Per-receiver corruption copy (bit-flips must not damage the
+    /// shared PSDU other receivers still read).
+    std::vector<std::uint8_t> corrupt;
+    /// deliver_group swap targets: the firing group's slots and PSDU
+    /// refs move here before any callback runs, so re-entrant transmits
+    /// can claim the group without invalidating the iteration.
+    std::vector<std::uint32_t> slots;
+    std::vector<FrameBufferRef> psdus;
+    std::vector<double> sinr;      ///< batched SINR (dB) at delivery
+    std::vector<double> per;       ///< batched PER at delivery
+    std::vector<double> rssi;      ///< batched RSSI (dBm) at delivery
+    std::vector<double> prx_mw;    ///< batched RX power (mW) / total
+    std::vector<double> sinr_lin;  ///< batched linear SINR
+    std::vector<std::uint32_t> per_idx;  ///< mid-band receptions
+    std::vector<double> per_in;          ///< ... their linear SINR / PER
+  };
+
+  /// Side effects a sharded cell bin may not apply in place (they touch
+  /// state shared across cells); buffered per cell and applied by
+  /// shard_flush_cell on the coordinator, in ascending cell order.
+  struct CellEffects {
+    std::uint64_t delivered = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t dropped_fault = 0;
+    /// (channel, slot) pairs to erase from the channel active lists.
+    std::vector<std::pair<Channel, std::uint32_t>> chan_erase;
+    std::vector<std::uint32_t> freed_slots;
+    std::vector<std::uint32_t> freed_groups;
+    /// PSDU refs held to the barrier: releasing one recycles it into the
+    /// shared frame pool, which only the coordinator may touch.
+    std::vector<FrameBufferRef> held_psdus;
+  };
 
   // ---- radio state, SoA ----------------------------------------------
   // The candidate walk in transmit() reads channel/attached/position/busy
@@ -495,11 +578,6 @@ class Medium {
   std::vector<DeliveryGroup> groups_;
   std::vector<std::uint32_t> free_groups_;
   std::vector<std::uint32_t> pending_groups_;
-  /// deliver_group swaps the firing group's contents here before running
-  /// callbacks, so re-entrant transmits can claim the group (and the
-  /// slots' pool entries) without invalidating the iteration.
-  std::vector<std::uint32_t> delivering_slots_;
-  std::vector<FrameBufferRef> delivering_psdus_;
 
   // ---- batched-kernel scratch ----------------------------------------
   // Reused gather buffers for the SIMD kernels (util/simd.hpp); all warm
@@ -511,13 +589,8 @@ class Medium {
   std::vector<std::uint32_t> filter_idx_;  ///< survivors of the pre-filter
   std::vector<RadioId> fade_ids_;       ///< gathered receiver ids for fading
   std::vector<double> fade_db_;         ///< batched per-packet fading (dB)
-  std::vector<double> sinr_scratch_;    ///< batched SINR (dB) at delivery
-  std::vector<double> per_scratch_;     ///< batched PER at delivery
-  std::vector<double> rssi_scratch_;    ///< batched RSSI (dBm) at delivery
-  std::vector<double> prx_mw_scratch_;  ///< batched RX power (mW) / total
-  std::vector<double> sinr_lin_scratch_;  ///< batched linear SINR
-  std::vector<std::uint32_t> per_idx_;  ///< mid-band receptions (batch PER)
-  std::vector<double> per_in_;          ///< ... their linear SINR / PER
+  /// Delivery scratch for the serial path (workers get shard_scratch_).
+  PhyScratch scratch_;
 
   mutable LinkGainCache gain_cache_;
   bool gain_cache_enabled_ = true;
@@ -550,6 +623,26 @@ class Medium {
   std::function<void(const SniffedFrame&)> sniffer_;
   std::function<bool(RadioId, RadioId)> drop_filter_;
   FaultInterceptor* interceptor_ = nullptr;
+
+  // ---- sharded execution (DESIGN.md §15) ------------------------------
+  sim::ShardEngine* shard_engine_ = nullptr;
+  std::uint16_t shard_cells_ = 1;
+  /// Stripe geometry, frozen by enable_sharding: cell = clamp(floor(
+  /// (x - origin) * cells_per_m)). cells_per_m == 0 collapses everything
+  /// into cell 0 (degenerate extent or a single cell).
+  double shard_origin_x_ = 0.0;
+  double shard_cells_per_m_ = 0.0;
+  /// Private hash seed for sharded-mode corruption draws (the sniffer
+  /// scheme applied to every reception while sharding is enabled).
+  std::uint64_t shard_seed_ = 0;
+  /// A radio moved / retuned / detached while delivery groups were
+  /// pending: cell assignments may be stale, so new groups stay serial
+  /// until the pending set drains.
+  bool shard_dirty_ = false;
+  std::vector<PhyScratch> shard_scratch_;  ///< per worker (threaded bins)
+  std::vector<CellEffects> shard_fx_;      ///< per cell, barrier-applied
+  /// Group-key sentinel: the "cell" of boundary-crossing groups.
+  static constexpr std::uint16_t kSerialCell = 0xffff;
 
   // ---- flight recorder ------------------------------------------------
   trace::FlightRecorder* recorder_ = nullptr;

@@ -1,5 +1,9 @@
 #include "sim/replication.hpp"
 
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
 #include "util/rng.hpp"
 
 namespace liteview::sim {
@@ -17,6 +21,14 @@ unsigned effective_threads(unsigned requested) noexcept {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
+}
+
+void name_current_thread(const char* name) noexcept {
+#if defined(__linux__)
+  pthread_setname_np(pthread_self(), name);
+#else
+  (void)name;
+#endif
 }
 
 }  // namespace liteview::sim

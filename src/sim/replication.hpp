@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <exception>
 #include <optional>
 #include <string>
@@ -41,6 +42,12 @@ struct ReplicationConfig {
 
 /// Resolve a requested thread count (0 → hardware concurrency, min 1).
 [[nodiscard]] unsigned effective_threads(unsigned requested) noexcept;
+
+/// Name the calling thread for TSan/perf/top reports (pthread_setname_np
+/// where available, truncated to the platform's 15-char limit; a no-op
+/// elsewhere). Used by the replication workers ("lvrep/N") and the shard
+/// engine's workers ("lvshard/N").
+void name_current_thread(const char* name) noexcept;
 
 /// Outcome of one replication. `value` is engaged iff `ok`.
 template <typename R>
@@ -90,7 +97,14 @@ auto run_replications(const ReplicationConfig& cfg, Fn&& fn)
   }
   std::vector<std::thread> pool;
   pool.reserve(workers);
-  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (unsigned t = 0; t < workers; ++t) {
+    pool.emplace_back([&worker, t] {
+      char name[16];
+      std::snprintf(name, sizeof(name), "lvrep/%u", t);
+      name_current_thread(name);
+      worker();
+    });
+  }
   for (auto& th : pool) th.join();
   return out;
 }

@@ -1,0 +1,474 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "sim/replication.hpp"  // name_current_thread
+#include "trace/record.hpp"
+
+namespace liteview::sim {
+
+namespace {
+
+/// The current thread's batch execution context. Owned by the engine: set
+/// around a cell bin, null everywhere else (including the barrier).
+thread_local ShardExecCtx* t_exec_ctx = nullptr;
+
+void set_exec_ctx(ShardExecCtx* cx) noexcept { t_exec_ctx = cx; }
+
+}  // namespace
+
+ShardExecCtx* shard_exec_ctx() noexcept { return t_exec_ctx; }
+
+// ---- cross-shard frame codec -----------------------------------------
+
+std::size_t encode_shard_frame(std::vector<std::uint8_t>& out,
+                               const ShardFrame& f) {
+  if (f.payload.size() > kMaxShardFramePayload) return 0;
+  // Body: kind byte + 9 varints + payload. Worst case 1 + 9*10 + 256.
+  std::uint8_t body[1 + 9 * trace::kMaxVarintBytes + kMaxShardFramePayload];
+  std::size_t n = 0;
+  body[n++] = static_cast<std::uint8_t>(f.kind);
+  n += trace::put_varint(body + n, f.epoch);
+  n += trace::put_varint(body + n, f.shard);
+  n += trace::put_varint(body + n, f.seq);
+  n += trace::put_varint(body + n, static_cast<std::uint64_t>(f.t_ns));
+  for (const std::uint64_t a : f.args) n += trace::put_varint(body + n, a);
+  n += trace::put_varint(body + n, f.payload.size());
+  if (!f.payload.empty()) {
+    std::memcpy(body + n, f.payload.data(), f.payload.size());
+    n += f.payload.size();
+  }
+  std::uint8_t len[trace::kMaxVarintBytes];
+  const std::size_t len_n = trace::put_varint(len, n);
+  out.insert(out.end(), len, len + len_n);
+  out.insert(out.end(), body, body + n);
+  return len_n + n;
+}
+
+bool decode_shard_frame(std::span<const std::uint8_t> in, std::size_t& pos,
+                        ShardFrame& f) {
+  std::size_t p = pos;
+  std::uint64_t body_len = 0;
+  if (!trace::get_varint(in, p, body_len)) return false;
+  if (body_len < 1 || body_len > in.size() - p) return false;
+  const std::size_t end = p + static_cast<std::size_t>(body_len);
+  const std::uint8_t kind = in[p++];
+  if (kind == 0 || kind > ShardFrame::kMaxKind) return false;
+  std::uint64_t epoch = 0;
+  std::uint64_t shard = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t t = 0;
+  if (!trace::get_varint(in, p, epoch) || !trace::get_varint(in, p, shard) ||
+      !trace::get_varint(in, p, seq) || !trace::get_varint(in, p, t)) {
+    return false;
+  }
+  if (shard > 0xffffffffull) return false;
+  std::array<std::uint64_t, 4> args{};
+  for (std::uint64_t& a : args) {
+    if (!trace::get_varint(in, p, a)) return false;
+  }
+  std::uint64_t payload_len = 0;
+  if (!trace::get_varint(in, p, payload_len)) return false;
+  if (payload_len > kMaxShardFramePayload) return false;
+  if (p > end || end - p != payload_len) return false;  // exact length
+  f.kind = static_cast<ShardFrame::Kind>(kind);
+  f.epoch = epoch;
+  f.shard = static_cast<std::uint32_t>(shard);
+  f.seq = seq;
+  f.t_ns = static_cast<std::int64_t>(t);
+  f.args = args;
+  f.payload.assign(in.begin() + static_cast<std::ptrdiff_t>(p),
+                   in.begin() + static_cast<std::ptrdiff_t>(end));
+  pos = end;
+  return true;
+}
+
+// ---- SPSC mailbox -----------------------------------------------------
+
+SpscRing::SpscRing(std::size_t capacity) {
+  capacity = std::max<std::size_t>(capacity, 1024);
+  capacity = std::bit_ceil(capacity);
+  buf_.resize(capacity);
+  mask_ = capacity - 1;
+}
+
+bool SpscRing::push(std::span<const std::uint8_t> bytes) noexcept {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  if (buf_.size() - static_cast<std::size_t>(tail - head) < bytes.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    buf_[static_cast<std::size_t>(tail + i) & mask_] = bytes[i];
+  }
+  tail_.store(tail + bytes.size(), std::memory_order_release);
+  return true;
+}
+
+std::size_t SpscRing::drain(std::vector<std::uint8_t>& out) {
+  const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::size_t n = static_cast<std::size_t>(tail - head);
+  out.reserve(out.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(buf_[static_cast<std::size_t>(head + i) & mask_]);
+  }
+  head_.store(tail, std::memory_order_release);
+  return n;
+}
+
+// ---- the engine -------------------------------------------------------
+
+ShardEngine::ShardEngine(Simulator& sim, unsigned workers,
+                         std::uint16_t cells)
+    : sim_(sim), lookahead_(SimTime::ms(1)) {
+  cells_ = std::clamp<std::uint16_t>(cells, 1, kMaxCells);
+  workers_ = std::clamp<unsigned>(workers, 1, cells_);
+  bins_.resize(cells_);
+  intents_.resize(cells_);
+  worker_ctx_.resize(workers_);
+  cell_mail_.reserve(cells_);
+  for (std::uint16_t c = 0; c < cells_; ++c) {
+    cell_mail_.push_back(std::make_unique<WorkerMail>(std::size_t{16} << 10));
+  }
+  worker_mail_.reserve(workers_);
+  for (unsigned w = 0; w < workers_; ++w) {
+    worker_mail_.push_back(std::make_unique<WorkerMail>(std::size_t{16} << 10));
+  }
+  assert(sim_.engine_ == nullptr && "one engine per simulator");
+  sim_.engine_ = this;
+  // Helper threads 1..workers-1; the coordinator doubles as worker 0.
+  pool_.reserve(workers_ > 0 ? workers_ - 1 : 0);
+  for (unsigned w = 1; w < workers_; ++w) {
+    pool_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ShardEngine::~ShardEngine() {
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    pool_stop_ = true;
+  }
+  pool_cv_.notify_all();
+  for (std::thread& t : pool_) t.join();
+  if (sim_.engine_ == this) sim_.engine_ = nullptr;
+}
+
+void ShardEngine::tag_cell_local(std::uint64_t event_seq,
+                                 std::uint16_t cell) {
+  assert(cell < cells_);
+  tags_.emplace(event_seq, cell);
+}
+
+void ShardEngine::consume_tag(std::uint64_t event_seq) {
+  tags_.erase(event_seq);
+}
+
+void ShardEngine::post_boundary_tx(std::uint16_t src_cell, std::int64_t t_ns,
+                                   std::uint64_t tx_seq, std::uint64_t from,
+                                   std::uint64_t dst_cell_mask,
+                                   std::uint64_t meta) {
+  if (src_cell >= cells_) src_cell = static_cast<std::uint16_t>(cells_ - 1);
+  ShardFrame f;
+  f.kind = ShardFrame::Kind::kBoundaryTx;
+  f.epoch = stats_.epochs;
+  f.shard = src_cell;
+  f.t_ns = t_ns;
+  f.args = {tx_seq, from, dst_cell_mask, meta};
+  epoch_traffic_ = true;
+  post_frame(*cell_mail_[src_cell], f);
+}
+
+void ShardEngine::post_frame(WorkerMail& mail, ShardFrame& f) {
+  f.seq = mail.seq++;
+  mail.scratch.clear();
+  const std::size_t n = encode_shard_frame(mail.scratch, f);
+  if (n == 0 || !mail.ring.push(mail.scratch)) ++mail.overflows;
+}
+
+void ShardEngine::defer_schedule(std::uint16_t cell, std::uint64_t src_seq,
+                                 SimTime when, SimTime period,
+                                 EventCallback cb) {
+  assert(cell < cells_);
+  intents_[cell].push_back(Intent{src_seq, when, period, std::move(cb)});
+}
+
+void ShardEngine::run_until(SimTime limit) {
+  if (running_) {
+    // Re-entrant drive from inside a callback: fall back to the plain
+    // serial loop (the engine's pop state is mid-flight).
+    while (sim_.step(limit)) {
+    }
+    sim_.engine_finish(limit);
+    return;
+  }
+  running_ = true;
+  SimTime when;
+  std::uint64_t seq = 0;
+  while (sim_.engine_peek(when, seq) && when <= limit) {
+    // Open an epoch window: [head, head + lookahead], clamped to limit.
+    ++stats_.epochs;
+    SimTime wend = when + lookahead_;
+    if (wend > limit || wend < when) wend = limit;
+    while (sim_.engine_peek(when, seq) && when <= wend) {
+      if (tags_.empty() || !tags_.contains(seq)) {
+        if (!sim_.step(wend)) break;
+        continue;
+      }
+      run_tagged_batch(when);
+    }
+    drain_mailboxes();
+  }
+  sim_.engine_finish(limit);
+  running_ = false;
+}
+
+std::size_t ShardEngine::run_tagged_batch(SimTime ts) {
+  // Pop the maximal run of tagged head events sharing this timestamp.
+  // Pop order is (when, seq) order, so per-cell bins inherit seq order.
+  batch_.clear();
+  SimTime when;
+  std::uint64_t seq = 0;
+  while (sim_.engine_peek(when, seq) && when == ts) {
+    const auto it = tags_.find(seq);
+    if (it == tags_.end()) break;
+    const std::uint16_t cell = it->second;
+    tags_.erase(it);
+    const std::uint32_t slot = sim_.engine_pop();
+    if (sim_.engine_cancelled(slot)) {
+      sim_.engine_release(slot);
+      continue;
+    }
+    assert(!sim_.engine_repeating(slot) && "tags are for one-shot events");
+    batch_.push_back(Popped{slot, seq, cell});
+  }
+  if (batch_.empty()) return 0;
+  sim_.engine_set_now(ts);
+
+  active_cells_.clear();
+  for (const Popped& p : batch_) {
+    if (bins_[p.cell].empty()) active_cells_.push_back(p.cell);
+    bins_[p.cell].push_back(p);
+  }
+  std::sort(active_cells_.begin(), active_cells_.end());
+
+  // The threading envelope affects WHERE bins run, never what they do:
+  // the inline path below walks the identical per-cell machinery.
+  const bool threaded = workers_ > 1 && active_cells_.size() > 1 &&
+                        participant_ != nullptr &&
+                        participant_->shard_parallel_allowed() &&
+                        sim_.engine_recorder() == nullptr;
+  ++stats_.batches;
+  if (threaded) ++stats_.threaded_batches;
+  stats_.batch_events += batch_.size();
+  stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, batch_.size());
+  epoch_traffic_ = true;
+
+  execute_batch(ts, threaded);
+  merge_barrier();
+
+  const std::size_t n = batch_.size();
+  for (const std::uint16_t c : active_cells_) bins_[c].clear();
+  batch_.clear();
+  return n;
+}
+
+void ShardEngine::execute_batch(SimTime ts, bool threaded) {
+  if (!threaded) {
+    for (const std::uint16_t c : active_cells_) {
+      exec_cell_bin(c, 0, ts, false);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    next_bin_.store(0, std::memory_order_relaxed);
+    pool_ts_ = ts;
+    pool_done_ = 0;
+    ++pool_gen_;
+  }
+  pool_cv_.notify_all();
+  for (std::size_t i = next_bin_.fetch_add(1); i < active_cells_.size();
+       i = next_bin_.fetch_add(1)) {
+    exec_cell_bin(active_cells_[i], 0, ts, true);
+  }
+  std::unique_lock<std::mutex> lk(pool_mu_);
+  done_cv_.wait(lk, [&] { return pool_done_ == workers_ - 1; });
+}
+
+void ShardEngine::exec_cell_bin(std::uint16_t cell, std::uint32_t worker,
+                                SimTime ts, bool threaded) noexcept {
+  ShardExecCtx& cx = worker_ctx_[worker];
+  cx.cell = cell;
+  cx.worker = worker;
+  cx.engine = this;
+  set_exec_ctx(&cx);
+  const std::size_t intents_before = intents_[cell].size();
+  try {
+    for (const Popped& p : bins_[cell]) {
+      cx.seq = p.seq;  // keys this event's deferred schedule intents
+      sim_.engine_run_cb(p.slot);
+    }
+  } catch (...) {
+    note_worker_error(cell);
+  }
+  set_exec_ctx(nullptr);
+
+  ShardFrame f;
+  f.kind = ShardFrame::Kind::kCellSummary;
+  f.epoch = stats_.epochs;  // stable while a batch is in flight
+  f.shard = cell;
+  f.t_ns = ts.nanoseconds();
+  f.args = {bins_[cell].size(), intents_[cell].size() - intents_before,
+            worker, threaded ? 1u : 0u};
+  post_frame(*worker_mail_[worker], f);
+}
+
+void ShardEngine::merge_barrier() {
+  // Gather every cell's deferred schedule intents and restore serial
+  // order: per-cell lists are already ascending in src_seq (bins run in
+  // seq order), so one stable sort by src_seq yields the exact global
+  // (event seq, emission) order the plain serial loop would have issued
+  // the schedule calls in. The calendar's seq assignment — and every
+  // tie-break it feeds — is therefore independent of the cell partition
+  // and of which worker ran which bin.
+  merged_intents_.clear();
+  for (const std::uint16_t c : active_cells_) {
+    std::vector<Intent>& iv = intents_[c];
+    stats_.intents_deferred += iv.size();
+    for (Intent& in : iv) merged_intents_.push_back(std::move(in));
+    iv.clear();
+  }
+  std::stable_sort(
+      merged_intents_.begin(), merged_intents_.end(),
+      [](const Intent& a, const Intent& b) { return a.src_seq < b.src_seq; });
+
+  // Replay each batched event's serial epilogue in pop (seq) order:
+  // dispatch record, its schedule calls, then retirement — byte-
+  // equivalent to the serial loop having executed the batch one event at
+  // a time.
+  std::size_t ii = 0;
+  for (const Popped& p : batch_) {
+    sim_.engine_record_dispatch(p.seq);
+    while (ii < merged_intents_.size() &&
+           merged_intents_[ii].src_seq == p.seq) {
+      Intent& in = merged_intents_[ii++];
+      if (in.period > SimTime::zero()) {
+        sim_.schedule_every(in.period, std::move(in.cb));
+      } else {
+        sim_.schedule_at(in.when, std::move(in.cb));
+      }
+    }
+    sim_.engine_retire(p.slot);
+  }
+  assert(ii == merged_intents_.size() &&
+         "every intent originates from a batched event");
+  merged_intents_.clear();
+
+  // Spatial-plane effects (counter deltas, pool frees, active-list
+  // erases) are order-insensitive sums and set edits; ascending cell
+  // order makes the flush canonical regardless.
+  if (participant_ != nullptr) {
+    for (const std::uint16_t c : active_cells_) {
+      participant_->shard_flush_cell(c);
+    }
+  }
+  rethrow_worker_error();
+}
+
+void ShardEngine::drain_mailboxes() {
+  if (!epoch_traffic_) return;
+  epoch_traffic_ = false;
+  ShardFrame barrier;
+  barrier.kind = ShardFrame::Kind::kEpochBarrier;
+  barrier.epoch = stats_.epochs;
+  barrier.shard = 0;
+  barrier.t_ns = sim_.now().nanoseconds();
+  barrier.args = {stats_.batches, stats_.batch_events, stats_.boundary_tx, 0};
+  post_frame(*cell_mail_[0], barrier);
+
+  merge_scratch_.clear();
+  const auto drain_one = [&](WorkerMail& mail) {
+    stats_.mailbox_overflows += mail.overflows;
+    mail.overflows = 0;
+    drain_scratch_.clear();
+    stats_.handoff_bytes += mail.ring.drain(drain_scratch_);
+    std::size_t pos = 0;
+    ShardFrame f;
+    while (pos < drain_scratch_.size() &&
+           decode_shard_frame(drain_scratch_, pos, f)) {
+      merge_scratch_.push_back(std::move(f));
+    }
+    assert(pos == drain_scratch_.size() && "mailboxes carry whole frames");
+  };
+  for (const auto& m : cell_mail_) drain_one(*m);
+  for (const auto& m : worker_mail_) drain_one(*m);
+
+  std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
+                   [](const ShardFrame& a, const ShardFrame& b) {
+                     if (a.epoch != b.epoch) return a.epoch < b.epoch;
+                     if (a.shard != b.shard) return a.shard < b.shard;
+                     return a.seq < b.seq;
+                   });
+  for (ShardFrame& f : merge_scratch_) {
+    ++stats_.handoff_frames;
+    if (f.kind == ShardFrame::Kind::kBoundaryTx) ++stats_.boundary_tx;
+    if (ledger_.size() < kLedgerCap) ledger_.push_back(std::move(f));
+  }
+}
+
+void ShardEngine::worker_loop(std::uint32_t worker) {
+  char name[16];
+  std::snprintf(name, sizeof(name), "lvshard/%u", worker);
+  name_current_thread(name);
+  std::uint64_t seen_gen = 0;
+  for (;;) {
+    SimTime ts;
+    {
+      std::unique_lock<std::mutex> lk(pool_mu_);
+      pool_cv_.wait(lk, [&] { return pool_stop_ || pool_gen_ != seen_gen; });
+      if (pool_stop_) return;
+      seen_gen = pool_gen_;
+      ts = pool_ts_;
+    }
+    for (std::size_t i = next_bin_.fetch_add(1); i < active_cells_.size();
+         i = next_bin_.fetch_add(1)) {
+      exec_cell_bin(active_cells_[i], worker, ts, true);
+    }
+    {
+      std::lock_guard<std::mutex> lk(pool_mu_);
+      ++pool_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ShardEngine::note_worker_error(std::uint16_t cell) noexcept {
+  std::call_once(error_once_, [&] {
+    worker_error_ = std::current_exception();
+    worker_error_cell_ = cell;
+  });
+}
+
+void ShardEngine::rethrow_worker_error() {
+  if (worker_error_ == nullptr) return;
+  const std::exception_ptr ep = worker_error_;
+  worker_error_ = nullptr;
+  const std::string where =
+      "shard worker failed in cell " + std::to_string(worker_error_cell_);
+  try {
+    std::rethrow_exception(ep);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(where + ": " + e.what());
+  } catch (...) {
+    throw std::runtime_error(where + ": non-std exception");
+  }
+}
+
+}  // namespace liteview::sim

@@ -1,0 +1,327 @@
+// Epoch-synchronized sharded execution of ONE simulation (DESIGN.md §15).
+//
+// The Simulator's historical contract was "parallelism across independent
+// Simulator instances, never inside one". The ShardEngine relaxes that for
+// exactly one event shape: same-timestamp calendar events that the spatial
+// plane has *tagged* as confined to a single spatial cell (in LiteView
+// terms: a delivery group whose every reception sits in the transmitter's
+// stripe of the deployment). The engine pops maximal runs of tagged head
+// events, bins them per cell, fans the bins out to a pool of named worker
+// threads, and re-merges every deferred side effect — schedule intents,
+// counter deltas, pool frees — at a barrier in fixed ascending cell
+// order. Untagged events (transmits, CCA, MAC timers, fault decisions,
+// anything that can reach across a cell boundary) keep executing in exact
+// global (timestamp, seq) order on the coordinator thread.
+//
+// Determinism contract: the tag is a pure function of simulation state, so
+// tagged events take the batch path at EVERY worker count — including
+// workers == 1 — and the barrier merge order is a pure function of the
+// batch composition. The observable simulation is therefore byte-identical
+// at any shard count (tests/test_determinism.cpp and tests/test_shard.cpp
+// hold this). Threading is only an *execution* choice: when the threading
+// envelope is closed (a flight recorder is attached, or a stateful fault
+// hook is installed), bins run inline on the coordinator through the very
+// same per-cell machinery.
+//
+// Epochs: the outer loop advances in windows bounded by a conservative
+// cross-shard lookahead (the minimum frame airtime, supplied by the
+// spatial plane — the shortest interval in which one cell's transmission
+// can affect another cell). Windows pace the cross-shard handoff: frames
+// whose reachable set crosses a cell boundary are serialized into a
+// compact varint ShardFrame encoding (the trace/ codec) and posted into
+// per-shard SPSC mailboxes; the coordinator drains every mailbox at the
+// epoch barrier and merges the records in (epoch, shard-id, seq) order.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace liteview::sim {
+
+class ShardEngine;
+
+// ---- cross-shard frame codec -----------------------------------------
+//
+// One record of the epoch handoff ledger. Encoded with the trace/ varint
+// primitives: varint length prefix, kind byte, varint fields, varint
+// payload length + raw payload bytes. The decoder is strict — any
+// malformation (unknown kind, truncation, oversized payload, inexact
+// length) returns false without advancing, so a corrupt mailbox can never
+// desynchronize the merge (tests/test_shard_fuzz.cpp feeds it garbage).
+
+struct ShardFrame {
+  enum class Kind : std::uint8_t {
+    kBoundaryTx = 1,   ///< a transmission whose receivers cross cells
+    kCellSummary = 2,  ///< per-cell batch accounting posted by a worker
+    kEpochBarrier = 3, ///< coordinator marker closing an epoch
+  };
+  static constexpr std::uint8_t kMaxKind = 3;
+
+  Kind kind = Kind::kBoundaryTx;
+  std::uint64_t epoch = 0;
+  std::uint32_t shard = 0;  ///< producing shard (cell) id
+  std::uint64_t seq = 0;    ///< per-mailbox monotone sequence
+  std::int64_t t_ns = 0;
+  std::array<std::uint64_t, 4> args{};
+  std::vector<std::uint8_t> payload;
+
+  friend bool operator==(const ShardFrame&, const ShardFrame&) = default;
+};
+
+/// Payloads above this are an encoder contract violation and a decoder
+/// reject (nothing legitimate exceeds one PSDU).
+inline constexpr std::size_t kMaxShardFramePayload = 256;
+
+/// Append the encoded frame to `out`. Returns bytes written (0 when the
+/// payload exceeds kMaxShardFramePayload — nothing is written).
+std::size_t encode_shard_frame(std::vector<std::uint8_t>& out,
+                               const ShardFrame& f);
+
+/// Decode one frame from in[pos..); advances pos past it on success.
+/// Returns false — without advancing — on any malformation.
+bool decode_shard_frame(std::span<const std::uint8_t> in, std::size_t& pos,
+                        ShardFrame& f);
+
+// ---- SPSC mailbox -----------------------------------------------------
+
+/// Single-producer / single-consumer byte ring. push() is all-or-nothing;
+/// publication is a release store of the tail, consumption a release store
+/// of the head — the classic two-index ring, TSan-clean by construction.
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (min 1 KiB).
+  explicit SpscRing(std::size_t capacity);
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side: append all of `bytes` or nothing. False when full.
+  bool push(std::span<const std::uint8_t> bytes) noexcept;
+
+  /// Consumer side: move everything currently published into `out`
+  /// (appended). Returns the number of bytes drained.
+  std::size_t drain(std::vector<std::uint8_t>& out);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< producer cursor
+};
+
+// ---- engine-facing interfaces -----------------------------------------
+
+/// Implemented by the spatial plane (phy::Medium). The engine is
+/// deliberately below the PHY in the link graph, so everything
+/// cell-specific crosses this interface.
+class ShardParticipant {
+ public:
+  virtual ~ShardParticipant() = default;
+  /// Threading envelope: true when executing tagged bins on worker
+  /// threads is safe (no stateful delivery hooks, no recorder). Checked
+  /// once per batch; it never changes the batch *semantics*, only which
+  /// thread runs each bin.
+  [[nodiscard]] virtual bool shard_parallel_allowed() const = 0;
+  /// Barrier merge: apply this cell's deferred side effects (pool frees,
+  /// counter deltas, active-list erases). Called on the coordinator, once
+  /// per active cell, in ascending cell order.
+  virtual void shard_flush_cell(std::uint16_t cell) = 0;
+};
+
+/// Thread-local execution context, set while a tagged bin runs. The
+/// Simulator consults it to defer schedule_at/schedule_every calls made
+/// inside a bin; the participant consults it to route side effects into
+/// per-cell out-buffers and pick per-worker scratch.
+struct ShardExecCtx {
+  std::uint16_t cell = 0;
+  std::uint32_t worker = 0;
+  /// Scheduling seq of the event currently executing (keys deferred
+  /// schedule intents so the barrier can replay them in serial order).
+  std::uint64_t seq = 0;
+  ShardEngine* engine = nullptr;
+};
+
+/// The current thread's execution context (null outside a tagged bin).
+[[nodiscard]] ShardExecCtx* shard_exec_ctx() noexcept;
+
+// ---- statistics -------------------------------------------------------
+
+struct ShardStats {
+  std::uint64_t epochs = 0;
+  std::uint64_t batches = 0;           ///< tagged runs executed
+  std::uint64_t threaded_batches = 0;  ///< ... on more than one thread
+  std::uint64_t batch_events = 0;      ///< events executed inside batches
+  std::uint64_t max_batch = 0;         ///< largest single batch
+  std::uint64_t intents_deferred = 0;  ///< schedule calls deferred to barriers
+  std::uint64_t boundary_tx = 0;       ///< kBoundaryTx frames merged
+  std::uint64_t handoff_frames = 0;    ///< all mailbox frames merged
+  std::uint64_t handoff_bytes = 0;     ///< encoded bytes through mailboxes
+  std::uint64_t mailbox_overflows = 0; ///< frames dropped by a full ring
+};
+
+// ---- the engine -------------------------------------------------------
+
+class ShardEngine {
+ public:
+  static constexpr std::uint16_t kMaxCells = 64;
+
+  /// `workers` threads total (including the coordinator; clamped to
+  /// [1, cells]); `cells` spatial cells (clamped to [1, kMaxCells]).
+  /// Installs itself into `sim` — Simulator::run_until delegates here for
+  /// the engine's lifetime.
+  ShardEngine(Simulator& sim, unsigned workers, std::uint16_t cells);
+  ~ShardEngine();
+
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  void set_participant(ShardParticipant* p) noexcept { participant_ = p; }
+  /// Conservative cross-shard lookahead (epoch window width). The spatial
+  /// plane derives it from the minimum frame airtime plus the (zero)
+  /// boundary propagation delay.
+  void set_lookahead(SimTime la) noexcept {
+    if (la > SimTime::zero()) lookahead_ = la;
+  }
+
+  [[nodiscard]] unsigned workers() const noexcept { return workers_; }
+  [[nodiscard]] std::uint16_t cells() const noexcept { return cells_; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return stats_.epochs; }
+  [[nodiscard]] SimTime lookahead() const noexcept { return lookahead_; }
+  [[nodiscard]] const ShardStats& stats() const noexcept { return stats_; }
+  /// First kLedgerCap merged handoff frames, in (epoch, shard, seq) merge
+  /// order (tests decode and cross-check them; stats keep counting after
+  /// the cap).
+  [[nodiscard]] const std::vector<ShardFrame>& ledger() const noexcept {
+    return ledger_;
+  }
+  static constexpr std::size_t kLedgerCap = 1024;
+
+  // ---- tag plane (serial callers only) --------------------------------
+  /// Mark the event with scheduling sequence `event_seq` as a cell-local
+  /// batch candidate owned by `cell`.
+  void tag_cell_local(std::uint64_t event_seq, std::uint16_t cell);
+  /// Drop a tag (no-op when absent). The spatial plane calls this when a
+  /// tagged event fires outside the engine loop, so the map cannot leak.
+  void consume_tag(std::uint64_t event_seq);
+  [[nodiscard]] std::size_t pending_tags() const noexcept {
+    return tags_.size();
+  }
+
+  // ---- boundary-frame ledger (serial callers only) --------------------
+  /// Post a kBoundaryTx record into cell `src_cell`'s outbound mailbox.
+  void post_boundary_tx(std::uint16_t src_cell, std::int64_t t_ns,
+                        std::uint64_t tx_seq, std::uint64_t from,
+                        std::uint64_t dst_cell_mask, std::uint64_t meta);
+
+  // ---- batch-side entry points ----------------------------------------
+  /// Append a deferred schedule intent for `cell` (called by the
+  /// Simulator through the thread-local ShardExecCtx; period > 0 means
+  /// schedule_every semantics). `src_seq` is the scheduling seq of the
+  /// event that issued the call: the barrier replays intents in
+  /// (src_seq, emission) order — the exact order the serial loop would
+  /// have issued them — so future event seqs, and every tie-break they
+  /// feed, are independent of the cell partition and the worker count.
+  void defer_schedule(std::uint16_t cell, std::uint64_t src_seq, SimTime when,
+                      SimTime period, EventCallback cb);
+
+  /// Drive the simulation to `limit` (the Simulator delegates its
+  /// run_until here while the engine is installed).
+  void run_until(SimTime limit);
+
+ private:
+  struct Popped {
+    std::uint32_t slot;
+    std::uint64_t seq;
+    std::uint16_t cell;
+  };
+  struct Intent {
+    std::uint64_t src_seq;  ///< seq of the event that issued the call
+    SimTime when;
+    SimTime period;
+    EventCallback cb;
+  };
+  /// Per-worker mailbox state: the SPSC ring plus its monotone sequence.
+  struct WorkerMail {
+    explicit WorkerMail(std::size_t cap) : ring(cap) {}
+    SpscRing ring;
+    std::uint64_t seq = 0;                   ///< producer-side only
+    std::vector<std::uint8_t> scratch;       ///< producer-side encode buffer
+    std::uint64_t overflows = 0;             ///< producer-side drop count
+  };
+
+  /// Pop the maximal run of tagged head events at timestamp `ts` and
+  /// execute it (threaded or inline). Returns events executed.
+  std::size_t run_tagged_batch(SimTime ts);
+  void execute_batch(SimTime ts, bool threaded);
+  /// Run one cell's bin on worker `worker` (any thread).
+  void exec_cell_bin(std::uint16_t cell, std::uint32_t worker, SimTime ts,
+                     bool threaded) noexcept;
+  /// Barrier half: apply intents + participant effects in cell order,
+  /// retire popped slots in pop order.
+  void merge_barrier();
+  void drain_mailboxes();
+  void post_frame(WorkerMail& mail, ShardFrame& f);
+
+  void worker_loop(std::uint32_t worker);
+  void note_worker_error(std::uint16_t cell) noexcept;
+  void rethrow_worker_error();
+
+  Simulator& sim_;
+  ShardParticipant* participant_ = nullptr;
+  unsigned workers_ = 1;
+  std::uint16_t cells_ = 1;
+  SimTime lookahead_;
+  bool running_ = false;
+
+  std::unordered_map<std::uint64_t, std::uint16_t> tags_;
+  ShardStats stats_;
+  std::vector<ShardFrame> ledger_;
+  /// Anything (a batch, a boundary post) happened this epoch — gates the
+  /// barrier frame so idle epochs stay free.
+  bool epoch_traffic_ = false;
+
+  // ---- batch state (coordinator-owned between barriers) ---------------
+  std::vector<Popped> batch_;                 ///< pop order
+  std::vector<std::vector<Popped>> bins_;     ///< per cell, seq order
+  std::vector<std::uint16_t> active_cells_;   ///< ascending
+  std::vector<std::vector<Intent>> intents_;  ///< per cell, emission order
+  std::vector<Intent> merged_intents_;        ///< barrier merge scratch
+  std::vector<ShardExecCtx> worker_ctx_;      ///< per worker
+
+  // ---- mailboxes ------------------------------------------------------
+  std::vector<std::unique_ptr<WorkerMail>> cell_mail_;    ///< serial plane →
+  std::vector<std::unique_ptr<WorkerMail>> worker_mail_;  ///< workers →
+  std::vector<std::uint8_t> drain_scratch_;
+  std::vector<ShardFrame> merge_scratch_;
+
+  // ---- worker pool ----------------------------------------------------
+  std::vector<std::thread> pool_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t pool_gen_ = 0;
+  std::uint32_t pool_done_ = 0;
+  bool pool_stop_ = false;
+  SimTime pool_ts_;
+  std::atomic<std::size_t> next_bin_{0};
+
+  std::once_flag error_once_;
+  std::exception_ptr worker_error_;
+  std::uint16_t worker_error_cell_ = 0;
+};
+
+}  // namespace liteview::sim

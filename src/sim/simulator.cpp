@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdint>
 
+#include "sim/shard.hpp"
 #include "trace/flight_recorder.hpp"
 #include "util/bytes.hpp"
 #include "util/log.hpp"
@@ -232,6 +233,17 @@ void Simulator::rescan_min() {
 
 EventHandle Simulator::schedule_at(SimTime when, Callback cb) {
   assert(when >= now_ && "cannot schedule into the past");
+  if (engine_ != nullptr) {
+    // Inside a shard-engine cell bin the queue is off-limits (workers may
+    // be running); the intent re-enters at the batch barrier in fixed
+    // cell order. Callers on this path receive an empty handle (every
+    // on_frame-path caller discards it — documented in shard.hpp).
+    if (ShardExecCtx* cx = shard_exec_ctx(); cx != nullptr) {
+      cx->engine->defer_schedule(cx->cell, cx->seq, when, SimTime::zero(),
+                                 std::move(cb));
+      return EventHandle{};
+    }
+  }
   const std::uint32_t slot = arena_->acquire(std::move(cb));
   detail::EventMeta& m = arena_->meta(slot);
   m.when = when;
@@ -242,6 +254,13 @@ EventHandle Simulator::schedule_at(SimTime when, Callback cb) {
 
 EventHandle Simulator::schedule_every(SimTime period, Callback cb) {
   assert(period > SimTime::zero() && "repeating period must be positive");
+  if (engine_ != nullptr) {
+    if (ShardExecCtx* cx = shard_exec_ctx(); cx != nullptr) {
+      cx->engine->defer_schedule(cx->cell, cx->seq, now_ + period, period,
+                                 std::move(cb));
+      return EventHandle{};
+    }
+  }
   const std::uint32_t slot = arena_->acquire(std::move(cb));
   detail::EventMeta& m = arena_->meta(slot);
   m.genflags |= detail::kFlagRepeating;
@@ -252,20 +271,35 @@ EventHandle Simulator::schedule_every(SimTime period, Callback cb) {
   return EventHandle(arena_, slot, m.genflags >> 2);
 }
 
+std::uint32_t Simulator::pop_head() noexcept {
+  assert(peek_valid_ && "pop_head requires an established peek");
+  const std::uint32_t idx = peek_slot_;
+  detail::EventMeta& m = arena_->meta(idx);
+  Bucket& bk = buckets_[peek_bucket_];
+  bk.head = m.next;
+  if (bk.head == detail::kNoSlot) {
+    bk.tail = detail::kNoSlot;
+    occupancy_[peek_bucket_ >> 6] &=
+        ~(std::uint64_t{1} << (peek_bucket_ & 63));
+  }
+  --queued_;
+  peek_valid_ = false;
+  return idx;
+}
+
+void Simulator::engine_record_dispatch(std::uint64_t seq) {
+  if (trace::kEnabled && recorder_ != nullptr) {
+    recorder_->append(trace_ring_, trace::RecKind::kEventDispatch,
+                      now_.nanoseconds(), seq);
+  }
+}
+
 bool Simulator::step(SimTime limit) {
   while (find_min()) {
     const std::uint32_t idx = peek_slot_;
     detail::EventMeta& m = arena_->meta(idx);
     if (m.when > limit) return false;  // keep the peek cache for next call
-    Bucket& bk = buckets_[peek_bucket_];
-    bk.head = m.next;
-    if (bk.head == detail::kNoSlot) {
-      bk.tail = detail::kNoSlot;
-      occupancy_[peek_bucket_ >> 6] &=
-          ~(std::uint64_t{1} << (peek_bucket_ & 63));
-    }
-    --queued_;
-    peek_valid_ = false;
+    pop_head();
     if ((m.genflags & detail::kFlagCancelled) != 0) {  // lazily dropped
       arena_->release(idx);
       continue;
@@ -318,6 +352,10 @@ void Simulator::snapshot(util::ByteWriter& w) const {
 }
 
 void Simulator::run_until(SimTime limit) {
+  if (engine_ != nullptr) {
+    engine_->run_until(limit);
+    return;
+  }
   while (step(limit)) {
   }
   // If we stopped because the queue head is beyond the limit (or empty),

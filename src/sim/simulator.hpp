@@ -36,6 +36,8 @@ class ByteWriter;
 
 namespace liteview::sim {
 
+class ShardEngine;
+
 /// Event callbacks are stored inline: captures beyond 48 bytes fail to
 /// compile (box cold state in a shared_ptr at the call site instead).
 using EventCallback = util::InplaceFunction<void(), 48>;
@@ -226,6 +228,11 @@ class Simulator {
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
   /// Schedule at an absolute simulated time (must be >= now()).
+  ///
+  /// Sharded-mode caveat: when called from inside a ShardEngine cell bin
+  /// (src/sim/shard.hpp), the call is deferred to the batch barrier and
+  /// an *empty* handle is returned — callers on that path must not rely
+  /// on cancelling the event. Everywhere else the behavior is unchanged.
   EventHandle schedule_at(SimTime when, Callback cb);
 
   /// Schedule after a relative delay.
@@ -240,6 +247,9 @@ class Simulator {
 
   /// Run until the event queue drains or `limit` is reached (whichever is
   /// first). The clock advances to the time of the last executed event.
+  /// While a ShardEngine is installed, delegates to its epoch loop — all
+  /// existing drivers (tests, benches, checkpoint fast-forward) route
+  /// through the sharded executor without changes.
   void run_until(SimTime limit);
 
   /// Advance exactly `d` from the current time.
@@ -264,6 +274,15 @@ class Simulator {
   [[nodiscard]] const util::RngRoot& rng_root() const noexcept {
     return rng_root_;
   }
+
+  /// Sequence assigned to the most recent schedule_at/schedule_every
+  /// (undefined before the first one). The shard engine's tag plane keys
+  /// its cell-locality map on this.
+  [[nodiscard]] std::uint64_t last_scheduled_seq() const noexcept {
+    return next_seq_ - 1;
+  }
+  /// The installed shard engine, if any (see src/sim/shard.hpp).
+  [[nodiscard]] ShardEngine* shard_engine() const noexcept { return engine_; }
 
   /// Attach (or detach with nullptr) a flight recorder; every event
   /// dispatch is then recorded to the sim ring. Recording is observational
@@ -318,6 +337,47 @@ class Simulator {
   void uninstall_log_time_source() noexcept;
   void chain_insert(std::uint32_t idx, detail::EventMeta& m);
   void insert_event(std::uint32_t idx, detail::EventMeta& m);
+  /// Unlink the peeked head from its bucket chain (requires peek_valid_);
+  /// shared by step() and the shard engine's batch collector.
+  std::uint32_t pop_head() noexcept;
+
+  // ---- shard-engine hooks (src/sim/shard.hpp) -------------------------
+  // The engine pops runs of tagged same-timestamp events and replicates
+  // step()'s bookkeeping with the callback-run / slot-retire halves split
+  // across the batch: callbacks run on workers, everything that mutates
+  // queue or arena state stays on the coordinator.
+  bool engine_peek(SimTime& when, std::uint64_t& seq) {
+    if (!find_min()) return false;
+    const detail::EventMeta& m = arena_->meta(peek_slot_);
+    when = m.when;
+    seq = m.seq;
+    return true;
+  }
+  std::uint32_t engine_pop() noexcept { return pop_head(); }
+  [[nodiscard]] bool engine_cancelled(std::uint32_t slot) const noexcept {
+    return (arena_->meta(slot).genflags & detail::kFlagCancelled) != 0;
+  }
+  [[nodiscard]] bool engine_repeating(std::uint32_t slot) const noexcept {
+    return (arena_->meta(slot).genflags & detail::kFlagRepeating) != 0;
+  }
+  void engine_release(std::uint32_t slot) noexcept { arena_->release(slot); }
+  /// Run a popped event's callback (worker threads call this; it touches
+  /// only the callback slab entry, never queue state).
+  void engine_run_cb(std::uint32_t slot) { arena_->cb(slot)(); }
+  /// Account + recycle a batch-executed slot (coordinator, pop order).
+  void engine_retire(std::uint32_t slot) noexcept {
+    ++executed_;
+    arena_->release(slot);
+  }
+  void engine_set_now(SimTime t) noexcept { now_ = t; }
+  void engine_finish(SimTime limit) noexcept {
+    if (limit != SimTime::max() && limit > now_) now_ = limit;
+  }
+  [[nodiscard]] trace::FlightRecorder* engine_recorder() const noexcept {
+    return recorder_;
+  }
+  void engine_record_dispatch(std::uint64_t seq);
+  friend class ShardEngine;
   /// Establishes the peek cache (the exact global minimum) or returns
   /// false when no events are queued.
   bool find_min();
@@ -330,6 +390,7 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   detail::EventArena* arena_;
+  ShardEngine* engine_ = nullptr;  ///< installed by ShardEngine's ctor
   trace::FlightRecorder* recorder_ = nullptr;
   std::uint32_t trace_ring_ = 0;
   bool log_time_installed_ = false;

@@ -290,6 +290,16 @@ Testbed::Testbed(const TestbedConfig& cfg,
   shell_->set_diagnostics(recorder(), [this](std::string meta) {
     return checkpoint(std::move(meta));
   });
+
+  // Sharded execution (DESIGN.md §15): installed last, once every radio
+  // is attached, so the stripe geometry covers the whole deployment.
+  if (cfg.shards >= 1) {
+    shard_engine_ = std::make_unique<sim::ShardEngine>(
+        *sim_, static_cast<unsigned>(cfg.shards),
+        static_cast<std::uint16_t>(std::min<int>(
+            cfg.shards, static_cast<int>(sim::ShardEngine::kMaxCells))));
+    medium_->enable_sharding(*shard_engine_);
+  }
 }
 
 Testbed::~Testbed() = default;

@@ -59,6 +59,16 @@ struct TestbedConfig {
   /// forces the scalar path for determinism audits and the parity suite.
   bool simd = true;
 
+  /// Sharded execution (DESIGN.md §15). 0 = off: the classic serial
+  /// event loop, byte-identical with older builds. N >= 1 installs a
+  /// sim::ShardEngine with N spatial cells and N worker threads and
+  /// switches the medium's corruption draws to the per-reception hash —
+  /// the sharded determinism domain: results are byte-identical for any
+  /// N in a domain (tests/test_determinism.cpp holds shards=1/2/4/8
+  /// against each other), but not with shards=0. Clamped to
+  /// sim::ShardEngine::kMaxCells.
+  int shards = 0;
+
   /// Attach a flight recorder at construction and wire every layer's
   /// recording hooks into it (event loop, radios, MACs, stacks, routing,
   /// fault plane). Off = hooks stay null checks; no rings are allocated.
@@ -131,6 +141,10 @@ class Testbed {
 
   [[nodiscard]] sim::Simulator& sim() noexcept { return *sim_; }
   [[nodiscard]] phy::Medium& medium() noexcept { return *medium_; }
+  /// The shard engine (null unless cfg.shards >= 1).
+  [[nodiscard]] sim::ShardEngine* shard_engine() noexcept {
+    return shard_engine_.get();
+  }
   [[nodiscard]] kernel::AddressBook& book() noexcept { return book_; }
   [[nodiscard]] PacketAccounting& accounting() noexcept {
     return *accounting_;
@@ -231,6 +245,9 @@ class Testbed {
   TestbedConfig cfg_;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<phy::Medium> medium_;
+  /// Declared after sim_/medium_ so it is destroyed first (it detaches
+  /// itself from the simulator's run loop on destruction).
+  std::unique_ptr<sim::ShardEngine> shard_engine_;
   std::unique_ptr<PacketAccounting> accounting_;
   std::unique_ptr<fault::FaultPlane> fault_;
   kernel::AddressBook book_;

@@ -19,12 +19,17 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
 #include "fault/scenario.hpp"
+#include "phy/medium.hpp"
+#include "sim/shard.hpp"
 #include "testbed/testbed.hpp"
 #include "trace/diff.hpp"
+#include "util/bytes.hpp"
 #include "util/crc16.hpp"
 
 namespace liteview {
@@ -58,12 +63,28 @@ struct RunOptions {
   /// Promiscuous receive-only radios dropped into the deployment. Must
   /// not perturb the behavior trace by a single byte.
   int sniffers = 0;
+  /// 0 = legacy serial execution; N >= 1 installs an N-worker, N-cell
+  /// ShardEngine. Sharded execution is its own determinism domain
+  /// (delivery draws are hashed per transmission instead of consuming
+  /// the serial RNG streams), so sharded captures compare against
+  /// sharded captures only — never against shards = 0.
+  int shards = 0;
 };
 
 struct RunResult {
   std::vector<std::uint8_t> behavior;  ///< "LVTR" capture (see above)
+  /// Cross-partition capture: transmissions, the counter block minus
+  /// executed_events, and the fault plane's order-insensitive totals.
+  /// This is the subset that is byte-identical across *shard counts*:
+  /// different partitions bin same-timestamp delivery groups in cell
+  /// order rather than seq order, which legally reorders the global
+  /// fault-event interleaving and changes the calendar's event count,
+  /// while leaving every per-link decision sequence, every delivered
+  /// byte, and every counter sum untouched (DESIGN.md §15).
+  std::vector<std::uint8_t> cross_partition;
   std::vector<std::uint8_t> recorder;  ///< full recorder capture (or empty)
   std::uint64_t frames_sniffed = 0;
+  std::uint64_t shard_batches = 0;     ///< engine batches (0 when serial)
 };
 
 RunResult run_scenario(std::uint64_t seed, const RunOptions& opt) {
@@ -73,6 +94,7 @@ RunResult run_scenario(std::uint64_t seed, const RunOptions& opt) {
   cfg.link_gain_cache = opt.gain_cache;
   cfg.simd = opt.simd;
   cfg.flight_recorder = opt.flight_recorder;
+  cfg.shards = opt.shards;
   auto tb = testbed::Testbed::random_square(kNodes, kSideM, kMinSpacingM, cfg);
 
   for (int s = 0; s < opt.sniffers; ++s) {
@@ -90,11 +112,19 @@ RunResult run_scenario(std::uint64_t seed, const RunOptions& opt) {
       trace::source_id(trace::Domain::kTest, 0));
   const auto fault_ring = behavior.register_source(
       trace::source_id(trace::Domain::kFault, 0));
+  trace::FlightRecorder xk(4u << 20);
+  const auto xk_ring =
+      xk.register_source(trace::source_id(trace::Domain::kTest, 1));
 
   tb->medium().set_sniffer([&](const phy::SniffedFrame& f) {
     // (airtime << 16) | crc folds the last two observables into arg d.
     behavior.append(
         tx_ring, trace::RecKind::kUser, f.start.nanoseconds(), f.from,
+        f.channel, f.psdu_bytes,
+        (static_cast<std::uint64_t>(f.airtime.nanoseconds()) << 16) |
+            util::crc16_ccitt(f.psdu));
+    xk.append(
+        xk_ring, trace::RecKind::kUser, f.start.nanoseconds(), f.from,
         f.channel, f.psdu_bytes,
         (static_cast<std::uint64_t>(f.airtime.nanoseconds()) << 16) |
             util::crc16_ccitt(f.psdu));
@@ -138,10 +168,25 @@ RunResult run_scenario(std::uint64_t seed, const RunOptions& opt) {
   for (std::size_t i = 0; i < std::size(counters); ++i) {
     behavior.append(tx_ring, trace::RecKind::kCounter, end_ns, i,
                     counters[i]);
+    // executed_events (the last entry) is the one counter that tracks the
+    // calendar's *structure* — grouping deliveries per cell changes it —
+    // so the cross-partition capture carries every sum but that one.
+    if (i + 1 < std::size(counters)) {
+      xk.append(xk_ring, trace::RecKind::kCounter, end_ns, i, counters[i]);
+    }
   }
+  const auto totals = tb->fault().totals();
+  xk.append(xk_ring, trace::RecKind::kCounter, end_ns, 100, totals.crashes,
+            totals.reboots);
+  xk.append(xk_ring, trace::RecKind::kCounter, end_ns, 101,
+            totals.frames_dropped, totals.bursts);
 
   RunResult r;
   r.behavior = behavior.serialize();
+  r.cross_partition = xk.serialize();
+  if (tb->shard_engine() != nullptr) {
+    r.shard_batches = tb->shard_engine()->stats().batches;
+  }
   if (tb->recorder() != nullptr) r.recorder = tb->recorder()->serialize();
   for (std::size_t s = 0; s < tb->sniffer_count(); ++s) {
     r.frames_sniffed += tb->sniffer_log(s).frames;
@@ -270,6 +315,169 @@ TEST(Determinism, RecorderCaptureIsCullingInvariant) {
   const auto b = run_scenario(1234, naive);
   ASSERT_FALSE(a.recorder.empty());
   expect_identical(a.recorder, b.recorder, "det_recorder_culling");
+}
+
+// ---- sharded execution (DESIGN.md §15) ---------------------------------
+
+TEST(Determinism, ShardedSameSeedSameTrace) {
+  // Within one partition the *full* behavior capture — fault trace and
+  // executed_events included — must repeat byte for byte, and the engine
+  // must actually have batched work (else the gate went vacuous).
+  RunOptions sharded;
+  sharded.shards = 4;
+  const auto t1 = run_scenario(1234, sharded);
+  const auto t2 = run_scenario(1234, sharded);
+  ASSERT_FALSE(t1.behavior.empty());
+  expect_identical(t1.behavior, t2.behavior, "det_shard_same_seed");
+}
+
+TEST(Determinism, ShardCountIsByteInvariant) {
+  // The tentpole gate at testbed level: repartitioning the deployment
+  // into 1, 2, 4, or 8 stripes must not move one byte of the
+  // cross-partition capture — every transmission, every counter sum,
+  // every fault total. (The full capture is compared only at fixed
+  // partition: cell-major binning legally reorders the global fault
+  // interleaving across partitions.)
+  RunOptions base;
+  base.shards = 1;
+  const auto one = run_scenario(1234, base);
+  ASSERT_FALSE(one.cross_partition.empty());
+  // The 55 m square is denser than the radio range, so at >1 stripes
+  // every delivery group crosses a boundary and legally classifies
+  // serial; the single-stripe run is where everything is cell-local —
+  // assert the engine actually batched there, so the gates don't go
+  // vacuous.
+  EXPECT_GT(one.shard_batches, 0u);
+  for (const int k : {2, 4, 8}) {
+    RunOptions opt;
+    opt.shards = k;
+    const auto run = run_scenario(1234, opt);
+    expect_identical(one.cross_partition, run.cross_partition,
+                     ("det_shards_" + std::to_string(k)).c_str());
+  }
+}
+
+TEST(Determinism, ShardsComposeWithSimdToggle) {
+  // Fixed partition, SIMD plane toggled: the scalar fallback replays the
+  // exact lane-blocked order inside sharded delivery bins too, so the
+  // full capture must hold still.
+  RunOptions vec;
+  vec.shards = 4;
+  RunOptions scalar = vec;
+  scalar.simd = false;
+  const auto a = run_scenario(1234, vec);
+  const auto b = run_scenario(1234, scalar);
+  ASSERT_FALSE(a.behavior.empty());
+  expect_identical(a.behavior, b.behavior, "det_shard_simd");
+}
+
+TEST(Determinism, ShardsComposeWithMediumToggles) {
+  // Culling and the gain cache under a sharded engine: still invisible.
+  RunOptions fast;
+  fast.shards = 2;
+  RunOptions naive = fast;
+  naive.spatial_culling = false;
+  naive.gain_cache = false;
+  const auto a = run_scenario(1234, fast);
+  const auto b = run_scenario(1234, naive);
+  ASSERT_FALSE(a.behavior.empty());
+  expect_identical(a.behavior, b.behavior, "det_shard_toggles");
+}
+
+// ---- shards x SIMD cross-product on a 500-radio strip ------------------
+//
+// The testbed scenario above is 40 nodes; this one drives the raw medium
+// at the scale where stripes actually hold disjoint populations: 500
+// radios along a 1000 m strip, scripted concurrent traffic, every
+// (cells in {1,2,4,8}) x (simd on/off) combination must produce the same
+// receptions, counters, and PHY snapshot, byte for byte.
+
+struct StripLogEntry {
+  std::uint64_t t_ns, from, crc_ok, crc;
+  friend bool operator==(const StripLogEntry&, const StripLogEntry&) = default;
+};
+
+class StripClient : public phy::MediumClient {
+ public:
+  StripClient(sim::Simulator& sim, std::vector<StripLogEntry>& log)
+      : sim_(sim), log_(log) {}
+  void on_frame(const std::vector<std::uint8_t>& psdu,
+                const phy::RxInfo& info) override {
+    log_.push_back({static_cast<std::uint64_t>(sim_.now().nanoseconds()),
+                    info.from, info.crc_ok ? 1u : 0u,
+                    util::crc16_ccitt(psdu)});
+  }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<StripLogEntry>& log_;
+};
+
+std::vector<std::uint8_t> run_strip500(std::uint16_t cells, bool simd) {
+  constexpr int kRadios = 500;
+  sim::Simulator sim(97);
+  phy::Medium medium(sim, phy::PropagationConfig{});  // default sigmas
+  medium.set_simd(simd);
+
+  std::vector<std::vector<StripLogEntry>> logs(kRadios);
+  std::vector<std::unique_ptr<StripClient>> clients;
+  std::vector<phy::RadioId> ids;
+  std::mt19937_64 place(2026);
+  std::uniform_real_distribution<double> ux(0.0, 1000.0), uy(0.0, 40.0);
+  for (int i = 0; i < kRadios; ++i) {
+    clients.push_back(std::make_unique<StripClient>(sim, logs[i]));
+    ids.push_back(
+        medium.attach(clients.back().get(), {ux(place), uy(place)}));
+  }
+
+  sim::ShardEngine engine(sim, cells, cells);
+  medium.enable_sharding(engine);
+
+  for (int r = 0; r < 25; ++r) {
+    const auto when = sim::SimTime::ms(1 + r);
+    for (int k = 0; k < 10; ++k) {
+      const phy::RadioId from = ids[(r * 37 + k * 53) % kRadios];
+      sim.schedule_at(when, [&medium, from, r, k] {
+        std::vector<std::uint8_t> psdu(16 + r % 24);
+        for (std::size_t i = 0; i < psdu.size(); ++i) {
+          psdu[i] = static_cast<std::uint8_t>(r * 41 + k * 7 + i);
+        }
+        medium.transmit(from, 0.0, psdu);
+      });
+    }
+  }
+  sim.run_until(sim::SimTime::ms(40));
+
+  util::ByteWriter w(1 << 20);
+  for (const auto& log : logs) {
+    w.u32(static_cast<std::uint32_t>(log.size()));
+    for (const auto& e : log) {
+      w.u64(e.t_ns);
+      w.u64(e.from);
+      w.u64(e.crc_ok);
+      w.u64(e.crc);
+    }
+  }
+  w.u64(medium.frames_sent());
+  w.u64(medium.frames_delivered());
+  w.u64(medium.frames_corrupted());
+  w.u64(medium.frames_below_sensitivity());
+  w.u64(medium.frames_missed_busy_rx());
+  medium.snapshot(w);
+  EXPECT_GT(medium.frames_delivered(), 1000u);  // the strip is actually busy
+  return std::move(w).take();
+}
+
+TEST(Determinism, ShardTimesSimdCrossProductAt500Radios) {
+  const auto ref = run_strip500(1, true);
+  ASSERT_FALSE(ref.empty());
+  for (const std::uint16_t cells : {1, 2, 4, 8}) {
+    for (const bool simd : {true, false}) {
+      if (cells == 1 && simd) continue;  // the reference itself
+      const auto got = run_strip500(cells, simd);
+      EXPECT_EQ(ref, got) << "cells=" << cells << " simd=" << simd;
+    }
+  }
 }
 
 TEST(Determinism, DifferentSeedDifferentTrace) {

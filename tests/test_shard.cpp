@@ -1,0 +1,424 @@
+// Shard engine tests (DESIGN.md §15): the cross-shard frame codec, the
+// SPSC mailbox ring, and — the load-bearing gate — the byte-identity
+// contract: one deployment driven through the ShardEngine must produce
+// identical per-radio receptions, medium counters, and medium snapshot
+// bytes at every worker count AND every cell count. Sharded execution is
+// its own determinism domain (delivery draws are hashed per transmission
+// instead of consuming the serial RNG streams), so all comparisons here
+// are sharded-vs-sharded; tests/test_determinism.cpp holds the
+// testbed-level version of the same gate.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "phy/cc2420.hpp"
+#include "phy/medium.hpp"
+#include "phy/propagation.hpp"
+#include "sim/shard.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "util/bytes.hpp"
+
+namespace liteview {
+namespace {
+
+// ---- codec -------------------------------------------------------------
+
+sim::ShardFrame random_frame(std::mt19937_64& rng, std::size_t payload_max) {
+  sim::ShardFrame f;
+  f.kind = static_cast<sim::ShardFrame::Kind>(1 + rng() % 3);
+  f.epoch = rng();
+  f.shard = static_cast<std::uint32_t>(rng());
+  f.seq = rng();
+  f.t_ns = static_cast<std::int64_t>(rng());
+  for (auto& a : f.args) a = rng();
+  f.payload.resize(rng() % (payload_max + 1));
+  for (auto& b : f.payload) b = static_cast<std::uint8_t>(rng());
+  return f;
+}
+
+TEST(ShardCodec, RoundTripRandomFrames) {
+  std::mt19937_64 rng(7);
+  std::vector<sim::ShardFrame> frames;
+  std::vector<std::uint8_t> wire;
+  for (int i = 0; i < 500; ++i) {
+    frames.push_back(random_frame(rng, sim::kMaxShardFramePayload));
+    EXPECT_GT(sim::encode_shard_frame(wire, frames.back()), 0u);
+  }
+  std::size_t pos = 0;
+  for (const auto& want : frames) {
+    sim::ShardFrame got;
+    ASSERT_TRUE(sim::decode_shard_frame(wire, pos, got));
+    EXPECT_EQ(got, want);
+  }
+  EXPECT_EQ(pos, wire.size());
+}
+
+TEST(ShardCodec, RoundTripBoundaryPayloads) {
+  for (const std::size_t n : {std::size_t{0}, sim::kMaxShardFramePayload}) {
+    sim::ShardFrame f;
+    f.kind = sim::ShardFrame::Kind::kBoundaryTx;
+    f.payload.assign(n, 0x5a);
+    std::vector<std::uint8_t> wire;
+    ASSERT_GT(sim::encode_shard_frame(wire, f), 0u) << "payload " << n;
+    std::size_t pos = 0;
+    sim::ShardFrame got;
+    ASSERT_TRUE(sim::decode_shard_frame(wire, pos, got));
+    EXPECT_EQ(got, f);
+  }
+}
+
+TEST(ShardCodec, EncoderRejectsOversizedPayload) {
+  sim::ShardFrame f;
+  f.payload.assign(sim::kMaxShardFramePayload + 1, 0);
+  std::vector<std::uint8_t> wire;
+  EXPECT_EQ(sim::encode_shard_frame(wire, f), 0u);
+  EXPECT_TRUE(wire.empty());  // all-or-nothing
+}
+
+TEST(ShardCodec, DecoderRejectsTruncationWithoutAdvancing) {
+  std::mt19937_64 rng(11);
+  std::vector<std::uint8_t> wire;
+  const auto f = random_frame(rng, 32);
+  ASSERT_GT(sim::encode_shard_frame(wire, f), 0u);
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    std::size_t pos = 0;
+    sim::ShardFrame got;
+    EXPECT_FALSE(sim::decode_shard_frame(
+        std::span<const std::uint8_t>(wire.data(), len), pos, got))
+        << "prefix " << len;
+    EXPECT_EQ(pos, 0u);
+  }
+}
+
+TEST(ShardCodec, DecoderRejectsUnknownKind) {
+  // Re-encode a valid frame, then corrupt the kind byte (first byte after
+  // the varint length prefix — frames this small use a 1-byte prefix).
+  sim::ShardFrame f;
+  f.kind = sim::ShardFrame::Kind::kEpochBarrier;
+  std::vector<std::uint8_t> wire;
+  ASSERT_GT(sim::encode_shard_frame(wire, f), 0u);
+  ASSERT_LT(wire[0], 0x80);  // 1-byte varint prefix
+  for (const std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{4},
+                                 std::uint8_t{0xff}}) {
+    auto mutated = wire;
+    mutated[1] = bad;
+    std::size_t pos = 0;
+    sim::ShardFrame got;
+    EXPECT_FALSE(sim::decode_shard_frame(mutated, pos, got));
+    EXPECT_EQ(pos, 0u);
+  }
+}
+
+// ---- SPSC mailbox ------------------------------------------------------
+
+TEST(SpscRing, PushDrainBasics) {
+  sim::SpscRing ring(1);  // rounds up to the 1 KiB minimum
+  EXPECT_GE(ring.capacity(), 1024u);
+  const std::vector<std::uint8_t> msg{1, 2, 3, 4, 5};
+  EXPECT_TRUE(ring.push(msg));
+  std::vector<std::uint8_t> out;
+  EXPECT_EQ(ring.drain(out), msg.size());
+  EXPECT_EQ(out, msg);
+  EXPECT_EQ(ring.drain(out), 0u);  // empty again
+}
+
+TEST(SpscRing, PushIsAllOrNothingWhenFull) {
+  sim::SpscRing ring(1024);
+  const std::vector<std::uint8_t> big(ring.capacity() + 1, 0xaa);
+  EXPECT_FALSE(ring.push(big));
+  const std::vector<std::uint8_t> fits(ring.capacity(), 0xbb);
+  EXPECT_TRUE(ring.push(fits));
+  const std::uint8_t one = 0xcc;
+  EXPECT_FALSE(ring.push({&one, 1}));  // full: rejected, nothing written
+  std::vector<std::uint8_t> out;
+  EXPECT_EQ(ring.drain(out), fits.size());
+  EXPECT_EQ(out, fits);
+}
+
+TEST(SpscRing, WrapsAcrossTheBoundary) {
+  sim::SpscRing ring(1024);
+  std::vector<std::uint8_t> out;
+  // Repeated push/drain cycles force the cursors to wrap several times.
+  std::uint8_t next = 0;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    std::vector<std::uint8_t> chunk(700);
+    for (auto& b : chunk) b = next++;
+    ASSERT_TRUE(ring.push(chunk));
+    out.clear();
+    ASSERT_EQ(ring.drain(out), chunk.size());
+    EXPECT_EQ(out, chunk);
+  }
+}
+
+TEST(SpscRing, ThreadedProducerConsumerPreservesByteOrder) {
+  sim::SpscRing ring(4096);
+  constexpr std::size_t kTotal = 1 << 20;
+  std::thread producer([&] {
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    std::size_t sent = 0;
+    std::vector<std::uint8_t> chunk;
+    while (sent < kTotal) {
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdull;
+      chunk.assign(1 + x % 257, 0);
+      if (sent + chunk.size() > kTotal) chunk.resize(kTotal - sent);
+      for (auto& b : chunk) b = static_cast<std::uint8_t>(sent++ & 0xff);
+      while (!ring.push(chunk)) std::this_thread::yield();
+    }
+  });
+  std::vector<std::uint8_t> got;
+  while (got.size() < kTotal) {
+    if (ring.drain(got) == 0) std::this_thread::yield();
+  }
+  producer.join();
+  ASSERT_EQ(got.size(), kTotal);
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(got[i], static_cast<std::uint8_t>(i & 0xff)) << "at " << i;
+  }
+}
+
+// ---- engine byte-identity on a raw medium ------------------------------
+//
+// Deployment shape: four tight clusters strung along x (0, 100, 200,
+// 300 m — out of radio range of each other), one marginal "bridge" radio
+// between two clusters whose links run at SINRs where the PER draw
+// actually corrupts frames, and a scripted schedule that fires one
+// transmitter per cluster at the same instant each round — so every
+// round produces a multi-cell tagged batch, and the bridge's rounds
+// produce boundary-crossing groups that ride the mailbox ledger.
+
+std::uint64_t fnv1a_bytes(std::span<const std::uint8_t> b) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint8_t c : b) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct RxRecord {
+  std::uint64_t t_ns;
+  std::uint64_t from;
+  std::uint64_t crc_ok;
+  std::uint64_t hash;
+  friend bool operator==(const RxRecord&, const RxRecord&) = default;
+};
+
+class RecordingClient : public phy::MediumClient {
+ public:
+  RecordingClient(sim::Simulator& sim, std::vector<RxRecord>& log)
+      : sim_(sim), log_(log) {}
+  void on_frame(const std::vector<std::uint8_t>& psdu,
+                const phy::RxInfo& info) override {
+    log_.push_back({static_cast<std::uint64_t>(sim_.now().nanoseconds()),
+                    info.from, info.crc_ok ? 1u : 0u, fnv1a_bytes(psdu)});
+  }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<RxRecord>& log_;
+};
+
+struct ShardRun {
+  std::vector<std::vector<RxRecord>> rx;  ///< per radio, reception order
+  std::array<std::uint64_t, 7> counters{};
+  std::vector<std::uint8_t> snapshot;
+  sim::ShardStats stats;
+  std::vector<sim::ShardFrame> ledger;
+  std::size_t pending_tags = 0;
+};
+
+constexpr int kClusters = 4;
+constexpr int kPerCluster = 5;
+constexpr double kClusterSpacingM = 100.0;
+constexpr int kRounds = 40;
+
+ShardRun run_clusters(unsigned workers, std::uint16_t cells) {
+  sim::Simulator sim(42);
+  phy::PropagationConfig prop;
+  prop.shadowing_sigma_db = 0.0;  // deterministic geometry → tunable SINR
+  prop.fading_sigma_db = 0.0;
+  phy::Medium medium(sim, prop);
+
+  ShardRun out;
+  const int radios_n = kClusters * kPerCluster + 1;
+  out.rx.resize(radios_n);
+  std::vector<std::unique_ptr<RecordingClient>> clients;
+  std::vector<phy::RadioId> ids;
+  for (int c = 0; c < kClusters; ++c) {
+    for (int i = 0; i < kPerCluster; ++i) {
+      clients.push_back(std::make_unique<RecordingClient>(
+          sim, out.rx[clients.size()]));
+      ids.push_back(medium.attach(
+          clients.back().get(),
+          {c * kClusterSpacingM + 2.0 * i, 3.0 * ((i % 2 != 0) ? 1 : -1)}));
+    }
+  }
+  // The bridge: between clusters 1 and 2, ~45-52 m from each — above
+  // sensitivity, low SINR, so its links live where PER draws corrupt.
+  clients.push_back(
+      std::make_unique<RecordingClient>(sim, out.rx[clients.size()]));
+  const phy::RadioId bridge =
+      medium.attach(clients.back().get(), {152.0, 0.0});
+  ids.push_back(bridge);
+
+  sim::ShardEngine engine(sim, workers, cells);
+  medium.enable_sharding(engine);
+
+  // One transmitter per cluster per round, same instant and same payload
+  // size (so the deliveries share an end time and batch across cells);
+  // the bridge fires every 5th round, reaching into two clusters at once.
+  for (int r = 0; r < kRounds; ++r) {
+    const auto when = sim::SimTime::ms(1 + r);
+    for (int c = 0; c < kClusters; ++c) {
+      const phy::RadioId from = ids[c * kPerCluster + r % kPerCluster];
+      sim.schedule_at(when, [&medium, from, c, r] {
+        std::vector<std::uint8_t> psdu(20 + r % 32);
+        for (std::size_t k = 0; k < psdu.size(); ++k) {
+          psdu[k] = static_cast<std::uint8_t>(c * 67 + r * 31 + k);
+        }
+        medium.transmit(from, 0.0, psdu);
+      });
+    }
+    if (r % 5 == 0) {
+      sim.schedule_at(when + sim::SimTime::us(137), [&medium, bridge, r] {
+        std::vector<std::uint8_t> psdu(24);
+        for (std::size_t k = 0; k < psdu.size(); ++k) {
+          psdu[k] = static_cast<std::uint8_t>(0xb0 + r + k);
+        }
+        medium.transmit(bridge, 0.0, psdu);
+      });
+    }
+  }
+  // Mid-run churn on the spatial plane: a move inside cluster 0 flips the
+  // engine's dirty flag, forcing serial classification until the pending
+  // groups drain — identity must hold through it.
+  sim.schedule_at(sim::SimTime::ms(20) + sim::SimTime::us(500),
+                  [&medium, &ids] { medium.set_position(ids[0], {1.0, 0.0}); });
+
+  sim.run_until(sim::SimTime::ms(kRounds + 10));
+
+  out.counters = {medium.frames_sent(),
+                  medium.frames_delivered(),
+                  medium.frames_corrupted(),
+                  medium.frames_below_sensitivity(),
+                  medium.frames_missed_busy_rx(),
+                  medium.frames_missed_retune(),
+                  medium.frames_dropped_fault()};
+  util::ByteWriter w;
+  medium.snapshot(w);
+  out.snapshot = std::move(w).take();
+  out.stats = engine.stats();
+  out.ledger = engine.ledger();
+  out.pending_tags = engine.pending_tags();
+  return out;
+}
+
+void expect_same_observables(const ShardRun& a, const ShardRun& b,
+                             const char* tag) {
+  ASSERT_EQ(a.rx.size(), b.rx.size()) << tag;
+  for (std::size_t i = 0; i < a.rx.size(); ++i) {
+    EXPECT_EQ(a.rx[i], b.rx[i]) << tag << ": radio " << i;
+  }
+  EXPECT_EQ(a.counters, b.counters) << tag;
+  EXPECT_EQ(a.snapshot, b.snapshot) << tag;
+}
+
+TEST(ShardEngineParity, TrafficActuallyFlows) {
+  // The identity gates below would pass vacuously on a silent deployment.
+  const auto r = run_clusters(1, 4);
+  EXPECT_EQ(r.counters[0],
+            static_cast<std::uint64_t>(kRounds * kClusters + kRounds / 5));
+  EXPECT_GT(r.counters[1], 100u);   // delivered
+  EXPECT_GT(r.counters[2], 0u);     // corrupted: the bridge's marginal links
+  EXPECT_GT(r.stats.batches, 0u);
+  EXPECT_GT(r.stats.batch_events, 0u);
+  EXPECT_EQ(r.pending_tags, 0u);    // every tag consumed
+  std::size_t nonempty = 0;
+  for (const auto& log : r.rx) nonempty += log.empty() ? 0 : 1;
+  EXPECT_GT(nonempty, static_cast<std::size_t>(kClusters * kPerCluster) / 2);
+}
+
+TEST(ShardEngineParity, WorkerCountIsInvisible) {
+  // Fixed partition, varying thread pool: inline (workers=1) and threaded
+  // execution run the same per-cell machinery, so every observable is
+  // byte-identical — and the threaded config must actually have fanned
+  // batches out (else this gate went vacuous).
+  const auto w1 = run_clusters(1, 4);
+  const auto w2 = run_clusters(2, 4);
+  const auto w4 = run_clusters(4, 4);
+  expect_same_observables(w1, w2, "workers 1 vs 2");
+  expect_same_observables(w1, w4, "workers 1 vs 4");
+  EXPECT_EQ(w1.stats.threaded_batches, 0u);
+  EXPECT_GT(w4.stats.threaded_batches, 0u);
+  // Same partition → same batch composition, thread count regardless.
+  EXPECT_EQ(w1.stats.batches, w4.stats.batches);
+  EXPECT_EQ(w1.stats.batch_events, w4.stats.batch_events);
+}
+
+TEST(ShardEngineParity, CellCountIsInvisible) {
+  // The hard tentpole gate: repartitioning the deployment (1, 2, 4, 8
+  // stripes) must not move one byte of the observable simulation — the
+  // deferred-intent replay keys on source event seq precisely so future
+  // seq assignment is partition-independent.
+  const auto c1 = run_clusters(1, 1);
+  const auto c2 = run_clusters(2, 2);
+  const auto c4 = run_clusters(4, 4);
+  const auto c8 = run_clusters(8, 8);
+  expect_same_observables(c1, c2, "cells 1 vs 2");
+  expect_same_observables(c1, c4, "cells 1 vs 4");
+  expect_same_observables(c1, c8, "cells 1 vs 8");
+}
+
+TEST(ShardEngineParity, BoundaryTrafficRidesTheLedger) {
+  // With >1 cell the bridge's receivers span two stripes, so its groups
+  // must classify non-local and post kBoundaryTx handoff frames; the
+  // merged ledger must hold them in (epoch, shard, seq) order with the
+  // epoch barrier markers interleaved.
+  const auto r = run_clusters(2, 4);
+  EXPECT_GT(r.stats.boundary_tx, 0u);
+  EXPECT_GT(r.stats.handoff_frames, r.stats.boundary_tx);  // + barriers
+  EXPECT_GT(r.stats.handoff_bytes, 0u);
+  EXPECT_EQ(r.stats.mailbox_overflows, 0u);
+  ASSERT_FALSE(r.ledger.empty());
+  std::uint64_t barriers = 0, boundary = 0;
+  const sim::ShardFrame* prev = nullptr;
+  for (const auto& f : r.ledger) {
+    if (f.kind == sim::ShardFrame::Kind::kEpochBarrier) ++barriers;
+    if (f.kind == sim::ShardFrame::Kind::kBoundaryTx) ++boundary;
+    if (prev != nullptr && prev->epoch == f.epoch && prev->shard == f.shard) {
+      // Two mailboxes may share a (epoch, shard) key — a cell's boundary
+      // ring and a worker's summary ring — so within the key the merge
+      // guarantees non-decreasing seq, not strict.
+      EXPECT_LE(prev->seq, f.seq);
+    }
+    if (prev != nullptr && prev->epoch == f.epoch) {
+      EXPECT_LE(prev->shard, f.shard);  // merge order within an epoch
+    }
+    if (prev != nullptr) {
+      EXPECT_LE(prev->epoch, f.epoch);
+    }
+    prev = &f;
+  }
+  EXPECT_GT(barriers, 0u);
+  EXPECT_EQ(boundary, r.stats.boundary_tx);
+  // Every bridge transmission spans two stripes at cells=4, so at least
+  // those kRounds/5 groups must have crossed the ledger.
+  EXPECT_GE(r.stats.boundary_tx, static_cast<std::uint64_t>(kRounds / 5));
+}
+
+TEST(ShardEngineParity, SingleCellMatchesMultiCellUnderThreads) {
+  // Degenerate-partition cross-check: cells=1 with a (useless) pool of 4
+  // workers vs. cells=8 fully fanned out.
+  const auto narrow = run_clusters(4, 1);
+  const auto wide = run_clusters(8, 8);
+  expect_same_observables(narrow, wide, "cells 1(w4) vs 8(w8)");
+}
+
+}  // namespace
+}  // namespace liteview

@@ -1,0 +1,127 @@
+// Adversarial-input fuzzing for the cross-shard frame codec, in the
+// test_messages_fuzz mold: the strict decoder must survive arbitrary byte
+// soup, truncations, and bit-flipped valid encodings — returning false
+// *without advancing* on every malformation, never crashing, reading out
+// of bounds, or tripping UB. Run under the `asan` preset (ASan+UBSan)
+// this is the mailbox path's memory-safety gate: a corrupt ring can
+// reject frames but can never desynchronize the epoch merge.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/shard.hpp"
+
+namespace liteview::sim {
+namespace {
+
+ShardFrame random_frame(std::mt19937_64& rng) {
+  ShardFrame f;
+  f.kind = static_cast<ShardFrame::Kind>(1 + rng() % 3);
+  f.epoch = rng();
+  f.shard = static_cast<std::uint32_t>(rng());
+  f.seq = rng();
+  f.t_ns = static_cast<std::int64_t>(rng());
+  for (auto& a : f.args) a = rng();
+  f.payload.resize(rng() % (kMaxShardFramePayload + 1));
+  for (auto& b : f.payload) b = static_cast<std::uint8_t>(rng());
+  return f;
+}
+
+TEST(ShardFuzz, DecoderSurvivesByteSoup) {
+  std::mt19937_64 rng(0xdecaf);
+  for (int i = 0; i < 10000; ++i) {
+    std::vector<std::uint8_t> soup(rng() % 96);
+    for (auto& b : soup) b = static_cast<std::uint8_t>(rng());
+    std::size_t pos = 0;
+    ShardFrame f;
+    // Walk the buffer the way drain_mailboxes does: decode until the
+    // first failure, then stop. Every success must advance (else the
+    // merge loop would spin); every failure must leave pos untouched.
+    while (pos < soup.size()) {
+      const std::size_t before = pos;
+      if (decode_shard_frame(soup, pos, f)) {
+        ASSERT_GT(pos, before);
+        ASSERT_LE(pos, soup.size());
+      } else {
+        ASSERT_EQ(pos, before);
+        break;
+      }
+    }
+  }
+}
+
+TEST(ShardFuzz, DecoderSurvivesTruncatedValidFrames) {
+  std::mt19937_64 rng(0xfeed);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::uint8_t> wire;
+    ASSERT_GT(encode_shard_frame(wire, random_frame(rng)), 0u);
+    // Every strict prefix must be rejected without advancing.
+    const std::size_t cut = rng() % wire.size();
+    std::size_t pos = 0;
+    ShardFrame f;
+    EXPECT_FALSE(decode_shard_frame(
+        std::span<const std::uint8_t>(wire.data(), cut), pos, f));
+    EXPECT_EQ(pos, 0u);
+  }
+}
+
+TEST(ShardFuzz, DecoderSurvivesMutatedValidFrames) {
+  std::mt19937_64 rng(0xbeef);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::uint8_t> wire;
+    const ShardFrame orig = random_frame(rng);
+    ASSERT_GT(encode_shard_frame(wire, orig), 0u);
+    // Flip one random byte. The decode must either fail cleanly (pos
+    // unchanged) or yield *some* frame within the documented bounds —
+    // never crash, never read past the span.
+    auto mutated = wire;
+    mutated[rng() % mutated.size()] ^=
+        static_cast<std::uint8_t>(1 + rng() % 255);
+    std::size_t pos = 0;
+    ShardFrame f;
+    if (decode_shard_frame(mutated, pos, f)) {
+      EXPECT_LE(pos, mutated.size());
+      EXPECT_LE(f.payload.size(), kMaxShardFramePayload);
+      EXPECT_GE(static_cast<std::uint8_t>(f.kind), 1);
+      EXPECT_LE(static_cast<std::uint8_t>(f.kind), ShardFrame::kMaxKind);
+    } else {
+      EXPECT_EQ(pos, 0u);
+    }
+  }
+}
+
+TEST(ShardFuzz, GarbageTailNeverDesynchronizesAStream) {
+  // Valid frames followed by soup: the decoder must hand back exactly the
+  // valid prefix, then refuse the tail from the same position forever.
+  std::mt19937_64 rng(0xc0ffee);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<ShardFrame> frames;
+    std::vector<std::uint8_t> wire;
+    const std::size_t n = 1 + rng() % 8;
+    for (std::size_t k = 0; k < n; ++k) {
+      frames.push_back(random_frame(rng));
+      ASSERT_GT(encode_shard_frame(wire, frames.back()), 0u);
+    }
+    const std::size_t valid_end = wire.size();
+    for (std::size_t k = 0; k < 16; ++k) {
+      // 0x00 is an always-invalid kind, so the tail can't happen to
+      // parse as a frame whatever the soup contains.
+      wire.push_back(k == 1 ? 0x00 : static_cast<std::uint8_t>(rng()));
+    }
+    wire[valid_end] = 0x02;  // length prefix: 2-byte "frame", kind 0x00
+    std::size_t pos = 0;
+    ShardFrame f;
+    for (std::size_t k = 0; k < n; ++k) {
+      ASSERT_TRUE(decode_shard_frame(wire, pos, f));
+      EXPECT_EQ(f, frames[k]);
+    }
+    EXPECT_EQ(pos, valid_end);
+    EXPECT_FALSE(decode_shard_frame(wire, pos, f));
+    EXPECT_EQ(pos, valid_end);
+  }
+}
+
+}  // namespace
+}  // namespace liteview::sim

@@ -31,6 +31,17 @@ command errors, and the p99/p50 command-latency tail ratio must stay within
 --cp-slack of the checked-in BENCH_control_plane.json. Raw sessions/s and
 commands/s are host-dependent and only reported, never gated.
 
+Also gates the sharded mega-topology sweep (bench/scale_sweep --shards):
+the sharded runs must stay byte-identical to the one-shard run (a hard
+failure — the whole point of the shard engine is determinism under
+partitioning), and the sharded-over-serial wall-time ratios must not
+collapse below the checked-in BENCH_sharded_sim.json minus --shard-slack.
+The ratio compares two runs on the same host so it transfers across
+machines, but it does scale with core count — the default slack is wide
+enough that a single-core runner still clears a multi-core baseline,
+while an accidental global lock (10x collapse) still trips. Raw ev/s is
+host-dependent and only reported, never gated.
+
 Usage:
   check_bench_regression.py --current out.json [--baseline BENCH_phy_hotpath.json]
   check_bench_regression.py --run ./build/bench/micro_core   # runs the bench itself
@@ -40,6 +51,8 @@ Usage:
   check_bench_regression.py --chaos-current chaos.json [--chaos-baseline BENCH_chaos_campaign.json]
   check_bench_regression.py --cp-run ./build/bench/load_gen
   check_bench_regression.py --cp-current cp.json [--cp-baseline BENCH_control_plane.json]
+  check_bench_regression.py --shard-run ./build/bench/scale_sweep
+  check_bench_regression.py --shard-current sweep.json [--shard-baseline BENCH_sharded_sim.json]
 """
 
 from __future__ import annotations
@@ -57,6 +70,8 @@ DEFAULT_SIMD_BASELINE = REPO_ROOT / "BENCH_simd_phy.json"
 DEFAULT_FR_BASELINE = REPO_ROOT / "BENCH_flight_recorder.json"
 DEFAULT_CHAOS_BASELINE = REPO_ROOT / "BENCH_chaos_campaign.json"
 DEFAULT_CP_BASELINE = REPO_ROOT / "BENCH_control_plane.json"
+DEFAULT_SHARD_BASELINE = REPO_ROOT / "BENCH_sharded_sim.json"
+SHARD_RATIO_ANCHORS = ("sharded_over_serial_1000", "sharded_over_serial_10000")
 BENCH_FILTER = "BM_MediumTransmitFanout|BM_ChannelPowerSample|BM_PerEvaluation"
 FR_ANCHORS = ("ring_overhead_ratio", "ring_sniffers_overhead_ratio")
 CHAOS_RATIO_ANCHORS = ("oracle_overhead_ratio", "cpm_ratio_200_over_50")
@@ -269,6 +284,70 @@ def check_control_plane(current: dict, baseline_path: str,
     return failures
 
 
+def run_scale_sweep(binary: str) -> dict:
+    """Invoke bench/scale_sweep --shards 4 --json and return its output."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    subprocess.run([binary, "--shards", "4", "--json", out_path], check=True,
+                   stdout=subprocess.DEVNULL)
+    with open(out_path) as f:
+        return json.load(f)
+
+
+def check_sharded(current: dict, baseline_path: str, slack: float) -> list[str]:
+    """Gate the sharded mega-topology sweep.
+
+    Hard requirement first: every sharded run must produce byte-identical
+    observables (reception logs, medium counters, snapshot) to the
+    one-shard run — partitioning is only allowed to change wall time.
+    The sharded-over-serial wall-time ratios are speedups (bigger is
+    better), so the gate is cur >= baseline - slack; the wide default
+    slack absorbs the core-count difference between the baseline host and
+    a small CI runner while still catching a serialization collapse.
+    """
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    failures = []
+
+    sharded = current.get("sharded")
+    if not isinstance(sharded, dict):
+        return ["sharded: object missing from current run (scale_sweep too "
+                "old, or --json output truncated)"]
+    base_sharded = baseline.get("sharded")
+    if not isinstance(base_sharded, dict):
+        sys.exit(f"error: baseline {baseline_path} is missing the 'sharded' "
+                 f"object — regenerate it with "
+                 f"scale_sweep --shards 4 --json")
+
+    if not sharded.get("byte_identity", False):
+        failures.append("byte_identity: a sharded run diverged from the "
+                        "one-shard run (determinism contract broken)")
+
+    for anchor in SHARD_RATIO_ANCHORS:
+        base = baseline_key(base_sharded, anchor, baseline_path)
+        if anchor not in sharded:
+            failures.append(f"{anchor}: missing from current run")
+            continue
+        cur = float(sharded[anchor])
+        limit = base - slack
+        status = "OK" if cur >= limit else "REGRESSION"
+        print(f"  {anchor:32s} baseline {base:5.2f}  current {cur:5.2f}  "
+              f"limit {limit:5.2f}  {status}")
+        if status != "OK":
+            failures.append(f"{anchor}: speedup {cur:.2f} < limit "
+                            f"{limit:.2f}")
+
+    # Reported for humans; host-dependent, never gated.
+    print(f"  {'hardware_threads':32s} baseline "
+          f"{base_sharded.get('hardware_threads', '?'):>5}  current "
+          f"{sharded.get('hardware_threads', '?'):>5}  (informational)")
+    for entry in current.get("sharded_sweep", []):
+        print(f"  n={entry.get('nodes'):<6} shards={entry.get('shards'):<3} "
+              f"{float(entry.get('events_per_sec', 0)):12.0f} ev/s  "
+              f"(informational)")
+    return failures
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     src = ap.add_mutually_exclusive_group(required=True)
@@ -286,6 +365,10 @@ def main() -> int:
                      help="bench/load_gen --json output to check")
     src.add_argument("--cp-run",
                      help="load_gen binary to execute for the run")
+    src.add_argument("--shard-current",
+                     help="bench/scale_sweep --json output to check")
+    src.add_argument("--shard-run",
+                     help="scale_sweep binary to execute for the run")
     ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
                     help="checked-in BENCH_phy_hotpath.json")
     ap.add_argument("--simd-baseline", default=str(DEFAULT_SIMD_BASELINE),
@@ -306,7 +389,29 @@ def main() -> int:
     ap.add_argument("--cp-slack", type=float, default=3.0,
                     help="additive headroom over the baseline latency tail "
                          "ratio (quantile tails are noisy on shared runners)")
+    ap.add_argument("--shard-baseline", default=str(DEFAULT_SHARD_BASELINE),
+                    help="checked-in BENCH_sharded_sim.json")
+    ap.add_argument("--shard-slack", type=float, default=0.5,
+                    help="subtractive headroom under the baseline "
+                         "sharded-over-serial speedup (wide: the ratio "
+                         "scales with core count across hosts)")
     args = ap.parse_args()
+
+    if args.shard_run or args.shard_current:
+        if args.shard_run:
+            current = run_scale_sweep(args.shard_run)
+        else:
+            with open(args.shard_current) as f:
+                current = json.load(f)
+        failures = check_sharded(current, args.shard_baseline,
+                                 args.shard_slack)
+        if failures:
+            print("\nsharded sweep gate FAILED:")
+            for f_ in failures:
+                print(f"  - {f_}")
+            return 1
+        print("\nsharded sweep gate passed")
+        return 0
 
     if args.cp_run or args.cp_current:
         if args.cp_run:

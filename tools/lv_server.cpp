@@ -12,11 +12,13 @@
 //     -> {"session":1,"token":"lvs-..."}
 //   curl -s -N -H "Authorization: Bearer lvs-..."
 //        -d 'traceroute node20' http://127.0.0.1:8080/v1/sessions/1/command
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "api/server.hpp"
 #include "testbed/testbed.hpp"
@@ -37,6 +39,7 @@ struct Args {
   double rate_limit = 50.0;
   int idle_ttl_s = 60;
   bool flight_recorder = false;
+  int shards = 0;  // 0 = serial event loop (no shard engine)
 };
 
 void usage() {
@@ -45,7 +48,33 @@ void usage() {
       "usage: lv_server [--nodes N] [--grid ROWSxCOLS] [--seed S]\n"
       "                 [--port P] [--workers W] [--join-token T]\n"
       "                 [--rate-limit CPS] [--idle-ttl SECONDS]\n"
-      "                 [--flight-recorder]\n");
+      "                 [--flight-recorder] [--shards K]\n");
+}
+
+// Validates --shards the same way bench/scale_sweep does: an integer in
+// [1, 4 * hardware threads]. Returns false (after printing a specific
+// error) on anything else so a typo fails loudly instead of silently
+// running serial.
+bool parse_shards(const char* v, int* out) {
+  char* end = nullptr;
+  const long k = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || k < 1) {
+    std::fprintf(stderr,
+                 "lv_server: --shards expects an integer >= 1 (got '%s')\n",
+                 v);
+    return false;
+  }
+  const unsigned hc = std::max(1u, std::thread::hardware_concurrency());
+  const long max_shards = static_cast<long>(hc) * 4;
+  if (k > max_shards) {
+    std::fprintf(stderr,
+                 "lv_server: --shards %ld exceeds 4x the host's %u hardware "
+                 "threads (max %ld)\n",
+                 k, hc, max_shards);
+    return false;
+  }
+  *out = static_cast<int>(k);
+  return true;
 }
 
 bool parse_args(int argc, char** argv, Args& a) {
@@ -88,6 +117,9 @@ bool parse_args(int argc, char** argv, Args& a) {
       const char* v = value();
       if (!v) return false;
       a.idle_ttl_s = std::atoi(v);
+    } else if (flag == "--shards") {
+      const char* v = value();
+      if (!v || !parse_shards(v, &a.shards)) return false;
     } else {
       usage();
       return false;
@@ -107,6 +139,7 @@ int main(int argc, char** argv) {
   api::SimCore core([&args] {
     auto cfg = testbed::Testbed::paper_config(args.seed);
     cfg.flight_recorder = args.flight_recorder;
+    cfg.shards = args.shards;
     std::unique_ptr<testbed::Testbed> tb;
     if (args.grid_rows > 0 && args.grid_cols > 0) {
       tb = testbed::Testbed::surveyed_grid(args.grid_rows, args.grid_cols,
@@ -131,9 +164,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "lv_server: %s\n", err.c_str());
     return 1;
   }
-  std::printf("lv_server: %zu nodes, %d workers, listening on %s:%u\n",
-              core.node_count(), args.workers, cfg.bind_address.c_str(),
-              server.port());
+  std::printf(
+      "lv_server: %zu nodes, %d workers, %d shards, listening on %s:%u\n",
+      core.node_count(), args.workers, args.shards, cfg.bind_address.c_str(),
+      server.port());
   std::fflush(stdout);
 
   std::signal(SIGINT, on_signal);
